@@ -1,0 +1,339 @@
+#include "bmc/bitblast.h"
+
+#include <cassert>
+
+namespace tmg::bmc {
+
+using sat::Lit;
+
+BitBlaster::BitBlaster(sat::Solver& solver) : solver_(solver) {
+  true_ = sat::pos(solver_.new_var());
+  solver_.add_clause(true_);
+}
+
+BitVec BitBlaster::constant(std::int64_t v, int width, bool is_signed) {
+  BitVec out;
+  out.is_signed = is_signed;
+  out.bits.reserve(width);
+  for (int i = 0; i < width; ++i)
+    out.bits.push_back(((v >> i) & 1) ? true_ : ~true_);
+  return out;
+}
+
+BitVec BitBlaster::fresh(int width, bool is_signed) {
+  BitVec out;
+  out.is_signed = is_signed;
+  out.bits.reserve(width);
+  for (int i = 0; i < width; ++i) out.bits.push_back(sat::pos(solver_.new_var()));
+  return out;
+}
+
+// ------------------------------------------------------------------ gates
+
+Lit BitBlaster::and_gate(Lit a, Lit b) {
+  if (a == true_) return b;
+  if (b == true_) return a;
+  if (a == ~true_ || b == ~true_) return ~true_;
+  if (a == b) return a;
+  if (a == ~b) return ~true_;
+  const Lit o = sat::pos(solver_.new_var());
+  solver_.add_clause(~o, a);
+  solver_.add_clause(~o, b);
+  solver_.add_clause(o, ~a, ~b);
+  return o;
+}
+
+Lit BitBlaster::or_gate(Lit a, Lit b) { return ~and_gate(~a, ~b); }
+
+Lit BitBlaster::xor_gate(Lit a, Lit b) {
+  if (a == true_) return ~b;
+  if (b == true_) return ~a;
+  if (a == ~true_) return b;
+  if (b == ~true_) return a;
+  if (a == b) return ~true_;
+  if (a == ~b) return true_;
+  const Lit o = sat::pos(solver_.new_var());
+  solver_.add_clause(~o, a, b);
+  solver_.add_clause(~o, ~a, ~b);
+  solver_.add_clause(o, ~a, b);
+  solver_.add_clause(o, a, ~b);
+  return o;
+}
+
+Lit BitBlaster::mux_gate(Lit sel, Lit t, Lit f) {
+  if (sel == true_) return t;
+  if (sel == ~true_) return f;
+  if (t == f) return t;
+  const Lit o = sat::pos(solver_.new_var());
+  solver_.add_clause(~sel, ~t, o);
+  solver_.add_clause(~sel, t, ~o);
+  solver_.add_clause(sel, ~f, o);
+  solver_.add_clause(sel, f, ~o);
+  return o;
+}
+
+// --------------------------------------------------------------- word ops
+
+BitVec BitBlaster::resize(const BitVec& a, int width) {
+  BitVec out;
+  out.is_signed = a.is_signed;
+  out.bits.reserve(width);
+  const Lit fill = a.is_signed && !a.bits.empty() ? a.bits.back() : ~true_;
+  for (int i = 0; i < width; ++i)
+    out.bits.push_back(i < a.width() ? a.bits[i] : fill);
+  return out;
+}
+
+BitVec BitBlaster::adder(const BitVec& a, const BitVec& b, Lit cin,
+                         Lit* carry_out) {
+  assert(a.width() == b.width());
+  BitVec out;
+  out.is_signed = a.is_signed;
+  Lit carry = cin;
+  for (int i = 0; i < a.width(); ++i) {
+    const Lit axb = xor_gate(a.bits[i], b.bits[i]);
+    out.bits.push_back(xor_gate(axb, carry));
+    // carry' = (a & b) | (carry & (a ^ b))
+    carry = or_gate(and_gate(a.bits[i], b.bits[i]), and_gate(carry, axb));
+  }
+  if (carry_out) *carry_out = carry;
+  return out;
+}
+
+BitVec BitBlaster::add(const BitVec& a, const BitVec& b) {
+  return adder(a, b, ~true_, nullptr);
+}
+
+BitVec BitBlaster::sub(const BitVec& a, const BitVec& b) {
+  return adder(a, bit_not(b), true_, nullptr);
+}
+
+BitVec BitBlaster::neg(const BitVec& a) {
+  return adder(bit_not(a), constant(0, a.width(), a.is_signed), true_,
+               nullptr);
+}
+
+BitVec BitBlaster::mul(const BitVec& a, const BitVec& b) {
+  const int w = a.width();
+  BitVec acc = constant(0, w, a.is_signed);
+  for (int i = 0; i < w; ++i) {
+    // row_i = b[i] ? (a << i) : 0, truncated to w bits
+    BitVec row;
+    row.is_signed = a.is_signed;
+    for (int k = 0; k < w; ++k)
+      row.bits.push_back(k < i ? ~true_ : and_gate(a.bits[k - i], b.bits[i]));
+    acc = add(acc, row);
+  }
+  return acc;
+}
+
+Lit BitBlaster::ult(const BitVec& a, const BitVec& b) {
+  // a < b  <=>  borrow out of (a - b)  <=>  NOT carry of a + ~b + 1
+  Lit carry = true_;
+  for (int i = 0; i < a.width(); ++i) {
+    const Lit nb = ~b.bits[i];
+    const Lit axb = xor_gate(a.bits[i], nb);
+    carry = or_gate(and_gate(a.bits[i], nb), and_gate(carry, axb));
+  }
+  return ~carry;
+}
+
+Lit BitBlaster::lt(const BitVec& a, const BitVec& b) {
+  assert(a.width() == b.width());
+  if (!a.is_signed && !b.is_signed) return ult(a, b);
+  // signed: flip sign bits and compare unsigned
+  BitVec af = a, bf = b;
+  af.bits.back() = ~af.bits.back();
+  bf.bits.back() = ~bf.bits.back();
+  return ult(af, bf);
+}
+
+Lit BitBlaster::le(const BitVec& a, const BitVec& b) { return ~lt(b, a); }
+
+Lit BitBlaster::eq(const BitVec& a, const BitVec& b) {
+  assert(a.width() == b.width());
+  Lit acc = true_;
+  for (int i = 0; i < a.width(); ++i)
+    acc = and_gate(acc, ~xor_gate(a.bits[i], b.bits[i]));
+  return acc;
+}
+
+BitVec BitBlaster::bit_and(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  out.is_signed = a.is_signed;
+  for (int i = 0; i < a.width(); ++i)
+    out.bits.push_back(and_gate(a.bits[i], b.bits[i]));
+  return out;
+}
+
+BitVec BitBlaster::bit_or(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  out.is_signed = a.is_signed;
+  for (int i = 0; i < a.width(); ++i)
+    out.bits.push_back(or_gate(a.bits[i], b.bits[i]));
+  return out;
+}
+
+BitVec BitBlaster::bit_xor(const BitVec& a, const BitVec& b) {
+  BitVec out;
+  out.is_signed = a.is_signed;
+  for (int i = 0; i < a.width(); ++i)
+    out.bits.push_back(xor_gate(a.bits[i], b.bits[i]));
+  return out;
+}
+
+BitVec BitBlaster::bit_not(const BitVec& a) {
+  BitVec out;
+  out.is_signed = a.is_signed;
+  for (const Lit& l : a.bits) out.bits.push_back(~l);
+  return out;
+}
+
+BitVec BitBlaster::mux(Lit sel, const BitVec& t, const BitVec& f) {
+  assert(t.width() == f.width());
+  BitVec out;
+  out.is_signed = t.is_signed;
+  for (int i = 0; i < t.width(); ++i)
+    out.bits.push_back(mux_gate(sel, t.bits[i], f.bits[i]));
+  return out;
+}
+
+Lit BitBlaster::reduce_or(const BitVec& a) {
+  Lit acc = ~true_;
+  for (const Lit& l : a.bits) acc = or_gate(acc, l);
+  return acc;
+}
+
+BitVec BitBlaster::shl(const BitVec& a, const BitVec& amount) {
+  const int w = a.width();
+  // barrel shifter over the low bits of `amount`
+  BitVec cur = a;
+  int stage_bits = 0;
+  while ((1 << stage_bits) < w) ++stage_bits;
+  for (int s = 0; s < stage_bits && s < amount.width(); ++s) {
+    const int shift = 1 << s;
+    BitVec shifted;
+    shifted.is_signed = a.is_signed;
+    for (int i = 0; i < w; ++i)
+      shifted.bits.push_back(i < shift ? ~true_ : cur.bits[i - shift]);
+    cur = mux(amount.bits[s], shifted, cur);
+  }
+  // out-of-range (amount >= w or negative) -> 0
+  Lit big = ~true_;
+  for (int i = stage_bits; i < amount.width(); ++i)
+    big = or_gate(big, amount.bits[i]);
+  if (amount.is_signed && amount.width() > 0)
+    big = or_gate(big, amount.bits.back());
+  // also: amount bits within stage range encoding >= w exactly
+  BitVec low_amt;
+  low_amt.is_signed = false;
+  for (int s = 0; s < stage_bits && s < amount.width(); ++s)
+    low_amt.bits.push_back(amount.bits[s]);
+  while (low_amt.width() < stage_bits + 1) low_amt.bits.push_back(~true_);
+  const Lit ge_w = ~ult(low_amt, constant(w, stage_bits + 1, false));
+  big = or_gate(big, ge_w);
+  return mux(big, constant(0, w, a.is_signed), cur);
+}
+
+BitVec BitBlaster::shr(const BitVec& a, const BitVec& amount) {
+  const int w = a.width();
+  const Lit fill = a.is_signed ? a.bits.back() : ~true_;
+  BitVec cur = a;
+  int stage_bits = 0;
+  while ((1 << stage_bits) < w) ++stage_bits;
+  for (int s = 0; s < stage_bits && s < amount.width(); ++s) {
+    const int shift = 1 << s;
+    BitVec shifted;
+    shifted.is_signed = a.is_signed;
+    for (int i = 0; i < w; ++i)
+      shifted.bits.push_back(i + shift < w ? cur.bits[i + shift] : fill);
+    cur = mux(amount.bits[s], shifted, cur);
+  }
+  Lit big = ~true_;
+  for (int i = stage_bits; i < amount.width(); ++i)
+    big = or_gate(big, amount.bits[i]);
+  if (amount.is_signed && amount.width() > 0)
+    big = or_gate(big, amount.bits.back());
+  BitVec low_amt;
+  low_amt.is_signed = false;
+  for (int s = 0; s < stage_bits && s < amount.width(); ++s)
+    low_amt.bits.push_back(amount.bits[s]);
+  while (low_amt.width() < stage_bits + 1) low_amt.bits.push_back(~true_);
+  const Lit ge_w = ~ult(low_amt, constant(w, stage_bits + 1, false));
+  big = or_gate(big, ge_w);
+  BitVec fill_vec;
+  fill_vec.is_signed = a.is_signed;
+  for (int i = 0; i < w; ++i) fill_vec.bits.push_back(fill);
+  return mux(big, fill_vec, cur);
+}
+
+BitVec BitBlaster::abs_value(const BitVec& a) {
+  if (!a.is_signed) return a;
+  return mux(a.bits.back(), neg(a), a);
+}
+
+void BitBlaster::udivrem(const BitVec& a, const BitVec& b, BitVec* quot,
+                         BitVec* rem_out) {
+  const int w = a.width();
+  // restoring division, MSB first
+  BitVec r = constant(0, w, false);
+  std::vector<Lit> qbits(w, ~true_);
+  for (int i = w - 1; i >= 0; --i) {
+    // r = (r << 1) | a[i]
+    BitVec r2;
+    r2.is_signed = false;
+    r2.bits.push_back(a.bits[i]);
+    for (int k = 0; k + 1 < w; ++k) r2.bits.push_back(r.bits[k]);
+    const Lit fits = ~ult(r2, b);  // r2 >= b
+    const BitVec sub_r = sub(r2, b);
+    r = mux(fits, sub_r, r2);
+    qbits[i] = fits;
+  }
+  if (quot) {
+    quot->bits = std::move(qbits);
+    quot->is_signed = false;
+  }
+  if (rem_out) *rem_out = r;
+}
+
+BitVec BitBlaster::div(const BitVec& a, const BitVec& b) {
+  const int w = a.width();
+  const BitVec ua = abs_value(a);
+  const BitVec ub = abs_value(b);
+  BitVec q;
+  udivrem(retag(ua, false), retag(ub, false), &q, nullptr);
+  q.is_signed = a.is_signed;
+  if (a.is_signed) {
+    const Lit flip = xor_gate(a.bits.back(), b.bits.back());
+    q = mux(flip, neg(q), q);
+  }
+  // x / 0 == 0
+  const Lit bz = ~reduce_or(b);
+  return mux(bz, constant(0, w, a.is_signed), q);
+}
+
+BitVec BitBlaster::rem(const BitVec& a, const BitVec& b) {
+  const BitVec ua = abs_value(a);
+  const BitVec ub = abs_value(b);
+  BitVec r;
+  udivrem(retag(ua, false), retag(ub, false), nullptr, &r);
+  r.is_signed = a.is_signed;
+  if (a.is_signed) {
+    // remainder takes the dividend's sign
+    r = mux(a.bits.back(), neg(r), r);
+  }
+  // x % 0 == x
+  const Lit bz = ~reduce_or(b);
+  return mux(bz, a, r);
+}
+
+std::int64_t BitBlaster::decode(const BitVec& a) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < a.width(); ++i)
+    if (solver_.value(a.bits[i].var()) != a.bits[i].sign()) v |= 1ULL << i;
+  if (a.is_signed && a.width() < 64 && (v >> (a.width() - 1)) != 0)
+    v |= ~((std::uint64_t{1} << a.width()) - 1);
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace tmg::bmc

@@ -1,0 +1,102 @@
+// Word-level to CNF bit-blasting (Tseitin encoding) with mini-C semantics:
+// two's-complement wraparound, total division (x/0 = 0, x%0 = x), shift
+// amounts >= width give 0 / sign fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minic/type.h"
+#include "sat/solver.h"
+
+namespace tmg::bmc {
+
+/// A bit-vector of SAT literals, LSB first.
+struct BitVec {
+  std::vector<sat::Lit> bits;
+  bool is_signed = false;  // interpretation for extension/comparison
+
+  [[nodiscard]] int width() const { return static_cast<int>(bits.size()); }
+};
+
+/// Circuit builder over a SAT solver. All methods allocate fresh Tseitin
+/// variables as needed and add the defining clauses immediately.
+class BitBlaster {
+ public:
+  explicit BitBlaster(sat::Solver& solver);
+
+  sat::Solver& solver() { return solver_; }
+
+  /// Literals for the constants true/false.
+  [[nodiscard]] sat::Lit true_lit() const { return true_; }
+  [[nodiscard]] sat::Lit false_lit() const { return ~true_; }
+
+  /// Constant of the given width (two's complement).
+  BitVec constant(std::int64_t v, int width, bool is_signed);
+  /// Fresh unconstrained vector.
+  BitVec fresh(int width, bool is_signed);
+
+  // ------------------------------------------------------------- gates
+  sat::Lit and_gate(sat::Lit a, sat::Lit b);
+  sat::Lit or_gate(sat::Lit a, sat::Lit b);
+  sat::Lit xor_gate(sat::Lit a, sat::Lit b);
+  sat::Lit mux_gate(sat::Lit sel, sat::Lit t, sat::Lit f);
+
+  // ---------------------------------------------------------- word ops
+  /// Resizes to `width`: truncate or sign/zero-extend per a.is_signed.
+  BitVec resize(const BitVec& a, int width);
+  /// Re-tags signedness without changing bits.
+  static BitVec retag(BitVec a, bool is_signed) {
+    a.is_signed = is_signed;
+    return a;
+  }
+
+  BitVec add(const BitVec& a, const BitVec& b);
+  BitVec sub(const BitVec& a, const BitVec& b);
+  BitVec neg(const BitVec& a);
+  BitVec mul(const BitVec& a, const BitVec& b);
+  /// Division/remainder with mini-C total semantics.
+  BitVec div(const BitVec& a, const BitVec& b);
+  BitVec rem(const BitVec& a, const BitVec& b);
+
+  BitVec bit_and(const BitVec& a, const BitVec& b);
+  BitVec bit_or(const BitVec& a, const BitVec& b);
+  BitVec bit_xor(const BitVec& a, const BitVec& b);
+  BitVec bit_not(const BitVec& a);
+
+  /// Shifts by a (possibly signed) variable amount; amounts < 0 or >= width
+  /// produce 0 (shl, logical shr) or sign fill (arithmetic shr).
+  BitVec shl(const BitVec& a, const BitVec& amount);
+  BitVec shr(const BitVec& a, const BitVec& amount);
+
+  sat::Lit eq(const BitVec& a, const BitVec& b);
+  sat::Lit ne(const BitVec& a, const BitVec& b) { return ~eq(a, b); }
+  /// a < b respecting the (common) signedness of the operands.
+  sat::Lit lt(const BitVec& a, const BitVec& b);
+  sat::Lit le(const BitVec& a, const BitVec& b);
+
+  /// a != 0.
+  sat::Lit reduce_or(const BitVec& a);
+  BitVec mux(sat::Lit sel, const BitVec& t, const BitVec& f);
+
+  /// Bool (width 1) from a condition literal.
+  BitVec from_lit(sat::Lit l) { return BitVec{{l}, false}; }
+
+  /// Decodes a model value (after Sat) as a signed 64-bit integer.
+  [[nodiscard]] std::int64_t decode(const BitVec& a) const;
+
+ private:
+  /// (a + b + cin), returns sum bits and writes the final carry.
+  BitVec adder(const BitVec& a, const BitVec& b, sat::Lit cin,
+               sat::Lit* carry_out);
+  /// Unsigned comparison a < b via subtract borrow.
+  sat::Lit ult(const BitVec& a, const BitVec& b);
+  /// Unsigned restoring division; quotient and remainder of |width| bits.
+  void udivrem(const BitVec& a, const BitVec& b, BitVec* quot, BitVec* rem);
+  BitVec abs_value(const BitVec& a);
+
+  sat::Solver& solver_;
+  sat::Lit true_;
+};
+
+}  // namespace tmg::bmc

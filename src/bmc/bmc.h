@@ -1,0 +1,64 @@
+// Bounded model checking over transition systems: the engine that replaces
+// SAL in the paper's test-data generation flow (Section 3).
+//
+// The system is unrolled k steps with an explicit program counter; the
+// query constrains decision outcomes ("whenever decision D fires it takes
+// edge s") plus one must-take edge (the program segment's entry). A SAT
+// model yields the input assignment — the test datum; UNSAT at full depth
+// proves the path infeasible (complete for loop-free systems, which is what
+// the paper's generated automotive code is).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "tsys/tsys.h"
+
+namespace tmg::bmc {
+
+struct BmcOptions {
+  /// Unroll depth; 0 = automatic (num_locs + 1, sufficient and complete
+  /// for loop-free systems).
+  std::uint32_t max_steps = 0;
+  /// Conflict budget handed to the SAT solver; -1 = unlimited.
+  std::int64_t conflict_budget = -1;
+};
+
+/// What to search for.
+struct BmcQuery {
+  /// Decision policy: whenever the decision block of one of these edges
+  /// fires, it must take exactly this edge. (Loop-free systems hit each
+  /// decision at most once, making this equivalent to "the execution
+  /// follows the selected path".)
+  std::vector<cfg::EdgeRef> forced_choices;
+  /// An edge that must be taken at least once (e.g. the segment entry).
+  std::optional<cfg::EdgeRef> must_take;
+};
+
+enum class BmcStatus : std::uint8_t {
+  TestData,    // SAT: inputs found
+  Infeasible,  // UNSAT at complete depth
+  Unknown,     // budget exhausted
+};
+
+struct BmcResult {
+  BmcStatus status = BmcStatus::Unknown;
+  /// Value per transition-system variable at step 0 (only input variables
+  /// are meaningful test data; the rest document the witness).
+  std::vector<std::int64_t> initial_values;
+  /// Transitions executed until the final location, from the SAT model
+  /// (the paper's "steps" column in Table 2).
+  std::uint64_t steps = 0;
+  std::uint64_t unroll_depth = 0;
+  std::uint64_t cnf_vars = 0;
+  std::uint64_t cnf_clauses = 0;
+  std::uint64_t memory_bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Runs one query against one transition system.
+BmcResult solve(const tsys::TransitionSystem& ts, const BmcQuery& query,
+                const BmcOptions& opts = {});
+
+}  // namespace tmg::bmc

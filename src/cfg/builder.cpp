@@ -1,0 +1,410 @@
+// AST -> CFG lowering. See cfg.h for the block-shape rules that make the
+// paper's Table 1 reproducible.
+#include <cassert>
+
+#include "cfg/structure.h"
+
+namespace tmg::cfg {
+
+using minic::Stmt;
+using minic::StmtKind;
+
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(const minic::FunctionDef& fn)
+      : fn_(fn), out_(std::make_unique<FunctionCfg>(fn)) {}
+
+  std::unique_ptr<FunctionCfg> run() {
+    Cfg& g = out_->graph;
+    const BlockId start = g.add_block();  // block 0 = entry
+    const BlockId end = g.add_block();    // block 1 = exit
+    g.set_exit(end);
+    g.block(end).term = TermKind::Exit;
+    exit_ = end;
+
+    Arm& body = out_->body;
+    body.role = ArmRole::Function;
+    body.items.push_back(ArmItem{start, nullptr});
+
+    // start -> first real block
+    pending_.push_back(emit_edge(start, EdgeKind::Fall));
+    cur_ = kInvalidBlock;
+
+    build_into(body, *fn_.body);
+
+    // whatever dangles at the end of the body flows into the exit block
+    close_current();
+    patch_pending_to(end);
+    body.items.push_back(ArmItem{end, nullptr});
+
+    g.finalize();
+    return std::move(out_);
+  }
+
+ private:
+  // ------------------------------------------------------------ edge plumbing
+  EdgeRef emit_edge(BlockId from, EdgeKind kind, std::int64_t label = 0) {
+    BasicBlock& b = out_->graph.block(from);
+    b.succs.push_back(Edge{kInvalidBlock, kind, label, false});
+    return EdgeRef{from, static_cast<std::uint32_t>(b.succs.size() - 1)};
+  }
+
+  void patch(const EdgeRef& ref, BlockId to, bool back = false) {
+    Edge& e = out_->graph.block(ref.from).succs[ref.succ_index];
+    assert(e.to == kInvalidBlock && "edge patched twice");
+    e.to = to;
+    e.back = back;
+  }
+
+  void patch_pending_to(BlockId to) {
+    for (const EdgeRef& ref : pending_) patch(ref, to);
+    pending_.clear();
+  }
+
+  /// Ends the current statement block (if any) with a fall edge that joins
+  /// the pending set.
+  void close_current() {
+    if (cur_ == kInvalidBlock) return;
+    pending_.push_back(emit_edge(cur_, EdgeKind::Fall));
+    cur_ = kInvalidBlock;
+  }
+
+  /// Block to append straight-line statements to; creates it (and registers
+  /// it as an arm item) on demand.
+  BlockId stmt_block(Arm& arm, SourceLoc loc) {
+    if (cur_ != kInvalidBlock) return cur_;
+    const BlockId b = out_->graph.add_block();
+    out_->graph.block(b).loc = loc;
+    patch_pending_to(b);
+    arm.items.push_back(ArmItem{b, nullptr});
+    cur_ = b;
+    return b;
+  }
+
+  /// Fresh block holding exactly one decision. NOT an arm item — the
+  /// construct owns it.
+  BlockId decision_block(Arm& arm, SourceLoc loc) {
+    close_current();
+    const BlockId b = out_->graph.add_block();
+    out_->graph.block(b).loc = loc;
+    patch_pending_to(b);
+    (void)arm;
+    return b;
+  }
+
+  // ------------------------------------------------------------- statements
+  void build_into(Arm& arm, const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (const auto& inner : s.body)
+          if (inner) build_into(arm, *inner);
+        break;
+      case StmtKind::Empty:
+        break;
+      case StmtKind::Expr:
+      case StmtKind::Assign:
+      case StmtKind::Decl:
+        out_->graph.block(stmt_block(arm, s.loc)).stmts.push_back(&s);
+        break;
+      case StmtKind::Return: {
+        const BlockId b = stmt_block(arm, s.loc);
+        out_->graph.block(b).stmts.push_back(&s);
+        out_->graph.block(b).term = TermKind::Return;
+        patch(emit_edge(b, EdgeKind::Return), exit_);
+        cur_ = kInvalidBlock;
+        // pending_ stays empty: code after a return is unreachable and
+        // materialises as an entry-less block.
+        break;
+      }
+      case StmtKind::If:
+        build_if(arm, s);
+        break;
+      case StmtKind::While:
+        build_while(arm, s);
+        break;
+      case StmtKind::DoWhile:
+        build_do_while(arm, s);
+        break;
+      case StmtKind::Switch:
+        build_switch(arm, s);
+        break;
+      case StmtKind::Break:
+        close_current();
+        assert(!break_stack_.empty() && "sema guarantees placement");
+        for (const EdgeRef& ref : pending_) break_stack_.back()->push_back(ref);
+        pending_.clear();
+        break;
+      case StmtKind::Continue:
+        close_current();
+        assert(!continue_stack_.empty() && "sema guarantees placement");
+        for (const EdgeRef& ref : pending_)
+          continue_stack_.back()->push_back(ref);
+        pending_.clear();
+        break;
+    }
+  }
+
+  /// Builds the given statements as a fresh arm entered via `entry_edges`.
+  /// Returns the arm's dangling exits (pending edges at its end).
+  std::vector<EdgeRef> build_arm(Arm& arm,
+                                 const std::vector<const Stmt*>& stmts,
+                                 std::vector<EdgeRef> entry_edges) {
+    if (entry_edges.size() == 1) arm.entry = entry_edges[0];
+    arm.single_entry = entry_edges.size() <= 1;
+    pending_ = std::move(entry_edges);
+    cur_ = kInvalidBlock;
+    for (const Stmt* s : stmts)
+      if (s) build_into(arm, *s);
+    close_current();
+    return std::move(pending_);
+  }
+
+  std::vector<EdgeRef> build_arm(Arm& arm, const Stmt* stmt,
+                                 std::vector<EdgeRef> entry_edges) {
+    std::vector<const Stmt*> stmts;
+    if (stmt) stmts.push_back(stmt);
+    return build_arm(arm, stmts, std::move(entry_edges));
+  }
+
+  void build_if(Arm& arm, const Stmt& s) {
+    const BlockId d = decision_block(arm, s.loc);
+    BasicBlock& db = out_->graph.block(d);
+    db.term = TermKind::Branch;
+    db.decision = s.cond.get();
+
+    auto c = std::make_unique<Construct>();
+    c->kind = ConstructKind::If;
+    c->stmt = &s;
+    c->decision = d;
+
+    std::vector<EdgeRef> after;
+
+    c->arms.emplace_back();
+    c->arms.back().role = ArmRole::Then;
+    std::vector<EdgeRef> then_exits =
+        build_arm(c->arms.back(), s.body[0].get(), {emit_edge(d, EdgeKind::True)});
+    after.insert(after.end(), then_exits.begin(), then_exits.end());
+
+    const EdgeRef false_edge = emit_edge(d, EdgeKind::False);
+    if (s.body[1]) {
+      c->arms.emplace_back();
+      c->arms.back().role = ArmRole::Else;
+      std::vector<EdgeRef> else_exits =
+          build_arm(c->arms.back(), s.body[1].get(), {false_edge});
+      after.insert(after.end(), else_exits.begin(), else_exits.end());
+    } else {
+      after.push_back(false_edge);
+    }
+
+    arm.items.push_back(ArmItem{kInvalidBlock, std::move(c)});
+    pending_ = std::move(after);
+    cur_ = kInvalidBlock;
+  }
+
+  void build_while(Arm& arm, const Stmt& s) {
+    const BlockId d = decision_block(arm, s.loc);
+    BasicBlock& db = out_->graph.block(d);
+    db.term = TermKind::Branch;
+    db.decision = s.cond.get();
+
+    auto c = std::make_unique<Construct>();
+    c->kind = ConstructKind::While;
+    c->stmt = &s;
+    c->decision = d;
+    c->loop_bound = s.loop_bound;
+    c->loop_entry = d;
+
+    std::vector<EdgeRef> breaks;
+    std::vector<EdgeRef> continues;
+    break_stack_.push_back(&breaks);
+    continue_stack_.push_back(&continues);
+
+    c->arms.emplace_back();
+    Arm& body = c->arms.back();
+    body.role = ArmRole::LoopBody;
+    std::vector<EdgeRef> body_exits =
+        build_arm(body, s.body[0].get(), {emit_edge(d, EdgeKind::True)});
+
+    break_stack_.pop_back();
+    continue_stack_.pop_back();
+    c->loop_has_escape = !breaks.empty();
+
+    // The for-loop step (continue target) lives at the end of the body arm.
+    if (s.body[1]) {
+      pending_ = std::move(body_exits);
+      pending_.insert(pending_.end(), continues.begin(), continues.end());
+      continues.clear();
+      cur_ = kInvalidBlock;
+      build_into(body, *s.body[1]);
+      close_current();
+      body_exits = std::move(pending_);
+    } else {
+      body_exits.insert(body_exits.end(), continues.begin(), continues.end());
+    }
+
+    // Back edges to the loop header.
+    for (const EdgeRef& ref : body_exits) patch(ref, d, /*back=*/true);
+
+    pending_.clear();
+    pending_.push_back(emit_edge(d, EdgeKind::False));
+    pending_.insert(pending_.end(), breaks.begin(), breaks.end());
+    cur_ = kInvalidBlock;
+    arm.items.push_back(ArmItem{kInvalidBlock, std::move(c)});
+  }
+
+  void build_do_while(Arm& arm, const Stmt& s) {
+    // The body is entered by plain fall-in; the decision sits at the bottom.
+    close_current();
+    std::vector<EdgeRef> entry = std::move(pending_);
+    pending_.clear();
+
+    auto c = std::make_unique<Construct>();
+    c->kind = ConstructKind::DoWhile;
+    c->stmt = &s;
+    c->loop_bound = s.loop_bound;
+
+    std::vector<EdgeRef> breaks;
+    std::vector<EdgeRef> continues;
+    break_stack_.push_back(&breaks);
+    continue_stack_.push_back(&continues);
+
+    c->arms.emplace_back();
+    Arm& body = c->arms.back();
+    body.role = ArmRole::LoopBody;
+    std::vector<EdgeRef> body_exits =
+        build_arm(body, s.body[0].get(), std::move(entry));
+
+    break_stack_.pop_back();
+    continue_stack_.pop_back();
+    c->loop_has_escape = !breaks.empty();
+
+    // Decision block at the bottom; body exits and continues flow into it.
+    pending_ = std::move(body_exits);
+    pending_.insert(pending_.end(), continues.begin(), continues.end());
+    cur_ = kInvalidBlock;
+    const BlockId d = out_->graph.add_block();
+    out_->graph.block(d).loc = s.loc;
+    patch_pending_to(d);
+    BasicBlock& db = out_->graph.block(d);
+    db.term = TermKind::Branch;
+    db.decision = s.cond.get();
+    c->decision = d;
+
+    // Back edge: decision true -> first body block (or itself for an
+    // empty body: `do {} while(c)` is a self-loop on the decision).
+    BlockId body_first = arm_entry_block(body);
+    if (body_first == kInvalidBlock) body_first = d;
+    c->loop_entry = body_first;
+    patch(emit_edge(d, EdgeKind::True), body_first, /*back=*/true);
+
+    pending_.clear();
+    pending_.push_back(emit_edge(d, EdgeKind::False));
+    pending_.insert(pending_.end(), breaks.begin(), breaks.end());
+    arm.items.push_back(ArmItem{kInvalidBlock, std::move(c)});
+  }
+
+  void build_switch(Arm& arm, const Stmt& s) {
+    const BlockId d = decision_block(arm, s.loc);
+    BasicBlock& db = out_->graph.block(d);
+    db.term = TermKind::Switch;
+    db.decision = s.cond.get();
+
+    auto c = std::make_unique<Construct>();
+    c->kind = ConstructKind::Switch;
+    c->stmt = &s;
+    c->decision = d;
+
+    std::vector<EdgeRef> breaks;
+    break_stack_.push_back(&breaks);
+
+    std::vector<EdgeRef> fallthrough;  // dangling exits of the previous arm
+    bool prev_arm_nonempty_fell = false;
+    for (const minic::SwitchCase& sc : s.cases) {
+      std::vector<EdgeRef> entries;
+      if (sc.label.has_value() || sc.label_expr) {
+        entries.push_back(emit_edge(d, EdgeKind::Case,
+                                    sc.label.value_or(0)));
+      } else {
+        entries.push_back(emit_edge(d, EdgeKind::Default));
+        c->has_default = true;
+      }
+      const bool falls_in = !fallthrough.empty();
+      entries.insert(entries.end(), fallthrough.begin(), fallthrough.end());
+      fallthrough.clear();
+
+      c->arms.emplace_back();
+      Arm& a = c->arms.back();
+      a.role = sc.label_expr || sc.label.has_value() ? ArmRole::Case
+                                                     : ArmRole::Default;
+      a.case_label = sc.label;
+      std::vector<const Stmt*> body_stmts;
+      body_stmts.reserve(sc.body.size());
+      for (const auto& inner : sc.body) body_stmts.push_back(inner.get());
+      fallthrough = build_arm(a, body_stmts, std::move(entries));
+      if (falls_in) {
+        a.single_entry = false;
+        // Fallthrough out of an *empty* arm is mere label aliasing
+        // (`case 1: case 2: body`); only a non-empty arm spilling into the
+        // next one is real control-flow fallthrough.
+        if (prev_arm_nonempty_fell) c->has_fallthrough = true;
+      }
+      prev_arm_nonempty_fell = !a.empty() && !fallthrough.empty();
+    }
+
+    break_stack_.pop_back();
+
+    // No default: the selector may match nothing and skip the switch.
+    if (!c->has_default) breaks.push_back(emit_edge(d, EdgeKind::Default));
+    // Trailing fallthrough exits the switch.
+    breaks.insert(breaks.end(), fallthrough.begin(), fallthrough.end());
+
+    pending_ = std::move(breaks);
+    cur_ = kInvalidBlock;
+    arm.items.push_back(ArmItem{kInvalidBlock, std::move(c)});
+  }
+
+  const minic::FunctionDef& fn_;
+  std::unique_ptr<FunctionCfg> out_;
+  BlockId exit_ = kInvalidBlock;
+
+  BlockId cur_ = kInvalidBlock;
+  std::vector<EdgeRef> pending_;
+  std::vector<std::vector<EdgeRef>*> break_stack_;
+  std::vector<std::vector<EdgeRef>*> continue_stack_;
+};
+
+}  // namespace
+
+void Arm::collect_blocks(std::vector<BlockId>& out) const {
+  for (const ArmItem& item : items) {
+    if (item.is_block())
+      out.push_back(item.block);
+    else
+      item.construct->collect_blocks(out);
+  }
+}
+
+void Construct::collect_blocks(std::vector<BlockId>& out) const {
+  out.push_back(decision);
+  for (const Arm& a : arms) a.collect_blocks(out);
+}
+
+BlockId arm_entry_block(const Arm& arm) {
+  if (arm.items.empty()) return kInvalidBlock;
+  const ArmItem& first = arm.items.front();
+  if (first.is_block()) return first.block;
+  const Construct& c = *first.construct;
+  if (c.kind == ConstructKind::DoWhile) {
+    const BlockId body = arm_entry_block(c.arms[0]);
+    return body != kInvalidBlock ? body : c.decision;
+  }
+  return c.decision;
+}
+
+std::unique_ptr<FunctionCfg> build_cfg(const minic::FunctionDef& fn) {
+  return Builder(fn).run();
+}
+
+}  // namespace tmg::cfg

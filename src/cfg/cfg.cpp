@@ -1,0 +1,120 @@
+#include "cfg/cfg.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+#include "minic/printer.h"
+
+namespace tmg::cfg {
+
+std::string edge_kind_name(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::Fall: return "fall";
+    case EdgeKind::True: return "true";
+    case EdgeKind::False: return "false";
+    case EdgeKind::Case: return "case";
+    case EdgeKind::Default: return "default";
+    case EdgeKind::Return: return "return";
+  }
+  return "?";
+}
+
+void Cfg::finalize() {
+  preds_.assign(blocks_.size(), {});
+  for (const BasicBlock& b : blocks_) {
+    for (const Edge& e : b.succs) {
+      assert(e.to != kInvalidBlock && "unpatched edge at finalize()");
+      preds_[e.to].push_back(b.id);
+    }
+  }
+}
+
+std::vector<BlockId> Cfg::topo_order() const {
+  // Reverse post-order DFS ignoring Back edges; deterministic (successor
+  // order = edge order).
+  std::vector<BlockId> post;
+  std::vector<std::uint8_t> state(blocks_.size(), 0);
+  std::function<void(BlockId)> dfs = [&](BlockId v) {
+    state[v] = 1;
+    for (const Edge& e : blocks_[v].succs) {
+      if (e.back) continue;
+      if (e.to != kInvalidBlock && state[e.to] == 0) dfs(e.to);
+    }
+    state[v] = 2;
+    post.push_back(v);
+  };
+  dfs(entry());
+  // include unreachable blocks at the end for completeness
+  for (BlockId b = 0; b < blocks_.size(); ++b)
+    if (state[b] == 0) dfs(b);
+  return {post.rbegin(), post.rend()};
+}
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(blocks_.size(), false);
+  std::vector<BlockId> stack{entry()};
+  seen[entry()] = true;
+  while (!stack.empty()) {
+    const BlockId v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : blocks_[v].succs) {
+      if (e.to != kInvalidBlock && !seen[e.to]) {
+        seen[e.to] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::size_t Cfg::decision_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks_)
+    if (b.is_decision()) ++n;
+  return n;
+}
+
+std::string Cfg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << function_name_ << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const BasicBlock& b : blocks_) {
+    os << "  b" << b.id << " [label=\"#" << b.id;
+    if (b.id == entry()) os << " (start)";
+    if (b.id == exit_block()) os << " (end)";
+    if (b.loc.valid()) os << " @" << b.loc.line;
+    for (const minic::Stmt* s : b.stmts) {
+      std::string text = minic::print_stmt(*s, 0);
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      // keep labels one-line
+      for (char& c : text)
+        if (c == '\n' || c == '"') c = ' ';
+      os << "\\n" << text;
+    }
+    if (b.decision) {
+      std::string text = minic::print_expr(*b.decision);
+      for (char& c : text)
+        if (c == '"') c = '\'';
+      os << "\\n[" << (b.term == TermKind::Switch ? "switch " : "if ") << text
+         << "]";
+    }
+    os << "\"];\n";
+  }
+  for (const BasicBlock& b : blocks_) {
+    for (const Edge& e : b.succs) {
+      os << "  b" << b.id << " -> b" << e.to << " [label=\"";
+      if (e.kind == EdgeKind::Case)
+        os << "case " << e.case_label;
+      else if (e.kind != EdgeKind::Fall)
+        os << edge_kind_name(e.kind);
+      os << "\"";
+      if (e.back) os << ", style=dashed";
+      os << "];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tmg::cfg

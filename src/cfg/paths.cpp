@@ -1,0 +1,301 @@
+#include "cfg/paths.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tmg::cfg {
+
+namespace {
+
+/// Geometric series sum_{k=kmin..n} p^k with saturation.
+PathCount geometric_sum(const PathCount& p, std::uint32_t kmin,
+                        std::uint32_t n) {
+  if (n < kmin) return PathCount(0);
+  // Closed form in log space for large n (or saturated p): the sum is
+  // dominated by p^n * p/(p-1) when p > 1.
+  const bool p_is_one = !p.saturated() && p.exact() == 1;
+  if (p_is_one) return PathCount(n - kmin + 1);
+  const bool p_is_zero = !p.saturated() && p.exact() == 0;
+  if (p_is_zero) return kmin == 0 ? PathCount(1) : PathCount(0);
+  if (p.saturated() || n > 10000) {
+    const double lp = p.log2();
+    const double head = lp * static_cast<double>(n);
+    // log2(p/(p-1)) <= 1 for p >= 2; bounded correction term.
+    const double corr = std::log2(1.0 / (1.0 - std::exp2(-lp)));
+    PathCount r = PathCount::from_log2(head + corr);
+    return r;
+  }
+  PathCount term(1);
+  PathCount sum(0);
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    if (k >= kmin) sum += term;
+    if (k < n) term *= p;
+    if (sum.saturated() && term.saturated()) break;
+  }
+  return sum;
+}
+
+}  // namespace
+
+PathCount unbounded_paths() {
+  // Large enough to exceed any practical path bound; finite so the log-
+  // domain arithmetic stays well behaved.
+  return PathCount::from_log2(65536.0);
+}
+
+PathAnalysis::PathAnalysis(const FunctionCfg& f) : f_(f) {
+  condense(f.body);  // post-order: inner loops are condensed first
+}
+
+void PathAnalysis::condense(const Arm& arm) {
+  for (const ArmItem& item : arm.items)
+    if (!item.is_block()) condense(*item.construct);
+}
+
+void PathAnalysis::condense(const Construct& c) {
+  for (const Arm& a : c.arms) condense(a);
+  if (c.kind != ConstructKind::While && c.kind != ConstructKind::DoWhile)
+    return;
+
+  CondensedLoop loop;
+  loop.entry = c.loop_entry;
+  loop.members.push_back(c.decision);
+  c.arms[0].collect_blocks(loop.members);
+
+  // Exit: the decision's False edge target.
+  for (const Edge& e : f_.graph.block(c.decision).succs)
+    if (e.kind == EdgeKind::False) loop.exit_target = e.to;
+
+  if (!c.loop_bound || c.loop_has_escape) {
+    loop.unbounded = true;
+    loop.factor = unbounded_paths();
+  } else {
+    loop.bound = *c.loop_bound;
+    // Paths of one body iteration (body entry -> back to the decision).
+    PathCount body_paths(1);
+    const BlockId body_entry =
+        c.kind == ConstructKind::While
+            ? [&] {
+                for (const Edge& e : f_.graph.block(c.decision).succs)
+                  if (e.kind == EdgeKind::True) return e.to;
+                return kInvalidBlock;
+              }()
+            : c.loop_entry;
+    if (body_entry != kInvalidBlock && body_entry != c.decision) {
+      std::vector<BlockId> body_scope;
+      c.arms[0].collect_blocks(body_scope);
+      body_paths = count_scope(body_entry, body_scope);
+    }
+    if (c.kind == ConstructKind::While) {
+      loop.factor = geometric_sum(body_paths, 0, loop.bound);
+    } else {
+      const std::uint32_t n = std::max<std::uint32_t>(loop.bound, 1);
+      loop.factor = geometric_sum(body_paths, 1, n);
+    }
+  }
+  loops_.emplace(loop.entry, std::move(loop));
+}
+
+const CondensedLoop* PathAnalysis::loop_at(BlockId header) const {
+  auto it = loops_.find(header);
+  return it == loops_.end() ? nullptr : &it->second;
+}
+
+PathCount PathAnalysis::count_scope(
+    BlockId entry, const std::vector<BlockId>& scope) const {
+  if (entry == kInvalidBlock) return PathCount(1);
+  std::unordered_set<BlockId> in_scope(scope.begin(), scope.end());
+
+  // Blocks consumed by a condensed loop are not traversed individually.
+  std::unordered_set<BlockId> loop_member;
+  for (const auto& [header, loop] : loops_) {
+    if (!in_scope.count(header)) continue;
+    for (BlockId b : loop.members)
+      if (b != header) loop_member.insert(b);
+  }
+
+  std::unordered_map<BlockId, PathCount> count;
+  count[entry] = PathCount(1);
+  PathCount exit_total(0);
+
+  for (BlockId b : f_.graph.topo_order()) {
+    if (!in_scope.count(b)) continue;
+    auto it = count.find(b);
+    if (it == count.end()) continue;
+    const PathCount flow = it->second;
+    const bool is_zero = !flow.saturated() && flow.exact() == 0;
+    if (is_zero) continue;
+
+    if (const CondensedLoop* loop = loop_at(b)) {
+      const PathCount out = flow * loop->factor;
+      if (loop->exit_target != kInvalidBlock &&
+          in_scope.count(loop->exit_target) &&
+          !loop_member.count(loop->exit_target))
+        count[loop->exit_target] += out;
+      else
+        exit_total += out;
+      continue;
+    }
+    if (loop_member.count(b)) continue;  // inside a condensed loop
+
+    const BasicBlock& blk = f_.graph.block(b);
+    if (blk.term == TermKind::Exit) {
+      exit_total += flow;
+      continue;
+    }
+    for (const Edge& e : blk.succs) {
+      if (e.back) {
+        // A back edge leaving a non-condensed context: treat as an exit
+        // (defensive; should not occur for well-formed scopes).
+        exit_total += flow;
+        continue;
+      }
+      if (in_scope.count(e.to) && !loop_member.count(e.to))
+        count[e.to] += flow;
+      else if (in_scope.count(e.to) && loop_member.count(e.to))
+        exit_total += flow;  // flowing into a condensed region mid-loop
+      else
+        exit_total += flow;
+    }
+  }
+  return exit_total;
+}
+
+PathCount PathAnalysis::arm_paths(const Arm& arm) const {
+  if (arm.empty()) return PathCount(1);
+  return count_scope(arm_entry_block(arm), arm.blocks());
+}
+
+PathCount PathAnalysis::construct_paths(const Construct& c) const {
+  std::vector<BlockId> scope;
+  c.collect_blocks(scope);
+  const BlockId entry = (c.kind == ConstructKind::DoWhile)
+                            ? c.loop_entry
+                            : c.decision;
+  return count_scope(entry, scope);
+}
+
+PathCount PathAnalysis::function_paths() const {
+  return arm_paths(f_.body);
+}
+
+// ----------------------------------------------------------- enumeration
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const FunctionCfg& f, std::unordered_set<BlockId> scope,
+             std::size_t limit, std::vector<PathSpec>& out)
+      : f_(f), scope_(std::move(scope)), limit_(limit), out_(out) {}
+
+  bool run(BlockId entry) {
+    if (entry == kInvalidBlock || !scope_.count(entry)) {
+      out_.push_back(PathSpec{});  // the single empty path
+      return true;
+    }
+    PathSpec current;
+    return walk(entry, current);
+  }
+
+ private:
+  // Returns false when the limit was hit (enumeration incomplete).
+  bool walk(BlockId b, PathSpec& path) {
+    path.blocks.push_back(b);
+    const BasicBlock& blk = f_.graph.block(b);
+    bool complete = true;
+    if (blk.term == TermKind::Exit || blk.succs.empty()) {
+      complete = emit(path);
+    } else {
+      const bool is_decision = blk.is_decision();
+      for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
+        const Edge& e = blk.succs[i];
+        if (e.back) {
+          // Budget is shared by every back edge returning to this header
+          // (normal body end, `continue`, ...).
+          auto& taken = back_taken_[e.to];
+          const std::uint32_t bound = back_bound(e.to);
+          if (taken >= bound) continue;
+          ++taken;
+          if (is_decision) path.choices.push_back(EdgeRef{b, i});
+          complete = walk(e.to, path) && complete;
+          if (is_decision) path.choices.pop_back();
+          --taken;
+        } else if (scope_.count(e.to)) {
+          if (is_decision) path.choices.push_back(EdgeRef{b, i});
+          complete = walk(e.to, path) && complete;
+          if (is_decision) path.choices.pop_back();
+        } else {
+          // Edge leaves the scope: the path ends here.
+          if (is_decision) path.choices.push_back(EdgeRef{b, i});
+          complete = emit(path) && complete;
+          if (is_decision) path.choices.pop_back();
+        }
+        if (!complete && out_.size() >= limit_) break;
+      }
+    }
+    path.blocks.pop_back();
+    return complete;
+  }
+
+  bool emit(const PathSpec& path) {
+    if (out_.size() >= limit_) return false;
+    out_.push_back(path);
+    return true;
+  }
+
+  /// Back-edge budget: how often back edges to `header` may be traversed.
+  std::uint32_t back_bound(BlockId header) {
+    auto it = bounds_.find(header);
+    if (it != bounds_.end()) return it->second;
+    return 0;
+  }
+
+ public:
+  /// Registers the iteration bound for a loop header (set by the caller
+  /// from the structure tree before running).
+  void set_bound(BlockId header, std::uint32_t bound) {
+    bounds_[header] = bound;
+  }
+
+ private:
+  const FunctionCfg& f_;
+  std::unordered_set<BlockId> scope_;
+  std::size_t limit_;
+  std::vector<PathSpec>& out_;
+  std::unordered_map<BlockId, std::uint32_t> back_taken_;
+  std::unordered_map<BlockId, std::uint32_t> bounds_;
+};
+
+void collect_loop_bounds(const Arm& arm, Enumerator& e);
+
+void collect_loop_bounds(const Construct& c, Enumerator& e) {
+  if (c.kind == ConstructKind::While || c.kind == ConstructKind::DoWhile) {
+    // Header of the back edge: the block back edges point to. A while body
+    // runs once per back-edge traversal; a do-while body runs once more
+    // than its back edge is taken, so its budget is bound - 1.
+    const BlockId header =
+        c.kind == ConstructKind::While ? c.decision : c.loop_entry;
+    std::uint32_t budget = c.loop_bound.value_or(0);
+    if (c.kind == ConstructKind::DoWhile && budget > 0) --budget;
+    e.set_bound(header, budget);
+  }
+  for (const Arm& a : c.arms) collect_loop_bounds(a, e);
+}
+
+void collect_loop_bounds(const Arm& arm, Enumerator& e) {
+  for (const ArmItem& item : arm.items)
+    if (!item.is_block()) collect_loop_bounds(*item.construct, e);
+}
+
+}  // namespace
+
+bool enumerate_paths(const FunctionCfg& f, BlockId entry,
+                     const std::vector<BlockId>& scope, std::size_t limit,
+                     std::vector<PathSpec>& out) {
+  Enumerator e(f, {scope.begin(), scope.end()}, limit, out);
+  collect_loop_bounds(f.body, e);
+  return e.run(entry);
+}
+
+}  // namespace tmg::cfg

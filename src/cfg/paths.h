@@ -1,0 +1,78 @@
+// Path counting and path enumeration over structure-tree regions.
+//
+// Counting is exact for arbitrary nestings of if/switch (including case
+// fallthrough and break) and for loops whose body contains no
+// break/continue: a loop is condensed to a super-node whose path factor is
+// the geometric series sum_k P^k over its iteration bound. Loops without a
+// __loopbound annotation, or with escaping control flow, count as
+// "unbounded" — the partitioner then always decomposes them.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/structure.h"
+#include "support/path_count.h"
+
+namespace tmg::cfg {
+
+/// A PathCount that exceeds every practical bound; used for loops that
+/// cannot be counted (no bound / escaping control flow).
+PathCount unbounded_paths();
+
+/// One concrete control path through a region: the block sequence plus the
+/// decision edges taken (in execution order).
+struct PathSpec {
+  std::vector<BlockId> blocks;
+  std::vector<EdgeRef> choices;
+};
+
+/// Precomputes loop condensation factors for one function, then answers
+/// path-count queries for any structure region.
+class PathAnalysis {
+ public:
+  explicit PathAnalysis(const FunctionCfg& f);
+
+  /// Paths through an arm, from its entry to any edge leaving it.
+  [[nodiscard]] PathCount arm_paths(const Arm& arm) const;
+  /// Paths through a construct (decision block included).
+  [[nodiscard]] PathCount construct_paths(const Construct& c) const;
+  /// End-to-end paths through the whole function.
+  [[nodiscard]] PathCount function_paths() const;
+
+  /// Paths from `entry` through the given block scope to any edge leaving
+  /// the scope. Nested loops inside the scope are condensed.
+  [[nodiscard]] PathCount count_scope(BlockId entry,
+                                      const std::vector<BlockId>& scope) const;
+
+  /// Iteration bound of the loop headed at `header` (loop_entry block);
+  /// 0 if the block heads no condensed loop.
+  [[nodiscard]] const struct CondensedLoop* loop_at(BlockId header) const;
+
+ private:
+  void condense(const Arm& arm);
+  void condense(const Construct& c);
+
+  const FunctionCfg& f_;
+  std::unordered_map<BlockId, struct CondensedLoop> loops_;
+};
+
+/// A loop collapsed to a single node for DAG-style counting.
+struct CondensedLoop {
+  BlockId entry = kInvalidBlock;   // decision (while) / first body block
+  BlockId exit_target = kInvalidBlock;  // target of the decision's False edge
+  PathCount factor;                // paths through the whole loop
+  std::uint32_t bound = 0;         // iteration bound (0 = unbounded)
+  bool unbounded = false;
+  std::vector<BlockId> members;    // all blocks of the loop (incl. decision)
+};
+
+/// Enumerates up to `limit` paths through the scope (loops unrolled up to
+/// their bounds). Returns true when the enumeration is complete (all paths
+/// emitted), false when it was truncated at `limit`.
+bool enumerate_paths(const FunctionCfg& f, BlockId entry,
+                     const std::vector<BlockId>& scope, std::size_t limit,
+                     std::vector<PathSpec>& out);
+
+}  // namespace tmg::cfg

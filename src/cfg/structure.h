@@ -1,0 +1,111 @@
+// AST-directed structure tree over the CFG.
+//
+// The paper partitions "following the abstract syntax tree": the candidates
+// for program segments are exactly the structure-tree regions — branch arms,
+// case bodies, loop bodies and the function itself. Each Arm is a sequence
+// of items (plain blocks or nested constructs); each Construct owns its
+// decision block and its arms.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "support/path_count.h"
+
+namespace tmg::cfg {
+
+struct Construct;
+
+/// One element of an arm's statement sequence.
+struct ArmItem {
+  BlockId block = kInvalidBlock;         // set when this item is a block
+  std::unique_ptr<Construct> construct;  // set when this item is nested
+
+  [[nodiscard]] bool is_block() const { return construct == nullptr; }
+};
+
+/// Role of an arm within its parent construct (or the function).
+enum class ArmRole : std::uint8_t {
+  Function,  // the whole function body
+  Then,
+  Else,
+  Case,
+  Default,
+  LoopBody,
+};
+
+/// A single-entry region candidate: a sequence of statements lowered to
+/// blocks and nested constructs.
+struct Arm {
+  ArmRole role = ArmRole::Function;
+  std::vector<ArmItem> items;
+
+  /// The unique control edge entering this arm (nullopt for the function
+  /// arm, whose entry is virtual, and for empty arms).
+  std::optional<EdgeRef> entry;
+  /// False when the arm can be entered by more than one edge (switch-case
+  /// fallthrough); such arms are never program segments.
+  bool single_entry = true;
+  /// Case arms: the (folded) label; nullopt for default arms.
+  std::optional<std::int64_t> case_label;
+
+  [[nodiscard]] bool empty() const { return items.empty(); }
+
+  /// All blocks covered by the arm, recursively, in construction order.
+  void collect_blocks(std::vector<BlockId>& out) const;
+  [[nodiscard]] std::vector<BlockId> blocks() const {
+    std::vector<BlockId> out;
+    collect_blocks(out);
+    return out;
+  }
+};
+
+/// Kind of nested construct.
+enum class ConstructKind : std::uint8_t { If, While, DoWhile, Switch };
+
+/// A branching statement: its decision block plus its arms.
+struct Construct {
+  ConstructKind kind = ConstructKind::If;
+  const minic::Stmt* stmt = nullptr;  // the originating AST statement
+  BlockId decision = kInvalidBlock;
+  /// If: [then] or [then, else]. Loops: [body]. Switch: case arms in
+  /// source order (default arm included at its source position).
+  std::vector<Arm> arms;
+
+  /// Loops: iteration bound from __loopbound (nullopt = unbounded).
+  std::optional<std::uint32_t> loop_bound;
+  /// Loops: body contains break/continue (path counting then saturates).
+  bool loop_has_escape = false;
+  /// Switch: some non-empty arm falls through into the next arm.
+  bool has_fallthrough = false;
+  /// Switch: an explicit default arm exists.
+  bool has_default = false;
+  /// Loops: entry block of the condensed region (decision for while,
+  /// first body block for do-while).
+  BlockId loop_entry = kInvalidBlock;
+
+  void collect_blocks(std::vector<BlockId>& out) const;
+};
+
+/// A function's CFG together with its structure tree.
+struct FunctionCfg {
+  const minic::FunctionDef* fn = nullptr;
+  Cfg graph;
+  Arm body;  // role == Function; includes the start and end blocks as items
+
+  explicit FunctionCfg(const minic::FunctionDef& f)
+      : fn(&f), graph(f.name) {}
+};
+
+/// First block control enters when executing the arm: the leading block
+/// item, or the entry block of the leading construct (decision block, or
+/// first body block for do-while). kInvalidBlock for empty arms.
+BlockId arm_entry_block(const Arm& arm);
+
+/// Lowers one function to CFG + structure tree. The function must have been
+/// semantically analysed.
+std::unique_ptr<FunctionCfg> build_cfg(const minic::FunctionDef& fn);
+
+}  // namespace tmg::cfg

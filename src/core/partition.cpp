@@ -1,0 +1,164 @@
+#include "core/partition.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace tmg::core {
+
+using cfg::Arm;
+using cfg::ArmItem;
+using cfg::BlockId;
+using cfg::Construct;
+using cfg::FunctionCfg;
+using cfg::PathAnalysis;
+
+namespace {
+
+class Partitioner {
+ public:
+  Partitioner(const FunctionCfg& f, const PathAnalysis& pa,
+              const PartitionOptions& opts)
+      : f_(f), pa_(pa), opts_(opts) {}
+
+  Partition run() {
+    Partition out;
+    out.path_bound = opts_.path_bound;
+    result_ = &out;
+
+    const PathCount total = pa_.function_paths();
+    if (total.le(opts_.path_bound)) {
+      Segment s;
+      s.kind = SegmentKind::Region;
+      s.region = &f_.body;
+      s.blocks = f_.body.blocks();
+      s.paths = total;
+      s.whole_function = true;
+      emit(std::move(s));
+    } else {
+      visit_arm(f_.body);
+    }
+    return out;
+  }
+
+ private:
+  void emit(Segment s) {
+    s.id = static_cast<std::uint32_t>(result_->segments.size());
+    result_->segments.push_back(std::move(s));
+  }
+
+  void emit_block(BlockId b) {
+    Segment s;
+    s.kind = SegmentKind::Block;
+    s.block = b;
+    s.blocks = {b};
+    s.paths = PathCount(1);
+    emit(std::move(s));
+  }
+
+  /// Decomposes an arm: plain blocks and decision blocks become block
+  /// segments; sub-arms are merged when small enough, else recursed into.
+  void visit_arm(const Arm& arm) {
+    for (const ArmItem& item : arm.items) {
+      if (item.is_block()) {
+        emit_block(item.block);
+        continue;
+      }
+      const Construct& c = *item.construct;
+      emit_block(c.decision);
+      for (const Arm& sub : c.arms) {
+        if (sub.empty()) continue;  // contributes a path but no blocks
+        const PathCount paths = pa_.arm_paths(sub);
+        if (sub.single_entry && paths.le(opts_.path_bound)) {
+          Segment s;
+          s.kind = SegmentKind::Region;
+          s.region = &sub;
+          s.blocks = sub.blocks();
+          s.paths = paths;
+          emit(std::move(s));
+        } else {
+          visit_arm(sub);
+        }
+      }
+    }
+  }
+
+  const FunctionCfg& f_;
+  const PathAnalysis& pa_;
+  PartitionOptions opts_;
+  Partition* result_ = nullptr;
+};
+
+}  // namespace
+
+Partition partition_function(const FunctionCfg& f, const PathAnalysis& pa,
+                             const PartitionOptions& opts) {
+  return Partitioner(f, pa, opts).run();
+}
+
+std::uint64_t fused_instrumentation_points(const FunctionCfg& f,
+                                           const Partition& p) {
+  // A marker site is a control edge carrying at least one begin or end
+  // marker; begin markers sit on the edges entering a segment, end markers
+  // on the edges leaving it. The virtual edges into the function entry and
+  // out of the function exit each count as one site.
+  std::set<std::pair<BlockId, std::uint32_t>> sites;
+  bool function_entry_site = false;
+  bool function_exit_site = false;
+
+  for (const Segment& s : p.segments) {
+    std::unordered_set<BlockId> members(s.blocks.begin(), s.blocks.end());
+    for (BlockId b : s.blocks) {
+      // entering edges: predecessors outside the segment
+      for (BlockId pred : f.graph.preds()[b]) {
+        if (members.count(pred)) continue;
+        const auto& succs = f.graph.block(pred).succs;
+        for (std::uint32_t i = 0; i < succs.size(); ++i)
+          if (succs[i].to == b) sites.insert({pred, i});
+      }
+      if (b == f.graph.entry()) function_entry_site = true;
+      // leaving edges
+      const auto& succs = f.graph.block(b).succs;
+      for (std::uint32_t i = 0; i < succs.size(); ++i)
+        if (!members.count(succs[i].to)) sites.insert({b, i});
+      if (b == f.graph.exit_block()) function_exit_site = true;
+    }
+  }
+  return sites.size() + (function_entry_site ? 1 : 0) +
+         (function_exit_site ? 1 : 0);
+}
+
+std::string validate_partition(const FunctionCfg& f, const Partition& p) {
+  std::ostringstream err;
+  // 1. coverage: every reachable block in exactly one segment
+  std::vector<int> covered(f.graph.size(), 0);
+  for (const Segment& s : p.segments)
+    for (BlockId b : s.blocks) ++covered[b];
+  const auto reach = f.graph.reachable();
+  for (BlockId b = 0; b < f.graph.size(); ++b) {
+    if (reach[b] && covered[b] != 1) {
+      err << "block " << b << " covered " << covered[b] << " times; ";
+    }
+  }
+  // 2. single entry for region segments
+  for (const Segment& s : p.segments) {
+    if (s.kind != SegmentKind::Region || s.whole_function) continue;
+    std::unordered_set<BlockId> members(s.blocks.begin(), s.blocks.end());
+    const BlockId first = cfg::arm_entry_block(*s.region);
+    std::size_t external_edges = 0;
+    for (BlockId b : s.blocks) {
+      for (BlockId pred : f.graph.preds()[b]) {
+        if (members.count(pred)) continue;
+        const auto& succs = f.graph.block(pred).succs;
+        for (const auto& e : succs)
+          if (e.to == b && !e.back) ++external_edges;
+      }
+    }
+    if (external_edges != 1)
+      err << "segment " << s.id << " (entry block " << first << ") has "
+          << external_edges << " entry edges; ";
+  }
+  return err.str();
+}
+
+}  // namespace tmg::core

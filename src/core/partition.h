@@ -1,0 +1,36 @@
+// The paper's CFG partitioning algorithm (Section 2.2).
+//
+// Top-down over the structure tree: a region whose internal path count is
+// <= the bound b becomes one segment (measured as a whole); otherwise it is
+// decomposed — its plain blocks and decision blocks become block segments
+// and its sub-arms are processed recursively.
+#pragma once
+
+#include "core/segment.h"
+
+namespace tmg::core {
+
+struct PartitionOptions {
+  /// The path bound b: regions with at most this many paths are measured
+  /// as a whole.
+  std::uint64_t path_bound = 1;
+};
+
+/// Partitions one function. `pa` must be a PathAnalysis over `f`.
+Partition partition_function(const cfg::FunctionCfg& f,
+                             const cfg::PathAnalysis& pa,
+                             const PartitionOptions& opts);
+
+/// Number of distinct physical instrumentation sites after fusing markers
+/// that fall on the same control edge (the paper's footnote 1: consecutive
+/// begin/end points merge, ~ip/2 + 1 for chains).
+std::uint64_t fused_instrumentation_points(const cfg::FunctionCfg& f,
+                                           const Partition& p);
+
+/// Checks the PS invariant: every emitted Region segment is entered by
+/// exactly one control edge from outside its block set, and the segments
+/// cover every reachable block exactly once. Returns an empty string when
+/// valid, else a description of the violation. Used by tests and asserts.
+std::string validate_partition(const cfg::FunctionCfg& f, const Partition& p);
+
+}  // namespace tmg::core

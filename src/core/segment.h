@@ -1,0 +1,59 @@
+// Program segments: the units of the paper's execution-time model.
+//
+// A program segment (PS) is a subgraph of the CFG entered via a single
+// control edge; a structured PS (SPS) additionally has a single exit edge.
+// The partitioner emits two kinds of segments: whole structure-tree regions
+// (measured path-by-path) and single basic blocks (the smallest PS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/paths.h"
+#include "cfg/structure.h"
+#include "support/path_count.h"
+
+namespace tmg::core {
+
+enum class SegmentKind : std::uint8_t {
+  Block,   // one basic block
+  Region,  // a whole structure-tree arm (or the whole function)
+};
+
+/// One measured unit. Instrumentation cost is two points (begin/end);
+/// measurement cost is one run per path through the segment.
+struct Segment {
+  std::uint32_t id = 0;
+  SegmentKind kind = SegmentKind::Block;
+
+  /// Region segments: the arm measured as a whole (nullptr for Block
+  /// segments). Whole-function segments point at FunctionCfg::body.
+  const cfg::Arm* region = nullptr;
+  /// Block segments: the measured block.
+  cfg::BlockId block = cfg::kInvalidBlock;
+
+  /// All blocks covered by this segment.
+  std::vector<cfg::BlockId> blocks;
+  /// Structural paths through the segment == measurements needed.
+  PathCount paths;
+  bool whole_function = false;
+};
+
+/// Result of partitioning one function at a given path bound.
+struct Partition {
+  std::uint64_t path_bound = 0;
+  std::vector<Segment> segments;
+
+  /// ip — the paper counts two instrumentation points per segment.
+  [[nodiscard]] std::uint64_t instrumentation_points() const {
+    return 2 * static_cast<std::uint64_t>(segments.size());
+  }
+  /// m — total measurements: sum of per-segment path counts.
+  [[nodiscard]] PathCount measurements() const {
+    PathCount m(0);
+    for (const Segment& s : segments) m += s.paths;
+    return m;
+  }
+};
+
+}  // namespace tmg::core

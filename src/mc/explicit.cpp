@@ -1,0 +1,127 @@
+#include "mc/explicit.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "minic/eval.h"
+
+namespace tmg::mc {
+
+using tsys::Transition;
+using tsys::TransitionSystem;
+using tsys::VarInfo;
+
+namespace {
+
+struct State {
+  tsys::Loc loc;
+  std::vector<std::int64_t> vals;
+
+  bool operator==(const State& o) const {
+    return loc == o.loc && vals == o.vals;
+  }
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const {
+    std::size_t h = s.loc * 0x9e3779b97f4a7c15ULL;
+    for (std::int64_t v : s.vals) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+ExploreResult explore(const TransitionSystem& ts,
+                      std::optional<tsys::Loc> goal,
+                      const ExploreOptions& opts) {
+  ExploreResult result;
+  result.locations_seen.assign(ts.num_locs, false);
+
+  // ----------------------------------------------------- initial states
+  // Free variables (inputs and uninitialised state) range over their
+  // domains; compute the product cardinality first.
+  std::vector<std::size_t> free_vars;
+  std::uint64_t product = 1;
+  for (const VarInfo& v : ts.vars) {
+    if (!v.is_input && v.has_init) continue;
+    const std::uint64_t card =
+        static_cast<std::uint64_t>(v.hi - v.lo + 1);
+    free_vars.push_back(v.id);
+    if (product > opts.max_initial_states / card) {
+      result.initial_states = UINT64_MAX;
+      return result;  // incomplete: initial set too large
+    }
+    product *= card;
+  }
+  result.initial_states = product;
+
+  std::unordered_set<State, StateHash> seen;
+  std::deque<std::pair<State, std::uint64_t>> queue;  // state, depth
+
+  State base;
+  base.loc = ts.initial;
+  base.vals.assign(ts.vars.size(), 0);
+  for (const VarInfo& v : ts.vars)
+    if (!v.is_input && v.has_init)
+      base.vals[v.id] = minic::wrap_to_type(v.init, v.type);
+
+  // enumerate the free-variable product
+  std::vector<std::int64_t> cursor(free_vars.size());
+  for (std::size_t i = 0; i < free_vars.size(); ++i)
+    cursor[i] = ts.vars[free_vars[i]].lo;
+  for (std::uint64_t n = 0; n < product; ++n) {
+    State s = base;
+    for (std::size_t i = 0; i < free_vars.size(); ++i)
+      s.vals[free_vars[i]] = cursor[i];
+    if (seen.insert(s).second) queue.emplace_back(std::move(s), 0);
+    // advance cursor
+    for (std::size_t i = 0; i < free_vars.size(); ++i) {
+      if (++cursor[i] <= ts.vars[free_vars[i]].hi) break;
+      cursor[i] = ts.vars[free_vars[i]].lo;
+    }
+  }
+
+  const auto out = ts.out_index();
+
+  // ------------------------------------------------------------- search
+  bool limit_hit = false;
+  while (!queue.empty()) {
+    auto [s, depth] = std::move(queue.front());
+    queue.pop_front();
+    result.locations_seen[s.loc] = true;
+    if (goal && s.loc == *goal && !result.goal_reached) {
+      result.goal_reached = true;
+      result.goal_depth = depth;
+    }
+    for (const Transition* t : out[s.loc]) {
+      if (t->guard && tsys::eval_texpr(*t->guard, s.vals) == 0) continue;
+      ++result.transitions_fired;
+      State next;
+      next.loc = t->to;
+      next.vals = s.vals;
+      for (const tsys::Update& u : t->updates)
+        next.vals[u.var] = minic::wrap_to_type(
+            tsys::eval_texpr(*u.value, s.vals), ts.vars[u.var].type);
+      if (seen.size() >= opts.max_states) {
+        limit_hit = true;
+        break;
+      }
+      if (seen.insert(next).second) queue.emplace_back(std::move(next), depth + 1);
+    }
+    if (limit_hit) break;
+  }
+
+  result.states = seen.size();
+  result.complete = !limit_hit;
+  // state store estimate: packed state bits plus hash overhead
+  const std::uint64_t bytes_per_state =
+      sizeof(State) + ts.vars.size() * sizeof(std::int64_t);
+  result.memory_bytes = result.states * bytes_per_state;
+  return result;
+}
+
+}  // namespace tmg::mc

@@ -1,0 +1,43 @@
+// Explicit-state model checking for closed (or small-input) transition
+// systems: breadth-first reachability with hashed state storage. Used for
+// exhaustive state-space exploration (the wiper controller's 9-state chart)
+// and as an oracle that optimisation passes preserve reachability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tsys/tsys.h"
+
+namespace tmg::mc {
+
+struct ExploreOptions {
+  /// Abort after visiting this many distinct states.
+  std::uint64_t max_states = 1 << 20;
+  /// Abort if the initial-state set (product of input/uninitialised
+  /// variable domains) exceeds this.
+  std::uint64_t max_initial_states = 1 << 16;
+};
+
+struct ExploreResult {
+  bool complete = false;       // fixpoint reached within limits
+  bool goal_reached = false;   // a goal location was visited
+  std::uint64_t goal_depth = 0;  // BFS depth of the first goal hit
+  std::uint64_t states = 0;      // distinct states visited
+  std::uint64_t transitions_fired = 0;
+  std::uint64_t initial_states = 0;
+  std::uint64_t memory_bytes = 0;  // state-store estimate
+  /// Distinct locations visited (useful to compare reachable control flow
+  /// before/after an optimisation pass).
+  std::vector<bool> locations_seen;
+};
+
+/// Explores the reachable state space; stops early when `goal` is reached
+/// (if given) only in the sense of recording it — exploration continues to
+/// the fixpoint unless limits bite.
+ExploreResult explore(const tsys::TransitionSystem& ts,
+                      std::optional<tsys::Loc> goal = std::nullopt,
+                      const ExploreOptions& opts = {});
+
+}  // namespace tmg::mc

@@ -1,0 +1,134 @@
+#include "minic/ast.h"
+
+#include <algorithm>
+
+namespace tmg::minic {
+
+std::string binop_spelling(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitOr: return "|";
+    case BinOp::BitXor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::LogicalAnd: return "&&";
+    case BinOp::LogicalOr: return "||";
+  }
+  return "?";
+}
+
+std::string unop_spelling(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::LogicalNot: return "!";
+    case UnOp::BitNot: return "~";
+    case UnOp::Plus: return "+";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>(kind, loc);
+  copy->type = type;
+  copy->int_value = int_value;
+  copy->sym = sym;
+  copy->un_op = un_op;
+  copy->bin_op = bin_op;
+  copy->children.reserve(children.size());
+  for (const ExprPtr& c : children) copy->children.push_back(c->clone());
+  return copy;
+}
+
+ExprPtr make_int_lit(std::int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::IntLit, loc);
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr make_var_ref(Symbol* sym, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::VarRef, loc);
+  e->sym = sym;
+  if (sym) e->type = sym->type;
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Unary, loc);
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr l, ExprPtr r, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Binary, loc);
+  e->bin_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr make_cond(ExprPtr c, ExprPtr t, ExprPtr f, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Cond, loc);
+  e->children.push_back(std::move(c));
+  e->children.push_back(std::move(t));
+  e->children.push_back(std::move(f));
+  return e;
+}
+
+ExprPtr make_call(Symbol* callee, std::vector<ExprPtr> args, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Call, loc);
+  e->sym = callee;
+  e->children = std::move(args);
+  return e;
+}
+
+StmtPtr make_stmt(StmtKind k, SourceLoc loc) {
+  return std::make_unique<Stmt>(k, loc);
+}
+
+Symbol* Program::new_symbol(std::string name, SymbolKind kind, Type type,
+                            SourceLoc loc) {
+  auto sym = std::make_unique<Symbol>();
+  sym->id = static_cast<std::uint32_t>(symbols.size());
+  sym->name = std::move(name);
+  sym->kind = kind;
+  sym->type = type;
+  sym->loc = loc;
+  Symbol* raw = sym.get();
+  symbols.push_back(std::move(sym));
+  if (kind == SymbolKind::Global) globals.push_back(raw);
+  if (kind == SymbolKind::Extern) externs.push_back(raw);
+  return raw;
+}
+
+const FunctionDef* Program::find_function(std::string_view name) const {
+  for (const auto& f : functions)
+    if (f->name == name) return f.get();
+  return nullptr;
+}
+
+Symbol* Program::find_global(std::string_view name) const {
+  for (Symbol* g : globals)
+    if (g->name == name) return g;
+  return nullptr;
+}
+
+std::vector<Symbol*> Program::inputs_of(const FunctionDef& fn) const {
+  std::vector<Symbol*> result = fn.params;
+  for (Symbol* g : globals)
+    if (g->is_input) result.push_back(g);
+  return result;
+}
+
+}  // namespace tmg::minic

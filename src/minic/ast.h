@@ -1,0 +1,226 @@
+// Abstract syntax tree for mini-C.
+//
+// Design notes:
+//  * Nodes are immutable after semantic analysis except for the fields sema
+//    fills in (expression types, resolved symbols, folded case labels).
+//  * `&&` and `||` evaluate BOTH operands (eagerly). Conditions in mini-C
+//    are side-effect free (sema rejects calls inside conditions), so this
+//    is observationally equivalent to C short-circuiting, and it keeps the
+//    CFG's decision nodes atomic — one decision node per `if`/`while`/
+//    `switch`, which is what the paper's partitioning operates on.
+//  * Division semantics are total: x / 0 == 0 and x % 0 == x. The AST
+//    interpreter, the target VM and the BMC bit-blaster all implement this
+//    same definition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/type.h"
+#include "support/diagnostics.h"
+
+namespace tmg::minic {
+
+// ---------------------------------------------------------------- Symbols
+
+enum class SymbolKind : std::uint8_t {
+  Global,  // file-scope variable (state; has an initial value, default 0)
+  Param,   // function parameter (always an analysis input)
+  Local,   // block-scope variable
+  Extern,  // external leaf function with a fixed cycle cost
+};
+
+/// A named entity. Owned by the Program; AST nodes hold raw pointers.
+struct Symbol {
+  std::uint32_t id = 0;  // dense index, unique per Program
+  std::string name;
+  SymbolKind kind = SymbolKind::Local;
+  Type type = Type::Int16;
+  SourceLoc loc;
+
+  /// Globals: declared with `__input`, i.e. unconstrained at analysis time.
+  /// Params are implicitly inputs regardless of this flag.
+  bool is_input = false;
+
+  /// Optional `__input(lo, hi)` value range — the code generator's domain
+  /// annotation the paper relies on for variable range analysis. Applies to
+  /// inputs; bounds are inclusive.
+  std::optional<std::pair<std::int64_t, std::int64_t>> input_range;
+
+  /// Declared or annotated value range of this symbol (annotation if
+  /// present, otherwise the full type range).
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> value_range() const {
+    if (input_range) return *input_range;
+    return {type_min(type), type_max(type)};
+  }
+
+  /// Globals: compile-time initial value (0 when none written).
+  std::int64_t init_value = 0;
+
+  /// Externs: cycle cost of one call (`__cost(N)` attribute, default 0 means
+  /// "use the target cost model's default external call cost").
+  std::int64_t call_cost = 0;
+  /// Externs: declared return type; parameter types of the extern.
+  std::vector<Type> param_types;
+
+  [[nodiscard]] bool is_function() const { return kind == SymbolKind::Extern; }
+  [[nodiscard]] bool is_analysis_input() const {
+    return kind == SymbolKind::Param || is_input;
+  }
+};
+
+// ------------------------------------------------------------ Expressions
+
+enum class ExprKind : std::uint8_t { IntLit, VarRef, Unary, Binary, Cond, Call };
+
+enum class UnOp : std::uint8_t { Neg, LogicalNot, BitNot, Plus };
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  LogicalAnd, LogicalOr,
+};
+
+/// True for operators whose result is Bool (0/1).
+constexpr bool binop_is_boolean(BinOp op) {
+  switch (op) {
+    case BinOp::Eq: case BinOp::Ne:
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+    case BinOp::LogicalAnd: case BinOp::LogicalOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string binop_spelling(BinOp op);
+std::string unop_spelling(UnOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  Type type = Type::Void;  // filled by sema
+
+  // IntLit
+  std::int64_t int_value = 0;
+  // VarRef / Call
+  Symbol* sym = nullptr;
+  // Unary
+  UnOp un_op = UnOp::Plus;
+  // Binary
+  BinOp bin_op = BinOp::Add;
+  // children: Unary uses [0]; Binary uses [0],[1]; Cond uses [0..2];
+  // Call uses all as arguments.
+  std::vector<ExprPtr> children;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+
+  [[nodiscard]] const Expr& child(std::size_t i) const { return *children[i]; }
+  [[nodiscard]] Expr& child(std::size_t i) { return *children[i]; }
+
+  /// Deep structural copy (symbols shared, not cloned).
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+ExprPtr make_int_lit(std::int64_t v, SourceLoc loc = {});
+ExprPtr make_var_ref(Symbol* sym, SourceLoc loc = {});
+ExprPtr make_unary(UnOp op, ExprPtr e, SourceLoc loc = {});
+ExprPtr make_binary(BinOp op, ExprPtr l, ExprPtr r, SourceLoc loc = {});
+ExprPtr make_cond(ExprPtr c, ExprPtr t, ExprPtr f, SourceLoc loc = {});
+ExprPtr make_call(Symbol* callee, std::vector<ExprPtr> args, SourceLoc loc = {});
+
+// -------------------------------------------------------------- Statements
+
+enum class StmtKind : std::uint8_t {
+  Expr,      // expression statement (a call)
+  Assign,    // target = / op= value
+  Decl,      // local declaration with optional initialiser
+  Block,     // { ... }
+  If,
+  While,     // `for` is desugared to While by the parser
+  DoWhile,
+  Switch,
+  Break,
+  Continue,
+  Return,
+  Empty,     // ';'
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One `case`/`default` arm of a switch. `body` statements run until a
+/// break/return or fall through to the next arm.
+struct SwitchCase {
+  std::optional<std::int64_t> label;  // nullopt == default; folded by sema
+  ExprPtr label_expr;                 // as parsed; null for default
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // Expr / Return: children[0] (Return may have none).
+  // Assign: target symbol in `sym`, RHS in children[0]; `assign_op` is the
+  //   compound operator (nullopt for plain '=').
+  // Decl: symbol in `sym`, optional init in children[0].
+  // If: cond in `cond`, then in body[0], else in body[1] (may be null).
+  // While/DoWhile: cond in `cond`, body in body[0]; body[1] (optional) is
+  //   the step statement of a desugared `for` (target of `continue`).
+  // Switch: selector in `cond`, arms in `cases`.
+  // Block: statements in `body`.
+  Symbol* sym = nullptr;
+  std::optional<BinOp> assign_op;
+  ExprPtr cond;
+  std::vector<ExprPtr> children;
+  std::vector<StmtPtr> body;
+  std::vector<SwitchCase> cases;
+
+  /// Loops: maximal iteration count from `__loopbound(N)`; nullopt when the
+  /// loop carries no annotation (WCET computation then fails loudly).
+  std::optional<std::uint32_t> loop_bound;
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+StmtPtr make_stmt(StmtKind k, SourceLoc loc = {});
+
+// --------------------------------------------------------------- Functions
+
+/// A function definition: `ret_type name(params) { body }`.
+struct FunctionDef {
+  std::string name;
+  Type return_type = Type::Void;
+  std::vector<Symbol*> params;
+  StmtPtr body;  // always a Block
+  SourceLoc loc;
+};
+
+/// One mini-C translation unit: globals, extern declarations and function
+/// definitions, plus ownership of all symbols.
+struct Program {
+  std::vector<std::unique_ptr<Symbol>> symbols;
+  std::vector<Symbol*> globals;   // subset of symbols, in declaration order
+  std::vector<Symbol*> externs;   // subset of symbols
+  std::vector<std::unique_ptr<FunctionDef>> functions;
+
+  Symbol* new_symbol(std::string name, SymbolKind kind, Type type,
+                     SourceLoc loc = {});
+  [[nodiscard]] const FunctionDef* find_function(std::string_view name) const;
+  [[nodiscard]] Symbol* find_global(std::string_view name) const;
+
+  /// All analysis inputs of `fn`: its parameters plus every `__input` global,
+  /// in a deterministic order (params first, then globals by declaration).
+  [[nodiscard]] std::vector<Symbol*> inputs_of(const FunctionDef& fn) const;
+};
+
+}  // namespace tmg::minic

@@ -1,0 +1,90 @@
+#include "minic/eval.h"
+
+namespace tmg::minic {
+
+std::int64_t eval_binop(BinOp op, std::int64_t lhs, std::int64_t rhs,
+                        Type operand_type, Type result_type) {
+  const int bits = type_bits(operand_type);
+  const bool is_signed = type_is_signed(operand_type);
+  const auto ul = static_cast<std::uint64_t>(lhs);
+  const auto ur = static_cast<std::uint64_t>(rhs);
+  std::int64_t r = 0;
+  switch (op) {
+    case BinOp::Add: r = static_cast<std::int64_t>(ul + ur); break;
+    case BinOp::Sub: r = static_cast<std::int64_t>(ul - ur); break;
+    case BinOp::Mul: r = static_cast<std::int64_t>(ul * ur); break;
+    case BinOp::Div:
+      if (rhs == 0) {
+        r = 0;  // total division: x / 0 == 0
+      } else if (is_signed) {
+        // lhs/rhs are sign-extended; INT_MIN/-1 wraps like the hardware.
+        if (lhs == type_min(operand_type) && rhs == -1)
+          r = lhs;
+        else
+          r = lhs / rhs;
+      } else {
+        r = static_cast<std::int64_t>(ul / ur);
+      }
+      break;
+    case BinOp::Rem:
+      if (rhs == 0) {
+        r = lhs;  // total remainder: x % 0 == x
+      } else if (is_signed) {
+        if (lhs == type_min(operand_type) && rhs == -1)
+          r = 0;
+        else
+          r = lhs % rhs;
+      } else {
+        r = static_cast<std::int64_t>(ul % ur);
+      }
+      break;
+    case BinOp::BitAnd: r = static_cast<std::int64_t>(ul & ur); break;
+    case BinOp::BitOr: r = static_cast<std::int64_t>(ul | ur); break;
+    case BinOp::BitXor: r = static_cast<std::int64_t>(ul ^ ur); break;
+    case BinOp::Shl:
+      if (rhs < 0 || rhs >= bits)
+        r = 0;
+      else
+        r = static_cast<std::int64_t>(ul << rhs);
+      break;
+    case BinOp::Shr: {
+      const bool fill = is_signed && lhs < 0;
+      if (rhs < 0 || rhs >= bits) {
+        r = fill ? -1 : 0;
+      } else if (is_signed) {
+        r = lhs >> rhs;  // arithmetic shift on sign-extended value
+      } else {
+        const std::uint64_t mask =
+            bits >= 64 ? ~0ULL : ((std::uint64_t{1} << bits) - 1);
+        r = static_cast<std::int64_t>((ul & mask) >> rhs);
+      }
+      break;
+    }
+    case BinOp::Eq: return lhs == rhs ? 1 : 0;
+    case BinOp::Ne: return lhs != rhs ? 1 : 0;
+    case BinOp::Lt: return (is_signed ? lhs < rhs : ul < ur) ? 1 : 0;
+    case BinOp::Le: return (is_signed ? lhs <= rhs : ul <= ur) ? 1 : 0;
+    case BinOp::Gt: return (is_signed ? lhs > rhs : ul > ur) ? 1 : 0;
+    case BinOp::Ge: return (is_signed ? lhs >= rhs : ul >= ur) ? 1 : 0;
+    case BinOp::LogicalAnd: return (lhs != 0 && rhs != 0) ? 1 : 0;
+    case BinOp::LogicalOr: return (lhs != 0 || rhs != 0) ? 1 : 0;
+  }
+  return wrap_to_type(r, result_type);
+}
+
+std::int64_t eval_unop(UnOp op, std::int64_t v, Type /*operand_type*/,
+                       Type result_type) {
+  switch (op) {
+    case UnOp::Neg:
+      return wrap_to_type(-v, result_type);
+    case UnOp::LogicalNot:
+      return v == 0 ? 1 : 0;
+    case UnOp::BitNot:
+      return wrap_to_type(~v, result_type);
+    case UnOp::Plus:
+      return wrap_to_type(v, result_type);
+  }
+  return 0;
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,29 @@
+// The single source of truth for mini-C operator semantics. The constant
+// folder, the AST interpreter, the target VM and (by construction tests)
+// the BMC bit-blaster all evaluate through these functions, so all engines
+// agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "minic/ast.h"
+
+namespace tmg::minic {
+
+/// Applies `op` to operands already wrapped to their own types, producing a
+/// value wrapped to `result_type`. Semantics:
+///  * arithmetic wraps modulo 2^bits (two's complement);
+///  * x / 0 == 0, x % 0 == x (total division, SMT-LIB-adjacent);
+///  * shifts: amounts are taken as unsigned; amount >= bits yields 0 for
+///    Shl/logical Shr and the sign fill for arithmetic Shr; negative
+///    amounts behave as >= bits;
+///  * comparisons/logical ops yield 0 or 1 (result_type Bool).
+std::int64_t eval_binop(BinOp op, std::int64_t lhs, std::int64_t rhs,
+                        Type operand_type, Type result_type);
+
+/// Applies a unary operator; `operand_type` is the promoted operand type,
+/// result is wrapped to `result_type`.
+std::int64_t eval_unop(UnOp op, std::int64_t v, Type operand_type,
+                       Type result_type);
+
+}  // namespace tmg::minic

@@ -1,0 +1,29 @@
+#include "minic/frontend.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmg::minic {
+
+std::unique_ptr<Program> compile(std::string_view source,
+                                 DiagnosticEngine& diags,
+                                 const SemaOptions& opts) {
+  std::unique_ptr<Program> program = parse(source, diags);
+  if (!diags.ok()) return nullptr;
+  if (!analyze(*program, diags, opts)) return nullptr;
+  return program;
+}
+
+std::unique_ptr<Program> compile_or_die(std::string_view source,
+                                        const SemaOptions& opts) {
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program = compile(source, diags, opts);
+  if (!program) {
+    std::fprintf(stderr, "mini-C compilation failed:\n%s\n",
+                 diags.str().c_str());
+    std::abort();
+  }
+  return program;
+}
+
+}  // namespace tmg::minic

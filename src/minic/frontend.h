@@ -1,0 +1,24 @@
+// Convenience entry point: source text -> checked Program in one call.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "minic/ast.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace tmg::minic {
+
+/// Parse + analyze. Returns nullptr (with diagnostics populated) on any
+/// error. On success the returned program is fully type-annotated.
+std::unique_ptr<Program> compile(std::string_view source,
+                                 DiagnosticEngine& diags,
+                                 const SemaOptions& opts = {});
+
+/// Like compile() but aborts with the diagnostics printed on failure.
+/// Intended for tests, examples and benches working on known-good sources.
+std::unique_ptr<Program> compile_or_die(std::string_view source,
+                                        const SemaOptions& opts = {});
+
+}  // namespace tmg::minic

@@ -1,0 +1,298 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace tmg::minic {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keyword_map() {
+  static const std::unordered_map<std::string_view, Tok> map = {
+      {"void", Tok::KwVoid},       {"bool", Tok::KwBool},
+      {"char", Tok::KwChar},       {"short", Tok::KwShort},
+      {"int", Tok::KwInt},         {"long", Tok::KwLong},
+      {"unsigned", Tok::KwUnsigned}, {"signed", Tok::KwSigned},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"do", Tok::KwDo},           {"switch", Tok::KwSwitch},
+      {"case", Tok::KwCase},       {"default", Tok::KwDefault},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"return", Tok::KwReturn},   {"extern", Tok::KwExtern},
+      {"true", Tok::KwTrue},       {"false", Tok::KwFalse},
+      {"__input", Tok::KwInput},   {"__loopbound", Tok::KwLoopbound},
+      {"__cost", Tok::KwCost},
+  };
+  return map;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, DiagnosticEngine& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_trivia();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::Eof) break;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, col_}; }
+
+  void skip_trivia() {
+    for (;;) {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+        advance();
+      if (peek() == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        const SourceLoc open = here();
+        advance();
+        advance();
+        bool closed = false;
+        while (!at_end()) {
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            closed = true;
+            break;
+          }
+          advance();
+        }
+        if (!closed) diags_.error(open, "unterminated block comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(Tok kind, std::size_t start, SourceLoc loc) const {
+    return Token{kind, loc, src_.substr(start, pos_ - start), 0};
+  }
+
+  Token next() {
+    const SourceLoc loc = here();
+    const std::size_t start = pos_;
+    if (at_end()) return Token{Tok::Eof, loc, {}, 0};
+
+    const char c = advance();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        advance();
+      const std::string_view text = src_.substr(start, pos_ - start);
+      const auto& kw = keyword_map();
+      if (auto it = kw.find(text); it != kw.end())
+        return Token{it->second, loc, text, 0};
+      return Token{Tok::Identifier, loc, text, 0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(start, loc);
+
+    switch (c) {
+      case '(': return make(Tok::LParen, start, loc);
+      case ')': return make(Tok::RParen, start, loc);
+      case '{': return make(Tok::LBrace, start, loc);
+      case '}': return make(Tok::RBrace, start, loc);
+      case ',': return make(Tok::Comma, start, loc);
+      case ';': return make(Tok::Semicolon, start, loc);
+      case ':': return make(Tok::Colon, start, loc);
+      case '?': return make(Tok::Question, start, loc);
+      case '~': return make(Tok::Tilde, start, loc);
+      case '+':
+        if (peek() == '=') { advance(); return make(Tok::PlusAssign, start, loc); }
+        if (peek() == '+') { advance(); return make(Tok::PlusPlus, start, loc); }
+        return make(Tok::Plus, start, loc);
+      case '-':
+        if (peek() == '=') { advance(); return make(Tok::MinusAssign, start, loc); }
+        if (peek() == '-') { advance(); return make(Tok::MinusMinus, start, loc); }
+        return make(Tok::Minus, start, loc);
+      case '*':
+        if (peek() == '=') { advance(); return make(Tok::StarAssign, start, loc); }
+        return make(Tok::Star, start, loc);
+      case '/':
+        if (peek() == '=') { advance(); return make(Tok::SlashAssign, start, loc); }
+        return make(Tok::Slash, start, loc);
+      case '%':
+        if (peek() == '=') { advance(); return make(Tok::PercentAssign, start, loc); }
+        return make(Tok::Percent, start, loc);
+      case '&':
+        if (peek() == '&') { advance(); return make(Tok::AmpAmp, start, loc); }
+        if (peek() == '=') { advance(); return make(Tok::AmpAssign, start, loc); }
+        return make(Tok::Amp, start, loc);
+      case '|':
+        if (peek() == '|') { advance(); return make(Tok::PipePipe, start, loc); }
+        if (peek() == '=') { advance(); return make(Tok::PipeAssign, start, loc); }
+        return make(Tok::Pipe, start, loc);
+      case '^':
+        if (peek() == '=') { advance(); return make(Tok::CaretAssign, start, loc); }
+        return make(Tok::Caret, start, loc);
+      case '!':
+        if (peek() == '=') { advance(); return make(Tok::Ne, start, loc); }
+        return make(Tok::Bang, start, loc);
+      case '=':
+        if (peek() == '=') { advance(); return make(Tok::EqEq, start, loc); }
+        return make(Tok::Assign, start, loc);
+      case '<':
+        if (peek() == '<') {
+          advance();
+          if (peek() == '=') { advance(); return make(Tok::ShlAssign, start, loc); }
+          return make(Tok::Shl, start, loc);
+        }
+        if (peek() == '=') { advance(); return make(Tok::Le, start, loc); }
+        return make(Tok::Lt, start, loc);
+      case '>':
+        if (peek() == '>') {
+          advance();
+          if (peek() == '=') { advance(); return make(Tok::ShrAssign, start, loc); }
+          return make(Tok::Shr, start, loc);
+        }
+        if (peek() == '=') { advance(); return make(Tok::Ge, start, loc); }
+        return make(Tok::Gt, start, loc);
+      default:
+        diags_.error(loc, std::string("stray character '") + c + "' in input");
+        return make(Tok::Error, start, loc);
+    }
+  }
+
+  Token number(std::size_t start, SourceLoc loc) {
+    // Decimal or 0x hexadecimal literals; no suffixes.
+    std::int64_t value = 0;
+    bool overflow = false;
+    if (src_[start] == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        const char d = advance();
+        any = true;
+        const int digit = std::isdigit(static_cast<unsigned char>(d))
+                              ? d - '0'
+                              : (std::tolower(d) - 'a' + 10);
+        if (value > (INT64_MAX - digit) / 16) overflow = true;
+        else value = value * 16 + digit;
+      }
+      if (!any) diags_.error(loc, "hexadecimal literal has no digits");
+    } else {
+      value = src_[start] - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        const int digit = advance() - '0';
+        if (value > (INT64_MAX - digit) / 10) overflow = true;
+        else value = value * 10 + digit;
+      }
+    }
+    if (overflow) diags_.error(loc, "integer literal too large");
+    Token t = make(Tok::IntLiteral, start, loc);
+    t.int_value = value;
+    return t;
+  }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::string tok_name(Tok t) {
+  switch (t) {
+    case Tok::Identifier: return "identifier";
+    case Tok::IntLiteral: return "integer literal";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwChar: return "'char'";
+    case Tok::KwShort: return "'short'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwLong: return "'long'";
+    case Tok::KwUnsigned: return "'unsigned'";
+    case Tok::KwSigned: return "'signed'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwSwitch: return "'switch'";
+    case Tok::KwCase: return "'case'";
+    case Tok::KwDefault: return "'default'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwExtern: return "'extern'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwInput: return "'__input'";
+    case Tok::KwLoopbound: return "'__loopbound'";
+    case Tok::KwCost: return "'__cost'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Question: return "'?'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::Eof: return "end of input";
+    case Tok::Error: return "invalid token";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,18 @@
+// Hand-written lexer for mini-C. Produces the full token stream for one
+// source buffer; the buffer must outlive the tokens (token text is a view).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "minic/token.h"
+#include "support/diagnostics.h"
+
+namespace tmg::minic {
+
+/// Tokenises `source`. Lexical errors (stray characters, bad literals,
+/// unterminated comments) are reported to `diags`; an Error token is
+/// emitted so the parser can resynchronise. The result always ends with Eof.
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace tmg::minic

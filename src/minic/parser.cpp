@@ -1,0 +1,760 @@
+#include "minic/parser.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "minic/lexer.h"
+
+namespace tmg::minic {
+
+namespace {
+
+/// Lexical scope: name -> symbol. Scopes nest; lookup walks outward.
+class ScopeStack {
+ public:
+  void push() { scopes_.emplace_back(); }
+  void pop() { scopes_.pop_back(); }
+
+  /// Declares in the innermost scope; returns false on redeclaration there.
+  bool declare(Symbol* sym) {
+    auto& top = scopes_.back();
+    return top.emplace(sym->name, sym).second;
+  }
+
+  [[nodiscard]] Symbol* lookup(std::string_view name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(std::string(name));
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, Symbol*>> scopes_;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view source, DiagnosticEngine& diags)
+      : diags_(diags), tokens_(lex(source, diags)) {}
+
+  std::unique_ptr<Program> run() {
+    program_ = std::make_unique<Program>();
+    scopes_.push();  // file scope
+    while (!at(Tok::Eof)) {
+      if (!top_level_decl()) skip_past(Tok::Semicolon);
+    }
+    scopes_.pop();
+    return std::move(program_);
+  }
+
+ private:
+  // ------------------------------------------------------------- utilities
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(Tok t) const { return cur().kind == t; }
+  const Token& advance() {
+    if (at(Tok::Eof)) return cur();
+    return tokens_[pos_++];
+  }
+
+  bool accept(Tok t) {
+    if (!at(t)) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(Tok t) {
+    if (accept(t)) return true;
+    diags_.error(cur().loc, "expected " + tok_name(t) + " before " +
+                                tok_name(cur().kind));
+    return false;
+  }
+
+  void skip_past(Tok t) {
+    while (!at(Tok::Eof)) {
+      const Tok k = cur().kind;
+      advance();
+      if (k == t || k == Tok::RBrace) return;
+    }
+  }
+
+  // ----------------------------------------------------------------- types
+  [[nodiscard]] bool at_type() const {
+    switch (cur().kind) {
+      case Tok::KwVoid: case Tok::KwBool: case Tok::KwChar: case Tok::KwShort:
+      case Tok::KwInt: case Tok::KwLong: case Tok::KwUnsigned:
+      case Tok::KwSigned:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// type := ('unsigned'|'signed')? base | 'unsigned'/'signed' alone (= int)
+  Type parse_type() {
+    bool is_unsigned = false;
+    bool saw_signedness = false;
+    if (accept(Tok::KwUnsigned)) {
+      is_unsigned = true;
+      saw_signedness = true;
+    } else if (accept(Tok::KwSigned)) {
+      saw_signedness = true;
+    }
+    switch (cur().kind) {
+      case Tok::KwVoid:
+        advance();
+        return Type::Void;
+      case Tok::KwBool:
+        advance();
+        return Type::Bool;
+      case Tok::KwChar:
+        advance();
+        return is_unsigned ? Type::UInt8 : Type::Int8;
+      case Tok::KwShort:
+        advance();
+        accept(Tok::KwInt);
+        return is_unsigned ? Type::UInt16 : Type::Int16;
+      case Tok::KwInt:
+        advance();
+        return is_unsigned ? Type::UInt16 : Type::Int16;
+      case Tok::KwLong:
+        advance();
+        accept(Tok::KwInt);
+        return is_unsigned ? Type::UInt32 : Type::Int32;
+      default:
+        if (saw_signedness) return is_unsigned ? Type::UInt16 : Type::Int16;
+        diags_.error(cur().loc, "expected type before " + tok_name(cur().kind));
+        return Type::Int16;
+    }
+  }
+
+  // ------------------------------------------------------------- top level
+  /// extern decl | global decl | function definition
+  bool top_level_decl() {
+    const SourceLoc loc = cur().loc;
+    if (accept(Tok::KwExtern)) return extern_decl(loc);
+
+    const bool is_input = at(Tok::KwInput);
+    std::optional<std::pair<std::int64_t, std::int64_t>> input_range;
+    if (accept(Tok::KwInput) && accept(Tok::LParen)) {
+      // __input(lo, hi): inclusive input domain annotation
+      auto read_bound = [&]() -> std::int64_t {
+        const bool neg = accept(Tok::Minus);
+        std::int64_t v = 0;
+        if (at(Tok::IntLiteral)) {
+          v = cur().int_value;
+          advance();
+        } else {
+          diags_.error(cur().loc, "__input range expects integer literals");
+        }
+        return neg ? -v : v;
+      };
+      const std::int64_t lo = read_bound();
+      expect(Tok::Comma);
+      const std::int64_t hi = read_bound();
+      expect(Tok::RParen);
+      if (lo > hi)
+        diags_.error(loc, "__input range is empty (lo > hi)");
+      else
+        input_range = {lo, hi};
+    }
+    if (!at_type()) {
+      diags_.error(cur().loc,
+                   "expected declaration before " + tok_name(cur().kind));
+      return false;
+    }
+    const Type type = parse_type();
+    if (!at(Tok::Identifier)) {
+      diags_.error(cur().loc, "expected identifier in declaration");
+      return false;
+    }
+    const Token name = advance();
+
+    if (at(Tok::LParen)) {
+      if (is_input)
+        diags_.error(loc, "'__input' is not valid on function definitions");
+      return function_def(type, name);
+    }
+    // global variable(s): `type a = 1, b;`
+    Token declarator = name;
+    for (;;) {
+      Symbol* sym = program_->new_symbol(std::string(declarator.text),
+                                         SymbolKind::Global, type,
+                                         declarator.loc);
+      sym->is_input = is_input;
+      if (input_range) {
+        const std::int64_t lo =
+            std::max(input_range->first, type_min(type));
+        const std::int64_t hi = std::min(input_range->second, type_max(type));
+        if (lo <= hi) sym->input_range = {lo, hi};
+      }
+      if (type == Type::Void)
+        diags_.error(declarator.loc,
+                     "variable '" + sym->name + "' has void type");
+      if (!scopes_.declare(sym))
+        diags_.error(declarator.loc, "redeclaration of '" + sym->name + "'");
+      if (accept(Tok::Assign)) {
+        // The initialiser must be a literal (possibly negated) so globals
+        // stay trivially constant; sema relies on this.
+        const bool neg = accept(Tok::Minus);
+        if (at(Tok::IntLiteral)) {
+          sym->init_value =
+              wrap_to_type(neg ? -cur().int_value : cur().int_value, type);
+          advance();
+        } else if (at(Tok::KwTrue) || at(Tok::KwFalse)) {
+          sym->init_value = at(Tok::KwTrue) ? 1 : 0;
+          advance();
+        } else {
+          diags_.error(cur().loc, "global initialiser must be a literal");
+          skip_past(Tok::Semicolon);
+          return false;
+        }
+      }
+      if (!accept(Tok::Comma)) break;
+      if (!at(Tok::Identifier)) {
+        diags_.error(cur().loc, "expected identifier after ','");
+        break;
+      }
+      declarator = advance();
+    }
+    return expect(Tok::Semicolon);
+  }
+
+  /// extern ret name(params) [__cost(N)] ;
+  bool extern_decl(SourceLoc loc) {
+    const Type ret = parse_type();
+    if (!at(Tok::Identifier)) {
+      diags_.error(cur().loc, "expected identifier after 'extern'");
+      return false;
+    }
+    const Token name = advance();
+    Symbol* sym = program_->new_symbol(std::string(name.text),
+                                       SymbolKind::Extern, ret, loc);
+    if (!scopes_.declare(sym))
+      diags_.error(name.loc, "redeclaration of '" + sym->name + "'");
+    if (!expect(Tok::LParen)) return false;
+    if (!accept(Tok::RParen)) {
+      if (accept(Tok::KwVoid) && at(Tok::RParen)) {
+        // (void)
+      } else {
+        for (;;) {
+          const Type pt = parse_type();
+          sym->param_types.push_back(pt);
+          if (at(Tok::Identifier)) advance();  // parameter name is optional
+          if (!accept(Tok::Comma)) break;
+        }
+      }
+      if (!expect(Tok::RParen)) return false;
+    }
+    if (accept(Tok::KwCost)) {
+      expect(Tok::LParen);
+      if (at(Tok::IntLiteral)) {
+        sym->call_cost = cur().int_value;
+        advance();
+      } else {
+        diags_.error(cur().loc, "__cost expects an integer literal");
+      }
+      expect(Tok::RParen);
+    }
+    return expect(Tok::Semicolon);
+  }
+
+  bool function_def(Type ret, const Token& name) {
+    auto fn = std::make_unique<FunctionDef>();
+    fn->name = std::string(name.text);
+    fn->return_type = ret;
+    fn->loc = name.loc;
+    if (program_->find_function(fn->name))
+      diags_.error(name.loc, "redefinition of function '" + fn->name + "'");
+
+    expect(Tok::LParen);
+    scopes_.push();  // parameter scope
+    if (!accept(Tok::RParen)) {
+      if (accept(Tok::KwVoid) && at(Tok::RParen)) {
+        // (void)
+      } else {
+        for (;;) {
+          const Type pt = parse_type();
+          if (!at(Tok::Identifier)) {
+            diags_.error(cur().loc, "expected parameter name");
+            break;
+          }
+          const Token pname = advance();
+          Symbol* p = program_->new_symbol(std::string(pname.text),
+                                           SymbolKind::Param, pt, pname.loc);
+          if (pt == Type::Void)
+            diags_.error(pname.loc, "parameter has void type");
+          if (!scopes_.declare(p))
+            diags_.error(pname.loc,
+                         "duplicate parameter '" + p->name + "'");
+          fn->params.push_back(p);
+          if (!accept(Tok::Comma)) break;
+        }
+      }
+      expect(Tok::RParen);
+    }
+    if (!at(Tok::LBrace)) {
+      diags_.error(cur().loc, "expected function body");
+      scopes_.pop();
+      return false;
+    }
+    fn->body = block();
+    scopes_.pop();
+    program_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  // ------------------------------------------------------------ statements
+  StmtPtr block() {
+    const SourceLoc loc = cur().loc;
+    expect(Tok::LBrace);
+    auto s = make_stmt(StmtKind::Block, loc);
+    scopes_.push();
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+      StmtPtr inner = statement();
+      if (inner) s->body.push_back(std::move(inner));
+    }
+    scopes_.pop();
+    expect(Tok::RBrace);
+    return s;
+  }
+
+  StmtPtr statement() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case Tok::LBrace:
+        return block();
+      case Tok::Semicolon:
+        advance();
+        return make_stmt(StmtKind::Empty, loc);
+      case Tok::KwIf:
+        return if_stmt();
+      case Tok::KwLoopbound:
+        return loop_with_bound();
+      case Tok::KwWhile:
+        return while_stmt(std::nullopt);
+      case Tok::KwFor:
+        return for_stmt(std::nullopt);
+      case Tok::KwDo:
+        return do_stmt(std::nullopt);
+      case Tok::KwSwitch:
+        return switch_stmt();
+      case Tok::KwBreak: {
+        advance();
+        expect(Tok::Semicolon);
+        return make_stmt(StmtKind::Break, loc);
+      }
+      case Tok::KwContinue: {
+        advance();
+        expect(Tok::Semicolon);
+        return make_stmt(StmtKind::Continue, loc);
+      }
+      case Tok::KwReturn: {
+        advance();
+        auto s = make_stmt(StmtKind::Return, loc);
+        if (!at(Tok::Semicolon)) s->children.push_back(expression());
+        expect(Tok::Semicolon);
+        return s;
+      }
+      default:
+        if (at_type() || at(Tok::KwInput)) return decl_stmt();
+        return simple_stmt(/*need_semicolon=*/true);
+    }
+  }
+
+  StmtPtr decl_stmt() {
+    const SourceLoc loc = cur().loc;
+    if (accept(Tok::KwInput))
+      diags_.error(loc, "'__input' is only valid on global declarations");
+    const Type type = parse_type();
+    auto blockish = make_stmt(StmtKind::Block, loc);
+    bool first = true;
+    for (;;) {
+      if (!at(Tok::Identifier)) {
+        diags_.error(cur().loc, "expected identifier in declaration");
+        skip_past(Tok::Semicolon);
+        return blockish;
+      }
+      const Token name = advance();
+      Symbol* sym = program_->new_symbol(std::string(name.text),
+                                         SymbolKind::Local, type, name.loc);
+      if (type == Type::Void)
+        diags_.error(name.loc, "variable '" + sym->name + "' has void type");
+      if (!scopes_.declare(sym))
+        diags_.error(name.loc,
+                     "redeclaration of '" + sym->name + "' in this scope");
+      auto d = make_stmt(StmtKind::Decl, name.loc);
+      d->sym = sym;
+      if (accept(Tok::Assign)) d->children.push_back(expression());
+      if (first && !at(Tok::Comma)) {
+        expect(Tok::Semicolon);
+        return d;  // common case: a single declarator
+      }
+      blockish->body.push_back(std::move(d));
+      first = false;
+      if (!accept(Tok::Comma)) break;
+    }
+    expect(Tok::Semicolon);
+    return blockish;
+  }
+
+  StmtPtr if_stmt() {
+    const SourceLoc loc = cur().loc;
+    advance();  // if
+    expect(Tok::LParen);
+    auto s = make_stmt(StmtKind::If, loc);
+    s->cond = expression();
+    expect(Tok::RParen);
+    s->body.push_back(statement());
+    if (accept(Tok::KwElse))
+      s->body.push_back(statement());
+    else
+      s->body.push_back(nullptr);
+    return s;
+  }
+
+  StmtPtr loop_with_bound() {
+    const SourceLoc loc = cur().loc;
+    advance();  // __loopbound
+    expect(Tok::LParen);
+    std::optional<std::uint32_t> bound;
+    if (at(Tok::IntLiteral)) {
+      bound = static_cast<std::uint32_t>(cur().int_value);
+      advance();
+    } else {
+      diags_.error(cur().loc, "__loopbound expects an integer literal");
+    }
+    expect(Tok::RParen);
+    switch (cur().kind) {
+      case Tok::KwWhile: return while_stmt(bound);
+      case Tok::KwFor: return for_stmt(bound);
+      case Tok::KwDo: return do_stmt(bound);
+      default:
+        diags_.error(loc, "__loopbound must precede a loop statement");
+        return statement();
+    }
+  }
+
+  StmtPtr while_stmt(std::optional<std::uint32_t> bound) {
+    const SourceLoc loc = cur().loc;
+    advance();  // while
+    expect(Tok::LParen);
+    auto s = make_stmt(StmtKind::While, loc);
+    s->loop_bound = bound;
+    s->cond = expression();
+    expect(Tok::RParen);
+    s->body.push_back(statement());
+    s->body.push_back(nullptr);  // no step
+    return s;
+  }
+
+  StmtPtr do_stmt(std::optional<std::uint32_t> bound) {
+    const SourceLoc loc = cur().loc;
+    advance();  // do
+    auto s = make_stmt(StmtKind::DoWhile, loc);
+    s->loop_bound = bound;
+    s->body.push_back(statement());
+    s->body.push_back(nullptr);
+    expect(Tok::KwWhile);
+    expect(Tok::LParen);
+    s->cond = expression();
+    expect(Tok::RParen);
+    expect(Tok::Semicolon);
+    return s;
+  }
+
+  /// `for (init; cond; step) body` desugars to
+  /// `{ init; while (cond) { body } <step attached as continue target> }`.
+  StmtPtr for_stmt(std::optional<std::uint32_t> bound) {
+    const SourceLoc loc = cur().loc;
+    advance();  // for
+    expect(Tok::LParen);
+    scopes_.push();  // `for (int i = ...)` scope
+    auto outer = make_stmt(StmtKind::Block, loc);
+
+    if (!accept(Tok::Semicolon)) {
+      StmtPtr init = at_type() ? decl_stmt() : simple_stmt(true);
+      if (init) outer->body.push_back(std::move(init));
+    }
+    auto loop = make_stmt(StmtKind::While, loc);
+    loop->loop_bound = bound;
+    if (at(Tok::Semicolon)) {
+      loop->cond = make_int_lit(1, loc);
+      advance();
+    } else {
+      loop->cond = expression();
+      expect(Tok::Semicolon);
+    }
+    StmtPtr step;
+    if (!at(Tok::RParen)) step = simple_stmt(/*need_semicolon=*/false);
+    expect(Tok::RParen);
+    loop->body.push_back(statement());
+    loop->body.push_back(std::move(step));
+    outer->body.push_back(std::move(loop));
+    scopes_.pop();
+    return outer;
+  }
+
+  StmtPtr switch_stmt() {
+    const SourceLoc loc = cur().loc;
+    advance();  // switch
+    expect(Tok::LParen);
+    auto s = make_stmt(StmtKind::Switch, loc);
+    s->cond = expression();
+    expect(Tok::RParen);
+    expect(Tok::LBrace);
+    scopes_.push();
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+      SwitchCase arm;
+      arm.loc = cur().loc;
+      if (accept(Tok::KwCase)) {
+        arm.label_expr = expression();
+      } else if (accept(Tok::KwDefault)) {
+        arm.label_expr = nullptr;
+      } else {
+        diags_.error(cur().loc, "expected 'case' or 'default' in switch");
+        skip_past(Tok::RBrace);
+        break;
+      }
+      expect(Tok::Colon);
+      while (!at(Tok::KwCase) && !at(Tok::KwDefault) && !at(Tok::RBrace) &&
+             !at(Tok::Eof)) {
+        StmtPtr inner = statement();
+        if (inner) arm.body.push_back(std::move(inner));
+      }
+      s->cases.push_back(std::move(arm));
+    }
+    scopes_.pop();
+    expect(Tok::RBrace);
+    return s;
+  }
+
+  /// Assignment, compound assignment, ++/--, or a call expression.
+  StmtPtr simple_stmt(bool need_semicolon) {
+    const SourceLoc loc = cur().loc;
+    if (at(Tok::Identifier)) {
+      const Tok after = tokens_[pos_ + 1].kind;
+      if (is_assign_op(after) || after == Tok::PlusPlus ||
+          after == Tok::MinusMinus) {
+        const Token name = advance();
+        Symbol* sym = resolve(name);
+        auto s = make_stmt(StmtKind::Assign, loc);
+        s->sym = sym;
+        const Tok op = advance().kind;
+        if (op == Tok::PlusPlus || op == Tok::MinusMinus) {
+          s->assign_op = (op == Tok::PlusPlus) ? BinOp::Add : BinOp::Sub;
+          s->children.push_back(make_int_lit(1, loc));
+        } else {
+          s->assign_op = compound_op(op);
+          s->children.push_back(expression());
+        }
+        if (need_semicolon) expect(Tok::Semicolon);
+        return s;
+      }
+      // ++x / --x prefix
+    }
+    if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+      const Tok op = advance().kind;
+      if (!at(Tok::Identifier)) {
+        diags_.error(cur().loc, "expected identifier after prefix operator");
+        skip_past(Tok::Semicolon);
+        return nullptr;
+      }
+      const Token name = advance();
+      auto s = make_stmt(StmtKind::Assign, loc);
+      s->sym = resolve(name);
+      s->assign_op = (op == Tok::PlusPlus) ? BinOp::Add : BinOp::Sub;
+      s->children.push_back(make_int_lit(1, loc));
+      if (need_semicolon) expect(Tok::Semicolon);
+      return s;
+    }
+    // otherwise: expression statement (must be a call to be useful)
+    auto s = make_stmt(StmtKind::Expr, loc);
+    s->children.push_back(expression());
+    if (need_semicolon) expect(Tok::Semicolon);
+    return s;
+  }
+
+  static bool is_assign_op(Tok t) {
+    switch (t) {
+      case Tok::Assign: case Tok::PlusAssign: case Tok::MinusAssign:
+      case Tok::StarAssign: case Tok::SlashAssign: case Tok::PercentAssign:
+      case Tok::AmpAssign: case Tok::PipeAssign: case Tok::CaretAssign:
+      case Tok::ShlAssign: case Tok::ShrAssign:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static std::optional<BinOp> compound_op(Tok t) {
+    switch (t) {
+      case Tok::Assign: return std::nullopt;
+      case Tok::PlusAssign: return BinOp::Add;
+      case Tok::MinusAssign: return BinOp::Sub;
+      case Tok::StarAssign: return BinOp::Mul;
+      case Tok::SlashAssign: return BinOp::Div;
+      case Tok::PercentAssign: return BinOp::Rem;
+      case Tok::AmpAssign: return BinOp::BitAnd;
+      case Tok::PipeAssign: return BinOp::BitOr;
+      case Tok::CaretAssign: return BinOp::BitXor;
+      case Tok::ShlAssign: return BinOp::Shl;
+      case Tok::ShrAssign: return BinOp::Shr;
+      default: return std::nullopt;
+    }
+  }
+
+  Symbol* resolve(const Token& name) {
+    Symbol* sym = scopes_.lookup(name.text);
+    if (!sym) {
+      diags_.error(name.loc,
+                   "use of undeclared identifier '" + std::string(name.text) +
+                       "'");
+      // poison symbol so parsing can continue
+      sym = program_->new_symbol(std::string(name.text), SymbolKind::Local,
+                                 Type::Int16, name.loc);
+      scopes_.declare(sym);
+    }
+    return sym;
+  }
+
+  // ----------------------------------------------------------- expressions
+  ExprPtr expression() { return conditional(); }
+
+  ExprPtr conditional() {
+    ExprPtr c = binary(0);
+    if (at(Tok::Question)) {
+      const SourceLoc loc = advance().loc;
+      ExprPtr t = expression();
+      expect(Tok::Colon);
+      ExprPtr f = conditional();
+      return make_cond(std::move(c), std::move(t), std::move(f), loc);
+    }
+    return c;
+  }
+
+  /// Precedence-climbing over binary operators.
+  ExprPtr binary(int min_prec) {
+    ExprPtr lhs = unary();
+    for (;;) {
+      const auto [op, prec] = bin_info(cur().kind);
+      if (prec < 0 || prec < min_prec) return lhs;
+      const SourceLoc loc = advance().loc;
+      ExprPtr rhs = binary(prec + 1);
+      lhs = make_binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+
+  /// (operator, precedence) or precedence -1 if not a binary operator.
+  static std::pair<BinOp, int> bin_info(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return {BinOp::LogicalOr, 1};
+      case Tok::AmpAmp: return {BinOp::LogicalAnd, 2};
+      case Tok::Pipe: return {BinOp::BitOr, 3};
+      case Tok::Caret: return {BinOp::BitXor, 4};
+      case Tok::Amp: return {BinOp::BitAnd, 5};
+      case Tok::EqEq: return {BinOp::Eq, 6};
+      case Tok::Ne: return {BinOp::Ne, 6};
+      case Tok::Lt: return {BinOp::Lt, 7};
+      case Tok::Le: return {BinOp::Le, 7};
+      case Tok::Gt: return {BinOp::Gt, 7};
+      case Tok::Ge: return {BinOp::Ge, 7};
+      case Tok::Shl: return {BinOp::Shl, 8};
+      case Tok::Shr: return {BinOp::Shr, 8};
+      case Tok::Plus: return {BinOp::Add, 9};
+      case Tok::Minus: return {BinOp::Sub, 9};
+      case Tok::Star: return {BinOp::Mul, 10};
+      case Tok::Slash: return {BinOp::Div, 10};
+      case Tok::Percent: return {BinOp::Rem, 10};
+      default: return {BinOp::Add, -1};
+    }
+  }
+
+  ExprPtr unary() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case Tok::Minus:
+        advance();
+        return make_unary(UnOp::Neg, unary(), loc);
+      case Tok::Plus:
+        advance();
+        return make_unary(UnOp::Plus, unary(), loc);
+      case Tok::Bang:
+        advance();
+        return make_unary(UnOp::LogicalNot, unary(), loc);
+      case Tok::Tilde:
+        advance();
+        return make_unary(UnOp::BitNot, unary(), loc);
+      default:
+        return primary();
+    }
+  }
+
+  ExprPtr primary() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case Tok::IntLiteral: {
+        const std::int64_t v = cur().int_value;
+        advance();
+        return make_int_lit(v, loc);
+      }
+      case Tok::KwTrue:
+        advance();
+        return make_int_lit(1, loc);
+      case Tok::KwFalse:
+        advance();
+        return make_int_lit(0, loc);
+      case Tok::LParen: {
+        advance();
+        ExprPtr e = expression();
+        expect(Tok::RParen);
+        return e;
+      }
+      case Tok::Identifier: {
+        const Token name = advance();
+        if (at(Tok::LParen)) return call(name);
+        return make_var_ref(resolve(name), name.loc);
+      }
+      default:
+        diags_.error(loc, "expected expression before " + tok_name(cur().kind));
+        advance();
+        return make_int_lit(0, loc);
+    }
+  }
+
+  ExprPtr call(const Token& name) {
+    expect(Tok::LParen);
+    std::vector<ExprPtr> args;
+    if (!at(Tok::RParen)) {
+      do {
+        args.push_back(expression());
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen);
+    Symbol* callee = scopes_.lookup(name.text);
+    if (!callee || callee->kind != SymbolKind::Extern) {
+      diags_.error(name.loc, "call to undeclared function '" +
+                                 std::string(name.text) +
+                                 "' (only extern leaf calls are supported)");
+      callee = program_->new_symbol(std::string(name.text), SymbolKind::Extern,
+                                    Type::Void, name.loc);
+      scopes_.declare(callee);
+    }
+    return make_call(callee, std::move(args), name.loc);
+  }
+
+  DiagnosticEngine& diags_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<Program> program_;
+  ScopeStack scopes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parse(std::string_view source,
+                               DiagnosticEngine& diags) {
+  return Parser(source, diags).run();
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,19 @@
+// Recursive-descent parser for mini-C. Performs name resolution while
+// parsing (scope stack); type checking and constant folding happen in sema.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "minic/ast.h"
+#include "support/diagnostics.h"
+
+namespace tmg::minic {
+
+/// Parses one translation unit. Errors go to `diags`; the parser recovers
+/// at statement boundaries so multiple errors are reported. The returned
+/// Program is structurally complete iff diags.ok().
+std::unique_ptr<Program> parse(std::string_view source,
+                               DiagnosticEngine& diags);
+
+}  // namespace tmg::minic

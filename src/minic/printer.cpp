@@ -1,0 +1,213 @@
+#include "minic/printer.h"
+
+#include <sstream>
+
+namespace tmg::minic {
+
+namespace {
+
+/// Precedence used to decide parenthesisation; mirrors the parser table.
+int prec_of(const Expr& e) {
+  if (e.kind == ExprKind::Cond) return 0;
+  if (e.kind != ExprKind::Binary) return 100;
+  switch (e.bin_op) {
+    case BinOp::LogicalOr: return 1;
+    case BinOp::LogicalAnd: return 2;
+    case BinOp::BitOr: return 3;
+    case BinOp::BitXor: return 4;
+    case BinOp::BitAnd: return 5;
+    case BinOp::Eq: case BinOp::Ne: return 6;
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge: return 7;
+    case BinOp::Shl: case BinOp::Shr: return 8;
+    case BinOp::Add: case BinOp::Sub: return 9;
+    case BinOp::Mul: case BinOp::Div: case BinOp::Rem: return 10;
+  }
+  return 100;
+}
+
+void expr_to(std::ostringstream& os, const Expr& e, int parent_prec) {
+  const int prec = prec_of(e);
+  const bool paren = prec < parent_prec;
+  if (paren) os << '(';
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      os << e.int_value;
+      break;
+    case ExprKind::VarRef:
+      os << e.sym->name;
+      break;
+    case ExprKind::Unary:
+      os << unop_spelling(e.un_op);
+      expr_to(os, e.child(0), 99);
+      break;
+    case ExprKind::Binary:
+      expr_to(os, e.child(0), prec);
+      os << ' ' << binop_spelling(e.bin_op) << ' ';
+      expr_to(os, e.child(1), prec + 1);
+      break;
+    case ExprKind::Cond:
+      expr_to(os, e.child(0), 1);
+      os << " ? ";
+      expr_to(os, e.child(1), 0);
+      os << " : ";
+      expr_to(os, e.child(2), 0);
+      break;
+    case ExprKind::Call: {
+      os << e.sym->name << '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i) os << ", ";
+        expr_to(os, e.child(i), 0);
+      }
+      os << ')';
+      break;
+    }
+  }
+  if (paren) os << ')';
+}
+
+std::string pad(int indent) { return std::string(2 * indent, ' '); }
+
+void stmt_to(std::ostringstream& os, const Stmt& s, int indent) {
+  const std::string in = pad(indent);
+  switch (s.kind) {
+    case StmtKind::Expr:
+      os << in << print_expr(*s.children[0]) << ";\n";
+      break;
+    case StmtKind::Assign:
+      os << in << s.sym->name << ' ';
+      if (s.assign_op) os << binop_spelling(*s.assign_op);
+      os << "= " << print_expr(*s.children[0]) << ";\n";
+      break;
+    case StmtKind::Decl:
+      os << in << type_name(s.sym->type) << ' ' << s.sym->name;
+      if (!s.children.empty()) os << " = " << print_expr(*s.children[0]);
+      os << ";\n";
+      break;
+    case StmtKind::Block:
+      os << in << "{\n";
+      for (const auto& inner : s.body)
+        if (inner) stmt_to(os, *inner, indent + 1);
+      os << in << "}\n";
+      break;
+    case StmtKind::If:
+      os << in << "if (" << print_expr(*s.cond) << ")\n";
+      stmt_to(os, *s.body[0], indent + (s.body[0]->kind != StmtKind::Block));
+      if (s.body[1]) {
+        os << in << "else\n";
+        stmt_to(os, *s.body[1], indent + (s.body[1]->kind != StmtKind::Block));
+      }
+      break;
+    case StmtKind::While:
+      os << in;
+      if (s.loop_bound) os << "__loopbound(" << *s.loop_bound << ") ";
+      os << "while (" << print_expr(*s.cond) << ")\n";
+      stmt_to(os, *s.body[0], indent + (s.body[0]->kind != StmtKind::Block));
+      if (s.body[1]) {
+        // Desugared for-loop step; comment so a round-trip stays compilable.
+        os << in << "/* step: */ ";
+        std::ostringstream tmp;
+        stmt_to(tmp, *s.body[1], 0);
+        os << tmp.str();
+      }
+      break;
+    case StmtKind::DoWhile:
+      os << in;
+      if (s.loop_bound) os << "__loopbound(" << *s.loop_bound << ") ";
+      os << "do\n";
+      stmt_to(os, *s.body[0], indent + (s.body[0]->kind != StmtKind::Block));
+      os << in << "while (" << print_expr(*s.cond) << ");\n";
+      break;
+    case StmtKind::Switch:
+      os << in << "switch (" << print_expr(*s.cond) << ") {\n";
+      for (const SwitchCase& arm : s.cases) {
+        if (arm.label_expr)
+          os << pad(indent + 1) << "case " << print_expr(*arm.label_expr)
+             << ":\n";
+        else if (arm.label)
+          os << pad(indent + 1) << "case " << *arm.label << ":\n";
+        else
+          os << pad(indent + 1) << "default:\n";
+        for (const auto& inner : arm.body)
+          if (inner) stmt_to(os, *inner, indent + 2);
+      }
+      os << in << "}\n";
+      break;
+    case StmtKind::Break:
+      os << in << "break;\n";
+      break;
+    case StmtKind::Continue:
+      os << in << "continue;\n";
+      break;
+    case StmtKind::Return:
+      os << in << "return";
+      if (!s.children.empty()) os << ' ' << print_expr(*s.children[0]);
+      os << ";\n";
+      break;
+    case StmtKind::Empty:
+      os << in << ";\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  std::ostringstream os;
+  expr_to(os, e, 0);
+  return os.str();
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  stmt_to(os, s, indent);
+  return os.str();
+}
+
+std::string print_program(const Program& p) {
+  std::ostringstream os;
+  for (const Symbol* ext : p.externs) {
+    os << "extern " << type_name(ext->type) << ' ' << ext->name << '(';
+    if (ext->param_types.empty()) {
+      os << "void";
+    } else {
+      for (std::size_t i = 0; i < ext->param_types.size(); ++i) {
+        if (i) os << ", ";
+        os << type_name(ext->param_types[i]);
+      }
+    }
+    os << ')';
+    if (ext->call_cost > 0) os << " __cost(" << ext->call_cost << ')';
+    os << ";\n";
+  }
+  if (!p.externs.empty()) os << '\n';
+  for (const Symbol* g : p.globals) {
+    if (g->is_input) {
+      os << "__input";
+      if (g->input_range)
+        os << '(' << g->input_range->first << ", " << g->input_range->second
+           << ')';
+      os << ' ';
+    }
+    os << type_name(g->type) << ' ' << g->name;
+    if (g->init_value != 0) os << " = " << g->init_value;
+    os << ";\n";
+  }
+  if (!p.globals.empty()) os << '\n';
+  for (const auto& fn : p.functions) {
+    os << type_name(fn->return_type) << ' ' << fn->name << '(';
+    if (fn->params.empty()) {
+      os << "void";
+    } else {
+      for (std::size_t i = 0; i < fn->params.size(); ++i) {
+        if (i) os << ", ";
+        os << type_name(fn->params[i]->type) << ' ' << fn->params[i]->name;
+      }
+    }
+    os << ")\n";
+    os << print_stmt(*fn->body, 0);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,21 @@
+// Pretty printer: renders an AST back to compilable mini-C source. Used by
+// the code generators (wiper controller, synthetic programs) and for
+// round-trip testing of the parser.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace tmg::minic {
+
+/// Renders one expression (no trailing newline).
+std::string print_expr(const Expr& e);
+
+/// Renders one statement with the given indentation depth.
+std::string print_stmt(const Stmt& s, int indent = 0);
+
+/// Renders the whole translation unit: externs, globals, functions.
+std::string print_program(const Program& p);
+
+}  // namespace tmg::minic

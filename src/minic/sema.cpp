@@ -1,0 +1,300 @@
+#include "minic/sema.h"
+
+#include <set>
+
+#include "minic/eval.h"
+
+namespace tmg::minic {
+
+namespace {
+
+class Sema {
+ public:
+  Sema(Program& program, DiagnosticEngine& diags, const SemaOptions& opts)
+      : program_(program), diags_(diags), opts_(opts) {}
+
+  bool run() {
+    for (auto& fn : program_.functions) {
+      current_fn_ = fn.get();
+      loop_depth_ = 0;
+      switch_depth_ = 0;
+      check_stmt(*fn->body);
+    }
+    return diags_.ok();
+  }
+
+ private:
+  // ------------------------------------------------------------ statements
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Expr:
+        check_expr(*s.children[0], /*in_condition=*/false);
+        if (s.children[0]->kind != ExprKind::Call)
+          diags_.warning(s.loc, "expression statement has no effect");
+        break;
+      case StmtKind::Assign: {
+        if (s.sym->is_function()) {
+          diags_.error(s.loc, "cannot assign to function '" + s.sym->name + "'");
+          break;
+        }
+        Type value_t = check_expr(*s.children[0], false);
+        if (value_t == Type::Void)
+          diags_.error(s.children[0]->loc,
+                       "cannot assign a void value to '" + s.sym->name + "'");
+        break;
+      }
+      case StmtKind::Decl:
+        if (!s.children.empty()) {
+          Type t = check_expr(*s.children[0], false);
+          if (t == Type::Void)
+            diags_.error(s.children[0]->loc,
+                         "cannot initialise '" + s.sym->name +
+                             "' with a void value");
+        }
+        break;
+      case StmtKind::Block:
+        for (auto& inner : s.body)
+          if (inner) check_stmt(*inner);
+        break;
+      case StmtKind::If:
+        check_condition(*s.cond);
+        check_stmt(*s.body[0]);
+        if (s.body[1]) check_stmt(*s.body[1]);
+        break;
+      case StmtKind::While:
+      case StmtKind::DoWhile:
+        check_condition(*s.cond);
+        if (opts_.warn_unbounded_loops && !s.loop_bound)
+          diags_.warning(s.loc,
+                         "loop has no __loopbound annotation; WCET analysis "
+                         "will reject this function");
+        ++loop_depth_;
+        check_stmt(*s.body[0]);
+        if (s.body[1]) check_stmt(*s.body[1]);
+        --loop_depth_;
+        break;
+      case StmtKind::Switch:
+        check_switch(s);
+        break;
+      case StmtKind::Break:
+        if (loop_depth_ == 0 && switch_depth_ == 0)
+          diags_.error(s.loc, "'break' outside of loop or switch");
+        break;
+      case StmtKind::Continue:
+        if (loop_depth_ == 0)
+          diags_.error(s.loc, "'continue' outside of loop");
+        break;
+      case StmtKind::Return:
+        if (s.children.empty()) {
+          if (current_fn_->return_type != Type::Void)
+            diags_.error(s.loc, "non-void function '" + current_fn_->name +
+                                    "' must return a value");
+        } else {
+          Type t = check_expr(*s.children[0], false);
+          if (current_fn_->return_type == Type::Void)
+            diags_.error(s.loc, "void function '" + current_fn_->name +
+                                    "' cannot return a value");
+          else if (t == Type::Void)
+            diags_.error(s.children[0]->loc, "returning a void value");
+        }
+        break;
+      case StmtKind::Empty:
+        break;
+    }
+  }
+
+  void check_switch(Stmt& s) {
+    Type sel = check_expr(*s.cond, /*in_condition=*/true);
+    if (sel == Type::Void)
+      diags_.error(s.cond->loc, "switch selector must be an integer");
+    ++switch_depth_;
+    std::set<std::int64_t> seen;
+    bool default_seen = false;
+    for (SwitchCase& arm : s.cases) {
+      if (arm.label_expr) {
+        check_expr(*arm.label_expr, true);
+        std::int64_t v = 0;
+        if (!fold_constant(*arm.label_expr, v)) {
+          diags_.error(arm.loc, "case label is not a constant expression");
+        } else {
+          v = wrap_to_type(v, sel == Type::Void ? Type::Int16 : sel);
+          if (!seen.insert(v).second)
+            diags_.error(arm.loc,
+                         "duplicate case label " + std::to_string(v));
+          arm.label = v;
+        }
+      } else {
+        if (default_seen)
+          diags_.error(arm.loc, "multiple 'default' labels in switch");
+        default_seen = true;
+      }
+      for (auto& inner : arm.body)
+        if (inner) check_stmt(*inner);
+    }
+    --switch_depth_;
+  }
+
+  /// Conditions must be integer-typed and side-effect free (no calls): the
+  /// CFG gives every condition its own decision node and the VM evaluates
+  /// it eagerly, so purity keeps all execution engines equivalent.
+  void check_condition(Expr& e) {
+    Type t = check_expr(e, /*in_condition=*/true);
+    if (t == Type::Void)
+      diags_.error(e.loc, "condition must have integer type");
+  }
+
+  // ----------------------------------------------------------- expressions
+  Type check_expr(Expr& e, bool in_condition) {
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        // Choose the narrowest signed type holding the literal, at least
+        // Int16 (the platform int).
+        const std::int64_t v = e.int_value;
+        if (v >= type_min(Type::Int16) && v <= type_max(Type::Int16))
+          e.type = Type::Int16;
+        else if (v >= type_min(Type::Int32) && v <= type_max(Type::Int32))
+          e.type = Type::Int32;
+        else {
+          diags_.error(e.loc, "integer literal out of 32-bit range");
+          e.type = Type::Int32;
+        }
+        return e.type;
+      }
+      case ExprKind::VarRef:
+        if (e.sym->is_function()) {
+          diags_.error(e.loc,
+                       "function '" + e.sym->name + "' used as a value");
+          e.type = Type::Int16;
+        } else {
+          e.type = e.sym->type;
+        }
+        return e.type;
+      case ExprKind::Unary: {
+        Type t = check_expr(e.child(0), in_condition);
+        if (t == Type::Void) {
+          diags_.error(e.loc, "unary operator on void value");
+          t = Type::Int16;
+        }
+        switch (e.un_op) {
+          case UnOp::LogicalNot:
+            e.type = Type::Bool;
+            break;
+          case UnOp::Neg:
+          case UnOp::BitNot:
+          case UnOp::Plus:
+            e.type = arith_result(t, t);
+            break;
+        }
+        return e.type;
+      }
+      case ExprKind::Binary: {
+        Type lt = check_expr(e.child(0), in_condition);
+        Type rt = check_expr(e.child(1), in_condition);
+        if (lt == Type::Void || rt == Type::Void) {
+          diags_.error(e.loc, "binary operator on void value");
+          e.type = Type::Int16;
+          return e.type;
+        }
+        if (binop_is_boolean(e.bin_op)) {
+          e.type = Type::Bool;
+        } else if (e.bin_op == BinOp::Shl || e.bin_op == BinOp::Shr) {
+          // Shift result has the promoted type of the left operand.
+          e.type = arith_result(lt, lt);
+        } else {
+          e.type = arith_result(lt, rt);
+        }
+        return e.type;
+      }
+      case ExprKind::Cond: {
+        Type ct = check_expr(e.child(0), in_condition);
+        if (ct == Type::Void)
+          diags_.error(e.child(0).loc, "?: condition must be an integer");
+        Type tt = check_expr(e.child(1), in_condition);
+        Type ft = check_expr(e.child(2), in_condition);
+        if (tt == Type::Void || ft == Type::Void) {
+          diags_.error(e.loc, "?: arms must produce values");
+          e.type = Type::Int16;
+        } else {
+          e.type = arith_result(tt, ft);
+        }
+        return e.type;
+      }
+      case ExprKind::Call: {
+        if (in_condition)
+          diags_.error(e.loc,
+                       "calls are not allowed inside conditions (conditions "
+                       "must be side-effect free)");
+        Symbol* callee = e.sym;
+        if (!callee->param_types.empty() &&
+            callee->param_types.size() != e.children.size()) {
+          diags_.error(e.loc, "call to '" + callee->name + "' expects " +
+                                  std::to_string(callee->param_types.size()) +
+                                  " argument(s), got " +
+                                  std::to_string(e.children.size()));
+        }
+        for (auto& arg : e.children) {
+          Type at = check_expr(*arg, in_condition);
+          if (at == Type::Void)
+            diags_.error(arg->loc, "void value passed as argument");
+        }
+        e.type = callee->type;
+        return e.type;
+      }
+    }
+    return Type::Void;
+  }
+
+  Program& program_;
+  DiagnosticEngine& diags_;
+  SemaOptions opts_;
+  FunctionDef* current_fn_ = nullptr;
+  int loop_depth_ = 0;
+  int switch_depth_ = 0;
+};
+
+}  // namespace
+
+bool analyze(Program& program, DiagnosticEngine& diags,
+             const SemaOptions& opts) {
+  return Sema(program, diags, opts).run();
+}
+
+bool fold_constant(const Expr& e, std::int64_t& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out = e.int_value;
+      return true;
+    case ExprKind::Unary: {
+      std::int64_t v = 0;
+      if (!fold_constant(e.child(0), v)) return false;
+      const Type ot = e.child(0).type == Type::Void ? Type::Int16
+                                                    : e.child(0).type;
+      const Type rt = e.type == Type::Void ? ot : e.type;
+      out = eval_unop(e.un_op, v, ot, rt);
+      return true;
+    }
+    case ExprKind::Binary: {
+      std::int64_t l = 0, r = 0;
+      if (!fold_constant(e.child(0), l) || !fold_constant(e.child(1), r))
+        return false;
+      Type lt = e.child(0).type == Type::Void ? Type::Int16 : e.child(0).type;
+      Type rt = e.child(1).type == Type::Void ? Type::Int16 : e.child(1).type;
+      const Type ot = arith_result(lt, rt);
+      const Type res = e.type == Type::Void
+                           ? (binop_is_boolean(e.bin_op) ? Type::Bool : ot)
+                           : e.type;
+      out = eval_binop(e.bin_op, wrap_to_type(l, ot), wrap_to_type(r, ot), ot,
+                       res);
+      return true;
+    }
+    case ExprKind::Cond: {
+      std::int64_t c = 0;
+      if (!fold_constant(e.child(0), c)) return false;
+      return fold_constant(e.child(c != 0 ? 1 : 2), out);
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,28 @@
+// Semantic analysis for mini-C: type checking and propagation, constant
+// folding of switch-case labels, and structural validation (break/continue
+// placement, condition purity, loop-bound presence warnings).
+#pragma once
+
+#include "minic/ast.h"
+#include "support/diagnostics.h"
+
+namespace tmg::minic {
+
+/// Options controlling semantic analysis strictness.
+struct SemaOptions {
+  /// Warn when a loop has no __loopbound annotation (WCET analysis will
+  /// reject such loops later; CFG construction still works).
+  bool warn_unbounded_loops = true;
+};
+
+/// Runs semantic analysis over the whole program, annotating expression
+/// types in place. Returns true when no errors were produced.
+bool analyze(Program& program, DiagnosticEngine& diags,
+             const SemaOptions& opts = {});
+
+/// Folds an expression to a constant if possible (literals, arithmetic on
+/// literals). Returns true and sets `out` on success. Requires types to be
+/// already annotated (call after analyze(), or on literal-only trees).
+bool fold_constant(const Expr& e, std::int64_t& out);
+
+}  // namespace tmg::minic

@@ -1,0 +1,50 @@
+// Token definitions for the mini-C lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.h"
+
+namespace tmg::minic {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  Identifier,
+  IntLiteral,
+  // keywords
+  KwVoid, KwBool, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwSwitch, KwCase, KwDefault,
+  KwBreak, KwContinue, KwReturn, KwExtern, KwTrue, KwFalse,
+  KwInput,      // __input   : variable is an unconstrained analysis input
+  KwLoopbound,  // __loopbound(N) : maximal iteration count annotation
+  KwCost,       // __cost(N) : cycle cost attribute on extern declarations
+  // punctuation
+  LParen, RParen, LBrace, RBrace, Comma, Semicolon, Colon, Question,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Shl, Shr,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  Assign,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  PlusPlus, MinusMinus,
+  // sentinels
+  Eof,
+  Error,
+};
+
+/// Spelling of a token kind for diagnostics ("'+='", "identifier", ...).
+std::string tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string_view text;     // points into the source buffer
+  std::int64_t int_value = 0;  // valid for IntLiteral
+};
+
+}  // namespace tmg::minic

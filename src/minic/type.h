@@ -1,0 +1,108 @@
+// Scalar type system of mini-C, the C subset consumed by the analysis.
+//
+// The target model is a 16-bit microcontroller (HCS12-style), so plain `int`
+// is 16 bits — this matches the paper's observation that "in C, boolean
+// values are mostly encoded as 16 bit integers".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmg::minic {
+
+/// Scalar types. Every value in mini-C is a fixed-width two's-complement
+/// integer; `Bool` is a one-bit unsigned integer holding 0 or 1.
+enum class Type : std::uint8_t {
+  Void,
+  Bool,    // 1 bit
+  Int8,    // char
+  UInt8,   // unsigned char
+  Int16,   // short / int
+  UInt16,  // unsigned short / unsigned int
+  Int32,   // long
+  UInt32,  // unsigned long
+};
+
+/// Bit width of a type's value representation (0 for Void).
+constexpr int type_bits(Type t) {
+  switch (t) {
+    case Type::Void: return 0;
+    case Type::Bool: return 1;
+    case Type::Int8:
+    case Type::UInt8: return 8;
+    case Type::Int16:
+    case Type::UInt16: return 16;
+    case Type::Int32:
+    case Type::UInt32: return 32;
+  }
+  return 0;
+}
+
+constexpr bool type_is_signed(Type t) {
+  return t == Type::Int8 || t == Type::Int16 || t == Type::Int32;
+}
+
+constexpr bool type_is_integer(Type t) {
+  return t != Type::Void;
+}
+
+/// Smallest representable value of the type.
+constexpr std::int64_t type_min(Type t) {
+  if (!type_is_signed(t)) return 0;
+  return -(std::int64_t{1} << (type_bits(t) - 1));
+}
+
+/// Largest representable value of the type.
+constexpr std::int64_t type_max(Type t) {
+  const int bits = type_bits(t);
+  if (bits == 0) return 0;
+  if (type_is_signed(t)) return (std::int64_t{1} << (bits - 1)) - 1;
+  if (bits >= 63) return (std::int64_t{1} << 62);  // unreachable in practice
+  return (std::int64_t{1} << bits) - 1;
+}
+
+/// C-like spelling, e.g. "unsigned int" for UInt16.
+inline std::string type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::Bool: return "bool";
+    case Type::Int8: return "char";
+    case Type::UInt8: return "unsigned char";
+    case Type::Int16: return "int";
+    case Type::UInt16: return "unsigned int";
+    case Type::Int32: return "long";
+    case Type::UInt32: return "unsigned long";
+  }
+  return "?";
+}
+
+/// Usual-arithmetic-conversion result of combining two operand types:
+/// promote to the wider operand; on equal width prefer unsigned (C rules,
+/// collapsed to this subset). Bool promotes to Int16 (the `int` of the
+/// 16-bit target).
+constexpr Type arith_result(Type a, Type b) {
+  if (a == Type::Bool) a = Type::Int16;
+  if (b == Type::Bool) b = Type::Int16;
+  const int wa = type_bits(a), wb = type_bits(b);
+  if (wa < wb) return b;
+  if (wb < wa) return a;
+  if (!type_is_signed(a)) return a;
+  return b;
+}
+
+/// Truncates/wraps a 64-bit value to the representation of `t` and
+/// re-extends it (sign- or zero-) back to int64. This is THE definition of
+/// mini-C's wraparound semantics; the interpreter, the target VM and the
+/// bit-blaster all agree with it.
+constexpr std::int64_t wrap_to_type(std::int64_t v, Type t) {
+  const int bits = type_bits(t);
+  if (bits == 0 || bits >= 64) return v;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  if (type_is_signed(t) && (u >> (bits - 1)) != 0) {
+    u |= ~mask;  // sign-extend
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+}  // namespace tmg::minic

@@ -1,0 +1,75 @@
+// The six state-space optimisations of Section 3.2, as rewrite passes over
+// the transition system. None of them changes the modelled behaviour — they
+// make the *representation* more compact, exactly as the paper stresses:
+// smaller state vectors (fewer bits) and/or fewer transitions to the goal.
+//
+//  Pass                   | primary effect
+//  -----------------------|-----------------------------------------------
+//  ReverseCse             | temporaries inlined into their uses, removed
+//  LiveVariables          | unused vars dropped; disjoint-lifetime vars
+//                         | share one slot
+//  StatementConcat        | independent consecutive transitions merged
+//                         | (fewer steps to the goal)
+//  RangeAnalysis          | value ranges narrowed -> fewer encoding bits
+//  VariableInit           | uninitialised vars pinned to their C-semantic
+//                         | initial values (smaller reachable set D_R)
+//  DeadVariableElim       | vars (and their updates) that never influence
+//                         | control flow removed
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsys/tsys.h"
+
+namespace tmg::opt {
+
+enum class Pass : std::uint8_t {
+  ReverseCse,
+  LiveVariables,
+  StatementConcat,
+  RangeAnalysis,
+  VariableInit,
+  DeadVariableElim,
+};
+
+std::string pass_name(Pass p);
+
+/// All passes in the canonical "all optimisations" order (dependencies:
+/// CSE exposes dead vars; init enables range narrowing; concatenation runs
+/// last so update-free transitions merge away).
+std::vector<Pass> all_passes();
+
+/// What one pass did (for reporting and the Table 2 bench).
+struct PassReport {
+  Pass pass = Pass::ReverseCse;
+  std::size_t vars_before = 0, vars_after = 0;
+  int data_bits_before = 0, data_bits_after = 0;
+  std::size_t transitions_before = 0, transitions_after = 0;
+  std::size_t details = 0;  // substitutions / merges / pins, pass-specific
+};
+
+/// Applies one pass in place.
+PassReport run_pass(tsys::TransitionSystem& ts, Pass pass);
+
+/// Applies a sequence of passes; returns one report per pass.
+std::vector<PassReport> run_passes(tsys::TransitionSystem& ts,
+                                   const std::vector<Pass>& passes);
+
+/// Removes variables whose id is not marked in `keep`, remapping every
+/// reference. Asserts that removed variables are truly unreferenced.
+void remove_vars(tsys::TransitionSystem& ts, const std::vector<bool>& keep);
+
+/// Renumbers locations densely (dropping unused ones) and updates
+/// initial/final/num_locs. Run after StatementConcat.
+void compact_locations(tsys::TransitionSystem& ts);
+
+/// Deterministic concrete execution of the transition system: returns the
+/// sequence of decision events (origin block, successor index) until the
+/// final location or `max_steps`. Used by equivalence tests: every pass
+/// must preserve this observable for all inputs.
+std::vector<std::pair<cfg::BlockId, std::uint32_t>> run_concrete(
+    const tsys::TransitionSystem& ts, const std::vector<std::int64_t>& inputs,
+    std::uint64_t max_steps = 100000);
+
+}  // namespace tmg::opt

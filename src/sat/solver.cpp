@@ -1,0 +1,297 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tmg::sat {
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(-1);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  saved_phase_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  // Clauses may be added between solve() calls; drop any leftover search
+  // state so level-0 simplifications below are sound.
+  backtrack(0);
+
+  // normalise: sort, dedupe, drop clauses with complementary literals and
+  // literals already false at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    if (i > 0 && lits[i] == ~lits[i - 1]) return true;  // tautology
+    const std::int8_t v = lit_value(lits[i]);
+    if (v == 1) return true;  // already satisfied at level 0
+    if (v == 0) continue;     // already false: drop literal
+    out.push_back(lits[i]);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) ok_ = false;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(out), false, 0.0});
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+  const Clause& c = clauses_[cr];
+  watches_[(~c.lits[0]).code].push_back(cr);
+  watches_[(~c.lits[1]).code].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(lit_value(l) == -1);
+  assigns_[l.var()] = l.sign() ? 0 : 1;
+  reason_[l.var()] = reason;
+  level_[l.var()] = decision_level();
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    // clauses watching ~p need a new watch or become unit/conflicting
+    std::vector<ClauseRef>& ws = watches_[p.code];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const ClauseRef cr = ws[i];
+      Clause& c = clauses_[cr];
+      // ensure the falsified literal is lits[1]
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      if (lit_value(c.lits[0]) == 1) {
+        ws[keep++] = cr;  // satisfied: keep watching
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (lit_value(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // unit or conflict
+      ws[keep++] = cr;
+      if (lit_value(c.lits[0]) == 0) {
+        // conflict: restore remaining watches and report
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(c.lits[0], cr);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     std::int32_t& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit());  // slot for the asserting literal
+  std::int32_t counter = 0;
+  Lit p;
+  p.code = -2;
+  std::size_t index = trail_.size();
+
+  ClauseRef reason = conflict;
+  do {
+    assert(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    if (c.learned) c.activity += 1.0;
+    const std::size_t start = (p.code == -2) ? 0 : 1;
+    for (std::size_t i = start; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bump(q.var());
+      if (level_[q.var()] >= decision_level())
+        ++counter;
+      else
+        learnt.push_back(q);
+    }
+    // pick next literal from the trail
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    seen_[p.var()] = 0;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // backtrack level = second-highest level in the learnt clause
+  backtrack_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[learnt[i].var()] > backtrack_level) {
+      backtrack_level = level_[learnt[i].var()];
+      max_i = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_i]);
+  for (const Lit& l : learnt) seen_[l.var()] = 0;
+}
+
+void Solver::backtrack(std::int32_t lvl) {
+  if (decision_level() <= lvl) return;
+  for (std::size_t i = trail_.size(); i > trail_lim_[lvl];) {
+    --i;
+    const Var v = trail_[i].var();
+    saved_phase_[v] = assigns_[v];
+    assigns_[v] = -1;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(trail_lim_[lvl]);
+  trail_lim_.resize(lvl);
+  qhead_ = trail_.size();
+}
+
+void Solver::bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+Lit Solver::pick_branch() {
+  Var best = -1;
+  double best_act = -1.0;
+  for (Var v = 0; v < static_cast<Var>(assigns_.size()); ++v) {
+    if (assigns_[v] == -1 && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  if (best < 0) return Lit();
+  return Lit(best, saved_phase_[best] == 0);
+}
+
+void Solver::update_memory_estimate() {
+  std::uint64_t bytes = 0;
+  for (const Clause& c : clauses_)
+    bytes += sizeof(Clause) + c.lits.size() * sizeof(Lit);
+  for (const auto& w : watches_) bytes += w.capacity() * sizeof(ClauseRef);
+  bytes += assigns_.size() *
+           (sizeof(std::int8_t) * 3 + sizeof(double) + sizeof(std::int32_t) +
+            sizeof(ClauseRef));
+  stats_.memory_bytes = std::max(stats_.memory_bytes, bytes);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::int64_t conflict_budget) {
+  if (!ok_) return Result::Unsat;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Result::Unsat;
+  }
+
+  std::uint64_t restart_limit = 100;
+  std::uint64_t conflicts_since_restart = 0;
+  std::int64_t conflicts_total = 0;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      ++conflicts_total;
+      if (decision_level() == 0) {
+        ok_ = false;
+        update_memory_estimate();
+        return Result::Unsat;
+      }
+      std::vector<Lit> learnt;
+      std::int32_t back_level = 0;
+      analyze(conflict, learnt, back_level);
+      // If the conflict is below the assumption prefix, drop to level 0
+      // conservatively (assumptions re-enqueued below).
+      backtrack(back_level);
+      if (learnt.size() == 1) {
+        if (lit_value(learnt[0]) == 0) {
+          backtrack(0);
+          if (lit_value(learnt[0]) == 0) {
+            ok_ = false;
+            update_memory_estimate();
+            return Result::Unsat;
+          }
+        }
+        if (lit_value(learnt[0]) == -1) enqueue(learnt[0], kNoReason);
+      } else {
+        clauses_.push_back(Clause{std::move(learnt), true, 0.0});
+        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach(cr);
+        ++stats_.learned_clauses;
+        stats_.learned_literals += clauses_[cr].lits.size();
+        if (lit_value(clauses_[cr].lits[0]) == -1)
+          enqueue(clauses_[cr].lits[0], cr);
+      }
+      decay();
+      if (conflict_budget >= 0 && conflicts_total >= conflict_budget) {
+        update_memory_estimate();
+        return Result::Unknown;
+      }
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        restart_limit = restart_limit * 3 / 2;
+        conflicts_since_restart = 0;
+        backtrack(0);
+      }
+      continue;
+    }
+
+    // re-establish assumptions after any backtracking
+    bool assumption_pending = false;
+    for (const Lit& a : assumptions) {
+      const std::int8_t v = lit_value(a);
+      if (v == 0) {
+        update_memory_estimate();
+        return Result::Unsat;  // assumption conflicts (no core extraction)
+      }
+      if (v == -1) {
+        trail_lim_.push_back(trail_.size());
+        enqueue(a, kNoReason);
+        assumption_pending = true;
+        break;
+      }
+    }
+    if (assumption_pending) continue;
+
+    const Lit next = pick_branch();
+    if (next.code == -2) {
+      update_memory_estimate();
+      return Result::Sat;  // full assignment
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(next, kNoReason);
+  }
+}
+
+}  // namespace tmg::sat

@@ -1,0 +1,125 @@
+// Self-contained CDCL SAT solver (MiniSat-style): two-watched literals,
+// VSIDS decision heuristic with phase saving, first-UIP clause learning and
+// geometric restarts. Sized for the CNFs our bounded model checker emits
+// (10^4..10^6 clauses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmg::sat {
+
+using Var = std::int32_t;  // 0-based variable index
+
+/// A literal: variable with polarity, encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  std::int32_t code = -2;
+
+  Lit() = default;
+  Lit(Var v, bool negated) : code(2 * v + (negated ? 1 : 0)) {}
+
+  [[nodiscard]] Var var() const { return code >> 1; }
+  [[nodiscard]] bool sign() const { return code & 1; }  // true == negated
+  [[nodiscard]] Lit operator~() const {
+    Lit l;
+    l.code = code ^ 1;
+    return l;
+  }
+  friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+inline Lit pos(Var v) { return Lit(v, false); }
+inline Lit neg(Var v) { return Lit(v, true); }
+
+enum class Result : std::uint8_t { Sat, Unsat, Unknown };
+
+/// Solver statistics (also feeds the Table 2 "memory" column).
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t restarts = 0;
+  /// Bytes held by the clause database and watch lists (estimate).
+  std::uint64_t memory_bytes = 0;
+};
+
+class Solver {
+ public:
+  Var new_var();
+  [[nodiscard]] std::size_t num_vars() const { return assigns_.size(); }
+  [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat;
+  /// duplicate/complementary literals are handled). Returns false if the
+  /// instance became unsatisfiable at level 0.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) {
+    return add_clause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solves under optional assumptions. `conflict_budget` < 0 = unlimited.
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::int64_t conflict_budget = -1);
+
+  /// Model access after Result::Sat.
+  [[nodiscard]] bool value(Var v) const { return assigns_[v] == 1; }
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  // assignment trail
+  std::vector<std::int8_t> assigns_;  // -1 unset, 0 false, 1 true
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<ClauseRef> reason_;
+  std::vector<std::int32_t> level_;
+
+  // clause database + watches (watches_[lit.code] = clauses watching lit)
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;
+
+  // VSIDS
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::int8_t> saved_phase_;
+  std::vector<Var> order_;       // lazily sorted decision candidates
+  std::vector<std::uint8_t> seen_;
+
+  bool ok_ = true;
+  SolverStats stats_;
+
+  [[nodiscard]] std::int8_t lit_value(Lit l) const {
+    const std::int8_t a = assigns_[l.var()];
+    if (a < 0) return -1;
+    return l.sign() ? static_cast<std::int8_t>(1 - a) : a;
+  }
+  [[nodiscard]] std::int32_t decision_level() const {
+    return static_cast<std::int32_t>(trail_lim_.size());
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+               std::int32_t& backtrack_level);
+  void backtrack(std::int32_t level);
+  Lit pick_branch();
+  void bump(Var v);
+  void decay() { var_inc_ /= 0.95; }
+  void attach(ClauseRef cr);
+  void update_memory_estimate();
+};
+
+}  // namespace tmg::sat

@@ -1,0 +1,32 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace tmg {
+
+std::ostream& operator<<(std::ostream& os, const SourceLoc& loc) {
+  if (!loc.valid()) return os << "<unknown>";
+  return os << loc.line << ':' << loc.column;
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc,
+                              std::string message) {
+  if (sev == Severity::Error) ++errors_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << d.loc << ": ";
+    switch (d.severity) {
+      case Severity::Note: os << "note: "; break;
+      case Severity::Warning: os << "warning: "; break;
+      case Severity::Error: os << "error: "; break;
+    }
+    os << d.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tmg

@@ -1,0 +1,60 @@
+// Diagnostics: source locations and error reporting shared by the mini-C
+// frontend, the transition-system translator and the partitioner.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tmg {
+
+/// A position in a mini-C source buffer. Lines and columns are 1-based;
+/// line 0 means "unknown / synthesised".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const SourceLoc& loc);
+
+/// Severity of a reported diagnostic.
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem, tagged with its source position.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics produced while processing one translation unit.
+/// The frontend never throws on user errors; callers check error_count().
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t error_count() const { return errors_; }
+  [[nodiscard]] bool ok() const { return errors_ == 0; }
+
+  /// Renders all diagnostics, one per line, as "line:col: severity: message".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace tmg

@@ -1,0 +1,121 @@
+#include "support/path_count.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace tmg {
+
+PathCount PathCount::from_log2(double l) {
+  PathCount pc;
+  if (l < 63.0) {
+    pc.exact_ = static_cast<std::uint64_t>(std::llround(std::exp2(l)));
+    pc.sat_ = false;
+  } else {
+    pc.sat_ = true;
+    pc.log2_ = l;
+  }
+  return pc;
+}
+
+double PathCount::log2() const {
+  if (sat_) return log2_;
+  if (exact_ <= 1) return 0.0;
+  return std::log2(static_cast<double>(exact_));
+}
+
+double PathCount::as_double() const {
+  if (!sat_) return static_cast<double>(exact_);
+  if (log2_ > 1020.0) return std::numeric_limits<double>::max();
+  return std::exp2(log2_);
+}
+
+void PathCount::saturate() {
+  if (sat_) return;
+  sat_ = true;
+  log2_ = exact_ <= 1 ? 0.0 : std::log2(static_cast<double>(exact_));
+}
+
+PathCount& PathCount::operator+=(const PathCount& o) {
+  if (!sat_ && !o.sat_) {
+    if (exact_ <= kSatLimit - o.exact_ && exact_ + o.exact_ < kSatLimit) {
+      exact_ += o.exact_;
+      return *this;
+    }
+  }
+  // log-domain addition: log2(a + b) = log2(a) + log2(1 + b/a), a >= b.
+  double la = log2();
+  double lb = o.log2();
+  // Zero operands: log2() of 0 is 0 here; handle explicitly.
+  const bool a_zero = !sat_ && exact_ == 0;
+  const bool b_zero = !o.sat_ && o.exact_ == 0;
+  if (a_zero) { *this = o; return *this; }
+  if (b_zero) return *this;
+  if (la < lb) std::swap(la, lb);
+  const double l = la + std::log2(1.0 + std::exp2(lb - la));
+  *this = from_log2(l);
+  return *this;
+}
+
+PathCount& PathCount::operator*=(const PathCount& o) {
+  if (!sat_ && !o.sat_) {
+    if (exact_ == 0 || o.exact_ == 0) {
+      *this = PathCount(0);
+      return *this;
+    }
+    if (exact_ < kSatLimit / o.exact_) {
+      exact_ *= o.exact_;
+      return *this;
+    }
+  }
+  const bool a_zero = !sat_ && exact_ == 0;
+  const bool b_zero = !o.sat_ && o.exact_ == 0;
+  if (a_zero || b_zero) {
+    *this = PathCount(0);
+    return *this;
+  }
+  *this = from_log2(log2() + o.log2());
+  return *this;
+}
+
+PathCount PathCount::pow(std::uint64_t e) const {
+  if (e == 0) return PathCount(1);
+  const bool is_zero = !sat_ && exact_ == 0;
+  if (is_zero) return PathCount(0);
+  const double l = log2() * static_cast<double>(e);
+  if (l < 62.0 && !sat_) {
+    PathCount r(1);
+    for (std::uint64_t i = 0; i < e; ++i) r *= *this;
+    return r;
+  }
+  return from_log2(l);
+}
+
+bool operator==(const PathCount& a, const PathCount& b) {
+  if (a.sat_ != b.sat_) return false;
+  if (!a.sat_) return a.exact_ == b.exact_;
+  return a.log2_ == b.log2_;
+}
+
+bool operator<(const PathCount& a, const PathCount& b) {
+  if (!a.sat_ && !b.sat_) return a.exact_ < b.exact_;
+  return a.log2() < b.log2();
+}
+
+std::string PathCount::str() const {
+  std::ostringstream os;
+  if (!sat_) {
+    os << exact_;
+  } else {
+    os.precision(1);
+    os << "2^" << std::fixed << log2_;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PathCount& pc) {
+  return os << pc.str();
+}
+
+}  // namespace tmg

@@ -1,0 +1,66 @@
+// Saturating path-count arithmetic. Program-segment path counts grow as
+// products over independent branches (Figure 3 of the paper shows the
+// explosion toward end-to-end measurement), so they overflow 64-bit integers
+// for realistic programs. PathCount keeps an exact uint64 while possible and
+// degrades to a log2 estimate once the exact value saturates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace tmg {
+
+/// Non-negative big counter with +, * and comparison against small bounds.
+/// Exact up to 2^63; beyond that only log2 is tracked (sufficient for the
+/// Figure 3 reproduction, which reports log2(m) for the intractable tail).
+class PathCount {
+ public:
+  PathCount() = default;
+  /*implicit*/ PathCount(std::uint64_t v) : exact_(v), log2_(0), sat_(false) {}
+
+  static PathCount zero() { return PathCount(0); }
+  static PathCount one() { return PathCount(1); }
+  /// A value known only through its base-2 logarithm (already saturated).
+  static PathCount from_log2(double l);
+
+  [[nodiscard]] bool saturated() const { return sat_; }
+  /// Exact value; only meaningful when !saturated().
+  [[nodiscard]] std::uint64_t exact() const { return exact_; }
+  /// log2 of the value (0 for values <= 1). Valid in both representations.
+  [[nodiscard]] double log2() const;
+  /// Value as double (inf-free; saturates to ~1e308).
+  [[nodiscard]] double as_double() const;
+
+  /// True iff the count is known exactly and <= bound. Saturated counts
+  /// exceed every practical bound.
+  [[nodiscard]] bool le(std::uint64_t bound) const {
+    return !sat_ && exact_ <= bound;
+  }
+
+  PathCount& operator+=(const PathCount& o);
+  PathCount& operator*=(const PathCount& o);
+  friend PathCount operator+(PathCount a, const PathCount& b) { return a += b; }
+  friend PathCount operator*(PathCount a, const PathCount& b) { return a *= b; }
+
+  /// this^e with saturation (used for loop regions: paths(body)^iterations).
+  [[nodiscard]] PathCount pow(std::uint64_t e) const;
+
+  friend bool operator==(const PathCount& a, const PathCount& b);
+  friend bool operator<(const PathCount& a, const PathCount& b);
+
+  /// "42" for exact values, "2^123.4" once saturated.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static constexpr std::uint64_t kSatLimit = 1ULL << 63;
+  void saturate();
+
+  std::uint64_t exact_ = 0;
+  double log2_ = 0.0;  // valid only when sat_
+  bool sat_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const PathCount& pc);
+
+}  // namespace tmg

@@ -1,0 +1,89 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace tmg {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool digit_seen = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-' &&
+               c != '^' && c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const bool right = align_numeric && looks_numeric(cell);
+      os << ' ';
+      if (right)
+        os << std::setw(static_cast<int>(width[c])) << std::right << cell;
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << cell;
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit(header_, false);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace tmg

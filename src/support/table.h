@@ -1,0 +1,59 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables and figure series in a diff-friendly, aligned format.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tmg {
+
+/// Column-aligned text table. Numeric cells are right-aligned, text cells
+/// left-aligned; the header row is separated by a rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats each value with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string csv() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of fraction digits.
+std::string fmt_double(double v, int digits = 2);
+
+}  // namespace tmg
+
+#include <sstream>
+
+namespace tmg {
+template <typename T>
+std::string TextTable::to_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+}  // namespace tmg

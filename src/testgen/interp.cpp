@@ -1,0 +1,160 @@
+#include "testgen/interp.h"
+
+#include <cassert>
+
+#include "minic/eval.h"
+
+namespace tmg::testgen {
+
+using cfg::BasicBlock;
+using cfg::BlockId;
+using cfg::Edge;
+using cfg::EdgeKind;
+using cfg::TermKind;
+using minic::Expr;
+using minic::ExprKind;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::Type;
+
+Interpreter::Interpreter(const minic::Program& program,
+                         const cfg::FunctionCfg& f)
+    : program_(program), f_(f), inputs_(program.inputs_of(*f.fn)) {
+  env_.assign(program_.symbols.size(), 0);
+}
+
+std::int64_t Interpreter::eval(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return minic::wrap_to_type(e.int_value, e.type);
+    case ExprKind::VarRef:
+      return env_[e.sym->id];
+    case ExprKind::Unary: {
+      const std::int64_t v = eval(e.child(0));
+      return minic::eval_unop(e.un_op, v, e.child(0).type, e.type);
+    }
+    case ExprKind::Binary: {
+      const std::int64_t l = eval(e.child(0));
+      const std::int64_t r = eval(e.child(1));
+      const Type ot = minic::arith_result(e.child(0).type, e.child(1).type);
+      return minic::eval_binop(e.bin_op, minic::wrap_to_type(l, ot),
+                               minic::wrap_to_type(r, ot), ot, e.type);
+    }
+    case ExprKind::Cond: {
+      const std::int64_t c = eval(e.child(0));
+      return minic::wrap_to_type(eval(e.child(c != 0 ? 1 : 2)), e.type);
+    }
+    case ExprKind::Call:
+      // Leaf calls have no data effect; value-returning externs are
+      // rejected by the transition-system translator, and here we give
+      // them a neutral 0 so traces stay total.
+      for (const auto& arg : e.children) (void)eval(*arg);
+      return 0;
+  }
+  return 0;
+}
+
+void Interpreter::exec_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      std::int64_t rhs = eval(*s.children[0]);
+      if (s.assign_op) {
+        const std::int64_t cur = env_[s.sym->id];
+        const Type rt = s.children[0]->type;
+        const Type ot = (*s.assign_op == minic::BinOp::Shl ||
+                         *s.assign_op == minic::BinOp::Shr)
+                            ? minic::arith_result(s.sym->type, s.sym->type)
+                            : minic::arith_result(s.sym->type, rt);
+        rhs = minic::eval_binop(*s.assign_op, minic::wrap_to_type(cur, ot),
+                                minic::wrap_to_type(rhs, ot), ot, ot);
+      }
+      env_[s.sym->id] = minic::wrap_to_type(rhs, s.sym->type);
+      break;
+    }
+    case StmtKind::Decl:
+      if (!s.children.empty())
+        env_[s.sym->id] =
+            minic::wrap_to_type(eval(*s.children[0]), s.sym->type);
+      break;
+    case StmtKind::Expr:
+      (void)eval(*s.children[0]);
+      break;
+    case StmtKind::Return:
+      if (!s.children.empty())
+        ret_ = minic::wrap_to_type(eval(*s.children[0]),
+                                   f_.fn->return_type);
+      break;
+    default:
+      assert(false && "statement kind cannot appear inside a basic block");
+  }
+}
+
+ExecTrace Interpreter::run(const std::vector<std::int64_t>& inputs,
+                           std::uint64_t max_stmts) {
+  assert(inputs.size() == inputs_.size());
+  // reset environment
+  env_.assign(program_.symbols.size(), 0);
+  for (const minic::Symbol* g : program_.globals)
+    env_[g->id] = minic::wrap_to_type(g->init_value, g->type);
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    env_[inputs_[i]->id] = minic::wrap_to_type(inputs[i], inputs_[i]->type);
+  ret_ = 0;
+
+  ExecTrace trace;
+  BlockId cur = f_.graph.entry();
+  while (true) {
+    trace.blocks.push_back(cur);
+    if (trace.blocks.size() > max_stmts) return trace;  // runaway empty loop
+    const BasicBlock& blk = f_.graph.block(cur);
+    for (const Stmt* s : blk.stmts) {
+      exec_stmt(*s);
+      if (++trace.stmts_executed > max_stmts) return trace;  // not terminated
+    }
+    if (blk.term == TermKind::Exit) {
+      trace.terminated = true;
+      trace.return_value = ret_;
+      return trace;
+    }
+    // choose the successor edge
+    std::uint32_t chosen = 0;
+    if (blk.term == TermKind::Branch) {
+      const bool taken = eval(*blk.decision) != 0;
+      chosen = UINT32_MAX;
+      for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
+        if ((blk.succs[i].kind == EdgeKind::True) == taken &&
+            (blk.succs[i].kind == EdgeKind::True ||
+             blk.succs[i].kind == EdgeKind::False)) {
+          chosen = i;
+          break;
+        }
+      }
+      assert(chosen != UINT32_MAX);
+      trace.choices.push_back(cfg::EdgeRef{cur, chosen});
+    } else if (blk.term == TermKind::Switch) {
+      const std::int64_t sel = eval(*blk.decision);
+      std::uint32_t default_ix = UINT32_MAX;
+      chosen = UINT32_MAX;
+      for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
+        if (blk.succs[i].kind == EdgeKind::Case) {
+          if (blk.succs[i].case_label == sel) {
+            chosen = i;
+            break;
+          }
+        } else if (blk.succs[i].kind == EdgeKind::Default) {
+          default_ix = i;
+        }
+      }
+      if (chosen == UINT32_MAX) chosen = default_ix;
+      assert(chosen != UINT32_MAX);
+      trace.choices.push_back(cfg::EdgeRef{cur, chosen});
+    } else {
+      // Jump / Return: single successor
+      assert(!blk.succs.empty());
+      chosen = 0;
+    }
+    cur = blk.succs[chosen].to;
+    if (trace.stmts_executed > max_stmts) return trace;
+  }
+}
+
+}  // namespace tmg::testgen

@@ -1,0 +1,61 @@
+// Concrete execution of one mini-C function over its CFG, recording the
+// control path taken. This is the reference semantics: the target VM, the
+// transition system and the BMC engine are all differentially tested
+// against it, and the test-data generators use it to check path coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/structure.h"
+#include "minic/ast.h"
+
+namespace tmg::testgen {
+
+/// The observable result of one run.
+struct ExecTrace {
+  /// Blocks in execution order (entry..exit inclusive on termination).
+  std::vector<cfg::BlockId> blocks;
+  /// Decision edges taken, in execution order.
+  std::vector<cfg::EdgeRef> choices;
+  /// Statements executed.
+  std::uint64_t stmts_executed = 0;
+  /// False if the step limit was hit (runaway loop).
+  bool terminated = false;
+  /// Return value (0 for void functions).
+  std::int64_t return_value = 0;
+};
+
+/// Interprets one function. Construct once, run many times (the genetic
+/// algorithm calls run() per candidate input vector).
+class Interpreter {
+ public:
+  Interpreter(const minic::Program& program, const cfg::FunctionCfg& f);
+
+  /// Input values ordered as Program::inputs_of(fn); values are wrapped to
+  /// each input's type. Non-input globals start at their initialisers,
+  /// locals at 0.
+  ExecTrace run(const std::vector<std::int64_t>& inputs,
+                std::uint64_t max_stmts = 1 << 20);
+
+  /// Variable value after the last run() (by symbol id).
+  [[nodiscard]] std::int64_t value_of(const minic::Symbol& sym) const {
+    return env_[sym.id];
+  }
+
+  [[nodiscard]] const std::vector<minic::Symbol*>& inputs() const {
+    return inputs_;
+  }
+
+ private:
+  std::int64_t eval(const minic::Expr& e);
+  void exec_stmt(const minic::Stmt& s);
+
+  const minic::Program& program_;
+  const cfg::FunctionCfg& f_;
+  std::vector<minic::Symbol*> inputs_;
+  std::vector<std::int64_t> env_;  // by symbol id
+  std::int64_t ret_ = 0;
+};
+
+}  // namespace tmg::testgen

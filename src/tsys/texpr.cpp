@@ -1,0 +1,212 @@
+#include "tsys/texpr.h"
+
+#include <sstream>
+
+#include "minic/eval.h"
+
+namespace tmg::tsys {
+
+using minic::BinOp;
+using minic::Type;
+using minic::UnOp;
+
+TExprPtr TExpr::clone() const {
+  auto e = std::make_unique<TExpr>();
+  e->kind = kind;
+  e->type = type;
+  e->value = value;
+  e->var = var;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  e->args.reserve(args.size());
+  for (const TExprPtr& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+bool TExpr::equals(const TExpr& o) const {
+  if (kind != o.kind || type != o.type) return false;
+  switch (kind) {
+    case TExprKind::Const:
+      if (value != o.value) return false;
+      break;
+    case TExprKind::Var:
+      if (var != o.var) return false;
+      break;
+    case TExprKind::Unary:
+      if (un_op != o.un_op) return false;
+      break;
+    case TExprKind::Binary:
+      if (bin_op != o.bin_op) return false;
+      break;
+    case TExprKind::Cond:
+      break;
+  }
+  if (args.size() != o.args.size()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i)
+    if (!args[i]->equals(*o.args[i])) return false;
+  return true;
+}
+
+std::size_t TExpr::size() const {
+  std::size_t n = 1;
+  for (const TExprPtr& a : args) n += a->size();
+  return n;
+}
+
+void TExpr::collect_vars(std::vector<VarId>& out) const {
+  if (kind == TExprKind::Var) out.push_back(var);
+  for (const TExprPtr& a : args) a->collect_vars(out);
+}
+
+bool TExpr::references(VarId v) const {
+  if (kind == TExprKind::Var) return var == v;
+  for (const TExprPtr& a : args)
+    if (a->references(v)) return true;
+  return false;
+}
+
+TExprPtr t_const(std::int64_t v, Type type) {
+  auto e = std::make_unique<TExpr>();
+  e->kind = TExprKind::Const;
+  e->type = type;
+  e->value = minic::wrap_to_type(v, type);
+  return e;
+}
+
+TExprPtr t_var(VarId v, Type type) {
+  auto e = std::make_unique<TExpr>();
+  e->kind = TExprKind::Var;
+  e->type = type;
+  e->var = v;
+  return e;
+}
+
+TExprPtr t_unary(UnOp op, TExprPtr a, Type type) {
+  auto e = std::make_unique<TExpr>();
+  e->kind = TExprKind::Unary;
+  e->type = type;
+  e->un_op = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+
+TExprPtr t_binary(BinOp op, TExprPtr l, TExprPtr r, Type type) {
+  auto e = std::make_unique<TExpr>();
+  e->kind = TExprKind::Binary;
+  e->type = type;
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+TExprPtr t_cond(TExprPtr c, TExprPtr t, TExprPtr f, Type type) {
+  auto e = std::make_unique<TExpr>();
+  e->kind = TExprKind::Cond;
+  e->type = type;
+  e->args.push_back(std::move(c));
+  e->args.push_back(std::move(t));
+  e->args.push_back(std::move(f));
+  return e;
+}
+
+TExprPtr t_not(TExprPtr e) {
+  return t_unary(UnOp::LogicalNot, std::move(e), Type::Bool);
+}
+
+std::int64_t eval_texpr(const TExpr& e, const std::vector<std::int64_t>& env) {
+  switch (e.kind) {
+    case TExprKind::Const:
+      return e.value;
+    case TExprKind::Var:
+      return minic::wrap_to_type(env[e.var], e.type);
+    case TExprKind::Unary: {
+      const std::int64_t v = eval_texpr(*e.args[0], env);
+      return minic::eval_unop(e.un_op, v, e.args[0]->type, e.type);
+    }
+    case TExprKind::Binary: {
+      const std::int64_t l = eval_texpr(*e.args[0], env);
+      const std::int64_t r = eval_texpr(*e.args[1], env);
+      const Type ot = minic::arith_result(e.args[0]->type, e.args[1]->type);
+      return minic::eval_binop(e.bin_op, minic::wrap_to_type(l, ot),
+                               minic::wrap_to_type(r, ot), ot, e.type);
+    }
+    case TExprKind::Cond: {
+      const std::int64_t c = eval_texpr(*e.args[0], env);
+      return minic::wrap_to_type(
+          eval_texpr(*e.args[c != 0 ? 1 : 2], env), e.type);
+    }
+  }
+  return 0;
+}
+
+std::size_t substitute(TExprPtr& e, VarId var, const TExpr& replacement) {
+  if (e->kind == TExprKind::Var && e->var == var) {
+    // Preserve the use-site type: wrap the replacement if types differ.
+    const Type use_type = e->type;
+    e = replacement.clone();
+    if (e->type != use_type)
+      e = t_unary(UnOp::Plus, std::move(e), use_type);  // explicit conversion
+    return 1;
+  }
+  std::size_t n = 0;
+  for (TExprPtr& a : e->args) n += substitute(a, var, replacement);
+  return n;
+}
+
+namespace {
+void to_string_rec(const TExpr& e, const std::vector<std::string>& names,
+                   std::ostringstream& os) {
+  switch (e.kind) {
+    case TExprKind::Const:
+      os << e.value;
+      break;
+    case TExprKind::Var:
+      os << (e.var < names.size() ? names[e.var]
+                                  : "v" + std::to_string(e.var));
+      break;
+    case TExprKind::Unary:
+      if (e.un_op == UnOp::LogicalNot) {
+        os << "NOT (";
+        to_string_rec(*e.args[0], names, os);
+        os << ")";
+      } else {
+        os << minic::unop_spelling(e.un_op) << '(';
+        to_string_rec(*e.args[0], names, os);
+        os << ')';
+      }
+      break;
+    case TExprKind::Binary: {
+      std::string op = minic::binop_spelling(e.bin_op);
+      if (e.bin_op == BinOp::LogicalAnd) op = "AND";
+      if (e.bin_op == BinOp::LogicalOr) op = "OR";
+      if (e.bin_op == BinOp::Eq) op = "=";
+      if (e.bin_op == BinOp::Ne) op = "/=";
+      os << '(';
+      to_string_rec(*e.args[0], names, os);
+      os << ' ' << op << ' ';
+      to_string_rec(*e.args[1], names, os);
+      os << ')';
+      break;
+    }
+    case TExprKind::Cond:
+      os << "IF ";
+      to_string_rec(*e.args[0], names, os);
+      os << " THEN ";
+      to_string_rec(*e.args[1], names, os);
+      os << " ELSE ";
+      to_string_rec(*e.args[2], names, os);
+      os << " ENDIF";
+      break;
+  }
+}
+}  // namespace
+
+std::string texpr_to_string(const TExpr& e,
+                            const std::vector<std::string>& var_names) {
+  std::ostringstream os;
+  to_string_rec(e, var_names, os);
+  return os.str();
+}
+
+}  // namespace tmg::tsys

@@ -1,0 +1,67 @@
+// Expression IR of the transition system. Separate from the mini-C AST so
+// that the Section-3.2 optimisation passes can rewrite expressions freely
+// (reverse CSE substitutes variables by their defining expressions, range
+// analysis re-types, dead-code elimination drops updates).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace tmg::tsys {
+
+/// Dense transition-system variable index.
+using VarId = std::uint32_t;
+inline constexpr VarId kNoVar = UINT32_MAX;
+
+enum class TExprKind : std::uint8_t { Const, Var, Unary, Binary, Cond };
+
+struct TExpr;
+using TExprPtr = std::unique_ptr<TExpr>;
+
+/// Typed expression tree over transition-system variables. Evaluation
+/// semantics are exactly mini-C's (see minic/eval.h): every node's value is
+/// wrapped to its `type`.
+struct TExpr {
+  TExprKind kind = TExprKind::Const;
+  minic::Type type = minic::Type::Int16;
+
+  std::int64_t value = 0;                 // Const
+  VarId var = kNoVar;                     // Var
+  minic::UnOp un_op = minic::UnOp::Plus;  // Unary
+  minic::BinOp bin_op = minic::BinOp::Add;  // Binary
+  std::vector<TExprPtr> args;             // children
+
+  [[nodiscard]] TExprPtr clone() const;
+  [[nodiscard]] bool equals(const TExpr& o) const;
+  /// Number of nodes in the tree (size accounting for the optimiser).
+  [[nodiscard]] std::size_t size() const;
+  /// Collects every variable referenced (with multiplicity).
+  void collect_vars(std::vector<VarId>& out) const;
+  [[nodiscard]] bool references(VarId v) const;
+};
+
+TExprPtr t_const(std::int64_t v, minic::Type type = minic::Type::Int16);
+TExprPtr t_var(VarId v, minic::Type type);
+TExprPtr t_unary(minic::UnOp op, TExprPtr a, minic::Type type);
+TExprPtr t_binary(minic::BinOp op, TExprPtr l, TExprPtr r, minic::Type type);
+TExprPtr t_cond(TExprPtr c, TExprPtr t, TExprPtr f, minic::Type type);
+/// !e with Bool type.
+TExprPtr t_not(TExprPtr e);
+
+/// Evaluates under a valuation (indexed by VarId). Values in `env` must
+/// already be wrapped to their variables' types.
+std::int64_t eval_texpr(const TExpr& e, const std::vector<std::int64_t>& env);
+
+/// Replaces every reference to `var` with a clone of `replacement`.
+/// Returns the number of substitutions performed.
+std::size_t substitute(TExprPtr& e, VarId var, const TExpr& replacement);
+
+/// Renders as SAL-flavoured text (infix, variables by name via callback).
+std::string texpr_to_string(
+    const TExpr& e, const std::vector<std::string>& var_names);
+
+}  // namespace tmg::tsys

@@ -1,0 +1,341 @@
+#include "tsys/translate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tmg::tsys {
+
+using cfg::BasicBlock;
+using cfg::BlockId;
+using cfg::EdgeKind;
+using cfg::TermKind;
+using minic::Expr;
+using minic::ExprKind;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::Symbol;
+using minic::Type;
+
+namespace {
+
+class Translator {
+ public:
+  Translator(const minic::Program& program, const cfg::FunctionCfg& f,
+             DiagnosticEngine& diags, const TranslateOptions& opts)
+      : program_(program), f_(f), diags_(diags), opts_(opts),
+        result_(std::make_unique<TranslationResult>()) {}
+
+  std::unique_ptr<TranslationResult> run() {
+    make_variables();
+    allocate_locations();
+    emit_transitions();
+    result_->ts.name = f_.fn->name;
+    if (!diags_.ok()) return nullptr;
+    return std::move(result_);
+  }
+
+ private:
+  TransitionSystem& ts() { return result_->ts; }
+
+  // -------------------------------------------------------------- variables
+  void make_variables() {
+    result_->var_of_symbol.assign(program_.symbols.size(), kNoVar);
+
+    auto add = [&](const Symbol& sym, bool input) {
+      auto [lo, hi] = sym.value_range();
+      const std::int64_t decl_lo = lo, decl_hi = hi;
+      if (opts_.pessimistic_widths && !sym.input_range) {
+        // paper default: every variable is a 16-bit signed integer unless
+        // the code generator annotated its domain
+        lo = std::min<std::int64_t>(lo, minic::type_min(Type::Int16));
+        hi = std::max<std::int64_t>(hi, minic::type_max(Type::Int16));
+      }
+      const VarId v = ts().add_var(sym.name, sym.type, lo, hi);
+      ts().vars[v].is_input = input;
+      ts().vars[v].semantic_init = sym.init_value;
+      ts().vars[v].decl_lo = decl_lo;
+      ts().vars[v].decl_hi = decl_hi;
+      result_->var_of_symbol[sym.id] = v;
+      return v;
+    };
+
+    // Parameters are inputs; globals are inputs iff marked __input; all
+    // other globals and this function's locals are plain (uninitialised)
+    // state.
+    for (const Symbol* p : f_.fn->params) add(*p, /*input=*/true);
+    for (const Symbol* g : program_.globals) add(*g, g->is_input);
+    std::vector<const Symbol*> locals;
+    collect_locals(*f_.fn->body, locals);
+    for (const Symbol* l : locals) add(*l, /*input=*/false);
+    if (f_.fn->return_type != Type::Void) {
+      const Type rt = f_.fn->return_type;
+      ret_var_ = ts().add_var("__ret", rt, minic::type_min(rt),
+                              minic::type_max(rt));
+      ts().vars[ret_var_].decl_lo = minic::type_min(rt);
+      ts().vars[ret_var_].decl_hi = minic::type_max(rt);
+    }
+  }
+
+  VarId var_of(const Symbol& sym) {
+    const VarId v = result_->var_of_symbol[sym.id];
+    assert(v != kNoVar && "symbol without transition-system variable");
+    return v;
+  }
+
+  /// Declared local symbols of this function, in declaration order.
+  static void collect_locals(const Stmt& s, std::vector<const Symbol*>& out) {
+    if (s.kind == StmtKind::Decl) out.push_back(s.sym);
+    for (const auto& inner : s.body)
+      if (inner) collect_locals(*inner, out);
+    for (const auto& arm : s.cases)
+      for (const auto& inner : arm.body)
+        if (inner) collect_locals(*inner, out);
+  }
+
+  // -------------------------------------------------------------- locations
+  /// True when the statement produces a transition.
+  static bool stmt_emits(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign:
+      case StmtKind::Expr:
+      case StmtKind::Return:
+        return true;
+      case StmtKind::Decl:
+        return !s.children.empty();  // only initialised decls assign
+      default:
+        return false;
+    }
+  }
+
+  std::size_t emitting_count(const BasicBlock& b) const {
+    std::size_t n = 0;
+    for (const Stmt* s : b.stmts)
+      if (stmt_emits(*s)) ++n;
+    return n;
+  }
+
+  void allocate_locations() {
+    const auto& g = f_.graph;
+    loc_in_.assign(g.size(), kNoLoc);
+    // The exit block is the final location.
+    Loc next = 0;
+    final_ = next++;
+
+    // Pass 1: fresh locations for blocks that anchor one (non-aliased).
+    for (BlockId b : g.topo_order()) {
+      if (b == g.exit_block()) {
+        loc_in_[b] = final_;
+        continue;
+      }
+      const BasicBlock& blk = g.block(b);
+      const bool aliases =
+          emitting_count(blk) == 0 && blk.term == TermKind::Jump;
+      if (!aliases) loc_in_[b] = next++;
+    }
+    // Pass 2: resolve alias chains (empty jump blocks point at their
+    // successor's location). Chains terminate because every cycle in the
+    // CFG contains a decision block.
+    for (BlockId b = 0; b < g.size(); ++b) {
+      if (loc_in_[b] != kNoLoc) continue;
+      BlockId cur = b;
+      std::vector<BlockId> chain;
+      while (loc_in_[cur] == kNoLoc) {
+        chain.push_back(cur);
+        assert(!g.block(cur).succs.empty());
+        cur = g.block(cur).succs[0].to;
+      }
+      for (BlockId c : chain) loc_in_[c] = loc_in_[cur];
+    }
+    ts().num_locs = next;
+    ts().initial = loc_in_[g.entry()];
+    ts().final = final_;
+  }
+
+  Loc fresh_loc() {
+    const Loc l = ts().num_locs;
+    ++ts().num_locs;
+    return l;
+  }
+
+  // ------------------------------------------------------------ transitions
+  void add_transition(Loc from, Loc to, TExprPtr guard,
+                      std::vector<Update> updates, BlockId origin,
+                      std::uint32_t origin_succ = UINT32_MAX) {
+    Transition t;
+    t.id = static_cast<std::uint32_t>(ts().transitions.size());
+    t.from = from;
+    t.to = to;
+    t.guard = std::move(guard);
+    t.updates = std::move(updates);
+    t.origin_block = origin;
+    t.origin_succ = origin_succ;
+    ts().transitions.push_back(std::move(t));
+  }
+
+  void emit_transitions() {
+    const auto& g = f_.graph;
+    for (BlockId b = 0; b < g.size(); ++b) {
+      const BasicBlock& blk = g.block(b);
+      std::vector<const Stmt*> emitting;
+      for (const Stmt* s : blk.stmts)
+        if (stmt_emits(*s)) emitting.push_back(s);
+
+      // Where control goes after the block's statements.
+      Loc after = kNoLoc;
+      switch (blk.term) {
+        case TermKind::Jump:
+          if (!blk.succs.empty()) after = loc_in_[blk.succs[0].to];
+          break;
+        case TermKind::Return:
+          after = final_;
+          break;
+        case TermKind::Branch:
+        case TermKind::Switch:
+          after = loc_in_[b];  // decisions branch from the block entry
+          break;
+        case TermKind::Exit:
+          break;
+      }
+
+      // Statement chain.
+      Loc cur = loc_in_[b];
+      for (std::size_t i = 0; i < emitting.size(); ++i) {
+        const bool last = i + 1 == emitting.size();
+        const Loc to = last ? after : fresh_loc();
+        emit_stmt(*emitting[i], cur, to, b);
+        cur = to;
+      }
+
+      // Decision fan-out.
+      if (blk.term == TermKind::Branch) {
+        assert(emitting.empty() && "decision blocks carry no statements");
+        TExprPtr cond = convert(*blk.decision);
+        for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
+          const auto& e = blk.succs[i];
+          TExprPtr guard = e.kind == EdgeKind::True ? cond->clone()
+                                                    : t_not(cond->clone());
+          add_transition(loc_in_[b], loc_in_[e.to], std::move(guard), {}, b,
+                         i);
+        }
+      } else if (blk.term == TermKind::Switch) {
+        assert(emitting.empty());
+        TExprPtr sel = convert(*blk.decision);
+        for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
+          const auto& e = blk.succs[i];
+          TExprPtr guard;
+          if (e.kind == EdgeKind::Case) {
+            guard = t_binary(minic::BinOp::Eq, sel->clone(),
+                             t_const(e.case_label, sel->type), Type::Bool);
+          } else {
+            // default: none of the labels matched
+            for (const auto& other : blk.succs) {
+              if (other.kind != EdgeKind::Case) continue;
+              TExprPtr ne =
+                  t_binary(minic::BinOp::Ne, sel->clone(),
+                           t_const(other.case_label, sel->type), Type::Bool);
+              guard = guard ? t_binary(minic::BinOp::LogicalAnd,
+                                       std::move(guard), std::move(ne),
+                                       Type::Bool)
+                            : std::move(ne);
+            }
+            if (!guard) guard = t_const(1, Type::Bool);
+          }
+          add_transition(loc_in_[b], loc_in_[e.to], std::move(guard), {}, b,
+                         i);
+        }
+      }
+    }
+  }
+
+  void emit_stmt(const Stmt& s, Loc from, Loc to, BlockId origin) {
+    std::vector<Update> updates;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const VarId v = var_of(*s.sym);
+        TExprPtr rhs = convert(*s.children[0]);
+        if (s.assign_op) {
+          // x op= e  ==>  x' = x op e (with mini-C promotion semantics)
+          TExprPtr lhs_ref = t_var(v, s.sym->type);
+          const Type ot = s.assign_op == minic::BinOp::Shl ||
+                                  s.assign_op == minic::BinOp::Shr
+                              ? minic::arith_result(s.sym->type, s.sym->type)
+                              : minic::arith_result(s.sym->type, rhs->type);
+          rhs = t_binary(*s.assign_op, std::move(lhs_ref), std::move(rhs),
+                         ot);
+        }
+        updates.push_back(Update{v, coerce(std::move(rhs), s.sym->type)});
+        break;
+      }
+      case StmtKind::Decl: {
+        const VarId v = var_of(*s.sym);
+        updates.push_back(
+            Update{v, coerce(convert(*s.children[0]), s.sym->type)});
+        break;
+      }
+      case StmtKind::Expr:
+        // A leaf call: no state effect, but it is a statement, hence a
+        // transition (its cost matters on the target, not in the model).
+        if (s.children[0]->kind != ExprKind::Call)
+          diags_.warning(s.loc, "effect-free expression statement");
+        break;
+      case StmtKind::Return:
+        if (!s.children.empty() && ret_var_ != kNoVar)
+          updates.push_back(Update{
+              ret_var_, coerce(convert(*s.children[0]), f_.fn->return_type)});
+        break;
+      default:
+        assert(false && "non-emitting statement");
+    }
+    add_transition(from, to, nullptr, std::move(updates), origin);
+  }
+
+  /// Wraps `e` to exactly `type` (no-op if already that type).
+  TExprPtr coerce(TExprPtr e, Type type) {
+    if (e->type == type) return e;
+    return t_unary(minic::UnOp::Plus, std::move(e), type);
+  }
+
+  TExprPtr convert(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return t_const(e.int_value, e.type);
+      case ExprKind::VarRef:
+        return t_var(var_of(*e.sym), e.sym->type);
+      case ExprKind::Unary:
+        return t_unary(e.un_op, convert(e.child(0)), e.type);
+      case ExprKind::Binary:
+        return t_binary(e.bin_op, convert(e.child(0)), convert(e.child(1)),
+                        e.type);
+      case ExprKind::Cond:
+        return t_cond(convert(e.child(0)), convert(e.child(1)),
+                      convert(e.child(2)), e.type);
+      case ExprKind::Call:
+        diags_.error(e.loc,
+                     "value-returning extern call inside an expression "
+                     "cannot be modelled; assign inputs explicitly");
+        return t_const(0, e.type == Type::Void ? Type::Int16 : e.type);
+    }
+    return t_const(0, Type::Int16);
+  }
+
+  const minic::Program& program_;
+  const cfg::FunctionCfg& f_;
+  DiagnosticEngine& diags_;
+  TranslateOptions opts_;
+  std::unique_ptr<TranslationResult> result_;
+
+  std::vector<Loc> loc_in_;
+  Loc final_ = kNoLoc;
+  VarId ret_var_ = kNoVar;
+};
+
+}  // namespace
+
+std::unique_ptr<TranslationResult> translate(const minic::Program& program,
+                                             const cfg::FunctionCfg& f,
+                                             DiagnosticEngine& diags,
+                                             const TranslateOptions& opts) {
+  return Translator(program, f, diags, opts).run();
+}
+
+}  // namespace tmg::tsys

@@ -1,0 +1,46 @@
+// mini-C -> transition-system translation (the paper's C-to-SAL converter).
+//
+// Baseline translation, before any optimisation pass (Section 3.1/3.3):
+//  * every global and parameter becomes a state variable, including unused
+//    ones (the paper's evaluation example deliberately carries three unused
+//    variables);
+//  * every statement becomes one transition ("a single statement in each
+//    transition" — statement concatenation later merges them);
+//  * variables that are not inputs are left uninitialised — the model
+//    checker may choose any in-range value (Variable Initialisation later
+//    pins them);
+//  * every variable is as wide as its C type (range analysis later narrows).
+#pragma once
+
+#include <memory>
+
+#include "cfg/structure.h"
+#include "support/diagnostics.h"
+#include "tsys/tsys.h"
+
+namespace tmg::tsys {
+
+struct TranslationResult {
+  TransitionSystem ts;
+  /// VarId for each mini-C symbol id (kNoVar when not part of the system,
+  /// e.g. extern functions).
+  std::vector<VarId> var_of_symbol;
+};
+
+struct TranslateOptions {
+  /// Mimic the paper's translator default: "all variables created by our C
+  /// to SAL translator are 16 bit signed integers". Booleans and bytes are
+  /// widened to the full 16-bit signed range; Variable Range Analysis
+  /// recovers the narrow encodings. Off by default (declared type ranges).
+  bool pessimistic_widths = false;
+};
+
+/// Translates one function (with its program context for globals).
+/// Reports unsupported constructs (value-returning extern calls inside
+/// expressions) to `diags`; returns nullptr if any error was reported.
+std::unique_ptr<TranslationResult> translate(const minic::Program& program,
+                                             const cfg::FunctionCfg& f,
+                                             DiagnosticEngine& diags,
+                                             const TranslateOptions& opts = {});
+
+}  // namespace tmg::tsys

@@ -1,0 +1,98 @@
+#include "tsys/tsys.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tmg::tsys {
+
+namespace {
+/// Bits to represent all integers in [lo, hi]; two's complement if lo < 0.
+int range_bits(std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return 1;  // constant or single value still occupies a bit
+  int bits = 1;
+  if (lo < 0) {
+    // need bits such that -(2^(b-1)) <= lo and hi <= 2^(b-1)-1
+    while (-(std::int64_t{1} << (bits - 1)) > lo ||
+           hi > (std::int64_t{1} << (bits - 1)) - 1)
+      ++bits;
+  } else {
+    while (hi > (std::int64_t{1} << bits) - 1) ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+int VarInfo::bits() const { return range_bits(lo, hi); }
+
+VarId TransitionSystem::add_var(std::string n, minic::Type type,
+                                std::int64_t lo, std::int64_t hi) {
+  VarInfo v;
+  v.id = static_cast<VarId>(vars.size());
+  v.name = std::move(n);
+  v.type = type;
+  v.lo = lo;
+  v.hi = hi;
+  vars.push_back(std::move(v));
+  return vars.back().id;
+}
+
+int TransitionSystem::data_bits() const {
+  int bits = 0;
+  for (const VarInfo& v : vars) bits += v.bits();
+  return bits;
+}
+
+int TransitionSystem::pc_bits() const {
+  int bits = 1;
+  while ((std::uint64_t{1} << bits) < num_locs) ++bits;
+  return bits;
+}
+
+int TransitionSystem::state_bits() const { return data_bits() + pc_bits(); }
+
+std::vector<std::vector<const Transition*>> TransitionSystem::out_index()
+    const {
+  std::vector<std::vector<const Transition*>> out(num_locs);
+  for (const Transition& t : transitions) out[t.from].push_back(&t);
+  return out;
+}
+
+std::vector<std::string> TransitionSystem::var_names() const {
+  std::vector<std::string> names;
+  names.reserve(vars.size());
+  for (const VarInfo& v : vars) names.push_back(v.name);
+  return names;
+}
+
+std::string TransitionSystem::to_sal() const {
+  const std::vector<std::string> names = var_names();
+  std::ostringstream os;
+  os << name << ": MODULE =\nBEGIN\n";
+  for (const VarInfo& v : vars) {
+    os << (v.is_input ? "  INPUT  " : "  LOCAL  ") << v.name << " : ["
+       << v.lo << ".." << v.hi << "]   % " << v.bits() << " bit(s)\n";
+  }
+  os << "  LOCAL  pc : [0.." << (num_locs - 1) << "]   % " << pc_bits()
+     << " bit(s)\n";
+  os << "  INITIALIZATION\n    pc = " << initial;
+  for (const VarInfo& v : vars)
+    if (v.has_init) os << ";\n    " << v.name << " = " << v.init;
+  os << "\n  TRANSITION\n  [\n";
+  bool first = true;
+  for (const Transition& t : transitions) {
+    if (!first) os << "  []\n";
+    first = false;
+    os << "    pc = " << t.from;
+    if (t.guard) os << " AND " << texpr_to_string(*t.guard, names);
+    os << " -->\n";
+    for (const Update& u : t.updates)
+      os << "      " << names[u.var] << "' = "
+         << texpr_to_string(*u.value, names) << ";\n";
+    os << "      pc' = " << t.to << "\n";
+  }
+  os << "  ]\nEND;   % state bits: " << state_bits() << ", transitions: "
+     << transitions.size() << "\n";
+  return os.str();
+}
+
+}  // namespace tmg::tsys

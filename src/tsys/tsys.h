@@ -1,0 +1,108 @@
+// Guarded-command transition system — our stand-in for the SAL language the
+// paper translates C into. A system is a set of ranged variables, a program
+// counter over locations, and guarded transitions with parallel updates.
+//
+// Metrics exposed here mirror the paper's Table 2 instrumentation: state
+// bits (variable encoding width + pc), transition count, and — via the BMC
+// engine — time / memory / steps per query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "tsys/texpr.h"
+
+namespace tmg::tsys {
+
+using Loc = std::uint32_t;
+inline constexpr Loc kNoLoc = UINT32_MAX;
+
+/// One state variable with its value range. The range drives the encoding
+/// width: range analysis narrows [lo, hi], which shrinks the state vector
+/// ("1 bit vs 16 bits for boolean expressions", Section 3.2.4).
+struct VarInfo {
+  VarId id = kNoVar;
+  std::string name;
+  minic::Type type = minic::Type::Int16;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  /// Inputs keep a free initial value in [lo, hi]; they are the test data.
+  bool is_input = false;
+  /// Non-inputs: when set, the initial value is fixed to `init` (Section
+  /// 3.2.5 Variable Initialisation); when unset the model checker may pick
+  /// any value in range (the paper's default: uninitialised).
+  bool has_init = false;
+  std::int64_t init = 0;
+
+  /// The C-semantic initial value (global initialiser / 0 for locals),
+  /// recorded by the translator so the Variable Initialisation pass can pin
+  /// uninitialised variables to their real values.
+  std::int64_t semantic_init = 0;
+  /// The declared C type's value range — the hard bound Range Analysis may
+  /// clamp to even when the encoding was pessimistically widened.
+  std::int64_t decl_lo = 0;
+  std::int64_t decl_hi = 0;
+
+  /// Encoding width in bits for [lo, hi] (two's complement when lo < 0).
+  [[nodiscard]] int bits() const;
+  [[nodiscard]] bool is_signed_encoding() const { return lo < 0; }
+};
+
+/// A parallel assignment var' = value.
+struct Update {
+  VarId var = kNoVar;
+  TExprPtr value;
+};
+
+/// One guarded transition `from --[guard]--> to / updates`.
+struct Transition {
+  std::uint32_t id = 0;
+  Loc from = kNoLoc;
+  Loc to = kNoLoc;
+  TExprPtr guard;  // nullptr == true
+  std::vector<Update> updates;
+
+  /// Provenance for path-directed queries: the CFG block this transition
+  /// was generated from, and — for decision transitions — the successor
+  /// index of the branch it encodes.
+  cfg::BlockId origin_block = cfg::kInvalidBlock;
+  std::uint32_t origin_succ = UINT32_MAX;
+
+  [[nodiscard]] bool is_decision() const { return origin_succ != UINT32_MAX; }
+};
+
+/// The transition system for one function.
+struct TransitionSystem {
+  std::string name;
+  std::vector<VarInfo> vars;
+  std::vector<Transition> transitions;
+  Loc num_locs = 0;
+  Loc initial = kNoLoc;
+  Loc final = kNoLoc;
+
+  VarId add_var(std::string name, minic::Type type, std::int64_t lo,
+                std::int64_t hi);
+
+  /// Bits of one encoded state: sum of variable widths plus pc bits.
+  /// This is the paper's "number of bits required to encode the state
+  /// vector" (it recommends <= 700 for acceptable SAL performance).
+  [[nodiscard]] int state_bits() const;
+  /// Bits of the variable part only (excluding pc).
+  [[nodiscard]] int data_bits() const;
+  [[nodiscard]] int pc_bits() const;
+
+  /// Outgoing transitions per location (index rebuilt on demand).
+  [[nodiscard]] std::vector<std::vector<const Transition*>> out_index() const;
+
+  /// Variable names (indexed by VarId) for printing.
+  [[nodiscard]] std::vector<std::string> var_names() const;
+
+  /// SAL-flavoured textual export of the whole module.
+  [[nodiscard]] std::string to_sal() const;
+};
+
+}  // namespace tmg::tsys

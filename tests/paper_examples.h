@@ -1,0 +1,42 @@
+// Shared mini-C sources used across tests and benches: the paper's
+// Figure 1 example and helpers.
+#pragma once
+
+namespace tmg::testing {
+
+/// The example program of Figure 1 (nested ifs over one input). With the
+/// decision-node CFG construction this lowers to exactly 11 basic blocks
+/// (start, 8 real blocks, end) and 6 end-to-end paths, matching Table 1.
+inline constexpr const char* kFigure1Source = R"(
+extern void printf1(void) __cost(10);
+extern void printf2(void) __cost(10);
+extern void printf3(void) __cost(10);
+extern void printf4(void) __cost(10);
+extern void printf5(void) __cost(10);
+extern void printf6(void) __cost(10);
+extern void printf7(void) __cost(10);
+extern void printf8(void) __cost(10);
+
+void fig1(int i)
+{
+  printf1();
+  printf2();
+  if (i == 0)
+  {
+    printf3();
+    if (i == 0) {
+      printf4();
+    } else {
+      printf5();
+    }
+  }
+  if (i == 0)
+  {
+    printf6();
+    printf7();
+  }
+  printf8();
+}
+)";
+
+}  // namespace tmg::testing

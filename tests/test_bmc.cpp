@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "bmc/bitblast.h"
+#include "bmc/bmc.h"
+#include "cfg/paths.h"
+#include "minic/eval.h"
+#include "minic/frontend.h"
+#include "support/rng.h"
+#include "testgen/interp.h"
+#include "tsys/translate.h"
+
+namespace tmg::bmc {
+namespace {
+
+using minic::BinOp;
+using minic::Type;
+
+// ------------------------------------------------- bit-blaster vs. eval
+
+/// Checks one binary operator over all pairs of a small operand set.
+void check_binop(BinOp op, Type type) {
+  const std::vector<std::int64_t> samples = {
+      0, 1, 2, 3, 5, 7, 8, 15, 16, 100, -1, -2, -7, -128, 127,
+      minic::type_min(type), minic::type_max(type)};
+  const int w = minic::type_bits(type);
+  const bool sg = minic::type_is_signed(type);
+  for (std::int64_t a : samples) {
+    for (std::int64_t b : samples) {
+      const std::int64_t aw = minic::wrap_to_type(a, type);
+      const std::int64_t bw = minic::wrap_to_type(b, type);
+      const bool boolean = minic::binop_is_boolean(op);
+      const std::int64_t expected =
+          minic::eval_binop(op, aw, bw, type, boolean ? Type::Bool : type);
+
+      sat::Solver solver;
+      BitBlaster bb(solver);
+      const BitVec av = bb.constant(aw, w, sg);
+      const BitVec bv = bb.constant(bw, w, sg);
+      BitVec r;
+      switch (op) {
+        case BinOp::Add: r = bb.add(av, bv); break;
+        case BinOp::Sub: r = bb.sub(av, bv); break;
+        case BinOp::Mul: r = bb.mul(av, bv); break;
+        case BinOp::Div: r = bb.div(av, bv); break;
+        case BinOp::Rem: r = bb.rem(av, bv); break;
+        case BinOp::BitAnd: r = bb.bit_and(av, bv); break;
+        case BinOp::BitOr: r = bb.bit_or(av, bv); break;
+        case BinOp::BitXor: r = bb.bit_xor(av, bv); break;
+        case BinOp::Shl: r = bb.shl(av, bv); break;
+        case BinOp::Shr: r = bb.shr(av, bv); break;
+        case BinOp::Eq: r = bb.from_lit(bb.eq(av, bv)); break;
+        case BinOp::Ne: r = bb.from_lit(bb.ne(av, bv)); break;
+        case BinOp::Lt: r = bb.from_lit(bb.lt(av, bv)); break;
+        case BinOp::Le: r = bb.from_lit(bb.le(av, bv)); break;
+        case BinOp::Gt: r = bb.from_lit(bb.lt(bv, av)); break;
+        case BinOp::Ge: r = bb.from_lit(bb.le(bv, av)); break;
+        default: return;
+      }
+      ASSERT_EQ(solver.solve(), sat::Result::Sat);
+      std::int64_t got = bb.decode(r);
+      if (boolean) got = got & 1;
+      EXPECT_EQ(got, expected)
+          << minic::binop_spelling(op) << " on " << aw << ", " << bw
+          << " type " << minic::type_name(type);
+    }
+  }
+}
+
+class BitBlastOps
+    : public ::testing::TestWithParam<std::tuple<BinOp, Type>> {};
+
+TEST_P(BitBlastOps, MatchesEvalSemantics) {
+  check_binop(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BitBlastOps,
+    ::testing::Combine(
+        ::testing::Values(BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
+                          BinOp::Rem, BinOp::BitAnd, BinOp::BitOr,
+                          BinOp::BitXor, BinOp::Shl, BinOp::Shr, BinOp::Eq,
+                          BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt,
+                          BinOp::Ge),
+        ::testing::Values(Type::UInt8, Type::Int8, Type::Int16)),
+    [](const auto& info) {
+      std::string op = minic::binop_spelling(std::get<0>(info.param));
+      std::string nice;
+      for (char c : op) {
+        switch (c) {
+          case '+': nice += "Add"; break;
+          case '-': nice += "Sub"; break;
+          case '*': nice += "Mul"; break;
+          case '/': nice += "Div"; break;
+          case '%': nice += "Rem"; break;
+          case '&': nice += "And"; break;
+          case '|': nice += "Or"; break;
+          case '^': nice += "Xor"; break;
+          case '<': nice += "Lt"; break;
+          case '>': nice += "Gt"; break;
+          case '=': nice += "Eq"; break;
+          case '!': nice += "Not"; break;
+          default: nice += c;
+        }
+      }
+      return nice + "_" + std::to_string(minic::type_bits(std::get<1>(info.param))) +
+             (minic::type_is_signed(std::get<1>(info.param)) ? "s" : "u");
+    });
+
+TEST(BitBlast, FreshVariableSolvesToAnyValue) {
+  sat::Solver solver;
+  BitBlaster bb(solver);
+  const BitVec x = bb.fresh(8, false);
+  const BitVec c = bb.constant(42, 8, false);
+  solver.add_clause(bb.eq(x, c));
+  ASSERT_EQ(solver.solve(), sat::Result::Sat);
+  EXPECT_EQ(bb.decode(x), 42);
+}
+
+TEST(BitBlast, UnsatisfiableEquality) {
+  sat::Solver solver;
+  BitBlaster bb(solver);
+  const BitVec x = bb.fresh(8, false);
+  solver.add_clause(bb.eq(x, bb.constant(1, 8, false)));
+  solver.add_clause(bb.eq(x, bb.constant(2, 8, false)));
+  EXPECT_EQ(solver.solve(), sat::Result::Unsat);
+}
+
+TEST(BitBlast, MuxSelects) {
+  sat::Solver solver;
+  BitBlaster bb(solver);
+  const BitVec a = bb.constant(10, 8, false);
+  const BitVec b = bb.constant(20, 8, false);
+  const BitVec sel_true = bb.mux(bb.true_lit(), a, b);
+  const BitVec sel_false = bb.mux(bb.false_lit(), a, b);
+  ASSERT_EQ(solver.solve(), sat::Result::Sat);
+  EXPECT_EQ(bb.decode(sel_true), 10);
+  EXPECT_EQ(bb.decode(sel_false), 20);
+}
+
+TEST(BitBlast, SignExtension) {
+  sat::Solver solver;
+  BitBlaster bb(solver);
+  const BitVec a = bb.constant(-3, 8, true);
+  const BitVec wide = bb.resize(a, 16);
+  ASSERT_EQ(solver.solve(), sat::Result::Sat);
+  EXPECT_EQ(bb.decode(wide), -3);
+  const BitVec u = bb.constant(200, 8, false);
+  const BitVec uw = bb.resize(u, 16);
+  EXPECT_EQ(bb.decode(uw), 200);
+}
+
+// ---------------------------------------------------------- BMC on programs
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<tsys::TranslationResult> tr;
+};
+
+Built build(const char* src) {
+  Built b;
+  b.program = minic::compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  DiagnosticEngine diags;
+  b.tr = tsys::translate(*b.program, *b.f, diags);
+  EXPECT_TRUE(b.tr != nullptr) << diags.str();
+  return b;
+}
+
+/// Extracts the test-data vector (inputs in Program::inputs_of order) from
+/// a BMC result.
+std::vector<std::int64_t> test_data(const Built& b, const BmcResult& r) {
+  std::vector<std::int64_t> out;
+  for (const minic::Symbol* s : b.program->inputs_of(*b.f->fn)) {
+    const tsys::VarId v = b.tr->var_of_symbol[s->id];
+    out.push_back(r.initial_values[v]);
+  }
+  return out;
+}
+
+TEST(Bmc, FindsInputForSimpleBranch) {
+  Built b = build("void f(int a) { if (a == 1234) { a = 0; } }");
+  // force the true edge of the only decision
+  const auto& blk = b.f->graph;
+  cfg::EdgeRef true_edge{};
+  for (const auto& bb2 : blk.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          true_edge = cfg::EdgeRef{bb2.id, i};
+  BmcQuery q;
+  q.forced_choices = {true_edge};
+  q.must_take = true_edge;
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(test_data(b, r)[0], 1234);
+}
+
+TEST(Bmc, InfeasiblePathDetected) {
+  // i == 0 and then i != 0 with no write in between: the paper's infeasible
+  // path case — UNSAT proves infeasibility.
+  Built b = build(
+      "void f(int i) { int x = 0; if (i == 0) { x = 1; } if (i != 0) { x = 2; "
+      "} }");
+  // force both true edges
+  BmcQuery q;
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          q.forced_choices.push_back(cfg::EdgeRef{bb2.id, i});
+  const BmcResult r = solve(b.tr->ts, q);
+  EXPECT_EQ(r.status, BmcStatus::Infeasible);
+}
+
+TEST(Bmc, StepsCountsTransitions) {
+  Built b = build("void f(int a) { a = 1; a = 2; a = 3; }");
+  const BmcResult r = solve(b.tr->ts, BmcQuery{});
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(r.steps, 3u);
+}
+
+TEST(Bmc, ReportsCnfMetrics) {
+  Built b = build("void f(int a) { if (a > 5) { a = 1; } }");
+  const BmcResult r = solve(b.tr->ts, BmcQuery{});
+  EXPECT_GT(r.cnf_vars, 0u);
+  EXPECT_GT(r.cnf_clauses, 0u);
+  EXPECT_GT(r.memory_bytes, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Bmc, MustTakeWithoutForcedChoicesReachesArm) {
+  // only require the then-arm to be entered; prefix free
+  Built b = build(
+      "void f(int a, int b2) { if (a > 0) { a = 1; } if (b2 == 77) { b2 = 0; "
+      "} }");
+  cfg::EdgeRef second_true{};
+  int decision_no = 0;
+  for (const auto& bb2 : b.f->graph.blocks()) {
+    if (!bb2.is_decision()) continue;
+    ++decision_no;
+    if (decision_no == 2)
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          second_true = cfg::EdgeRef{bb2.id, i};
+  }
+  BmcQuery q;
+  q.must_take = second_true;
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(test_data(b, r)[1], 77);
+}
+
+TEST(Bmc, SwitchCaseReachable) {
+  Built b = build(
+      "__input(0, 5) int sel;"
+      "void f(void) { int x; switch (sel) { case 3: x = 1; break; "
+      "default: x = 0; break; } }");
+  // force the case-3 edge
+  BmcQuery q;
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.term == cfg::TermKind::Switch)
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::Case &&
+            bb2.succs[i].case_label == 3) {
+          q.forced_choices.push_back(cfg::EdgeRef{bb2.id, i});
+          q.must_take = cfg::EdgeRef{bb2.id, i};
+        }
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(test_data(b, r)[0], 3);
+}
+
+TEST(Bmc, InputRangeRespected) {
+  // sel is constrained to [0,2]; case 4 is structurally present but
+  // unreachable within the input domain.
+  Built b = build(
+      "__input(0, 2) int sel;"
+      "void f(void) { int x; switch (sel) { case 4: x = 1; break; "
+      "default: x = 0; break; } }");
+  BmcQuery q;
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.term == cfg::TermKind::Switch)
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::Case)
+          q.must_take = cfg::EdgeRef{bb2.id, i};
+  const BmcResult r = solve(b.tr->ts, q);
+  EXPECT_EQ(r.status, BmcStatus::Infeasible);
+}
+
+// -------------------------- differential: every feasible enumerated path
+
+const char* kDiffSources[] = {
+    // nested ifs with arithmetic
+    "void f(int a, int b2) {"
+    " int x = 0;"
+    " if (a + b2 > 10) { x = 1; } else { x = 2; }"
+    " if (a * 2 == b2) { x += 10; }"
+    "}",
+    // switch + if
+    "__input(0, 3) int m;"
+    "void f(int a) {"
+    " int r = 0;"
+    " switch (m) { case 0: r = 1; break; case 1: if (a > 0) { r = 2; } "
+    "break; default: r = 3; break; }"
+    "}",
+    // correlated conditions (some paths infeasible)
+    "void f(int i) {"
+    " int x = 0;"
+    " if (i == 0) { x = 1; }"
+    " if (i == 1) { x = 2; }"
+    " if (i == 2) { x = 3; }"
+    "}",
+};
+
+class BmcDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BmcDifferential, AgreesWithInterpreterOnEveryPath) {
+  Built b = build(kDiffSources[GetParam()]);
+  std::vector<cfg::PathSpec> paths;
+  const bool complete = cfg::enumerate_paths(
+      *b.f, b.f->graph.entry(), b.f->body.blocks(), 1000, paths);
+  ASSERT_TRUE(complete);
+
+  testgen::Interpreter interp(*b.program, *b.f);
+  int feasible = 0, infeasible = 0;
+  for (const cfg::PathSpec& p : paths) {
+    BmcQuery q;
+    q.forced_choices = p.choices;
+    const BmcResult r = solve(b.tr->ts, q);
+    ASSERT_NE(r.status, BmcStatus::Unknown);
+    if (r.status == BmcStatus::TestData) {
+      ++feasible;
+      // replay: the interpreter must take exactly the forced choices
+      const auto trace = interp.run(test_data(b, r));
+      ASSERT_TRUE(trace.terminated);
+      ASSERT_EQ(trace.choices.size(), p.choices.size());
+      for (std::size_t i = 0; i < p.choices.size(); ++i) {
+        EXPECT_EQ(trace.choices[i].from, p.choices[i].from);
+        EXPECT_EQ(trace.choices[i].succ_index, p.choices[i].succ_index);
+      }
+    } else {
+      ++infeasible;
+    }
+  }
+  EXPECT_GT(feasible, 0);
+  if (GetParam() == 2) {
+    // the correlated-ifs program has 8 structural but 4 feasible paths
+    EXPECT_EQ(feasible, 4);
+    EXPECT_EQ(infeasible, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, BmcDifferential,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace tmg::bmc

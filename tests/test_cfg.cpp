@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cfg/paths.h"
+#include "cfg/structure.h"
+#include "minic/frontend.h"
+#include "paper_examples.h"
+
+namespace tmg::cfg {
+namespace {
+
+using minic::compile_or_die;
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<FunctionCfg> f;
+};
+
+Built build(const char* src, const char* fn_name = nullptr) {
+  Built b;
+  b.program = compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  const minic::FunctionDef* fn = fn_name
+                                     ? b.program->find_function(fn_name)
+                                     : b.program->functions.front().get();
+  b.f = build_cfg(*fn);
+  return b;
+}
+
+std::uint64_t fn_paths(const Built& b) {
+  PathAnalysis pa(*b.f);
+  const PathCount pc = pa.function_paths();
+  EXPECT_FALSE(pc.saturated());
+  return pc.exact();
+}
+
+// ------------------------------------------------- Figure 1 (paper example)
+
+TEST(Figure1, HasElevenBlocks) {
+  Built b = build(testing::kFigure1Source);
+  EXPECT_EQ(b.f->graph.size(), 11u);
+}
+
+TEST(Figure1, HasSixEndToEndPaths) {
+  Built b = build(testing::kFigure1Source);
+  EXPECT_EQ(fn_paths(b), 6u);
+}
+
+TEST(Figure1, ThreeDecisions) {
+  Built b = build(testing::kFigure1Source);
+  EXPECT_EQ(b.f->graph.decision_count(), 3u);
+}
+
+TEST(Figure1, OuterThenArmIsFourBlocksTwoPaths) {
+  // "the four basic blocks having the id values 6, 3, 4, 5" — the then
+  // branch of the first if: printf3-block, inner decision, printf4, printf5.
+  Built b = build(testing::kFigure1Source);
+  // function arm items: start, [p1p2], if1, if2, [p8], end
+  ASSERT_EQ(b.f->body.items.size(), 6u);
+  const Construct& if1 = *b.f->body.items[2].construct;
+  ASSERT_EQ(if1.kind, ConstructKind::If);
+  ASSERT_EQ(if1.arms.size(), 1u);  // no else
+  const Arm& then_arm = if1.arms[0];
+  EXPECT_EQ(then_arm.blocks().size(), 4u);
+  PathAnalysis pa(*b.f);
+  EXPECT_EQ(pa.arm_paths(then_arm).exact(), 2u);
+  EXPECT_TRUE(then_arm.single_entry);
+  ASSERT_TRUE(then_arm.entry.has_value());
+  EXPECT_EQ(b.f->graph.edge(*then_arm.entry).kind, EdgeKind::True);
+}
+
+TEST(Figure1, StartAndEndAreEmptyBlocks) {
+  Built b = build(testing::kFigure1Source);
+  EXPECT_TRUE(b.f->graph.block(b.f->graph.entry()).empty());
+  EXPECT_TRUE(b.f->graph.block(b.f->graph.exit_block()).empty());
+}
+
+TEST(Figure1, AllBlocksReachable) {
+  Built b = build(testing::kFigure1Source);
+  const auto reach = b.f->graph.reachable();
+  EXPECT_TRUE(std::all_of(reach.begin(), reach.end(), [](bool r) { return r; }));
+}
+
+TEST(Figure1, EnumerationMatchesCount) {
+  Built b = build(testing::kFigure1Source);
+  std::vector<PathSpec> paths;
+  const bool complete = enumerate_paths(*b.f, b.f->graph.entry(),
+                                        b.f->body.blocks(), 100, paths);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(paths.size(), 6u);
+  // Each path must have one choice per decision traversed.
+  for (const PathSpec& p : paths) {
+    EXPECT_GE(p.choices.size(), 2u);
+    EXPECT_LE(p.choices.size(), 3u);
+  }
+}
+
+TEST(Figure1, DotOutputMentionsAllBlocks) {
+  Built b = build(testing::kFigure1Source);
+  const std::string dot = b.f->graph.to_dot();
+  for (BlockId i = 0; i < b.f->graph.size(); ++i)
+    EXPECT_NE(dot.find("b" + std::to_string(i) + " "), std::string::npos);
+}
+
+// --------------------------------------------------------- shape: if/else
+
+TEST(Shape, EmptyFunction) {
+  Built b = build("void f(void) { }");
+  // start and end only; start -> end
+  EXPECT_EQ(b.f->graph.size(), 2u);
+  EXPECT_EQ(fn_paths(b), 1u);
+}
+
+TEST(Shape, StraightLineSingleBlock) {
+  Built b = build("void f(int a) { a = 1; a = 2; a = 3; }");
+  EXPECT_EQ(b.f->graph.size(), 3u);  // start, body, end
+  EXPECT_EQ(b.f->graph.block(2).stmts.size(), 3u);
+  EXPECT_EQ(fn_paths(b), 1u);
+}
+
+TEST(Shape, IfWithoutElse) {
+  Built b = build("void f(int a) { if (a) { a = 1; } }");
+  // start, decision, then, end
+  EXPECT_EQ(b.f->graph.size(), 4u);
+  EXPECT_EQ(fn_paths(b), 2u);
+}
+
+TEST(Shape, IfElse) {
+  Built b = build("void f(int a) { if (a) { a = 1; } else { a = 2; } }");
+  EXPECT_EQ(b.f->graph.size(), 5u);
+  EXPECT_EQ(fn_paths(b), 2u);
+}
+
+TEST(Shape, DecisionBlocksCarryNoStatements) {
+  Built b = build(
+      "void f(int a) { a = 1; if (a) { a = 2; } a = 3; if (a) { a = 4; } }");
+  for (const BasicBlock& blk : b.f->graph.blocks()) {
+    if (blk.is_decision()) {
+      EXPECT_TRUE(blk.stmts.empty());
+    }
+  }
+}
+
+TEST(Shape, SequentialIfsShareNoBlocks) {
+  Built b = build("void f(int a) { if (a) { a = 1; } if (a) { a = 2; } }");
+  // start, d1, then1, d2, then2, end
+  EXPECT_EQ(b.f->graph.size(), 6u);
+  EXPECT_EQ(fn_paths(b), 4u);
+}
+
+TEST(Shape, NestedIfPathProduct) {
+  Built b = build(
+      "void f(int a, int b2) {"
+      " if (a) { if (b2) { a = 1; } else { a = 2; } } else { a = 3; }"
+      "}");
+  EXPECT_EQ(fn_paths(b), 3u);
+}
+
+TEST(Shape, EmptyThenArm) {
+  Built b = build("void f(int a) { if (a) { } a = 1; }");
+  EXPECT_EQ(fn_paths(b), 2u);
+  const Construct& c = *b.f->body.items[1].construct;
+  EXPECT_TRUE(c.arms[0].empty());
+}
+
+TEST(Shape, ReturnCreatesEdgeToExit) {
+  Built b = build("int f(int a) { if (a) { return 1; } return 2; }");
+  EXPECT_EQ(fn_paths(b), 2u);
+  int return_edges = 0;
+  for (const BasicBlock& blk : b.f->graph.blocks())
+    for (const Edge& e : blk.succs)
+      if (e.kind == EdgeKind::Return) {
+        ++return_edges;
+        EXPECT_EQ(e.to, b.f->graph.exit_block());
+      }
+  EXPECT_EQ(return_edges, 2);
+}
+
+// -------------------------------------------------------------- switches
+
+TEST(Shape, SwitchBreakTerminated) {
+  Built b = build(
+      "void f(int a) { switch (a) {"
+      " case 1: a = 1; break; case 2: a = 2; break; default: a = 0; break;"
+      "} }");
+  // start, decision, 3 arms, end
+  EXPECT_EQ(b.f->graph.size(), 6u);
+  EXPECT_EQ(fn_paths(b), 3u);
+}
+
+TEST(Shape, SwitchWithoutDefaultAddsSkipPath) {
+  Built b = build(
+      "void f(int a) { switch (a) { case 1: a = 1; break; case 2: a = 2; "
+      "break; } }");
+  EXPECT_EQ(fn_paths(b), 3u);  // case1, case2, no-match
+}
+
+TEST(Shape, SwitchFallthroughCountsExactly) {
+  // case 1 falls into case 2: paths are {1->body1->body2, 2->body2, skip}.
+  Built b = build(
+      "void f(int a) { switch (a) { case 1: a = 1; case 2: a = 2; break; } }");
+  EXPECT_EQ(fn_paths(b), 3u);
+  const Construct& sw = *b.f->body.items[1].construct;
+  EXPECT_TRUE(sw.has_fallthrough);
+  EXPECT_FALSE(sw.arms[1].single_entry);
+}
+
+TEST(Shape, SwitchSharedLabelsEmptyArm) {
+  // `case 1: case 2: body` — the empty arm for label 1 falls through.
+  Built b = build(
+      "void f(int a) { switch (a) { case 1: case 2: a = 2; break; } }");
+  EXPECT_EQ(fn_paths(b), 3u);
+  const Construct& sw = *b.f->body.items[1].construct;
+  // empty-arm fallthrough is label aliasing, not real fallthrough
+  EXPECT_FALSE(sw.has_fallthrough);
+}
+
+TEST(Shape, SwitchCaseEdgeLabels) {
+  Built b = build(
+      "void f(int a) { switch (a) { case 4: a = 1; break; case 9: a = 2; "
+      "break; } }");
+  std::set<std::int64_t> labels;
+  for (const Edge& e : b.f->graph.block(2).succs)
+    if (e.kind == EdgeKind::Case) labels.insert(e.case_label);
+  EXPECT_EQ(labels, (std::set<std::int64_t>{4, 9}));
+}
+
+TEST(Shape, NestedSwitchInCase) {
+  Built b = build(
+      "void f(int a, int b2) { switch (a) {"
+      " case 1: switch (b2) { case 1: a = 1; break; default: a = 2; break; }"
+      "         break;"
+      " default: a = 0; break; } }");
+  EXPECT_EQ(fn_paths(b), 3u);
+}
+
+// ------------------------------------------------------------------ loops
+
+TEST(Loops, WhileBoundedPathCount) {
+  // body has 1 path; k = 0..3 iterations -> 4 paths
+  Built b = build("void f(int a) { __loopbound(3) while (a) { a -= 1; } }");
+  EXPECT_EQ(fn_paths(b), 4u);
+}
+
+TEST(Loops, WhileWithBranchInBody) {
+  // body has 2 paths; sum_{k=0..2} 2^k = 7
+  Built b = build(
+      "void f(int a) { __loopbound(2) while (a) {"
+      " if (a > 2) { a -= 2; } else { a -= 1; } } }");
+  EXPECT_EQ(fn_paths(b), 7u);
+}
+
+TEST(Loops, DoWhileBoundedPathCount) {
+  // body runs 1..3 times, 1 path each -> 3 paths
+  Built b = build(
+      "void f(int a) { __loopbound(3) do { a -= 1; } while (a); }");
+  EXPECT_EQ(fn_paths(b), 3u);
+}
+
+TEST(Loops, UnboundedLoopSaturates) {
+  Built b = build("void f(int a) { while (a) { a -= 1; } }");
+  PathAnalysis pa(*b.f);
+  EXPECT_TRUE(pa.function_paths().saturated());
+}
+
+TEST(Loops, LoopWithBreakSaturates) {
+  Built b = build(
+      "void f(int a) { __loopbound(5) while (a) {"
+      " if (a == 3) { break; } a -= 1; } }");
+  PathAnalysis pa(*b.f);
+  EXPECT_TRUE(pa.function_paths().saturated());
+  const Construct& loop = *b.f->body.items[1].construct;
+  EXPECT_TRUE(loop.loop_has_escape);
+}
+
+TEST(Loops, BackEdgeIsMarked) {
+  Built b = build("void f(int a) { __loopbound(2) while (a) { a -= 1; } }");
+  int back_edges = 0;
+  for (const BasicBlock& blk : b.f->graph.blocks())
+    for (const Edge& e : blk.succs)
+      if (e.back) ++back_edges;
+  EXPECT_EQ(back_edges, 1);
+}
+
+TEST(Loops, ForLoopStepIsContinueTarget) {
+  Built b = build(
+      "void f(void) { int s = 0;"
+      " __loopbound(4) for (int i = 0; i < 4; i++) {"
+      "   if (i == 2) { continue; } s += i; } }");
+  // continue must reach the step block, then the decision
+  PathAnalysis pa(*b.f);
+  EXPECT_FALSE(pa.function_paths().saturated());
+}
+
+TEST(Loops, NestedLoopFactorsMultiply) {
+  // inner: sum_{k=0..2} 1 = 3 paths per outer-iteration body.
+  // outer: sum_{k=0..2} 3^k = 1 + 3 + 9 = 13.
+  Built b = build(
+      "void f(int a, int b2) { __loopbound(2) while (a) {"
+      " __loopbound(2) while (b2) { b2 -= 1; } a -= 1; } }");
+  EXPECT_EQ(fn_paths(b), 13u);
+}
+
+TEST(Loops, EnumerationMatchesCountWithLoops) {
+  Built b = build("void f(int a) { __loopbound(3) while (a) { a -= 1; } }");
+  std::vector<PathSpec> paths;
+  const bool complete = enumerate_paths(*b.f, b.f->graph.entry(),
+                                        b.f->body.blocks(), 100, paths);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(Loops, DoWhileEnumerationMatchesCount) {
+  Built b = build(
+      "void f(int a) { __loopbound(3) do { a -= 1; } while (a); }");
+  std::vector<PathSpec> paths;
+  const bool complete = enumerate_paths(*b.f, b.f->graph.entry(),
+                                        b.f->body.blocks(), 100, paths);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+// ------------------------------------------------------------- invariants
+
+const char* kMixedSource = R"(
+extern void leaf(void) __cost(3);
+void mixed(int a, int b2, int c)
+{
+  int acc = 0;
+  if (a > 0) { acc += 1; } else { acc -= 1; }
+  switch (b2) {
+    case 0: acc = 0; break;
+    case 1: if (c) { acc = 1; } break;
+    default: leaf(); break;
+  }
+  __loopbound(3) while (c > 0) { c -= 1; acc += c; }
+  if (acc > 10) { acc = 10; }
+}
+)";
+
+TEST(Invariants, PredsConsistentWithSuccs) {
+  Built b = build(kMixedSource, "mixed");
+  const auto& preds = b.f->graph.preds();
+  std::size_t succ_count = 0, pred_count = 0;
+  for (const BasicBlock& blk : b.f->graph.blocks()) succ_count += blk.succs.size();
+  for (const auto& p : preds) pred_count += p.size();
+  EXPECT_EQ(succ_count, pred_count);
+}
+
+TEST(Invariants, StructureTreeCoversEveryBlockOnce) {
+  Built b = build(kMixedSource, "mixed");
+  std::vector<BlockId> all = b.f->body.blocks();
+  std::set<BlockId> unique(all.begin(), all.end());
+  EXPECT_EQ(all.size(), unique.size()) << "no block appears in two regions";
+  EXPECT_EQ(all.size(), b.f->graph.size()) << "every block is covered";
+}
+
+TEST(Invariants, SingleEntryArmsReallyHaveOneEntry) {
+  Built b = build(kMixedSource, "mixed");
+  b.f->graph.finalize();
+  std::function<void(const Arm&)> check_arm = [&](const Arm& arm) {
+    if (!arm.empty() && arm.single_entry && arm.entry.has_value()) {
+      const BlockId first = arm_entry_block(arm);
+      std::set<BlockId> members;
+      for (BlockId bl : arm.blocks()) members.insert(bl);
+      // every predecessor of `first` outside the arm must be the entry edge
+      int external = 0;
+      for (BlockId p : b.f->graph.preds()[first])
+        if (!members.count(p)) ++external;
+      EXPECT_EQ(external, 1) << "arm entry block " << first;
+    }
+    for (const ArmItem& item : arm.items)
+      if (!item.is_block())
+        for (const Arm& sub : item.construct->arms) check_arm(sub);
+  };
+  check_arm(b.f->body);
+}
+
+TEST(Invariants, TopoOrderRespectsForwardEdges) {
+  Built b = build(kMixedSource, "mixed");
+  const auto order = b.f->graph.topo_order();
+  std::vector<std::size_t> pos(b.f->graph.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const BasicBlock& blk : b.f->graph.blocks())
+    for (const Edge& e : blk.succs)
+      if (!e.back) {
+        EXPECT_LT(pos[blk.id], pos[e.to]);
+      }
+}
+
+TEST(Invariants, EnumerationAgreesWithCountingOnMixed) {
+  Built b = build(kMixedSource, "mixed");
+  PathAnalysis pa(*b.f);
+  const PathCount pc = pa.function_paths();
+  ASSERT_FALSE(pc.saturated());
+  std::vector<PathSpec> paths;
+  const bool complete = enumerate_paths(*b.f, b.f->graph.entry(),
+                                        b.f->body.blocks(), 10000, paths);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(paths.size(), pc.exact());
+}
+
+// ------------------------------------------- parameterized: path counting
+
+struct PathCase {
+  const char* name;
+  const char* src;
+  std::uint64_t expected;
+};
+
+class PathCounting : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(PathCounting, CountMatchesAndEnumerationAgrees) {
+  Built b = build(GetParam().src);
+  EXPECT_EQ(fn_paths(b), GetParam().expected);
+  std::vector<PathSpec> paths;
+  const bool complete = enumerate_paths(*b.f, b.f->graph.entry(),
+                                        b.f->body.blocks(), 100000, paths);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(paths.size(), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathCounting,
+    ::testing::Values(
+        PathCase{"two_ifs", "void f(int a){ if(a){a=1;} if(a){a=2;} }", 4},
+        PathCase{"three_ifs",
+                 "void f(int a){ if(a){a=1;} if(a){a=2;} if(a){a=3;} }", 8},
+        PathCase{"if_else_chain",
+                 "void f(int a){ if(a>1){a=1;} else { if(a>2){a=2;} else "
+                 "{a=3;} } }",
+                 3},
+        PathCase{"switch4",
+                 "void f(int a){ switch(a){ case 1: a=1; break; case 2: a=2; "
+                 "break; case 3: a=3; break; default: a=0; break; } }",
+                 4},
+        PathCase{"ternary_is_not_branching",
+                 "void f(int a){ a = a > 0 ? 1 : 2; }", 1},
+        PathCase{"early_return",
+                 "int f(int a){ if(a){ return 1; } a = 2; return 0; }", 2},
+        PathCase{"loop2_if",
+                 "void f(int a){ __loopbound(2) while(a){ if(a>1){a-=2;} else "
+                 "{a-=1;} } }",
+                 7},
+        PathCase{"if_then_loop",
+                 "void f(int a){ if(a){a=1;} __loopbound(1) while(a){ a-=1; } "
+                 "}",
+                 4},
+        PathCase{"dowhile_if",
+                 "void f(int a){ __loopbound(2) do { if(a>1){a-=2;} else "
+                 "{a-=1;} } while(a); }",
+                 6}),  // 2 + 4
+    [](const ::testing::TestParamInfo<PathCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tmg::cfg

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "minic/eval.h"
+#include "minic/frontend.h"
+#include "minic/lexer.h"
+#include "minic/printer.h"
+
+namespace tmg::minic {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(Lexer, TokenizesOperators) {
+  DiagnosticEngine d;
+  auto toks = lex("+ += ++ << <<= < <= == = != ! && & || |", d);
+  ASSERT_TRUE(d.ok());
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<Tok>{
+                       Tok::Plus, Tok::PlusAssign, Tok::PlusPlus, Tok::Shl,
+                       Tok::ShlAssign, Tok::Lt, Tok::Le, Tok::EqEq,
+                       Tok::Assign, Tok::Ne, Tok::Bang, Tok::AmpAmp, Tok::Amp,
+                       Tok::PipePipe, Tok::Pipe, Tok::Eof}));
+}
+
+TEST(Lexer, Keywords) {
+  DiagnosticEngine d;
+  auto toks = lex("if else while switch __loopbound __input __cost", d);
+  EXPECT_EQ(toks[0].kind, Tok::KwIf);
+  EXPECT_EQ(toks[1].kind, Tok::KwElse);
+  EXPECT_EQ(toks[2].kind, Tok::KwWhile);
+  EXPECT_EQ(toks[3].kind, Tok::KwSwitch);
+  EXPECT_EQ(toks[4].kind, Tok::KwLoopbound);
+  EXPECT_EQ(toks[5].kind, Tok::KwInput);
+  EXPECT_EQ(toks[6].kind, Tok::KwCost);
+}
+
+TEST(Lexer, DecimalAndHexLiterals) {
+  DiagnosticEngine d;
+  auto toks = lex("42 0x2A 0 0xff", d);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 0);
+  EXPECT_EQ(toks[3].int_value, 255);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  DiagnosticEngine d;
+  auto toks = lex("a\n  b", d);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  DiagnosticEngine d;
+  auto toks = lex("a // comment\nb /* block\ncomment */ c", d);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(toks.size(), 4u);  // a b c eof
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedCommentIsError) {
+  DiagnosticEngine d;
+  lex("a /* never closed", d);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Lexer, StrayCharacterIsError) {
+  DiagnosticEngine d;
+  auto toks = lex("a $ b", d);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(toks[1].kind, Tok::Error);
+}
+
+TEST(Lexer, HexWithoutDigitsIsError) {
+  DiagnosticEngine d;
+  lex("0x", d);
+  EXPECT_FALSE(d.ok());
+}
+
+// ------------------------------------------------------------------ types
+
+TEST(Types, Widths) {
+  EXPECT_EQ(type_bits(Type::Bool), 1);
+  EXPECT_EQ(type_bits(Type::Int8), 8);
+  EXPECT_EQ(type_bits(Type::Int16), 16);
+  EXPECT_EQ(type_bits(Type::UInt32), 32);
+}
+
+TEST(Types, WrapToType) {
+  EXPECT_EQ(wrap_to_type(300, Type::Int8), 300 - 256);
+  EXPECT_EQ(wrap_to_type(300, Type::UInt8), 44);
+  EXPECT_EQ(wrap_to_type(-1, Type::UInt16), 65535);
+  EXPECT_EQ(wrap_to_type(65536, Type::Int16), 0);
+  EXPECT_EQ(wrap_to_type(2, Type::Bool), 0);
+  EXPECT_EQ(wrap_to_type(3, Type::Bool), 1);
+}
+
+TEST(Types, ArithResultPromotion) {
+  EXPECT_EQ(arith_result(Type::Int8, Type::Int16), Type::Int16);
+  EXPECT_EQ(arith_result(Type::Bool, Type::Bool), Type::Int16);
+  EXPECT_EQ(arith_result(Type::Int16, Type::UInt16), Type::UInt16);
+  EXPECT_EQ(arith_result(Type::UInt8, Type::Int32), Type::Int32);
+}
+
+TEST(Types, MinMax) {
+  EXPECT_EQ(type_min(Type::Int16), -32768);
+  EXPECT_EQ(type_max(Type::Int16), 32767);
+  EXPECT_EQ(type_min(Type::UInt8), 0);
+  EXPECT_EQ(type_max(Type::UInt8), 255);
+}
+
+// ------------------------------------------------------------------- eval
+
+TEST(Eval, WrapAroundAdd) {
+  EXPECT_EQ(eval_binop(BinOp::Add, 32767, 1, Type::Int16, Type::Int16),
+            -32768);
+}
+
+TEST(Eval, TotalDivision) {
+  EXPECT_EQ(eval_binop(BinOp::Div, 7, 0, Type::Int16, Type::Int16), 0);
+  EXPECT_EQ(eval_binop(BinOp::Rem, 7, 0, Type::Int16, Type::Int16), 7);
+  EXPECT_EQ(eval_binop(BinOp::Div, -32768, -1, Type::Int16, Type::Int16),
+            -32768);
+  EXPECT_EQ(eval_binop(BinOp::Rem, -32768, -1, Type::Int16, Type::Int16), 0);
+}
+
+TEST(Eval, SignedVsUnsignedComparison) {
+  EXPECT_EQ(eval_binop(BinOp::Lt, -1, 1, Type::Int16, Type::Bool), 1);
+  // -1 as UInt16 is 65535
+  EXPECT_EQ(eval_binop(BinOp::Lt, 65535, 1, Type::UInt16, Type::Bool), 0);
+}
+
+TEST(Eval, ShiftSemantics) {
+  EXPECT_EQ(eval_binop(BinOp::Shl, 1, 3, Type::Int16, Type::Int16), 8);
+  EXPECT_EQ(eval_binop(BinOp::Shl, 1, 16, Type::Int16, Type::Int16), 0);
+  EXPECT_EQ(eval_binop(BinOp::Shr, -4, 1, Type::Int16, Type::Int16), -2);
+  EXPECT_EQ(eval_binop(BinOp::Shr, -1, 20, Type::Int16, Type::Int16), -1);
+  EXPECT_EQ(eval_binop(BinOp::Shr, 65535, 8, Type::UInt16, Type::UInt16), 255);
+}
+
+TEST(Eval, LogicalOps) {
+  EXPECT_EQ(eval_binop(BinOp::LogicalAnd, 5, 0, Type::Int16, Type::Bool), 0);
+  EXPECT_EQ(eval_binop(BinOp::LogicalAnd, 5, -2, Type::Int16, Type::Bool), 1);
+  EXPECT_EQ(eval_binop(BinOp::LogicalOr, 0, 0, Type::Int16, Type::Bool), 0);
+  EXPECT_EQ(eval_unop(UnOp::LogicalNot, 0, Type::Int16, Type::Bool), 1);
+  EXPECT_EQ(eval_unop(UnOp::LogicalNot, 3, Type::Int16, Type::Bool), 0);
+}
+
+TEST(Eval, NegationWraps) {
+  EXPECT_EQ(eval_unop(UnOp::Neg, -32768, Type::Int16, Type::Int16), -32768);
+  EXPECT_EQ(eval_unop(UnOp::BitNot, 0, Type::UInt8, Type::UInt8), 255);
+}
+
+// ----------------------------------------------------------------- parser
+
+std::unique_ptr<Program> parse_ok(std::string_view src) {
+  DiagnosticEngine d;
+  auto p = compile(src, d, SemaOptions{.warn_unbounded_loops = false});
+  EXPECT_TRUE(p != nullptr) << d.str();
+  return p;
+}
+
+void expect_error(std::string_view src, std::string_view needle) {
+  DiagnosticEngine d;
+  auto p = compile(src, d);
+  EXPECT_EQ(p, nullptr) << "expected failure for: " << src;
+  EXPECT_NE(d.str().find(needle), std::string::npos)
+      << "diagnostics were:\n"
+      << d.str();
+}
+
+TEST(Parser, MinimalFunction) {
+  auto p = parse_ok("void f(void) { }");
+  ASSERT_EQ(p->functions.size(), 1u);
+  EXPECT_EQ(p->functions[0]->name, "f");
+  EXPECT_EQ(p->functions[0]->return_type, Type::Void);
+}
+
+TEST(Parser, ParamsAndLocals) {
+  auto p = parse_ok("int f(int a, unsigned char b) { int x = a + b; return x; }");
+  const FunctionDef& f = *p->functions[0];
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_EQ(f.params[0]->type, Type::Int16);
+  EXPECT_EQ(f.params[1]->type, Type::UInt8);
+}
+
+TEST(Parser, GlobalsWithInitialisers) {
+  auto p = parse_ok("int g = 5; __input int s; bool b = true; void f(void){}");
+  ASSERT_EQ(p->globals.size(), 3u);
+  EXPECT_EQ(p->globals[0]->init_value, 5);
+  EXPECT_FALSE(p->globals[0]->is_input);
+  EXPECT_TRUE(p->globals[1]->is_input);
+  EXPECT_EQ(p->globals[2]->init_value, 1);
+}
+
+TEST(Parser, NegativeGlobalInitialiser) {
+  auto p = parse_ok("int g = -7; void f(void){}");
+  EXPECT_EQ(p->globals[0]->init_value, -7);
+}
+
+TEST(Parser, MultiDeclaratorGlobal) {
+  auto p = parse_ok("int a = 1, b = 2, c; void f(void){}");
+  ASSERT_EQ(p->globals.size(), 3u);
+  EXPECT_EQ(p->globals[1]->init_value, 2);
+  EXPECT_EQ(p->globals[2]->init_value, 0);
+}
+
+TEST(Parser, ExternWithCost) {
+  auto p = parse_ok("extern void task(int) __cost(25); void f(void){ task(1); }");
+  ASSERT_EQ(p->externs.size(), 1u);
+  EXPECT_EQ(p->externs[0]->call_cost, 25);
+  ASSERT_EQ(p->externs[0]->param_types.size(), 1u);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto p = parse_ok("int f(int a) { return 1 + a * 2; }");
+  const Stmt& ret = *p->functions[0]->body->body[0];
+  const Expr& e = *ret.children[0];
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.bin_op, BinOp::Add);
+  EXPECT_EQ(e.child(1).bin_op, BinOp::Mul);
+}
+
+TEST(Parser, TernaryNested) {
+  auto p = parse_ok("int f(int a) { return a ? 1 : a ? 2 : 3; }");
+  const Expr& e = *p->functions[0]->body->body[0]->children[0];
+  ASSERT_EQ(e.kind, ExprKind::Cond);
+  EXPECT_EQ(e.child(2).kind, ExprKind::Cond);
+}
+
+TEST(Parser, ForDesugarsToWhile) {
+  auto p = parse_ok(
+      "void f(void) { int s; s = 0;"
+      " __loopbound(10) for (int i = 0; i < 10; i++) { s += i; } }");
+  // The for loop becomes a Block containing [Decl, While].
+  const Stmt& body = *p->functions[0]->body;
+  const Stmt& wrapper = *body.body[2];
+  ASSERT_EQ(wrapper.kind, StmtKind::Block);
+  const Stmt& loop = *wrapper.body[1];
+  ASSERT_EQ(loop.kind, StmtKind::While);
+  EXPECT_EQ(loop.loop_bound, 10u);
+  ASSERT_TRUE(loop.body[1] != nullptr);  // step statement
+  EXPECT_EQ(loop.body[1]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, DoWhile) {
+  auto p = parse_ok(
+      "void f(int a) { __loopbound(3) do { a += 1; } while (a < 10); }");
+  const Stmt& loop = *p->functions[0]->body->body[0];
+  EXPECT_EQ(loop.kind, StmtKind::DoWhile);
+  EXPECT_EQ(loop.loop_bound, 3u);
+}
+
+TEST(Parser, SwitchWithCasesAndDefault) {
+  auto p = parse_ok(
+      "void f(int a) { switch (a) { case 1: a = 2; break;"
+      " case 2 + 1: a = 3; break; default: a = 0; break; } }");
+  const Stmt& sw = *p->functions[0]->body->body[0];
+  ASSERT_EQ(sw.kind, StmtKind::Switch);
+  ASSERT_EQ(sw.cases.size(), 3u);
+  EXPECT_EQ(sw.cases[0].label, 1);
+  EXPECT_EQ(sw.cases[1].label, 3);  // constant-folded 2 + 1
+  EXPECT_FALSE(sw.cases[2].label.has_value());
+}
+
+TEST(Parser, CompoundAssignAndIncrement) {
+  auto p = parse_ok("void f(int a) { a += 2; a <<= 1; a++; --a; }");
+  const auto& body = p->functions[0]->body->body;
+  EXPECT_EQ(body[0]->assign_op, BinOp::Add);
+  EXPECT_EQ(body[1]->assign_op, BinOp::Shl);
+  EXPECT_EQ(body[2]->assign_op, BinOp::Add);
+  EXPECT_EQ(body[3]->assign_op, BinOp::Sub);
+}
+
+TEST(Parser, BlockScopingAllowsShadowing) {
+  auto p = parse_ok("void f(void) { int x = 1; { int x = 2; x = 3; } x = 4; }");
+  EXPECT_EQ(p->functions.size(), 1u);
+}
+
+TEST(Parser, ErrorUndeclaredIdentifier) {
+  expect_error("void f(void) { x = 1; }", "undeclared identifier 'x'");
+}
+
+TEST(Parser, ErrorRedeclaration) {
+  expect_error("void f(void) { int x; int x; }", "redeclaration of 'x'");
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  expect_error("void f(int a) { a = 1 }", "expected ';'");
+}
+
+TEST(Parser, ErrorCallUndeclaredFunction) {
+  expect_error("void f(void) { g(); }", "undeclared function 'g'");
+}
+
+TEST(Parser, ErrorInputOnLocal) {
+  expect_error("void f(void) { __input int x; }", "__input");
+}
+
+// ------------------------------------------------------------------- sema
+
+TEST(Sema, TypesPropagate) {
+  auto p = parse_ok("int f(char a, long b) { return a + b; }");
+  const Expr& e = *p->functions[0]->body->body[0]->children[0];
+  EXPECT_EQ(e.type, Type::Int32);  // char + long -> long
+}
+
+TEST(Sema, ComparisonYieldsBool) {
+  auto p = parse_ok("bool f(int a) { return a < 3; }");
+  const Expr& e = *p->functions[0]->body->body[0]->children[0];
+  EXPECT_EQ(e.type, Type::Bool);
+}
+
+TEST(Sema, ErrorBreakOutsideLoop) {
+  expect_error("void f(void) { break; }", "'break' outside");
+}
+
+TEST(Sema, ErrorContinueOutsideLoop) {
+  expect_error("void f(void) { continue; }", "'continue' outside");
+}
+
+TEST(Sema, ErrorContinueInSwitchOnly) {
+  expect_error("void f(int a) { switch (a) { case 1: continue; } }",
+               "'continue' outside");
+}
+
+TEST(Sema, ErrorDuplicateCaseLabels) {
+  expect_error("void f(int a) { switch (a) { case 1: break; case 1: break; } }",
+               "duplicate case label");
+}
+
+TEST(Sema, ErrorNonConstantCaseLabel) {
+  expect_error("void f(int a) { switch (a) { case a: break; } }",
+               "not a constant");
+}
+
+TEST(Sema, ErrorVoidReturnMismatch) {
+  expect_error("int f(void) { return; }", "must return a value");
+  expect_error("void f(void) { return 1; }", "cannot return a value");
+}
+
+TEST(Sema, ErrorCallInCondition) {
+  expect_error(
+      "extern int probe(void); void f(void) { if (probe()) { } }",
+      "side-effect free");
+}
+
+TEST(Sema, ErrorVoidValueUse) {
+  expect_error("extern void g(void); void f(int a) { a = g(); }",
+               "void value");
+}
+
+TEST(Sema, ErrorWrongArgumentCount) {
+  expect_error("extern void g(int); void f(void) { g(1, 2); }",
+               "expects 1 argument");
+}
+
+TEST(Sema, WarnsOnUnboundedLoop) {
+  DiagnosticEngine d;
+  auto p = compile("void f(int a) { while (a) { a -= 1; } }", d);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(d.str().find("__loopbound"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- printer
+
+TEST(Printer, RoundTripParsesBack) {
+  const char* src =
+      "extern void leaf(void) __cost(5);\n"
+      "__input int mode;\n"
+      "int work(int a, int b)\n"
+      "{\n"
+      "  int acc = 0;\n"
+      "  if (a > b) { acc = a - b; } else { acc = b - a; }\n"
+      "  switch (mode) {\n"
+      "    case 0: acc += 1; break;\n"
+      "    case 1: acc <<= 2; break;\n"
+      "    default: leaf(); break;\n"
+      "  }\n"
+      "  __loopbound(4) while (acc > 16) { acc >>= 1; }\n"
+      "  return acc;\n"
+      "}\n";
+  auto p1 = parse_ok(src);
+  const std::string printed = print_program(*p1);
+  auto p2 = parse_ok(printed);  // printed source must be valid mini-C
+  EXPECT_EQ(print_program(*p2), printed);  // and print-stable
+}
+
+TEST(Printer, ParenthesisationPreservesMeaning) {
+  auto p = parse_ok("int f(int a) { return (a + 1) * 2; }");
+  const std::string s = print_expr(*p->functions[0]->body->body[0]->children[0]);
+  EXPECT_EQ(s, "(a + 1) * 2");
+}
+
+TEST(Printer, NoRedundantParens) {
+  auto p = parse_ok("int f(int a) { return a * 2 + 1; }");
+  const std::string s = print_expr(*p->functions[0]->body->body[0]->children[0]);
+  EXPECT_EQ(s, "a * 2 + 1");
+}
+
+}  // namespace
+}  // namespace tmg::minic

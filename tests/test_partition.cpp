@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/partition.h"
+#include "minic/frontend.h"
+#include "paper_examples.h"
+
+namespace tmg::core {
+namespace {
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<cfg::PathAnalysis> pa;
+};
+
+Built build(const char* src) {
+  Built b;
+  b.program = minic::compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  b.pa = std::make_unique<cfg::PathAnalysis>(*b.f);
+  return b;
+}
+
+Partition part(const Built& b, std::uint64_t bound) {
+  Partition p = partition_function(*b.f, *b.pa, PartitionOptions{bound});
+  EXPECT_EQ(validate_partition(*b.f, p), "");
+  return p;
+}
+
+// ------------------------------------------------ Table 1 (paper, exact)
+
+struct Table1Row {
+  std::uint64_t bound;
+  std::uint64_t ip;
+  std::uint64_t m;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, MatchesPaperExactly) {
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, GetParam().bound);
+  EXPECT_EQ(p.instrumentation_points(), GetParam().ip);
+  ASSERT_FALSE(p.measurements().saturated());
+  EXPECT_EQ(p.measurements().exact(), GetParam().m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1,
+    ::testing::Values(Table1Row{1, 22, 11}, Table1Row{2, 16, 9},
+                      Table1Row{3, 16, 9}, Table1Row{4, 16, 9},
+                      Table1Row{5, 16, 9}, Table1Row{6, 2, 6},
+                      Table1Row{7, 2, 6}),
+    [](const ::testing::TestParamInfo<Table1Row>& info) {
+      return "b" + std::to_string(info.param.bound);
+    });
+
+TEST(Table1Detail, BoundOneIsPerBlock) {
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, 1);
+  EXPECT_EQ(p.segments.size(), 11u);
+  for (const Segment& s : p.segments) {
+    // every segment is a single block (1-path arms may carry Region kind)
+    EXPECT_EQ(s.blocks.size(), 1u);
+    EXPECT_EQ(s.paths.exact(), 1u);
+  }
+}
+
+TEST(Table1Detail, BoundTwoMergesInnerIf) {
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, 2);
+  // exactly one 4-block region segment (the outer then branch) and one
+  // 1-block region segment (then branch of the second if)
+  int four_block_regions = 0;
+  for (const Segment& s : p.segments) {
+    if (s.kind == SegmentKind::Region && s.blocks.size() == 4) {
+      ++four_block_regions;
+      EXPECT_EQ(s.paths.exact(), 2u);
+    }
+  }
+  EXPECT_EQ(four_block_regions, 1);
+}
+
+TEST(Table1Detail, BoundSixIsEndToEnd) {
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, 6);
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_TRUE(p.segments[0].whole_function);
+  EXPECT_EQ(p.segments[0].blocks.size(), 11u);
+  EXPECT_EQ(p.segments[0].paths.exact(), 6u);
+}
+
+// --------------------------------------------------------------- fusing
+
+TEST(FusedPoints, StraightLineFunctionMergesAtAnyBound) {
+  // A straight chain has exactly one path, so even b = 1 measures it
+  // end-to-end: 2 points, 2 fused sites.
+  Built b = build(
+      "extern void leaf(void) __cost(1);"
+      "void f(void) { leaf(); leaf(); leaf(); }");
+  const Partition p = part(b, 1);
+  EXPECT_EQ(p.instrumentation_points(), 2u);
+  EXPECT_EQ(fused_instrumentation_points(*b.f, p), 2u);
+}
+
+TEST(FusedPoints, PerBlockFusingOnFigure1) {
+  // At b = 1 every block is bracketed (ip = 22); fusing merges coincident
+  // markers onto edges: 13 CFG edges + function entry + function exit.
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, 1);
+  std::size_t edge_count = 0;
+  for (const auto& blk : b.f->graph.blocks()) edge_count += blk.succs.size();
+  EXPECT_EQ(edge_count, 13u);
+  EXPECT_EQ(fused_instrumentation_points(*b.f, p), 15u);
+}
+
+TEST(FusedPoints, NeverExceedsIp) {
+  Built b = build(testing::kFigure1Source);
+  for (std::uint64_t bound = 1; bound <= 8; ++bound) {
+    const Partition p = part(b, bound);
+    EXPECT_LE(fused_instrumentation_points(*b.f, p),
+              p.instrumentation_points());
+  }
+}
+
+TEST(FusedPoints, EndToEndIsTwo) {
+  Built b = build(testing::kFigure1Source);
+  const Partition p = part(b, 6);
+  EXPECT_EQ(fused_instrumentation_points(*b.f, p), 2u);
+}
+
+// ------------------------------------------------------------ properties
+
+const char* kNestedSource = R"(
+void nested(int a, int b2, int c, int d)
+{
+  if (a) { if (b2) { a = 1; } else { a = 2; } } else { a = 3; }
+  switch (c) {
+    case 0: if (d) { c = 1; } break;
+    case 1: c = 2; break;
+    case 2: if (d) { c = 3; } else { c = 4; } break;
+    default: c = 0; break;
+  }
+  if (d) { d = 0; }
+}
+)";
+
+TEST(Properties, IpMonotoneNonIncreasingInBound) {
+  Built b = build(kNestedSource);
+  std::uint64_t prev = UINT64_MAX;
+  for (std::uint64_t bound = 1; bound <= 64; ++bound) {
+    const Partition p = part(b, bound);
+    EXPECT_LE(p.instrumentation_points(), prev) << "bound " << bound;
+    prev = p.instrumentation_points();
+  }
+}
+
+TEST(Properties, LargeBoundAlwaysEndToEnd) {
+  Built b = build(kNestedSource);
+  const Partition p = part(b, 1u << 30);
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_TRUE(p.segments[0].whole_function);
+}
+
+TEST(Properties, MeasurementsAtLeastSegmentCount) {
+  Built b = build(kNestedSource);
+  for (std::uint64_t bound : {1, 2, 3, 5, 8, 13, 21}) {
+    const Partition p = part(b, bound);
+    ASSERT_FALSE(p.measurements().saturated());
+    EXPECT_GE(p.measurements().exact(), p.segments.size());
+  }
+}
+
+TEST(Properties, SegmentPathsNeverExceedBound) {
+  Built b = build(kNestedSource);
+  for (std::uint64_t bound : {1, 2, 4, 8}) {
+    const Partition p = part(b, bound);
+    for (const Segment& s : p.segments)
+      EXPECT_TRUE(s.paths.le(bound))
+          << "segment " << s.id << " at bound " << bound;
+  }
+}
+
+// -------------------------------------------------------------- loops
+
+TEST(Loops, UnboundedLoopIsAlwaysDecomposed) {
+  Built b = build("void f(int a) { while (a) { a -= 1; } }");
+  const Partition p = part(b, 1u << 20);
+  // The loop as a whole (decision + body) must never merge; the body arm
+  // alone (one per-iteration path) may.
+  const cfg::Construct& loop = *b.f->body.items[1].construct;
+  for (const Segment& s : p.segments) {
+    EXPECT_FALSE(s.whole_function);
+    const bool has_decision =
+        std::find(s.blocks.begin(), s.blocks.end(), loop.decision) !=
+        s.blocks.end();
+    if (has_decision) EXPECT_EQ(s.blocks.size(), 1u);
+  }
+}
+
+TEST(Loops, BoundedLoopBodyMerges) {
+  Built b = build(
+      "void f(int a, int b2) { __loopbound(4) while (a) {"
+      " if (b2) { a -= 2; } else { a -= 1; } } }");
+  // body has 2 paths; with b = 2 the body arm becomes one segment
+  const Partition p = part(b, 2);
+  int region_segments = 0;
+  for (const Segment& s : p.segments)
+    if (s.kind == SegmentKind::Region) {
+      ++region_segments;
+      EXPECT_EQ(s.paths.exact(), 2u);
+    }
+  EXPECT_EQ(region_segments, 1);
+}
+
+TEST(Loops, WholeLoopMergesWhenCountFits) {
+  // paths = sum_{k=0..2} 1 = 3 <= 4, and the function is just the loop:
+  // whole-function merge applies.
+  Built b = build("void f(int a) { __loopbound(2) while (a) { a -= 1; } }");
+  const Partition p = part(b, 4);
+  ASSERT_EQ(p.segments.size(), 1u);
+  EXPECT_TRUE(p.segments[0].whole_function);
+  EXPECT_EQ(p.segments[0].paths.exact(), 3u);
+}
+
+// -------------------------------------------------- switch-heavy programs
+
+TEST(SwitchPartition, EachCaseBecomesOneSegment) {
+  // The wiper case study shape: "each case block equals one PS".
+  Built b = build(R"(
+    void step(int state, int in1) {
+      switch (state) {
+        case 0: if (in1) { state = 1; } break;
+        case 1: if (in1) { state = 2; } else { state = 0; } break;
+        case 2: state = 0; break;
+        default: state = 0; break;
+      }
+    }
+  )");
+  // case paths: 2, 2, 1, 1 -> function paths 6; with b = 2 every case arm
+  // merges into one segment.
+  const Partition p = part(b, 2);
+  int case_regions = 0;
+  for (const Segment& s : p.segments)
+    if (s.kind == SegmentKind::Region) ++case_regions;
+  EXPECT_EQ(case_regions, 4);
+  // segments: start, decision, 4 cases, end = 7
+  EXPECT_EQ(p.segments.size(), 7u);
+}
+
+TEST(SwitchPartition, FallthroughArmIsNotMerged) {
+  Built b = build(R"(
+    void f(int a) {
+      switch (a) {
+        case 0: a = 1;
+        case 1: a = 2; break;
+        default: a = 0; break;
+      }
+    }
+  )");
+  const Partition p = part(b, 3);
+  for (const Segment& s : p.segments) {
+    if (s.kind == SegmentKind::Region) {
+      // only single-entry arms may merge; the fallthrough target must not
+      for (cfg::BlockId bl : s.blocks)
+        EXPECT_TRUE(s.region->single_entry) << "block " << bl;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tmg::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.h"
+#include "support/rng.h"
+
+namespace tmg::sat {
+namespace {
+
+TEST(Sat, EmptyInstanceIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, SingleUnit) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(Sat, ContradictingUnitsUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  EXPECT_FALSE(s.add_clause(neg(a)));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, ImplicationChainPropagates) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 20; ++i) s.add_clause(neg(v[i]), pos(v[i + 1]));
+  s.add_clause(pos(v[0]));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.value(v[i]));
+}
+
+TEST(Sat, SimpleConflictIsUnsat) {
+  // (a | b) & (a | ~b) & (~a | b) & (~a | ~b)
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  s.add_clause(pos(a), neg(b));
+  s.add_clause(neg(a), pos(b));
+  s.add_clause(neg(a), neg(b));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause(pos(a), neg(a)));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, DuplicateLiteralsCollapse) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(std::vector<Lit>{pos(a), pos(a), pos(a)});
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(Sat, XorChainSatisfiable) {
+  // x0 ^ x1 = 1 encoded via 4 clauses each, chained
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i) {
+    // v[i] != v[i+1]
+    s.add_clause(pos(v[i]), pos(v[i + 1]));
+    s.add_clause(neg(v[i]), neg(v[i + 1]));
+  }
+  ASSERT_EQ(s.solve(), Result::Sat);
+  for (int i = 0; i + 1 < 10; ++i) EXPECT_NE(s.value(v[i]), s.value(v[i + 1]));
+}
+
+/// Pigeonhole principle PHP(n+1, n): unsatisfiable, forces real conflict
+/// analysis and learning.
+void pigeonhole(int holes) {
+  Solver s;
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (auto& row : at)
+    for (auto& v : row) v = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(pos(at[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause(neg(at[p1][h]), neg(at[p2][h]));
+  EXPECT_EQ(s.solve(), Result::Unsat) << "PHP(" << pigeons << "," << holes
+                                      << ")";
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Sat, Pigeonhole4) { pigeonhole(4); }
+TEST(Sat, Pigeonhole5) { pigeonhole(5); }
+TEST(Sat, Pigeonhole6) { pigeonhole(6); }
+
+TEST(Sat, AssumptionsRestrictModels) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  ASSERT_EQ(s.solve({neg(a)}), Result::Sat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  // incompatible assumptions
+  s.add_clause(neg(a), neg(b));
+  EXPECT_EQ(s.solve({pos(a), pos(b)}), Result::Unsat);
+}
+
+TEST(Sat, SolveIsRepeatable) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.solve({neg(a)}), Result::Sat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  // a moderately hard unsat instance with a tiny budget
+  const int holes = 7;
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (auto& row : at)
+    for (auto& v : row) v = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(pos(at[p][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause(neg(at[p1][h]), neg(at[p2][h]));
+  EXPECT_EQ(s.solve({}, 5), Result::Unknown);
+}
+
+TEST(Sat, StatsArePopulated) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(pos(a), pos(b), pos(c));
+  s.add_clause(neg(a), pos(b));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_GT(s.stats().memory_bytes, 0u);
+}
+
+// -------------------------- randomized differential test vs brute force
+
+/// Evaluates a CNF under an assignment bitmask.
+bool eval_cnf(const std::vector<std::vector<Lit>>& cnf, std::uint32_t bits) {
+  for (const auto& clause : cnf) {
+    bool sat = false;
+    for (const Lit& l : clause) {
+      const bool val = (bits >> l.var()) & 1;
+      if (val != l.sign()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+class RandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const int nvars = 4 + static_cast<int>(rng.below(9));  // 4..12
+    const int nclauses = 3 + static_cast<int>(rng.below(50));
+    std::vector<std::vector<Lit>> cnf;
+    Solver s;
+    for (int v = 0; v < nvars; ++v) s.new_var();
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<Lit> clause;
+      const int len = 1 + static_cast<int>(rng.below(3));
+      for (int k = 0; k < len; ++k) {
+        const Var v = static_cast<Var>(rng.below(nvars));
+        clause.push_back(Lit(v, rng.chance(0.5)));
+      }
+      cnf.push_back(clause);
+      s.add_clause(clause);
+    }
+    bool brute_sat = false;
+    for (std::uint32_t bits = 0; bits < (1u << nvars); ++bits)
+      if (eval_cnf(cnf, bits)) {
+        brute_sat = true;
+        break;
+      }
+    const Result r = s.solve();
+    ASSERT_EQ(r == Result::Sat, brute_sat) << "iter " << iter;
+    if (r == Result::Sat) {
+      std::uint32_t model = 0;
+      for (Var v = 0; v < nvars; ++v)
+        if (s.value(v)) model |= 1u << v;
+      EXPECT_TRUE(eval_cnf(cnf, model)) << "model must satisfy the CNF";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tmg::sat

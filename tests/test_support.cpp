@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/diagnostics.h"
+#include "support/path_count.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace tmg {
+namespace {
+
+// ---------------------------------------------------------------- PathCount
+
+TEST(PathCount, DefaultIsZero) {
+  PathCount pc;
+  EXPECT_FALSE(pc.saturated());
+  EXPECT_EQ(pc.exact(), 0u);
+}
+
+TEST(PathCount, ExactAddition) {
+  PathCount a(3), b(4);
+  EXPECT_EQ((a + b).exact(), 7u);
+}
+
+TEST(PathCount, ExactMultiplication) {
+  PathCount a(6), b(7);
+  EXPECT_EQ((a * b).exact(), 42u);
+}
+
+TEST(PathCount, MultiplyByZero) {
+  PathCount a(123), z(0);
+  EXPECT_EQ((a * z).exact(), 0u);
+  EXPECT_EQ((z * a).exact(), 0u);
+}
+
+TEST(PathCount, AddZeroIdentity) {
+  PathCount a(55), z(0);
+  EXPECT_EQ((a + z).exact(), 55u);
+  EXPECT_EQ((z + a).exact(), 55u);
+}
+
+TEST(PathCount, SaturatesOnOverflowMul) {
+  PathCount a(std::uint64_t{1} << 40);
+  PathCount b(std::uint64_t{1} << 40);
+  PathCount c = a * b;
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 80.0, 0.01);
+}
+
+TEST(PathCount, SaturatesOnOverflowAdd) {
+  PathCount a((std::uint64_t{1} << 63) - 1);
+  PathCount c = a + a;
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 64.0, 0.01);
+}
+
+TEST(PathCount, SaturatedAdditionLogDomain) {
+  PathCount a = PathCount::from_log2(100.0);
+  PathCount b = PathCount::from_log2(100.0);
+  PathCount c = a + b;
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 101.0, 0.01);
+}
+
+TEST(PathCount, PowSmallExact) {
+  PathCount two(2);
+  EXPECT_EQ(two.pow(10).exact(), 1024u);
+}
+
+TEST(PathCount, PowLargeSaturates) {
+  PathCount two(2);
+  PathCount big = two.pow(300);
+  EXPECT_TRUE(big.saturated());
+  EXPECT_NEAR(big.log2(), 300.0, 0.1);
+}
+
+TEST(PathCount, PowZeroExponentIsOne) {
+  EXPECT_EQ(PathCount(7).pow(0).exact(), 1u);
+  EXPECT_EQ(PathCount(0).pow(0).exact(), 1u);
+}
+
+TEST(PathCount, PowOfZeroIsZero) {
+  EXPECT_EQ(PathCount(0).pow(5).exact(), 0u);
+}
+
+TEST(PathCount, LeBound) {
+  EXPECT_TRUE(PathCount(6).le(6));
+  EXPECT_FALSE(PathCount(7).le(6));
+  EXPECT_FALSE(PathCount::from_log2(100).le(1000000));
+}
+
+TEST(PathCount, ComparisonMixed) {
+  EXPECT_LT(PathCount(10), PathCount(20));
+  EXPECT_LT(PathCount(10), PathCount::from_log2(80));
+  EXPECT_LT(PathCount::from_log2(80), PathCount::from_log2(90));
+}
+
+TEST(PathCount, StrFormat) {
+  EXPECT_EQ(PathCount(42).str(), "42");
+  EXPECT_EQ(PathCount::from_log2(123.44).str(), "2^123.4");
+}
+
+TEST(PathCount, AsDoubleMatches) {
+  EXPECT_DOUBLE_EQ(PathCount(1000).as_double(), 1000.0);
+  EXPECT_NEAR(PathCount::from_log2(70).as_double(), std::exp2(70.0), 1e18);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, BelowZeroGivesZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+// ------------------------------------------------------------- Diagnostics
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine d;
+  d.warning({1, 1}, "w");
+  EXPECT_TRUE(d.ok());
+  d.error({2, 3}, "e");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.diagnostics().size(), 2u);
+}
+
+TEST(Diagnostics, StrRendersLocations) {
+  DiagnosticEngine d;
+  d.error({12, 5}, "boom");
+  EXPECT_EQ(d.str(), "12:5: error: boom\n");
+}
+
+TEST(Diagnostics, UnknownLocation) {
+  DiagnosticEngine d;
+  d.report(Severity::Note, {}, "hi");
+  EXPECT_NE(d.str().find("<unknown>"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add(1, 2);
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add(1);
+  t.add(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace tmg

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "cfg/structure.h"
+#include "mc/explicit.h"
+#include "minic/frontend.h"
+#include "tsys/translate.h"
+
+namespace tmg::tsys {
+namespace {
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<TranslationResult> tr;
+};
+
+Built build(const char* src) {
+  Built b;
+  b.program = minic::compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  DiagnosticEngine diags;
+  b.tr = translate(*b.program, *b.f, diags);
+  EXPECT_TRUE(b.tr != nullptr) << diags.str();
+  return b;
+}
+
+// ----------------------------------------------------------------- TExpr
+
+TEST(TExpr, CloneEquals) {
+  TExprPtr e = t_binary(minic::BinOp::Add, t_var(0, minic::Type::Int16),
+                        t_const(5), minic::Type::Int16);
+  TExprPtr c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  c->args[1]->value = 6;
+  EXPECT_FALSE(e->equals(*c));
+}
+
+TEST(TExpr, EvalMatchesSemantics) {
+  // (x + 1) * 2 with x = 7 -> 16
+  TExprPtr e = t_binary(
+      minic::BinOp::Mul,
+      t_binary(minic::BinOp::Add, t_var(0, minic::Type::Int16), t_const(1),
+               minic::Type::Int16),
+      t_const(2), minic::Type::Int16);
+  EXPECT_EQ(eval_texpr(*e, {7}), 16);
+}
+
+TEST(TExpr, EvalWrapsToType) {
+  TExprPtr e = t_binary(minic::BinOp::Add, t_var(0, minic::Type::Int16),
+                        t_const(1), minic::Type::Int16);
+  EXPECT_EQ(eval_texpr(*e, {32767}), -32768);
+}
+
+TEST(TExpr, SubstituteReplacesAllUses) {
+  // x + x, substitute x -> (y * 2)
+  TExprPtr e = t_binary(minic::BinOp::Add, t_var(0, minic::Type::Int16),
+                        t_var(0, minic::Type::Int16), minic::Type::Int16);
+  TExprPtr repl = t_binary(minic::BinOp::Mul, t_var(1, minic::Type::Int16),
+                           t_const(2), minic::Type::Int16);
+  EXPECT_EQ(substitute(e, 0, *repl), 2u);
+  EXPECT_FALSE(e->references(0));
+  EXPECT_TRUE(e->references(1));
+  EXPECT_EQ(eval_texpr(*e, {99, 3}), 12);
+}
+
+TEST(TExpr, CollectVarsWithMultiplicity) {
+  TExprPtr e = t_binary(minic::BinOp::Add, t_var(2, minic::Type::Int16),
+                        t_var(2, minic::Type::Int16), minic::Type::Int16);
+  std::vector<VarId> vars;
+  e->collect_vars(vars);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+// ------------------------------------------------------------ VarInfo bits
+
+TEST(VarBits, RangeDrivesWidth) {
+  VarInfo v;
+  v.lo = 0;
+  v.hi = 1;
+  EXPECT_EQ(v.bits(), 1);
+  v.hi = 2;
+  EXPECT_EQ(v.bits(), 2);
+  v.hi = 255;
+  EXPECT_EQ(v.bits(), 8);
+  v.lo = -1;
+  v.hi = 0;
+  EXPECT_EQ(v.bits(), 1);
+  v.lo = -32768;
+  v.hi = 32767;
+  EXPECT_EQ(v.bits(), 16);
+  v.lo = -3;
+  v.hi = 3;
+  EXPECT_EQ(v.bits(), 3);
+}
+
+// ------------------------------------------------------------- translation
+
+TEST(Translate, StatementPerTransition) {
+  Built b = build("void f(int a) { a = 1; a = 2; a = 3; }");
+  // 3 statement transitions, no decisions
+  EXPECT_EQ(b.tr->ts.transitions.size(), 3u);
+  for (const Transition& t : b.tr->ts.transitions)
+    EXPECT_EQ(t.guard, nullptr);
+}
+
+TEST(Translate, BranchMakesTwoGuardedTransitions) {
+  Built b = build("void f(int a) { if (a > 0) { a = 1; } }");
+  int guarded = 0;
+  for (const Transition& t : b.tr->ts.transitions)
+    if (t.guard) ++guarded;
+  EXPECT_EQ(guarded, 2);
+}
+
+TEST(Translate, InputsAreMarked) {
+  Built b = build(
+      "__input(0, 2) int sel; int state; void f(int a) { state = a + sel; }");
+  const TransitionSystem& ts = b.tr->ts;
+  int inputs = 0;
+  for (const VarInfo& v : ts.vars) {
+    if (v.is_input) ++inputs;
+    if (v.name == "sel") {
+      EXPECT_TRUE(v.is_input);
+      EXPECT_EQ(v.lo, 0);
+      EXPECT_EQ(v.hi, 2);
+      EXPECT_EQ(v.bits(), 2);
+    }
+    if (v.name == "state") EXPECT_FALSE(v.is_input);
+  }
+  EXPECT_EQ(inputs, 2);  // param a + sel
+}
+
+TEST(Translate, UninitialisedByDefault) {
+  // The paper's baseline: non-input variables are NOT initialised.
+  Built b = build("int g = 5; void f(int a) { a = g; }");
+  for (const VarInfo& v : b.tr->ts.vars) EXPECT_FALSE(v.has_init);
+}
+
+TEST(Translate, SixteenBitBooleansByDefault) {
+  // "In C, boolean values are mostly encoded as 16 bit integers": an int
+  // flag occupies 16 bits before range analysis.
+  Built b = build("void f(int a) { int flag; flag = a > 0; a = flag; }");
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "flag") EXPECT_EQ(v.bits(), 16);
+}
+
+TEST(Translate, SwitchDefaultGuardExcludesLabels) {
+  Built b = build(
+      "void f(int a) { switch (a) { case 1: a = 1; break; case 2: a = 2; "
+      "break; default: a = 0; break; } }");
+  // default transition guard references both labels
+  bool found_default = false;
+  const auto names = b.tr->ts.var_names();
+  for (const Transition& t : b.tr->ts.transitions) {
+    if (!t.guard || !t.is_decision()) continue;
+    const std::string s = texpr_to_string(*t.guard, names);
+    if (s.find("/=") != std::string::npos) {
+      found_default = true;
+      EXPECT_NE(s.find('1'), std::string::npos);
+      EXPECT_NE(s.find('2'), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found_default);
+}
+
+TEST(Translate, EmptyBlocksAddNoLocations) {
+  Built b1 = build("void f(int a) { a = 1; }");
+  // one statement + start/end aliasing: 2 locations (L0 final + L1)
+  EXPECT_LE(b1.tr->ts.num_locs, 3u);
+}
+
+TEST(Translate, DeclWithoutInitEmitsNothing) {
+  Built b = build("void f(int a) { int x; x = a; }");
+  EXPECT_EQ(b.tr->ts.transitions.size(), 1u);
+}
+
+TEST(Translate, ReturnWritesRetVar) {
+  Built b = build("int f(int a) { return a + 1; }");
+  bool found = false;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "__ret") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Translate, ValueCallInExpressionRejected) {
+  auto program = minic::compile_or_die(
+      "extern int probe(void); void f(int a) { a = probe(); }");
+  auto f = cfg::build_cfg(*program->functions.front());
+  DiagnosticEngine diags;
+  auto tr = translate(*program, *f, diags);
+  EXPECT_EQ(tr, nullptr);
+  EXPECT_NE(diags.str().find("cannot be modelled"), std::string::npos);
+}
+
+TEST(Translate, StateBitsAccounting) {
+  Built b = build("void f(int a, int b2) { if (a) { b2 = 1; } }");
+  // two 16-bit vars + pc
+  EXPECT_EQ(b.tr->ts.data_bits(), 32);
+  EXPECT_GE(b.tr->ts.state_bits(), 33);
+}
+
+TEST(Translate, SalExportContainsStructure) {
+  Built b = build("__input(0, 1) int x; void f(void) { if (x == 1) { x = 0; } }");
+  const std::string sal = b.tr->ts.to_sal();
+  EXPECT_NE(sal.find("MODULE"), std::string::npos);
+  EXPECT_NE(sal.find("INPUT"), std::string::npos);
+  EXPECT_NE(sal.find("TRANSITION"), std::string::npos);
+  EXPECT_NE(sal.find("pc"), std::string::npos);
+  EXPECT_NE(sal.find("-->"), std::string::npos);
+}
+
+// --------------------------------------------------- explicit exploration
+
+TEST(Explicit, ClosedSystemTerminates) {
+  Built b = build(
+      "__input(0, 2) int sel; int out;"
+      "void f(void) { if (sel == 0) { out = 1; } else { out = 2; } }");
+  // make non-input state initialised so the initial set is just |sel| = 3
+  for (VarInfo& v : b.tr->ts.vars)
+    if (!v.is_input) {
+      v.has_init = true;
+      v.init = 0;
+    }
+  auto r = mc::explore(b.tr->ts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.initial_states, 3u);
+  EXPECT_TRUE(r.goal_reached == false);
+  EXPECT_GT(r.states, 3u);
+}
+
+TEST(Explicit, GoalDepthIsShortestPath) {
+  Built b = build(
+      "__input(0, 1) int x;"
+      "void f(void) { int a; a = 1; a = 2; a = 3; }");
+  for (VarInfo& v : b.tr->ts.vars)
+    if (!v.is_input) {
+      v.has_init = true;
+      v.init = 0;
+    }
+  auto r = mc::explore(b.tr->ts, b.tr->ts.final);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.goal_reached);
+  EXPECT_EQ(r.goal_depth, 3u);
+}
+
+TEST(Explicit, HugeInitialSpaceRefused) {
+  Built b = build("void f(int a) { a = 1; }");  // 16-bit free input
+  auto r = mc::explore(b.tr->ts, std::nullopt,
+                       mc::ExploreOptions{.max_initial_states = 1000});
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.initial_states, UINT64_MAX);
+}
+
+TEST(Explicit, UninitialisedVariableEnlargesStateSpace) {
+  // The Section 3.2.5 effect: initialising a variable shrinks |D_R|.
+  Built b = build(
+      "__input(0, 1) int x; bool flag;"
+      "void f(void) { if (x == 1) { flag = true; } }");
+  TransitionSystem& ts = b.tr->ts;
+  // force 'flag' bool range but uninitialised
+  auto r_uninit = mc::explore(ts);
+  for (VarInfo& v : ts.vars)
+    if (!v.is_input) {
+      v.has_init = true;
+      v.init = 0;
+    }
+  auto r_init = mc::explore(ts);
+  EXPECT_TRUE(r_uninit.complete);
+  EXPECT_TRUE(r_init.complete);
+  EXPECT_GT(r_uninit.states, r_init.states);
+  EXPECT_GT(r_uninit.initial_states, r_init.initial_states);
+}
+
+}  // namespace
+}  // namespace tmg::tsys
