@@ -210,7 +210,14 @@ class Enumerator {
       const bool is_decision = blk.is_decision();
       for (std::uint32_t i = 0; i < blk.succs.size(); ++i) {
         const Edge& e = blk.succs[i];
-        if (e.back) {
+        if (e.back && !scope_.count(e.to)) {
+          // A back edge to a header outside the scope: the iteration (and
+          // the path through this scope) ends here. Loop-body arms are
+          // enumerated per iteration this way.
+          if (is_decision) path.choices.push_back(EdgeRef{b, i});
+          complete = emit(path) && complete;
+          if (is_decision) path.choices.pop_back();
+        } else if (e.back) {
           // Budget is shared by every back edge returning to this header
           // (normal body end, `continue`, ...).
           auto& taken = back_taken_[e.to];

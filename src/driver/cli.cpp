@@ -1,0 +1,250 @@
+#include "driver/cli.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "cfg/structure.h"
+#include "minic/frontend.h"
+#include "tsys/translate.h"
+
+namespace tmg::driver {
+
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Splits "--name=value"; value empty when no '=' present.
+void split_opt(std::string_view arg, std::string_view& name,
+               std::string_view& value, bool& has_value) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) {
+    name = arg;
+    value = {};
+    has_value = false;
+  } else {
+    name = arg.substr(0, eq);
+    value = arg.substr(eq + 1);
+    has_value = true;
+  }
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "usage: tmg [options] <source.mc>\n"
+      "\n"
+      "Runs the full timing-model pipeline: mini-C frontend -> CFG ->\n"
+      "partition (path bound b) -> transition system -> per-segment\n"
+      "BCET/WCET bounds via bounded model checking.\n"
+      "\n"
+      "options:\n"
+      "  --bound=N             partition path bound b (default 4)\n"
+      "  --function=NAME       analyse only this function\n"
+      "  --format=FMT          text | csv | json (default text)\n"
+      "  --table1[=N]          print the Table-1-style partition summary\n"
+      "                        for bounds 1..N (default 7) and exit\n"
+      "  --no-bmc              skip feasibility checking (structural model)\n"
+      "  --max-paths=N         enumerated paths per segment (default 64)\n"
+      "  --max-steps=N         fixed BMC unroll depth (default: automatic)\n"
+      "  --conflict-budget=N   SAT conflict budget per query (-1 unlimited)\n"
+      "  --pessimistic-widths  16-bit-everything translation (paper default)\n"
+      "  --stats               include per-stage wall-clock timing (text)\n"
+      "  --dot                 print the CFG in Graphviz format and exit\n"
+      "  --sal                 print the transition system and exit\n"
+      "  --help                show this message\n";
+}
+
+bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
+               std::string& error) {
+  for (const std::string& arg : args) {
+    if (arg.empty()) continue;
+    if (arg[0] != '-') {
+      if (!out.input_path.empty()) {
+        error = "multiple input files ('" + out.input_path + "' and '" + arg +
+                "')";
+        return false;
+      }
+      out.input_path = arg;
+      continue;
+    }
+    std::string_view name, value;
+    bool has_value = false;
+    split_opt(arg, name, value, has_value);
+
+    // Flags that take no value: `--no-bmc=false` must not silently act as
+    // `--no-bmc`.
+    const bool is_bare_flag = name == "--help" || name == "-h" ||
+                              name == "--no-bmc" ||
+                              name == "--pessimistic-widths" ||
+                              name == "--stats" || name == "--dot" ||
+                              name == "--sal";
+    if (is_bare_flag && has_value) {
+      error = "option '" + std::string(name) + "' takes no value";
+      return false;
+    }
+
+    if (name == "--help" || name == "-h") {
+      out.show_help = true;
+    } else if (name == "--bound") {
+      if (!parse_u64(value, out.pipeline.path_bound) ||
+          out.pipeline.path_bound == 0) {
+        error = "--bound expects a positive integer";
+        return false;
+      }
+    } else if (name == "--function") {
+      if (!has_value || value.empty()) {
+        error = "--function expects a name";
+        return false;
+      }
+      out.pipeline.function = std::string(value);
+    } else if (name == "--format") {
+      if (!parse_format(value, out.format)) {
+        error = "--format expects text, csv or json";
+        return false;
+      }
+    } else if (name == "--table1") {
+      out.table1_max_bound = 7;
+      if (has_value && (!parse_u64(value, out.table1_max_bound) ||
+                        out.table1_max_bound == 0)) {
+        error = "--table1 expects a positive integer bound";
+        return false;
+      }
+    } else if (name == "--no-bmc") {
+      out.pipeline.run_bmc = false;
+    } else if (name == "--max-paths") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0) {
+        error = "--max-paths expects a positive integer";
+        return false;
+      }
+      out.pipeline.max_paths_per_segment = static_cast<std::size_t>(v);
+    } else if (name == "--max-steps") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v)) {
+        error = "--max-steps expects an integer";
+        return false;
+      }
+      out.pipeline.bmc.max_steps = static_cast<std::uint32_t>(v);
+    } else if (name == "--conflict-budget") {
+      if (!parse_i64(value, out.pipeline.bmc.conflict_budget)) {
+        error = "--conflict-budget expects an integer";
+        return false;
+      }
+    } else if (name == "--pessimistic-widths") {
+      out.pipeline.pessimistic_widths = true;
+    } else if (name == "--stats") {
+      out.with_stages = true;
+    } else if (name == "--dot") {
+      out.dump_dot = true;
+    } else if (name == "--sal") {
+      out.dump_sal = true;
+    } else {
+      error = "unknown option '" + std::string(name) + "'";
+      return false;
+    }
+  }
+  if (!out.show_help && out.input_path.empty()) {
+    error = "no input file";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+int dump_artifacts(const CliOptions& opts, const std::string& source,
+                   std::ostream& out, std::ostream& err) {
+  DiagnosticEngine diags;
+  std::unique_ptr<minic::Program> program = minic::compile(
+      source, diags, minic::SemaOptions{.warn_unbounded_loops = false});
+  if (!program) {
+    err << diags.str();
+    return 2;
+  }
+  for (const auto& fn : program->functions) {
+    if (!opts.pipeline.function.empty() &&
+        fn->name != opts.pipeline.function)
+      continue;
+    std::unique_ptr<cfg::FunctionCfg> f = cfg::build_cfg(*fn);
+    if (opts.dump_dot) out << f->graph.to_dot() << "\n";
+    if (opts.dump_sal) {
+      tsys::TranslateOptions topts;
+      topts.pessimistic_widths = opts.pipeline.pessimistic_widths;
+      std::unique_ptr<tsys::TranslationResult> tr =
+          tsys::translate(*program, *f, diags, topts);
+      if (!tr) {
+        err << diags.str();
+        return 2;
+      }
+      out << tr->ts.to_sal() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  CliOptions opts;
+  std::string error;
+  if (!parse_cli(args, opts, error)) {
+    err << "tmg: " << error << "\n\n" << cli_usage();
+    return 1;
+  }
+  if (opts.show_help) {
+    out << cli_usage();
+    return 0;
+  }
+
+  std::ifstream in(opts.input_path);
+  if (!in) {
+    err << "tmg: cannot open '" << opts.input_path << "'\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+
+  if (opts.dump_dot || opts.dump_sal)
+    return dump_artifacts(opts, source, out, err);
+
+  if (opts.table1_max_bound > 0) {
+    const PartitionSummary summary = partition_summary(
+        source, opts.table1_max_bound, opts.pipeline.function);
+    if (!summary.ok) {
+      err << summary.error;
+      return 2;
+    }
+    render_partition_summary(summary, opts.format, out);
+    return 0;
+  }
+
+  Pipeline pipeline(opts.pipeline);
+  const PipelineResult result = pipeline.run(source);
+  if (!result.ok) {
+    err << result.error;
+    return 2;
+  }
+  render_report(result, opts.pipeline, opts.format, opts.with_stages, out);
+  return 0;
+}
+
+}  // namespace tmg::driver

@@ -1,0 +1,41 @@
+// Command-line front door of the `tmg` pipeline driver, split from main()
+// so tests can drive it with in-memory streams.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.h"
+#include "driver/report.h"
+
+namespace tmg::driver {
+
+/// Everything `tmg` accepts on the command line.
+struct CliOptions {
+  std::string input_path;
+  PipelineOptions pipeline;
+  ReportFormat format = ReportFormat::Text;
+  bool with_stages = false;
+  /// --table1[=N]: print the Table-1-style partition summary for bounds
+  /// 1..N instead of the timing model (0 = mode off).
+  std::uint64_t table1_max_bound = 0;
+  bool dump_dot = false;
+  bool dump_sal = false;
+  bool show_help = false;
+};
+
+/// Parses argv (excluding argv[0]). Returns false (with a message in
+/// `error`) on malformed input.
+bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
+               std::string& error);
+
+/// Usage text.
+std::string cli_usage();
+
+/// Runs the whole CLI: parse args, read the file, run the pipeline, render.
+/// Exit codes: 0 success, 1 usage error, 2 input/pipeline failure.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace tmg::driver

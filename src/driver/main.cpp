@@ -1,0 +1,9 @@
+// The `tmg` executable: timing-model generation by CFG partitioning and
+// model checking, end to end over one mini-C source file.
+#include <iostream>
+
+#include "driver/cli.h"
+
+int main(int argc, char** argv) {
+  return tmg::driver::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,456 @@
+#include "driver/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "cfg/paths.h"
+#include "cfg/structure.h"
+#include "minic/frontend.h"
+#include "tsys/translate.h"
+
+namespace tmg::driver {
+
+namespace {
+
+using cfg::BlockId;
+using cfg::EdgeRef;
+
+class StageTimer {
+ public:
+  explicit StageTimer(std::vector<StageStats>& out, std::string name)
+      : out_(out), name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    out_.push_back(StageStats{std::move(name_), s});
+  }
+
+ private:
+  std::vector<StageStats>& out_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Cost of the extern calls inside one expression tree.
+std::int64_t call_costs(const minic::Expr& e, const CostModel& cm) {
+  std::int64_t total = 0;
+  if (e.kind == minic::ExprKind::Call && e.sym != nullptr)
+    total += e.sym->call_cost > 0 ? e.sym->call_cost : cm.default_call_cost;
+  for (const auto& child : e.children)
+    if (child) total += call_costs(*child, cm);
+  return total;
+}
+
+/// Worst-case transitions executed through one arm / construct; drives the
+/// BMC unroll depth for functions with (bounded) loops. Over-approximates:
+/// a block is priced at stmts + 2 transitions.
+std::uint64_t arm_weight(const cfg::Cfg& g, const cfg::Arm& arm);
+
+std::uint64_t construct_weight(const cfg::Cfg& g, const cfg::Construct& c) {
+  std::uint64_t arms_max = 0;
+  std::uint64_t arms_sum = 0;
+  for (const cfg::Arm& a : c.arms) {
+    const std::uint64_t w = arm_weight(g, a);
+    arms_max = std::max(arms_max, w);
+    arms_sum += w;
+  }
+  switch (c.kind) {
+    case cfg::ConstructKind::If:
+      return 1 + arms_max;
+    case cfg::ConstructKind::Switch:
+      // Fallthrough can chain case arms; price the sum to stay safe.
+      return 1 + (c.has_fallthrough ? arms_sum : arms_max);
+    case cfg::ConstructKind::While: {
+      const std::uint64_t b = c.loop_bound.value_or(1);
+      return (b + 1) + b * arms_max;
+    }
+    case cfg::ConstructKind::DoWhile: {
+      const std::uint64_t b =
+          std::max<std::uint64_t>(c.loop_bound.value_or(1), 1);
+      return b + b * arms_max;
+    }
+  }
+  return 1 + arms_max;
+}
+
+std::uint64_t arm_weight(const cfg::Cfg& g, const cfg::Arm& arm) {
+  std::uint64_t total = 0;
+  for (const cfg::ArmItem& item : arm.items) {
+    if (item.is_block())
+      total += g.block(item.block).stmts.size() + 2;
+    else
+      total += construct_weight(g, *item.construct);
+  }
+  return total;
+}
+
+/// Answers path-feasibility queries against one function's transition
+/// system, memoising per-decision-edge reachability so repeated anchors
+/// (block segments at b = 1 probe many edges) cost one SAT call each.
+class FeasibilityOracle {
+ public:
+  /// `depth_complete` says the unroll depth covers every terminating run;
+  /// when false (clamped or user-forced below the estimate), UNSAT no
+  /// longer proves infeasibility and is downgraded to Unknown.
+  FeasibilityOracle(const cfg::Cfg& g, const tsys::TransitionSystem& ts,
+                    bmc::BmcOptions bmc_opts, bool enabled,
+                    bool depth_complete)
+      : g_(g), ts_(ts), bmc_opts_(bmc_opts), enabled_(enabled),
+        depth_complete_(depth_complete) {}
+
+  /// Feasibility of one enumerated path through a Region segment.
+  /// `anchor` is the segment's unique entry edge (nullopt for the
+  /// whole-function segment, whose entry is virtual).
+  PathVerdict check_region_path(const std::vector<EdgeRef>& choices,
+                                const std::optional<EdgeRef>& anchor,
+                                SegmentTiming& st) {
+    if (!enabled_) return PathVerdict::Unknown;
+    if (has_conflicting_choices(choices)) return PathVerdict::Unknown;
+
+    if (anchor && g_.block(anchor->from).is_decision())
+      return solve(choices, *anchor, st);
+
+    if (!anchor) {
+      // Whole function: execution always enters, the choice policy alone
+      // pins the path.
+      return choices.empty() ? PathVerdict::Feasible
+                             : solve(choices, std::nullopt, st);
+    }
+
+    // Entry via a non-decision edge (do-while bodies): approximate with
+    // entry-block reachability plus an unanchored policy run.
+    const PathVerdict reach = block_reachable(g_.edge(*anchor).to, st);
+    if (reach == PathVerdict::Infeasible) return PathVerdict::Infeasible;
+    if (choices.empty()) return reach;
+    const PathVerdict run = solve(choices, std::nullopt, st);
+    if (run == PathVerdict::Infeasible) return PathVerdict::Infeasible;
+    return PathVerdict::Unknown;  // both SAT, but the pairing is unproven
+  }
+
+  /// Is `b` executed on any input? Decision edges are answered by the BMC
+  /// engine; unconditional edges recurse to their source block.
+  PathVerdict block_reachable(BlockId b, SegmentTiming& st) {
+    if (!enabled_) return PathVerdict::Unknown;
+    if (b == g_.entry()) return PathVerdict::Feasible;
+    if (auto it = reach_memo_.find(b); it != reach_memo_.end())
+      return it->second;
+    reach_memo_[b] = PathVerdict::Infeasible;  // cycle guard
+
+    PathVerdict verdict = PathVerdict::Infeasible;
+    bool saw_unknown = false;
+    for (BlockId p : g_.preds()[b]) {
+      const cfg::BasicBlock& pred = g_.block(p);
+      for (std::uint32_t i = 0; i < pred.succs.size(); ++i) {
+        if (pred.succs[i].to != b || pred.succs[i].back) continue;
+        PathVerdict v;
+        if (pred.is_decision())
+          v = edge_feasible(EdgeRef{p, i}, st);
+        else
+          v = block_reachable(p, st);
+        if (v == PathVerdict::Feasible) {
+          verdict = PathVerdict::Feasible;
+          break;
+        }
+        if (v == PathVerdict::Unknown) saw_unknown = true;
+      }
+      if (verdict == PathVerdict::Feasible) break;
+    }
+    if (verdict != PathVerdict::Feasible && saw_unknown)
+      verdict = PathVerdict::Unknown;
+    reach_memo_[b] = verdict;
+    return verdict;
+  }
+
+ private:
+  static bool has_conflicting_choices(const std::vector<EdgeRef>& choices) {
+    // A loop path can legitimately revisit a decision with the same
+    // outcome; different outcomes cannot be expressed as a forced policy.
+    std::map<BlockId, std::uint32_t> seen;
+    for (const EdgeRef& c : choices) {
+      auto [it, inserted] = seen.emplace(c.from, c.succ_index);
+      if (!inserted && it->second != c.succ_index) return true;
+    }
+    return false;
+  }
+
+  PathVerdict edge_feasible(const EdgeRef& e, SegmentTiming& st) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.from) << 32) | e.succ_index;
+    if (auto it = edge_memo_.find(key); it != edge_memo_.end())
+      return it->second;
+    const PathVerdict v = solve({}, e, st);
+    edge_memo_[key] = v;
+    return v;
+  }
+
+  PathVerdict solve(const std::vector<EdgeRef>& choices,
+                    const std::optional<EdgeRef>& must_take,
+                    SegmentTiming& st) {
+    bmc::BmcQuery q;
+    q.forced_choices = choices;
+    q.must_take = must_take;
+    const bmc::BmcResult r = bmc::solve(ts_, q, bmc_opts_);
+    st.bmc_seconds += r.seconds;
+    st.max_cnf_vars = std::max(st.max_cnf_vars, r.cnf_vars);
+    st.max_cnf_clauses = std::max(st.max_cnf_clauses, r.cnf_clauses);
+    switch (r.status) {
+      case bmc::BmcStatus::TestData:
+        return PathVerdict::Feasible;
+      case bmc::BmcStatus::Infeasible:
+        // UNSAT only proves infeasibility at complete depth (bmc.h); at a
+        // truncated depth the run may simply not fit, and claiming
+        // Infeasible would unsoundly drop reachable paths from the WCET.
+        return depth_complete_ ? PathVerdict::Infeasible
+                               : PathVerdict::Unknown;
+      case bmc::BmcStatus::Unknown:
+        return PathVerdict::Unknown;
+    }
+    return PathVerdict::Unknown;
+  }
+
+  const cfg::Cfg& g_;
+  const tsys::TransitionSystem& ts_;
+  bmc::BmcOptions bmc_opts_;
+  bool enabled_;
+  bool depth_complete_;
+  std::map<std::uint64_t, PathVerdict> edge_memo_;
+  std::map<BlockId, PathVerdict> reach_memo_;
+};
+
+void finalize_segment_bounds(SegmentTiming& st) {
+  bool any = false;
+  for (const PathTiming& p : st.paths) {
+    switch (p.verdict) {
+      case PathVerdict::Feasible: ++st.feasible; break;
+      case PathVerdict::Infeasible: ++st.infeasible; break;
+      case PathVerdict::Unknown: ++st.unknown; break;
+    }
+    if (p.verdict == PathVerdict::Infeasible) continue;
+    if (!any) {
+      st.bcet = st.wcet = p.cost;
+      any = true;
+    } else {
+      st.bcet = std::min(st.bcet, p.cost);
+      st.wcet = std::max(st.wcet, p.cost);
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t CostModel::block_cost(const cfg::BasicBlock& b) const {
+  std::int64_t total = 0;
+  for (const minic::Stmt* s : b.stmts) {
+    total += stmt_cost;
+    if (s->cond) total += call_costs(*s->cond, *this);
+    for (const auto& child : s->children)
+      if (child) total += call_costs(*child, *this);
+  }
+  if (b.is_decision()) total += decision_cost;
+  return total;
+}
+
+std::int64_t FunctionTiming::wcet_total() const {
+  std::int64_t total = 0;
+  for (const SegmentTiming& s : segments) total += s.wcet;
+  return total;
+}
+
+std::int64_t FunctionTiming::bcet_total() const {
+  std::int64_t total = 0;
+  for (const SegmentTiming& s : segments) total += s.bcet;
+  return total;
+}
+
+PipelineResult Pipeline::run(std::string_view source) const {
+  PipelineResult result;
+
+  DiagnosticEngine diags;
+  std::unique_ptr<minic::Program> program;
+  {
+    StageTimer t(result.stages, "frontend");
+    program = minic::compile(source, diags,
+                             minic::SemaOptions{.warn_unbounded_loops = false});
+  }
+  if (!program) {
+    result.error = diags.str();
+    return result;
+  }
+  if (program->functions.empty()) {
+    result.error = "no function definitions in translation unit\n";
+    return result;
+  }
+
+  bool matched = opts_.function.empty();
+  for (const auto& fn : program->functions) {
+    if (!opts_.function.empty() && fn->name != opts_.function) continue;
+    matched = true;
+
+    FunctionTiming ft;
+    ft.name = fn->name;
+
+    std::unique_ptr<cfg::FunctionCfg> f;
+    std::unique_ptr<cfg::PathAnalysis> pa;
+    {
+      StageTimer t(ft.stages, "cfg");
+      f = cfg::build_cfg(*fn);
+      pa = std::make_unique<cfg::PathAnalysis>(*f);
+    }
+    ft.blocks = f->graph.size();
+    ft.decisions = f->graph.decision_count();
+    ft.function_paths = pa->function_paths();
+
+    core::Partition partition;
+    {
+      StageTimer t(ft.stages, "partition");
+      partition = core::partition_function(
+          *f, *pa, core::PartitionOptions{opts_.path_bound});
+      const std::string invalid = core::validate_partition(*f, partition);
+      if (!invalid.empty()) {
+        result.error = "partition invariant violated in '" + fn->name +
+                       "': " + invalid + "\n";
+        return result;
+      }
+    }
+    ft.instrumentation_points = partition.instrumentation_points();
+    ft.fused_points = core::fused_instrumentation_points(*f, partition);
+    ft.measurements = partition.measurements();
+
+    std::unique_ptr<tsys::TranslationResult> tr;
+    {
+      StageTimer t(ft.stages, "translate");
+      tsys::TranslateOptions topts;
+      topts.pessimistic_widths = opts_.pessimistic_widths;
+      tr = tsys::translate(*program, *f, diags, topts);
+    }
+    if (!tr) {
+      result.error = diags.str();
+      return result;
+    }
+    ft.state_bits = tr->ts.state_bits();
+    ft.locations = tr->ts.num_locs;
+    ft.transitions = tr->ts.transitions.size();
+
+    // Unroll depth: automatic (locations + 1) covers loop-free systems;
+    // bounded loops need every iteration's transitions unrolled. A depth
+    // below `required` (clamped or user-forced) makes UNSAT inconclusive.
+    bmc::BmcOptions bmc_opts = opts_.bmc;
+    bool has_back_edge = false;
+    for (const cfg::BasicBlock& blk : f->graph.blocks())
+      for (const cfg::Edge& e : blk.succs) has_back_edge |= e.back;
+    const std::uint64_t required =
+        has_back_edge
+            ? std::max<std::uint64_t>(arm_weight(f->graph, f->body) + 2,
+                                      tr->ts.num_locs + 1)
+            : tr->ts.num_locs + 1;
+    if (bmc_opts.max_steps == 0) {
+      bmc_opts.max_steps = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(required, opts_.max_unroll_depth));
+    }
+    const bool depth_complete = bmc_opts.max_steps >= required;
+    ft.unroll_depth = bmc_opts.max_steps;
+
+    {
+      StageTimer t(ft.stages, "bmc");
+      FeasibilityOracle oracle(f->graph, tr->ts, bmc_opts, opts_.run_bmc,
+                               depth_complete);
+
+      for (const core::Segment& seg : partition.segments) {
+        SegmentTiming st;
+        st.id = seg.id;
+        st.kind = seg.kind;
+        st.whole_function = seg.whole_function;
+        st.num_blocks = seg.blocks.size();
+        st.structural_paths = seg.paths;
+
+        if (seg.kind == core::SegmentKind::Block) {
+          PathTiming pt;
+          pt.blocks = {seg.block};
+          pt.cost = opts_.cost.block_cost(f->graph.block(seg.block));
+          pt.verdict = opts_.run_bmc ? oracle.block_reachable(seg.block, st)
+                                     : PathVerdict::Unknown;
+          st.paths.push_back(std::move(pt));
+        } else {
+          std::vector<cfg::PathSpec> specs;
+          st.enumeration_complete = cfg::enumerate_paths(
+              *f, cfg::arm_entry_block(*seg.region), seg.blocks,
+              opts_.max_paths_per_segment, specs);
+          const std::optional<EdgeRef> anchor =
+              seg.whole_function ? std::nullopt : seg.region->entry;
+          for (const cfg::PathSpec& spec : specs) {
+            PathTiming pt;
+            pt.blocks = spec.blocks;
+            for (BlockId b : spec.blocks)
+              pt.cost += opts_.cost.block_cost(f->graph.block(b));
+            pt.verdict = oracle.check_region_path(spec.choices, anchor, st);
+            st.paths.push_back(std::move(pt));
+          }
+        }
+
+        finalize_segment_bounds(st);
+        ft.segments.push_back(std::move(st));
+      }
+    }
+
+    result.functions.push_back(std::move(ft));
+  }
+
+  if (!matched) {
+    result.error = "function '" + opts_.function + "' not found\n";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+PartitionSummary partition_summary(std::string_view source,
+                                   std::uint64_t max_bound,
+                                   std::string_view function) {
+  PartitionSummary out;
+  DiagnosticEngine diags;
+  std::unique_ptr<minic::Program> program = minic::compile(
+      source, diags, minic::SemaOptions{.warn_unbounded_loops = false});
+  if (!program) {
+    out.error = diags.str();
+    return out;
+  }
+  const minic::FunctionDef* fn = nullptr;
+  if (function.empty()) {
+    if (!program->functions.empty()) fn = program->functions.front().get();
+  } else {
+    fn = program->find_function(function);
+  }
+  if (fn == nullptr) {
+    out.error = "function not found\n";
+    return out;
+  }
+  out.function = fn->name;
+
+  std::unique_ptr<cfg::FunctionCfg> f = cfg::build_cfg(*fn);
+  cfg::PathAnalysis pa(*f);
+  for (std::uint64_t b = 1; b <= max_bound; ++b) {
+    const core::Partition p =
+        core::partition_function(*f, pa, core::PartitionOptions{b});
+    const std::string invalid = core::validate_partition(*f, p);
+    if (!invalid.empty()) {
+      out.error = "partition invariant violated at b=" + std::to_string(b) +
+                  ": " + invalid + "\n";
+      return out;
+    }
+    PartitionSummaryRow row;
+    row.bound = b;
+    row.ip = p.instrumentation_points();
+    row.fused_ip = core::fused_instrumentation_points(*f, p);
+    row.m = p.measurements();
+    row.segments = p.segments.size();
+    out.rows.push_back(row);
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace tmg::driver

@@ -1,0 +1,176 @@
+// End-to-end pipeline: mini-C source -> CFG -> partition -> transition
+// system -> per-segment BCET/WCET bounds via bounded model checking.
+//
+// This is the orchestration layer the paper describes as the tool chain:
+// the frontend compiles the source, the partitioner cuts each function's
+// CFG into program segments at a path bound b, and every structural path
+// through every segment is checked for feasibility with the BMC engine
+// (infeasible paths are excluded from the timing model, exactly as the
+// untimed-model-checker approach of Barreto et al. prunes them). Costs are
+// assigned by a simple target cost model: a fixed cost per statement and
+// decision plus the `__cost(N)` cycle annotation of extern leaf calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bmc/bmc.h"
+#include "core/partition.h"
+#include "support/path_count.h"
+
+namespace tmg::driver {
+
+/// Cycle-cost model used to weigh a control path. The paper measures real
+/// hardware; this reproduction prices the generated code shape instead:
+/// straight-line statements and decisions cost a fixed amount, extern leaf
+/// calls cost their `__cost(N)` annotation.
+struct CostModel {
+  std::int64_t stmt_cost = 1;
+  std::int64_t decision_cost = 1;
+  /// Used for extern calls without a `__cost` annotation (AST default 0
+  /// means "use the target cost model's default external call cost").
+  std::int64_t default_call_cost = 10;
+
+  /// Cost of executing one basic block once.
+  [[nodiscard]] std::int64_t block_cost(const cfg::BasicBlock& b) const;
+};
+
+struct PipelineOptions {
+  /// The partitioner's path bound b (Table 1's knob).
+  std::uint64_t path_bound = 4;
+  /// Only analyse this function (empty = all functions).
+  std::string function;
+  /// Check per-path feasibility with the BMC engine. When off, every
+  /// structural path is assumed feasible (pure static model).
+  bool run_bmc = true;
+  /// Cap on enumerated paths per segment; segments with more paths report
+  /// a truncated (still sound for the enumerated subset) model.
+  std::size_t max_paths_per_segment = 64;
+  /// Hard cap on the BMC unroll depth estimated for loops.
+  std::uint32_t max_unroll_depth = 2048;
+  /// Forwarded to the translator (paper's 16-bit-everything default).
+  bool pessimistic_widths = false;
+  bmc::BmcOptions bmc;
+  CostModel cost;
+};
+
+/// Feasibility of one enumerated segment path.
+enum class PathVerdict : std::uint8_t {
+  Feasible,    // BMC found test data driving execution through the path
+  Infeasible,  // UNSAT: no input reaches the segment along this path
+  Unknown,     // budget exhausted / loop-revisited decision / BMC disabled
+};
+
+/// One enumerated path through a segment with its price.
+struct PathTiming {
+  std::vector<cfg::BlockId> blocks;
+  std::int64_t cost = 0;
+  PathVerdict verdict = PathVerdict::Unknown;
+};
+
+/// Timing-model row for one program segment.
+struct SegmentTiming {
+  std::uint32_t id = 0;
+  core::SegmentKind kind = core::SegmentKind::Block;
+  bool whole_function = false;
+  std::size_t num_blocks = 0;
+  PathCount structural_paths;
+  bool enumeration_complete = true;
+
+  std::vector<PathTiming> paths;
+  std::size_t feasible = 0;
+  std::size_t infeasible = 0;
+  std::size_t unknown = 0;
+
+  /// Bounds over feasible (and unknown, conservatively) paths. Zero when
+  /// the segment is dead code (no feasible path).
+  std::int64_t bcet = 0;
+  std::int64_t wcet = 0;
+
+  double bmc_seconds = 0.0;
+  std::uint64_t max_cnf_vars = 0;
+  std::uint64_t max_cnf_clauses = 0;
+
+  [[nodiscard]] bool dead() const { return feasible + unknown == 0; }
+};
+
+/// Wall-clock seconds spent in one pipeline stage.
+struct StageStats {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// The complete timing model of one function.
+struct FunctionTiming {
+  std::string name;
+  std::size_t blocks = 0;
+  std::size_t decisions = 0;
+  PathCount function_paths;
+
+  std::uint64_t instrumentation_points = 0;
+  std::uint64_t fused_points = 0;
+  PathCount measurements;
+
+  int state_bits = 0;
+  std::uint32_t locations = 0;
+  std::size_t transitions = 0;
+  std::uint32_t unroll_depth = 0;
+
+  std::vector<SegmentTiming> segments;
+  std::vector<StageStats> stages;
+
+  /// Per-function totals over all segments.
+  [[nodiscard]] std::int64_t wcet_total() const;
+  [[nodiscard]] std::int64_t bcet_total() const;
+};
+
+struct PipelineResult {
+  bool ok = false;
+  /// Frontend diagnostics / partition-validation failure when !ok.
+  std::string error;
+  std::vector<FunctionTiming> functions;
+  /// Program-level stages (frontend).
+  std::vector<StageStats> stages;
+};
+
+/// Runs the whole pipeline over one translation unit.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions opts = {}) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] PipelineResult run(std::string_view source) const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return opts_; }
+
+ private:
+  PipelineOptions opts_;
+};
+
+/// One row of the Table-1-style partition summary: partitioning the same
+/// function at path bound b yields ip instrumentation points (fused_ip
+/// distinct physical sites) and m measurement runs.
+struct PartitionSummaryRow {
+  std::uint64_t bound = 0;
+  std::uint64_t ip = 0;
+  std::uint64_t fused_ip = 0;
+  PathCount m;
+  std::size_t segments = 0;
+};
+
+/// Partition-only sweep over bounds 1..max_bound (no translation, no BMC):
+/// the data behind the paper's Table 1. Fails with a diagnostic string in
+/// `error` when the source does not compile.
+struct PartitionSummary {
+  bool ok = false;
+  std::string error;
+  std::string function;
+  std::vector<PartitionSummaryRow> rows;
+};
+
+PartitionSummary partition_summary(std::string_view source,
+                                   std::uint64_t max_bound,
+                                   std::string_view function = {});
+
+}  // namespace tmg::driver

@@ -1,0 +1,240 @@
+#include "driver/report.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace tmg::driver {
+
+namespace {
+
+/// Minimal JSON string escaping (names here are identifiers, but the
+/// diagnostics path can carry arbitrary source text).
+std::string json_str(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+TextTable segment_table(const FunctionTiming& ft, bool with_function_col) {
+  std::vector<std::string> header;
+  if (with_function_col) header.push_back("function");
+  for (const char* h : {"segment", "kind", "blocks", "paths", "feasible",
+                        "infeasible", "unknown", "bcet", "wcet", "bmc_ms"})
+    header.emplace_back(h);
+  TextTable t(std::move(header));
+
+  for (const SegmentTiming& s : ft.segments) {
+    std::vector<std::string> row;
+    if (with_function_col) row.push_back(ft.name);
+    row.push_back(std::to_string(s.id));
+    std::string kind = segment_kind_name(s.kind);
+    if (s.whole_function) kind = "function";
+    row.push_back(kind);
+    row.push_back(std::to_string(s.num_blocks));
+    std::string paths = s.structural_paths.str();
+    if (!s.enumeration_complete) paths += "*";
+    row.push_back(paths);
+    row.push_back(std::to_string(s.feasible));
+    row.push_back(std::to_string(s.infeasible));
+    row.push_back(std::to_string(s.unknown));
+    row.push_back(s.dead() ? "-" : std::to_string(s.bcet));
+    row.push_back(s.dead() ? "-" : std::to_string(s.wcet));
+    row.push_back(fmt_double(s.bmc_seconds * 1000.0, 2));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void render_text(const PipelineResult& result, const PipelineOptions& opts,
+                 bool with_stages, std::ostream& os) {
+  for (const FunctionTiming& ft : result.functions) {
+    os << "== function " << ft.name << " ==\n";
+    os << "blocks: " << ft.blocks << "  decisions: " << ft.decisions
+       << "  end-to-end paths: " << ft.function_paths.str()
+       << "  state bits: " << ft.state_bits << "  locations: " << ft.locations
+       << "  transitions: " << ft.transitions
+       << "  unroll depth: " << ft.unroll_depth << "\n\n";
+
+    os << "segment timing model (path bound b=" << opts.path_bound << "):\n";
+    os << segment_table(ft, /*with_function_col=*/false).str();
+    os << "\nsegments: " << ft.segments.size()
+       << "  ip: " << ft.instrumentation_points
+       << "  fused ip: " << ft.fused_points
+       << "  measurements m: " << ft.measurements.str()
+       << "  bcet total: " << ft.bcet_total()
+       << "  wcet total: " << ft.wcet_total() << "\n";
+
+    if (with_stages) {
+      TextTable st({"stage", "seconds"});
+      for (const StageStats& s : ft.stages)
+        st.add(s.name, fmt_double(s.seconds, 4));
+      os << "\nstage timing:\n" << st.str();
+    }
+    os << "\n";
+  }
+  if (with_stages && !result.stages.empty()) {
+    // Program-level stages (frontend) run once, not per function.
+    TextTable st({"program stage", "seconds"});
+    for (const StageStats& s : result.stages)
+      st.add(s.name, fmt_double(s.seconds, 4));
+    os << st.str() << "\n";
+  }
+}
+
+void render_csv(const PipelineResult& result, std::ostream& os) {
+  bool first = true;
+  for (const FunctionTiming& ft : result.functions) {
+    TextTable t = segment_table(ft, /*with_function_col=*/true);
+    const std::string csv = t.csv();
+    if (first) {
+      os << csv;
+      first = false;
+    } else {
+      // Skip the repeated header line.
+      const std::size_t nl = csv.find('\n');
+      if (nl != std::string::npos) os << csv.substr(nl + 1);
+    }
+  }
+}
+
+void render_json(const PipelineResult& result, const PipelineOptions& opts,
+                 std::ostream& os) {
+  os << "{\"path_bound\":" << opts.path_bound << ",\"functions\":[";
+  bool first_fn = true;
+  for (const FunctionTiming& ft : result.functions) {
+    if (!first_fn) os << ",";
+    first_fn = false;
+    os << "{\"name\":" << json_str(ft.name) << ",\"blocks\":" << ft.blocks
+       << ",\"decisions\":" << ft.decisions
+       << ",\"paths\":" << json_str(ft.function_paths.str())
+       << ",\"state_bits\":" << ft.state_bits
+       << ",\"locations\":" << ft.locations
+       << ",\"transitions\":" << ft.transitions
+       << ",\"unroll_depth\":" << ft.unroll_depth
+       << ",\"ip\":" << ft.instrumentation_points
+       << ",\"fused_ip\":" << ft.fused_points
+       << ",\"measurements\":" << json_str(ft.measurements.str())
+       << ",\"bcet_total\":" << ft.bcet_total()
+       << ",\"wcet_total\":" << ft.wcet_total() << ",\"segments\":[";
+    bool first_seg = true;
+    for (const SegmentTiming& s : ft.segments) {
+      if (!first_seg) os << ",";
+      first_seg = false;
+      os << "{\"id\":" << s.id << ",\"kind\":"
+         << json_str(s.whole_function ? "function" : segment_kind_name(s.kind))
+         << ",\"blocks\":" << s.num_blocks
+         << ",\"paths\":" << json_str(s.structural_paths.str())
+         << ",\"enumeration_complete\":"
+         << (s.enumeration_complete ? "true" : "false")
+         << ",\"feasible\":" << s.feasible
+         << ",\"infeasible\":" << s.infeasible << ",\"unknown\":" << s.unknown
+         << ",\"dead\":" << (s.dead() ? "true" : "false")
+         << ",\"bcet\":" << s.bcet << ",\"wcet\":" << s.wcet
+         << ",\"bmc_seconds\":" << s.bmc_seconds
+         << ",\"max_cnf_vars\":" << s.max_cnf_vars
+         << ",\"max_cnf_clauses\":" << s.max_cnf_clauses << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+TextTable summary_table(const PartitionSummary& summary) {
+  TextTable t({"b", "segments", "ip", "fused_ip", "m"});
+  for (const PartitionSummaryRow& r : summary.rows)
+    t.add(r.bound, r.segments, r.ip, r.fused_ip, r.m.str());
+  return t;
+}
+
+}  // namespace
+
+bool parse_format(std::string_view name, ReportFormat& out) {
+  if (name == "text") {
+    out = ReportFormat::Text;
+  } else if (name == "csv") {
+    out = ReportFormat::Csv;
+  } else if (name == "json") {
+    out = ReportFormat::Json;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string verdict_name(PathVerdict v) {
+  switch (v) {
+    case PathVerdict::Feasible: return "feasible";
+    case PathVerdict::Infeasible: return "infeasible";
+    case PathVerdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string segment_kind_name(core::SegmentKind k) {
+  switch (k) {
+    case core::SegmentKind::Block: return "block";
+    case core::SegmentKind::Region: return "region";
+  }
+  return "?";
+}
+
+void render_report(const PipelineResult& result, const PipelineOptions& opts,
+                   ReportFormat format, bool with_stages, std::ostream& os) {
+  switch (format) {
+    case ReportFormat::Text:
+      render_text(result, opts, with_stages, os);
+      break;
+    case ReportFormat::Csv:
+      render_csv(result, os);
+      break;
+    case ReportFormat::Json:
+      render_json(result, opts, os);
+      break;
+  }
+}
+
+void render_partition_summary(const PartitionSummary& summary,
+                              ReportFormat format, std::ostream& os) {
+  switch (format) {
+    case ReportFormat::Text:
+      os << "partition summary for " << summary.function
+         << " (Table 1 style):\n";
+      os << summary_table(summary).str();
+      break;
+    case ReportFormat::Csv:
+      os << summary_table(summary).csv();
+      break;
+    case ReportFormat::Json: {
+      os << "{\"function\":" << json_str(summary.function) << ",\"rows\":[";
+      bool first = true;
+      for (const PartitionSummaryRow& r : summary.rows) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"b\":" << r.bound << ",\"segments\":" << r.segments
+           << ",\"ip\":" << r.ip << ",\"fused_ip\":" << r.fused_ip
+           << ",\"m\":" << json_str(r.m.str()) << "}";
+      }
+      os << "]}\n";
+      break;
+    }
+  }
+}
+
+}  // namespace tmg::driver

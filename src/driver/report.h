@@ -1,0 +1,30 @@
+// Rendering of pipeline results: the per-segment timing-model table (text /
+// CSV / JSON) and the Table-1-style partition summary.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "driver/pipeline.h"
+
+namespace tmg::driver {
+
+enum class ReportFormat : std::uint8_t { Text, Csv, Json };
+
+/// Parses "text" / "csv" / "json"; returns false on anything else.
+bool parse_format(std::string_view name, ReportFormat& out);
+
+/// Renders the per-segment timing model of every analysed function.
+/// `with_stages` adds the per-stage wall-clock table (text format only).
+void render_report(const PipelineResult& result, const PipelineOptions& opts,
+                   ReportFormat format, bool with_stages, std::ostream& os);
+
+/// Renders the Table-1-style summary (b, segments, ip, fused ip, m).
+void render_partition_summary(const PartitionSummary& summary,
+                              ReportFormat format, std::ostream& os);
+
+/// Human-readable verdict / kind names used across formats.
+std::string verdict_name(PathVerdict v);
+std::string segment_kind_name(core::SegmentKind k);
+
+}  // namespace tmg::driver

@@ -201,6 +201,15 @@ class Lexer {
       }
     }
     if (overflow) diags_.error(loc, "integer literal too large");
+    // `123abc` must not silently lex as 123 followed by an identifier:
+    // consume the alphanumeric tail and diagnose it as one bad literal.
+    if (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_') {
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        advance();
+      diags_.error(loc, "invalid suffix on integer literal '" +
+                            std::string(src_.substr(start, pos_ - start)) +
+                            "'");
+    }
     Token t = make(Tok::IntLiteral, start, loc);
     t.int_value = value;
     return t;

@@ -186,6 +186,10 @@ class Parser {
         const std::int64_t lo =
             std::max(input_range->first, type_min(type));
         const std::int64_t hi = std::min(input_range->second, type_max(type));
+        if (lo != input_range->first || hi != input_range->second)
+          diags_.warning(declarator.loc,
+                         "__input range clamped to the declared type of '" +
+                             sym->name + "'");
         if (lo <= hi) sym->input_range = {lo, hi};
       }
       if (type == Type::Void)
@@ -198,8 +202,13 @@ class Parser {
         // stay trivially constant; sema relies on this.
         const bool neg = accept(Tok::Minus);
         if (at(Tok::IntLiteral)) {
-          sym->init_value =
-              wrap_to_type(neg ? -cur().int_value : cur().int_value, type);
+          const std::int64_t value =
+              neg ? -cur().int_value : cur().int_value;
+          sym->init_value = wrap_to_type(value, type);
+          if (sym->init_value != value)
+            diags_.error(cur().loc,
+                         "initialiser " + std::to_string(value) +
+                             " is out of range for '" + sym->name + "'");
           advance();
         } else if (at(Tok::KwTrue) || at(Tok::KwFalse)) {
           sym->init_value = at(Tok::KwTrue) ? 1 : 0;
@@ -419,7 +428,13 @@ class Parser {
     expect(Tok::LParen);
     std::optional<std::uint32_t> bound;
     if (at(Tok::IntLiteral)) {
-      bound = static_cast<std::uint32_t>(cur().int_value);
+      if (cur().int_value > UINT32_MAX) {
+        // A silently truncated bound would understate the iteration count
+        // and unsoundly shrink every WCET derived from it.
+        diags_.error(cur().loc, "__loopbound value is out of range");
+      } else {
+        bound = static_cast<std::uint32_t>(cur().int_value);
+      }
       advance();
     } else {
       diags_.error(cur().loc, "__loopbound expects an integer literal");

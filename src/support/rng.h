@@ -54,7 +54,12 @@ class Rng {
     if (hi <= lo) return lo;
     const auto span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
+    // The full range [INT64_MIN, INT64_MAX] wraps the span to 0, which
+    // below() maps to 0 — every draw would collapse to lo. Any 64-bit
+    // pattern is in range, so draw one directly.
+    if (span == 0) return static_cast<std::int64_t>(next_u64());
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     below(span));
   }
 
   /// Uniform double in [0, 1).

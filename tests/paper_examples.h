@@ -1,5 +1,6 @@
 // Shared mini-C sources used across tests and benches: the paper's
-// Figure 1 example and helpers.
+// Figure 1 example, the b1-b7 pipeline benchmark set (mirrored as .mc
+// files under examples/ for the `tmg` CLI) and helpers.
 #pragma once
 
 namespace tmg::testing {
@@ -38,5 +39,152 @@ void fig1(int i)
   printf8();
 }
 )";
+
+/// b1: straight-line leaf-call chain — one end-to-end path; any partition
+/// bound measures it as a single segment.
+inline constexpr const char* kExampleB1 = R"(
+extern void sample(void) __cost(8);
+extern void filter(void) __cost(12);
+extern void emit(void) __cost(6);
+
+void b1(int raw)
+{
+  int scaled = raw * 2;
+  sample();
+  filter();
+  scaled = scaled + 1;
+  emit();
+}
+)";
+
+/// b2: if/else ladder over one input — 4 structural paths, all feasible.
+inline constexpr const char* kExampleB2 = R"(
+extern void low(void) __cost(4);
+extern void mid(void) __cost(7);
+extern void high(void) __cost(9);
+
+void b2(int level)
+{
+  int mode = 0;
+  if (level < 10) {
+    low();
+    mode = 1;
+  } else {
+    if (level < 100) {
+      mid();
+      mode = 2;
+    } else {
+      high();
+      mode = 3;
+    }
+  }
+  mode = mode + 1;
+}
+)";
+
+/// b3: correlated conditions — 8 structural but only 4 feasible paths (the
+/// infeasible-path pruning case of the untimed-model-checker approach).
+inline constexpr const char* kExampleB3 = R"(
+void b3(int i)
+{
+  int x = 0;
+  if (i == 0) { x = 1; }
+  if (i == 1) { x = 2; }
+  if (i == 2) { x = 3; }
+}
+)";
+
+/// b4: switch state machine (the wiper-controller shape: each case block
+/// is one program segment at small bounds).
+inline constexpr const char* kExampleB4 = R"(
+__input(0, 3) int state;
+
+extern void actuate(void) __cost(15);
+
+void b4(int in1)
+{
+  switch (state) {
+    case 0:
+      if (in1 > 0) { state = 1; }
+      break;
+    case 1:
+      if (in1 > 0) { state = 2; } else { state = 0; }
+      break;
+    case 2:
+      actuate();
+      state = 0;
+      break;
+    default:
+      state = 0;
+      break;
+  }
+}
+)";
+
+/// b5: bounded while loop with a branching body.
+inline constexpr const char* kExampleB5 = R"(
+void b5(int n, int flag)
+{
+  int acc = 0;
+  __loopbound(3) while (n > 0) {
+    if (flag > 0) {
+      acc += 2;
+    } else {
+      acc += 1;
+    }
+    n -= 1;
+  }
+}
+)";
+
+/// b6: for loop (desugared to while by the parser) with compound updates.
+inline constexpr const char* kExampleB6 = R"(
+extern void tick(void) __cost(5);
+
+void b6(int seed)
+{
+  int sum = 0;
+  __loopbound(4) for (int i = 0; i < 4; i += 1) {
+    sum += seed;
+    tick();
+  }
+  sum = sum >> 1;
+}
+)";
+
+/// b7: do-while plus a switch with fallthrough.
+inline constexpr const char* kExampleB7 = R"(
+void b7(int cmd, int n)
+{
+  int out = 0;
+  __loopbound(2) do {
+    out += 1;
+    n -= 1;
+  } while (n > 0);
+  switch (cmd) {
+    case 0:
+      out += 10;
+    case 1:
+      out += 20;
+      break;
+    default:
+      out = 0;
+      break;
+  }
+}
+)";
+
+/// One named pipeline example (mirrored as examples/<name>.mc).
+struct PaperExample {
+  const char* name;
+  const char* source;
+};
+
+/// Every program the driver smoke tests (and the CLI examples) cover.
+inline constexpr PaperExample kPaperExamples[] = {
+    {"fig1", kFigure1Source}, {"b1", kExampleB1}, {"b2", kExampleB2},
+    {"b3", kExampleB3},       {"b4", kExampleB4}, {"b5", kExampleB5},
+    {"b6", kExampleB6},       {"b7", kExampleB7},
+};
 
 }  // namespace tmg::testing

@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "driver/cli.h"
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "paper_examples.h"
+
+namespace tmg::driver {
+namespace {
+
+PipelineResult run_pipeline(const char* src, PipelineOptions opts = {}) {
+  Pipeline p(std::move(opts));
+  return p.run(src);
+}
+
+// ---------------------------------------------- Table 1 partition summary
+
+TEST(PartitionSummaryTest, Figure1MatchesPaperTable1) {
+  const PartitionSummary s = partition_summary(testing::kFigure1Source, 7);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_EQ(s.function, "fig1");
+  ASSERT_EQ(s.rows.size(), 7u);
+
+  const std::uint64_t expected_ip[] = {22, 16, 16, 16, 16, 2, 2};
+  const std::uint64_t expected_m[] = {11, 9, 9, 9, 9, 6, 6};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(s.rows[i].bound, i + 1);
+    EXPECT_EQ(s.rows[i].ip, expected_ip[i]) << "b=" << i + 1;
+    ASSERT_FALSE(s.rows[i].m.saturated());
+    EXPECT_EQ(s.rows[i].m.exact(), expected_m[i]) << "b=" << i + 1;
+  }
+  // Fused sites: 15 at per-block bracketing, 2 end-to-end (paper fn. 1).
+  EXPECT_EQ(s.rows[0].fused_ip, 15u);
+  EXPECT_EQ(s.rows[6].fused_ip, 2u);
+}
+
+TEST(PartitionSummaryTest, RejectsBadSource) {
+  const PartitionSummary s = partition_summary("void f(void) { x = 1; }", 3);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.error.find("undeclared"), std::string::npos);
+}
+
+// --------------------------------------------------- full pipeline, fig1
+
+TEST(PipelineTest, Figure1EndToEndSegment) {
+  PipelineOptions opts;
+  opts.path_bound = 6;  // whole function becomes one segment
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.functions.size(), 1u);
+  const FunctionTiming& ft = r.functions[0];
+  EXPECT_EQ(ft.name, "fig1");
+  EXPECT_EQ(ft.blocks, 11u);
+  EXPECT_EQ(ft.decisions, 3u);
+  ASSERT_EQ(ft.segments.size(), 1u);
+
+  const SegmentTiming& seg = ft.segments[0];
+  EXPECT_TRUE(seg.whole_function);
+  EXPECT_EQ(seg.num_blocks, 11u);
+  EXPECT_EQ(seg.structural_paths.exact(), 6u);
+  EXPECT_TRUE(seg.enumeration_complete);
+  ASSERT_EQ(seg.paths.size(), 6u);
+  // All three conditions test `i == 0`: only the all-true and the all-false
+  // paths are feasible; the 4 mixed paths are pruned by the BMC engine.
+  EXPECT_EQ(seg.feasible, 2u);
+  EXPECT_EQ(seg.infeasible, 4u);
+  EXPECT_EQ(seg.unknown, 0u);
+  // Default cost model: 1/stmt, 1/decision, __cost(10) per printf call.
+  // WCET path (i == 0): 22 + 1 + 11 + 1 + 11 + 1 + 22 + 11 = 80.
+  // BCET path (i != 0): 22 + 1 + 1 + 11 = 35.
+  EXPECT_EQ(seg.wcet, 80);
+  EXPECT_EQ(seg.bcet, 35);
+}
+
+TEST(PipelineTest, Figure1PerBlockFindsDeadElseArm) {
+  PipelineOptions opts;
+  opts.path_bound = 1;
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const FunctionTiming& ft = r.functions[0];
+  EXPECT_EQ(ft.segments.size(), 11u);
+  EXPECT_EQ(ft.instrumentation_points, 22u);
+  EXPECT_EQ(ft.fused_points, 15u);
+  // The inner else arm (printf5) only runs when i == 0 && i != 0: exactly
+  // one segment must be proven dead.
+  std::size_t dead = 0;
+  for (const SegmentTiming& s : ft.segments) dead += s.dead() ? 1 : 0;
+  EXPECT_EQ(dead, 1u);
+}
+
+TEST(PipelineTest, Figure1SegmentInvariantsAcrossBounds) {
+  for (std::uint64_t b : {1u, 2u, 4u, 6u}) {
+    PipelineOptions opts;
+    opts.path_bound = b;
+    const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (const SegmentTiming& s : r.functions[0].segments) {
+      EXPECT_LE(s.bcet, s.wcet) << "b=" << b << " segment " << s.id;
+      EXPECT_EQ(s.feasible + s.infeasible + s.unknown, s.paths.size());
+    }
+  }
+}
+
+// ----------------------------------------------- all paper examples (b1-b7)
+
+class PaperExamplePipeline
+    : public ::testing::TestWithParam<testing::PaperExample> {};
+
+TEST_P(PaperExamplePipeline, RunsEndToEnd) {
+  const PipelineResult r = run_pipeline(GetParam().source);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.functions.size(), 1u);
+  const FunctionTiming& ft = r.functions[0];
+  EXPECT_EQ(ft.name, GetParam().name);
+  EXPECT_GT(ft.segments.size(), 0u);
+  EXPECT_GT(ft.instrumentation_points, 0u);
+  EXPECT_GE(ft.instrumentation_points, ft.fused_points);
+
+  bool any_feasible = false;
+  for (const SegmentTiming& s : ft.segments) {
+    EXPECT_EQ(s.feasible + s.infeasible + s.unknown, s.paths.size());
+    EXPECT_LE(s.bcet, s.wcet);
+    EXPECT_GE(s.bcet, 0);
+    if (s.feasible > 0) any_feasible = true;
+  }
+  EXPECT_TRUE(any_feasible);
+
+  // Every stage must have been timed.
+  ASSERT_EQ(ft.stages.size(), 4u);
+  EXPECT_EQ(ft.stages[0].name, "cfg");
+  EXPECT_EQ(ft.stages[3].name, "bmc");
+}
+
+TEST_P(PaperExamplePipeline, StructuralModeNeedsNoSolver) {
+  PipelineOptions opts;
+  opts.run_bmc = false;
+  const PipelineResult r = run_pipeline(GetParam().source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  for (const SegmentTiming& s : r.functions[0].segments) {
+    EXPECT_EQ(s.feasible, 0u);
+    EXPECT_EQ(s.infeasible, 0u);
+    EXPECT_EQ(s.unknown, s.paths.size());
+    EXPECT_EQ(s.bmc_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, PaperExamplePipeline,
+    ::testing::ValuesIn(testing::kPaperExamples),
+    [](const ::testing::TestParamInfo<testing::PaperExample>& info) {
+      return std::string(info.param.name);
+    });
+
+// ----------------------------------------- examples/ <-> header sync check
+
+/// Drops comment-only lines and leading/trailing blank lines so the .mc
+/// mirrors may carry a header comment the string constants do not.
+std::string normalized_source(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream is(text);
+  while (std::getline(is, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 2, "//") == 0)
+      continue;
+    lines.push_back(line);
+  }
+  while (!lines.empty() && lines.front().empty()) lines.erase(lines.begin());
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+class PaperExampleFiles
+    : public ::testing::TestWithParam<testing::PaperExample> {};
+
+TEST_P(PaperExampleFiles, MirrorMatchesHeaderConstant) {
+  // tests drive the header strings, the CLI and CI drive examples/*.mc;
+  // they must not drift apart.
+  const std::string path = std::string(TMG_SOURCE_DIR) + "/examples/" +
+                           GetParam().name + ".mc";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(normalized_source(buf.str()),
+            normalized_source(GetParam().source))
+      << path << " drifted from tests/paper_examples.h";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, PaperExampleFiles, ::testing::ValuesIn(testing::kPaperExamples),
+    [](const ::testing::TestParamInfo<testing::PaperExample>& info) {
+      return std::string(info.param.name);
+    });
+
+// -------------------------------------------------- example-specific facts
+
+TEST(PipelineExamples, B3CorrelatedConditionsPrunedAtFullBound) {
+  PipelineOptions opts;
+  opts.path_bound = 8;  // whole function: 8 structural paths
+  const PipelineResult r = run_pipeline(testing::kExampleB3, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_TRUE(seg.whole_function);
+  EXPECT_EQ(seg.feasible, 4u);
+  EXPECT_EQ(seg.infeasible, 4u);
+}
+
+TEST(PipelineExamples, B5LoopBodySegmentHasPerIterationPaths) {
+  const PipelineResult r = run_pipeline(testing::kExampleB5);
+  ASSERT_TRUE(r.ok) << r.error;
+  // The loop body arm (if/else over flag) is one region segment with two
+  // per-iteration paths, both feasible.
+  bool found = false;
+  for (const SegmentTiming& s : r.functions[0].segments) {
+    if (s.kind != core::SegmentKind::Region || s.num_blocks < 2) continue;
+    found = true;
+    EXPECT_EQ(s.paths.size(), 2u);
+    EXPECT_EQ(s.feasible, 2u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PipelineExamples, FunctionFilterSelectsOne) {
+  const std::string two =
+      std::string(testing::kExampleB1) + testing::kExampleB3;
+  PipelineOptions opts;
+  opts.function = "b3";
+  const PipelineResult r = Pipeline(opts).run(two);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].name, "b3");
+}
+
+TEST(PipelineExamples, UnknownFunctionFails) {
+  PipelineOptions opts;
+  opts.function = "nope";
+  const PipelineResult r = Pipeline(opts).run(testing::kExampleB1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nope"), std::string::npos);
+}
+
+TEST(PipelineExamples, TruncatedUnrollDepthNeverClaimsInfeasible) {
+  // At a user-forced depth of 2 no fig1 path can terminate; UNSAT at an
+  // incomplete depth must be reported Unknown, not Infeasible (a clamped
+  // depth would otherwise unsoundly drop reachable paths from the WCET).
+  PipelineOptions opts;
+  opts.path_bound = 6;
+  opts.bmc.max_steps = 2;
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_EQ(seg.infeasible, 0u);
+  EXPECT_EQ(seg.feasible, 0u);
+  EXPECT_EQ(seg.unknown, 6u);
+}
+
+TEST(PipelineExamples, CompileErrorIsReported) {
+  const PipelineResult r = run_pipeline("void f(void) { oops(); }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("undeclared"), std::string::npos);
+}
+
+// ------------------------------------------------------------- rendering
+
+TEST(Rendering, CsvHasHeaderAndOneRowPerSegment) {
+  const PipelineResult r = run_pipeline(testing::kFigure1Source);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  render_report(r, PipelineOptions{}, ReportFormat::Csv, false, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("function,segment,kind,", 0), 0u);
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, r.functions[0].segments.size() + 1);
+}
+
+TEST(Rendering, JsonNamesTheFunction) {
+  const PipelineResult r = run_pipeline(testing::kFigure1Source);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  render_report(r, PipelineOptions{}, ReportFormat::Json, false, os);
+  EXPECT_NE(os.str().find("\"name\":\"fig1\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"segments\":["), std::string::npos);
+}
+
+TEST(Rendering, TextMentionsTimingModel) {
+  const PipelineResult r = run_pipeline(testing::kFigure1Source);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  render_report(r, PipelineOptions{}, ReportFormat::Text, true, os);
+  EXPECT_NE(os.str().find("segment timing model"), std::string::npos);
+  EXPECT_NE(os.str().find("stage timing"), std::string::npos);
+}
+
+TEST(Rendering, ParseFormatNames) {
+  ReportFormat f = ReportFormat::Text;
+  EXPECT_TRUE(parse_format("csv", f));
+  EXPECT_EQ(f, ReportFormat::Csv);
+  EXPECT_TRUE(parse_format("json", f));
+  EXPECT_TRUE(parse_format("text", f));
+  EXPECT_FALSE(parse_format("xml", f));
+}
+
+// ------------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesAllOptions) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"--bound=2", "--format=csv", "--no-bmc",
+                         "--max-paths=9", "--function=main", "--stats",
+                         "prog.mc"},
+                        opts, error))
+      << error;
+  EXPECT_EQ(opts.pipeline.path_bound, 2u);
+  EXPECT_EQ(opts.format, ReportFormat::Csv);
+  EXPECT_FALSE(opts.pipeline.run_bmc);
+  EXPECT_EQ(opts.pipeline.max_paths_per_segment, 9u);
+  EXPECT_EQ(opts.pipeline.function, "main");
+  EXPECT_TRUE(opts.with_stages);
+  EXPECT_EQ(opts.input_path, "prog.mc");
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--frobnicate", "x.mc"}, opts, error));
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, BareFlagsRejectAttachedValues) {
+  CliOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--no-bmc=false", "x.mc"}, opts, error));
+  EXPECT_NE(error.find("takes no value"), std::string::npos);
+  EXPECT_FALSE(parse_cli({"--stats=1", "x.mc"}, opts, error));
+}
+
+TEST(Cli, RequiresInputFile) {
+  CliOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--bound=2"}, opts, error));
+  EXPECT_NE(error.find("no input file"), std::string::npos);
+}
+
+TEST(Cli, Table1DefaultsToSevenBounds) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"--table1", "x.mc"}, opts, error));
+  EXPECT_EQ(opts.table1_max_bound, 7u);
+  CliOptions opts2;
+  ASSERT_TRUE(parse_cli({"--table1=3", "y.mc"}, opts2, error));
+  EXPECT_EQ(opts2.table1_max_bound, 3u);
+}
+
+class CliFileTest : public ::testing::Test {
+ protected:
+  void write_file(const char* content) {
+    path_ = ::testing::TempDir() + "tmg_cli_test.mc";
+    std::ofstream f(path_);
+    f << content;
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  int run(std::vector<std::string> extra_args) {
+    std::vector<const char*> argv = {"tmg"};
+    for (const std::string& a : extra_args) argv.push_back(a.c_str());
+    argv.push_back(path_.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  std::string path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliFileTest, RunsPipelineOnFile) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("segment timing model"), std::string::npos);
+  EXPECT_NE(out_.str().find("fig1"), std::string::npos);
+}
+
+TEST_F(CliFileTest, CsvModeIsMachineReadable) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({"--format=csv", "--bound=6"}), 0) << err_.str();
+  EXPECT_EQ(out_.str().rfind("function,segment,kind,", 0), 0u);
+  EXPECT_NE(out_.str().find("fig1,0,function"), std::string::npos);
+}
+
+TEST_F(CliFileTest, Table1Mode) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({"--table1"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("Table 1"), std::string::npos);
+}
+
+TEST_F(CliFileTest, MissingFileFails) {
+  path_ = "/nonexistent/definitely_missing.mc";
+  EXPECT_EQ(run({}), 2);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+  path_.clear();
+}
+
+TEST_F(CliFileTest, CompileErrorExitsTwo) {
+  write_file("void f(void) { x = 1; }");
+  EXPECT_EQ(run({}), 2);
+  EXPECT_NE(err_.str().find("undeclared"), std::string::npos);
+}
+
+TEST_F(CliFileTest, DotAndSalDumps) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({"--dot"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("digraph"), std::string::npos);
+  EXPECT_EQ(run({"--sal"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("MODULE"), std::string::npos);
+}
+
+TEST(CliHelp, PrintsUsage) {
+  std::ostringstream out, err;
+  const char* argv[] = {"tmg", "--help"};
+  EXPECT_EQ(run_cli(2, argv, out, err), 0);
+  EXPECT_NE(out.str().find("usage: tmg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmg::driver

@@ -301,6 +301,100 @@ TEST(Parser, ErrorInputOnLocal) {
   expect_error("void f(void) { __input int x; }", "__input");
 }
 
+// ------------------------------------- lexical / truncation error paths
+
+TEST(LexerErrors, UnterminatedBlockComment) {
+  expect_error("void f(void) { } /* never closed", "unterminated block comment");
+}
+
+TEST(LexerErrors, DecimalLiteralTooLarge) {
+  // One above INT64_MAX: must be rejected, not silently wrapped.
+  expect_error("void f(int a) { a = 9223372036854775808; }",
+               "integer literal too large");
+}
+
+TEST(LexerErrors, HexLiteralTooLarge) {
+  expect_error("void f(int a) { a = 0xffffffffffffffff1; }",
+               "integer literal too large");
+}
+
+TEST(LexerErrors, HexLiteralWithoutDigits) {
+  expect_error("void f(int a) { a = 0x; }", "hexadecimal literal has no digits");
+}
+
+TEST(LexerErrors, LiteralWithIdentifierSuffix) {
+  // `123abc` must not silently lex as 123 followed by `abc`.
+  expect_error("void f(int a) { a = 123abc; }",
+               "invalid suffix on integer literal '123abc'");
+}
+
+TEST(LexerErrors, DirectLexReportsSuffix) {
+  DiagnosticEngine d;
+  auto toks = lex("42xyz", d);
+  EXPECT_FALSE(d.ok());
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::IntLiteral);
+  EXPECT_EQ(toks[1].kind, Tok::Eof);  // the suffix is consumed, not re-lexed
+}
+
+TEST(ParserErrors, LoopboundOutOfRange) {
+  // 2^32 would silently truncate to 0 iterations and unsoundly shrink the
+  // WCET of everything derived from the bound.
+  expect_error("void f(int a) { __loopbound(4294967296) while (a) { a -= 1; } }",
+               "__loopbound value is out of range");
+}
+
+TEST(ParserErrors, LoopboundMaxU32Accepted) {
+  auto p = parse_ok(
+      "void f(int a) { __loopbound(4294967295) while (a) { a -= 1; } }");
+  EXPECT_EQ(p->functions[0]->body->body[0]->loop_bound, 4294967295u);
+}
+
+TEST(ParserErrors, GlobalInitialiserOutOfRange) {
+  // int is 16-bit on the target: 40000 does not fit and must not wrap.
+  expect_error("int g = 40000; void f(void){}", "out of range for 'g'");
+}
+
+TEST(ParserErrors, GlobalInitialiserNegativeOutOfRange) {
+  expect_error("int g = -40000; void f(void){}", "out of range for 'g'");
+}
+
+TEST(ParserErrors, GlobalInitialiserBoundaryAccepted) {
+  auto p = parse_ok("int g = 32767, h = -32768; void f(void){}");
+  EXPECT_EQ(p->globals[0]->init_value, 32767);
+  EXPECT_EQ(p->globals[1]->init_value, -32768);
+}
+
+TEST(ParserErrors, InputRangeClampWarns) {
+  DiagnosticEngine d;
+  auto p = compile("__input(0, 100000) int s; void f(void){}", d,
+                   SemaOptions{.warn_unbounded_loops = false});
+  ASSERT_TRUE(p != nullptr) << d.str();  // a warning, not an error
+  EXPECT_NE(d.str().find("__input range clamped"), std::string::npos);
+  ASSERT_TRUE(p->globals[0]->input_range.has_value());
+  EXPECT_EQ(p->globals[0]->input_range->second, 32767);
+}
+
+TEST(ParserErrors, UnexpectedEofInFunctionBody) {
+  expect_error("void f(void) { if (1) {", "expected '}'");
+}
+
+TEST(ParserErrors, UnexpectedEofInExpression) {
+  expect_error("void f(int a) { a = 1 +", "expected expression");
+}
+
+TEST(ParserErrors, UnexpectedEofInSwitch) {
+  expect_error("void f(int a) { switch (a) { case 1: a = 2;", "expected");
+}
+
+TEST(ParserErrors, UnexpectedEofInParameterList) {
+  expect_error("void f(int a,", "expected");
+}
+
+TEST(ParserErrors, UnexpectedEofAfterExtern) {
+  expect_error("extern void g(void) __cost(", "expected");
+}
+
 // ------------------------------------------------------------------- sema
 
 TEST(Sema, TypesPropagate) {

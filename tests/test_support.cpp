@@ -85,6 +85,62 @@ TEST(PathCount, PowOfZeroIsZero) {
   EXPECT_EQ(PathCount(0).pow(5).exact(), 0u);
 }
 
+// ------------------------------------------- saturation boundary (2^63)
+
+TEST(PathCountSaturation, AdditionJustBelowLimitStaysExact) {
+  // (2^62 - 1) + 2^62 == 2^63 - 1: the largest exact sum.
+  PathCount a((std::uint64_t{1} << 62) - 1);
+  PathCount b(std::uint64_t{1} << 62);
+  PathCount c = a + b;
+  EXPECT_FALSE(c.saturated());
+  EXPECT_EQ(c.exact(), (std::uint64_t{1} << 63) - 1);
+}
+
+TEST(PathCountSaturation, AdditionAtLimitSaturates) {
+  // 2^62 + 2^62 == 2^63 == kSatLimit: must switch to the log domain.
+  PathCount a(std::uint64_t{1} << 62);
+  PathCount c = a + a;
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 63.0, 0.01);
+}
+
+TEST(PathCountSaturation, MultiplicationJustBelowLimitStaysExact) {
+  PathCount a(std::uint64_t{1} << 31);
+  PathCount c = a * a;  // 2^62
+  EXPECT_FALSE(c.saturated());
+  EXPECT_EQ(c.exact(), std::uint64_t{1} << 62);
+}
+
+TEST(PathCountSaturation, MultiplicationAtLimitSaturates) {
+  PathCount a(std::uint64_t{1} << 32);
+  PathCount b(std::uint64_t{1} << 31);
+  PathCount c = a * b;  // 2^63 == kSatLimit
+  EXPECT_TRUE(c.saturated());
+  EXPECT_NEAR(c.log2(), 63.0, 0.01);
+}
+
+TEST(PathCountSaturation, PowCrossingTheBoundarySaturates) {
+  PathCount two(2);
+  PathCount exact = two.pow(61);
+  EXPECT_FALSE(exact.saturated());
+  EXPECT_EQ(exact.exact(), std::uint64_t{1} << 61);
+  PathCount sat = two.pow(63);
+  EXPECT_TRUE(sat.saturated());
+  EXPECT_NEAR(sat.log2(), 63.0, 0.1);
+}
+
+TEST(PathCountSaturation, PowOnSaturatedValueStaysInLogDomain) {
+  PathCount base = PathCount::from_log2(100.0);
+  PathCount p = base.pow(3);
+  EXPECT_TRUE(p.saturated());
+  EXPECT_NEAR(p.log2(), 300.0, 0.01);
+  // pow(1) must be a fixpoint.
+  EXPECT_NEAR(base.pow(1).log2(), 100.0, 0.01);
+  // pow(0) is one even for saturated bases.
+  EXPECT_FALSE(base.pow(0).saturated());
+  EXPECT_EQ(base.pow(0).exact(), 1u);
+}
+
 TEST(PathCount, LeBound) {
   EXPECT_TRUE(PathCount(6).le(6));
   EXPECT_FALSE(PathCount(7).le(6));
@@ -142,6 +198,34 @@ TEST(Rng, RangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, FullInt64RangeIsNotDegenerate) {
+  // Regression: span = hi - lo + 1 wraps to 0 for [INT64_MIN, INT64_MAX],
+  // and below(0) == 0 collapsed every draw to lo.
+  Rng r(17);
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  std::set<std::int64_t> seen;
+  bool non_lo = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t v = r.range(lo, hi);
+    seen.insert(v);
+    if (v != lo) non_lo = true;
+  }
+  EXPECT_TRUE(non_lo);
+  EXPECT_GT(seen.size(), 32u);  // 64 draws over 2^64 values: no repeats
+}
+
+TEST(Rng, AlmostFullInt64RangeStaysInBounds) {
+  Rng r(23);
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max() - 1;
+  for (int i = 0; i < 256; ++i) {
+    const std::int64_t v = r.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
 }
 
 TEST(Rng, UnitInHalfOpenInterval) {
