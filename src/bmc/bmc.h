@@ -7,9 +7,19 @@
 // model yields the input assignment — the test datum; UNSAT at full depth
 // proves the path infeasible (complete for loop-free systems, which is what
 // the paper's generated automotive code is).
+//
+// Concurrency contract (relied on by engine::Scheduler): solve() is a pure
+// function of (ts, query, opts). It builds a fresh sat::Solver and
+// BitBlaster per call, touches no global or static mutable state, and only
+// reads the transition system. Concurrent solve() calls are therefore safe
+// as long as no thread mutates `ts` while any call is in flight — distinct
+// TransitionSystem instances OR one shared read-only instance both work.
+// Determinism: the same (ts, query, opts) always yields the same status,
+// witness (`initial_values`), steps and CNF sizes; only `seconds` varies.
 #pragma once
 
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "cfg/cfg.h"
@@ -57,8 +67,17 @@ struct BmcResult {
   double seconds = 0.0;
 };
 
-/// Runs one query against one transition system.
+/// Runs one query against one transition system. Safe to call concurrently
+/// from multiple threads (see the concurrency contract above).
 BmcResult solve(const tsys::TransitionSystem& ts, const BmcQuery& query,
                 const BmcOptions& opts = {});
+
+// Results cross thread boundaries by value when the engine merges job
+// slots; the vector member keeps BmcResult non-trivially-copyable, so pin
+// the pieces the merge copies element-wise instead.
+static_assert(std::is_trivially_copyable_v<BmcStatus> &&
+                  std::is_trivially_copyable_v<BmcOptions>,
+              "BMC status/options must stay plain data for the engine's "
+              "cross-thread result merge");
 
 }  // namespace tmg::bmc

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "cfg/structure.h"
+#include "engine/bench.h"
+#include "engine/scheduler.h"
 #include "minic/frontend.h"
 #include "tsys/translate.h"
 
@@ -45,24 +47,34 @@ void split_opt(std::string_view arg, std::string_view& name,
 
 std::string cli_usage() {
   return
-      "usage: tmg [options] <source.mc>\n"
+      "usage: tmg [options] <source.mc> [more.mc ...]\n"
       "\n"
       "Runs the full timing-model pipeline: mini-C frontend -> CFG ->\n"
       "partition (path bound b) -> transition system -> per-segment\n"
-      "BCET/WCET bounds via bounded model checking.\n"
+      "BCET/WCET bounds via bounded model checking. Per-path feasibility\n"
+      "checks run as independent jobs on a worker pool (--jobs). Several\n"
+      "input files select batch mode: per-file reports plus an aggregate\n"
+      "summary.\n"
       "\n"
       "options:\n"
       "  --bound=N             partition path bound b (default 4)\n"
       "  --function=NAME       analyse only this function\n"
       "  --format=FMT          text | csv | json (default text)\n"
+      "  --jobs=N              analysis worker threads (default: hardware\n"
+      "                        concurrency); output is identical for any N\n"
+      "  --bench[=R]           benchmark mode: run every input R times\n"
+      "                        serially and R times on the pool (default 3),\n"
+      "                        emit the JSON perf report and exit\n"
       "  --table1[=N]          print the Table-1-style partition summary\n"
       "                        for bounds 1..N (default 7) and exit\n"
       "  --no-bmc              skip feasibility checking (structural model)\n"
+      "  --no-validate         skip witness replay through the interpreter\n"
       "  --max-paths=N         enumerated paths per segment (default 64)\n"
       "  --max-steps=N         fixed BMC unroll depth (default: automatic)\n"
       "  --conflict-budget=N   SAT conflict budget per query (-1 unlimited)\n"
       "  --pessimistic-widths  16-bit-everything translation (paper default)\n"
-      "  --stats               include per-stage wall-clock timing (text)\n"
+      "  --stats               include wall-clock data (stage timing,\n"
+      "                        bmc_ms, worker counts) in reports\n"
       "  --dot                 print the CFG in Graphviz format and exit\n"
       "  --sal                 print the transition system and exit\n"
       "  --help                show this message\n";
@@ -70,15 +82,11 @@ std::string cli_usage() {
 
 bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                std::string& error) {
+  bool format_set = false;
   for (const std::string& arg : args) {
     if (arg.empty()) continue;
     if (arg[0] != '-') {
-      if (!out.input_path.empty()) {
-        error = "multiple input files ('" + out.input_path + "' and '" + arg +
-                "')";
-        return false;
-      }
-      out.input_path = arg;
+      out.inputs.push_back(arg);
       continue;
     }
     std::string_view name, value;
@@ -88,7 +96,7 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     // Flags that take no value: `--no-bmc=false` must not silently act as
     // `--no-bmc`.
     const bool is_bare_flag = name == "--help" || name == "-h" ||
-                              name == "--no-bmc" ||
+                              name == "--no-bmc" || name == "--no-validate" ||
                               name == "--pessimistic-widths" ||
                               name == "--stats" || name == "--dot" ||
                               name == "--sal";
@@ -116,6 +124,24 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         error = "--format expects text, csv or json";
         return false;
       }
+      format_set = true;
+    } else if (name == "--jobs") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 1024) {
+        error = "--jobs expects a positive integer (max 1024)";
+        return false;
+      }
+      out.pipeline.jobs = static_cast<unsigned>(v);
+    } else if (name == "--bench") {
+      out.bench_repeats = 3;
+      std::uint64_t v = 0;
+      if (has_value) {
+        if (!parse_u64(value, v) || v == 0 || v > 1000) {
+          error = "--bench expects a positive repeat count (max 1000)";
+          return false;
+        }
+        out.bench_repeats = static_cast<unsigned>(v);
+      }
     } else if (name == "--table1") {
       out.table1_max_bound = 7;
       if (has_value && (!parse_u64(value, out.table1_max_bound) ||
@@ -125,6 +151,8 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
       }
     } else if (name == "--no-bmc") {
       out.pipeline.run_bmc = false;
+    } else if (name == "--no-validate") {
+      out.pipeline.validate_witnesses = false;
     } else if (name == "--max-paths") {
       std::uint64_t v = 0;
       if (!parse_u64(value, v) || v == 0) {
@@ -157,14 +185,46 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
       return false;
     }
   }
-  if (!out.show_help && out.input_path.empty()) {
+  if (!out.show_help && out.inputs.empty()) {
     error = "no input file";
+    return false;
+  }
+  // Mode flags are mutually exclusive; a silently ignored --bench would
+  // hand CI an empty bench.json.
+  if (out.bench_repeats > 0) {
+    if (out.table1_max_bound > 0 || out.dump_dot || out.dump_sal) {
+      error = "--bench cannot be combined with --table1/--dot/--sal";
+      return false;
+    }
+    if (format_set && out.format != ReportFormat::Json) {
+      error = "--bench always emits JSON; drop --format or use --format=json";
+      return false;
+    }
+  }
+  // Only the timing-model report has a batch rendering; concatenating
+  // per-file summaries/dumps would be malformed CSV/JSON.
+  if ((out.table1_max_bound > 0 || out.dump_dot || out.dump_sal) &&
+      out.inputs.size() > 1) {
+    error = "--table1/--dot/--sal take exactly one input file";
     return false;
   }
   return true;
 }
 
 namespace {
+
+bool read_file(const std::string& path, std::string& source,
+               std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "tmg: cannot open '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  source = buf.str();
+  return true;
+}
 
 int dump_artifacts(const CliOptions& opts, const std::string& source,
                    std::ostream& out, std::ostream& err) {
@@ -196,6 +256,77 @@ int dump_artifacts(const CliOptions& opts, const std::string& source,
   return 0;
 }
 
+/// Per-stage seconds of one run, in canonical order: program-level stages
+/// plus per-function stages summed by name.
+std::vector<engine::BenchStage> bench_stages(const PipelineResult& r) {
+  static const char* kOrder[] = {"frontend",  "cfg",      "partition",
+                                 "translate", "analysis", "bmc"};
+  std::vector<engine::BenchStage> out;
+  for (const char* name : kOrder) {
+    double seconds = 0.0;
+    bool found = false;
+    for (const StageStats& s : r.stages)
+      if (s.name == name) {
+        seconds += s.seconds;
+        found = true;
+      }
+    for (const FunctionTiming& ft : r.functions)
+      for (const StageStats& s : ft.stages)
+        if (s.name == name) {
+          seconds += s.seconds;
+          found = true;
+        }
+    if (found) out.push_back(engine::BenchStage{name, seconds});
+  }
+  return out;
+}
+
+/// Benchmark mode: every input R times with one worker, R times with the
+/// configured pool; best-of wall clocks feed the JSON report.
+int run_bench(const CliOptions& opts,
+              const std::vector<std::string>& sources, std::ostream& out,
+              std::ostream& err) {
+  engine::BenchReport report;
+  report.repeats = opts.bench_repeats;
+  report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
+
+  for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
+    engine::BenchFile file;
+    file.path = opts.inputs[i];
+
+    for (const bool parallel : {false, true}) {
+      PipelineOptions popts = opts.pipeline;
+      popts.jobs = parallel ? opts.pipeline.jobs : 1;
+      const Pipeline pipeline(popts);
+      double best = 0.0;
+      for (unsigned rep = 0; rep < opts.bench_repeats; ++rep) {
+        const double t0 = engine::monotonic_seconds();
+        const PipelineResult r = pipeline.run(sources[i]);
+        const double wall = engine::monotonic_seconds() - t0;
+        if (!r.ok) {
+          err << opts.inputs[i] << ": " << r.error;
+          return 2;
+        }
+        // Stage breakdown tracks the best run, so it stays consistent
+        // with the headline parallel_seconds it accompanies.
+        if (rep == 0 || wall < best) {
+          best = wall;
+          if (parallel) {
+            file.analysis_jobs = r.analysis_jobs;
+            file.workers_used = r.analysis_workers;
+            file.stages = bench_stages(r);
+          }
+        }
+      }
+      (parallel ? file.parallel_seconds : file.serial_seconds) = best;
+    }
+    report.files.push_back(std::move(file));
+  }
+
+  report.render_json(out);
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
@@ -214,21 +345,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
 
-  std::ifstream in(opts.input_path);
-  if (!in) {
-    err << "tmg: cannot open '" << opts.input_path << "'\n";
-    return 2;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string source = buf.str();
+  std::vector<std::string> sources(opts.inputs.size());
+  for (std::size_t i = 0; i < opts.inputs.size(); ++i)
+    if (!read_file(opts.inputs[i], sources[i], err)) return 2;
 
+  // parse_cli guarantees exactly one input for the dump/summary modes.
   if (opts.dump_dot || opts.dump_sal)
-    return dump_artifacts(opts, source, out, err);
+    return dump_artifacts(opts, sources[0], out, err);
 
   if (opts.table1_max_bound > 0) {
     const PartitionSummary summary = partition_summary(
-        source, opts.table1_max_bound, opts.pipeline.function);
+        sources[0], opts.table1_max_bound, opts.pipeline.function);
     if (!summary.ok) {
       err << summary.error;
       return 2;
@@ -237,13 +364,34 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
 
-  Pipeline pipeline(opts.pipeline);
-  const PipelineResult result = pipeline.run(source);
-  if (!result.ok) {
-    err << result.error;
-    return 2;
+  if (opts.bench_repeats > 0) return run_bench(opts, sources, out, err);
+
+  const Pipeline pipeline(opts.pipeline);
+  if (opts.inputs.size() == 1) {
+    const PipelineResult result = pipeline.run(sources[0]);
+    if (!result.ok) {
+      err << result.error;
+      return 2;
+    }
+    render_report(result, opts.pipeline, opts.format, opts.with_stages, out);
+    return 0;
   }
-  render_report(result, opts.pipeline, opts.format, opts.with_stages, out);
+
+  // Batch mode: analyse every file, then render per-file + aggregate.
+  std::vector<BatchEntry> batch;
+  batch.reserve(opts.inputs.size());
+  for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
+    BatchEntry entry;
+    entry.path = opts.inputs[i];
+    entry.result = pipeline.run(sources[i]);
+    if (!entry.result.ok) {
+      err << opts.inputs[i] << ": " << entry.result.error;
+      return 2;
+    }
+    batch.push_back(std::move(entry));
+  }
+  render_batch_report(batch, opts.pipeline, opts.format, opts.with_stages,
+                      out);
   return 0;
 }
 

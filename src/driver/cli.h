@@ -13,13 +13,18 @@ namespace tmg::driver {
 
 /// Everything `tmg` accepts on the command line.
 struct CliOptions {
-  std::string input_path;
+  /// Input files in command-line order; more than one selects batch mode
+  /// (per-file reports plus an aggregate summary).
+  std::vector<std::string> inputs;
   PipelineOptions pipeline;
   ReportFormat format = ReportFormat::Text;
   bool with_stages = false;
   /// --table1[=N]: print the Table-1-style partition summary for bounds
   /// 1..N instead of the timing model (0 = mode off).
   std::uint64_t table1_max_bound = 0;
+  /// --bench[=R]: run every input R times serially and R times on the
+  /// worker pool, then emit the JSON perf report (0 = mode off).
+  unsigned bench_repeats = 0;
   bool dump_dot = false;
   bool dump_sal = false;
   bool show_help = false;
@@ -33,7 +38,8 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
 /// Usage text.
 std::string cli_usage();
 
-/// Runs the whole CLI: parse args, read the file, run the pipeline, render.
+/// Runs the whole CLI: parse args, read the files, run the pipeline (batch
+/// mode for several inputs, bench mode under --bench), render.
 /// Exit codes: 0 success, 1 usage error, 2 input/pipeline failure.
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);

@@ -1,13 +1,15 @@
 #include "driver/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <optional>
 
 #include "cfg/paths.h"
 #include "cfg/structure.h"
+#include "engine/once_cache.h"
+#include "engine/scheduler.h"
 #include "minic/frontend.h"
+#include "testgen/interp.h"
 #include "tsys/translate.h"
 
 namespace tmg::driver {
@@ -21,18 +23,16 @@ class StageTimer {
  public:
   explicit StageTimer(std::vector<StageStats>& out, std::string name)
       : out_(out), name_(std::move(name)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(engine::monotonic_seconds()) {}
   ~StageTimer() {
-    const double s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start_)
-                         .count();
-    out_.push_back(StageStats{std::move(name_), s});
+    out_.push_back(
+        StageStats{std::move(name_), engine::monotonic_seconds() - start_});
   }
 
  private:
   std::vector<StageStats>& out_;
   std::string name_;
-  std::chrono::steady_clock::time_point start_;
+  double start_;
 };
 
 /// Cost of the extern calls inside one expression tree.
@@ -88,9 +88,39 @@ std::uint64_t arm_weight(const cfg::Cfg& g, const cfg::Arm& arm) {
   return total;
 }
 
+/// Result slot of one analysis job. Everything except `bmc_seconds` is a
+/// pure function of the query (bmc.h's concurrency contract), so the merged
+/// report cannot depend on which worker ran the job or in what order.
+struct PathJobResult {
+  PathVerdict verdict = PathVerdict::Unknown;
+  std::vector<std::int64_t> witness;
+  double bmc_seconds = 0.0;
+  std::uint64_t max_cnf_vars = 0;
+  std::uint64_t max_cnf_clauses = 0;
+};
+
+/// A memoised query outcome; re-applied verbatim on every hit. Pure
+/// function of the query (bmc.h's determinism contract), which is what
+/// lets workers share cached entries without affecting the merged report.
+struct CachedQuery {
+  PathVerdict verdict = PathVerdict::Unknown;
+  std::vector<std::int64_t> witness;
+  std::uint64_t cnf_vars = 0;
+  std::uint64_t cnf_clauses = 0;
+};
+
+/// Per-function single-flight store of decision-edge feasibility queries,
+/// shared by all workers (block segments at b = 1 probe many edges; one
+/// SAT call per edge across the whole pool).
+using EdgeCache = engine::OnceCache<std::uint64_t, CachedQuery>;
+
 /// Answers path-feasibility queries against one function's transition
-/// system, memoising per-decision-edge reachability so repeated anchors
-/// (block segments at b = 1 probe many edges) cost one SAT call each.
+/// system. One oracle instance serves exactly one worker thread of the
+/// engine; the only cross-worker sharing is the single-flight EdgeCache
+/// (and the read-only CFG / transition system). Cached outcomes —
+/// including CNF maxima and witnesses — are byte-identical to a fresh
+/// solve, which keeps per-segment statistics independent of how jobs are
+/// distributed over workers.
 class FeasibilityOracle {
  public:
   /// `depth_complete` says the unroll depth covers every terminating run;
@@ -98,74 +128,124 @@ class FeasibilityOracle {
   /// longer proves infeasibility and is downgraded to Unknown.
   FeasibilityOracle(const cfg::Cfg& g, const tsys::TransitionSystem& ts,
                     bmc::BmcOptions bmc_opts, bool enabled,
-                    bool depth_complete)
+                    bool depth_complete, EdgeCache& edges)
       : g_(g), ts_(ts), bmc_opts_(bmc_opts), enabled_(enabled),
-        depth_complete_(depth_complete) {}
+        depth_complete_(depth_complete), edges_(edges) {}
 
   /// Feasibility of one enumerated path through a Region segment.
   /// `anchor` is the segment's unique entry edge (nullopt for the
   /// whole-function segment, whose entry is virtual).
-  PathVerdict check_region_path(const std::vector<EdgeRef>& choices,
-                                const std::optional<EdgeRef>& anchor,
-                                SegmentTiming& st) {
-    if (!enabled_) return PathVerdict::Unknown;
-    if (has_conflicting_choices(choices)) return PathVerdict::Unknown;
+  void check_region_path(const std::vector<EdgeRef>& choices,
+                         const std::optional<EdgeRef>& anchor,
+                         PathJobResult& out) {
+    pending_seconds_ = 0.0;
+    region_path_inner(choices, anchor, out);
+    out.bmc_seconds += pending_seconds_;
+  }
 
-    if (anchor && g_.block(anchor->from).is_decision())
-      return solve(choices, *anchor, st);
+  /// Is the block of a Block segment executed on any input?
+  void check_block(BlockId b, PathJobResult& out) {
+    pending_seconds_ = 0.0;
+    if (enabled_) apply(block_reachable(b), out);
+    out.bmc_seconds += pending_seconds_;
+  }
+
+ private:
+  static void apply(const CachedQuery& q, PathJobResult& out) {
+    out.verdict = q.verdict;
+    out.witness = q.witness;
+    out.max_cnf_vars = std::max(out.max_cnf_vars, q.cnf_vars);
+    out.max_cnf_clauses = std::max(out.max_cnf_clauses, q.cnf_clauses);
+  }
+
+  void region_path_inner(const std::vector<EdgeRef>& choices,
+                         const std::optional<EdgeRef>& anchor,
+                         PathJobResult& out) {
+    if (!enabled_ || has_conflicting_choices(choices)) {
+      out.verdict = PathVerdict::Unknown;
+      return;
+    }
+
+    if (anchor && g_.block(anchor->from).is_decision()) {
+      apply(solve(choices, *anchor), out);
+      return;
+    }
 
     if (!anchor) {
       // Whole function: execution always enters, the choice policy alone
       // pins the path.
-      return choices.empty() ? PathVerdict::Feasible
-                             : solve(choices, std::nullopt, st);
+      if (choices.empty()) {
+        out.verdict = PathVerdict::Feasible;  // no SAT model, no witness
+        return;
+      }
+      apply(solve(choices, std::nullopt), out);
+      return;
     }
 
     // Entry via a non-decision edge (do-while bodies): approximate with
     // entry-block reachability plus an unanchored policy run.
-    const PathVerdict reach = block_reachable(g_.edge(*anchor).to, st);
-    if (reach == PathVerdict::Infeasible) return PathVerdict::Infeasible;
-    if (choices.empty()) return reach;
-    const PathVerdict run = solve(choices, std::nullopt, st);
-    if (run == PathVerdict::Infeasible) return PathVerdict::Infeasible;
-    return PathVerdict::Unknown;  // both SAT, but the pairing is unproven
+    const CachedQuery& reach = block_reachable(g_.edge(*anchor).to);
+    out.max_cnf_vars = std::max(out.max_cnf_vars, reach.cnf_vars);
+    out.max_cnf_clauses = std::max(out.max_cnf_clauses, reach.cnf_clauses);
+    if (reach.verdict == PathVerdict::Infeasible) {
+      out.verdict = PathVerdict::Infeasible;
+      return;
+    }
+    if (choices.empty()) {
+      out.verdict = reach.verdict;
+      out.witness = reach.witness;
+      return;
+    }
+    const CachedQuery run = solve(choices, std::nullopt);
+    out.max_cnf_vars = std::max(out.max_cnf_vars, run.cnf_vars);
+    out.max_cnf_clauses = std::max(out.max_cnf_clauses, run.cnf_clauses);
+    if (run.verdict == PathVerdict::Infeasible) {
+      out.verdict = PathVerdict::Infeasible;
+      return;
+    }
+    out.verdict = PathVerdict::Unknown;  // both SAT, the pairing is unproven
   }
 
   /// Is `b` executed on any input? Decision edges are answered by the BMC
-  /// engine; unconditional edges recurse to their source block.
-  PathVerdict block_reachable(BlockId b, SegmentTiming& st) {
-    if (!enabled_) return PathVerdict::Unknown;
-    if (b == g_.entry()) return PathVerdict::Feasible;
-    if (auto it = reach_memo_.find(b); it != reach_memo_.end())
+  /// engine; unconditional edges recurse to their source block. The
+  /// recursion only follows forward edges, so it terminates; the
+  /// try_emplace placeholder guards the (structurally impossible) cycle.
+  const CachedQuery& block_reachable(BlockId b) {
+    auto [it, inserted] = reach_memo_.try_emplace(b);
+    if (!inserted) return it->second;
+    it->second.verdict = PathVerdict::Infeasible;  // cycle guard
+    if (b == g_.entry()) {
+      it->second.verdict = PathVerdict::Feasible;
       return it->second;
-    reach_memo_[b] = PathVerdict::Infeasible;  // cycle guard
+    }
 
-    PathVerdict verdict = PathVerdict::Infeasible;
+    CachedQuery result;
+    result.verdict = PathVerdict::Infeasible;
     bool saw_unknown = false;
     for (BlockId p : g_.preds()[b]) {
       const cfg::BasicBlock& pred = g_.block(p);
       for (std::uint32_t i = 0; i < pred.succs.size(); ++i) {
         if (pred.succs[i].to != b || pred.succs[i].back) continue;
-        PathVerdict v;
-        if (pred.is_decision())
-          v = edge_feasible(EdgeRef{p, i}, st);
-        else
-          v = block_reachable(p, st);
-        if (v == PathVerdict::Feasible) {
-          verdict = PathVerdict::Feasible;
+        const CachedQuery sub = pred.is_decision() ? edge_feasible(EdgeRef{p, i})
+                                               : block_reachable(p);
+        result.cnf_vars = std::max(result.cnf_vars, sub.cnf_vars);
+        result.cnf_clauses = std::max(result.cnf_clauses, sub.cnf_clauses);
+        if (sub.verdict == PathVerdict::Feasible) {
+          result.verdict = PathVerdict::Feasible;
+          result.witness = sub.witness;
           break;
         }
-        if (v == PathVerdict::Unknown) saw_unknown = true;
+        if (sub.verdict == PathVerdict::Unknown) saw_unknown = true;
       }
-      if (verdict == PathVerdict::Feasible) break;
+      if (result.verdict == PathVerdict::Feasible) break;
     }
-    if (verdict != PathVerdict::Feasible && saw_unknown)
-      verdict = PathVerdict::Unknown;
-    reach_memo_[b] = verdict;
-    return verdict;
+    if (result.verdict != PathVerdict::Feasible && saw_unknown)
+      result.verdict = PathVerdict::Unknown;
+    // `it` survived the recursion: std::map iterators are stable.
+    it->second = std::move(result);
+    return it->second;
   }
 
- private:
   static bool has_conflicting_choices(const std::vector<EdgeRef>& choices) {
     // A loop path can legitimately revisit a decision with the same
     // outcome; different outcomes cannot be expressed as a forced policy.
@@ -177,39 +257,41 @@ class FeasibilityOracle {
     return false;
   }
 
-  PathVerdict edge_feasible(const EdgeRef& e, SegmentTiming& st) {
+  CachedQuery edge_feasible(const EdgeRef& e) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(e.from) << 32) | e.succ_index;
-    if (auto it = edge_memo_.find(key); it != edge_memo_.end())
-      return it->second;
-    const PathVerdict v = solve({}, e, st);
-    edge_memo_[key] = v;
-    return v;
+    // Single-flight across workers: whoever gets the slot solves and adds
+    // the wall-clock to its own pending tally; everyone else just reads.
+    return edges_.get_or_compute(key, [&] { return solve({}, e); });
   }
 
-  PathVerdict solve(const std::vector<EdgeRef>& choices,
-                    const std::optional<EdgeRef>& must_take,
-                    SegmentTiming& st) {
+  CachedQuery solve(const std::vector<EdgeRef>& choices,
+               const std::optional<EdgeRef>& must_take) {
     bmc::BmcQuery q;
     q.forced_choices = choices;
     q.must_take = must_take;
     const bmc::BmcResult r = bmc::solve(ts_, q, bmc_opts_);
-    st.bmc_seconds += r.seconds;
-    st.max_cnf_vars = std::max(st.max_cnf_vars, r.cnf_vars);
-    st.max_cnf_clauses = std::max(st.max_cnf_clauses, r.cnf_clauses);
+    pending_seconds_ += r.seconds;
+    CachedQuery c;
+    c.cnf_vars = r.cnf_vars;
+    c.cnf_clauses = r.cnf_clauses;
     switch (r.status) {
       case bmc::BmcStatus::TestData:
-        return PathVerdict::Feasible;
+        c.verdict = PathVerdict::Feasible;
+        c.witness = r.initial_values;
+        break;
       case bmc::BmcStatus::Infeasible:
         // UNSAT only proves infeasibility at complete depth (bmc.h); at a
         // truncated depth the run may simply not fit, and claiming
         // Infeasible would unsoundly drop reachable paths from the WCET.
-        return depth_complete_ ? PathVerdict::Infeasible
-                               : PathVerdict::Unknown;
+        c.verdict = depth_complete_ ? PathVerdict::Infeasible
+                                    : PathVerdict::Unknown;
+        break;
       case bmc::BmcStatus::Unknown:
-        return PathVerdict::Unknown;
+        c.verdict = PathVerdict::Unknown;
+        break;
     }
-    return PathVerdict::Unknown;
+    return c;
   }
 
   const cfg::Cfg& g_;
@@ -217,8 +299,11 @@ class FeasibilityOracle {
   bmc::BmcOptions bmc_opts_;
   bool enabled_;
   bool depth_complete_;
-  std::map<std::uint64_t, PathVerdict> edge_memo_;
-  std::map<BlockId, PathVerdict> reach_memo_;
+  EdgeCache& edges_;
+  /// Worker-local: the graph recursion is cheap, only the edge queries
+  /// underneath are worth sharing.
+  std::map<BlockId, CachedQuery> reach_memo_;
+  double pending_seconds_ = 0.0;
 };
 
 void finalize_segment_bounds(SegmentTiming& st) {
@@ -238,6 +323,60 @@ void finalize_segment_bounds(SegmentTiming& st) {
       st.wcet = std::max(st.wcet, p.cost);
     }
   }
+}
+
+/// Serial front-half product for one function: everything the analysis
+/// jobs read (all of it immutable once the job graph is built).
+struct FunctionWork {
+  FunctionTiming ft;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  core::Partition partition;
+  std::unique_ptr<tsys::TranslationResult> tr;
+  bmc::BmcOptions bmc_opts;
+  bool depth_complete = false;
+  /// Enumerated PathSpecs per segment (empty vector for Block segments);
+  /// parallel to ft.segments. Jobs need the decision choices, which
+  /// PathTiming does not keep.
+  std::vector<std::vector<cfg::PathSpec>> specs;
+  /// Single-flight decision-edge query store shared by all workers.
+  EdgeCache edge_cache;
+};
+
+/// One analysis job: check path `path_index` of segment `seg_index`.
+struct JobRef {
+  FunctionWork* fw = nullptr;
+  std::size_t fn_index = 0;
+  std::size_t seg_index = 0;
+  std::size_t path_index = 0;
+};
+
+/// Replays one feasible path's witness through the concrete interpreter
+/// and checks the run takes the claimed path: the block (Block segments)
+/// or the exact block sequence, contiguously (Region paths).
+bool replay_witness(testgen::Interpreter& interp,
+                    const tsys::TranslationResult& tr,
+                    const SegmentTiming& st, const PathTiming& pt,
+                    bool& mapped) {
+  std::vector<std::int64_t> inputs;
+  inputs.reserve(interp.inputs().size());
+  for (const minic::Symbol* s : interp.inputs()) {
+    const tsys::VarId v = tr.var_of_symbol[s->id];
+    if (v == tsys::kNoVar ||
+        static_cast<std::size_t>(v) >= pt.witness.size()) {
+      mapped = false;
+      return false;
+    }
+    inputs.push_back(pt.witness[v]);
+  }
+  mapped = true;
+  const testgen::ExecTrace trace = interp.run(inputs);
+  if (!trace.terminated) return false;
+  if (st.kind == core::SegmentKind::Block)
+    return std::find(trace.blocks.begin(), trace.blocks.end(),
+                     pt.blocks.front()) != trace.blocks.end();
+  return std::search(trace.blocks.begin(), trace.blocks.end(),
+                     pt.blocks.begin(), pt.blocks.end()) !=
+         trace.blocks.end();
 }
 
 }  // namespace
@@ -285,124 +424,223 @@ PipelineResult Pipeline::run(std::string_view source) const {
     return result;
   }
 
+  // ------------------------------------------------------ serial front half
+  // Frontend through path enumeration per function; produces the immutable
+  // inputs of the job graph plus pre-sized result skeletons.
+  std::vector<std::unique_ptr<FunctionWork>> work;
+
   bool matched = opts_.function.empty();
   for (const auto& fn : program->functions) {
     if (!opts_.function.empty() && fn->name != opts_.function) continue;
     matched = true;
 
-    FunctionTiming ft;
+    auto fw = std::make_unique<FunctionWork>();
+    FunctionTiming& ft = fw->ft;
     ft.name = fn->name;
 
-    std::unique_ptr<cfg::FunctionCfg> f;
     std::unique_ptr<cfg::PathAnalysis> pa;
     {
       StageTimer t(ft.stages, "cfg");
-      f = cfg::build_cfg(*fn);
-      pa = std::make_unique<cfg::PathAnalysis>(*f);
+      fw->f = cfg::build_cfg(*fn);
+      pa = std::make_unique<cfg::PathAnalysis>(*fw->f);
     }
-    ft.blocks = f->graph.size();
-    ft.decisions = f->graph.decision_count();
+    ft.blocks = fw->f->graph.size();
+    ft.decisions = fw->f->graph.decision_count();
     ft.function_paths = pa->function_paths();
 
-    core::Partition partition;
     {
       StageTimer t(ft.stages, "partition");
-      partition = core::partition_function(
-          *f, *pa, core::PartitionOptions{opts_.path_bound});
-      const std::string invalid = core::validate_partition(*f, partition);
+      fw->partition = core::partition_function(
+          *fw->f, *pa, core::PartitionOptions{opts_.path_bound});
+      const std::string invalid =
+          core::validate_partition(*fw->f, fw->partition);
       if (!invalid.empty()) {
         result.error = "partition invariant violated in '" + fn->name +
                        "': " + invalid + "\n";
         return result;
       }
     }
-    ft.instrumentation_points = partition.instrumentation_points();
-    ft.fused_points = core::fused_instrumentation_points(*f, partition);
-    ft.measurements = partition.measurements();
+    ft.instrumentation_points = fw->partition.instrumentation_points();
+    ft.fused_points =
+        core::fused_instrumentation_points(*fw->f, fw->partition);
+    ft.measurements = fw->partition.measurements();
 
-    std::unique_ptr<tsys::TranslationResult> tr;
     {
       StageTimer t(ft.stages, "translate");
       tsys::TranslateOptions topts;
       topts.pessimistic_widths = opts_.pessimistic_widths;
-      tr = tsys::translate(*program, *f, diags, topts);
+      fw->tr = tsys::translate(*program, *fw->f, diags, topts);
     }
-    if (!tr) {
+    if (!fw->tr) {
       result.error = diags.str();
       return result;
     }
-    ft.state_bits = tr->ts.state_bits();
-    ft.locations = tr->ts.num_locs;
-    ft.transitions = tr->ts.transitions.size();
+    ft.state_bits = fw->tr->ts.state_bits();
+    ft.locations = fw->tr->ts.num_locs;
+    ft.transitions = fw->tr->ts.transitions.size();
 
     // Unroll depth: automatic (locations + 1) covers loop-free systems;
     // bounded loops need every iteration's transitions unrolled. A depth
     // below `required` (clamped or user-forced) makes UNSAT inconclusive.
-    bmc::BmcOptions bmc_opts = opts_.bmc;
+    fw->bmc_opts = opts_.bmc;
     bool has_back_edge = false;
-    for (const cfg::BasicBlock& blk : f->graph.blocks())
+    for (const cfg::BasicBlock& blk : fw->f->graph.blocks())
       for (const cfg::Edge& e : blk.succs) has_back_edge |= e.back;
     const std::uint64_t required =
         has_back_edge
-            ? std::max<std::uint64_t>(arm_weight(f->graph, f->body) + 2,
-                                      tr->ts.num_locs + 1)
-            : tr->ts.num_locs + 1;
-    if (bmc_opts.max_steps == 0) {
-      bmc_opts.max_steps = static_cast<std::uint32_t>(
+            ? std::max<std::uint64_t>(
+                  arm_weight(fw->f->graph, fw->f->body) + 2,
+                  fw->tr->ts.num_locs + 1)
+            : fw->tr->ts.num_locs + 1;
+    if (fw->bmc_opts.max_steps == 0) {
+      fw->bmc_opts.max_steps = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(required, opts_.max_unroll_depth));
     }
-    const bool depth_complete = bmc_opts.max_steps >= required;
-    ft.unroll_depth = bmc_opts.max_steps;
+    fw->depth_complete = fw->bmc_opts.max_steps >= required;
+    ft.unroll_depth = fw->bmc_opts.max_steps;
 
-    {
-      StageTimer t(ft.stages, "bmc");
-      FeasibilityOracle oracle(f->graph, tr->ts, bmc_opts, opts_.run_bmc,
-                               depth_complete);
+    // Segment skeletons: blocks, costs and PathSpecs now; verdicts later.
+    for (const core::Segment& seg : fw->partition.segments) {
+      SegmentTiming st;
+      st.id = seg.id;
+      st.kind = seg.kind;
+      st.whole_function = seg.whole_function;
+      st.num_blocks = seg.blocks.size();
+      st.structural_paths = seg.paths;
 
-      for (const core::Segment& seg : partition.segments) {
-        SegmentTiming st;
-        st.id = seg.id;
-        st.kind = seg.kind;
-        st.whole_function = seg.whole_function;
-        st.num_blocks = seg.blocks.size();
-        st.structural_paths = seg.paths;
-
-        if (seg.kind == core::SegmentKind::Block) {
+      std::vector<cfg::PathSpec> specs;
+      if (seg.kind == core::SegmentKind::Block) {
+        PathTiming pt;
+        pt.blocks = {seg.block};
+        pt.cost = opts_.cost.block_cost(fw->f->graph.block(seg.block));
+        st.paths.push_back(std::move(pt));
+      } else {
+        st.enumeration_complete = cfg::enumerate_paths(
+            *fw->f, cfg::arm_entry_block(*seg.region), seg.blocks,
+            opts_.max_paths_per_segment, specs);
+        for (const cfg::PathSpec& spec : specs) {
           PathTiming pt;
-          pt.blocks = {seg.block};
-          pt.cost = opts_.cost.block_cost(f->graph.block(seg.block));
-          pt.verdict = opts_.run_bmc ? oracle.block_reachable(seg.block, st)
-                                     : PathVerdict::Unknown;
+          pt.blocks = spec.blocks;
+          for (BlockId b : spec.blocks)
+            pt.cost += opts_.cost.block_cost(fw->f->graph.block(b));
           st.paths.push_back(std::move(pt));
-        } else {
-          std::vector<cfg::PathSpec> specs;
-          st.enumeration_complete = cfg::enumerate_paths(
-              *f, cfg::arm_entry_block(*seg.region), seg.blocks,
-              opts_.max_paths_per_segment, specs);
-          const std::optional<EdgeRef> anchor =
-              seg.whole_function ? std::nullopt : seg.region->entry;
-          for (const cfg::PathSpec& spec : specs) {
-            PathTiming pt;
-            pt.blocks = spec.blocks;
-            for (BlockId b : spec.blocks)
-              pt.cost += opts_.cost.block_cost(f->graph.block(b));
-            pt.verdict = oracle.check_region_path(spec.choices, anchor, st);
-            st.paths.push_back(std::move(pt));
-          }
         }
-
-        finalize_segment_bounds(st);
-        ft.segments.push_back(std::move(st));
       }
+      ft.segments.push_back(std::move(st));
+      fw->specs.push_back(std::move(specs));
     }
 
-    result.functions.push_back(std::move(ft));
+    work.push_back(std::move(fw));
   }
 
   if (!matched) {
     result.error = "function '" + opts_.function + "' not found\n";
     return result;
   }
+
+  // ------------------------------------------------------------- job graph
+  // One job per (function, segment, path). Slots are pre-allocated so the
+  // closures can write results[i] without synchronisation or reallocation.
+  std::vector<JobRef> refs;
+  for (std::size_t fi = 0; fi < work.size(); ++fi) {
+    FunctionWork* fw = work[fi].get();
+    for (std::size_t si = 0; si < fw->ft.segments.size(); ++si)
+      for (std::size_t pi = 0; pi < fw->ft.segments[si].paths.size(); ++pi)
+        refs.push_back(JobRef{fw, fi, si, pi});
+  }
+  result.analysis_jobs = refs.size();
+
+  const engine::Scheduler scheduler(opts_.run_bmc ? opts_.jobs : 1);
+
+  // Per-(worker, function) oracles: worker w is the only thread touching
+  // oracles[w], so solver state and memo tables need no locks.
+  std::vector<std::vector<std::unique_ptr<FeasibilityOracle>>> oracles(
+      scheduler.workers());
+  for (auto& per_worker : oracles) per_worker.resize(work.size());
+
+  std::vector<PathJobResult> results(refs.size());
+  std::vector<engine::AnalysisJob> jobs;
+  jobs.reserve(refs.size());
+  const bool run_bmc = opts_.run_bmc;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const JobRef r = refs[i];
+    engine::AnalysisJob job;
+    job.work = [&, r, i, run_bmc](unsigned worker) {
+      std::unique_ptr<FeasibilityOracle>& slot = oracles[worker][r.fn_index];
+      if (!slot)
+        slot = std::make_unique<FeasibilityOracle>(
+            r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
+            r.fw->depth_complete, r.fw->edge_cache);
+      const core::Segment& s = r.fw->partition.segments[r.seg_index];
+      if (s.kind == core::SegmentKind::Block) {
+        slot->check_block(s.block, results[i]);
+      } else {
+        const std::optional<EdgeRef> anchor =
+            s.whole_function ? std::nullopt : s.region->entry;
+        slot->check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
+                                anchor, results[i]);
+      }
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  {
+    StageTimer t(result.stages, "analysis");
+    const engine::SchedulerStats run_stats = scheduler.run(jobs);
+    // The pool clamps to the job count; report what actually ran.
+    result.analysis_workers = run_stats.workers;
+  }
+
+  // ------------------------------------------------- deterministic merge
+  // Fill the pre-sized slots in job order; every aggregate below is a
+  // reduction over that order, independent of scheduling.
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const JobRef& r = refs[i];
+    SegmentTiming& st = r.fw->ft.segments[r.seg_index];
+    PathTiming& pt = st.paths[r.path_index];
+    PathJobResult& pr = results[i];
+    pt.verdict = pr.verdict;
+    pt.witness = std::move(pr.witness);
+    st.bmc_seconds += pr.bmc_seconds;
+    st.max_cnf_vars = std::max(st.max_cnf_vars, pr.max_cnf_vars);
+    st.max_cnf_clauses = std::max(st.max_cnf_clauses, pr.max_cnf_clauses);
+  }
+
+  for (std::unique_ptr<FunctionWork>& fw : work) {
+    FunctionTiming& ft = fw->ft;
+    double bmc_total = 0.0;
+    for (SegmentTiming& st : ft.segments) {
+      finalize_segment_bounds(st);
+      bmc_total += st.bmc_seconds;
+    }
+
+    // Close the paper's test-data loop: the witness of every feasible path
+    // is a concrete input vector; replaying it through the reference
+    // interpreter must take the claimed path.
+    if (opts_.run_bmc && opts_.validate_witnesses) {
+      testgen::Interpreter interp(*program, *fw->f);
+      for (SegmentTiming& st : ft.segments) {
+        for (PathTiming& pt : st.paths) {
+          if (pt.verdict != PathVerdict::Feasible || pt.witness.empty())
+            continue;
+          bool mapped = false;
+          const bool ok = replay_witness(interp, *fw->tr, st, pt, mapped);
+          if (!mapped) continue;  // no input mapping: leave NotChecked
+          pt.replay = ok ? WitnessReplay::Validated : WitnessReplay::Mismatch;
+          if (ok)
+            ++st.validated;
+          else
+            ++st.mismatched;
+        }
+      }
+    }
+
+    // The bmc stage is solver time summed over this function's jobs (CPU
+    // seconds, not wall: jobs of several functions interleave on the pool).
+    ft.stages.push_back(StageStats{"bmc", bmc_total});
+    result.functions.push_back(std::move(ft));
+  }
+
   result.ok = true;
   return result;
 }

@@ -45,6 +45,14 @@ struct PipelineOptions {
   /// Check per-path feasibility with the BMC engine. When off, every
   /// structural path is assumed feasible (pure static model).
   bool run_bmc = true;
+  /// Worker threads for the analysis engine fanning out the per-path BMC
+  /// checks (0 = hardware concurrency). Reports are byte-identical for
+  /// every value; only wall-clock changes.
+  unsigned jobs = 0;
+  /// Replay each feasible path's BMC witness through the concrete
+  /// interpreter and cross-check that the run takes the claimed path
+  /// (closes the paper's test-data loop).
+  bool validate_witnesses = true;
   /// Cap on enumerated paths per segment; segments with more paths report
   /// a truncated (still sound for the enumerated subset) model.
   std::size_t max_paths_per_segment = 64;
@@ -63,11 +71,23 @@ enum class PathVerdict : std::uint8_t {
   Unknown,     // budget exhausted / loop-revisited decision / BMC disabled
 };
 
+/// Outcome of replaying a feasible path's BMC witness concretely.
+enum class WitnessReplay : std::uint8_t {
+  NotChecked,  // no witness (no SAT model needed) or validation disabled
+  Validated,   // the concrete run takes the claimed path
+  Mismatch,    // the concrete run diverges (e.g. free uninitialised state)
+};
+
 /// One enumerated path through a segment with its price.
 struct PathTiming {
   std::vector<cfg::BlockId> blocks;
   std::int64_t cost = 0;
   PathVerdict verdict = PathVerdict::Unknown;
+  /// BMC witness: value per transition-system variable at step 0 (empty
+  /// when feasibility needed no SAT model). Input variables are the test
+  /// datum driving execution through the path.
+  std::vector<std::int64_t> witness;
+  WitnessReplay replay = WitnessReplay::NotChecked;
 };
 
 /// Timing-model row for one program segment.
@@ -83,6 +103,10 @@ struct SegmentTiming {
   std::size_t feasible = 0;
   std::size_t infeasible = 0;
   std::size_t unknown = 0;
+
+  /// Witness-replay cross-check tallies over the feasible paths.
+  std::size_t validated = 0;
+  std::size_t mismatched = 0;
 
   /// Bounds over feasible (and unknown, conservatively) paths. Zero when
   /// the segment is dead code (no feasible path).
@@ -131,11 +155,19 @@ struct PipelineResult {
   /// Frontend diagnostics / partition-validation failure when !ok.
   std::string error;
   std::vector<FunctionTiming> functions;
-  /// Program-level stages (frontend).
+  /// Program-level stages (frontend, analysis = parallel engine wall).
   std::vector<StageStats> stages;
+  /// Independent per-path feasibility jobs dispatched to the engine.
+  std::size_t analysis_jobs = 0;
+  /// Workers the engine actually used for this run.
+  unsigned analysis_workers = 1;
 };
 
-/// Runs the whole pipeline over one translation unit.
+/// Runs the whole pipeline over one translation unit. The serial front
+/// half (frontend, CFG, partition, translation, path enumeration) builds a
+/// graph of independent per-(function, segment, path) feasibility jobs;
+/// execution is delegated to engine::Scheduler and the results are merged
+/// back in job order, so output is identical for any worker count.
 class Pipeline {
  public:
   explicit Pipeline(PipelineOptions opts = {}) : opts_(std::move(opts)) {}

@@ -2,46 +2,61 @@
 
 #include <sstream>
 
+#include "support/json.h"
 #include "support/table.h"
 
 namespace tmg::driver {
 
 namespace {
 
-/// Minimal JSON string escaping (names here are identifiers, but the
-/// diagnostics path can carry arbitrary source text).
-std::string json_str(std::string_view s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+using tmg::json_quote;
+
+/// Verdict-and-replay totals for aggregate rows.
+struct Tally {
+  std::size_t functions = 0;
+  std::size_t segments = 0;
+  std::size_t paths = 0;
+  std::size_t feasible = 0;
+  std::size_t infeasible = 0;
+  std::size_t unknown = 0;
+  std::size_t validated = 0;
+  std::size_t mismatched = 0;
+  std::int64_t wcet_total = 0;
+  std::size_t analysis_jobs = 0;
+
+  void add(const PipelineResult& r) {
+    functions += r.functions.size();
+    analysis_jobs += r.analysis_jobs;
+    for (const FunctionTiming& ft : r.functions) {
+      segments += ft.segments.size();
+      wcet_total += ft.wcet_total();
+      for (const SegmentTiming& s : ft.segments) {
+        paths += s.paths.size();
+        feasible += s.feasible;
+        infeasible += s.infeasible;
+        unknown += s.unknown;
+        validated += s.validated;
+        mismatched += s.mismatched;
+      }
     }
   }
-  out += '"';
-  return out;
-}
+};
 
-TextTable segment_table(const FunctionTiming& ft, bool with_function_col) {
+TextTable segment_table(const FunctionTiming& ft, const std::string* file,
+                        bool with_function_col, bool with_stats) {
   std::vector<std::string> header;
-  if (with_function_col) header.push_back("function");
+  if (file != nullptr) header.emplace_back("file");
+  if (with_function_col) header.emplace_back("function");
   for (const char* h : {"segment", "kind", "blocks", "paths", "feasible",
-                        "infeasible", "unknown", "bcet", "wcet", "bmc_ms"})
+                        "infeasible", "unknown", "validated", "mismatch",
+                        "bcet", "wcet"})
     header.emplace_back(h);
+  if (with_stats) header.emplace_back("bmc_ms");
   TextTable t(std::move(header));
 
   for (const SegmentTiming& s : ft.segments) {
     std::vector<std::string> row;
+    if (file != nullptr) row.push_back(*file);
     if (with_function_col) row.push_back(ft.name);
     row.push_back(std::to_string(s.id));
     std::string kind = segment_kind_name(s.kind);
@@ -54,9 +69,11 @@ TextTable segment_table(const FunctionTiming& ft, bool with_function_col) {
     row.push_back(std::to_string(s.feasible));
     row.push_back(std::to_string(s.infeasible));
     row.push_back(std::to_string(s.unknown));
+    row.push_back(std::to_string(s.validated));
+    row.push_back(std::to_string(s.mismatched));
     row.push_back(s.dead() ? "-" : std::to_string(s.bcet));
     row.push_back(s.dead() ? "-" : std::to_string(s.wcet));
-    row.push_back(fmt_double(s.bmc_seconds * 1000.0, 2));
+    if (with_stats) row.push_back(fmt_double(s.bmc_seconds * 1000.0, 2));
     t.add_row(std::move(row));
   }
   return t;
@@ -73,7 +90,8 @@ void render_text(const PipelineResult& result, const PipelineOptions& opts,
        << "  unroll depth: " << ft.unroll_depth << "\n\n";
 
     os << "segment timing model (path bound b=" << opts.path_bound << "):\n";
-    os << segment_table(ft, /*with_function_col=*/false).str();
+    os << segment_table(ft, nullptr, /*with_function_col=*/false, with_stages)
+              .str();
     os << "\nsegments: " << ft.segments.size()
        << "  ip: " << ft.instrumentation_points
        << "  fused ip: " << ft.fused_points
@@ -89,19 +107,26 @@ void render_text(const PipelineResult& result, const PipelineOptions& opts,
     }
     os << "\n";
   }
-  if (with_stages && !result.stages.empty()) {
-    // Program-level stages (frontend) run once, not per function.
-    TextTable st({"program stage", "seconds"});
-    for (const StageStats& s : result.stages)
-      st.add(s.name, fmt_double(s.seconds, 4));
-    os << st.str() << "\n";
+  if (with_stages) {
+    os << "analysis jobs: " << result.analysis_jobs
+       << "  workers: " << result.analysis_workers << "\n";
+    if (!result.stages.empty()) {
+      // Program-level stages (frontend, analysis) run once, not per
+      // function.
+      TextTable st({"program stage", "seconds"});
+      for (const StageStats& s : result.stages)
+        st.add(s.name, fmt_double(s.seconds, 4));
+      os << st.str() << "\n";
+    }
   }
 }
 
-void render_csv(const PipelineResult& result, std::ostream& os) {
-  bool first = true;
+void render_csv(const PipelineResult& result, const std::string* file,
+                bool with_stages, bool with_header, std::ostream& os) {
+  bool first = with_header;
   for (const FunctionTiming& ft : result.functions) {
-    TextTable t = segment_table(ft, /*with_function_col=*/true);
+    TextTable t =
+        segment_table(ft, file, /*with_function_col=*/true, with_stages);
     const std::string csv = t.csv();
     if (first) {
       os << csv;
@@ -114,46 +139,83 @@ void render_csv(const PipelineResult& result, std::ostream& os) {
   }
 }
 
-void render_json(const PipelineResult& result, const PipelineOptions& opts,
-                 std::ostream& os) {
-  os << "{\"path_bound\":" << opts.path_bound << ",\"functions\":[";
+/// The {"name":...} object of one function (no enclosing list).
+void render_json_function(const FunctionTiming& ft, bool with_stages,
+                          std::ostream& os) {
+  os << "{\"name\":" << json_quote(ft.name) << ",\"blocks\":" << ft.blocks
+     << ",\"decisions\":" << ft.decisions
+     << ",\"paths\":" << json_quote(ft.function_paths.str())
+     << ",\"state_bits\":" << ft.state_bits
+     << ",\"locations\":" << ft.locations
+     << ",\"transitions\":" << ft.transitions
+     << ",\"unroll_depth\":" << ft.unroll_depth
+     << ",\"ip\":" << ft.instrumentation_points
+     << ",\"fused_ip\":" << ft.fused_points
+     << ",\"measurements\":" << json_quote(ft.measurements.str())
+     << ",\"bcet_total\":" << ft.bcet_total()
+     << ",\"wcet_total\":" << ft.wcet_total() << ",\"segments\":[";
+  bool first_seg = true;
+  for (const SegmentTiming& s : ft.segments) {
+    if (!first_seg) os << ",";
+    first_seg = false;
+    os << "{\"id\":" << s.id << ",\"kind\":"
+       << json_quote(s.whole_function ? "function" : segment_kind_name(s.kind))
+       << ",\"blocks\":" << s.num_blocks
+       << ",\"paths\":" << json_quote(s.structural_paths.str())
+       << ",\"enumeration_complete\":"
+       << (s.enumeration_complete ? "true" : "false")
+       << ",\"feasible\":" << s.feasible
+       << ",\"infeasible\":" << s.infeasible << ",\"unknown\":" << s.unknown
+       << ",\"validated\":" << s.validated
+       << ",\"mismatch\":" << s.mismatched
+       << ",\"dead\":" << (s.dead() ? "true" : "false")
+       << ",\"bcet\":" << s.bcet << ",\"wcet\":" << s.wcet
+       << ",\"max_cnf_vars\":" << s.max_cnf_vars
+       << ",\"max_cnf_clauses\":" << s.max_cnf_clauses;
+    if (with_stages) os << ",\"bmc_seconds\":" << s.bmc_seconds;
+    os << "}";
+  }
+  os << "]";
+  if (with_stages) {
+    os << ",\"stages\":{";
+    bool first_stage = true;
+    for (const StageStats& st : ft.stages) {
+      if (!first_stage) os << ",";
+      first_stage = false;
+      os << json_quote(st.name) << ":" << st.seconds;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+/// The report object of one PipelineResult (no trailing newline).
+void render_json_object(const PipelineResult& result,
+                        const PipelineOptions& opts, bool with_stages,
+                        std::ostream& os) {
+  os << "{\"path_bound\":" << opts.path_bound
+     << ",\"analysis_jobs\":" << result.analysis_jobs;
+  if (with_stages) {
+    // Wall-clock data mirrors text mode: worker count plus the
+    // program-level stages (frontend, analysis).
+    os << ",\"analysis_workers\":" << result.analysis_workers
+       << ",\"stages\":{";
+    bool first_stage = true;
+    for (const StageStats& st : result.stages) {
+      if (!first_stage) os << ",";
+      first_stage = false;
+      os << json_quote(st.name) << ":" << st.seconds;
+    }
+    os << "}";
+  }
+  os << ",\"functions\":[";
   bool first_fn = true;
   for (const FunctionTiming& ft : result.functions) {
     if (!first_fn) os << ",";
     first_fn = false;
-    os << "{\"name\":" << json_str(ft.name) << ",\"blocks\":" << ft.blocks
-       << ",\"decisions\":" << ft.decisions
-       << ",\"paths\":" << json_str(ft.function_paths.str())
-       << ",\"state_bits\":" << ft.state_bits
-       << ",\"locations\":" << ft.locations
-       << ",\"transitions\":" << ft.transitions
-       << ",\"unroll_depth\":" << ft.unroll_depth
-       << ",\"ip\":" << ft.instrumentation_points
-       << ",\"fused_ip\":" << ft.fused_points
-       << ",\"measurements\":" << json_str(ft.measurements.str())
-       << ",\"bcet_total\":" << ft.bcet_total()
-       << ",\"wcet_total\":" << ft.wcet_total() << ",\"segments\":[";
-    bool first_seg = true;
-    for (const SegmentTiming& s : ft.segments) {
-      if (!first_seg) os << ",";
-      first_seg = false;
-      os << "{\"id\":" << s.id << ",\"kind\":"
-         << json_str(s.whole_function ? "function" : segment_kind_name(s.kind))
-         << ",\"blocks\":" << s.num_blocks
-         << ",\"paths\":" << json_str(s.structural_paths.str())
-         << ",\"enumeration_complete\":"
-         << (s.enumeration_complete ? "true" : "false")
-         << ",\"feasible\":" << s.feasible
-         << ",\"infeasible\":" << s.infeasible << ",\"unknown\":" << s.unknown
-         << ",\"dead\":" << (s.dead() ? "true" : "false")
-         << ",\"bcet\":" << s.bcet << ",\"wcet\":" << s.wcet
-         << ",\"bmc_seconds\":" << s.bmc_seconds
-         << ",\"max_cnf_vars\":" << s.max_cnf_vars
-         << ",\"max_cnf_clauses\":" << s.max_cnf_clauses << "}";
-    }
-    os << "]}";
+    render_json_function(ft, with_stages, os);
   }
-  os << "]}\n";
+  os << "]}";
 }
 
 TextTable summary_table(const PartitionSummary& summary) {
@@ -161,6 +223,19 @@ TextTable summary_table(const PartitionSummary& summary) {
   for (const PartitionSummaryRow& r : summary.rows)
     t.add(r.bound, r.segments, r.ip, r.fused_ip, r.m.str());
   return t;
+}
+
+void render_tally_json(const Tally& tally, std::size_t files,
+                       std::ostream& os) {
+  os << "{\"files\":" << files << ",\"functions\":" << tally.functions
+     << ",\"segments\":" << tally.segments
+     << ",\"analysis_jobs\":" << tally.analysis_jobs
+     << ",\"paths\":" << tally.paths << ",\"feasible\":" << tally.feasible
+     << ",\"infeasible\":" << tally.infeasible
+     << ",\"unknown\":" << tally.unknown
+     << ",\"validated\":" << tally.validated
+     << ",\"mismatch\":" << tally.mismatched
+     << ",\"wcet_total\":" << tally.wcet_total << "}";
 }
 
 }  // namespace
@@ -202,11 +277,60 @@ void render_report(const PipelineResult& result, const PipelineOptions& opts,
       render_text(result, opts, with_stages, os);
       break;
     case ReportFormat::Csv:
-      render_csv(result, os);
+      render_csv(result, nullptr, with_stages, /*with_header=*/true, os);
       break;
     case ReportFormat::Json:
-      render_json(result, opts, os);
+      render_json_object(result, opts, with_stages, os);
+      os << "\n";
       break;
+  }
+}
+
+void render_batch_report(const std::vector<BatchEntry>& files,
+                         const PipelineOptions& opts, ReportFormat format,
+                         bool with_stages, std::ostream& os) {
+  Tally tally;
+  for (const BatchEntry& e : files) tally.add(e.result);
+
+  switch (format) {
+    case ReportFormat::Text: {
+      for (const BatchEntry& e : files) {
+        os << "=== file " << e.path << " ===\n";
+        render_text(e.result, opts, with_stages, os);
+      }
+      os << "=== batch summary ===\n";
+      TextTable t({"files", "functions", "segments", "paths", "feasible",
+                   "infeasible", "unknown", "validated", "mismatch",
+                   "wcet_total"});
+      t.add(files.size(), tally.functions, tally.segments, tally.paths,
+            tally.feasible, tally.infeasible, tally.unknown, tally.validated,
+            tally.mismatched, tally.wcet_total);
+      os << t.str();
+      break;
+    }
+    case ReportFormat::Csv: {
+      bool first = true;
+      for (const BatchEntry& e : files) {
+        render_csv(e.result, &e.path, with_stages, /*with_header=*/first, os);
+        first = false;
+      }
+      break;
+    }
+    case ReportFormat::Json: {
+      os << "{\"files\":[";
+      bool first = true;
+      for (const BatchEntry& e : files) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"path\":" << json_quote(e.path) << ",\"report\":";
+        render_json_object(e.result, opts, with_stages, os);
+        os << "}";
+      }
+      os << "],\"aggregate\":";
+      render_tally_json(tally, files.size(), os);
+      os << "}\n";
+      break;
+    }
   }
 }
 
@@ -222,14 +346,14 @@ void render_partition_summary(const PartitionSummary& summary,
       os << summary_table(summary).csv();
       break;
     case ReportFormat::Json: {
-      os << "{\"function\":" << json_str(summary.function) << ",\"rows\":[";
+      os << "{\"function\":" << json_quote(summary.function) << ",\"rows\":[";
       bool first = true;
       for (const PartitionSummaryRow& r : summary.rows) {
         if (!first) os << ",";
         first = false;
         os << "{\"b\":" << r.bound << ",\"segments\":" << r.segments
            << ",\"ip\":" << r.ip << ",\"fused_ip\":" << r.fused_ip
-           << ",\"m\":" << json_str(r.m.str()) << "}";
+           << ",\"m\":" << json_quote(r.m.str()) << "}";
       }
       os << "]}\n";
       break;

@@ -1,9 +1,17 @@
 // Rendering of pipeline results: the per-segment timing-model table (text /
-// CSV / JSON) and the Table-1-style partition summary.
+// CSV / JSON), the Table-1-style partition summary, and the multi-file
+// batch report.
+//
+// Determinism contract: without `with_stages`, every format contains only
+// values that are pure functions of (source, options) — no wall-clock, no
+// worker counts — so repeated runs and different `--jobs N` settings are
+// byte-identical. Wall-clock columns (bmc_ms, stage seconds) only appear
+// when `with_stages` is set.
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "driver/pipeline.h"
 
@@ -15,9 +23,22 @@ enum class ReportFormat : std::uint8_t { Text, Csv, Json };
 bool parse_format(std::string_view name, ReportFormat& out);
 
 /// Renders the per-segment timing model of every analysed function.
-/// `with_stages` adds the per-stage wall-clock table (text format only).
+/// `with_stages` adds wall-clock data: the bmc_ms column, the per-stage
+/// table (text) / stage objects (JSON).
 void render_report(const PipelineResult& result, const PipelineOptions& opts,
                    ReportFormat format, bool with_stages, std::ostream& os);
+
+/// One analysed input of a batch run.
+struct BatchEntry {
+  std::string path;
+  PipelineResult result;
+};
+
+/// Renders a multi-file batch: per-file reports plus an aggregate summary
+/// (file count, segments, path verdict totals, witness-replay totals).
+void render_batch_report(const std::vector<BatchEntry>& files,
+                         const PipelineOptions& opts, ReportFormat format,
+                         bool with_stages, std::ostream& os);
 
 /// Renders the Table-1-style summary (b, segments, ip, fused ip, m).
 void render_partition_summary(const PartitionSummary& summary,

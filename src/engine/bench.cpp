@@ -1,0 +1,67 @@
+#include "engine/bench.h"
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace tmg::engine {
+
+namespace {
+
+/// Fixed notation with microsecond resolution.
+std::string fmt(double v) { return fmt_double(v, 6); }
+
+}  // namespace
+
+std::size_t BenchReport::total_jobs() const {
+  std::size_t n = 0;
+  for (const BenchFile& f : files) n += f.analysis_jobs;
+  return n;
+}
+
+double BenchReport::total_serial_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.serial_seconds;
+  return s;
+}
+
+double BenchReport::total_parallel_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.parallel_seconds;
+  return s;
+}
+
+double BenchReport::speedup() const {
+  const double p = total_parallel_seconds();
+  return p > 0.0 ? total_serial_seconds() / p : 0.0;
+}
+
+void BenchReport::render_json(std::ostream& os) const {
+  os << "{\"bench\":{\"workers\":" << workers << ",\"repeats\":" << repeats
+     << ",\"files\":[";
+  bool first = true;
+  for (const BenchFile& f : files) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"path\":" << json_quote(f.path)
+       << ",\"analysis_jobs\":" << f.analysis_jobs
+       << ",\"workers_used\":" << f.workers_used
+       << ",\"serial_seconds\":" << fmt(f.serial_seconds)
+       << ",\"parallel_seconds\":" << fmt(f.parallel_seconds)
+       << ",\"speedup\":" << fmt(f.speedup())
+       << ",\"jobs_per_second\":" << fmt(f.jobs_per_second())
+       << ",\"stages\":{";
+    bool first_stage = true;
+    for (const BenchStage& s : f.stages) {
+      if (!first_stage) os << ",";
+      first_stage = false;
+      os << json_quote(s.name) << ":" << fmt(s.seconds);
+    }
+    os << "}}";
+  }
+  os << "],\"aggregate\":{\"analysis_jobs\":" << total_jobs()
+     << ",\"serial_seconds\":" << fmt(total_serial_seconds())
+     << ",\"parallel_seconds\":" << fmt(total_parallel_seconds())
+     << ",\"speedup\":" << fmt(speedup()) << "}}}\n";
+}
+
+}  // namespace tmg::engine

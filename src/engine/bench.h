@@ -1,0 +1,64 @@
+// Self-measurement for the analysis engine: repeated-run benchmark reports
+// (`tmg --bench R`) that seed the repo's BENCH_*.json trajectory.
+//
+// The driver runs each input R times serially (--jobs 1 semantics) and R
+// times with the configured worker pool, keeps the best wall-clock of each
+// mode, and fills one BenchFile per input. The engine renders the stable
+// JSON schema documented in the README; everything here is plain data so
+// tests can assert on it without running the clock.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tmg::engine {
+
+/// Wall-clock of one named pipeline stage (from the best parallel run).
+struct BenchStage {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// Benchmark result for one input file.
+struct BenchFile {
+  std::string path;
+  /// Analysis jobs (per-path BMC checks) executed by one pipeline run.
+  std::size_t analysis_jobs = 0;
+  /// Best-of-R wall-clock of the whole pipeline, serial vs pool.
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  std::vector<BenchStage> stages;
+  /// Workers the scheduler actually used for this input (the pool clamps
+  /// to the job count, so this can be below BenchReport::workers).
+  unsigned workers_used = 1;
+
+  [[nodiscard]] double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+  [[nodiscard]] double jobs_per_second() const {
+    return parallel_seconds > 0.0
+               ? static_cast<double>(analysis_jobs) / parallel_seconds
+               : 0.0;
+  }
+};
+
+/// The full `--bench` report: per-file rows plus pool-level aggregates.
+struct BenchReport {
+  /// Configured pool size; per-file `workers_used` reports the clamp.
+  unsigned workers = 1;
+  unsigned repeats = 1;
+  std::vector<BenchFile> files;
+
+  [[nodiscard]] std::size_t total_jobs() const;
+  [[nodiscard]] double total_serial_seconds() const;
+  [[nodiscard]] double total_parallel_seconds() const;
+  /// Aggregate speedup over all files (total serial / total parallel).
+  [[nodiscard]] double speedup() const;
+
+  /// Renders the JSON schema documented in README.md (one object,
+  /// trailing newline).
+  void render_json(std::ostream& os) const;
+};
+
+}  // namespace tmg::engine

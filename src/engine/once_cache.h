@@ -1,0 +1,64 @@
+// Compute-once concurrent memo table for the analysis engine.
+//
+// Workers racing for the same key must not duplicate an expensive SAT
+// query, and — for the engine's determinism guarantee — must all observe
+// the exact value a serial run would compute. OnceCache gives both: the
+// first thread to request a key runs the compute function (outside the
+// lock), every other thread blocks on a shared_future of the same slot.
+// Values must therefore be pure functions of the key; the cache makes the
+// *work* single-flight, the purity makes the *result* scheduling-
+// independent.
+#pragma once
+
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace tmg::engine {
+
+template <typename Key, typename Value>
+class OnceCache {
+ public:
+  /// Returns the value for `key`, running `fn` exactly once across all
+  /// threads. `computed` (optional) reports whether this call did the
+  /// work — callers use it to attribute wall-clock to the computing
+  /// thread only. If `fn` throws, every requester of the key rethrows.
+  template <typename Fn>
+  Value get_or_compute(const Key& key, Fn&& fn, bool* computed = nullptr) {
+    std::promise<Value> promise;
+    std::shared_future<Value> future;
+    bool mine = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = futures_.try_emplace(key);
+      if (inserted) {
+        it->second = promise.get_future().share();
+        mine = true;
+      }
+      future = it->second;
+    }
+    if (mine) {
+      try {
+        promise.set_value(fn());
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    if (computed != nullptr) *computed = mine;
+    return future.get();
+  }
+
+  /// Entries ever requested (for tests / bench counters). Not a snapshot
+  /// of completed computations.
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return futures_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_future<Value>> futures_;
+};
+
+}  // namespace tmg::engine

@@ -1,0 +1,93 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tmg::engine {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Scheduler::Scheduler(unsigned jobs)
+    : workers_(jobs > 0 ? jobs : hardware_workers()) {}
+
+unsigned Scheduler::hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
+  SchedulerStats stats;
+  stats.jobs = jobs.size();
+  const double t_start = monotonic_seconds();
+
+  // A pool larger than the batch would only spawn idle threads.
+  const unsigned pool = static_cast<unsigned>(
+      std::min<std::size_t>(workers_, std::max<std::size_t>(jobs.size(), 1)));
+  stats.workers = pool;
+  stats.jobs_per_worker.assign(pool, 0);
+  stats.busy_seconds_per_worker.assign(pool, 0.0);
+
+  if (pool <= 1) {
+    for (const AnalysisJob& j : jobs) {
+      const double t_job = monotonic_seconds();
+      j.work(0);
+      stats.busy_seconds_per_worker[0] += (monotonic_seconds() - t_job);
+      ++stats.jobs_per_worker[0];
+    }
+    stats.wall_seconds = monotonic_seconds() - t_start;
+    return stats;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&](unsigned worker) {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size() || failed.load(std::memory_order_relaxed)) return;
+      const double t_job = monotonic_seconds();
+      try {
+        jobs[i].work(worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      stats.busy_seconds_per_worker[worker] += (monotonic_seconds() - t_job);
+      ++stats.jobs_per_worker[worker];
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(pool - 1);
+  try {
+    for (unsigned w = 1; w < pool; ++w) threads.emplace_back(drain, w);
+  } catch (const std::system_error&) {
+    // Thread-limited host (RLIMIT_NPROC, container caps): letting the
+    // vector unwind with joinable threads would std::terminate. Proceed
+    // with the workers that did start; the calling thread drains the rest.
+  }
+  drain(0);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  const unsigned actual = static_cast<unsigned>(threads.size()) + 1;
+  stats.workers = actual;
+  stats.jobs_per_worker.resize(actual);
+  stats.busy_seconds_per_worker.resize(actual);
+  stats.wall_seconds = monotonic_seconds() - t_start;
+  return stats;
+}
+
+}  // namespace tmg::engine

@@ -1,0 +1,90 @@
+// Parallel analysis engine: a work-scheduling subsystem that fans the
+// pipeline's independent per-(function, segment, path) BMC feasibility
+// checks across a fixed pool of worker threads.
+//
+// Architecture note. The engine deliberately knows nothing about segments
+// or solvers: a job is an opaque callable tagged with the id of the worker
+// that runs it. Three design rules make `--jobs N` output byte-identical
+// to `--jobs 1`:
+//
+//  1. Jobs are *independent pure functions* of their inputs. Each worker
+//     owns its own solver / unroller state (see the concurrency contracts
+//     in sat/solver.h and bmc/bmc.h); the only sharing is read-only
+//     (the CFG, the transition system, the options).
+//  2. Dispatch is dynamic (one atomic cursor over the job vector, so a
+//     slow SAT query does not stall the other workers), but every job
+//     writes its result into a pre-allocated slot indexed by job id —
+//     *which* worker computes a result never changes the result.
+//  3. The caller merges the slots in job-id order after run() returns;
+//     aggregate statistics are reductions over that deterministic order.
+//
+// Wall-clock numbers (per-worker busy seconds, jobs/sec) are collected in
+// SchedulerStats and surfaced by `--stats` / `--bench` only, never in the
+// default reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tmg::engine {
+
+/// Monotonic clock reading in seconds (std::chrono::steady_clock). The
+/// single wall-clock source for every timing measurement in the engine
+/// and driver; differences of two readings are elapsed seconds.
+double monotonic_seconds();
+
+/// One independent unit of analysis work. `work` receives the id of the
+/// executing worker (0-based, < Scheduler::workers()) so callers can keep
+/// per-worker scratch state (a solver arena, a feasibility oracle) without
+/// locks: worker w is the only thread that ever touches slot w.
+struct AnalysisJob {
+  std::function<void(unsigned worker)> work;
+};
+
+/// What one run() did, for bench reporting.
+struct SchedulerStats {
+  unsigned workers = 0;
+  std::size_t jobs = 0;
+  /// Wall-clock of the whole run() call.
+  double wall_seconds = 0.0;
+  /// Jobs executed by each worker (sums to `jobs`).
+  std::vector<std::size_t> jobs_per_worker;
+  /// Busy seconds per worker (time spent inside job callables).
+  std::vector<double> busy_seconds_per_worker;
+
+  [[nodiscard]] double jobs_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(jobs) / wall_seconds : 0.0;
+  }
+};
+
+/// Fixed-size thread pool executing one batch of jobs per run() call.
+/// Construction is cheap: threads are spawned per run() and joined before
+/// it returns, so a Scheduler can live on the stack of a pipeline run.
+class Scheduler {
+ public:
+  /// `jobs` = worker count; 0 selects hardware_concurrency().
+  explicit Scheduler(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Executes every job exactly once and returns when all are done.
+  /// With one worker (or at most one job) everything runs inline on the
+  /// calling thread in job order — the serial baseline; a job exception
+  /// then propagates immediately, leaving later jobs unexecuted. With
+  /// several workers, the first job exception stops the pool (workers
+  /// finish their in-flight job), the threads are joined, and that
+  /// exception is rethrown on the calling thread. In both cases a throw
+  /// means an unspecified suffix of the batch never ran. If the host
+  /// refuses to spawn the full pool, run() degrades to the threads that
+  /// did start (SchedulerStats::workers reports the actual count).
+  SchedulerStats run(const std::vector<AnalysisJob>& jobs) const;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardware_workers();
+
+ private:
+  unsigned workers_ = 1;
+};
+
+}  // namespace tmg::engine

@@ -2,9 +2,19 @@
 // VSIDS decision heuristic with phase saving, first-UIP clause learning and
 // geometric restarts. Sized for the CNFs our bounded model checker emits
 // (10^4..10^6 clauses).
+//
+// Concurrency contract (relied on by engine::Scheduler): this translation
+// unit has no global or static mutable state and no hidden randomness —
+// every heuristic (VSIDS bumping, phase saving, restart schedule) lives in
+// Solver members. Distinct Solver instances may therefore be driven from
+// distinct threads concurrently without synchronisation, and solving the
+// same clause set always performs the identical search (same model, same
+// statistics). A single instance is NOT thread-safe; do not share one
+// across threads.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace tmg::sat {
@@ -121,5 +131,13 @@ class Solver {
   void attach(ClauseRef cr);
   void update_memory_estimate();
 };
+
+// Part of the concurrency contract above: a plain-data stats struct cannot
+// hide pointers into solver internals (or heap state of its own), so
+// reading stats() from the owning thread and copying the result around
+// stays trivially safe as solver instances move onto worker threads.
+static_assert(std::is_trivially_copyable_v<SolverStats>,
+              "SolverStats must stay plain data per the concurrency "
+              "contract: no hidden references into solver internals");
 
 }  // namespace tmg::sat

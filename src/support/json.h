@@ -1,0 +1,15 @@
+// Minimal JSON string quoting shared by every JSON emitter in the tree
+// (driver reports, engine bench reports). One escaper, one behaviour:
+// quotes and backslashes are escaped, \n and \t use their short forms,
+// all other control characters become \u00XX.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tmg {
+
+/// Returns `s` as a double-quoted JSON string literal.
+std::string json_quote(std::string_view s);
+
+}  // namespace tmg

@@ -67,11 +67,24 @@ std::string TextTable::str() const {
 }
 
 std::string TextTable::csv() const {
+  // RFC-4180 quoting: cells carrying the delimiter, quotes or newlines
+  // (e.g. user-supplied file paths in batch reports) must not shift the
+  // columns of the machine-readable output.
+  auto quote = [](const std::string& cell) -> std::string {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
   std::ostringstream os;
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      os << quote(row[c]);
     }
     os << '\n';
   };

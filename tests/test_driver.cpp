@@ -44,6 +44,61 @@ TEST(PartitionSummaryTest, RejectsBadSource) {
   EXPECT_NE(s.error.find("undeclared"), std::string::npos);
 }
 
+// Golden Table-1 rows for the whole benchmark set at bounds 1..8: locks
+// the paper-reproduction numbers against partitioner/path-count refactors.
+struct GoldenRow {
+  std::uint64_t segments, ip, fused_ip, m;
+};
+struct GoldenSummary {
+  const char* name;
+  const char* source;
+  GoldenRow rows[8];  // bounds 1..8
+};
+
+const GoldenSummary kGoldenSummaries[] = {
+    {"b1", testing::kExampleB1,
+     {{1, 2, 2, 1}, {1, 2, 2, 1}, {1, 2, 2, 1}, {1, 2, 2, 1},
+      {1, 2, 2, 1}, {1, 2, 2, 1}, {1, 2, 2, 1}, {1, 2, 2, 1}}},
+    {"b2", testing::kExampleB2,
+     {{9, 18, 12, 9}, {7, 14, 10, 8}, {1, 2, 2, 3}, {1, 2, 2, 3},
+      {1, 2, 2, 3}, {1, 2, 2, 3}, {1, 2, 2, 3}, {1, 2, 2, 3}}},
+    {"b3", testing::kExampleB3,
+     {{9, 18, 13, 9}, {9, 18, 13, 9}, {9, 18, 13, 9}, {9, 18, 13, 9},
+      {9, 18, 13, 9}, {9, 18, 13, 9}, {9, 18, 13, 9}, {1, 2, 2, 8}}},
+    {"b4", testing::kExampleB4,
+     {{10, 20, 16, 10}, {7, 14, 13, 9}, {7, 14, 13, 9}, {7, 14, 13, 9},
+      {7, 14, 13, 9}, {1, 2, 2, 6}, {1, 2, 2, 6}, {1, 2, 2, 6}}},
+    {"b5", testing::kExampleB5,
+     {{8, 16, 11, 8}, {5, 10, 7, 6}, {5, 10, 7, 6}, {5, 10, 7, 6},
+      {5, 10, 7, 6}, {5, 10, 7, 6}, {5, 10, 7, 6}, {5, 10, 7, 6}}},
+    {"b6", testing::kExampleB6,
+     {{6, 12, 8, 6}, {6, 12, 8, 6}, {6, 12, 8, 6}, {6, 12, 8, 6},
+      {1, 2, 2, 5}, {1, 2, 2, 5}, {1, 2, 2, 5}, {1, 2, 2, 5}}},
+    {"b7", testing::kExampleB7,
+     {{9, 18, 13, 9}, {9, 18, 13, 10}, {9, 18, 13, 10}, {9, 18, 13, 10},
+      {9, 18, 13, 10}, {1, 2, 2, 6}, {1, 2, 2, 6}, {1, 2, 2, 6}}},
+};
+
+TEST(PartitionSummaryTest, GoldenTableRowsForBenchmarkSet) {
+  for (const GoldenSummary& g : kGoldenSummaries) {
+    const PartitionSummary s = partition_summary(g.source, 8);
+    ASSERT_TRUE(s.ok) << g.name << ": " << s.error;
+    EXPECT_EQ(s.function, g.name);
+    ASSERT_EQ(s.rows.size(), 8u) << g.name;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const GoldenRow& want = g.rows[i];
+      EXPECT_EQ(s.rows[i].bound, i + 1);
+      EXPECT_EQ(s.rows[i].segments, want.segments)
+          << g.name << " b=" << i + 1;
+      EXPECT_EQ(s.rows[i].ip, want.ip) << g.name << " b=" << i + 1;
+      EXPECT_EQ(s.rows[i].fused_ip, want.fused_ip)
+          << g.name << " b=" << i + 1;
+      ASSERT_FALSE(s.rows[i].m.saturated()) << g.name << " b=" << i + 1;
+      EXPECT_EQ(s.rows[i].m.exact(), want.m) << g.name << " b=" << i + 1;
+    }
+  }
+}
+
 // --------------------------------------------------- full pipeline, fig1
 
 TEST(PipelineTest, Figure1EndToEndSegment) {
@@ -270,6 +325,115 @@ TEST(PipelineExamples, CompileErrorIsReported) {
   EXPECT_NE(r.error.find("undeclared"), std::string::npos);
 }
 
+// -------------------------------------------------- parallel engine + jobs
+
+TEST(ParallelEngine, JobCountIsOnePerEnumeratedPath) {
+  const PipelineResult r = run_pipeline(testing::kFigure1Source);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::size_t paths = 0;
+  for (const FunctionTiming& ft : r.functions)
+    for (const SegmentTiming& s : ft.segments) paths += s.paths.size();
+  EXPECT_EQ(r.analysis_jobs, paths);
+  EXPECT_GE(r.analysis_workers, 1u);
+}
+
+std::string full_report(const char* src, PipelineOptions opts,
+                        ReportFormat format) {
+  const PipelineResult r = Pipeline(opts).run(src);
+  EXPECT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  render_report(r, opts, format, /*with_stages=*/false, os);
+  return os.str();
+}
+
+// The headline determinism guarantee: the default report of every format
+// is byte-identical across worker counts and across repeated runs.
+TEST(ParallelEngine, ReportsAreByteIdenticalAcrossJobCounts) {
+  const struct {
+    const char* name;
+    const char* src;
+  } cases[] = {{"fig1", testing::kFigure1Source}, {"b4", testing::kExampleB4}};
+  for (const auto& c : cases) {
+    for (const ReportFormat fmt :
+         {ReportFormat::Text, ReportFormat::Csv, ReportFormat::Json}) {
+      PipelineOptions serial;
+      serial.jobs = 1;
+      PipelineOptions pool;
+      pool.jobs = 4;
+      const std::string a = full_report(c.src, serial, fmt);
+      const std::string b = full_report(c.src, pool, fmt);
+      const std::string b2 = full_report(c.src, pool, fmt);
+      EXPECT_EQ(a, b) << c.name << " --jobs 1 vs --jobs 4";
+      EXPECT_EQ(b, b2) << c.name << " repeated --jobs 4 runs";
+    }
+  }
+}
+
+TEST(ParallelEngine, VerdictsStableAcrossManyWorkers) {
+  // More workers than jobs, repeated: verdict counts must never move.
+  PipelineOptions opts;
+  opts.path_bound = 6;
+  opts.jobs = 16;
+  for (int i = 0; i < 3; ++i) {
+    const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    const SegmentTiming& seg = r.functions[0].segments[0];
+    EXPECT_EQ(seg.feasible, 2u);
+    EXPECT_EQ(seg.infeasible, 4u);
+  }
+}
+
+// ------------------------------------------------------- witness replay
+
+TEST(WitnessReplay, Figure1WitnessesDriveTheClaimedPaths) {
+  PipelineOptions opts;
+  opts.path_bound = 6;  // whole function: 2 feasible end-to-end paths
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_EQ(seg.validated, 2u);
+  EXPECT_EQ(seg.mismatched, 0u);
+  for (const PathTiming& p : seg.paths) {
+    if (p.verdict == PathVerdict::Feasible) {
+      EXPECT_FALSE(p.witness.empty());
+      EXPECT_EQ(p.replay, WitnessReplay::Validated);
+    } else {
+      EXPECT_EQ(p.replay, WitnessReplay::NotChecked);
+    }
+  }
+}
+
+TEST(WitnessReplay, EveryFeasiblePathOfTheBenchmarkSetValidates) {
+  // Closing the paper's test-data loop over all examples: no generated
+  // test datum may drive execution off its claimed path.
+  for (const testing::PaperExample& ex : testing::kPaperExamples) {
+    const PipelineResult r = run_pipeline(ex.source);
+    ASSERT_TRUE(r.ok) << ex.name << ": " << r.error;
+    for (const SegmentTiming& s : r.functions[0].segments) {
+      EXPECT_EQ(s.mismatched, 0u) << ex.name << " segment " << s.id;
+      for (const PathTiming& p : s.paths) {
+        if (p.verdict == PathVerdict::Feasible && !p.witness.empty()) {
+          EXPECT_EQ(p.replay, WitnessReplay::Validated)
+              << ex.name << " segment " << s.id;
+        }
+      }
+    }
+  }
+}
+
+TEST(WitnessReplay, DisabledValidationLeavesPathsUnchecked) {
+  PipelineOptions opts;
+  opts.path_bound = 6;
+  opts.validate_witnesses = false;
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_EQ(seg.validated, 0u);
+  EXPECT_EQ(seg.mismatched, 0u);
+  for (const PathTiming& p : seg.paths)
+    EXPECT_EQ(p.replay, WitnessReplay::NotChecked);
+}
+
 // ------------------------------------------------------------- rendering
 
 TEST(Rendering, CsvHasHeaderAndOneRowPerSegment) {
@@ -327,7 +491,73 @@ TEST(Cli, ParsesAllOptions) {
   EXPECT_EQ(opts.pipeline.max_paths_per_segment, 9u);
   EXPECT_EQ(opts.pipeline.function, "main");
   EXPECT_TRUE(opts.with_stages);
-  EXPECT_EQ(opts.input_path, "prog.mc");
+  ASSERT_EQ(opts.inputs.size(), 1u);
+  EXPECT_EQ(opts.inputs[0], "prog.mc");
+}
+
+TEST(Cli, ParsesJobsBenchAndNoValidate) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"--jobs=8", "--bench=5", "--no-validate", "a.mc"},
+                        opts, error))
+      << error;
+  EXPECT_EQ(opts.pipeline.jobs, 8u);
+  EXPECT_EQ(opts.bench_repeats, 5u);
+  EXPECT_FALSE(opts.pipeline.validate_witnesses);
+
+  CliOptions defaults;
+  ASSERT_TRUE(parse_cli({"--bench", "a.mc"}, defaults, error)) << error;
+  EXPECT_EQ(defaults.bench_repeats, 3u);
+  EXPECT_EQ(defaults.pipeline.jobs, 0u);  // 0 = hardware concurrency
+  EXPECT_TRUE(defaults.pipeline.validate_witnesses);
+}
+
+TEST(Cli, RejectsBadJobsAndBenchValues) {
+  CliOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--jobs=0", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("--jobs"), std::string::npos);
+  EXPECT_FALSE(parse_cli({"--jobs=boom", "a.mc"}, opts, error));
+  EXPECT_FALSE(parse_cli({"--bench=0", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("--bench"), std::string::npos);
+}
+
+TEST(Cli, RejectsConflictingModes) {
+  CliOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_cli({"--bench", "--table1", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("--bench"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--bench", "--dot", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--bench", "--sal", "a.mc"}, opts, error));
+  // --bench is JSON-only: an explicit conflicting format is an error, an
+  // explicit --format=json is redundant but fine.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--bench", "--format=csv", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("JSON"), std::string::npos);
+  opts = {};
+  EXPECT_TRUE(parse_cli({"--bench", "--format=json", "a.mc"}, opts, error))
+      << error;
+  // Dump/summary modes have no batch rendering: one input only.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--table1", "a.mc", "b.mc"}, opts, error));
+  EXPECT_NE(error.find("exactly one input"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--dot", "a.mc", "b.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--sal", "a.mc", "b.mc"}, opts, error));
+  opts = {};
+  EXPECT_TRUE(parse_cli({"--table1", "a.mc"}, opts, error)) << error;
+}
+
+TEST(Cli, AcceptsMultipleInputFiles) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"a.mc", "b.mc", "c.mc"}, opts, error)) << error;
+  ASSERT_EQ(opts.inputs.size(), 3u);
+  EXPECT_EQ(opts.inputs[0], "a.mc");
+  EXPECT_EQ(opts.inputs[2], "c.mc");
 }
 
 TEST(Cli, RejectsUnknownOption) {
@@ -365,7 +595,10 @@ TEST(Cli, Table1DefaultsToSevenBounds) {
 class CliFileTest : public ::testing::Test {
  protected:
   void write_file(const char* content) {
-    path_ = ::testing::TempDir() + "tmg_cli_test.mc";
+    // Unique per test: parallel ctest siblings must not race on the path.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    path_ = ::testing::TempDir() + "tmg_cli_test_" + tag + ".mc";
     std::ofstream f(path_);
     f << content;
   }
@@ -426,6 +659,109 @@ TEST_F(CliFileTest, DotAndSalDumps) {
   EXPECT_NE(out_.str().find("digraph"), std::string::npos);
   EXPECT_EQ(run({"--sal"}), 0) << err_.str();
   EXPECT_NE(out_.str().find("MODULE"), std::string::npos);
+}
+
+class CliBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each test in its own process, in parallel: the file names
+    // must be unique per test or a sibling's TearDown races our reads.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fig1_ = ::testing::TempDir() + "tmg_batch_fig1_" + tag + ".mc";
+    b1_ = ::testing::TempDir() + "tmg_batch_b1_" + tag + ".mc";
+    std::ofstream(fig1_) << testing::kFigure1Source;
+    std::ofstream(b1_) << testing::kExampleB1;
+  }
+  void TearDown() override {
+    std::remove(fig1_.c_str());
+    std::remove(b1_.c_str());
+  }
+
+  int run(std::vector<std::string> args) {
+    std::vector<const char*> argv = {"tmg"};
+    for (const std::string& a : args) argv.push_back(a.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  std::string fig1_, b1_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliBatchTest, TextBatchHasPerFileReportsAndSummary) {
+  EXPECT_EQ(run({fig1_, b1_}), 0) << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("=== file " + fig1_), std::string::npos);
+  EXPECT_NE(text.find("=== file " + b1_), std::string::npos);
+  EXPECT_NE(text.find("=== batch summary ==="), std::string::npos);
+  EXPECT_NE(text.find("== function fig1 =="), std::string::npos);
+  EXPECT_NE(text.find("== function b1 =="), std::string::npos);
+}
+
+TEST_F(CliBatchTest, CsvBatchPrependsFileColumn) {
+  EXPECT_EQ(run({"--format=csv", fig1_, b1_}), 0) << err_.str();
+  const std::string csv = out_.str();
+  EXPECT_EQ(csv.rfind("file,function,segment,kind,", 0), 0u);
+  // One header line only, rows for both files.
+  EXPECT_EQ(csv.find("file,function"), csv.rfind("file,function"));
+  EXPECT_NE(csv.find(fig1_ + ",fig1,"), std::string::npos);
+  EXPECT_NE(csv.find(b1_ + ",b1,"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, JsonBatchHasFilesAndAggregate) {
+  EXPECT_EQ(run({"--format=json", fig1_, b1_}), 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_EQ(json.rfind("{\"files\":[", 0), 0u);
+  EXPECT_NE(json.find("\"aggregate\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fig1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"b1\""), std::string::npos);
+  EXPECT_NE(json.find("\"validated\":"), std::string::npos);
+  // Same key as the text/CSV column header and README: "mismatch".
+  EXPECT_NE(json.find("\"mismatch\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"mismatched\":"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, BatchOutputIdenticalAcrossJobCounts) {
+  EXPECT_EQ(run({"--format=json", "--jobs=1", fig1_, b1_}), 0) << err_.str();
+  const std::string serial = out_.str();
+  EXPECT_EQ(run({"--format=json", "--jobs=4", fig1_, b1_}), 0) << err_.str();
+  EXPECT_EQ(serial, out_.str());
+}
+
+TEST_F(CliBatchTest, BenchEmitsJsonPerfReport) {
+  EXPECT_EQ(run({"--bench=1", "--jobs=2", fig1_, b1_}), 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_EQ(json.rfind("{\"bench\":{", 0), 0u);
+  EXPECT_NE(json.find("\"repeats\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"serial_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parallel_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_per_second\":"), std::string::npos);
+  EXPECT_NE(json.find("\"workers_used\":"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":{"), std::string::npos);
+  // Both inputs appear.
+  EXPECT_NE(json.find("tmg_batch_fig1_"), std::string::npos);
+  EXPECT_NE(json.find("tmg_batch_b1_"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, FailingFileInBatchNamesTheFile) {
+  const std::string bad = ::testing::TempDir() + "tmg_batch_bad_" +
+                          ::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name() +
+                          ".mc";
+  std::ofstream(bad) << "void f(void) { oops(); }";
+  EXPECT_EQ(run({fig1_, bad}), 2);
+  EXPECT_NE(err_.str().find("tmg_batch_bad_"), std::string::npos);
+  EXPECT_NE(err_.str().find("undeclared"), std::string::npos);
+  // Bench mode must name the failing file too.
+  EXPECT_EQ(run({"--bench=1", fig1_, bad}), 2);
+  EXPECT_NE(err_.str().find("tmg_batch_bad_"), std::string::npos);
+  std::remove(bad.c_str());
 }
 
 TEST(CliHelp, PrintsUsage) {

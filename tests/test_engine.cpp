@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/bench.h"
+#include "engine/once_cache.h"
+#include "engine/scheduler.h"
+
+namespace tmg::engine {
+namespace {
+
+// --------------------------------------------------------------- Scheduler
+
+std::vector<AnalysisJob> counting_jobs(std::size_t n,
+                                       std::vector<std::atomic<int>>& hits) {
+  std::vector<AnalysisJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    jobs.push_back(AnalysisJob{[&hits, i](unsigned) { ++hits[i]; }});
+  return jobs;
+}
+
+TEST(Scheduler, RunsEveryJobExactlyOnceSerially) {
+  std::vector<std::atomic<int>> hits(17);
+  const Scheduler s(1);
+  const SchedulerStats stats = s.run(counting_jobs(17, hits));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.jobs, 17u);
+  EXPECT_EQ(stats.workers, 1u);
+  ASSERT_EQ(stats.jobs_per_worker.size(), 1u);
+  EXPECT_EQ(stats.jobs_per_worker[0], 17u);
+}
+
+TEST(Scheduler, RunsEveryJobExactlyOnceInParallel) {
+  std::vector<std::atomic<int>> hits(101);
+  const Scheduler s(4);
+  const SchedulerStats stats = s.run(counting_jobs(101, hits));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.jobs, 101u);
+  EXPECT_EQ(stats.workers, 4u);
+  const std::size_t total = std::accumulate(
+      stats.jobs_per_worker.begin(), stats.jobs_per_worker.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, 101u);
+}
+
+TEST(Scheduler, WorkerIdsStayBelowPoolSize) {
+  const Scheduler s(3);
+  std::atomic<bool> bad{false};
+  std::vector<AnalysisJob> jobs;
+  for (int i = 0; i < 50; ++i)
+    jobs.push_back(AnalysisJob{[&](unsigned w) {
+      if (w >= 3) bad = true;
+    }});
+  s.run(jobs);
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(Scheduler, PoolShrinksToJobCount) {
+  const Scheduler s(16);
+  std::vector<std::atomic<int>> hits(2);
+  const SchedulerStats stats = s.run(counting_jobs(2, hits));
+  // No point spawning 16 threads for 2 jobs.
+  EXPECT_LE(stats.workers, 2u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ZeroSelectsHardwareConcurrency) {
+  const Scheduler s(0);
+  EXPECT_EQ(s.workers(), Scheduler::hardware_workers());
+  EXPECT_GE(s.workers(), 1u);
+}
+
+TEST(Scheduler, EmptyBatchIsANoOp) {
+  const Scheduler s(4);
+  const SchedulerStats stats = s.run({});
+  EXPECT_EQ(stats.jobs, 0u);
+}
+
+TEST(Scheduler, JobExceptionIsRethrownOnCaller) {
+  const Scheduler s(4);
+  std::vector<AnalysisJob> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back(AnalysisJob{[i](unsigned) {
+      if (i == 5) throw std::runtime_error("job 5 failed");
+    }});
+  EXPECT_THROW(s.run(jobs), std::runtime_error);
+}
+
+// --------------------------------------------------------------- OnceCache
+
+TEST(OnceCache, ComputesEachKeyOnce) {
+  OnceCache<int, int> cache;
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> wrong_value{false};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 20; ++k) {
+        const int v = cache.get_or_compute(k, [&] {
+          ++computes;
+          return k * 10;
+        });
+        if (v != k * 10) wrong_value = true;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(wrong_value.load());
+  EXPECT_EQ(computes.load(), 20);  // one compute per key across 8 threads
+  EXPECT_EQ(cache.size(), 20u);
+}
+
+TEST(OnceCache, ReportsWhoComputed) {
+  OnceCache<int, int> cache;
+  bool mine = false;
+  EXPECT_EQ(cache.get_or_compute(7, [] { return 1; }, &mine), 1);
+  EXPECT_TRUE(mine);
+  EXPECT_EQ(cache.get_or_compute(7, [] { return 2; }, &mine), 1);
+  EXPECT_FALSE(mine);
+}
+
+TEST(OnceCache, ExceptionReachesEveryRequester) {
+  OnceCache<int, int> cache;
+  EXPECT_THROW(
+      cache.get_or_compute(1, []() -> int { throw std::logic_error("x"); }),
+      std::logic_error);
+  // The failed slot stays poisoned: later requesters see the error too
+  // (a pure compute function fails deterministically).
+  EXPECT_THROW(cache.get_or_compute(1, [] { return 3; }), std::logic_error);
+}
+
+// -------------------------------------------------------------- BenchReport
+
+TEST(BenchReport, AggregatesAndSpeedup) {
+  BenchReport r;
+  r.workers = 4;
+  r.repeats = 3;
+  r.files.push_back(BenchFile{"a.mc", 10, 2.0, 1.0, {}});
+  r.files.push_back(BenchFile{"b.mc", 30, 4.0, 1.0, {}});
+  EXPECT_EQ(r.total_jobs(), 40u);
+  EXPECT_DOUBLE_EQ(r.total_serial_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(r.total_parallel_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(r.speedup(), 3.0);
+  EXPECT_DOUBLE_EQ(r.files[0].speedup(), 2.0);
+  EXPECT_DOUBLE_EQ(r.files[1].jobs_per_second(), 30.0);
+}
+
+TEST(BenchReport, JsonSchema) {
+  BenchReport r;
+  r.workers = 2;
+  r.repeats = 5;
+  BenchFile f;
+  f.path = "examples/fig1.mc";
+  f.analysis_jobs = 9;
+  f.workers_used = 2;
+  f.serial_seconds = 0.5;
+  f.parallel_seconds = 0.25;
+  f.stages.push_back(BenchStage{"frontend", 0.001});
+  f.stages.push_back(BenchStage{"bmc", 0.4});
+  r.files.push_back(std::move(f));
+
+  std::ostringstream os;
+  r.render_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bench\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"repeats\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"examples/fig1.mc\""), std::string::npos);
+  EXPECT_NE(json.find("\"analysis_jobs\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"workers_used\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":2.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_per_second\":36.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"frontend\":0.001000"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":{"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(BenchReport, EmptyParallelSecondsYieldZeroNotInf) {
+  BenchFile f;
+  EXPECT_DOUBLE_EQ(f.speedup(), 0.0);
+  EXPECT_DOUBLE_EQ(f.jobs_per_second(), 0.0);
+  BenchReport r;
+  EXPECT_DOUBLE_EQ(r.speedup(), 0.0);
+}
+
+}  // namespace
+}  // namespace tmg::engine

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/diagnostics.h"
+#include "support/json.h"
 #include "support/path_count.h"
 #include "support/rng.h"
 #include "support/table.h"
@@ -287,6 +288,20 @@ TEST(TextTable, CsvOutput) {
   EXPECT_EQ(t.csv(), "a,b\n1,2\n");
 }
 
+TEST(TextTable, CsvQuotesDelimitersAndQuotes) {
+  // Batch reports put user-supplied file paths in the first column; a
+  // comma in a path must not shift the machine-readable columns.
+  TextTable t({"file", "n"});
+  t.add(std::string("my,progs/a.mc"), 1);
+  t.add(std::string("say \"hi\".mc"), 2);
+  t.add(std::string("plain.mc"), 3);
+  EXPECT_EQ(t.csv(),
+            "file,n\n"
+            "\"my,progs/a.mc\",1\n"
+            "\"say \"\"hi\"\".mc\",2\n"
+            "plain.mc,3\n");
+}
+
 TEST(TextTable, RowCount) {
   TextTable t({"x"});
   EXPECT_EQ(t.rows(), 0u);
@@ -298,6 +313,14 @@ TEST(TextTable, RowCount) {
 TEST(TextTable, FmtDouble) {
   EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(JsonQuote, EscapesSpecialsAndControls) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string("a\x01z")), "\"a\\u0001z\"");
 }
 
 }  // namespace
