@@ -67,6 +67,16 @@ std::string cli_usage() {
       "                        emit the JSON perf report and exit\n"
       "  --table1[=N]          print the Table-1-style partition summary\n"
       "                        for bounds 1..N (default 7) and exit\n"
+      "  --opt[=PASS,...]      apply the Section 3.2 state-space\n"
+      "                        optimisations before model checking (all six\n"
+      "                        passes, or a comma-separated subset of:\n"
+      "                        reverse-cse, live-variables, statement-concat,\n"
+      "                        range-analysis, variable-init,\n"
+      "                        dead-variable-elim)\n"
+      "  --table2              analyse every input with and without --opt\n"
+      "                        and print the Table-2-style before/after\n"
+      "                        comparison (state bits, transitions, BMC\n"
+      "                        time, CNF size, model equality) and exit\n"
       "  --no-bmc              skip feasibility checking (structural model)\n"
       "  --no-validate         skip witness replay through the interpreter\n"
       "  --max-paths=N         enumerated paths per segment (default 64)\n"
@@ -99,7 +109,7 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                               name == "--no-bmc" || name == "--no-validate" ||
                               name == "--pessimistic-widths" ||
                               name == "--stats" || name == "--dot" ||
-                              name == "--sal";
+                              name == "--sal" || name == "--table2";
     if (is_bare_flag && has_value) {
       error = "option '" + std::string(name) + "' takes no value";
       return false;
@@ -149,6 +159,30 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         error = "--table1 expects a positive integer bound";
         return false;
       }
+    } else if (name == "--opt") {
+      if (!has_value) {
+        out.pipeline.opt_passes = opt::all_passes();
+      } else {
+        out.pipeline.opt_passes.clear();
+        // Every comma-separated item must name a pass; empty items (from
+        // `--opt=`, a leading/trailing comma or `a,,b`) are errors, not
+        // silently dropped pass selections.
+        std::string_view rest = value;
+        for (;;) {
+          const std::size_t comma = rest.find(',');
+          const std::string_view item = rest.substr(0, comma);
+          const std::optional<opt::Pass> p = opt::parse_pass(item);
+          if (!p) {
+            error = "--opt: unknown pass '" + std::string(item) + "'";
+            return false;
+          }
+          out.pipeline.opt_passes.push_back(*p);
+          if (comma == std::string_view::npos) break;
+          rest = rest.substr(comma + 1);
+        }
+      }
+    } else if (name == "--table2") {
+      out.table2 = true;
     } else if (name == "--no-bmc") {
       out.pipeline.run_bmc = false;
     } else if (name == "--no-validate") {
@@ -192,14 +226,20 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
   // Mode flags are mutually exclusive; a silently ignored --bench would
   // hand CI an empty bench.json.
   if (out.bench_repeats > 0) {
-    if (out.table1_max_bound > 0 || out.dump_dot || out.dump_sal) {
-      error = "--bench cannot be combined with --table1/--dot/--sal";
+    if (out.table1_max_bound > 0 || out.dump_dot || out.dump_sal ||
+        out.table2) {
+      error = "--bench cannot be combined with --table1/--table2/--dot/--sal";
       return false;
     }
     if (format_set && out.format != ReportFormat::Json) {
       error = "--bench always emits JSON; drop --format or use --format=json";
       return false;
     }
+  }
+  if (out.table2 && (out.table1_max_bound > 0 || out.dump_dot ||
+                     out.dump_sal)) {
+    error = "--table2 cannot be combined with --table1/--dot/--sal";
+    return false;
   }
   // Only the timing-model report has a batch rendering; concatenating
   // per-file summaries/dumps would be malformed CSV/JSON.
@@ -250,6 +290,10 @@ int dump_artifacts(const CliOptions& opts, const std::string& source,
         err << diags.str();
         return 2;
       }
+      // `--sal --opt` shows the optimised module, the paper's actual SAL
+      // input after Section 3.2.
+      if (!opts.pipeline.opt_passes.empty())
+        opt::run_passes(tr->ts, opts.pipeline.opt_passes);
       out << tr->ts.to_sal() << "\n";
     }
   }
@@ -259,6 +303,9 @@ int dump_artifacts(const CliOptions& opts, const std::string& source,
 /// Per-stage seconds of one run, in canonical order: program-level stages
 /// plus per-function stages summed by name.
 std::vector<engine::BenchStage> bench_stages(const PipelineResult& r) {
+  // No "optimise" entry: bench stage breakdowns come from the unoptimised
+  // pool run (the optimised run only contributes its headline wall-clock;
+  // its per-stage timing is available via `--opt --stats`).
   static const char* kOrder[] = {"frontend",  "cfg",      "partition",
                                  "translate", "analysis", "bmc"};
   std::vector<engine::BenchStage> out;
@@ -282,7 +329,9 @@ std::vector<engine::BenchStage> bench_stages(const PipelineResult& r) {
 }
 
 /// Benchmark mode: every input R times with one worker, R times with the
-/// configured pool; best-of wall clocks feed the JSON report.
+/// configured pool, and R times on the pool with the Section 3.2 passes;
+/// best-of wall clocks feed the JSON report (unoptimised vs optimised is
+/// the Table-2 speedup tracked per commit).
 int run_bench(const CliOptions& opts,
               const std::vector<std::string>& sources, std::ostream& out,
               std::ostream& err) {
@@ -290,13 +339,19 @@ int run_bench(const CliOptions& opts,
   report.repeats = opts.bench_repeats;
   report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
 
+  enum class Mode { Serial, Pool, Optimised };
   for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
     engine::BenchFile file;
     file.path = opts.inputs[i];
 
-    for (const bool parallel : {false, true}) {
+    for (const Mode mode : {Mode::Serial, Mode::Pool, Mode::Optimised}) {
       PipelineOptions popts = opts.pipeline;
-      popts.jobs = parallel ? opts.pipeline.jobs : 1;
+      popts.jobs = mode == Mode::Serial ? 1 : opts.pipeline.jobs;
+      if (mode == Mode::Optimised) {
+        if (popts.opt_passes.empty()) popts.opt_passes = opt::all_passes();
+      } else {
+        popts.opt_passes.clear();
+      }
       const Pipeline pipeline(popts);
       double best = 0.0;
       for (unsigned rep = 0; rep < opts.bench_repeats; ++rep) {
@@ -311,14 +366,18 @@ int run_bench(const CliOptions& opts,
         // with the headline parallel_seconds it accompanies.
         if (rep == 0 || wall < best) {
           best = wall;
-          if (parallel) {
+          if (mode == Mode::Pool) {
             file.analysis_jobs = r.analysis_jobs;
             file.workers_used = r.analysis_workers;
             file.stages = bench_stages(r);
           }
         }
       }
-      (parallel ? file.parallel_seconds : file.serial_seconds) = best;
+      switch (mode) {
+        case Mode::Serial: file.serial_seconds = best; break;
+        case Mode::Pool: file.parallel_seconds = best; break;
+        case Mode::Optimised: file.optimised_seconds = best; break;
+      }
     }
     report.files.push_back(std::move(file));
   }
@@ -361,6 +420,19 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       return 2;
     }
     render_partition_summary(summary, opts.format, out);
+    return 0;
+  }
+
+  if (opts.table2) {
+    const std::vector<std::string> names =
+        opts.inputs.size() > 1 ? opts.inputs : std::vector<std::string>{};
+    const Table2Report report =
+        table2_compare(sources, names, opts.pipeline);
+    if (!report.ok) {
+      err << report.error;
+      return 2;
+    }
+    render_table2(report, opts.format, out);
     return 0;
   }
 

@@ -22,9 +22,13 @@ struct CliOptions {
   /// --table1[=N]: print the Table-1-style partition summary for bounds
   /// 1..N instead of the timing model (0 = mode off).
   std::uint64_t table1_max_bound = 0;
-  /// --bench[=R]: run every input R times serially and R times on the
-  /// worker pool, then emit the JSON perf report (0 = mode off).
+  /// --bench[=R]: run every input R times serially, R times on the worker
+  /// pool and R times optimised on the pool, then emit the JSON perf
+  /// report (0 = mode off).
   unsigned bench_repeats = 0;
+  /// --table2: analyse every input with and without the Section 3.2
+  /// passes and print the before/after comparison.
+  bool table2 = false;
   bool dump_dot = false;
   bool dump_sal = false;
   bool show_help = false;

@@ -475,6 +475,21 @@ PipelineResult Pipeline::run(std::string_view source) const {
       result.error = diags.str();
       return result;
     }
+    ft.state_bits_before = fw->tr->ts.state_bits();
+    ft.locations_before = fw->tr->ts.num_locs;
+    ft.transitions_before = fw->tr->ts.transitions.size();
+
+    // Section 3.2 optimisation passes: shrink the encoding before any BMC
+    // query is built. External VarId references (the symbol->var table the
+    // witness replay reads) follow the composed remapping.
+    if (!opts_.opt_passes.empty()) {
+      StageTimer t(ft.stages, "optimise");
+      const opt::OptResult opt_result =
+          opt::run_passes_mapped(fw->tr->ts, opts_.opt_passes);
+      ft.pass_reports = opt_result.reports;
+      for (tsys::VarId& v : fw->tr->var_of_symbol)
+        if (v != tsys::kNoVar) v = opt_result.var_map[v];
+    }
     ft.state_bits = fw->tr->ts.state_bits();
     ft.locations = fw->tr->ts.num_locs;
     ft.transitions = fw->tr->ts.transitions.size();
@@ -643,6 +658,109 @@ PipelineResult Pipeline::run(std::string_view source) const {
 
   result.ok = true;
   return result;
+}
+
+namespace {
+
+/// Byte-identical timing model: every reported (deterministic) segment
+/// column matches — costs, verdicts and replay tallies. Encoding metrics
+/// (bits, locations) are deliberately excluded; those are what the
+/// optimisations change.
+bool timing_models_equal(const FunctionTiming& a, const FunctionTiming& b) {
+  if (a.segments.size() != b.segments.size()) return false;
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const SegmentTiming& x = a.segments[i];
+    const SegmentTiming& y = b.segments[i];
+    if (x.id != y.id || x.kind != y.kind ||
+        x.whole_function != y.whole_function ||
+        x.num_blocks != y.num_blocks ||
+        x.structural_paths.str() != y.structural_paths.str() ||
+        x.enumeration_complete != y.enumeration_complete ||
+        x.paths.size() != y.paths.size() || x.feasible != y.feasible ||
+        x.infeasible != y.infeasible || x.unknown != y.unknown ||
+        x.validated != y.validated || x.mismatched != y.mismatched ||
+        x.bcet != y.bcet || x.wcet != y.wcet)
+      return false;
+    for (std::size_t p = 0; p < x.paths.size(); ++p)
+      if (x.paths[p].verdict != y.paths[p].verdict ||
+          x.paths[p].cost != y.paths[p].cost ||
+          x.paths[p].blocks != y.paths[p].blocks)
+        return false;
+  }
+  return true;
+}
+
+double segment_bmc_seconds(const FunctionTiming& ft) {
+  double total = 0.0;
+  for (const SegmentTiming& s : ft.segments) total += s.bmc_seconds;
+  return total;
+}
+
+std::uint64_t max_cnf_clauses(const FunctionTiming& ft) {
+  std::uint64_t m = 0;
+  for (const SegmentTiming& s : ft.segments)
+    m = std::max(m, s.max_cnf_clauses);
+  return m;
+}
+
+}  // namespace
+
+bool Table2Report::all_identical() const {
+  for (const Table2Row& r : rows)
+    if (!r.model_identical) return false;
+  return !rows.empty();
+}
+
+Table2Report table2_compare(const std::vector<std::string>& sources,
+                            const std::vector<std::string>& files,
+                            const PipelineOptions& opts) {
+  Table2Report out;
+
+  PipelineOptions plain = opts;
+  plain.opt_passes.clear();
+  PipelineOptions optimised = opts;
+  if (optimised.opt_passes.empty()) optimised.opt_passes = opt::all_passes();
+
+  const Pipeline p_plain(plain);
+  const Pipeline p_opt(optimised);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::string file = i < files.size() ? files[i] : std::string();
+    const PipelineResult a = p_plain.run(sources[i]);
+    const PipelineResult b = p_opt.run(sources[i]);
+    for (const PipelineResult* r : {&a, &b}) {
+      if (!r->ok) {
+        out.error = file.empty() ? r->error : file + ": " + r->error;
+        return out;
+      }
+    }
+    if (a.functions.size() != b.functions.size()) {
+      out.error = "optimised run analysed a different function set";
+      return out;
+    }
+    for (std::size_t f = 0; f < a.functions.size(); ++f) {
+      const FunctionTiming& fa = a.functions[f];
+      const FunctionTiming& fb = b.functions[f];
+      Table2Row row;
+      row.file = file;
+      row.function = fa.name;
+      row.bits_plain = fa.state_bits;
+      row.bits_opt = fb.state_bits;
+      row.locs_plain = fa.locations;
+      row.locs_opt = fb.locations;
+      row.trans_plain = fa.transitions;
+      row.trans_opt = fb.transitions;
+      row.depth_plain = fa.unroll_depth;
+      row.depth_opt = fb.unroll_depth;
+      row.bmc_seconds_plain = segment_bmc_seconds(fa);
+      row.bmc_seconds_opt = segment_bmc_seconds(fb);
+      row.cnf_clauses_plain = max_cnf_clauses(fa);
+      row.cnf_clauses_opt = max_cnf_clauses(fb);
+      row.model_identical = timing_models_equal(fa, fb);
+      out.rows.push_back(std::move(row));
+    }
+  }
+  out.ok = true;
+  return out;
 }
 
 PartitionSummary partition_summary(std::string_view source,

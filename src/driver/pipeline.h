@@ -18,6 +18,7 @@
 
 #include "bmc/bmc.h"
 #include "core/partition.h"
+#include "opt/passes.h"
 #include "support/path_count.h"
 
 namespace tmg::driver {
@@ -60,6 +61,11 @@ struct PipelineOptions {
   std::uint32_t max_unroll_depth = 2048;
   /// Forwarded to the translator (paper's 16-bit-everything default).
   bool pessimistic_widths = false;
+  /// Section 3.2 optimisation passes applied to each function's transition
+  /// system between translation and BMC (empty = unoptimised baseline).
+  /// Passes preserve decision traces and per-path feasibility; they only
+  /// shrink the encoding, so the timing model is unchanged.
+  std::vector<opt::Pass> opt_passes;
   bmc::BmcOptions bmc;
   CostModel cost;
 };
@@ -142,6 +148,13 @@ struct FunctionTiming {
   std::size_t transitions = 0;
   std::uint32_t unroll_depth = 0;
 
+  /// Pre-optimisation encoding metrics (equal to the post values when no
+  /// passes ran) and the per-pass reports, in execution order.
+  int state_bits_before = 0;
+  std::uint32_t locations_before = 0;
+  std::size_t transitions_before = 0;
+  std::vector<opt::PassReport> pass_reports;
+
   std::vector<SegmentTiming> segments;
   std::vector<StageStats> stages;
 
@@ -204,5 +217,43 @@ struct PartitionSummary {
 PartitionSummary partition_summary(std::string_view source,
                                    std::uint64_t max_bound,
                                    std::string_view function = {});
+
+/// One row of the Table-2-style before/after comparison: the same function
+/// analysed without and with the Section 3.2 optimisation passes.
+struct Table2Row {
+  std::string file;  // empty outside batch mode
+  std::string function;
+  int bits_plain = 0, bits_opt = 0;
+  std::uint32_t locs_plain = 0, locs_opt = 0;
+  std::size_t trans_plain = 0, trans_opt = 0;
+  std::uint32_t depth_plain = 0, depth_opt = 0;
+  /// Summed per-segment solver time (CPU seconds over all BMC queries).
+  double bmc_seconds_plain = 0.0, bmc_seconds_opt = 0.0;
+  /// Largest CNF seen by any query — the solver memory proxy.
+  std::uint64_t cnf_clauses_plain = 0, cnf_clauses_opt = 0;
+  /// The optimised run produced a byte-identical segment timing model
+  /// (same BCET/WCET, verdicts and replay tallies for every segment).
+  bool model_identical = false;
+};
+
+/// Result of the `--table2` mode over one or more inputs: every input is
+/// analysed twice (baseline and optimised) under otherwise identical
+/// options and compared function by function.
+struct Table2Report {
+  bool ok = false;
+  std::string error;  // names the failing file in batch mode
+  std::vector<Table2Row> rows;
+
+  /// All rows produced byte-identical timing models.
+  [[nodiscard]] bool all_identical() const;
+};
+
+/// Runs the before/after comparison. `opts.opt_passes` selects the passes
+/// for the optimised run (all_passes() when empty); the baseline run
+/// always has them cleared. `files` names each source for batch rows
+/// (pass {} for single-input mode).
+Table2Report table2_compare(const std::vector<std::string>& sources,
+                            const std::vector<std::string>& files,
+                            const PipelineOptions& opts);
 
 }  // namespace tmg::driver

@@ -79,6 +79,34 @@ TextTable segment_table(const FunctionTiming& ft, const std::string* file,
   return t;
 }
 
+/// The per-pass before/after table (shown whenever passes ran).
+TextTable pass_table(const FunctionTiming& ft, const std::string* file,
+                     bool with_function_col) {
+  std::vector<std::string> header;
+  if (file != nullptr) header.emplace_back("file");
+  if (with_function_col) header.emplace_back("function");
+  for (const char* h : {"pass", "vars_before", "vars_after", "bits_before",
+                        "bits_after", "trans_before", "trans_after",
+                        "details"})
+    header.emplace_back(h);
+  TextTable t(std::move(header));
+  for (const opt::PassReport& p : ft.pass_reports) {
+    std::vector<std::string> row;
+    if (file != nullptr) row.push_back(*file);
+    if (with_function_col) row.push_back(ft.name);
+    row.push_back(opt::pass_name(p.pass));
+    row.push_back(std::to_string(p.vars_before));
+    row.push_back(std::to_string(p.vars_after));
+    row.push_back(std::to_string(p.data_bits_before));
+    row.push_back(std::to_string(p.data_bits_after));
+    row.push_back(std::to_string(p.transitions_before));
+    row.push_back(std::to_string(p.transitions_after));
+    row.push_back(std::to_string(p.details));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
 void render_text(const PipelineResult& result, const PipelineOptions& opts,
                  bool with_stages, std::ostream& os) {
   for (const FunctionTiming& ft : result.functions) {
@@ -88,6 +116,16 @@ void render_text(const PipelineResult& result, const PipelineOptions& opts,
        << "  state bits: " << ft.state_bits << "  locations: " << ft.locations
        << "  transitions: " << ft.transitions
        << "  unroll depth: " << ft.unroll_depth << "\n\n";
+
+    if (!ft.pass_reports.empty()) {
+      os << "optimisation passes (state bits " << ft.state_bits_before
+         << " -> " << ft.state_bits << ", locations "
+         << ft.locations_before << " -> " << ft.locations
+         << ", transitions " << ft.transitions_before << " -> "
+         << ft.transitions << "):\n";
+      os << pass_table(ft, nullptr, /*with_function_col=*/false).str()
+         << "\n";
+    }
 
     os << "segment timing model (path bound b=" << opts.path_bound << "):\n";
     os << segment_table(ft, nullptr, /*with_function_col=*/false, with_stages)
@@ -139,6 +177,24 @@ void render_csv(const PipelineResult& result, const std::string* file,
   }
 }
 
+/// Second CSV block under the segment rows: one row per executed pass.
+void render_csv_passes(const PipelineResult& result, const std::string* file,
+                       bool with_header, std::ostream& os) {
+  bool first = with_header;
+  for (const FunctionTiming& ft : result.functions) {
+    if (ft.pass_reports.empty()) continue;
+    const std::string csv =
+        pass_table(ft, file, /*with_function_col=*/true).csv();
+    if (first) {
+      os << csv;
+      first = false;
+    } else {
+      const std::size_t nl = csv.find('\n');
+      if (nl != std::string::npos) os << csv.substr(nl + 1);
+    }
+  }
+}
+
 /// The {"name":...} object of one function (no enclosing list).
 void render_json_function(const FunctionTiming& ft, bool with_stages,
                           std::ostream& os) {
@@ -153,7 +209,28 @@ void render_json_function(const FunctionTiming& ft, bool with_stages,
      << ",\"fused_ip\":" << ft.fused_points
      << ",\"measurements\":" << json_quote(ft.measurements.str())
      << ",\"bcet_total\":" << ft.bcet_total()
-     << ",\"wcet_total\":" << ft.wcet_total() << ",\"segments\":[";
+     << ",\"wcet_total\":" << ft.wcet_total();
+  if (!ft.pass_reports.empty()) {
+    os << ",\"state_bits_before\":" << ft.state_bits_before
+       << ",\"locations_before\":" << ft.locations_before
+       << ",\"transitions_before\":" << ft.transitions_before
+       << ",\"passes\":[";
+    bool first_pass = true;
+    for (const opt::PassReport& p : ft.pass_reports) {
+      if (!first_pass) os << ",";
+      first_pass = false;
+      os << "{\"pass\":" << json_quote(opt::pass_name(p.pass))
+         << ",\"vars_before\":" << p.vars_before
+         << ",\"vars_after\":" << p.vars_after
+         << ",\"bits_before\":" << p.data_bits_before
+         << ",\"bits_after\":" << p.data_bits_after
+         << ",\"transitions_before\":" << p.transitions_before
+         << ",\"transitions_after\":" << p.transitions_after
+         << ",\"details\":" << p.details << "}";
+    }
+    os << "]";
+  }
+  os << ",\"segments\":[";
   bool first_seg = true;
   for (const SegmentTiming& s : ft.segments) {
     if (!first_seg) os << ",";
@@ -278,6 +355,7 @@ void render_report(const PipelineResult& result, const PipelineOptions& opts,
       break;
     case ReportFormat::Csv:
       render_csv(result, nullptr, with_stages, /*with_header=*/true, os);
+      render_csv_passes(result, nullptr, /*with_header=*/true, os);
       break;
     case ReportFormat::Json:
       render_json_object(result, opts, with_stages, os);
@@ -314,6 +392,12 @@ void render_batch_report(const std::vector<BatchEntry>& files,
         render_csv(e.result, &e.path, with_stages, /*with_header=*/first, os);
         first = false;
       }
+      bool first_pass = true;
+      for (const BatchEntry& e : files) {
+        render_csv_passes(e.result, &e.path, /*with_header=*/first_pass, os);
+        for (const FunctionTiming& ft : e.result.functions)
+          first_pass &= ft.pass_reports.empty();
+      }
       break;
     }
     case ReportFormat::Json: {
@@ -329,6 +413,114 @@ void render_batch_report(const std::vector<BatchEntry>& files,
       os << "],\"aggregate\":";
       render_tally_json(tally, files.size(), os);
       os << "}\n";
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Totals row of the Table-2 comparison (batch aggregation).
+Table2Row table2_aggregate(const Table2Report& report) {
+  Table2Row total;
+  total.file = "(all)";
+  total.function = "total";
+  total.model_identical = report.all_identical();
+  for (const Table2Row& r : report.rows) {
+    total.bits_plain += r.bits_plain;
+    total.bits_opt += r.bits_opt;
+    total.locs_plain += r.locs_plain;
+    total.locs_opt += r.locs_opt;
+    total.trans_plain += r.trans_plain;
+    total.trans_opt += r.trans_opt;
+    total.depth_plain += r.depth_plain;
+    total.depth_opt += r.depth_opt;
+    total.bmc_seconds_plain += r.bmc_seconds_plain;
+    total.bmc_seconds_opt += r.bmc_seconds_opt;
+    total.cnf_clauses_plain =
+        std::max(total.cnf_clauses_plain, r.cnf_clauses_plain);
+    total.cnf_clauses_opt = std::max(total.cnf_clauses_opt, r.cnf_clauses_opt);
+  }
+  return total;
+}
+
+TextTable table2_table(const Table2Report& report, bool with_file,
+                       bool with_aggregate) {
+  std::vector<std::string> header;
+  if (with_file) header.emplace_back("file");
+  for (const char* h :
+       {"function", "bits", "bits_opt", "locs", "locs_opt", "trans",
+        "trans_opt", "depth", "depth_opt", "bmc_ms", "bmc_ms_opt",
+        "cnf_clauses", "cnf_clauses_opt", "model"})
+    header.emplace_back(h);
+  TextTable t(std::move(header));
+  auto add = [&](const Table2Row& r) {
+    std::vector<std::string> row;
+    if (with_file) row.push_back(r.file);
+    row.push_back(r.function);
+    row.push_back(std::to_string(r.bits_plain));
+    row.push_back(std::to_string(r.bits_opt));
+    row.push_back(std::to_string(r.locs_plain));
+    row.push_back(std::to_string(r.locs_opt));
+    row.push_back(std::to_string(r.trans_plain));
+    row.push_back(std::to_string(r.trans_opt));
+    row.push_back(std::to_string(r.depth_plain));
+    row.push_back(std::to_string(r.depth_opt));
+    row.push_back(fmt_double(r.bmc_seconds_plain * 1000.0, 2));
+    row.push_back(fmt_double(r.bmc_seconds_opt * 1000.0, 2));
+    row.push_back(std::to_string(r.cnf_clauses_plain));
+    row.push_back(std::to_string(r.cnf_clauses_opt));
+    row.push_back(r.model_identical ? "identical" : "DIFFERS");
+    t.add_row(std::move(row));
+  };
+  for (const Table2Row& r : report.rows) add(r);
+  if (with_aggregate) add(table2_aggregate(report));
+  return t;
+}
+
+void table2_row_json(const Table2Row& r, bool with_file, std::ostream& os) {
+  os << "{";
+  if (with_file) os << "\"file\":" << json_quote(r.file) << ",";
+  os << "\"function\":" << json_quote(r.function)
+     << ",\"bits\":" << r.bits_plain << ",\"bits_opt\":" << r.bits_opt
+     << ",\"locations\":" << r.locs_plain
+     << ",\"locations_opt\":" << r.locs_opt << ",\"trans\":" << r.trans_plain
+     << ",\"trans_opt\":" << r.trans_opt << ",\"depth\":" << r.depth_plain
+     << ",\"depth_opt\":" << r.depth_opt
+     << ",\"bmc_seconds\":" << r.bmc_seconds_plain
+     << ",\"bmc_seconds_opt\":" << r.bmc_seconds_opt
+     << ",\"cnf_clauses\":" << r.cnf_clauses_plain
+     << ",\"cnf_clauses_opt\":" << r.cnf_clauses_opt
+     << ",\"model_identical\":" << (r.model_identical ? "true" : "false")
+     << "}";
+}
+
+}  // namespace
+
+void render_table2(const Table2Report& report, ReportFormat format,
+                   std::ostream& os) {
+  const bool with_file =
+      !report.rows.empty() && !report.rows.front().file.empty();
+  const bool aggregate = report.rows.size() > 1;
+  switch (format) {
+    case ReportFormat::Text:
+      os << "optimisation impact (Table 2 style, before/after Section 3.2 "
+            "passes):\n";
+      os << table2_table(report, with_file, aggregate).str();
+      break;
+    case ReportFormat::Csv:
+      os << table2_table(report, with_file, aggregate).csv();
+      break;
+    case ReportFormat::Json: {
+      os << "{\"table2\":{\"rows\":[";
+      bool first = true;
+      for (const Table2Row& r : report.rows) {
+        if (!first) os << ",";
+        first = false;
+        table2_row_json(r, with_file, os);
+      }
+      os << "],\"all_identical\":"
+         << (report.all_identical() ? "true" : "false") << "}}\n";
       break;
     }
   }

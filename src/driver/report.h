@@ -44,6 +44,13 @@ void render_batch_report(const std::vector<BatchEntry>& files,
 void render_partition_summary(const PartitionSummary& summary,
                               ReportFormat format, std::ostream& os);
 
+/// Renders the Table-2-style before/after optimisation comparison (state
+/// bits, transitions, BMC time, solver memory proxy, model equality), with
+/// an aggregate row when several inputs were compared. Contains wall-clock
+/// columns by design: like --bench, this is a measurement mode.
+void render_table2(const Table2Report& report, ReportFormat format,
+                   std::ostream& os);
+
 /// Human-readable verdict / kind names used across formats.
 std::string verdict_name(PathVerdict v);
 std::string segment_kind_name(core::SegmentKind k);

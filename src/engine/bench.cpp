@@ -30,9 +30,20 @@ double BenchReport::total_parallel_seconds() const {
   return s;
 }
 
+double BenchReport::total_optimised_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.optimised_seconds;
+  return s;
+}
+
 double BenchReport::speedup() const {
   const double p = total_parallel_seconds();
   return p > 0.0 ? total_serial_seconds() / p : 0.0;
+}
+
+double BenchReport::opt_speedup() const {
+  const double o = total_optimised_seconds();
+  return o > 0.0 ? total_parallel_seconds() / o : 0.0;
 }
 
 void BenchReport::render_json(std::ostream& os) const {
@@ -47,7 +58,9 @@ void BenchReport::render_json(std::ostream& os) const {
        << ",\"workers_used\":" << f.workers_used
        << ",\"serial_seconds\":" << fmt(f.serial_seconds)
        << ",\"parallel_seconds\":" << fmt(f.parallel_seconds)
+       << ",\"optimised_seconds\":" << fmt(f.optimised_seconds)
        << ",\"speedup\":" << fmt(f.speedup())
+       << ",\"opt_speedup\":" << fmt(f.opt_speedup())
        << ",\"jobs_per_second\":" << fmt(f.jobs_per_second())
        << ",\"stages\":{";
     bool first_stage = true;
@@ -61,7 +74,9 @@ void BenchReport::render_json(std::ostream& os) const {
   os << "],\"aggregate\":{\"analysis_jobs\":" << total_jobs()
      << ",\"serial_seconds\":" << fmt(total_serial_seconds())
      << ",\"parallel_seconds\":" << fmt(total_parallel_seconds())
-     << ",\"speedup\":" << fmt(speedup()) << "}}}\n";
+     << ",\"optimised_seconds\":" << fmt(total_optimised_seconds())
+     << ",\"speedup\":" << fmt(speedup())
+     << ",\"opt_speedup\":" << fmt(opt_speedup()) << "}}}\n";
 }
 
 }  // namespace tmg::engine

@@ -25,9 +25,12 @@ struct BenchFile {
   std::string path;
   /// Analysis jobs (per-path BMC checks) executed by one pipeline run.
   std::size_t analysis_jobs = 0;
-  /// Best-of-R wall-clock of the whole pipeline, serial vs pool.
+  /// Best-of-R wall-clock of the whole pipeline: serial (one worker), the
+  /// configured pool, and the pool with the Section 3.2 optimisation
+  /// passes applied before BMC.
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
+  double optimised_seconds = 0.0;
   std::vector<BenchStage> stages;
   /// Workers the scheduler actually used for this input (the pool clamps
   /// to the job count, so this can be below BenchReport::workers).
@@ -35,6 +38,12 @@ struct BenchFile {
 
   [[nodiscard]] double speedup() const {
     return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+  /// Optimisation speedup at the same worker count: unoptimised pool time
+  /// over optimised pool time.
+  [[nodiscard]] double opt_speedup() const {
+    return optimised_seconds > 0.0 ? parallel_seconds / optimised_seconds
+                                   : 0.0;
   }
   [[nodiscard]] double jobs_per_second() const {
     return parallel_seconds > 0.0
@@ -53,8 +62,11 @@ struct BenchReport {
   [[nodiscard]] std::size_t total_jobs() const;
   [[nodiscard]] double total_serial_seconds() const;
   [[nodiscard]] double total_parallel_seconds() const;
+  [[nodiscard]] double total_optimised_seconds() const;
   /// Aggregate speedup over all files (total serial / total parallel).
   [[nodiscard]] double speedup() const;
+  /// Aggregate optimisation speedup (total parallel / total optimised).
+  [[nodiscard]] double opt_speedup() const;
 
   /// Renders the JSON schema documented in README.md (one object,
   /// trailing newline).

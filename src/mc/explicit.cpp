@@ -48,10 +48,14 @@ ExploreResult explore(const TransitionSystem& ts,
   std::uint64_t product = 1;
   for (const VarInfo& v : ts.vars) {
     if (!v.is_input && v.has_init) continue;
-    const std::uint64_t card =
-        static_cast<std::uint64_t>(v.hi - v.lo + 1);
+    // Unsigned subtraction so [INT64_MIN, INT64_MAX] doesn't overflow; the
+    // full 64-bit domain wraps the count to 0, which stands for 2^64 —
+    // saturate and refuse instead of dividing by it below.
+    const std::uint64_t card = static_cast<std::uint64_t>(v.hi) -
+                               static_cast<std::uint64_t>(v.lo) + 1;
     free_vars.push_back(v.id);
-    if (product > opts.max_initial_states / card) {
+    if (card == 0 || card > opts.max_initial_states ||
+        product > opts.max_initial_states / card) {
       result.initial_states = UINT64_MAX;
       return result;  // incomplete: initial set too large
     }
@@ -106,11 +110,16 @@ ExploreResult explore(const TransitionSystem& ts,
       for (const tsys::Update& u : t->updates)
         next.vals[u.var] = minic::wrap_to_type(
             tsys::eval_texpr(*u.value, s.vals), ts.vars[u.var].type);
+      // Already-visited successors never trip the state limit: a frontier
+      // of only seen states means the fixpoint is reached, and reporting
+      // it incomplete would be wrong. Only a genuinely new state counts.
+      if (seen.contains(next)) continue;
       if (seen.size() >= opts.max_states) {
         limit_hit = true;
         break;
       }
-      if (seen.insert(next).second) queue.emplace_back(std::move(next), depth + 1);
+      queue.emplace_back(next, depth + 1);
+      seen.insert(std::move(next));
     }
     if (limit_hit) break;
   }

@@ -1,0 +1,896 @@
+#include "opt/passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "minic/eval.h"
+
+namespace tmg::opt {
+
+using cfg::BlockId;
+using minic::Type;
+using tsys::kNoVar;
+using tsys::Loc;
+using tsys::TExpr;
+using tsys::TExprKind;
+using tsys::TExprPtr;
+using tsys::Transition;
+using tsys::TransitionSystem;
+using tsys::Update;
+using tsys::VarId;
+using tsys::VarInfo;
+
+namespace {
+
+/// Substituted / composed expressions larger than this are not worth the
+/// CNF growth they cause downstream; the pass simply skips the rewrite.
+constexpr std::size_t kMaxExprSize = 128;
+
+void collect_expr_vars(const TExpr* e, std::vector<VarId>& out) {
+  if (e != nullptr) e->collect_vars(out);
+}
+
+/// Variables read by a transition (guard plus every update RHS), with
+/// duplicates.
+std::vector<VarId> transition_reads(const Transition& t) {
+  std::vector<VarId> reads;
+  collect_expr_vars(t.guard.get(), reads);
+  for (const Update& u : t.updates) collect_expr_vars(u.value.get(), reads);
+  return reads;
+}
+
+/// Wraps `e` to exactly `type` (explicit conversion node, mirroring the
+/// translator's coerce and eval_unop(Plus) semantics).
+TExprPtr coerce(TExprPtr e, Type type) {
+  if (e->type == type) return e;
+  return t_unary(minic::UnOp::Plus, std::move(e), type);
+}
+
+/// Clones `e` with every read of a variable updated in `by` replaced by
+/// that update's RHS (evaluated in the pre-state). The substitution is
+/// simultaneous: injected RHS trees are not rewritten again, which matters
+/// when one update's RHS reads another updated variable.
+TExprPtr subst_parallel(const TExpr& e, const TransitionSystem& ts,
+                        const std::map<VarId, const Update*>& by) {
+  if (e.kind == TExprKind::Var) {
+    const auto it = by.find(e.var);
+    if (it != by.end()) {
+      // Stored values are wrapped to the variable's type before any use
+      // re-wraps them to the read type; keep both conversions explicit.
+      TExprPtr r = coerce(it->second->value->clone(), ts.vars[e.var].type);
+      return coerce(std::move(r), e.type);
+    }
+  }
+  // Shallow copy of the node itself; each subtree is produced exactly once
+  // by the recursion (a full clone() here would copy every subtree once
+  // per ancestor, only to be thrown away).
+  auto c = std::make_unique<TExpr>();
+  c->kind = e.kind;
+  c->type = e.type;
+  c->value = e.value;
+  c->var = e.var;
+  c->un_op = e.un_op;
+  c->bin_op = e.bin_op;
+  c->args.reserve(e.args.size());
+  for (const TExprPtr& a : e.args)
+    c->args.push_back(subst_parallel(*a, ts, by));
+  return c;
+}
+
+/// Incoming transition indices per location.
+std::vector<std::vector<std::size_t>> in_index(const TransitionSystem& ts) {
+  std::vector<std::vector<std::size_t>> in(ts.num_locs);
+  for (std::size_t i = 0; i < ts.transitions.size(); ++i)
+    in[ts.transitions[i].to].push_back(i);
+  return in;
+}
+
+// ------------------------------------------------------------- liveness
+
+/// live[L][v]: v may be read before being written on some run from L.
+/// Backward fixpoint over the transitions; weak liveness (every RHS read
+/// counts) — the transitive "does it reach a guard" question is
+/// DeadVariableElim's job.
+std::vector<std::vector<bool>> compute_liveness(const TransitionSystem& ts) {
+  std::vector<std::vector<bool>> live(
+      ts.num_locs, std::vector<bool>(ts.vars.size(), false));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : ts.transitions) {
+      std::vector<bool> in = live[t.to];
+      for (const Update& u : t.updates) in[u.var] = false;
+      for (VarId v : transition_reads(t)) in[v] = true;
+      for (std::size_t v = 0; v < in.size(); ++v) {
+        if (in[v] && !live[t.from][v]) {
+          live[t.from][v] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return live;
+}
+
+void renumber_transition_ids(TransitionSystem& ts) {
+  for (std::size_t i = 0; i < ts.transitions.size(); ++i)
+    ts.transitions[i].id = static_cast<std::uint32_t>(i);
+}
+
+/// Rewrites every reference of `from` to `to` in place (reads keep their
+/// use-site type; `to` must have the same VarInfo type as `from`).
+void rename_var_in_expr(TExpr& e, VarId from, VarId to) {
+  if (e.kind == TExprKind::Var && e.var == from) e.var = to;
+  for (const TExprPtr& a : e.args) rename_var_in_expr(*a, from, to);
+}
+
+// ---------------------------------------------------------- ReverseCse
+
+/// Inlines single-assignment temporaries into the reads of the location
+/// they dominate: when every transition into L is the unguarded statement
+/// `v := e` (and e does not depend on v), reads of v by transitions out of
+/// L see exactly e's value, so they can evaluate e directly. The variable
+/// itself becomes removable once no read remains (LiveVariables /
+/// DeadVariableElim pick it up).
+std::size_t reverse_cse(TransitionSystem& ts) {
+  std::size_t substitutions = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto in = in_index(ts);
+    for (Loc l = 0; l < ts.num_locs; ++l) {
+      if (l == ts.initial || in[l].empty()) continue;
+      const Transition& first = ts.transitions[in[l][0]];
+      if (first.is_decision() || first.guard != nullptr ||
+          first.updates.size() != 1 || first.from == l)
+        continue;
+      const VarId v = first.updates[0].var;
+      const TExpr& e = *first.updates[0].value;
+      if (e.references(v) || e.size() > kMaxExprSize / 4) continue;
+      bool uniform = true;
+      for (std::size_t ti : in[l]) {
+        const Transition& t = ts.transitions[ti];
+        if (t.is_decision() || t.guard != nullptr || t.updates.size() != 1 ||
+            t.from == l || t.updates[0].var != v ||
+            !t.updates[0].value->equals(e)) {
+          uniform = false;
+          break;
+        }
+      }
+      if (!uniform) continue;
+
+      const TExprPtr repl = coerce(e.clone(), ts.vars[v].type);
+      for (Transition& t : ts.transitions) {
+        if (t.from != l) continue;
+        std::size_t n = 0;
+        if (t.guard && t.guard->size() <= kMaxExprSize)
+          n += substitute(t.guard, v, *repl);
+        for (Update& u : t.updates)
+          if (u.value->size() <= kMaxExprSize)
+            n += substitute(u.value, v, *repl);
+        substitutions += n;
+        if (n > 0) changed = true;
+      }
+    }
+  }
+  return substitutions;
+}
+
+/// Folds a pass-local old->new map into an accumulated one.
+void compose_map(std::vector<VarId>& acc, const std::vector<VarId>& step) {
+  for (VarId& v : acc)
+    if (v != kNoVar) v = step[v];
+}
+
+// ------------------------------------------------------- LiveVariables
+
+/// Drops variables that are never read anywhere (their updates with them)
+/// and coalesces never-simultaneously-live variables of identical shape
+/// into one slot. `var_map` receives the old->new id mapping.
+std::size_t live_variables(TransitionSystem& ts,
+                           std::vector<VarId>& var_map) {
+  std::size_t details = 0;
+
+  // 1. Unused variables: never read by any guard or RHS. Inputs stay (they
+  // are the test-data interface even when the body ignores them).
+  std::vector<bool> read(ts.vars.size(), false);
+  for (const Transition& t : ts.transitions)
+    for (VarId v : transition_reads(t)) read[v] = true;
+  std::vector<bool> keep(ts.vars.size(), false);
+  for (const VarInfo& v : ts.vars) keep[v.id] = read[v.id] || v.is_input;
+  bool any_removed = false;
+  for (std::size_t v = 0; v < keep.size(); ++v) any_removed |= !keep[v];
+  if (any_removed) {
+    for (Transition& t : ts.transitions) {
+      std::erase_if(t.updates,
+                    [&](const Update& u) { return !keep[u.var]; });
+    }
+    for (bool k : keep) details += k ? 0 : 1;
+    compose_map(var_map, remove_vars(ts, keep));
+  }
+
+  // 2. Slot sharing. Two non-input variables of identical shape (type,
+  // domain, init) that are never live at the same time can share one slot:
+  // every read still sees its own dominating write. A variable that is
+  // live at entry depends on its free initial value and is only mergeable
+  // when that value is pinned (both pinned to the same init by the shape
+  // check).
+  const auto live = compute_liveness(ts);
+  const std::size_t n = ts.vars.size();
+  auto mergeable = [&](const VarInfo& v) {
+    return !v.is_input && (v.has_init || !live[ts.initial][v.id]);
+  };
+  auto same_shape = [&](const VarInfo& a, const VarInfo& b) {
+    return a.type == b.type && a.lo == b.lo && a.hi == b.hi &&
+           a.has_init == b.has_init && (!a.has_init || a.init == b.init) &&
+           a.semantic_init == b.semantic_init && a.decl_lo == b.decl_lo &&
+           a.decl_hi == b.decl_hi;
+  };
+
+  // interfere[a][b]: a write to one while the other is live-out (or a
+  // parallel write to both) — the pair cannot share a slot.
+  std::vector<std::vector<bool>> interfere(n, std::vector<bool>(n, false));
+  for (const Transition& t : ts.transitions) {
+    const std::vector<bool>& out = live[t.to];
+    for (const Update& u : t.updates) {
+      for (std::size_t w = 0; w < n; ++w)
+        if (w != u.var && out[w])
+          interfere[u.var][w] = interfere[w][u.var] = true;
+      for (const Update& u2 : t.updates)
+        if (u2.var != u.var)
+          interfere[u.var][u2.var] = interfere[u2.var][u.var] = true;
+    }
+  }
+
+  // Greedy coalescing: fold each variable into the first compatible class
+  // none of whose members it interferes with.
+  std::vector<VarId> target(n);
+  std::vector<std::vector<VarId>> members(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    target[v] = static_cast<VarId>(v);
+    members[v] = {static_cast<VarId>(v)};
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!mergeable(ts.vars[v])) continue;
+    for (std::size_t rep = 0; rep < v; ++rep) {
+      if (target[rep] != rep || !mergeable(ts.vars[rep]) ||
+          !same_shape(ts.vars[rep], ts.vars[v]))
+        continue;
+      bool clash = false;
+      for (VarId m : members[rep]) clash |= interfere[m][v];
+      if (clash) continue;
+      target[v] = static_cast<VarId>(rep);
+      members[rep].push_back(static_cast<VarId>(v));
+      ++details;
+      break;
+    }
+  }
+
+  bool any_merge = false;
+  for (std::size_t v = 0; v < n; ++v) any_merge |= target[v] != v;
+  if (any_merge) {
+    for (Transition& t : ts.transitions) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (target[v] == v) continue;
+        if (t.guard) rename_var_in_expr(*t.guard, static_cast<VarId>(v),
+                                        target[v]);
+        for (Update& u : t.updates) {
+          rename_var_in_expr(*u.value, static_cast<VarId>(v), target[v]);
+          if (u.var == v) u.var = target[v];
+        }
+      }
+    }
+    std::vector<bool> keep2(n, true);
+    for (std::size_t v = 0; v < n; ++v) keep2[v] = target[v] == v;
+    const std::vector<VarId> shrink = remove_vars(ts, keep2);
+    // A merged variable maps to its representative's new slot.
+    std::vector<VarId> step(n, kNoVar);
+    for (std::size_t v = 0; v < n; ++v) step[v] = shrink[target[v]];
+    compose_map(var_map, step);
+  }
+  return details;
+}
+
+// ---------------------------------------------------- DeadVariableElim
+
+/// Removes variables whose values never (transitively) flow into any
+/// guard, along with every update that computes them. This is the paper's
+/// "variables that do not influence control flow" elimination; it shrinks
+/// both the state vector and the work per transition.
+std::size_t dead_variable_elim(TransitionSystem& ts,
+                               std::vector<VarId>& var_map) {
+  std::vector<bool> needed(ts.vars.size(), false);
+  for (const Transition& t : ts.transitions) {
+    std::vector<VarId> guard_vars;
+    collect_expr_vars(t.guard.get(), guard_vars);
+    for (VarId v : guard_vars) needed[v] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : ts.transitions) {
+      for (const Update& u : t.updates) {
+        if (!needed[u.var]) continue;
+        std::vector<VarId> rhs;
+        u.value->collect_vars(rhs);
+        for (VarId v : rhs) {
+          if (!needed[v]) {
+            needed[v] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t details = 0;
+  for (Transition& t : ts.transitions) {
+    const std::size_t before = t.updates.size();
+    std::erase_if(t.updates,
+                  [&](const Update& u) { return !needed[u.var]; });
+    details += before - t.updates.size();
+  }
+  std::vector<bool> keep(ts.vars.size(), false);
+  for (const VarInfo& v : ts.vars) keep[v.id] = needed[v.id] || v.is_input;
+  for (bool k : keep) details += k ? 0 : 1;
+  compose_map(var_map, remove_vars(ts, keep));
+  return details;
+}
+
+// -------------------------------------------------------- VariableInit
+
+/// Pins uninitialised variables to their C-semantic initial value (Section
+/// 3.2.5), shrinking the reachable set D_R. Only variables that are dead
+/// at the initial location are pinned: their free initial value is
+/// unobservable, so fixing it cannot change any behaviour — a variable
+/// read before its first write keeps the model checker's free choice.
+std::size_t variable_init(TransitionSystem& ts) {
+  const auto live = compute_liveness(ts);
+  std::size_t pinned = 0;
+  for (VarInfo& v : ts.vars) {
+    if (v.is_input || v.has_init || live[ts.initial][v.id]) continue;
+    const std::int64_t init = minic::wrap_to_type(v.semantic_init, v.type);
+    if (init < v.lo || init > v.hi) continue;
+    v.has_init = true;
+    v.init = init;
+    ++pinned;
+  }
+  return pinned;
+}
+
+// ------------------------------------------------------- RangeAnalysis
+
+/// Saturating interval arithmetic over int64.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool operator==(const Interval&) const = default;
+  [[nodiscard]] Interval join(const Interval& o) const {
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+};
+
+std::int64_t sat64(__int128 v) {
+  if (v > INT64_MAX) return INT64_MAX;
+  if (v < INT64_MIN) return INT64_MIN;
+  return static_cast<std::int64_t>(v);
+}
+
+Interval type_interval(Type t) {
+  return {minic::type_min(t), minic::type_max(t)};
+}
+
+/// The interval of wrap_to_type over `i`: identity when `i` fits the
+/// type's representation, the full type range otherwise.
+Interval wrap_interval(const Interval& i, Type t) {
+  const Interval tr = type_interval(t);
+  if (i.lo >= tr.lo && i.hi <= tr.hi) return i;
+  return tr;
+}
+
+/// Over-approximates the value set of `e` given per-variable intervals.
+/// Mirrors eval_texpr: operands wrap to the arithmetic type, results wrap
+/// to the node type; anything not modelled precisely falls back to the
+/// node type's full range (always sound).
+Interval eval_interval(const TExpr& e, const std::vector<Interval>& env) {
+  using minic::BinOp;
+  using minic::UnOp;
+  switch (e.kind) {
+    case TExprKind::Const:
+      return {e.value, e.value};
+    case TExprKind::Var:
+      return wrap_interval(env[e.var], e.type);
+    case TExprKind::Unary: {
+      const Interval a = eval_interval(*e.args[0], env);
+      switch (e.un_op) {
+        case UnOp::Plus:
+          return wrap_interval(a, e.type);
+        case UnOp::Neg:
+          return wrap_interval({sat64(-static_cast<__int128>(a.hi)),
+                                sat64(-static_cast<__int128>(a.lo))},
+                               e.type);
+        case UnOp::BitNot:
+          return wrap_interval({sat64(-1 - static_cast<__int128>(a.hi)),
+                                sat64(-1 - static_cast<__int128>(a.lo))},
+                               e.type);
+        case UnOp::LogicalNot:
+          if (a.lo > 0 || a.hi < 0) return {0, 0};
+          if (a.lo == 0 && a.hi == 0) return {1, 1};
+          return {0, 1};
+      }
+      break;
+    }
+    case TExprKind::Binary: {
+      if (minic::binop_is_boolean(e.bin_op)) return {0, 1};
+      const Type ot =
+          minic::arith_result(e.args[0]->type, e.args[1]->type);
+      const Interval a =
+          wrap_interval(eval_interval(*e.args[0], env), ot);
+      const Interval b =
+          wrap_interval(eval_interval(*e.args[1], env), ot);
+      Interval r = type_interval(ot);
+      switch (e.bin_op) {
+        case BinOp::Add:
+          r = {sat64(static_cast<__int128>(a.lo) + b.lo),
+               sat64(static_cast<__int128>(a.hi) + b.hi)};
+          break;
+        case BinOp::Sub:
+          r = {sat64(static_cast<__int128>(a.lo) - b.hi),
+               sat64(static_cast<__int128>(a.hi) - b.lo)};
+          break;
+        case BinOp::Mul: {
+          const __int128 p[] = {static_cast<__int128>(a.lo) * b.lo,
+                                static_cast<__int128>(a.lo) * b.hi,
+                                static_cast<__int128>(a.hi) * b.lo,
+                                static_cast<__int128>(a.hi) * b.hi};
+          r = {sat64(std::min({p[0], p[1], p[2], p[3]})),
+               sat64(std::max({p[0], p[1], p[2], p[3]}))};
+          break;
+        }
+        case BinOp::BitAnd:
+          if (a.lo >= 0 && b.lo >= 0) r = {0, std::min(a.hi, b.hi)};
+          break;
+        case BinOp::Shr:
+          if (a.lo >= 0) r = {0, a.hi};
+          break;
+        default:
+          break;  // Div/Rem/Shl/BitOr/BitXor: full operand-type range
+      }
+      return wrap_interval(r, e.type);
+    }
+    case TExprKind::Cond: {
+      const Interval t =
+          wrap_interval(eval_interval(*e.args[1], env), e.type);
+      const Interval f =
+          wrap_interval(eval_interval(*e.args[2], env), e.type);
+      return t.join(f);
+    }
+  }
+  return type_interval(e.type);
+}
+
+/// Narrows [lo, hi] per variable to a flow-sensitive over-approximation of
+/// the values it can actually hold: one interval per (location, variable),
+/// propagated to a fixpoint (with widening on loops), then joined over all
+/// reachable locations. Location sensitivity matters — a flow-insensitive
+/// join would feed `mode = mode + 1` its own output forever and widen away
+/// every accumulator. Fewer representable values -> fewer encoding bits
+/// (Section 3.2.4's "1 bit vs 16 bits for boolean expressions").
+std::size_t range_analysis(TransitionSystem& ts) {
+  const std::size_t n = ts.vars.size();
+  std::vector<Interval> init(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const VarInfo& info = ts.vars[v];
+    if (!info.is_input && info.has_init) {
+      init[v] = {info.init, info.init};
+    } else {
+      // Free initial value. The declared C range is a sound clamp even for
+      // a pessimistically widened encoding: every out-of-range bit pattern
+      // reads (wraps) as some in-range value, so restricting the free
+      // choice to canonical representatives preserves all behaviours.
+      const std::int64_t lo = std::max(info.lo, info.decl_lo);
+      const std::int64_t hi = std::min(info.hi, info.decl_hi);
+      init[v] = lo <= hi ? Interval{lo, hi} : Interval{info.lo, info.hi};
+    }
+  }
+
+  std::vector<std::vector<Interval>> env(ts.num_locs,
+                                         std::vector<Interval>(n));
+  std::vector<bool> reached(ts.num_locs, false);
+  env[ts.initial] = init;
+  reached[ts.initial] = true;
+
+  // Chaotic iteration; a (location, variable) cell still growing after its
+  // grace rounds widens to a sound ceiling — the full type range (updates
+  // wrap to the type, so every stored value lies inside it; the old
+  // [lo, hi] domain does NOT bound stored values and must not be used, or
+  // downstream reads would narrow on an under-approximation).
+  std::vector<int> grew(ts.num_locs * n, 0);
+  const int max_rounds = 64 + 8 * static_cast<int>(ts.num_locs);
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < max_rounds) {
+    changed = false;
+    for (const Transition& t : ts.transitions) {
+      if (!reached[t.from]) continue;
+      std::vector<Interval> out = env[t.from];
+      for (const Update& u : t.updates)
+        out[u.var] = wrap_interval(eval_interval(*u.value, env[t.from]),
+                                   ts.vars[u.var].type);
+      if (!reached[t.to]) {
+        env[t.to] = std::move(out);
+        reached[t.to] = true;
+        changed = true;
+        continue;
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        const Interval next = env[t.to][v].join(out[v]);
+        if (next == env[t.to][v]) continue;
+        changed = true;
+        env[t.to][v] =
+            ++grew[t.to * n + v] > 8
+                ? next.join(type_interval(ts.vars[v].type))
+                : next;
+      }
+    }
+  }
+  // No fixpoint within the round budget: anything computed so far may
+  // under-approximate — narrowing on it would be unsound, so do nothing.
+  if (changed) return 0;
+
+  std::size_t narrowed = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    VarInfo& info = ts.vars[v];
+    Interval all = init[v];
+    for (Loc l = 0; l < ts.num_locs; ++l)
+      if (reached[l]) all = all.join(env[l][v]);
+    // Clamp into the old domain: the encoding must never widen, and values
+    // escaping the declared domain were already truncated by the baseline
+    // encoding.
+    const std::int64_t lo = std::max(info.lo, all.lo);
+    const std::int64_t hi = std::min(info.hi, all.hi);
+    if (lo > hi || (lo == info.lo && hi == info.hi)) continue;
+    info.lo = lo;
+    info.hi = hi;
+    ++narrowed;
+  }
+  return narrowed;
+}
+
+// ------------------------------------------------------ StatementConcat
+
+/// True when the location graph has a cycle (a loop survived into the
+/// transition system).
+bool has_cycle(const TransitionSystem& ts) {
+  std::vector<std::vector<Loc>> out(ts.num_locs);
+  for (const Transition& t : ts.transitions) out[t.from].push_back(t.to);
+  // 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<std::uint8_t> color(ts.num_locs, 0);
+  for (Loc root = 0; root < ts.num_locs; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<Loc, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [l, next] = stack.back();
+      if (next < out[l].size()) {
+        const Loc s = out[l][next++];
+        if (color[s] == 1) return true;
+        if (color[s] == 0) {
+          color[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        color[l] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+/// Merges transition chains through single-entry locations (Section
+/// 3.2.3): an unguarded statement folds forward into every successor
+/// transition, and a lone unguarded statement folds backward into its
+/// guarded predecessor. Decision transitions keep their origin, so forced
+/// -choice BMC queries and decision traces are unaffected; two decisions
+/// never merge.
+std::size_t statement_concat(TransitionSystem& ts) {
+  // In a cyclic system the BMC unroll depth is dictated by the loop-bound
+  // estimate and cannot shrink with the location count, so copying an
+  /// update-carrying statement into every edge of a decision only inflates
+  // the per-step circuit. Merge those only in loop-free systems, where the
+  // shorter unroll pays for the duplication.
+  const bool cyclic = has_cycle(ts);
+  std::size_t merges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto in = in_index(ts);
+    std::vector<std::vector<std::size_t>> out(ts.num_locs);
+    for (std::size_t i = 0; i < ts.transitions.size(); ++i)
+      out[ts.transitions[i].from].push_back(i);
+
+    for (Loc l = 0; l < ts.num_locs && !changed; ++l) {
+      if (l == ts.initial || l == ts.final) continue;
+      if (in[l].size() != 1 || out[l].empty()) continue;
+      const std::size_t ai = in[l][0];
+      const Transition& a = ts.transitions[ai];
+      if (a.from == l) continue;
+
+      // Forward merge needs A unguarded (the composed transitions must
+      // fire exactly when the successors fired); backward merge of a
+      // guarded/decision A needs a single unguarded successor B (B always
+      // fired after A, so guard and firing pattern are exactly A's).
+      const bool a_plain = !a.is_decision() && a.guard == nullptr;
+      if (a_plain && cyclic && out[l].size() > 1 && !a.updates.empty())
+        continue;
+      bool b_all_ok = true;
+      if (!a_plain) {
+        b_all_ok = out[l].size() == 1;
+        if (b_all_ok) {
+          const Transition& b = ts.transitions[out[l][0]];
+          b_all_ok = !b.is_decision() && b.guard == nullptr && b.to != l;
+        }
+      }
+      if (!b_all_ok) continue;
+
+      std::map<VarId, const Update*> by;
+      for (const Update& u : a.updates) by[u.var] = &u;
+
+      // Compose A;B for every successor B, bailing out on oversize trees.
+      std::vector<Transition> composed;
+      bool fits = true;
+      for (const std::size_t bi : out[l]) {
+        const Transition& b = ts.transitions[bi];
+        if (!a_plain && (b.is_decision() || b.guard != nullptr)) {
+          fits = false;
+          break;
+        }
+        Transition m;
+        m.from = a.from;
+        m.to = b.to;
+        if (!a_plain) {
+          m.guard = a.guard ? a.guard->clone() : nullptr;
+          m.origin_block = a.origin_block;
+          m.origin_succ = a.origin_succ;
+        } else {
+          m.guard = b.guard ? subst_parallel(*b.guard, ts, by) : nullptr;
+          m.origin_block = b.origin_block;
+          m.origin_succ = b.origin_succ;
+        }
+        if (m.guard && m.guard->size() > kMaxExprSize) {
+          fits = false;
+          break;
+        }
+        std::vector<bool> overwritten(ts.vars.size(), false);
+        for (const Update& u : b.updates) {
+          Update nu;
+          nu.var = u.var;
+          nu.value = subst_parallel(*u.value, ts, by);
+          if (nu.value->size() > kMaxExprSize) {
+            fits = false;
+            break;
+          }
+          overwritten[u.var] = true;
+          m.updates.push_back(std::move(nu));
+        }
+        if (!fits) break;
+        for (const Update& u : a.updates)
+          if (!overwritten[u.var])
+            m.updates.push_back(Update{u.var, u.value->clone()});
+        composed.push_back(std::move(m));
+      }
+      if (!fits) continue;
+
+      // Splice: each B slot takes its composed transition, A disappears.
+      std::vector<Transition> next;
+      next.reserve(ts.transitions.size() - 1);
+      std::size_t b_seen = 0;
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        if (i == ai) continue;
+        if (ts.transitions[i].from == l)
+          next.push_back(std::move(composed[b_seen++]));
+        else
+          next.push_back(std::move(ts.transitions[i]));
+      }
+      ts.transitions = std::move(next);
+      renumber_transition_ids(ts);
+      ++merges;
+      changed = true;
+    }
+  }
+  compact_locations(ts);
+  return merges;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- plumbing
+
+std::string pass_name(Pass p) {
+  switch (p) {
+    case Pass::ReverseCse: return "reverse-cse";
+    case Pass::LiveVariables: return "live-variables";
+    case Pass::StatementConcat: return "statement-concat";
+    case Pass::RangeAnalysis: return "range-analysis";
+    case Pass::VariableInit: return "variable-init";
+    case Pass::DeadVariableElim: return "dead-variable-elim";
+  }
+  return "?";
+}
+
+std::optional<Pass> parse_pass(std::string_view name) {
+  for (const Pass p :
+       {Pass::ReverseCse, Pass::LiveVariables, Pass::StatementConcat,
+        Pass::RangeAnalysis, Pass::VariableInit, Pass::DeadVariableElim})
+    if (pass_name(p) == name) return p;
+  return std::nullopt;
+}
+
+std::vector<Pass> all_passes() {
+  return {Pass::ReverseCse,   Pass::DeadVariableElim, Pass::LiveVariables,
+          Pass::VariableInit, Pass::RangeAnalysis,    Pass::StatementConcat};
+}
+
+std::vector<VarId> remove_vars(TransitionSystem& ts,
+                               const std::vector<bool>& keep) {
+  assert(keep.size() == ts.vars.size());
+  std::vector<VarId> map(ts.vars.size(), kNoVar);
+  VarId next = 0;
+  for (std::size_t v = 0; v < ts.vars.size(); ++v)
+    if (keep[v]) map[v] = next++;
+
+#ifndef NDEBUG
+  for (const Transition& t : ts.transitions) {
+    for (VarId v : transition_reads(t))
+      assert(keep[v] && "removed variable still read");
+    for (const Update& u : t.updates)
+      assert(keep[u.var] && "removed variable still written");
+  }
+#endif
+
+  std::vector<VarInfo> vars;
+  vars.reserve(next);
+  for (std::size_t v = 0; v < ts.vars.size(); ++v) {
+    if (!keep[v]) continue;
+    VarInfo info = std::move(ts.vars[v]);
+    info.id = map[v];
+    vars.push_back(std::move(info));
+  }
+  ts.vars = std::move(vars);
+
+  struct Remapper {
+    const std::vector<VarId>& map;
+    void walk(TExpr& e) const {
+      if (e.kind == TExprKind::Var) e.var = map[e.var];
+      for (const TExprPtr& a : e.args) walk(*a);
+    }
+  } remap{map};
+  for (Transition& t : ts.transitions) {
+    if (t.guard) remap.walk(*t.guard);
+    for (Update& u : t.updates) {
+      u.var = map[u.var];
+      remap.walk(*u.value);
+    }
+  }
+  return map;
+}
+
+void compact_locations(TransitionSystem& ts) {
+  std::vector<bool> used(ts.num_locs, false);
+  used[ts.initial] = true;
+  used[ts.final] = true;
+  for (const Transition& t : ts.transitions) {
+    used[t.from] = true;
+    used[t.to] = true;
+  }
+  std::vector<Loc> map(ts.num_locs, tsys::kNoLoc);
+  Loc next = 0;
+  for (Loc l = 0; l < ts.num_locs; ++l)
+    if (used[l]) map[l] = next++;
+  for (Transition& t : ts.transitions) {
+    t.from = map[t.from];
+    t.to = map[t.to];
+  }
+  ts.initial = map[ts.initial];
+  ts.final = map[ts.final];
+  ts.num_locs = next;
+}
+
+namespace {
+
+PassReport apply_pass(TransitionSystem& ts, Pass pass,
+                      std::vector<VarId>& var_map) {
+  PassReport r;
+  r.pass = pass;
+  r.vars_before = ts.vars.size();
+  r.data_bits_before = ts.data_bits();
+  r.transitions_before = ts.transitions.size();
+  switch (pass) {
+    case Pass::ReverseCse: r.details = reverse_cse(ts); break;
+    case Pass::LiveVariables:
+      r.details = live_variables(ts, var_map);
+      break;
+    case Pass::StatementConcat: r.details = statement_concat(ts); break;
+    case Pass::RangeAnalysis: r.details = range_analysis(ts); break;
+    case Pass::VariableInit: r.details = variable_init(ts); break;
+    case Pass::DeadVariableElim:
+      r.details = dead_variable_elim(ts, var_map);
+      break;
+  }
+  r.vars_after = ts.vars.size();
+  r.data_bits_after = ts.data_bits();
+  r.transitions_after = ts.transitions.size();
+  return r;
+}
+
+std::vector<VarId> identity_map(std::size_t n) {
+  std::vector<VarId> map(n);
+  for (std::size_t v = 0; v < n; ++v) map[v] = static_cast<VarId>(v);
+  return map;
+}
+
+}  // namespace
+
+PassReport run_pass(TransitionSystem& ts, Pass pass) {
+  std::vector<VarId> map = identity_map(ts.vars.size());
+  return apply_pass(ts, pass, map);
+}
+
+std::vector<PassReport> run_passes(TransitionSystem& ts,
+                                   const std::vector<Pass>& passes) {
+  return run_passes_mapped(ts, passes).reports;
+}
+
+OptResult run_passes_mapped(TransitionSystem& ts,
+                            const std::vector<Pass>& passes) {
+  OptResult result;
+  result.var_map = identity_map(ts.vars.size());
+  for (const Pass p : passes)
+    result.reports.push_back(apply_pass(ts, p, result.var_map));
+  return result;
+}
+
+std::vector<std::pair<cfg::BlockId, std::uint32_t>> run_concrete(
+    const TransitionSystem& ts, const std::vector<std::int64_t>& inputs,
+    std::uint64_t max_steps) {
+  std::vector<std::int64_t> env(ts.vars.size(), 0);
+  std::size_t next_input = 0;
+  for (const VarInfo& v : ts.vars) {
+    if (v.is_input) {
+      const std::int64_t raw =
+          next_input < inputs.size() ? inputs[next_input++] : 0;
+      env[v.id] = minic::wrap_to_type(raw, v.type);
+    } else {
+      env[v.id] =
+          minic::wrap_to_type(v.has_init ? v.init : v.semantic_init, v.type);
+    }
+  }
+
+  std::vector<std::pair<cfg::BlockId, std::uint32_t>> events;
+  const auto out = ts.out_index();
+  Loc cur = ts.initial;
+  for (std::uint64_t step = 0; cur != ts.final && step < max_steps; ++step) {
+    const Transition* taken = nullptr;
+    for (const Transition* t : out[cur]) {
+      if (!t->guard || tsys::eval_texpr(*t->guard, env) != 0) {
+        taken = t;
+        break;
+      }
+    }
+    if (taken == nullptr) break;  // stuck (no enabled transition)
+    if (taken->is_decision())
+      events.emplace_back(taken->origin_block, taken->origin_succ);
+    std::vector<std::int64_t> next = env;
+    for (const Update& u : taken->updates)
+      next[u.var] = minic::wrap_to_type(tsys::eval_texpr(*u.value, env),
+                                        ts.vars[u.var].type);
+    env = std::move(next);
+    cur = taken->to;
+  }
+  return events;
+}
+
+}  // namespace tmg::opt

@@ -17,6 +17,7 @@
 //                         | control flow removed
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,9 @@ enum class Pass : std::uint8_t {
 };
 
 std::string pass_name(Pass p);
+
+/// Inverse of pass_name (exact match); nullopt for unknown names.
+std::optional<Pass> parse_pass(std::string_view name);
 
 /// All passes in the canonical "all optimisations" order (dependencies:
 /// CSE exposes dead vars; init enables range narrowing; concatenation runs
@@ -56,9 +60,22 @@ PassReport run_pass(tsys::TransitionSystem& ts, Pass pass);
 std::vector<PassReport> run_passes(tsys::TransitionSystem& ts,
                                    const std::vector<Pass>& passes);
 
+/// run_passes plus the composed variable remapping, which callers holding
+/// external VarId references (the driver's symbol->var table, witnesses)
+/// need to stay consistent with the optimised system.
+struct OptResult {
+  std::vector<PassReport> reports;
+  /// Pre-optimisation VarId -> post-optimisation VarId (kNoVar removed).
+  std::vector<tsys::VarId> var_map;
+};
+OptResult run_passes_mapped(tsys::TransitionSystem& ts,
+                            const std::vector<Pass>& passes);
+
 /// Removes variables whose id is not marked in `keep`, remapping every
 /// reference. Asserts that removed variables are truly unreferenced.
-void remove_vars(tsys::TransitionSystem& ts, const std::vector<bool>& keep);
+/// Returns the old->new id map (kNoVar for removed variables).
+std::vector<tsys::VarId> remove_vars(tsys::TransitionSystem& ts,
+                                     const std::vector<bool>& keep);
 
 /// Renumbers locations densely (dropping unused ones) and updates
 /// initial/final/num_locs. Run after StatementConcat.
@@ -66,7 +83,10 @@ void compact_locations(tsys::TransitionSystem& ts);
 
 /// Deterministic concrete execution of the transition system: returns the
 /// sequence of decision events (origin block, successor index) until the
-/// final location or `max_steps`. Used by equivalence tests: every pass
+/// final location or `max_steps`. `inputs` holds one value per input
+/// variable, in VarId order (passes never remove or reorder inputs);
+/// non-input variables start at their pinned `init` or, when unpinned, at
+/// their C-semantic initial value. Used by equivalence tests: every pass
 /// must preserve this observable for all inputs.
 std::vector<std::pair<cfg::BlockId, std::uint32_t>> run_concrete(
     const tsys::TransitionSystem& ts, const std::vector<std::int64_t>& inputs,

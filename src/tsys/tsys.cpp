@@ -32,6 +32,10 @@ VarId TransitionSystem::add_var(std::string n, minic::Type type,
   v.type = type;
   v.lo = lo;
   v.hi = hi;
+  // Sane default for hand-built systems: the declared range is the whole
+  // domain (the translator overwrites it with the C declaration's range).
+  v.decl_lo = lo;
+  v.decl_hi = hi;
   vars.push_back(std::move(v));
   return vars.back().id;
 }

@@ -383,6 +383,96 @@ TEST(ParallelEngine, VerdictsStableAcrossManyWorkers) {
   }
 }
 
+// ------------------------------------------------- optimisation passes
+
+TEST(OptPipeline, PassesShrinkEncodingButKeepTheTimingModel) {
+  // The Table-2 acceptance claim, programmatically: same BCET/WCET table,
+  // strictly fewer state bits, no more transitions.
+  for (const testing::PaperExample& ex : testing::kPaperExamples) {
+    const Table2Report r = table2_compare({ex.source}, {}, PipelineOptions{});
+    ASSERT_TRUE(r.ok) << ex.name << ": " << r.error;
+    ASSERT_EQ(r.rows.size(), 1u) << ex.name;
+    const Table2Row& row = r.rows[0];
+    EXPECT_TRUE(row.model_identical) << ex.name;
+    EXPECT_LT(row.bits_opt, row.bits_plain) << ex.name;
+    EXPECT_LE(row.trans_opt, row.trans_plain) << ex.name;
+    EXPECT_LE(row.depth_opt, row.depth_plain) << ex.name;
+  }
+}
+
+TEST(OptPipeline, ReportsCarryPassRows) {
+  PipelineOptions opts;
+  opts.opt_passes = opt::all_passes();
+  const PipelineResult r = run_pipeline(testing::kFigure1Source, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const FunctionTiming& ft = r.functions[0];
+  ASSERT_EQ(ft.pass_reports.size(), 6u);
+  EXPECT_LT(ft.state_bits, ft.state_bits_before);
+  EXPECT_LT(ft.locations, ft.locations_before);
+  EXPECT_LE(ft.transitions, ft.transitions_before);
+  // The optimise stage is timed between translate and bmc.
+  ASSERT_EQ(ft.stages.size(), 5u);
+  EXPECT_EQ(ft.stages[3].name, "optimise");
+
+  std::ostringstream text;
+  render_report(r, opts, ReportFormat::Text, false, text);
+  EXPECT_NE(text.str().find("optimisation passes"), std::string::npos);
+  EXPECT_NE(text.str().find("statement-concat"), std::string::npos);
+
+  std::ostringstream csv;
+  render_report(r, opts, ReportFormat::Csv, false, csv);
+  EXPECT_NE(csv.str().find("function,pass,vars_before,"), std::string::npos);
+  EXPECT_NE(csv.str().find("fig1,reverse-cse,"), std::string::npos);
+
+  std::ostringstream json;
+  render_report(r, opts, ReportFormat::Json, false, json);
+  EXPECT_NE(json.str().find("\"passes\":["), std::string::npos);
+  EXPECT_NE(json.str().find("\"state_bits_before\":"), std::string::npos);
+}
+
+TEST(OptPipeline, OptimisedWitnessesStillValidate) {
+  // The replay cross-check must survive the variable remapping: feasible
+  // paths of the optimised system still yield inputs that drive the
+  // interpreter down the claimed path.
+  for (const testing::PaperExample& ex : testing::kPaperExamples) {
+    PipelineOptions opts;
+    opts.opt_passes = opt::all_passes();
+    const PipelineResult r = run_pipeline(ex.source, opts);
+    ASSERT_TRUE(r.ok) << ex.name << ": " << r.error;
+    for (const SegmentTiming& s : r.functions[0].segments)
+      EXPECT_EQ(s.mismatched, 0u) << ex.name << " segment " << s.id;
+  }
+}
+
+TEST(OptPipeline, OptimisedReportIdenticalAcrossJobCounts) {
+  PipelineOptions serial;
+  serial.jobs = 1;
+  serial.opt_passes = opt::all_passes();
+  PipelineOptions pool = serial;
+  pool.jobs = 4;
+  for (const ReportFormat fmt :
+       {ReportFormat::Text, ReportFormat::Csv, ReportFormat::Json}) {
+    EXPECT_EQ(full_report(testing::kExampleB4, serial, fmt),
+              full_report(testing::kExampleB4, pool, fmt));
+  }
+}
+
+TEST(Table2, BatchAggregatesAndNamesFailingFile) {
+  const Table2Report ok = table2_compare(
+      {testing::kExampleB1, testing::kExampleB2}, {"one.mc", "two.mc"},
+      PipelineOptions{});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  ASSERT_EQ(ok.rows.size(), 2u);
+  EXPECT_EQ(ok.rows[0].file, "one.mc");
+  EXPECT_TRUE(ok.all_identical());
+
+  const Table2Report bad = table2_compare(
+      {testing::kExampleB1, "void broken(void) { oops(); }"},
+      {"one.mc", "bad.mc"}, PipelineOptions{});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("bad.mc"), std::string::npos);
+}
+
 // ------------------------------------------------------- witness replay
 
 TEST(WitnessReplay, Figure1WitnessesDriveTheClaimedPaths) {
@@ -560,6 +650,47 @@ TEST(Cli, AcceptsMultipleInputFiles) {
   EXPECT_EQ(opts.inputs[2], "c.mc");
 }
 
+TEST(Cli, ParsesOptAndTable2) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"--opt", "a.mc"}, opts, error)) << error;
+  EXPECT_EQ(opts.pipeline.opt_passes, opt::all_passes());
+
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--opt=range-analysis,statement-concat", "a.mc"},
+                        opts, error))
+      << error;
+  ASSERT_EQ(opts.pipeline.opt_passes.size(), 2u);
+  EXPECT_EQ(opts.pipeline.opt_passes[0], opt::Pass::RangeAnalysis);
+  EXPECT_EQ(opts.pipeline.opt_passes[1], opt::Pass::StatementConcat);
+
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--opt=frobnicate", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("unknown pass"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--opt=", "a.mc"}, opts, error));
+  // Empty items anywhere in the list are errors, not silent drops.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--opt=reverse-cse,", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--opt=,reverse-cse", "a.mc"}, opts, error));
+
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--table2", "a.mc", "b.mc"}, opts, error)) << error;
+  EXPECT_TRUE(opts.table2);
+
+  // --table2 is a bare flag and conflicts with the other modes.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--table2=3", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("takes no value"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--table2", "--table1", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--table2", "--dot", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--bench", "--table2", "a.mc"}, opts, error));
+}
+
 TEST(Cli, RejectsUnknownOption) {
   CliOptions opts;
   std::string error;
@@ -661,6 +792,32 @@ TEST_F(CliFileTest, DotAndSalDumps) {
   EXPECT_NE(out_.str().find("MODULE"), std::string::npos);
 }
 
+TEST_F(CliFileTest, OptModeShowsPassTable) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({"--opt"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("optimisation passes"), std::string::npos);
+  EXPECT_NE(out_.str().find("segment timing model"), std::string::npos);
+}
+
+TEST_F(CliFileTest, Table2ModeComparesBeforeAfter) {
+  write_file(testing::kFigure1Source);
+  EXPECT_EQ(run({"--table2"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("Table 2"), std::string::npos);
+  EXPECT_NE(out_.str().find("identical"), std::string::npos);
+  EXPECT_EQ(run({"--table2", "--format=json"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("\"table2\":{"), std::string::npos);
+  EXPECT_NE(out_.str().find("\"all_identical\":true"), std::string::npos);
+}
+
+TEST_F(CliFileTest, OptimisedSalDumpIsSmaller) {
+  write_file(testing::kExampleB1);
+  EXPECT_EQ(run({"--sal"}), 0) << err_.str();
+  const std::string plain = out_.str();
+  EXPECT_EQ(run({"--sal", "--opt"}), 0) << err_.str();
+  EXPECT_LT(out_.str().size(), plain.size());
+  EXPECT_NE(out_.str().find("MODULE"), std::string::npos);
+}
+
 class CliBatchTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -739,7 +896,9 @@ TEST_F(CliBatchTest, BenchEmitsJsonPerfReport) {
   EXPECT_NE(json.find("\"workers\":2"), std::string::npos);
   EXPECT_NE(json.find("\"serial_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"parallel_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"optimised_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"speedup\":"), std::string::npos);
+  EXPECT_NE(json.find("\"opt_speedup\":"), std::string::npos);
   EXPECT_NE(json.find("\"jobs_per_second\":"), std::string::npos);
   EXPECT_NE(json.find("\"workers_used\":"), std::string::npos);
   EXPECT_NE(json.find("\"aggregate\":{"), std::string::npos);

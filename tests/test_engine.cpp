@@ -185,8 +185,33 @@ TEST(BenchReport, EmptyParallelSecondsYieldZeroNotInf) {
   BenchFile f;
   EXPECT_DOUBLE_EQ(f.speedup(), 0.0);
   EXPECT_DOUBLE_EQ(f.jobs_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(f.opt_speedup(), 0.0);
   BenchReport r;
   EXPECT_DOUBLE_EQ(r.speedup(), 0.0);
+  EXPECT_DOUBLE_EQ(r.opt_speedup(), 0.0);
+}
+
+TEST(BenchReport, OptimisedRunTracksItsOwnSpeedup) {
+  BenchFile f;
+  f.parallel_seconds = 0.3;
+  f.optimised_seconds = 0.1;
+  EXPECT_DOUBLE_EQ(f.opt_speedup(), 3.0);
+
+  BenchReport r;
+  r.files.push_back(f);
+  BenchFile g;
+  g.parallel_seconds = 0.1;
+  g.optimised_seconds = 0.1;
+  r.files.push_back(g);
+  EXPECT_DOUBLE_EQ(r.total_optimised_seconds(), 0.2);
+  EXPECT_DOUBLE_EQ(r.opt_speedup(), 2.0);
+
+  std::ostringstream os;
+  r.render_json(os);
+  EXPECT_NE(os.str().find("\"optimised_seconds\":0.100000"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("\"opt_speedup\":3.000000"), std::string::npos);
+  EXPECT_NE(os.str().find("\"opt_speedup\":2.000000"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,471 @@
+#include <gtest/gtest.h>
+
+#include "cfg/structure.h"
+#include "mc/explicit.h"
+#include "minic/frontend.h"
+#include "opt/passes.h"
+#include "paper_examples.h"
+#include "support/rng.h"
+#include "tsys/translate.h"
+
+namespace tmg::opt {
+namespace {
+
+using tsys::TransitionSystem;
+using tsys::VarInfo;
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<tsys::TranslationResult> tr;
+};
+
+Built build(const char* src, bool pessimistic = false) {
+  Built b;
+  b.program = minic::compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  DiagnosticEngine diags;
+  tsys::TranslateOptions topts;
+  topts.pessimistic_widths = pessimistic;
+  b.tr = tsys::translate(*b.program, *b.f, diags, topts);
+  EXPECT_TRUE(b.tr != nullptr) << diags.str();
+  return b;
+}
+
+/// Shrinks every free variable's domain to a small window so explicit
+/// exploration stays tractable. Applied identically to the baseline and
+/// the to-be-optimised system BEFORE any pass runs, so the comparison is
+/// between equal starting points.
+void restrict_domains(TransitionSystem& ts, std::int64_t span = 2) {
+  for (VarInfo& v : ts.vars) {
+    if (!v.is_input && v.has_init) continue;
+    if (v.hi - v.lo <= 8) continue;  // already small (e.g. __input(0,3))
+    v.lo = std::max(v.lo, -span);
+    v.hi = std::min(v.hi, span);
+  }
+}
+
+/// Deterministic input vectors: the whole input cross-product when it is
+/// small, otherwise corners plus seeded random draws.
+std::vector<std::vector<std::int64_t>> sample_inputs(
+    const TransitionSystem& ts) {
+  std::vector<const VarInfo*> inputs;
+  for (const VarInfo& v : ts.vars)
+    if (v.is_input) inputs.push_back(&v);
+
+  std::uint64_t product = 1;
+  for (const VarInfo* v : inputs) {
+    const std::uint64_t card = static_cast<std::uint64_t>(v->hi - v->lo + 1);
+    product = product > 512 / std::max<std::uint64_t>(card, 1)
+                  ? 513
+                  : product * card;
+  }
+
+  std::vector<std::vector<std::int64_t>> out;
+  if (inputs.empty()) {
+    out.push_back({});
+    return out;
+  }
+  if (product <= 512) {  // exhaustive odometer
+    std::vector<std::int64_t> cursor;
+    for (const VarInfo* v : inputs) cursor.push_back(v->lo);
+    for (;;) {
+      out.push_back(cursor);
+      std::size_t i = 0;
+      for (; i < inputs.size(); ++i) {
+        if (++cursor[i] <= inputs[i]->hi) break;
+        cursor[i] = inputs[i]->lo;
+      }
+      if (i == inputs.size()) break;
+    }
+    return out;
+  }
+  Rng rng(0xc0ffee);
+  for (int k = 0; k < 32; ++k) {
+    std::vector<std::int64_t> vec;
+    for (const VarInfo* v : inputs) vec.push_back(rng.range(v->lo, v->hi));
+    out.push_back(std::move(vec));
+  }
+  for (const auto pick : {0, 1}) {
+    std::vector<std::int64_t> vec;
+    for (const VarInfo* v : inputs) vec.push_back(pick == 0 ? v->lo : v->hi);
+    out.push_back(std::move(vec));
+  }
+  return out;
+}
+
+/// The core contract of every pass (and of the whole chain): identical
+/// goal reachability under explicit exploration, identical decision traces
+/// on every sampled input, and never-increasing encoding metrics.
+void expect_equivalent(const char* name, const char* src,
+                       const std::vector<Pass>& passes,
+                       bool pessimistic = false) {
+  SCOPED_TRACE(name);
+  Built base = build(src, pessimistic);
+  Built optim = build(src, pessimistic);
+  restrict_domains(base.tr->ts);
+  restrict_domains(optim.tr->ts);
+
+  const std::vector<PassReport> reports =
+      run_passes(optim.tr->ts, passes);
+  for (const PassReport& r : reports) {
+    SCOPED_TRACE(pass_name(r.pass));
+    EXPECT_LE(r.vars_after, r.vars_before);
+    EXPECT_LE(r.data_bits_after, r.data_bits_before);
+    EXPECT_LE(r.transitions_after, r.transitions_before);
+  }
+  EXPECT_LE(optim.tr->ts.state_bits(), base.tr->ts.state_bits());
+  EXPECT_LE(optim.tr->ts.transitions.size(),
+            base.tr->ts.transitions.size());
+
+  const mc::ExploreResult ra = mc::explore(base.tr->ts, base.tr->ts.final);
+  const mc::ExploreResult rb =
+      mc::explore(optim.tr->ts, optim.tr->ts.final);
+  ASSERT_TRUE(ra.complete);
+  ASSERT_TRUE(rb.complete);
+  EXPECT_EQ(ra.goal_reached, rb.goal_reached);
+  EXPECT_LE(rb.initial_states, ra.initial_states);
+
+  for (const std::vector<std::int64_t>& inputs :
+       sample_inputs(base.tr->ts)) {
+    const auto ta = run_concrete(base.tr->ts, inputs);
+    const auto tb = run_concrete(optim.tr->ts, inputs);
+    ASSERT_EQ(ta, tb) << "diverging decision trace";
+  }
+}
+
+const Pass kAllSix[] = {Pass::ReverseCse,      Pass::LiveVariables,
+                        Pass::StatementConcat, Pass::RangeAnalysis,
+                        Pass::VariableInit,    Pass::DeadVariableElim};
+
+// --------------------------------------------- pass-equivalence suite
+
+class PassEquivalence
+    : public ::testing::TestWithParam<testing::PaperExample> {};
+
+TEST_P(PassEquivalence, EachPassAlonePreservesBehaviour) {
+  for (const Pass p : kAllSix)
+    expect_equivalent(pass_name(p).c_str(), GetParam().source, {p});
+}
+
+TEST_P(PassEquivalence, FullChainPreservesBehaviour) {
+  expect_equivalent("all-passes", GetParam().source, all_passes());
+}
+
+TEST_P(PassEquivalence, FullChainUnderPessimisticWidths) {
+  expect_equivalent("all-passes-pessimistic", GetParam().source,
+                    all_passes(), /*pessimistic=*/true);
+}
+
+TEST_P(PassEquivalence, FullChainStrictlyShrinksTheEncoding) {
+  // The Table-2 claim: on every paper example, the six passes produce
+  // strictly fewer state bits and no more transitions (unrestricted
+  // domains, exactly what the driver runs).
+  Built base = build(GetParam().source);
+  Built optim = build(GetParam().source);
+  run_passes(optim.tr->ts, all_passes());
+  EXPECT_LT(optim.tr->ts.state_bits(), base.tr->ts.state_bits());
+  EXPECT_LE(optim.tr->ts.transitions.size(),
+            base.tr->ts.transitions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, PassEquivalence,
+    ::testing::ValuesIn(testing::kPaperExamples),
+    [](const ::testing::TestParamInfo<testing::PaperExample>& info) {
+      return std::string(info.param.name);
+    });
+
+// ------------------------------------------------- pass-specific facts
+
+TEST(ReverseCse, InlinesTemporaryIntoGuard) {
+  // The paper's reverse-CSE shape: a code-generator temporary holding a
+  // condition, tested right after. The substitution makes `t` unread, so
+  // DeadVariableElim can drop it afterwards.
+  Built b = build("void f(int x) { int t = x > 5; if (t) { x = 0; } }");
+  const PassReport r = run_pass(b.tr->ts, Pass::ReverseCse);
+  EXPECT_GT(r.details, 0u);
+  // the guard now reads x directly
+  bool guard_reads_x = false;
+  for (const auto& t : b.tr->ts.transitions)
+    if (t.guard && t.is_decision())
+      for (const VarInfo& v : b.tr->ts.vars)
+        if (v.name == "x" && t.guard->references(v.id)) guard_reads_x = true;
+  EXPECT_TRUE(guard_reads_x);
+
+  const PassReport dead = run_pass(b.tr->ts, Pass::DeadVariableElim);
+  EXPECT_LT(dead.vars_after, dead.vars_before);
+  for (const VarInfo& v : b.tr->ts.vars) EXPECT_NE(v.name, "t");
+}
+
+TEST(LiveVariables, DropsNeverReadVariable) {
+  Built b = build("int unused; void f(int x) { if (x > 0) { x = 1; } }");
+  const PassReport r = run_pass(b.tr->ts, Pass::LiveVariables);
+  EXPECT_LT(r.vars_after, r.vars_before);
+  for (const VarInfo& v : b.tr->ts.vars) EXPECT_NE(v.name, "unused");
+}
+
+TEST(LiveVariables, KeepsUnusedInputs) {
+  // Inputs are the test-data interface: even an unread parameter stays.
+  Built b = build("void f(int unused_param) { int y; y = 1; }");
+  run_pass(b.tr->ts, Pass::LiveVariables);
+  bool found = false;
+  for (const VarInfo& v : b.tr->ts.vars)
+    found |= v.name == "unused_param";
+  EXPECT_TRUE(found);
+}
+
+TEST(LiveVariables, SharesSlotsOfDisjointLifetimes) {
+  // `a` is dead once `s1` is computed and `b2` only lives afterwards:
+  // one slot suffices for both.
+  Built b = build(
+      "void f(int x) {"
+      "  int a = x + 1; int s1 = a * 2;"
+      "  int b2 = x + 2; int s2 = b2 * 2;"
+      "  if (s1 + s2 > 0) { x = 0; }"
+      "}");
+  const std::size_t before = b.tr->ts.vars.size();
+  const PassReport r = run_pass(b.tr->ts, Pass::LiveVariables);
+  EXPECT_GT(r.details, 0u);
+  EXPECT_LT(b.tr->ts.vars.size(), before);
+}
+
+TEST(StatementConcat, CollapsesStraightLineChain) {
+  // b1 is a pure statement chain: one transition from initial to final.
+  Built b = build(testing::kExampleB1);
+  const PassReport r = run_pass(b.tr->ts, Pass::StatementConcat);
+  EXPECT_GT(r.details, 0u);
+  EXPECT_EQ(b.tr->ts.transitions.size(), 1u);
+  EXPECT_EQ(b.tr->ts.num_locs, 2u);
+  EXPECT_EQ(b.tr->ts.transitions[0].from, b.tr->ts.initial);
+  EXPECT_EQ(b.tr->ts.transitions[0].to, b.tr->ts.final);
+}
+
+TEST(StatementConcat, PreservesDecisionOrigins) {
+  Built b = build(testing::kFigure1Source);
+  std::size_t decisions_before = 0;
+  for (const auto& t : b.tr->ts.transitions)
+    decisions_before += t.is_decision() ? 1 : 0;
+  run_pass(b.tr->ts, Pass::StatementConcat);
+  std::size_t decisions_after = 0;
+  for (const auto& t : b.tr->ts.transitions)
+    decisions_after += t.is_decision() ? 1 : 0;
+  // Every decision edge keeps its (origin block, successor) identity so
+  // forced-choice BMC queries still apply.
+  EXPECT_EQ(decisions_before, decisions_after);
+}
+
+TEST(RangeAnalysis, ClampsPessimisticWidthsToDeclaredRange) {
+  // "1 bit vs 16 bits for boolean expressions": a bool flag widened by the
+  // paper's 16-bit default narrows back to its declared [0, 1].
+  Built b = build(
+      "void f(int x) { bool flag; flag = x > 0; if (flag) { x = 0; } }",
+      /*pessimistic=*/true);
+  int before = 0;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "flag") before = v.bits();
+  EXPECT_EQ(before, 16);
+  const PassReport r = run_pass(b.tr->ts, Pass::RangeAnalysis);
+  EXPECT_GT(r.details, 0u);
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "flag") {
+      EXPECT_EQ(v.bits(), 1);
+    }
+}
+
+TEST(RangeAnalysis, NarrowsInitialisedAccumulatorAfterInit) {
+  // mode in {0..4} once its uninitialised entry value is pinned.
+  Built b = build(
+      "void f(int x) {"
+      "  int mode = 0;"
+      "  if (x > 0) { mode = 3; } else { mode = 2; }"
+      "  mode = mode + 1;"
+      "  if (mode > 2) { x = 0; }"
+      "}");
+  run_pass(b.tr->ts, Pass::VariableInit);
+  const PassReport r = run_pass(b.tr->ts, Pass::RangeAnalysis);
+  EXPECT_GT(r.details, 0u);
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "mode") {
+      EXPECT_GE(v.lo, 0);
+      EXPECT_LE(v.hi, 4);
+      EXPECT_LE(v.bits(), 3);
+    }
+}
+
+TEST(VariableInit, PinsWriteBeforeReadVariables) {
+  Built b = build("void f(int x) { int y = 7; if (y > x) { x = 0; } }");
+  const PassReport r = run_pass(b.tr->ts, Pass::VariableInit);
+  EXPECT_GT(r.details, 0u);
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "y") {
+      EXPECT_TRUE(v.has_init);
+      EXPECT_EQ(v.init, 0);  // C-semantic local initial value
+    }
+}
+
+TEST(VariableInit, SkipsReadBeforeWriteVariables) {
+  // `u` is read uninitialised: its free value is observable, pinning it
+  // would change the model checker's choices.
+  Built b = build("void f(int x) { int u; if (u > 0) { x = 1; } u = 2; }");
+  run_pass(b.tr->ts, Pass::VariableInit);
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "u") {
+      EXPECT_FALSE(v.has_init);
+    }
+}
+
+TEST(DeadVariableElim, RemovesTransitiveDeadChains) {
+  // `a` feeds only `c`, `c` feeds nothing control-flow-relevant: both go,
+  // and their updates with them.
+  Built b = build(
+      "void f(int x) {"
+      "  int a = x * 2; int c = a + 1; c = c + a;"
+      "  if (x > 0) { x = 0; }"
+      "}");
+  const PassReport r = run_pass(b.tr->ts, Pass::DeadVariableElim);
+  EXPECT_LT(r.vars_after, r.vars_before);
+  for (const VarInfo& v : b.tr->ts.vars) {
+    EXPECT_NE(v.name, "a");
+    EXPECT_NE(v.name, "c");
+  }
+  // Only the guard-relevant x keeps updates; a's and c's are all dropped.
+  for (const auto& t : b.tr->ts.transitions)
+    for (const auto& u : t.updates)
+      EXPECT_EQ(b.tr->ts.vars[u.var].name, "x");
+}
+
+TEST(DeadVariableElim, KeepsGuardFeedingChain) {
+  Built b = build(
+      "void f(int x) { int a = x + 1; int g = a * 2; if (g > 0) { x = 0; } }");
+  const PassReport r = run_pass(b.tr->ts, Pass::DeadVariableElim);
+  EXPECT_EQ(r.vars_after, r.vars_before);  // x, a, g all feed the guard
+}
+
+// ------------------------------------------------------- infrastructure
+
+TEST(RemoveVars, RemapsReferencesAndReturnsMap) {
+  TransitionSystem ts;
+  ts.num_locs = 2;
+  ts.initial = 0;
+  ts.final = 1;
+  const auto a = ts.add_var("a", minic::Type::Int16, -10, 10);
+  const auto b = ts.add_var("b", minic::Type::Int16, -10, 10);
+  const auto c = ts.add_var("c", minic::Type::Int16, -10, 10);
+  tsys::Transition t;
+  t.from = 0;
+  t.to = 1;
+  t.updates.push_back({c, tsys::t_var(c, minic::Type::Int16)});
+  ts.transitions.push_back(std::move(t));
+
+  std::vector<bool> keep(3, true);
+  keep[b] = false;  // b unreferenced
+  const std::vector<tsys::VarId> map = remove_vars(ts, keep);
+  EXPECT_EQ(map[a], 0u);
+  EXPECT_EQ(map[b], tsys::kNoVar);
+  EXPECT_EQ(map[c], 1u);
+  ASSERT_EQ(ts.vars.size(), 2u);
+  EXPECT_EQ(ts.vars[1].name, "c");
+  EXPECT_EQ(ts.vars[1].id, 1u);
+  EXPECT_EQ(ts.transitions[0].updates[0].var, 1u);
+}
+
+TEST(RunPassesMapped, InputVariablesSurviveWithConsistentIds) {
+  Built b = build(testing::kExampleB4);
+  std::vector<std::string> input_names;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.is_input) input_names.push_back(v.name);
+  const OptResult r = run_passes_mapped(b.tr->ts, all_passes());
+  ASSERT_EQ(r.var_map.size(), r.reports.front().vars_before);
+  std::vector<std::string> mapped;
+  for (std::size_t old = 0; old < r.var_map.size(); ++old) {
+    if (r.var_map[old] == tsys::kNoVar) continue;
+    const VarInfo& nv = b.tr->ts.vars[r.var_map[old]];
+    if (nv.is_input) mapped.push_back(nv.name);
+  }
+  EXPECT_EQ(mapped, input_names);
+}
+
+TEST(RunConcrete, FollowsGuardsDeterministically) {
+  Built b = build(testing::kExampleB2);
+  // level < 10 -> first decision true; >= 100 -> both false.
+  const auto low = run_concrete(b.tr->ts, {5});
+  const auto high = run_concrete(b.tr->ts, {500});
+  ASSERT_GE(low.size(), 1u);
+  ASSERT_GE(high.size(), 2u);
+  EXPECT_NE(low, high);
+  // Determinism: same inputs, same trace.
+  EXPECT_EQ(run_concrete(b.tr->ts, {5}), low);
+}
+
+// ----------------------------------- mc::explore regression tests
+
+/// A minimal hand-built closed system: initial --> final, one pinned var.
+TransitionSystem tiny_system() {
+  TransitionSystem ts;
+  ts.name = "tiny";
+  ts.num_locs = 2;
+  ts.initial = 0;
+  ts.final = 1;
+  const auto v = ts.add_var("v", minic::Type::Int16, 0, 0);
+  ts.vars[v].has_init = true;
+  ts.vars[v].init = 0;
+  tsys::Transition t;
+  t.from = 0;
+  t.to = 1;
+  ts.transitions.push_back(std::move(t));
+  return ts;
+}
+
+TEST(ExploreRegression, FullRangeInputVarDoesNotDivideByZero) {
+  // A free variable spanning the whole 64-bit domain wraps the interval
+  // cardinality to 0; the guard used to divide by it. It must saturate
+  // and refuse instead.
+  TransitionSystem ts = tiny_system();
+  const auto v = ts.add_var("huge", minic::Type::Int32, INT64_MIN, INT64_MAX);
+  ts.vars[v].is_input = true;
+  const mc::ExploreResult r = mc::explore(ts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.initial_states, UINT64_MAX);
+  EXPECT_EQ(r.states, 0u);
+}
+
+TEST(ExploreRegression, ExactStateLimitStillCompletes) {
+  // Reachable set {(initial, v=0), (final, v=0)}: with max_states == 2
+  // the fixpoint IS reached; re-deriving an already-seen successor must
+  // not flag the run incomplete.
+  TransitionSystem ts = tiny_system();
+  // second transition re-reaching final: the frontier only contains seen
+  // states when the limit check fires
+  tsys::Transition t2;
+  t2.from = 0;
+  t2.to = 1;
+  ts.transitions.push_back(std::move(t2));
+  mc::ExploreOptions opts;
+  opts.max_states = 2;
+  const mc::ExploreResult r = mc::explore(ts, std::nullopt, opts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.states, 2u);
+
+  // One below the true count must still report incomplete.
+  opts.max_states = 1;
+  const mc::ExploreResult r2 = mc::explore(ts, std::nullopt, opts);
+  EXPECT_FALSE(r2.complete);
+}
+
+TEST(ExploreRegression, SelfLoopAtLimitIsComplete) {
+  TransitionSystem ts = tiny_system();
+  tsys::Transition loop;
+  loop.from = 0;
+  loop.to = 0;
+  ts.transitions.push_back(std::move(loop));
+  mc::ExploreOptions opts;
+  opts.max_states = 2;
+  const mc::ExploreResult r = mc::explore(ts, std::nullopt, opts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.states, 2u);
+}
+
+}  // namespace
+}  // namespace tmg::opt
