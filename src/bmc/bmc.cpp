@@ -163,6 +163,87 @@ int loc_bits(const TransitionSystem& ts) {
   return bits;
 }
 
+/// Witness minimisation (BmcOptions::minimize_witness): greedily pins
+/// every free variable, in VarId order, to its preferred value — 0 when
+/// the domain contains it, else the smallest feasible value found by
+/// binary search — re-solving under assumption pins so earlier choices
+/// constrain later ones. `model` holds the current SAT model's step-0
+/// values and is updated in place; on conflict-budget exhaustion the
+/// (still valid, prefix-minimised) current model is kept.
+void minimize_witness(sat::Solver& solver, BitBlaster& bb,
+                      const TransitionSystem& ts,
+                      const std::vector<BitVec>& frame0,
+                      const BmcOptions& opts,
+                      std::vector<std::int64_t>& model) {
+  std::vector<Lit> pins;
+  const auto snapshot = [&] {
+    for (std::size_t v = 0; v < ts.vars.size(); ++v)
+      model[v] = bb.decode(frame0[v]);
+  };
+
+  for (std::size_t v = 0; v < ts.vars.size(); ++v) {
+    const VarInfo& vi = ts.vars[v];
+    if (!vi.is_input && vi.has_init) continue;  // constant, nothing to pin
+    const int w = vi.bits();
+    const bool sg = vi.is_signed_encoding();
+    const auto pin_eq = [&](std::int64_t value) {
+      return bb.eq(frame0[v], bb.constant(value, w, sg));
+    };
+
+    const std::int64_t dom_lo = vi.init_lo();
+    const std::int64_t dom_hi = vi.init_hi();
+    const std::int64_t anchor = (dom_lo <= 0 && dom_hi >= 0) ? 0 : dom_lo;
+    if (model[v] == anchor) {
+      pins.push_back(pin_eq(anchor));
+      continue;
+    }
+
+    pins.push_back(pin_eq(anchor));
+    const sat::Result ra = solver.solve(pins, opts.conflict_budget);
+    if (ra == sat::Result::Sat) {
+      snapshot();
+      continue;
+    }
+    pins.pop_back();
+    if (ra == sat::Result::Unknown) return;  // budget: keep current model
+
+    // The anchor is infeasible under the earlier pins; find the smallest
+    // feasible value. Invariant: some feasible value lies in [lo, hi]
+    // (the current model's value does).
+    std::int64_t lo = dom_lo;
+    std::int64_t hi = model[v];
+    while (lo < hi) {
+      // Unsigned midpoint: `hi - lo` would overflow signed arithmetic on
+      // a full-int64 domain (same defence as mc::explore's cardinality).
+      const std::int64_t mid = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(lo) +
+          (static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo)) /
+              2);
+      pins.push_back(bb.le(frame0[v], bb.constant(mid, w, sg)));
+      const sat::Result rm = solver.solve(pins, opts.conflict_budget);
+      pins.pop_back();
+      if (rm == sat::Result::Sat) {
+        snapshot();
+        hi = model[v];  // the fresh model is feasible and <= mid
+      } else if (rm == sat::Result::Unsat) {
+        lo = mid + 1;
+      } else {
+        return;  // budget: keep current model
+      }
+    }
+    if (lo != model[v]) {
+      pins.push_back(pin_eq(lo));
+      if (solver.solve(pins, opts.conflict_budget) != sat::Result::Sat) {
+        pins.pop_back();  // cannot happen semantically; stay safe
+        return;
+      }
+      snapshot();
+    } else {
+      pins.push_back(pin_eq(lo));
+    }
+  }
+}
+
 }  // namespace
 
 BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
@@ -190,9 +271,11 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
       continue;
     }
     BitVec x = bb.fresh(w, sg);
-    // constrain to the declared range (encoding may admit more values)
-    const BitVec lo = bb.constant(v.lo, w, sg);
-    const BitVec hi = bb.constant(v.hi, w, sg);
+    // Constrain the free initial value to the declared domain (the
+    // encoding may admit more values — it must cover later stores too,
+    // but test data and uninitialised state start inside the domain).
+    const BitVec lo = bb.constant(v.init_lo(), w, sg);
+    const BitVec hi = bb.constant(v.init_hi(), w, sg);
     solver.add_clause(bb.le(lo, x));
     solver.add_clause(bb.le(x, hi));
     frame.push_back(std::move(x));
@@ -269,9 +352,14 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
     result.status = BmcStatus::Infeasible;
   } else {
     result.status = BmcStatus::TestData;
-    result.initial_values.reserve(ts.vars.size());
+    result.initial_values.resize(ts.vars.size());
     for (std::size_t v = 0; v < ts.vars.size(); ++v)
-      result.initial_values.push_back(bb.decode(frame0[v]));
+      result.initial_values[v] = bb.decode(frame0[v]);
+    // Stabilise the test datum: CNF statistics were captured above, so
+    // the minimisation's extra comparison circuits and solver calls do
+    // not perturb the reported solver memory proxy.
+    if (opts.minimize_witness)
+      minimize_witness(solver, bb, ts, frame0, opts, result.initial_values);
     // steps: replay the model's pc trace would need per-step storage; we
     // recover it by re-walking the system concretely in the caller if
     // needed. Here we count transitions by executing the deterministic

@@ -16,6 +16,9 @@
 // TransitionSystem instances OR one shared read-only instance both work.
 // Determinism: the same (ts, query, opts) always yields the same status,
 // witness (`initial_values`), steps and CNF sizes; only `seconds` varies.
+// With the default witness minimisation the witness is stronger than
+// deterministic: it is the unique preference-minimal model, independent
+// even of the solver's search heuristics (see BmcOptions).
 #pragma once
 
 #include <optional>
@@ -33,6 +36,14 @@ struct BmcOptions {
   std::uint32_t max_steps = 0;
   /// Conflict budget handed to the SAT solver; -1 = unlimited.
   std::int64_t conflict_budget = -1;
+  /// Post-pass on SAT witnesses: per free variable (VarId order), prefer
+  /// 0 when the domain contains it, otherwise the smallest feasible value
+  /// (domain-lower-bound direction, found by binary search under the pins
+  /// of earlier variables). The result is the unique minimal model under
+  /// that preference order — a pure function of the *semantics* of
+  /// (ts, query), stable across SAT-solver heuristic changes — so
+  /// generated test data survives solver upgrades byte-identically.
+  bool minimize_witness = true;
 };
 
 /// What to search for.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cfg/structure.h"
+#include "driver/shard.h"
 #include "engine/bench.h"
 #include "engine/scheduler.h"
 #include "minic/frontend.h"
@@ -62,6 +63,12 @@ std::string cli_usage() {
       "  --format=FMT          text | csv | json (default text)\n"
       "  --jobs=N              analysis worker threads (default: hardware\n"
       "                        concurrency); output is identical for any N\n"
+      "  --shards=N            split the input files over N worker\n"
+      "                        processes (memory isolation; each shard runs\n"
+      "                        its own --jobs pool); reports and --table2\n"
+      "                        are identical for any N; --bench aggregates\n"
+      "                        across shards (run sequentially, so timings\n"
+      "                        stay uncontended)\n"
       "  --bench[=R]           benchmark mode: run every input R times\n"
       "                        serially and R times on the pool (default 3),\n"
       "                        emit the JSON perf report and exit\n"
@@ -142,6 +149,13 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         return false;
       }
       out.pipeline.jobs = static_cast<unsigned>(v);
+    } else if (name == "--shards") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 256) {
+        error = "--shards expects a positive integer (max 256)";
+        return false;
+      }
+      out.shards = static_cast<unsigned>(v);
     } else if (name == "--bench") {
       out.bench_repeats = 3;
       std::uint64_t v = 0;
@@ -248,6 +262,13 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     error = "--table1/--dot/--sal take exactly one input file";
     return false;
   }
+  // Sharding splits the file list; the single-input dump/summary modes
+  // have nothing to split.
+  if (out.shards > 1 &&
+      (out.table1_max_bound > 0 || out.dump_dot || out.dump_sal)) {
+    error = "--shards cannot be combined with --table1/--dot/--sal";
+    return false;
+  }
   return true;
 }
 
@@ -328,21 +349,24 @@ std::vector<engine::BenchStage> bench_stages(const PipelineResult& r) {
   return out;
 }
 
-/// Benchmark mode: every input R times with one worker, R times with the
-/// configured pool, and R times on the pool with the Section 3.2 passes;
-/// best-of wall clocks feed the JSON report (unoptimised vs optimised is
-/// the Table-2 speedup tracked per commit).
-int run_bench(const CliOptions& opts,
-              const std::vector<std::string>& sources, std::ostream& out,
-              std::ostream& err) {
-  engine::BenchReport report;
-  report.repeats = opts.bench_repeats;
-  report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
+}  // namespace
 
+/// Benchmark measurement: every input R times with one worker, R times
+/// with the configured pool, R times on the pool with the Section 3.2
+/// passes, then the whole set R times on one global job frontier; best-of
+/// wall clocks feed the JSON report (unoptimised vs optimised is the
+/// Table-2 speedup tracked per commit, per-file pool sum vs frontier is
+/// the batch overlap win).
+bool bench_files(const CliOptions& opts,
+                 const std::vector<std::string>& paths,
+                 const std::vector<std::string>& sources,
+                 std::vector<engine::BenchFile>& files,
+                 double& batch_seconds, std::string& error,
+                 std::size_t& error_index) {
   enum class Mode { Serial, Pool, Optimised };
-  for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
+  for (std::size_t i = 0; i < paths.size(); ++i) {
     engine::BenchFile file;
-    file.path = opts.inputs[i];
+    file.path = paths[i];
 
     for (const Mode mode : {Mode::Serial, Mode::Pool, Mode::Optimised}) {
       PipelineOptions popts = opts.pipeline;
@@ -359,8 +383,9 @@ int run_bench(const CliOptions& opts,
         const PipelineResult r = pipeline.run(sources[i]);
         const double wall = engine::monotonic_seconds() - t0;
         if (!r.ok) {
-          err << opts.inputs[i] << ": " << r.error;
-          return 2;
+          error = paths[i] + ": " + r.error;
+          error_index = i;
+          return false;
         }
         // Stage breakdown tracks the best run, so it stays consistent
         // with the headline parallel_seconds it accompanies.
@@ -379,7 +404,44 @@ int run_bench(const CliOptions& opts,
         case Mode::Optimised: file.optimised_seconds = best; break;
       }
     }
-    report.files.push_back(std::move(file));
+    files.push_back(std::move(file));
+  }
+
+  // Frontier mode: all files on one shared pool, frontends overlapping
+  // BMC — the wall the per-file pool sum is compared against.
+  PipelineOptions popts = opts.pipeline;
+  popts.opt_passes.clear();
+  batch_seconds = 0.0;
+  for (unsigned rep = 0; rep < opts.bench_repeats; ++rep) {
+    const double t0 = engine::monotonic_seconds();
+    const BatchResult r = run_batch(sources, paths, popts);
+    const double wall = engine::monotonic_seconds() - t0;
+    if (!r.ok) {
+      error = r.error;
+      error_index = r.error_index;
+      return false;
+    }
+    if (rep == 0 || wall < batch_seconds) batch_seconds = wall;
+  }
+  return true;
+}
+
+namespace {
+
+/// Benchmark mode: measure (bench_files) and render the JSON report.
+int run_bench(const CliOptions& opts,
+              const std::vector<std::string>& sources, std::ostream& out,
+              std::ostream& err) {
+  engine::BenchReport report;
+  report.repeats = opts.bench_repeats;
+  report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
+
+  std::string error;
+  std::size_t error_index = 0;
+  if (!bench_files(opts, opts.inputs, sources, report.files,
+                   report.batch_seconds, error, error_index)) {
+    err << error;
+    return 2;
   }
 
   report.render_json(out);
@@ -407,6 +469,16 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   std::vector<std::string> sources(opts.inputs.size());
   for (std::size_t i = 0; i < opts.inputs.size(); ++i)
     if (!read_file(opts.inputs[i], sources[i], err)) return 2;
+
+  // Process-level sharding: fork one worker process per shard, each
+  // running its own job frontier over a slice of the file list; the
+  // parent merges the streamed JSON results. Output is byte-identical to
+  // the in-process run. A single input has nothing to split.
+  if (opts.shards > 1 && opts.inputs.size() > 1) {
+    const int rc = run_sharded(opts, sources, out, err);
+    if (rc >= 0) return rc;
+    // rc < 0: sharding unavailable on this platform; run in process.
+  }
 
   // parse_cli guarantees exactly one input for the dump/summary modes.
   if (opts.dump_dot || opts.dump_sal)
@@ -449,21 +521,15 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
 
-  // Batch mode: analyse every file, then render per-file + aggregate.
-  std::vector<BatchEntry> batch;
-  batch.reserve(opts.inputs.size());
-  for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
-    BatchEntry entry;
-    entry.path = opts.inputs[i];
-    entry.result = pipeline.run(sources[i]);
-    if (!entry.result.ok) {
-      err << opts.inputs[i] << ": " << entry.result.error;
-      return 2;
-    }
-    batch.push_back(std::move(entry));
+  // Batch mode: one global job frontier spanning every file (frontends
+  // overlap BMC), then render per-file + aggregate in input order.
+  BatchResult batch = run_batch(sources, opts.inputs, opts.pipeline);
+  if (!batch.ok) {
+    err << batch.error;
+    return 2;
   }
-  render_batch_report(batch, opts.pipeline, opts.format, opts.with_stages,
-                      out);
+  render_batch_report(batch.files, opts.pipeline, opts.format,
+                      opts.with_stages, out);
   return 0;
 }
 

@@ -8,6 +8,7 @@
 
 #include "driver/pipeline.h"
 #include "driver/report.h"
+#include "engine/bench.h"
 
 namespace tmg::driver {
 
@@ -29,6 +30,10 @@ struct CliOptions {
   /// --table2: analyse every input with and without the Section 3.2
   /// passes and print the before/after comparison.
   bool table2 = false;
+  /// --shards=N: split the input files over N forked worker processes
+  /// (memory isolation; each shard runs its own job frontier) and merge
+  /// the streamed per-file results deterministically. 1 = in-process.
+  unsigned shards = 1;
   bool dump_dot = false;
   bool dump_sal = false;
   bool show_help = false;
@@ -41,6 +46,20 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
 
 /// Usage text.
 std::string cli_usage();
+
+/// Benchmark measurement for one set of inputs (the computation half of
+/// `--bench`; rendering is separate so shard children can stream rows to
+/// the parent). Runs every file R times serially, R times on the pool and
+/// R times optimised, then the whole set R times on one global frontier;
+/// best-of wall clocks fill `files` (input order) and `batch_seconds`.
+/// Returns false with a file-prefixed `error` and the failing input's
+/// index on pipeline failure.
+bool bench_files(const CliOptions& opts,
+                 const std::vector<std::string>& paths,
+                 const std::vector<std::string>& sources,
+                 std::vector<engine::BenchFile>& files,
+                 double& batch_seconds, std::string& error,
+                 std::size_t& error_index);
 
 /// Runs the whole CLI: parse args, read the files, run the pipeline (batch
 /// mode for several inputs, bench mode under --bench), render.

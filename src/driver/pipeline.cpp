@@ -1,6 +1,7 @@
 #include "driver/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
 
@@ -340,15 +341,24 @@ struct FunctionWork {
   std::vector<std::vector<cfg::PathSpec>> specs;
   /// Single-flight decision-edge query store shared by all workers.
   EdgeCache edge_cache;
+  /// Set once the owning file's merge ran: no further job can reference
+  /// this function, so workers may drop their cached oracles for it
+  /// (keeps batch peak memory at O(files in flight), not O(batch)).
+  const std::atomic<bool>* file_done = nullptr;
 };
 
 /// One analysis job: check path `path_index` of segment `seg_index`.
 struct JobRef {
   FunctionWork* fw = nullptr;
-  std::size_t fn_index = 0;
   std::size_t seg_index = 0;
   std::size_t path_index = 0;
 };
+
+/// Worker-local oracle store, keyed by function. In single-file mode the
+/// keys are one file's functions; on the global batch frontier they span
+/// every file in flight. Worker w is the only thread touching slot w, so
+/// no locks are needed.
+using OracleMap = std::map<const FunctionWork*, std::unique_ptr<FeasibilityOracle>>;
 
 /// Replays one feasible path's witness through the concrete interpreter
 /// and checks the run takes the claimed path: the block (Block segments)
@@ -405,117 +415,142 @@ std::int64_t FunctionTiming::bcet_total() const {
   return total;
 }
 
-PipelineResult Pipeline::run(std::string_view source) const {
-  PipelineResult result;
+namespace {
 
-  DiagnosticEngine diags;
+/// Everything one file carries through the batch frontier: the immutable
+/// front-half products, the pre-allocated result slots of its analysis
+/// jobs, and the merged PipelineResult. Addresses must be stable while
+/// jobs are in flight (held by unique_ptr in the batch driver).
+struct FileWork {
+  std::string error;  // nonempty = front half failed, no jobs were pushed
   std::unique_ptr<minic::Program> program;
-  {
-    StageTimer t(result.stages, "frontend");
-    program = minic::compile(source, diags,
-                             minic::SemaOptions{.warn_unbounded_loops = false});
-  }
-  if (!program) {
-    result.error = diags.str();
-    return result;
-  }
-  if (program->functions.empty()) {
-    result.error = "no function definitions in translation unit\n";
-    return result;
-  }
-
-  // ------------------------------------------------------ serial front half
-  // Frontend through path enumeration per function; produces the immutable
-  // inputs of the job graph plus pre-sized result skeletons.
   std::vector<std::unique_ptr<FunctionWork>> work;
+  /// One entry per analysis job, in deterministic (function, segment,
+  /// path) order; `results` is parallel to `refs`.
+  std::vector<JobRef> refs;
+  std::vector<PathJobResult> results;
+  /// Program-level stages (frontend, analysis).
+  std::vector<StageStats> stages;
+  PipelineResult result;
+  /// Monotonic timestamp when the front half finished (drives the
+  /// "analysis" stage stat on the frontier, where no per-file scheduler
+  /// wall exists).
+  double front_done = 0.0;
+  /// Path jobs still outstanding; the job that decrements it to zero
+  /// triggers the file's merge.
+  std::atomic<std::size_t> remaining{0};
+  /// Merge completed: workers lazily evict their oracles for this file.
+  std::atomic<bool> merged{false};
+};
 
-  bool matched = opts_.function.empty();
-  for (const auto& fn : program->functions) {
-    if (!opts_.function.empty() && fn->name != opts_.function) continue;
+/// Serial front half of one file: frontend, CFG, partition, translation,
+/// optimisation and path enumeration. Fills `fw` with the immutable job
+/// inputs plus pre-sized result slots; returns false with `fw.error` set
+/// on any failure.
+bool front_half(std::string_view source, const PipelineOptions& opts,
+                FileWork& fw) {
+  DiagnosticEngine diags;
+  {
+    StageTimer t(fw.stages, "frontend");
+    fw.program = minic::compile(
+        source, diags, minic::SemaOptions{.warn_unbounded_loops = false});
+  }
+  if (!fw.program) {
+    fw.error = diags.str();
+    return false;
+  }
+  if (fw.program->functions.empty()) {
+    fw.error = "no function definitions in translation unit\n";
+    return false;
+  }
+
+  bool matched = opts.function.empty();
+  for (const auto& fn : fw.program->functions) {
+    if (!opts.function.empty() && fn->name != opts.function) continue;
     matched = true;
 
-    auto fw = std::make_unique<FunctionWork>();
-    FunctionTiming& ft = fw->ft;
+    auto fnw = std::make_unique<FunctionWork>();
+    FunctionTiming& ft = fnw->ft;
     ft.name = fn->name;
 
     std::unique_ptr<cfg::PathAnalysis> pa;
     {
       StageTimer t(ft.stages, "cfg");
-      fw->f = cfg::build_cfg(*fn);
-      pa = std::make_unique<cfg::PathAnalysis>(*fw->f);
+      fnw->f = cfg::build_cfg(*fn);
+      pa = std::make_unique<cfg::PathAnalysis>(*fnw->f);
     }
-    ft.blocks = fw->f->graph.size();
-    ft.decisions = fw->f->graph.decision_count();
+    ft.blocks = fnw->f->graph.size();
+    ft.decisions = fnw->f->graph.decision_count();
     ft.function_paths = pa->function_paths();
 
     {
       StageTimer t(ft.stages, "partition");
-      fw->partition = core::partition_function(
-          *fw->f, *pa, core::PartitionOptions{opts_.path_bound});
+      fnw->partition = core::partition_function(
+          *fnw->f, *pa, core::PartitionOptions{opts.path_bound});
       const std::string invalid =
-          core::validate_partition(*fw->f, fw->partition);
+          core::validate_partition(*fnw->f, fnw->partition);
       if (!invalid.empty()) {
-        result.error = "partition invariant violated in '" + fn->name +
-                       "': " + invalid + "\n";
-        return result;
+        fw.error = "partition invariant violated in '" + fn->name +
+                   "': " + invalid + "\n";
+        return false;
       }
     }
-    ft.instrumentation_points = fw->partition.instrumentation_points();
+    ft.instrumentation_points = fnw->partition.instrumentation_points();
     ft.fused_points =
-        core::fused_instrumentation_points(*fw->f, fw->partition);
-    ft.measurements = fw->partition.measurements();
+        core::fused_instrumentation_points(*fnw->f, fnw->partition);
+    ft.measurements = fnw->partition.measurements();
 
     {
       StageTimer t(ft.stages, "translate");
       tsys::TranslateOptions topts;
-      topts.pessimistic_widths = opts_.pessimistic_widths;
-      fw->tr = tsys::translate(*program, *fw->f, diags, topts);
+      topts.pessimistic_widths = opts.pessimistic_widths;
+      fnw->tr = tsys::translate(*fw.program, *fnw->f, diags, topts);
     }
-    if (!fw->tr) {
-      result.error = diags.str();
-      return result;
+    if (!fnw->tr) {
+      fw.error = diags.str();
+      return false;
     }
-    ft.state_bits_before = fw->tr->ts.state_bits();
-    ft.locations_before = fw->tr->ts.num_locs;
-    ft.transitions_before = fw->tr->ts.transitions.size();
+    ft.state_bits_before = fnw->tr->ts.state_bits();
+    ft.locations_before = fnw->tr->ts.num_locs;
+    ft.transitions_before = fnw->tr->ts.transitions.size();
 
     // Section 3.2 optimisation passes: shrink the encoding before any BMC
     // query is built. External VarId references (the symbol->var table the
     // witness replay reads) follow the composed remapping.
-    if (!opts_.opt_passes.empty()) {
+    if (!opts.opt_passes.empty()) {
       StageTimer t(ft.stages, "optimise");
       const opt::OptResult opt_result =
-          opt::run_passes_mapped(fw->tr->ts, opts_.opt_passes);
+          opt::run_passes_mapped(fnw->tr->ts, opts.opt_passes);
       ft.pass_reports = opt_result.reports;
-      for (tsys::VarId& v : fw->tr->var_of_symbol)
+      for (tsys::VarId& v : fnw->tr->var_of_symbol)
         if (v != tsys::kNoVar) v = opt_result.var_map[v];
     }
-    ft.state_bits = fw->tr->ts.state_bits();
-    ft.locations = fw->tr->ts.num_locs;
-    ft.transitions = fw->tr->ts.transitions.size();
+    ft.state_bits = fnw->tr->ts.state_bits();
+    ft.locations = fnw->tr->ts.num_locs;
+    ft.transitions = fnw->tr->ts.transitions.size();
 
     // Unroll depth: automatic (locations + 1) covers loop-free systems;
     // bounded loops need every iteration's transitions unrolled. A depth
     // below `required` (clamped or user-forced) makes UNSAT inconclusive.
-    fw->bmc_opts = opts_.bmc;
+    fnw->bmc_opts = opts.bmc;
     bool has_back_edge = false;
-    for (const cfg::BasicBlock& blk : fw->f->graph.blocks())
+    for (const cfg::BasicBlock& blk : fnw->f->graph.blocks())
       for (const cfg::Edge& e : blk.succs) has_back_edge |= e.back;
     const std::uint64_t required =
         has_back_edge
             ? std::max<std::uint64_t>(
-                  arm_weight(fw->f->graph, fw->f->body) + 2,
-                  fw->tr->ts.num_locs + 1)
-            : fw->tr->ts.num_locs + 1;
-    if (fw->bmc_opts.max_steps == 0) {
-      fw->bmc_opts.max_steps = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(required, opts_.max_unroll_depth));
+                  arm_weight(fnw->f->graph, fnw->f->body) + 2,
+                  fnw->tr->ts.num_locs + 1)
+            : fnw->tr->ts.num_locs + 1;
+    if (fnw->bmc_opts.max_steps == 0) {
+      fnw->bmc_opts.max_steps = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(required, opts.max_unroll_depth));
     }
-    fw->depth_complete = fw->bmc_opts.max_steps >= required;
-    ft.unroll_depth = fw->bmc_opts.max_steps;
+    fnw->depth_complete = fnw->bmc_opts.max_steps >= required;
+    ft.unroll_depth = fnw->bmc_opts.max_steps;
 
     // Segment skeletons: blocks, costs and PathSpecs now; verdicts later.
-    for (const core::Segment& seg : fw->partition.segments) {
+    for (const core::Segment& seg : fnw->partition.segments) {
       SegmentTiming st;
       st.id = seg.id;
       st.kind = seg.kind;
@@ -527,93 +562,90 @@ PipelineResult Pipeline::run(std::string_view source) const {
       if (seg.kind == core::SegmentKind::Block) {
         PathTiming pt;
         pt.blocks = {seg.block};
-        pt.cost = opts_.cost.block_cost(fw->f->graph.block(seg.block));
+        pt.cost = opts.cost.block_cost(fnw->f->graph.block(seg.block));
         st.paths.push_back(std::move(pt));
       } else {
         st.enumeration_complete = cfg::enumerate_paths(
-            *fw->f, cfg::arm_entry_block(*seg.region), seg.blocks,
-            opts_.max_paths_per_segment, specs);
+            *fnw->f, cfg::arm_entry_block(*seg.region), seg.blocks,
+            opts.max_paths_per_segment, specs);
         for (const cfg::PathSpec& spec : specs) {
           PathTiming pt;
           pt.blocks = spec.blocks;
           for (BlockId b : spec.blocks)
-            pt.cost += opts_.cost.block_cost(fw->f->graph.block(b));
+            pt.cost += opts.cost.block_cost(fnw->f->graph.block(b));
           st.paths.push_back(std::move(pt));
         }
       }
       ft.segments.push_back(std::move(st));
-      fw->specs.push_back(std::move(specs));
+      fnw->specs.push_back(std::move(specs));
     }
 
-    work.push_back(std::move(fw));
+    fw.work.push_back(std::move(fnw));
   }
 
   if (!matched) {
-    result.error = "function '" + opts_.function + "' not found\n";
-    return result;
+    fw.error = "function '" + opts.function + "' not found\n";
+    return false;
   }
 
-  // ------------------------------------------------------------- job graph
   // One job per (function, segment, path). Slots are pre-allocated so the
-  // closures can write results[i] without synchronisation or reallocation.
-  std::vector<JobRef> refs;
-  for (std::size_t fi = 0; fi < work.size(); ++fi) {
-    FunctionWork* fw = work[fi].get();
-    for (std::size_t si = 0; si < fw->ft.segments.size(); ++si)
-      for (std::size_t pi = 0; pi < fw->ft.segments[si].paths.size(); ++pi)
-        refs.push_back(JobRef{fw, fi, si, pi});
+  // job closures can write results[i] without synchronisation or
+  // reallocation.
+  for (std::size_t fi = 0; fi < fw.work.size(); ++fi) {
+    FunctionWork* fnw = fw.work[fi].get();
+    fnw->file_done = &fw.merged;
+    for (std::size_t si = 0; si < fnw->ft.segments.size(); ++si)
+      for (std::size_t pi = 0; pi < fnw->ft.segments[si].paths.size(); ++pi)
+        fw.refs.push_back(JobRef{fnw, si, pi});
   }
-  result.analysis_jobs = refs.size();
+  fw.results.resize(fw.refs.size());
+  fw.front_done = engine::monotonic_seconds();
+  return true;
+}
 
-  const engine::Scheduler scheduler(opts_.run_bmc ? opts_.jobs : 1);
-
-  // Per-(worker, function) oracles: worker w is the only thread touching
-  // oracles[w], so solver state and memo tables need no locks.
-  std::vector<std::vector<std::unique_ptr<FeasibilityOracle>>> oracles(
-      scheduler.workers());
-  for (auto& per_worker : oracles) per_worker.resize(work.size());
-
-  std::vector<PathJobResult> results(refs.size());
-  std::vector<engine::AnalysisJob> jobs;
-  jobs.reserve(refs.size());
-  const bool run_bmc = opts_.run_bmc;
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    const JobRef r = refs[i];
-    engine::AnalysisJob job;
-    job.work = [&, r, i, run_bmc](unsigned worker) {
-      std::unique_ptr<FeasibilityOracle>& slot = oracles[worker][r.fn_index];
-      if (!slot)
-        slot = std::make_unique<FeasibilityOracle>(
-            r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
-            r.fw->depth_complete, r.fw->edge_cache);
-      const core::Segment& s = r.fw->partition.segments[r.seg_index];
-      if (s.kind == core::SegmentKind::Block) {
-        slot->check_block(s.block, results[i]);
-      } else {
-        const std::optional<EdgeRef> anchor =
-            s.whole_function ? std::nullopt : s.region->entry;
-        slot->check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
-                                anchor, results[i]);
-      }
-    };
-    jobs.push_back(std::move(job));
+/// Executes one analysis job against the worker-local oracle store.
+/// Entries for files whose merge already ran are evicted first — no
+/// later job can reference them, and dropping their memoised queries and
+/// witnesses keeps the store's footprint bounded by the files in flight.
+void run_path_job(const JobRef& r, bool run_bmc, OracleMap& oracles,
+                  PathJobResult& out) {
+  for (auto it = oracles.begin(); it != oracles.end();) {
+    if (it->first->file_done != nullptr &&
+        it->first->file_done->load(std::memory_order_acquire))
+      it = oracles.erase(it);
+    else
+      ++it;
   }
-
-  {
-    StageTimer t(result.stages, "analysis");
-    const engine::SchedulerStats run_stats = scheduler.run(jobs);
-    // The pool clamps to the job count; report what actually ran.
-    result.analysis_workers = run_stats.workers;
+  std::unique_ptr<FeasibilityOracle>& slot = oracles[r.fw];
+  if (!slot)
+    slot = std::make_unique<FeasibilityOracle>(
+        r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
+        r.fw->depth_complete, r.fw->edge_cache);
+  const core::Segment& s = r.fw->partition.segments[r.seg_index];
+  if (s.kind == core::SegmentKind::Block) {
+    slot->check_block(s.block, out);
+  } else {
+    const std::optional<EdgeRef> anchor =
+        s.whole_function ? std::nullopt : s.region->entry;
+    slot->check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
+                            anchor, out);
   }
+}
 
-  // ------------------------------------------------- deterministic merge
-  // Fill the pre-sized slots in job order; every aggregate below is a
-  // reduction over that order, independent of scheduling.
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    const JobRef& r = refs[i];
+/// Deterministic merge of one file's job results into its PipelineResult.
+/// Fills the pre-sized slots in job order; every aggregate is a reduction
+/// over that order, independent of scheduling. Safe to run concurrently
+/// with other files' jobs (touches only this file's state).
+void merge_file(FileWork& fw, const PipelineOptions& opts) {
+  PipelineResult& result = fw.result;
+  result.stages = std::move(fw.stages);
+  result.analysis_jobs = fw.refs.size();
+
+  for (std::size_t i = 0; i < fw.refs.size(); ++i) {
+    const JobRef& r = fw.refs[i];
     SegmentTiming& st = r.fw->ft.segments[r.seg_index];
     PathTiming& pt = st.paths[r.path_index];
-    PathJobResult& pr = results[i];
+    PathJobResult& pr = fw.results[i];
     pt.verdict = pr.verdict;
     pt.witness = std::move(pr.witness);
     st.bmc_seconds += pr.bmc_seconds;
@@ -621,8 +653,8 @@ PipelineResult Pipeline::run(std::string_view source) const {
     st.max_cnf_clauses = std::max(st.max_cnf_clauses, pr.max_cnf_clauses);
   }
 
-  for (std::unique_ptr<FunctionWork>& fw : work) {
-    FunctionTiming& ft = fw->ft;
+  for (std::unique_ptr<FunctionWork>& fnw : fw.work) {
+    FunctionTiming& ft = fnw->ft;
     double bmc_total = 0.0;
     for (SegmentTiming& st : ft.segments) {
       finalize_segment_bounds(st);
@@ -632,14 +664,14 @@ PipelineResult Pipeline::run(std::string_view source) const {
     // Close the paper's test-data loop: the witness of every feasible path
     // is a concrete input vector; replaying it through the reference
     // interpreter must take the claimed path.
-    if (opts_.run_bmc && opts_.validate_witnesses) {
-      testgen::Interpreter interp(*program, *fw->f);
+    if (opts.run_bmc && opts.validate_witnesses) {
+      testgen::Interpreter interp(*fw.program, *fnw->f);
       for (SegmentTiming& st : ft.segments) {
         for (PathTiming& pt : st.paths) {
           if (pt.verdict != PathVerdict::Feasible || pt.witness.empty())
             continue;
           bool mapped = false;
-          const bool ok = replay_witness(interp, *fw->tr, st, pt, mapped);
+          const bool ok = replay_witness(interp, *fnw->tr, st, pt, mapped);
           if (!mapped) continue;  // no input mapping: leave NotChecked
           pt.replay = ok ? WitnessReplay::Validated : WitnessReplay::Mismatch;
           if (ok)
@@ -657,7 +689,120 @@ PipelineResult Pipeline::run(std::string_view source) const {
   }
 
   result.ok = true;
-  return result;
+  // Release the workers' oracle caches for this file (no job can
+  // reference it past its merge).
+  fw.merged.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+PipelineResult Pipeline::run(std::string_view source) const {
+  FileWork fw;
+  if (!front_half(source, opts_, fw)) {
+    PipelineResult result;
+    result.error = std::move(fw.error);
+    return result;
+  }
+
+  const engine::Scheduler scheduler(opts_.run_bmc ? opts_.jobs : 1);
+  std::vector<OracleMap> oracles(scheduler.workers());
+
+  std::vector<engine::AnalysisJob> jobs;
+  jobs.reserve(fw.refs.size());
+  const bool run_bmc = opts_.run_bmc;
+  for (std::size_t i = 0; i < fw.refs.size(); ++i) {
+    engine::AnalysisJob job;
+    job.work = [&fw, &oracles, i, run_bmc](unsigned worker) {
+      run_path_job(fw.refs[i], run_bmc, oracles[worker], fw.results[i]);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  {
+    StageTimer t(fw.stages, "analysis");
+    const engine::SchedulerStats run_stats = scheduler.run(jobs);
+    // The pool clamps to the job count; report what actually ran.
+    fw.result.analysis_workers = run_stats.workers;
+  }
+
+  merge_file(fw, opts_);
+  return std::move(fw.result);
+}
+
+BatchResult run_batch(const std::vector<std::string>& sources,
+                      const std::vector<std::string>& files,
+                      const PipelineOptions& opts) {
+  BatchResult out;
+  const auto name_of = [&](std::size_t i) {
+    return i < files.size() ? files[i] : std::string();
+  };
+
+  // One global frontier: each file seeds a front-half job that pushes its
+  // per-path BMC jobs as soon as they exist, so file K+1's frontend and
+  // translation overlap file K's solving. The job that completes a file's
+  // last path check pushes that file's merge.
+  std::vector<std::unique_ptr<FileWork>> work;
+  work.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    work.push_back(std::make_unique<FileWork>());
+
+  engine::Frontier frontier(opts.run_bmc ? opts.jobs : 1);
+  std::vector<OracleMap> oracles(frontier.workers());
+  const bool run_bmc = opts.run_bmc;
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    FileWork* fw = work[i].get();
+    const std::string* source = &sources[i];
+    frontier.push(engine::AnalysisJob{
+        [fw, source, &opts, &frontier, &oracles, run_bmc](unsigned) {
+          if (!front_half(*source, opts, *fw)) return;  // error recorded
+          if (fw->refs.empty()) {
+            fw->stages.push_back(StageStats{"analysis", 0.0});
+            merge_file(*fw, opts);
+            return;
+          }
+          fw->remaining.store(fw->refs.size(), std::memory_order_relaxed);
+          for (std::size_t j = 0; j < fw->refs.size(); ++j) {
+            frontier.push(engine::AnalysisJob{
+                [fw, j, &opts, &frontier, &oracles, run_bmc](unsigned worker) {
+                  run_path_job(fw->refs[j], run_bmc, oracles[worker],
+                               fw->results[j]);
+                  if (fw->remaining.fetch_sub(
+                          1, std::memory_order_acq_rel) == 1) {
+                    // Last path job of this file: stream its merge into
+                    // the frontier while other files keep solving.
+                    frontier.push(engine::AnalysisJob{[fw, &opts](unsigned) {
+                      fw->stages.push_back(StageStats{
+                          "analysis",
+                          engine::monotonic_seconds() - fw->front_done});
+                      merge_file(*fw, opts);
+                    }});
+                  }
+                }});
+          }
+        }});
+  }
+
+  const engine::SchedulerStats stats = frontier.run();
+  out.workers = stats.workers;
+
+  // Deterministic assembly in file order; the first failing file (in input
+  // order, not completion order) wins, matching the sequential driver.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (!work[i]->error.empty()) {
+      const std::string name = name_of(i);
+      out.error = name.empty() ? work[i]->error
+                               : name + ": " + work[i]->error;
+      out.error_index = i;
+      return out;
+    }
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    work[i]->result.analysis_workers = stats.workers;
+    out.files.push_back(BatchEntry{name_of(i), std::move(work[i]->result)});
+  }
+  out.ok = true;
+  return out;
 }
 
 namespace {
@@ -721,20 +866,28 @@ Table2Report table2_compare(const std::vector<std::string>& sources,
   PipelineOptions optimised = opts;
   if (optimised.opt_passes.empty()) optimised.opt_passes = opt::all_passes();
 
-  const Pipeline p_plain(plain);
-  const Pipeline p_opt(optimised);
+  // Both halves run as frontier batches, so the baseline and optimised
+  // analyses of all files share one worker pool each.
+  const BatchResult a_batch = run_batch(sources, files, plain);
+  if (!a_batch.ok) {
+    out.error = a_batch.error;
+    out.error_index = a_batch.error_index;
+    return out;
+  }
+  const BatchResult b_batch = run_batch(sources, files, optimised);
+  if (!b_batch.ok) {
+    out.error = b_batch.error;
+    out.error_index = b_batch.error_index;
+    return out;
+  }
+
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const std::string file = i < files.size() ? files[i] : std::string();
-    const PipelineResult a = p_plain.run(sources[i]);
-    const PipelineResult b = p_opt.run(sources[i]);
-    for (const PipelineResult* r : {&a, &b}) {
-      if (!r->ok) {
-        out.error = file.empty() ? r->error : file + ": " + r->error;
-        return out;
-      }
-    }
+    const PipelineResult& a = a_batch.files[i].result;
+    const PipelineResult& b = b_batch.files[i].result;
     if (a.functions.size() != b.functions.size()) {
       out.error = "optimised run analysed a different function set";
+      out.error_index = i;
       return out;
     }
     for (std::size_t f = 0; f < a.functions.size(); ++f) {
@@ -742,6 +895,7 @@ Table2Report table2_compare(const std::vector<std::string>& sources,
       const FunctionTiming& fb = b.functions[f];
       Table2Row row;
       row.file = file;
+      row.file_index = i;
       row.function = fa.name;
       row.bits_plain = fa.state_bits;
       row.bits_opt = fb.state_bits;

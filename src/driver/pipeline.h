@@ -193,6 +193,39 @@ class Pipeline {
   PipelineOptions opts_;
 };
 
+/// One analysed input of a batch run.
+struct BatchEntry {
+  std::string path;
+  PipelineResult result;
+};
+
+/// Result of one multi-file batch run over the global job frontier.
+struct BatchResult {
+  bool ok = false;
+  /// "<file>: <error>" of the first failing file in input order ("<error>"
+  /// when no file names were given).
+  std::string error;
+  /// Input index of the failing file behind `error` (shard merge needs it
+  /// to pick the globally-first failure across shards).
+  std::size_t error_index = 0;
+  /// One entry per input, in input order; per-file results are
+  /// byte-identical to a sequential Pipeline::run on the same source.
+  std::vector<BatchEntry> files;
+  /// Workers the global frontier actually used.
+  unsigned workers = 1;
+};
+
+/// Analyses several translation units on ONE global job frontier: the
+/// per-(file, function, segment, path) jobs of all files share the worker
+/// pool, so file K+1's frontend and translation overlap file K's BMC.
+/// Per-file results are merged deterministically (file order, then job
+/// order) — output is byte-identical to running each file alone, for any
+/// worker count. `files` names each source for error messages and batch
+/// rows (pass {} to omit).
+BatchResult run_batch(const std::vector<std::string>& sources,
+                      const std::vector<std::string>& files,
+                      const PipelineOptions& opts);
+
 /// One row of the Table-1-style partition summary: partitioning the same
 /// function at path bound b yields ip instrumentation points (fused_ip
 /// distinct physical sites) and m measurement runs.
@@ -222,6 +255,8 @@ PartitionSummary partition_summary(std::string_view source,
 /// analysed without and with the Section 3.2 optimisation passes.
 struct Table2Row {
   std::string file;  // empty outside batch mode
+  /// Input index of `file` (stable row ordering across the shard merge).
+  std::size_t file_index = 0;
   std::string function;
   int bits_plain = 0, bits_opt = 0;
   std::uint32_t locs_plain = 0, locs_opt = 0;
@@ -242,6 +277,8 @@ struct Table2Row {
 struct Table2Report {
   bool ok = false;
   std::string error;  // names the failing file in batch mode
+  /// Input index of the failing file behind `error`.
+  std::size_t error_index = 0;
   std::vector<Table2Row> rows;
 
   /// All rows produced byte-identical timing models.

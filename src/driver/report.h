@@ -28,12 +28,6 @@ bool parse_format(std::string_view name, ReportFormat& out);
 void render_report(const PipelineResult& result, const PipelineOptions& opts,
                    ReportFormat format, bool with_stages, std::ostream& os);
 
-/// One analysed input of a batch run.
-struct BatchEntry {
-  std::string path;
-  PipelineResult result;
-};
-
 /// Renders a multi-file batch: per-file reports plus an aggregate summary
 /// (file count, segments, path verdict totals, witness-replay totals).
 void render_batch_report(const std::vector<BatchEntry>& files,

@@ -1,0 +1,648 @@
+#include "driver/shard.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "engine/scheduler.h"
+#include "opt/passes.h"
+#include "support/json.h"
+
+namespace tmg::driver {
+
+namespace {
+
+// ----------------------------------------------------------- serialisation
+//
+// The wire schema carries exactly what the renderers read — per-path
+// details (witness vectors, block sequences) stay in the child, only the
+// per-segment tallies travel. Integers are JSON integers (exact), wall
+// clocks use json_double (%.17g, parse-exact), so the parent's rendering
+// is byte-identical to an in-process run.
+
+void write_path_count(std::ostringstream& os, const PathCount& pc) {
+  if (!pc.saturated())
+    os << static_cast<std::int64_t>(pc.exact());
+  else
+    os << "{\"log2\":" << json_double(pc.log2()) << "}";
+}
+
+bool read_path_count(const JsonValue& v, PathCount& out) {
+  if (v.is_int()) {
+    out = PathCount(static_cast<std::uint64_t>(v.as_int()));
+    return true;
+  }
+  const JsonValue* l = v.find("log2");
+  if (l == nullptr) return false;
+  out = PathCount::from_log2(l->as_double());
+  return true;
+}
+
+void write_stages(std::ostringstream& os,
+                  const std::vector<StageStats>& stages) {
+  os << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "[" << json_quote(stages[i].name) << ","
+       << json_double(stages[i].seconds) << "]";
+  }
+  os << "]";
+}
+
+bool read_stages(const JsonValue& v, std::vector<StageStats>& out) {
+  if (v.kind() != JsonValue::Kind::Array) return false;
+  for (const JsonValue& s : v.items()) {
+    if (s.kind() != JsonValue::Kind::Array || s.items().size() != 2 ||
+        s.items()[0].kind() != JsonValue::Kind::String)
+      return false;
+    out.push_back(StageStats{s.items()[0].as_string(),
+                             s.items()[1].as_double()});
+  }
+  return true;
+}
+
+void write_function(std::ostringstream& os, const FunctionTiming& ft) {
+  os << "{\"name\":" << json_quote(ft.name) << ",\"blocks\":" << ft.blocks
+     << ",\"decisions\":" << ft.decisions << ",\"paths\":";
+  write_path_count(os, ft.function_paths);
+  os << ",\"ip\":" << ft.instrumentation_points
+     << ",\"fused_ip\":" << ft.fused_points << ",\"m\":";
+  write_path_count(os, ft.measurements);
+  os << ",\"bits\":" << ft.state_bits << ",\"locs\":" << ft.locations
+     << ",\"trans\":" << ft.transitions << ",\"depth\":" << ft.unroll_depth
+     << ",\"bits0\":" << ft.state_bits_before
+     << ",\"locs0\":" << ft.locations_before
+     << ",\"trans0\":" << ft.transitions_before << ",\"passes\":[";
+  for (std::size_t i = 0; i < ft.pass_reports.size(); ++i) {
+    const opt::PassReport& p = ft.pass_reports[i];
+    if (i > 0) os << ",";
+    os << "[" << json_quote(opt::pass_name(p.pass)) << "," << p.vars_before
+       << "," << p.vars_after << "," << p.data_bits_before << ","
+       << p.data_bits_after << "," << p.transitions_before << ","
+       << p.transitions_after << "," << p.details << "]";
+  }
+  os << "],\"stages\":";
+  write_stages(os, ft.stages);
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < ft.segments.size(); ++i) {
+    const SegmentTiming& s = ft.segments[i];
+    if (i > 0) os << ",";
+    os << "[" << s.id << "," << static_cast<int>(s.kind) << ","
+       << (s.whole_function ? 1 : 0) << "," << s.num_blocks << ",";
+    write_path_count(os, s.structural_paths);
+    os << "," << (s.enumeration_complete ? 1 : 0) << "," << s.paths.size()
+       << "," << s.feasible << "," << s.infeasible << "," << s.unknown << ","
+       << s.validated << "," << s.mismatched << "," << s.bcet << ","
+       << s.wcet << "," << json_double(s.bmc_seconds) << "," << s.max_cnf_vars
+       << "," << s.max_cnf_clauses << "]";
+  }
+  os << "]}";
+}
+
+bool read_function(const JsonValue& v, FunctionTiming& ft) {
+  if (v.kind() != JsonValue::Kind::Object) return false;
+  const JsonValue* name = v.find("name");
+  if (name == nullptr || name->kind() != JsonValue::Kind::String) return false;
+  ft.name = name->as_string();
+  ft.blocks = static_cast<std::size_t>(v.get("blocks").as_int());
+  ft.decisions = static_cast<std::size_t>(v.get("decisions").as_int());
+  if (!read_path_count(v.get("paths"), ft.function_paths)) return false;
+  ft.instrumentation_points =
+      static_cast<std::uint64_t>(v.get("ip").as_int());
+  ft.fused_points = static_cast<std::uint64_t>(v.get("fused_ip").as_int());
+  if (!read_path_count(v.get("m"), ft.measurements)) return false;
+  ft.state_bits = static_cast<int>(v.get("bits").as_int());
+  ft.locations = static_cast<std::uint32_t>(v.get("locs").as_int());
+  ft.transitions = static_cast<std::size_t>(v.get("trans").as_int());
+  ft.unroll_depth = static_cast<std::uint32_t>(v.get("depth").as_int());
+  ft.state_bits_before = static_cast<int>(v.get("bits0").as_int());
+  ft.locations_before = static_cast<std::uint32_t>(v.get("locs0").as_int());
+  ft.transitions_before = static_cast<std::size_t>(v.get("trans0").as_int());
+
+  const JsonValue& passes = v.get("passes");
+  if (passes.kind() != JsonValue::Kind::Array) return false;
+  for (const JsonValue& p : passes.items()) {
+    if (p.kind() != JsonValue::Kind::Array || p.items().size() != 8 ||
+        p.items()[0].kind() != JsonValue::Kind::String)
+      return false;
+    const std::optional<opt::Pass> pass =
+        opt::parse_pass(p.items()[0].as_string());
+    if (!pass) return false;
+    opt::PassReport pr;
+    pr.pass = *pass;
+    pr.vars_before = static_cast<std::size_t>(p.items()[1].as_int());
+    pr.vars_after = static_cast<std::size_t>(p.items()[2].as_int());
+    pr.data_bits_before = static_cast<int>(p.items()[3].as_int());
+    pr.data_bits_after = static_cast<int>(p.items()[4].as_int());
+    pr.transitions_before = static_cast<std::size_t>(p.items()[5].as_int());
+    pr.transitions_after = static_cast<std::size_t>(p.items()[6].as_int());
+    pr.details = static_cast<std::size_t>(p.items()[7].as_int());
+    ft.pass_reports.push_back(pr);
+  }
+
+  if (!read_stages(v.get("stages"), ft.stages)) return false;
+
+  const JsonValue& segments = v.get("segments");
+  if (segments.kind() != JsonValue::Kind::Array) return false;
+  for (const JsonValue& s : segments.items()) {
+    if (s.kind() != JsonValue::Kind::Array || s.items().size() != 17)
+      return false;
+    const std::vector<JsonValue>& f = s.items();
+    SegmentTiming st;
+    st.id = static_cast<std::uint32_t>(f[0].as_int());
+    st.kind = static_cast<core::SegmentKind>(f[1].as_int());
+    st.whole_function = f[2].as_int() != 0;
+    st.num_blocks = static_cast<std::size_t>(f[3].as_int());
+    if (!read_path_count(f[4], st.structural_paths)) return false;
+    st.enumeration_complete = f[5].as_int() != 0;
+    // Per-path details stay in the child; only the count is rendered.
+    st.paths.resize(static_cast<std::size_t>(f[6].as_int()));
+    st.feasible = static_cast<std::size_t>(f[7].as_int());
+    st.infeasible = static_cast<std::size_t>(f[8].as_int());
+    st.unknown = static_cast<std::size_t>(f[9].as_int());
+    st.validated = static_cast<std::size_t>(f[10].as_int());
+    st.mismatched = static_cast<std::size_t>(f[11].as_int());
+    st.bcet = f[12].as_int();
+    st.wcet = f[13].as_int();
+    st.bmc_seconds = f[14].as_double();
+    st.max_cnf_vars = static_cast<std::uint64_t>(f[15].as_int());
+    st.max_cnf_clauses = static_cast<std::uint64_t>(f[16].as_int());
+    ft.segments.push_back(std::move(st));
+  }
+  return true;
+}
+
+void write_result(std::ostringstream& os, const PipelineResult& r) {
+  os << "{\"jobs\":" << r.analysis_jobs
+     << ",\"workers\":" << r.analysis_workers << ",\"stages\":";
+  write_stages(os, r.stages);
+  os << ",\"functions\":[";
+  for (std::size_t i = 0; i < r.functions.size(); ++i) {
+    if (i > 0) os << ",";
+    write_function(os, r.functions[i]);
+  }
+  os << "]}";
+}
+
+bool read_result(const JsonValue& v, PipelineResult& r) {
+  if (v.kind() != JsonValue::Kind::Object) return false;
+  r.ok = true;
+  r.analysis_jobs = static_cast<std::size_t>(v.get("jobs").as_int());
+  r.analysis_workers = static_cast<unsigned>(v.get("workers").as_int());
+  if (!read_stages(v.get("stages"), r.stages)) return false;
+  const JsonValue& functions = v.get("functions");
+  if (functions.kind() != JsonValue::Kind::Array) return false;
+  for (const JsonValue& f : functions.items()) {
+    FunctionTiming ft;
+    if (!read_function(f, ft)) return false;
+    r.functions.push_back(std::move(ft));
+  }
+  return true;
+}
+
+std::string error_payload(std::size_t index, const std::string& error) {
+  std::ostringstream os;
+  os << "{\"ok\":false,\"index\":" << index
+     << ",\"error\":" << json_quote(error) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string serialize_batch_payload(const BatchResult& batch,
+                                    const std::vector<std::size_t>& indices) {
+  if (!batch.ok)
+    return error_payload(indices[batch.error_index], batch.error);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"files\":[";
+  for (std::size_t i = 0; i < batch.files.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"index\":" << indices[i] << ",\"report\":";
+    write_result(os, batch.files[i].result);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool merge_batch_payload(const std::string& payload, std::size_t num_files,
+                         std::vector<BatchEntry>& slots,
+                         std::vector<bool>& filled, std::size_t& fail_index,
+                         std::string& fail_error, std::string& error) {
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(payload, &parse_error);
+  if (!v) {
+    error = "malformed shard payload: " + parse_error;
+    return false;
+  }
+  const JsonValue* ok = v->find("ok");
+  if (ok == nullptr || ok->kind() != JsonValue::Kind::Bool) {
+    error = "malformed shard payload: missing ok";
+    return false;
+  }
+  if (!ok->as_bool()) {
+    const std::size_t index =
+        static_cast<std::size_t>(v->get("index").as_int());
+    if (fail_error.empty() || index < fail_index) {
+      fail_index = index;
+      fail_error = v->get("error").as_string();
+    }
+    return true;
+  }
+  const JsonValue& files = v->get("files");
+  if (files.kind() != JsonValue::Kind::Array) {
+    error = "malformed shard payload: missing files";
+    return false;
+  }
+  for (const JsonValue& f : files.items()) {
+    const std::size_t index = static_cast<std::size_t>(f.get("index").as_int());
+    if (index >= num_files || filled[index]) {
+      error = "malformed shard payload: bad file index";
+      return false;
+    }
+    if (!read_result(f.get("report"), slots[index].result)) {
+      error = "malformed shard payload: bad report";
+      return false;
+    }
+    filled[index] = true;
+  }
+  return true;
+}
+
+std::string serialize_table2_payload(const Table2Report& report,
+                                     const std::vector<std::size_t>& indices) {
+  if (!report.ok)
+    return error_payload(indices[report.error_index], report.error);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"rows\":[";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const Table2Row& r = report.rows[i];
+    if (i > 0) os << ",";
+    os << "[" << indices[r.file_index] << "," << json_quote(r.file) << ","
+       << json_quote(r.function) << "," << r.bits_plain << "," << r.bits_opt
+       << "," << r.locs_plain << "," << r.locs_opt << "," << r.trans_plain
+       << "," << r.trans_opt << "," << r.depth_plain << "," << r.depth_opt
+       << "," << json_double(r.bmc_seconds_plain) << ","
+       << json_double(r.bmc_seconds_opt) << "," << r.cnf_clauses_plain << ","
+       << r.cnf_clauses_opt << "," << (r.model_identical ? 1 : 0) << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string serialize_bench_payload(
+    const std::vector<engine::BenchFile>& files, double batch_seconds,
+    const std::vector<std::size_t>& indices, bool ok, std::size_t fail_index,
+    const std::string& fail_error) {
+  if (!ok) return error_payload(indices[fail_index], fail_error);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"batch_seconds\":" << json_double(batch_seconds)
+     << ",\"files\":[";
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const engine::BenchFile& f = files[i];
+    if (i > 0) os << ",";
+    os << "{\"index\":" << indices[i] << ",\"path\":" << json_quote(f.path)
+       << ",\"jobs\":" << f.analysis_jobs << ",\"workers\":" << f.workers_used
+       << ",\"serial\":" << json_double(f.serial_seconds)
+       << ",\"parallel\":" << json_double(f.parallel_seconds)
+       << ",\"optimised\":" << json_double(f.optimised_seconds)
+       << ",\"stages\":[";
+    for (std::size_t s = 0; s < f.stages.size(); ++s) {
+      if (s > 0) os << ",";
+      os << "[" << json_quote(f.stages[s].name) << ","
+         << json_double(f.stages[s].seconds) << "]";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace tmg::driver
+
+// ---------------------------------------------------------------- process
+// POSIX half: fork the shard children, stream payloads over pipes, merge.
+
+#if defined(_WIN32)
+
+namespace tmg::driver {
+int run_sharded(const CliOptions&, const std::vector<std::string>&,
+                std::ostream&, std::ostream&) {
+  return -1;  // no fork: caller falls back to the in-process path
+}
+}  // namespace tmg::driver
+
+#else
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace tmg::driver {
+
+namespace {
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// The child's whole job: run this shard's slice in the current mode and
+/// return the JSON payload. Never writes to the inherited streams.
+std::string compute_payload(const CliOptions& opts,
+                            const std::vector<std::string>& sources,
+                            const std::vector<std::size_t>& indices) {
+  std::vector<std::string> slice_sources, slice_paths;
+  slice_sources.reserve(indices.size());
+  slice_paths.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    slice_sources.push_back(sources[i]);
+    slice_paths.push_back(opts.inputs[i]);
+  }
+
+  if (opts.bench_repeats > 0) {
+    std::vector<engine::BenchFile> files;
+    double batch_seconds = 0.0;
+    std::string error;
+    std::size_t error_index = 0;
+    const bool ok = bench_files(opts, slice_paths, slice_sources, files,
+                                batch_seconds, error, error_index);
+    return serialize_bench_payload(files, batch_seconds, indices, ok,
+                                   error_index, error);
+  }
+  if (opts.table2) {
+    const Table2Report report =
+        table2_compare(slice_sources, slice_paths, opts.pipeline);
+    return serialize_table2_payload(report, indices);
+  }
+  const BatchResult batch =
+      run_batch(slice_sources, slice_paths, opts.pipeline);
+  return serialize_batch_payload(batch, indices);
+}
+
+struct Child {
+  pid_t pid = -1;
+  int fd = -1;
+};
+
+void reap(std::vector<Child>& children) {
+  for (Child& c : children) {
+    if (c.fd >= 0) ::close(c.fd);
+    if (c.pid > 0) {
+      int status = 0;
+      ::waitpid(c.pid, &status, 0);
+    }
+  }
+}
+
+}  // namespace
+
+int run_sharded(const CliOptions& opts,
+                const std::vector<std::string>& sources, std::ostream& out,
+                std::ostream& err) {
+  const std::size_t n = sources.size();
+  const unsigned shards =
+      static_cast<unsigned>(std::min<std::size_t>(opts.shards, n));
+
+  // Round-robin slices: balances the heavy files across shards without
+  // needing size estimates; the merge restores input order regardless.
+  std::vector<std::vector<std::size_t>> slices(shards);
+  for (std::size_t i = 0; i < n; ++i) slices[i % shards].push_back(i);
+
+  // Bench mode runs its shards one at a time: the whole point of --bench
+  // is uncontended wall-clock measurement, and concurrent sibling shards
+  // would inflate every serial/pool/optimised number. The report modes
+  // run all shards concurrently (throughput is their point).
+  const bool sequential = opts.bench_repeats > 0;
+
+  std::vector<Child> children(shards);
+  std::vector<std::string> payloads(shards);
+  bool child_failed = false;
+
+  const auto spawn = [&](unsigned s) -> bool {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: compute, stream, _exit. No stdio flushing (the parent owns
+      // the inherited buffers), no exception may escape across fork.
+      ::close(fds[0]);
+      int code = 0;
+      try {
+        const std::string payload = compute_payload(opts, sources, slices[s]);
+        if (!write_all(fds[1], payload)) code = 3;
+      } catch (...) {
+        code = 3;
+      }
+      ::close(fds[1]);
+      ::_exit(code);
+    }
+    ::close(fds[1]);
+    children[s].pid = pid;
+    children[s].fd = fds[0];
+    return true;
+  };
+
+  const auto collect = [&](unsigned s) {
+    payloads[s] = read_all(children[s].fd);
+    ::close(children[s].fd);
+    children[s].fd = -1;
+    int status = 0;
+    ::waitpid(children[s].pid, &status, 0);
+    children[s].pid = -1;
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) child_failed = true;
+  };
+
+  if (sequential) {
+    for (unsigned s = 0; s < shards; ++s) {
+      if (!spawn(s)) {
+        reap(children);
+        return -1;  // resource-limited: fall back to in-process
+      }
+      collect(s);
+    }
+  } else {
+    for (unsigned s = 0; s < shards; ++s) {
+      if (!spawn(s)) {
+        reap(children);
+        return -1;
+      }
+    }
+    // A child blocked on a full pipe resumes when its turn comes.
+    for (unsigned s = 0; s < shards; ++s) collect(s);
+  }
+  if (child_failed) {
+    err << "tmg: shard worker process failed\n";
+    return 2;
+  }
+
+  // ------------------------------------------------- deterministic merge
+  std::size_t fail_index = 0;
+  std::string fail_error;
+
+  if (opts.bench_repeats > 0) {
+    engine::BenchReport report;
+    report.repeats = opts.bench_repeats;
+    report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
+    report.files.resize(n);
+    for (const std::string& payload : payloads) {
+      std::string parse_error;
+      const std::optional<JsonValue> v = json_parse(payload, &parse_error);
+      if (!v || v->get("ok").kind() != JsonValue::Kind::Bool) {
+        err << "tmg: malformed shard payload\n";
+        return 2;
+      }
+      if (!v->get("ok").as_bool()) {
+        const auto index = static_cast<std::size_t>(v->get("index").as_int());
+        if (fail_error.empty() || index < fail_index) {
+          fail_index = index;
+          fail_error = v->get("error").as_string();
+        }
+        continue;
+      }
+      // Bench shards run sequentially (uncontended measurement), so the
+      // whole-set frontier wall is the sum of the per-shard walls.
+      report.batch_seconds += v->get("batch_seconds").as_double();
+      for (const JsonValue& f : v->get("files").items()) {
+        const auto index = static_cast<std::size_t>(f.get("index").as_int());
+        if (index >= n) {
+          err << "tmg: malformed shard payload\n";
+          return 2;
+        }
+        engine::BenchFile& bf = report.files[index];
+        bf.path = f.get("path").as_string();
+        bf.analysis_jobs = static_cast<std::size_t>(f.get("jobs").as_int());
+        bf.workers_used = static_cast<unsigned>(f.get("workers").as_int());
+        bf.serial_seconds = f.get("serial").as_double();
+        bf.parallel_seconds = f.get("parallel").as_double();
+        bf.optimised_seconds = f.get("optimised").as_double();
+        for (const JsonValue& st : f.get("stages").items())
+          if (st.items().size() == 2)
+            bf.stages.push_back(engine::BenchStage{
+                st.items()[0].as_string(), st.items()[1].as_double()});
+      }
+    }
+    if (!fail_error.empty()) {
+      err << fail_error;
+      return 2;
+    }
+    report.render_json(out);
+    return 0;
+  }
+
+  if (opts.table2) {
+    std::vector<Table2Row> rows;
+    for (const std::string& payload : payloads) {
+      std::string parse_error;
+      const std::optional<JsonValue> v = json_parse(payload, &parse_error);
+      if (!v || v->get("ok").kind() != JsonValue::Kind::Bool) {
+        err << "tmg: malformed shard payload\n";
+        return 2;
+      }
+      if (!v->get("ok").as_bool()) {
+        const auto index = static_cast<std::size_t>(v->get("index").as_int());
+        if (fail_error.empty() || index < fail_index) {
+          fail_index = index;
+          fail_error = v->get("error").as_string();
+        }
+        continue;
+      }
+      for (const JsonValue& r : v->get("rows").items()) {
+        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 16) {
+          err << "tmg: malformed shard payload\n";
+          return 2;
+        }
+        const std::vector<JsonValue>& f = r.items();
+        Table2Row row;
+        row.file_index = static_cast<std::size_t>(f[0].as_int());
+        row.file = f[1].as_string();
+        row.function = f[2].as_string();
+        row.bits_plain = static_cast<int>(f[3].as_int());
+        row.bits_opt = static_cast<int>(f[4].as_int());
+        row.locs_plain = static_cast<std::uint32_t>(f[5].as_int());
+        row.locs_opt = static_cast<std::uint32_t>(f[6].as_int());
+        row.trans_plain = static_cast<std::size_t>(f[7].as_int());
+        row.trans_opt = static_cast<std::size_t>(f[8].as_int());
+        row.depth_plain = static_cast<std::uint32_t>(f[9].as_int());
+        row.depth_opt = static_cast<std::uint32_t>(f[10].as_int());
+        row.bmc_seconds_plain = f[11].as_double();
+        row.bmc_seconds_opt = f[12].as_double();
+        row.cnf_clauses_plain = static_cast<std::uint64_t>(f[13].as_int());
+        row.cnf_clauses_opt = static_cast<std::uint64_t>(f[14].as_int());
+        row.model_identical = f[15].as_int() != 0;
+        rows.push_back(std::move(row));
+      }
+    }
+    if (!fail_error.empty()) {
+      err << fail_error;
+      return 2;
+    }
+    // Rows within one file kept payload order; files restored to input
+    // order (stable sort: shards emit rows file-ordered already).
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Table2Row& a, const Table2Row& b) {
+                       return a.file_index < b.file_index;
+                     });
+    Table2Report report;
+    report.ok = true;
+    report.rows = std::move(rows);
+    render_table2(report, opts.format, out);
+    return 0;
+  }
+
+  // Batch report mode.
+  std::vector<BatchEntry> slots(n);
+  std::vector<bool> filled(n, false);
+  for (const std::string& payload : payloads) {
+    std::string error;
+    if (!merge_batch_payload(payload, n, slots, filled, fail_index,
+                             fail_error, error)) {
+      err << "tmg: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!fail_error.empty()) {
+    err << fail_error;
+    return 2;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!filled[i]) {
+      err << "tmg: shard payload missing file " << opts.inputs[i] << "\n";
+      return 2;
+    }
+    slots[i].path = opts.inputs[i];
+  }
+  render_batch_report(slots, opts.pipeline, opts.format, opts.with_stages,
+                      out);
+  return 0;
+}
+
+}  // namespace tmg::driver
+
+#endif  // !_WIN32

@@ -1,0 +1,59 @@
+// Process-level sharding of multi-file runs (`tmg --shards N`): the file
+// list is split round-robin over N forked worker processes, each running
+// its own global job frontier (and its own `--jobs` pool) over its slice.
+// Children stream per-file results back as JSON over a pipe; the parent
+// parses (support/json.h), reassembles in input order and renders the
+// normal report — byte-identical to the in-process run.
+//
+// Why processes and not just more threads: memory isolation. A shard that
+// exhausts memory (or trips a solver pathology) kills one child, not the
+// whole batch, and peak RSS per process stays bounded by its slice.
+//
+// The wire format is internal (parent and child are always the same
+// binary) but versioned defensively: every payload is one JSON object
+// with an "ok" field, errors travel in-band with the failing input's
+// global index so the parent reports the first failure in input order,
+// exactly like the sequential driver.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/cli.h"
+
+namespace tmg::driver {
+
+/// Runs the current mode (batch report, --table2 or --bench) sharded over
+/// `opts.shards` forked processes. Returns the process exit code (0/2),
+/// or -1 when sharding is unavailable on this platform (no fork) — the
+/// caller should fall back to the in-process path.
+int run_sharded(const CliOptions& opts,
+                const std::vector<std::string>& sources, std::ostream& out,
+                std::ostream& err);
+
+// ------------------------------------------------------------------ wire
+// Exposed for tests: the serialisation halves of the shard protocol.
+
+/// Payload of one shard in batch-report mode: the per-file results (with
+/// global input indices) or the first in-slice failure.
+std::string serialize_batch_payload(const BatchResult& batch,
+                                    const std::vector<std::size_t>& indices);
+
+/// Merges one parsed shard payload into the global file slots. Returns
+/// false (with `error`) on malformed payloads; records in-band failures
+/// into `fail_index`/`fail_error` (smallest index wins).
+bool merge_batch_payload(const std::string& payload, std::size_t num_files,
+                         std::vector<BatchEntry>& slots,
+                         std::vector<bool>& filled, std::size_t& fail_index,
+                         std::string& fail_error, std::string& error);
+
+std::string serialize_table2_payload(const Table2Report& report,
+                                     const std::vector<std::size_t>& indices);
+
+std::string serialize_bench_payload(
+    const std::vector<engine::BenchFile>& files, double batch_seconds,
+    const std::vector<std::size_t>& indices, bool ok, std::size_t fail_index,
+    const std::string& fail_error);
+
+}  // namespace tmg::driver

@@ -46,6 +46,10 @@ double BenchReport::opt_speedup() const {
   return o > 0.0 ? total_parallel_seconds() / o : 0.0;
 }
 
+double BenchReport::batch_speedup() const {
+  return batch_seconds > 0.0 ? total_parallel_seconds() / batch_seconds : 0.0;
+}
+
 void BenchReport::render_json(std::ostream& os) const {
   os << "{\"bench\":{\"workers\":" << workers << ",\"repeats\":" << repeats
      << ",\"files\":[";
@@ -75,8 +79,10 @@ void BenchReport::render_json(std::ostream& os) const {
      << ",\"serial_seconds\":" << fmt(total_serial_seconds())
      << ",\"parallel_seconds\":" << fmt(total_parallel_seconds())
      << ",\"optimised_seconds\":" << fmt(total_optimised_seconds())
+     << ",\"batch_seconds\":" << fmt(batch_seconds)
      << ",\"speedup\":" << fmt(speedup())
-     << ",\"opt_speedup\":" << fmt(opt_speedup()) << "}}}\n";
+     << ",\"opt_speedup\":" << fmt(opt_speedup())
+     << ",\"batch_speedup\":" << fmt(batch_speedup()) << "}}}\n";
 }
 
 }  // namespace tmg::engine

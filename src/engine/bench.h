@@ -58,6 +58,10 @@ struct BenchReport {
   unsigned workers = 1;
   unsigned repeats = 1;
   std::vector<BenchFile> files;
+  /// Best-of-R wall-clock of analysing ALL files on one global job
+  /// frontier (frontends overlap BMC across files) — the number the
+  /// per-file parallel_seconds sum is compared against. 0 = unmeasured.
+  double batch_seconds = 0.0;
 
   [[nodiscard]] std::size_t total_jobs() const;
   [[nodiscard]] double total_serial_seconds() const;
@@ -67,6 +71,9 @@ struct BenchReport {
   [[nodiscard]] double speedup() const;
   /// Aggregate optimisation speedup (total parallel / total optimised).
   [[nodiscard]] double opt_speedup() const;
+  /// Frontier speedup: per-file pool runs summed vs one global frontier
+  /// run (total parallel / batch).
+  [[nodiscard]] double batch_speedup() const;
 
   /// Renders the JSON schema documented in README.md (one object,
   /// trailing newline).

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace tmg::engine {
 
@@ -86,6 +87,122 @@ SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
   stats.workers = actual;
   stats.jobs_per_worker.resize(actual);
   stats.busy_seconds_per_worker.resize(actual);
+  stats.wall_seconds = monotonic_seconds() - t_start;
+  return stats;
+}
+
+Frontier::Frontier(unsigned jobs)
+    : workers_(jobs > 0 ? jobs : Scheduler::hardware_workers()) {}
+
+void Frontier::push(AnalysisJob job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void Frontier::drain(unsigned worker, SchedulerStats& stats) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] {
+      return !queue_.empty() || in_flight_ == 0 || failed_;
+    });
+    if (failed_ || queue_.empty()) {
+      // Either a sibling failed, or nothing is queued and nothing in
+      // flight can push more: the frontier is drained.
+      if (queue_.empty() && in_flight_ == 0) cv_.notify_all();
+      if (failed_ || (queue_.empty() && in_flight_ == 0)) return;
+      continue;  // spurious: someone is in flight and may still push
+    }
+    AnalysisJob job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+
+    const double t_job = monotonic_seconds();
+    std::exception_ptr error;
+    try {
+      job.work(worker);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy = monotonic_seconds() - t_job;
+
+    lock.lock();
+    --in_flight_;
+    if (error) {
+      if (!first_error_) first_error_ = error;
+      failed_ = true;
+      queue_.clear();
+      cv_.notify_all();
+      return;
+    }
+    stats.busy_seconds_per_worker[worker] += busy;
+    ++stats.jobs_per_worker[worker];
+    if (queue_.empty() && in_flight_ == 0) cv_.notify_all();
+  }
+}
+
+SchedulerStats Frontier::run() {
+  SchedulerStats stats;
+  const double t_start = monotonic_seconds();
+  failed_ = false;
+  first_error_ = nullptr;
+
+  if (workers_ <= 1) {
+    // Serial baseline: inline FIFO drain. Pushes from inside a job extend
+    // the same queue; a job exception leaves the remaining queue intact
+    // only long enough to clear it (matching the pool's discard rule).
+    stats.workers = 1;
+    stats.jobs_per_worker.assign(1, 0);
+    stats.busy_seconds_per_worker.assign(1, 0.0);
+    while (true) {
+      AnalysisJob job;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty()) break;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      const double t_job = monotonic_seconds();
+      try {
+        job.work(0);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.clear();
+        throw;
+      }
+      stats.busy_seconds_per_worker[0] += (monotonic_seconds() - t_job);
+      ++stats.jobs_per_worker[0];
+      ++stats.jobs;
+    }
+    stats.wall_seconds = monotonic_seconds() - t_start;
+    return stats;
+  }
+
+  stats.workers = workers_;
+  stats.jobs_per_worker.assign(workers_, 0);
+  stats.busy_seconds_per_worker.assign(workers_, 0.0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_ - 1);
+  try {
+    for (unsigned w = 1; w < workers_; ++w)
+      threads.emplace_back([this, w, &stats] { drain(w, stats); });
+  } catch (const std::system_error&) {
+    // Thread-limited host: degrade to the workers that did start (see
+    // Scheduler::run).
+  }
+  drain(0, stats);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  const unsigned actual = static_cast<unsigned>(threads.size()) + 1;
+  stats.workers = actual;
+  stats.jobs_per_worker.resize(actual);
+  stats.busy_seconds_per_worker.resize(actual);
+  for (const std::size_t n : stats.jobs_per_worker) stats.jobs += n;
   stats.wall_seconds = monotonic_seconds() - t_start;
   return stats;
 }

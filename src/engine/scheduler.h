@@ -1,6 +1,6 @@
 // Parallel analysis engine: a work-scheduling subsystem that fans the
-// pipeline's independent per-(function, segment, path) BMC feasibility
-// checks across a fixed pool of worker threads.
+// pipeline's independent per-(file, function, segment, path) BMC
+// feasibility checks across a fixed pool of worker threads.
 //
 // Architecture note. The engine deliberately knows nothing about segments
 // or solvers: a job is an opaque callable tagged with the id of the worker
@@ -11,20 +11,30 @@
 //     owns its own solver / unroller state (see the concurrency contracts
 //     in sat/solver.h and bmc/bmc.h); the only sharing is read-only
 //     (the CFG, the transition system, the options).
-//  2. Dispatch is dynamic (one atomic cursor over the job vector, so a
-//     slow SAT query does not stall the other workers), but every job
-//     writes its result into a pre-allocated slot indexed by job id —
-//     *which* worker computes a result never changes the result.
-//  3. The caller merges the slots in job-id order after run() returns;
+//  2. Dispatch is dynamic (a shared frontier, so a slow SAT query does not
+//     stall the other workers), but every job writes its result into a
+//     pre-allocated slot indexed by job id — *which* worker computes a
+//     result never changes the result.
+//  3. The caller merges the slots in job-id order after the run returns;
 //     aggregate statistics are reductions over that deterministic order.
+//
+// Two execution shapes are provided: Scheduler::run drains a fixed batch
+// of jobs (one file's job graph), and Frontier is the dynamic variant for
+// multi-file batches — running jobs may push further jobs, so a file's
+// frontend/translation job can overlap another file's BMC jobs on the
+// same pool.
 //
 // Wall-clock numbers (per-worker busy seconds, jobs/sec) are collected in
 // SchedulerStats and surfaced by `--stats` / `--bench` only, never in the
 // default reports.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace tmg::engine {
@@ -85,6 +95,47 @@ class Scheduler {
 
  private:
   unsigned workers_ = 1;
+};
+
+/// Dynamic work frontier: a single shared job queue that running jobs may
+/// extend. This is what lets one multi-file batch span the pool — a
+/// per-file "front half" job (frontend, CFG, partition, translation, path
+/// enumeration) pushes that file's per-path BMC jobs as soon as they
+/// exist, so file K+1's frontend overlaps file K's solving.
+///
+/// Determinism rules are inherited from the Scheduler contract: jobs are
+/// pure functions of their inputs writing to pre-allocated slots, and the
+/// caller merges in a queue-independent order (file order, then job id).
+/// Dispatch order and worker assignment are explicitly NOT deterministic.
+class Frontier {
+ public:
+  /// `jobs` = worker count; 0 selects hardware_concurrency().
+  explicit Frontier(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Enqueues one job. Thread-safe; callable before run() (seeding) and
+  /// from inside running jobs (expansion). Jobs pushed after run() has
+  /// returned wait for the next run() call.
+  void push(AnalysisJob job);
+
+  /// Drains the frontier: returns when the queue is empty AND no job is
+  /// in flight. With one worker, jobs run inline on the calling thread in
+  /// FIFO order (pushes from inside a job land behind the already-queued
+  /// work). The first job exception stops the drain — queued jobs are
+  /// discarded, in-flight jobs finish, the exception is rethrown here.
+  SchedulerStats run();
+
+ private:
+  void drain(unsigned worker, SchedulerStats& stats);
+
+  unsigned workers_ = 1;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<AnalysisJob> queue_;
+  std::size_t in_flight_ = 0;
+  bool failed_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace tmg::engine

@@ -48,11 +48,13 @@ ExploreResult explore(const TransitionSystem& ts,
   std::uint64_t product = 1;
   for (const VarInfo& v : ts.vars) {
     if (!v.is_input && v.has_init) continue;
-    // Unsigned subtraction so [INT64_MIN, INT64_MAX] doesn't overflow; the
-    // full 64-bit domain wraps the count to 0, which stands for 2^64 —
-    // saturate and refuse instead of dividing by it below.
-    const std::uint64_t card = static_cast<std::uint64_t>(v.hi) -
-                               static_cast<std::uint64_t>(v.lo) + 1;
+    // Free initial values range over the declared domain (init_lo/hi),
+    // which the encoding range over-approximates. Unsigned subtraction so
+    // [INT64_MIN, INT64_MAX] doesn't overflow; the full 64-bit domain
+    // wraps the count to 0, which stands for 2^64 — saturate and refuse
+    // instead of dividing by it below.
+    const std::uint64_t card = static_cast<std::uint64_t>(v.init_hi()) -
+                               static_cast<std::uint64_t>(v.init_lo()) + 1;
     free_vars.push_back(v.id);
     if (card == 0 || card > opts.max_initial_states ||
         product > opts.max_initial_states / card) {
@@ -76,7 +78,7 @@ ExploreResult explore(const TransitionSystem& ts,
   // enumerate the free-variable product
   std::vector<std::int64_t> cursor(free_vars.size());
   for (std::size_t i = 0; i < free_vars.size(); ++i)
-    cursor[i] = ts.vars[free_vars[i]].lo;
+    cursor[i] = ts.vars[free_vars[i]].init_lo();
   for (std::uint64_t n = 0; n < product; ++n) {
     State s = base;
     for (std::size_t i = 0; i < free_vars.size(); ++i)
@@ -84,8 +86,8 @@ ExploreResult explore(const TransitionSystem& ts,
     if (seen.insert(s).second) queue.emplace_back(std::move(s), 0);
     // advance cursor
     for (std::size_t i = 0; i < free_vars.size(); ++i) {
-      if (++cursor[i] <= ts.vars[free_vars[i]].hi) break;
-      cursor[i] = ts.vars[free_vars[i]].lo;
+      if (++cursor[i] <= ts.vars[free_vars[i]].init_hi()) break;
+      cursor[i] = ts.vars[free_vars[i]].init_lo();
     }
   }
 
@@ -126,9 +128,14 @@ ExploreResult explore(const TransitionSystem& ts,
 
   result.states = seen.size();
   result.complete = !limit_hit;
-  // state store estimate: packed state bits plus hash overhead
+  // State-store estimate for a packed representation: one state needs the
+  // encoded data bits of every variable plus the pc bits — exactly the
+  // paper's state-vector width — rounded up to whole bytes. The in-memory
+  // std::vector<int64> layout is larger, but the honest number for
+  // comparing optimisation passes (and sizing a packed store) is the
+  // encoding width, not our container overhead.
   const std::uint64_t bytes_per_state =
-      sizeof(State) + ts.vars.size() * sizeof(std::int64_t);
+      (static_cast<std::uint64_t>(ts.state_bits()) + 7) / 8;
   result.memory_bytes = result.states * bytes_per_state;
   return result;
 }

@@ -27,7 +27,10 @@ struct ExploreResult {
   std::uint64_t states = 0;      // distinct states visited
   std::uint64_t transitions_fired = 0;
   std::uint64_t initial_states = 0;
-  std::uint64_t memory_bytes = 0;  // state-store estimate
+  /// State-store estimate for a packed representation: states *
+  /// ceil(state_bits / 8), i.e. the encoded width (data + pc bits), not
+  /// the unpacked in-memory vectors.
+  std::uint64_t memory_bytes = 0;
   /// Distinct locations visited (useful to compare reachable control flow
   /// before/after an optimisation pass).
   std::vector<bool> locations_seen;

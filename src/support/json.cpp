@@ -1,6 +1,9 @@
 #include "support/json.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tmg {
 
@@ -24,6 +27,298 @@ std::string json_quote(std::string_view s) {
   }
   out += '"';
   return out;
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+JsonValue JsonValue::of(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::of(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::Int;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::of(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Double;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::of(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(std::string_view key) const {
+  static const JsonValue kNull;
+  const JsonValue* v = find(key);
+  return v != nullptr ? *v : kNull;
+}
+
+namespace {
+
+/// Recursive descent over one UTF-8 JSON document. Depth-limited so a
+/// malicious/corrupt shard payload cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!value(v, 0)) {
+      if (error != nullptr)
+        *error = error_ + " at offset " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr)
+        *error = "trailing data at offset " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool fail(const char* msg) {
+    if (error_.empty()) error_ = msg;
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return literal("null") && (out = JsonValue::null(), true);
+      case 't': return literal("true") && (out = JsonValue::of(true), true);
+      case 'f': return literal("false") && (out = JsonValue::of(false), true);
+      case '"': {
+        std::string s;
+        if (!string(s)) return false;
+        out = JsonValue::of(std::move(s));
+        return true;
+      }
+      case '[': return array(out, depth);
+      case '{': return object(out, depth);
+      default: return number(out);
+    }
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Our own emitter only produces \u00XX control characters;
+            // encode anything else as UTF-8 for robustness.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view lex = text_.substr(start, pos_ - start);
+    if (lex.empty() || lex == "-") return fail("expected value");
+
+    const bool integral = lex.find_first_of(".eE") == std::string_view::npos;
+    if (integral) {
+      std::int64_t i = 0;
+      const auto [p, ec] = std::from_chars(lex.data(), lex.data() + lex.size(), i);
+      if (ec == std::errc{} && p == lex.data() + lex.size()) {
+        out = JsonValue::of(i);
+        return true;
+      }
+      // falls through to double on int64 overflow
+    }
+    const std::string owned(lex);  // strtod needs a terminator
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) return fail("bad number");
+    out = JsonValue::of(d);
+    return true;
+  }
+
+  bool array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = JsonValue::array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!value(item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out = JsonValue::array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = JsonValue::object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':'");
+      ++pos_;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out = JsonValue::object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  return Parser(text).run(error);
 }
 
 }  // namespace tmg

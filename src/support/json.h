@@ -1,15 +1,80 @@
-// Minimal JSON string quoting shared by every JSON emitter in the tree
-// (driver reports, engine bench reports). One escaper, one behaviour:
-// quotes and backslashes are escaped, \n and \t use their short forms,
-// all other control characters become \u00XX.
+// Minimal JSON support shared by every JSON producer/consumer in the tree:
+// one string escaper (driver reports, engine bench reports), one
+// round-trip-exact double formatter, and a small JSON value + recursive
+// descent parser used by the shard merge (child shard processes stream
+// per-file results as JSON; the parent parses and merges them).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace tmg {
 
 /// Returns `s` as a double-quoted JSON string literal.
 std::string json_quote(std::string_view s);
+
+/// Formats a double so that parsing the result recovers the exact bits
+/// (printf %.17g). Used by the shard IPC so re-rendered wall-clock values
+/// are byte-identical to an in-process run.
+std::string json_double(double v);
+
+/// One parsed JSON value. Numbers keep both representations: integral
+/// literals (no '.', 'e') that fit int64 report is_int() so counters
+/// survive the round trip exactly; as_double() works for both.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::Int; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return kind_ == Kind::Double ? static_cast<std::int64_t>(double_) : int_;
+  }
+  [[nodiscard]] double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// find() that dies on absence is deliberately not offered: shard
+  /// payloads come from another process, so every read must handle
+  /// malformed input. `get` returns a Null-kind sentinel instead.
+  [[nodiscard]] const JsonValue& get(std::string_view key) const;
+
+  // Construction (parser + tests).
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue of(bool b);
+  static JsonValue of(std::int64_t v);
+  static JsonValue of(double v);
+  static JsonValue of(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;  // Array
+  std::vector<std::pair<std::string, JsonValue>> members_;  // Object
+};
+
+/// Parses one JSON document (object, array or scalar; leading/trailing
+/// whitespace allowed, nothing else may follow). Returns nullopt and a
+/// position-annotated message in `error` on malformed input.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace tmg

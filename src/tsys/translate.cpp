@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "minic/eval.h"
+
 namespace tmg::tsys {
 
 using cfg::BasicBlock;
@@ -38,6 +40,38 @@ class Translator {
   TransitionSystem& ts() { return result_->ts; }
 
   // -------------------------------------------------------------- variables
+
+  /// Widens `lo`/`hi` of an annotated symbol to cover every value this
+  /// function's assignments can store into it. The `__input(lo, hi)`
+  /// annotation is a *domain* of initial values, not an invariant: the
+  /// program may assign past it (b4-style state machines stay inside, but
+  /// nothing forces that), and assignments wrap to the TYPE. An encoding
+  /// narrowed to the annotation would silently truncate such stores at
+  /// the bit level — diverging from the interpreter, run_concrete and
+  /// mc::explore, which all use type semantics. Constant stores widen by
+  /// exactly the constant (keeps b4's 2-bit state); anything else widens
+  /// to the full type range.
+  void widen_for_stores(const Stmt& s, const Symbol& sym, std::int64_t& lo,
+                        std::int64_t& hi) const {
+    if (s.kind == StmtKind::Assign && s.sym == &sym) {
+      if (!s.assign_op && !s.children.empty() && s.children[0] &&
+          s.children[0]->kind == ExprKind::IntLit) {
+        const std::int64_t v =
+            minic::wrap_to_type(s.children[0]->int_value, sym.type);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      } else {
+        lo = std::min(lo, minic::type_min(sym.type));
+        hi = std::max(hi, minic::type_max(sym.type));
+      }
+    }
+    for (const minic::StmtPtr& child : s.body)
+      if (child) widen_for_stores(*child, sym, lo, hi);
+    for (const minic::SwitchCase& c : s.cases)
+      for (const minic::StmtPtr& child : c.body)
+        if (child) widen_for_stores(*child, sym, lo, hi);
+  }
+
   void make_variables() {
     result_->var_of_symbol.assign(program_.symbols.size(), kNoVar);
 
@@ -50,6 +84,7 @@ class Translator {
         lo = std::min<std::int64_t>(lo, minic::type_min(Type::Int16));
         hi = std::max<std::int64_t>(hi, minic::type_max(Type::Int16));
       }
+      if (sym.input_range) widen_for_stores(*f_.fn->body, sym, lo, hi);
       const VarId v = ts().add_var(sym.name, sym.type, lo, hi);
       ts().vars[v].is_input = input;
       ts().vars[v].semantic_init = sym.init_value;

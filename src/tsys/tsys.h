@@ -42,14 +42,35 @@ struct VarInfo {
   /// recorded by the translator so the Variable Initialisation pass can pin
   /// uninitialised variables to their real values.
   std::int64_t semantic_init = 0;
-  /// The declared C type's value range — the hard bound Range Analysis may
-  /// clamp to even when the encoding was pessimistically widened.
+  /// The declared C value range (domain annotation when present, else the
+  /// type's range) — the hard bound Range Analysis may clamp to even when
+  /// the encoding was pessimistically widened, and the domain free
+  /// *initial* values are drawn from (init_lo/init_hi below).
   std::int64_t decl_lo = 0;
   std::int64_t decl_hi = 0;
 
   /// Encoding width in bits for [lo, hi] (two's complement when lo < 0).
+  /// [lo, hi] must over-approximate every storable value: the translator
+  /// widens it past a domain annotation when the function assigns values
+  /// outside it (assignments wrap to the *type*, and the bit-level BMC
+  /// encoding must agree with the type-level interpreter semantics).
   [[nodiscard]] int bits() const;
   [[nodiscard]] bool is_signed_encoding() const { return lo < 0; }
+
+  /// Free-initial-value domain: the encoding range intersected with the
+  /// declared range (falls back to the encoding range if disjoint, which
+  /// only hand-mutated systems can produce). Inputs draw their test data
+  /// from here; uninitialised state starts anywhere in here.
+  [[nodiscard]] std::int64_t init_lo() const {
+    const std::int64_t l = lo > decl_lo ? lo : decl_lo;
+    const std::int64_t h = hi < decl_hi ? hi : decl_hi;
+    return l <= h ? l : lo;
+  }
+  [[nodiscard]] std::int64_t init_hi() const {
+    const std::int64_t l = lo > decl_lo ? lo : decl_lo;
+    const std::int64_t h = hi < decl_hi ? hi : decl_hi;
+    return l <= h ? h : hi;
+  }
 };
 
 /// A parallel assignment var' = value.

@@ -1,0 +1,214 @@
+#include "fuzz_gen.h"
+
+#include <sstream>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace tmg::fuzz {
+
+namespace {
+
+/// Distinct prime cycle costs so different call mixes price differently.
+constexpr int kOpCosts[] = {3, 5, 11};
+constexpr int kNumOps = 3;
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const FuzzConfig& cfg)
+      : rng_(seed), cfg_(cfg) {}
+
+  /// Builds one program; returns false when the structural-path estimate
+  /// blew the budget (caller retries with a derived seed).
+  bool build(GeneratedProgram& out) {
+    paths_ = 1;
+    body_.str("");
+    locals_.clear();
+    inputs_.clear();
+    loop_counter_ = 0;
+    has_loop_ = false;
+    has_branch_in_loop_ = false;
+
+    // Inputs: tiny declared domains; the product caps the brute force.
+    const int num_inputs = 1 + static_cast<int>(rng_.below(
+                                   static_cast<std::uint64_t>(cfg_.max_inputs)));
+    std::uint64_t product = 1;
+    std::ostringstream header;
+    for (int i = 0; i < num_inputs; ++i) {
+      const std::int64_t lo = rng_.range(-2, 1);
+      const std::int64_t width = rng_.range(1, 3);  // 2..4 values
+      if (product * static_cast<std::uint64_t>(width + 1) >
+          cfg_.max_input_product)
+        break;
+      product *= static_cast<std::uint64_t>(width + 1);
+      header << "__input(" << lo << ", " << (lo + width) << ") int in" << i
+             << ";\n";
+      inputs_.push_back("in" + std::to_string(i));
+    }
+    for (int i = 0; i < kNumOps; ++i)
+      header << "extern void op" << i << "(void) __cost(" << kOpCosts[i]
+             << ");\n";
+
+    const int num_locals =
+        1 + static_cast<int>(
+                rng_.below(static_cast<std::uint64_t>(cfg_.max_locals)));
+    std::ostringstream decls;
+    for (int i = 0; i < num_locals; ++i) {
+      decls << "  int x" << i << " = " << rng_.range(-2, 3) << ";\n";
+      locals_.push_back("x" + std::to_string(i));
+    }
+
+    const int top_stmts = 2 + static_cast<int>(rng_.below(
+                                  static_cast<std::uint64_t>(cfg_.max_stmts)));
+    for (int i = 0; i < top_stmts; ++i) statement(1, /*in_loop=*/false);
+    if (paths_ > cfg_.max_paths) return false;
+
+    std::ostringstream src;
+    src << header.str() << "\nvoid fz(void)\n{\n" << decls.str()
+        << body_.str() << "}\n";
+    out.source = src.str();
+    out.num_inputs = static_cast<int>(inputs_.size());
+    out.has_loop = has_loop_;
+    out.has_branch_in_loop = has_branch_in_loop_;
+    return true;
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) body_ << "  ";
+  }
+
+  /// Any readable variable (inputs, locals, enclosing loop counters).
+  std::string read_var(bool in_loop) {
+    std::vector<const std::string*> pool;
+    for (const std::string& v : inputs_) pool.push_back(&v);
+    for (const std::string& v : locals_) pool.push_back(&v);
+    std::string loop_var;
+    if (in_loop && loop_counter_ > 0) {
+      loop_var = "i" + std::to_string(loop_counter_ - 1);
+      pool.push_back(&loop_var);
+    }
+    return *pool[rng_.below(pool.size())];
+  }
+
+  std::string expr(int depth, bool in_loop) {
+    if (depth >= 2 || rng_.chance(0.45)) {
+      if (rng_.chance(0.3)) return std::to_string(rng_.range(-4, 7));
+      return read_var(in_loop);
+    }
+    static const char* kOps[] = {"+", "-", "*", "&", "|", "^"};
+    const char* op = kOps[rng_.below(6)];
+    return "(" + expr(depth + 1, in_loop) + " " + op + " " +
+           expr(depth + 1, in_loop) + ")";
+  }
+
+  std::string guard(bool in_loop) {
+    static const char* kCmps[] = {"==", "!=", "<", "<=", ">", ">="};
+    return expr(1, in_loop) + " " + kCmps[rng_.below(6)] + " " +
+           expr(1, in_loop);
+  }
+
+  void assignment(int depth, bool in_loop) {
+    // Inputs are assignable too (b4's `state` machine idiom), just rarely.
+    const std::string target =
+        (!inputs_.empty() && rng_.chance(0.2))
+            ? inputs_[rng_.below(inputs_.size())]
+            : locals_[rng_.below(locals_.size())];
+    indent(depth);
+    if (rng_.chance(0.3))
+      body_ << target << " += " << expr(0, in_loop) << ";\n";
+    else
+      body_ << target << " = " << expr(0, in_loop) << ";\n";
+  }
+
+  void call(int depth) {
+    indent(depth);
+    body_ << "op" << rng_.below(kNumOps) << "();\n";
+  }
+
+  void block(int depth, bool in_loop, std::uint64_t& block_paths) {
+    const std::uint64_t before = paths_;
+    paths_ = 1;
+    const int n = 1 + static_cast<int>(rng_.below(2));
+    for (int i = 0; i < n; ++i) statement(depth, in_loop);
+    block_paths = paths_;
+    paths_ = before;
+  }
+
+  void if_statement(int depth, bool in_loop) {
+    if (in_loop) has_branch_in_loop_ = true;
+    indent(depth);
+    body_ << "if (" << guard(in_loop) << ") {\n";
+    std::uint64_t then_paths = 1;
+    block(depth + 1, in_loop, then_paths);
+    std::uint64_t else_paths = 1;
+    if (rng_.chance(0.5)) {
+      indent(depth);
+      body_ << "} else {\n";
+      block(depth + 1, in_loop, else_paths);
+    }
+    indent(depth);
+    body_ << "}\n";
+    paths_ *= then_paths + else_paths;
+  }
+
+  void loop_statement(int depth) {
+    has_loop_ = true;
+    const int bound = 1 + static_cast<int>(rng_.below(3));  // 1..3
+    const std::string iv = "i" + std::to_string(loop_counter_++);
+    indent(depth);
+    body_ << "__loopbound(" << bound << ") for (int " << iv << " = 0; " << iv
+          << " < " << bound << "; " << iv << " += 1) {\n";
+    std::uint64_t body_paths = 1;
+    block(depth + 1, /*in_loop=*/true, body_paths);
+    indent(depth);
+    body_ << "}\n";
+    --loop_counter_;
+    // Structural estimate: 0..bound iterations, each multiplying in the
+    // body's decision fan-out.
+    std::uint64_t total = 1, pow = 1;
+    for (int k = 1; k <= bound; ++k) {
+      pow *= body_paths;
+      total += pow;
+      if (total > cfg_.max_paths) break;
+    }
+    paths_ *= total;
+  }
+
+  void statement(int depth, bool in_loop) {
+    const double roll = rng_.unit();
+    if (depth < cfg_.max_depth && roll < 0.25) {
+      if_statement(depth, in_loop);
+    } else if (cfg_.allow_loops && !in_loop && depth < 2 && roll < 0.40) {
+      loop_statement(depth);
+    } else if (roll < 0.60) {
+      call(depth);
+    } else {
+      assignment(depth, in_loop);
+    }
+  }
+
+  Rng rng_;
+  const FuzzConfig& cfg_;
+  std::ostringstream body_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> locals_;
+  int loop_counter_ = 0;
+  std::uint64_t paths_ = 1;
+  bool has_loop_ = false;
+  bool has_branch_in_loop_ = false;
+};
+
+}  // namespace
+
+GeneratedProgram generate_program(std::uint64_t seed, const FuzzConfig& cfg) {
+  GeneratedProgram out;
+  // Deterministic retry: over-budget drafts are discarded and the seed is
+  // re-derived, so every (seed, cfg) still maps to exactly one program.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    Generator gen(seed + attempt * 0x9e3779b97f4a7c15ULL, cfg);
+    if (gen.build(out)) return out;
+  }
+}
+
+}  // namespace tmg::fuzz

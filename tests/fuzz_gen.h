@@ -1,0 +1,52 @@
+// Seeded random mini-C program generator for the differential fuzz
+// harness (tests/test_fuzz.cpp). Programs are small by construction:
+// bounded loops only, nested ifs, comparison guards, and inputs declared
+// as `__input(lo, hi)` globals with tiny domains — so the reference
+// interpreter can brute-force every input, the explicit-state explorer
+// can reach its fixpoint, and the BMC pipeline stays conclusive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmg::fuzz {
+
+struct FuzzConfig {
+  /// Input globals (each with a 2..4-value declared range).
+  int max_inputs = 3;
+  /// Locals, always initialised at declaration (write-before-read, so the
+  /// free-initial-value encoding cannot diverge from C semantics).
+  int max_locals = 3;
+  /// Maximum if-nesting depth.
+  int max_depth = 3;
+  /// Statements per block arm.
+  int max_stmts = 4;
+  /// Structural path budget; generation retries (deterministically) until
+  /// the estimate fits, so enumeration is always complete downstream.
+  std::uint64_t max_paths = 200;
+  /// Cap on the input-domain cross product (brute-force budget).
+  std::uint64_t max_input_product = 64;
+  /// Permit `__loopbound` for loops (never nested).
+  bool allow_loops = true;
+};
+
+/// One generated program plus the shape facts the oracle needs to pick
+/// its strictness level.
+struct GeneratedProgram {
+  std::string source;
+  /// Function and input bookkeeping for the oracle.
+  int num_inputs = 0;
+  bool has_loop = false;
+  /// A decision inside a loop body revisits its decision block with
+  /// varying outcomes, which the path-policy BMC query cannot force —
+  /// those paths report Unknown, so the oracle downgrades the equality
+  /// checks to soundness bounds for such programs.
+  bool has_branch_in_loop = false;
+};
+
+/// Deterministic: the same (seed, cfg) always yields the same program, on
+/// every platform (support/rng.h xoshiro).
+GeneratedProgram generate_program(std::uint64_t seed,
+                                  const FuzzConfig& cfg = {});
+
+}  // namespace tmg::fuzz

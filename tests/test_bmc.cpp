@@ -355,5 +355,127 @@ TEST_P(BmcDifferential, AgreesWithInterpreterOnEveryPath) {
 INSTANTIATE_TEST_SUITE_P(Programs, BmcDifferential,
                          ::testing::Values(0, 1, 2));
 
+// ------------------------------------------------- witness minimisation
+
+TEST(WitnessMinimisation, PrefersZeroWhenDomainAllowsIt) {
+  // `a >= -5` admits many inputs; the minimised witness must settle on 0.
+  Built b = build("void f(int a) { if (a >= -5) { a = 1; } }");
+  cfg::EdgeRef true_edge{};
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          true_edge = cfg::EdgeRef{bb2.id, i};
+  BmcQuery q;
+  q.forced_choices = {true_edge};
+  q.must_take = true_edge;
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(test_data(b, r)[0], 0);
+}
+
+TEST(WitnessMinimisation, FindsSmallestFeasibleWhenZeroInfeasible) {
+  // 0 fails the guard; the smallest feasible value is 43.
+  Built b = build("void f(int a) { if (a > 42) { a = 1; } }");
+  cfg::EdgeRef true_edge{};
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          true_edge = cfg::EdgeRef{bb2.id, i};
+  BmcQuery q;
+  q.forced_choices = {true_edge};
+  q.must_take = true_edge;
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_EQ(test_data(b, r)[0], 43);
+}
+
+TEST(WitnessMinimisation, AnchorsOnDomainLowerBoundWithoutZero) {
+  // The declared domain excludes 0: the anchor is the domain lower bound.
+  Built b = build(
+      "__input(5, 9) int sel;"
+      "void f(void) { int x = 0; if (sel >= 5) { x = 1; } }");
+  const BmcResult r = solve(b.tr->ts, BmcQuery{});
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  const tsys::VarId v =
+      b.tr->var_of_symbol[b.program->inputs_of(*b.f->fn)[0]->id];
+  EXPECT_EQ(r.initial_values[v], 5);
+}
+
+TEST(WitnessMinimisation, LaterVariablesMinimiseUnderEarlierPins) {
+  // Greedy VarId order: a settles on its minimum first, then b2
+  // minimises under a's pin (a + b2 == 10 -> a = 0, b2 = 10).
+  Built b = build(
+      "void f(int a, int b2) { if (a + b2 == 10) { a = 1; } "
+      "if (a >= -30000) { b2 = 1; } }");
+  cfg::EdgeRef first_true{};
+  bool found = false;
+  for (const auto& bb2 : b.f->graph.blocks()) {
+    if (!bb2.is_decision() || found) continue;
+    for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+      if (bb2.succs[i].kind == cfg::EdgeKind::True) {
+        first_true = cfg::EdgeRef{bb2.id, i};
+        found = true;
+      }
+  }
+  BmcQuery q;
+  q.forced_choices = {first_true};
+  q.must_take = first_true;
+  const BmcResult r = solve(b.tr->ts, q);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  const auto data = test_data(b, r);
+  EXPECT_EQ(data[0], 0);
+  EXPECT_EQ(data[1], 10);
+}
+
+TEST(WitnessMinimisation, DisablingItStillYieldsAValidWitness) {
+  Built b = build("void f(int a) { if (a > 42) { a = 1; } }");
+  cfg::EdgeRef true_edge{};
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          true_edge = cfg::EdgeRef{bb2.id, i};
+  BmcQuery q;
+  q.forced_choices = {true_edge};
+  q.must_take = true_edge;
+  BmcOptions opts;
+  opts.minimize_witness = false;
+  const BmcResult r = solve(b.tr->ts, q, opts);
+  ASSERT_EQ(r.status, BmcStatus::TestData);
+  EXPECT_GT(test_data(b, r)[0], 42);  // valid, but not necessarily minimal
+}
+
+TEST(WitnessMinimisation, DeterministicAcrossRepeatedSolves) {
+  Built b = build(
+      "void f(int a, int b2) { if ((a ^ b2) > 100) { a = 1; } }");
+  cfg::EdgeRef true_edge{};
+  for (const auto& bb2 : b.f->graph.blocks())
+    if (bb2.is_decision())
+      for (std::uint32_t i = 0; i < bb2.succs.size(); ++i)
+        if (bb2.succs[i].kind == cfg::EdgeKind::True)
+          true_edge = cfg::EdgeRef{bb2.id, i};
+  BmcQuery q;
+  q.forced_choices = {true_edge};
+  q.must_take = true_edge;
+  const BmcResult r1 = solve(b.tr->ts, q);
+  const BmcResult r2 = solve(b.tr->ts, q);
+  ASSERT_EQ(r1.status, BmcStatus::TestData);
+  EXPECT_EQ(r1.initial_values, r2.initial_values);
+}
+
+TEST(WitnessMinimisation, CnfMetricsUnaffectedByMinimisation) {
+  // The solver memory proxy (Table 2) must not absorb the minimisation's
+  // extra comparison circuits.
+  Built b = build("void f(int a) { if (a > 42) { a = 1; } }");
+  BmcOptions with, without;
+  without.minimize_witness = false;
+  const BmcResult r1 = solve(b.tr->ts, BmcQuery{}, with);
+  const BmcResult r2 = solve(b.tr->ts, BmcQuery{}, without);
+  EXPECT_EQ(r1.cnf_vars, r2.cnf_vars);
+  EXPECT_EQ(r1.cnf_clauses, r2.cnf_clauses);
+}
+
 }  // namespace
 }  // namespace tmg::bmc

@@ -7,7 +7,9 @@
 #include "driver/cli.h"
 #include "driver/pipeline.h"
 #include "driver/report.h"
+#include "driver/shard.h"
 #include "paper_examples.h"
+#include "support/json.h"
 
 namespace tmg::driver {
 namespace {
@@ -928,6 +930,270 @@ TEST(CliHelp, PrintsUsage) {
   const char* argv[] = {"tmg", "--help"};
   EXPECT_EQ(run_cli(2, argv, out, err), 0);
   EXPECT_NE(out.str().find("usage: tmg"), std::string::npos);
+}
+
+// --------------------------------------------- batch frontier (run_batch)
+
+TEST(RunBatch, PerFileResultsMatchStandalonePipelineRuns) {
+  const std::vector<std::string> sources = {testing::kFigure1Source,
+                                            testing::kExampleB1};
+  const PipelineOptions opts;
+  const BatchResult batch = run_batch(sources, {"fig1.mc", "b1.mc"}, opts);
+  ASSERT_TRUE(batch.ok) << batch.error;
+  ASSERT_EQ(batch.files.size(), 2u);
+
+  const Pipeline solo(opts);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const PipelineResult alone = solo.run(sources[i]);
+    const PipelineResult& batched = batch.files[i].result;
+    ASSERT_TRUE(alone.ok);
+    EXPECT_EQ(batched.analysis_jobs, alone.analysis_jobs);
+    ASSERT_EQ(batched.functions.size(), alone.functions.size());
+    for (std::size_t f = 0; f < alone.functions.size(); ++f) {
+      const FunctionTiming& a = alone.functions[f];
+      const FunctionTiming& b = batched.functions[f];
+      EXPECT_EQ(a.name, b.name);
+      ASSERT_EQ(a.segments.size(), b.segments.size());
+      for (std::size_t s = 0; s < a.segments.size(); ++s) {
+        EXPECT_EQ(a.segments[s].bcet, b.segments[s].bcet);
+        EXPECT_EQ(a.segments[s].wcet, b.segments[s].wcet);
+        EXPECT_EQ(a.segments[s].feasible, b.segments[s].feasible);
+        EXPECT_EQ(a.segments[s].infeasible, b.segments[s].infeasible);
+        EXPECT_EQ(a.segments[s].unknown, b.segments[s].unknown);
+        EXPECT_EQ(a.segments[s].validated, b.segments[s].validated);
+        ASSERT_EQ(a.segments[s].paths.size(), b.segments[s].paths.size());
+        for (std::size_t p = 0; p < a.segments[s].paths.size(); ++p)
+          EXPECT_EQ(a.segments[s].paths[p].witness,
+                    b.segments[s].paths[p].witness);
+      }
+    }
+  }
+}
+
+TEST(RunBatch, FirstFailingFileInInputOrderWins) {
+  // The second file fails; the error must name it even though the global
+  // frontier keeps analysing the others.
+  const std::vector<std::string> sources = {
+      testing::kFigure1Source, "void broken(void) { oops(); }",
+      "void also_broken(void) { nope(); }"};
+  const BatchResult batch =
+      run_batch(sources, {"a.mc", "b.mc", "c.mc"}, PipelineOptions{});
+  EXPECT_FALSE(batch.ok);
+  EXPECT_EQ(batch.error_index, 1u);
+  EXPECT_EQ(batch.error.rfind("b.mc: ", 0), 0u) << batch.error;
+}
+
+TEST(RunBatch, WorkerCountDoesNotChangeResults) {
+  const std::vector<std::string> sources = {testing::kFigure1Source,
+                                            testing::kExampleB1};
+  PipelineOptions serial;
+  serial.jobs = 1;
+  PipelineOptions pool;
+  pool.jobs = 4;
+  const BatchResult a = run_batch(sources, {}, serial);
+  const BatchResult b = run_batch(sources, {}, pool);
+  ASSERT_TRUE(a.ok && b.ok);
+  std::ostringstream ra, rb;
+  render_batch_report(a.files, serial, ReportFormat::Json, false, ra);
+  render_batch_report(b.files, pool, ReportFormat::Json, false, rb);
+  EXPECT_EQ(ra.str(), rb.str());
+}
+
+// ------------------------------------------------------ shard wire format
+
+TEST(ShardWire, BatchPayloadRoundTripsRenderedReport) {
+  const std::vector<std::string> sources = {testing::kFigure1Source,
+                                            testing::kExampleB1};
+  const PipelineOptions opts;
+  BatchResult batch = run_batch(sources, {"fig1.mc", "b1.mc"}, opts);
+  ASSERT_TRUE(batch.ok);
+
+  const std::string payload = serialize_batch_payload(batch, {0, 1});
+  std::vector<BatchEntry> slots(2);
+  std::vector<bool> filled(2, false);
+  std::size_t fail_index = 0;
+  std::string fail_error, error;
+  ASSERT_TRUE(merge_batch_payload(payload, 2, slots, filled, fail_index,
+                                  fail_error, error))
+      << error;
+  EXPECT_TRUE(fail_error.empty());
+  ASSERT_TRUE(filled[0] && filled[1]);
+  slots[0].path = "fig1.mc";
+  slots[1].path = "b1.mc";
+
+  // The deserialised results must render byte-identically, stats included
+  // (wall clocks travel as %.17g and parse back exactly).
+  for (const bool with_stats : {false, true}) {
+    for (const ReportFormat fmt :
+         {ReportFormat::Text, ReportFormat::Csv, ReportFormat::Json}) {
+      std::ostringstream direct, merged;
+      render_batch_report(batch.files, opts, fmt, with_stats, direct);
+      render_batch_report(slots, opts, fmt, with_stats, merged);
+      EXPECT_EQ(direct.str(), merged.str())
+          << "fmt=" << static_cast<int>(fmt) << " stats=" << with_stats;
+    }
+  }
+}
+
+TEST(ShardWire, ErrorPayloadCarriesIndexAndMessage) {
+  BatchResult failed;
+  failed.ok = false;
+  failed.error = "b.mc: undeclared identifier\n";
+  failed.error_index = 1;  // slice-local index 1 -> global index 5
+  const std::string payload = serialize_batch_payload(failed, {2, 5});
+
+  std::vector<BatchEntry> slots(8);
+  std::vector<bool> filled(8, false);
+  std::size_t fail_index = 0;
+  std::string fail_error, error;
+  ASSERT_TRUE(merge_batch_payload(payload, 8, slots, filled, fail_index,
+                                  fail_error, error));
+  EXPECT_EQ(fail_index, 5u);
+  EXPECT_EQ(fail_error, "b.mc: undeclared identifier\n");
+}
+
+TEST(ShardWire, MalformedPayloadRejected) {
+  std::vector<BatchEntry> slots(1);
+  std::vector<bool> filled(1, false);
+  std::size_t fail_index = 0;
+  std::string fail_error, error;
+  EXPECT_FALSE(merge_batch_payload("not json", 1, slots, filled, fail_index,
+                                   fail_error, error));
+  EXPECT_FALSE(merge_batch_payload("{\"ok\":true,\"files\":[{\"index\":7}]}",
+                                   1, slots, filled, fail_index, fail_error,
+                                   error));
+  EXPECT_NE(error.find("bad file index"), std::string::npos);
+}
+
+// ----------------------------------------------------- --shards CLI mode
+
+TEST(Cli, ParsesShards) {
+  // parse_cli accumulates into its CliOptions; every call needs a fresh one.
+  const auto parse = [](std::vector<std::string> args) {
+    CliOptions opts;
+    std::string error;
+    const bool ok = parse_cli(args, opts, error);
+    return std::pair<bool, CliOptions>(ok, std::move(opts));
+  };
+  const auto [ok, opts] = parse({"--shards=4", "a.mc", "b.mc"});
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(opts.shards, 4u);
+  EXPECT_FALSE(parse({"--shards=0", "a.mc"}).first);
+  EXPECT_FALSE(parse({"--shards=huge", "a.mc"}).first);
+  EXPECT_FALSE(parse({"--shards=2", "--table1", "a.mc"}).first);
+  EXPECT_FALSE(parse({"--shards=2", "--dot", "a.mc"}).first);
+  // --shards composes with the batch modes.
+  EXPECT_TRUE(parse({"--shards=2", "--table2", "a.mc", "b.mc"}).first);
+  EXPECT_TRUE(parse({"--shards=2", "--bench=1", "a.mc", "b.mc"}).first);
+}
+
+TEST_F(CliBatchTest, ShardedBatchIsByteIdenticalToInProcess) {
+  for (const char* fmt : {"text", "csv", "json"}) {
+    const std::string format = std::string("--format=") + fmt;
+    EXPECT_EQ(run({format, "--shards=1", fig1_, b1_}), 0) << err_.str();
+    const std::string in_process = out_.str();
+    EXPECT_EQ(run({format, "--shards=2", fig1_, b1_}), 0) << err_.str();
+    EXPECT_EQ(in_process, out_.str()) << "format " << fmt;
+  }
+}
+
+TEST_F(CliBatchTest, ShardedTable2MatchesDeterministicColumns) {
+  EXPECT_EQ(run({"--table2", "--format=json", "--shards=2", fig1_, b1_}), 0)
+      << err_.str();
+  const std::string json = out_.str();
+  EXPECT_NE(json.find("\"table2\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"all_identical\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"fig1\""), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"b1\""), std::string::npos);
+  // Row order is input order, regardless of shard assignment.
+  EXPECT_LT(json.find("\"function\":\"fig1\""),
+            json.find("\"function\":\"b1\""));
+}
+
+TEST_F(CliBatchTest, ShardedBenchAggregatesAcrossShards) {
+  EXPECT_EQ(run({"--bench=1", "--shards=2", fig1_, b1_}), 0) << err_.str();
+  const std::string json = out_.str();
+  EXPECT_EQ(json.rfind("{\"bench\":{", 0), 0u);
+  EXPECT_NE(json.find("\"batch_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_speedup\":"), std::string::npos);
+  EXPECT_NE(json.find("tmg_batch_fig1_"), std::string::npos);
+  EXPECT_NE(json.find("tmg_batch_b1_"), std::string::npos);
+}
+
+TEST_F(CliBatchTest, ShardedFailureNamesFirstFailingFile) {
+  const std::string bad = ::testing::TempDir() + "tmg_shard_bad_" +
+                          ::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name() +
+                          ".mc";
+  std::ofstream(bad) << "void f(void) { oops(); }";
+  EXPECT_EQ(run({"--shards=2", fig1_, bad}), 2);
+  EXPECT_NE(err_.str().find("tmg_shard_bad_"), std::string::npos);
+  EXPECT_NE(err_.str().find("undeclared"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+// ----------------------------------------------- golden Table-2 regression
+
+/// Normalises a --table2 CSV for the golden diff: file paths reduced to
+/// basenames, wall-clock columns (bmc_ms, bmc_ms_opt) masked — everything
+/// else (bits, locations, transitions, depth, CNF size, model equality)
+/// is a pure function of (source, options) and must match the committed
+/// golden rows exactly.
+std::string normalize_table2_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::ostringstream out;
+  std::string line;
+  std::vector<std::size_t> masked;
+  bool header = true;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (header) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        if (cells[i] == "bmc_ms" || cells[i] == "bmc_ms_opt")
+          masked.push_back(i);
+      header = false;
+    } else {
+      if (!cells.empty()) {
+        const std::size_t slash = cells[0].find_last_of('/');
+        if (slash != std::string::npos) cells[0] = cells[0].substr(slash + 1);
+      }
+      for (const std::size_t i : masked)
+        if (i < cells.size()) cells[i] = "-";
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      out << (i > 0 ? "," : "") << cells[i];
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenTable2, ExamplesMatchCommittedRows) {
+  const std::string dir = std::string(TMG_SOURCE_DIR) + "/examples/";
+  std::vector<std::string> argv_store = {"tmg", "--table2", "--format=csv"};
+  for (const char* name :
+       {"b1.mc", "b2.mc", "b3.mc", "b4.mc", "b5.mc", "b6.mc", "b7.mc",
+        "fig1.mc"})
+    argv_store.push_back(dir + name);
+  std::vector<const char*> argv;
+  for (const std::string& a : argv_store) argv.push_back(a.c_str());
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_cli(static_cast<int>(argv.size()), argv.data(), out, err), 0)
+      << err.str();
+
+  std::ifstream golden(std::string(TMG_SOURCE_DIR) +
+                       "/tests/golden/table2_examples.csv");
+  ASSERT_TRUE(golden.good()) << "golden file missing";
+  std::ostringstream want;
+  want << golden.rdbuf();
+
+  EXPECT_EQ(normalize_table2_csv(out.str()), want.str())
+      << "Optimisation characteristics changed. If intended, regenerate "
+         "tests/golden/table2_examples.csv (see TESTING.md).";
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -212,6 +214,113 @@ TEST(BenchReport, OptimisedRunTracksItsOwnSpeedup) {
             std::string::npos);
   EXPECT_NE(os.str().find("\"opt_speedup\":3.000000"), std::string::npos);
   EXPECT_NE(os.str().find("\"opt_speedup\":2.000000"), std::string::npos);
+}
+
+TEST(BenchReport, BatchSpeedupComparesPoolSumToFrontier) {
+  BenchReport r;
+  BenchFile a;
+  a.parallel_seconds = 0.3;
+  r.files.push_back(a);
+  BenchFile b;
+  b.parallel_seconds = 0.3;
+  r.files.push_back(b);
+  EXPECT_DOUBLE_EQ(r.batch_speedup(), 0.0);  // unmeasured: no inf
+  r.batch_seconds = 0.4;
+  EXPECT_DOUBLE_EQ(r.batch_speedup(), 1.5);
+
+  std::ostringstream os;
+  r.render_json(os);
+  EXPECT_NE(os.str().find("\"batch_seconds\":0.400000"), std::string::npos);
+  EXPECT_NE(os.str().find("\"batch_speedup\":1.500000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Frontier
+
+TEST(Frontier, DrainsSeededJobsSerially) {
+  std::vector<std::atomic<int>> hits(9);
+  Frontier f(1);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    f.push(AnalysisJob{[&hits, i](unsigned) { ++hits[i]; }});
+  const SchedulerStats stats = f.run();
+  EXPECT_EQ(stats.jobs, hits.size());
+  EXPECT_EQ(stats.workers, 1u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Frontier, JobsCanPushJobs) {
+  // The batch pipeline's shape: a "front half" job expands into per-path
+  // jobs, whose completion pushes a merge job.
+  for (const unsigned workers : {1u, 4u}) {
+    std::atomic<int> leaves{0};
+    std::atomic<int> merges{0};
+    Frontier f(workers);
+    for (int file = 0; file < 3; ++file) {
+      f.push(AnalysisJob{[&f, &leaves, &merges](unsigned) {
+        auto remaining = std::make_shared<std::atomic<int>>(5);
+        for (int j = 0; j < 5; ++j) {
+          f.push(AnalysisJob{[&f, &leaves, &merges, remaining](unsigned) {
+            ++leaves;
+            if (remaining->fetch_sub(1) == 1)
+              f.push(AnalysisJob{[&merges](unsigned) { ++merges; }});
+          }});
+        }
+      }});
+    }
+    const SchedulerStats stats = f.run();
+    EXPECT_EQ(leaves.load(), 15) << "workers=" << workers;
+    EXPECT_EQ(merges.load(), 3) << "workers=" << workers;
+    EXPECT_EQ(stats.jobs, 3u + 15u + 3u);
+  }
+}
+
+TEST(Frontier, RunReturnsOnlyWhenNoJobInFlight) {
+  // A slow job that pushes at the last moment must still have its push
+  // executed before run() returns.
+  std::atomic<bool> late_ran{false};
+  Frontier f(4);
+  f.push(AnalysisJob{[&f, &late_ran](unsigned) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    f.push(AnalysisJob{[&late_ran](unsigned) { late_ran = true; }});
+  }});
+  f.run();
+  EXPECT_TRUE(late_ran.load());
+}
+
+TEST(Frontier, FirstExceptionPropagatesAndStopsDrain) {
+  for (const unsigned workers : {1u, 4u}) {
+    Frontier f(workers);
+    std::atomic<int> ran{0};
+    f.push(AnalysisJob{[](unsigned) { throw std::runtime_error("boom"); }});
+    for (int i = 0; i < 32; ++i)
+      f.push(AnalysisJob{[&ran](unsigned) { ++ran; }});
+    EXPECT_THROW(f.run(), std::runtime_error) << "workers=" << workers;
+    // The queue was discarded; a later run() must not resurrect it.
+    const SchedulerStats stats = f.run();
+    EXPECT_EQ(stats.jobs, 0u);
+  }
+}
+
+TEST(Frontier, ReusableAcrossRuns) {
+  Frontier f(2);
+  std::atomic<int> count{0};
+  f.push(AnalysisJob{[&count](unsigned) { ++count; }});
+  f.run();
+  EXPECT_EQ(count.load(), 1);
+  f.push(AnalysisJob{[&count](unsigned) { ++count; }});
+  f.push(AnalysisJob{[&count](unsigned) { ++count; }});
+  f.run();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Frontier, WorkerIdsStayInRange) {
+  Frontier f(3);
+  std::atomic<bool> bad{false};
+  for (int i = 0; i < 64; ++i)
+    f.push(AnalysisJob{[&f, &bad](unsigned w) {
+      if (w >= f.workers()) bad = true;
+    }});
+  f.run();
+  EXPECT_FALSE(bad.load());
 }
 
 }  // namespace

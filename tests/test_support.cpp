@@ -323,5 +323,70 @@ TEST(JsonQuote, EscapesSpecialsAndControls) {
   EXPECT_EQ(json_quote(std::string("a\x01z")), "\"a\\u0001z\"");
 }
 
+// ------------------------------------------------- JSON parser (shard IPC)
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(json_parse("null")->kind(), JsonValue::Kind::Null);
+  EXPECT_TRUE(json_parse("true")->as_bool());
+  EXPECT_FALSE(json_parse("false")->as_bool());
+  const JsonValue i = *json_parse("-42");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.as_int(), -42);
+  EXPECT_DOUBLE_EQ(i.as_double(), -42.0);
+  const JsonValue d = *json_parse("2.5e-3");
+  EXPECT_FALSE(d.is_int());
+  EXPECT_DOUBLE_EQ(d.as_double(), 0.0025);
+  EXPECT_EQ(json_parse("\"hi\\n\"")->as_string(), "hi\n");
+}
+
+TEST(JsonParse, RoundTripsQuoteAndDouble) {
+  // The parser must invert our own emitters exactly: json_quote for
+  // strings, json_double (%.17g) for wall clocks.
+  const std::string original = "a\"b\\c\nd\te\x01f";
+  EXPECT_EQ(json_parse(json_quote(original))->as_string(), original);
+  for (const double v : {0.0, 1.0 / 3.0, 6.02e23, 2.5e-17, -0.125}) {
+    const JsonValue parsed = *json_parse(json_double(v));
+    EXPECT_EQ(parsed.as_double(), v) << json_double(v);
+  }
+}
+
+TEST(JsonParse, NestedStructures) {
+  const std::optional<JsonValue> v =
+      json_parse(R"({"files":[{"index":3,"ok":true},{"index":4}],"n":2})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue& files = v->get("files");
+  ASSERT_EQ(files.kind(), JsonValue::Kind::Array);
+  ASSERT_EQ(files.items().size(), 2u);
+  EXPECT_EQ(files.items()[0].get("index").as_int(), 3);
+  EXPECT_TRUE(files.items()[0].get("ok").as_bool());
+  EXPECT_EQ(files.items()[1].get("index").as_int(), 4);
+  EXPECT_EQ(v->get("n").as_int(), 2);
+  // Absent keys are a Null sentinel, not a crash.
+  EXPECT_TRUE(v->get("missing").is_null());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("", &error).has_value());
+  EXPECT_FALSE(json_parse("{", &error).has_value());
+  EXPECT_FALSE(json_parse("[1,]", &error).has_value());
+  EXPECT_FALSE(json_parse("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(json_parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(json_parse("1 2", &error).has_value());
+  EXPECT_FALSE(json_parse("nul", &error).has_value());
+  EXPECT_NE(error.find("at offset"), std::string::npos);
+  // Depth bomb: fails cleanly instead of overflowing the stack.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(json_parse(deep, &error).has_value());
+}
+
+TEST(JsonParse, Int64BoundaryStaysExact) {
+  const JsonValue v = *json_parse("9223372036854775807");
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), INT64_MAX);
+}
+
 }  // namespace
 }  // namespace tmg

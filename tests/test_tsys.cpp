@@ -199,6 +199,57 @@ TEST(Translate, StateBitsAccounting) {
   EXPECT_GE(b.tr->ts.state_bits(), 33);
 }
 
+TEST(Translate, OutOfDomainStoreWidensEncodingButNotInitDomain) {
+  // `__input(lo, hi)` is an initial-value domain, not an invariant: the
+  // program may assign past it, and assignments wrap to the TYPE. The
+  // encoding must cover such stores (else the bit-level BMC semantics
+  // diverge from the interpreter), while test data stays in the domain.
+  Built b = build(
+      "__input(0, 2) int a;"
+      "void f(void) { int x = 0; if (a == 1) { a = a + 100; x = 1; } }");
+  const VarInfo* a = nullptr;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "a") a = &v;
+  ASSERT_NE(a, nullptr);
+  // Encoding: full type range (the += store is not a constant).
+  EXPECT_EQ(a->lo, minic::type_min(minic::Type::Int16));
+  EXPECT_EQ(a->hi, minic::type_max(minic::Type::Int16));
+  // Initial domain: the annotation.
+  EXPECT_EQ(a->init_lo(), 0);
+  EXPECT_EQ(a->init_hi(), 2);
+}
+
+TEST(Translate, ConstantStoresWidenByExactlyTheConstant) {
+  // b4's idiom: a state machine assigning constants within (or near) its
+  // domain keeps a narrow encoding.
+  Built b = build(
+      "__input(0, 3) int state;"
+      "void f(void) { if (state == 3) { state = 0; } else { state = 5; } }");
+  const VarInfo* s = nullptr;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "state") s = &v;
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->lo, 0);
+  EXPECT_EQ(s->hi, 5);  // domain [0,3] joined with stored constants {0,5}
+  EXPECT_EQ(s->init_lo(), 0);
+  EXPECT_EQ(s->init_hi(), 3);
+}
+
+TEST(Translate, InDomainStateMachineKeepsNarrowEncoding) {
+  // The b4 regression proper: all stores inside the domain, 2-bit state.
+  Built b = build(
+      "__input(0, 3) int state;"
+      "void f(int in1) { if (state == 0) { if (in1 > 0) { state = 1; } } "
+      "else { state = 0; } }");
+  const VarInfo* s = nullptr;
+  for (const VarInfo& v : b.tr->ts.vars)
+    if (v.name == "state") s = &v;
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->lo, 0);
+  EXPECT_EQ(s->hi, 3);
+  EXPECT_EQ(s->bits(), 2);
+}
+
 TEST(Translate, SalExportContainsStructure) {
   Built b = build("__input(0, 1) int x; void f(void) { if (x == 1) { x = 0; } }");
   const std::string sal = b.tr->ts.to_sal();
@@ -249,6 +300,45 @@ TEST(Explicit, HugeInitialSpaceRefused) {
                        mc::ExploreOptions{.max_initial_states = 1000});
   EXPECT_FALSE(r.complete);
   EXPECT_EQ(r.initial_states, UINT64_MAX);
+}
+
+TEST(Explicit, MemoryEstimateUsesPackedEncodedBits) {
+  // The estimate models a PACKED state store: states * ceil(state_bits/8),
+  // not the unpacked int64 vectors actually held (ROADMAP hardening item).
+  Built b = build(
+      "__input(0, 2) int sel; int out;"
+      "void f(void) { if (sel == 0) { out = 1; } else { out = 2; } }");
+  for (VarInfo& v : b.tr->ts.vars)
+    if (!v.is_input) {
+      v.has_init = true;
+      v.init = 0;
+    }
+  const auto r = mc::explore(b.tr->ts);
+  ASSERT_TRUE(r.complete);
+  ASSERT_GT(r.states, 0u);
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(b.tr->ts.state_bits());
+  EXPECT_EQ(r.memory_bytes, r.states * ((bits + 7) / 8));
+  // Narrowing the encoding must shrink the estimate proportionally — the
+  // honesty property the Table 2 comparison relies on.
+  EXPECT_LT(r.memory_bytes, r.states * sizeof(std::int64_t) *
+                                (b.tr->ts.vars.size() + 1));
+}
+
+TEST(Explicit, InitialStatesDrawFromDeclaredDomainNotEncoding) {
+  // An out-of-domain store widens the ENCODING (soundness), but the free
+  // initial enumeration must stay on the declared __input domain.
+  Built b = build(
+      "__input(0, 2) int sel;"
+      "void f(void) { int x = 0; if (sel == 1) { sel = 100; x = 1; } }");
+  for (VarInfo& v : b.tr->ts.vars)
+    if (!v.is_input) {
+      v.has_init = true;
+      v.init = 0;
+    }
+  const auto r = mc::explore(b.tr->ts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.initial_states, 3u);  // sel in {0, 1, 2}, not the encoding
 }
 
 TEST(Explicit, UninitialisedVariableEnlargesStateSpace) {
