@@ -43,6 +43,26 @@ Lit BitBlaster::and_gate(Lit a, Lit b) {
   return o;
 }
 
+Lit BitBlaster::and_all(const std::vector<Lit>& ls) {
+  std::vector<Lit> kept;
+  kept.reserve(ls.size());
+  for (const Lit l : ls) {
+    if (l == true_) continue;
+    if (l == ~true_) return ~true_;
+    kept.push_back(l);
+  }
+  if (kept.empty()) return true_;
+  if (kept.size() == 1) return kept.front();
+  const Lit o = sat::pos(solver_.new_var());
+  std::vector<Lit> back{o};
+  for (const Lit l : kept) {
+    solver_.add_clause(~o, l);
+    back.push_back(~l);
+  }
+  solver_.add_clause(std::move(back));
+  return o;
+}
+
 Lit BitBlaster::or_gate(Lit a, Lit b) { return ~and_gate(~a, ~b); }
 
 Lit BitBlaster::xor_gate(Lit a, Lit b) {

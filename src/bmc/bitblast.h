@@ -38,6 +38,11 @@ class BitBlaster {
 
   // ------------------------------------------------------------- gates
   sat::Lit and_gate(sat::Lit a, sat::Lit b);
+  /// Conjunction of arbitrarily many literals through ONE fresh selector
+  /// variable (n + 1 clauses instead of a 3n and_gate chain); true_lit()
+  /// for the empty set. Used per unroll step by the decision-schedule
+  /// window encoding, where every step offset gets its own selector.
+  sat::Lit and_all(const std::vector<sat::Lit>& ls);
   sat::Lit or_gate(sat::Lit a, sat::Lit b);
   sat::Lit xor_gate(sat::Lit a, sat::Lit b);
   sat::Lit mux_gate(sat::Lit sel, sat::Lit t, sat::Lit f);

@@ -244,7 +244,79 @@ void minimize_witness(sat::Solver& solver, BitBlaster& bb,
   }
 }
 
+/// A per-iteration schedule degenerates to a global forced-choice policy
+/// only when it never revisits a decision block with a different outcome.
+bool schedule_conflicts(const std::vector<cfg::EdgeRef>& choices) {
+  std::unordered_map<cfg::BlockId, std::uint32_t> seen;
+  for (const cfg::EdgeRef& c : choices) {
+    auto [it, inserted] = seen.emplace(c.from, c.succ_index);
+    if (!inserted && it->second != c.succ_index) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::optional<std::vector<std::uint32_t>> walk_schedule(
+    const TransitionSystem& ts, const DecisionSchedule& schedule,
+    std::uint64_t max_len) {
+  const auto out = ts.out_index();
+  std::vector<std::uint32_t> seq;
+  std::size_t k = 0;
+
+  tsys::Loc loc = ts.initial;
+  if (schedule.anchored) {
+    // Anchored walks start at the schedule's first decision transition
+    // (the region is single entry, so firing that decision implies the
+    // region was entered and the decision-free prefix inside it is the
+    // unique one).
+    if (schedule.choices.empty()) return std::nullopt;
+    const Transition* first = nullptr;
+    for (const Transition& t : ts.transitions) {
+      if (!t.is_decision() || t.origin_block != schedule.choices[0].from ||
+          t.origin_succ != schedule.choices[0].succ_index)
+        continue;
+      if (first != nullptr) return std::nullopt;  // ambiguous provenance
+      first = &t;
+    }
+    if (first == nullptr) return std::nullopt;
+    seq.push_back(first->id);
+    loc = first->to;
+    k = 1;
+  }
+
+  while (true) {
+    if (schedule.anchored) {
+      if (k == schedule.choices.size()) break;  // window complete
+    } else if (loc == ts.final) {
+      break;
+    }
+    if (seq.size() >= max_len) return std::nullopt;
+    const std::vector<const Transition*>& outs = out[loc];
+    if (outs.empty()) return std::nullopt;  // stuck before the goal
+    const Transition* taken = nullptr;
+    if (outs[0]->is_decision()) {
+      if (k == schedule.choices.size()) return std::nullopt;
+      const cfg::EdgeRef& want = schedule.choices[k];
+      for (const Transition* t : outs) {
+        if (!t->is_decision() || t->origin_block != want.from ||
+            t->origin_succ != want.succ_index)
+          continue;
+        if (taken != nullptr) return std::nullopt;  // ambiguous provenance
+        taken = t;
+      }
+      if (taken == nullptr) return std::nullopt;  // structural mismatch
+      ++k;
+    } else {
+      if (outs.size() != 1) return std::nullopt;  // translation invariant
+      taken = outs[0];
+    }
+    seq.push_back(taken->id);
+    loc = taken->to;
+  }
+  if (k != schedule.choices.size()) return std::nullopt;
+  return seq;
+}
 
 BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
                 const BmcOptions& opts) {
@@ -254,6 +326,36 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
   const std::uint32_t depth =
       opts.max_steps > 0 ? opts.max_steps : ts.num_locs + 1;
   result.unroll_depth = depth;
+  const auto finish = [&]() -> BmcResult& {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    return result;
+  };
+
+  // Resolve a per-iteration schedule into its unique transition sequence.
+  // The walk knows the exact number of steps the schedule needs, so with
+  // an automatic depth it is capped only structurally (every inter-choice
+  // stretch is acyclic, hence shorter than num_locs); a user-forced
+  // max_steps stays a hard budget. A failed walk falls back to the legacy
+  // forced-choice policy; when the schedule revisits a decision with
+  // differing outcomes that policy cannot express it, so the query is
+  // conclusively inconclusive.
+  std::optional<std::vector<std::uint32_t>> seq;
+  std::vector<cfg::EdgeRef> policy = query.forced_choices;
+  if (query.schedule) {
+    const std::uint64_t walk_cap =
+        opts.max_steps > 0
+            ? depth
+            : static_cast<std::uint64_t>(ts.num_locs + 1) *
+                  (query.schedule->choices.size() + 2);
+    seq = walk_schedule(ts, *query.schedule, walk_cap);
+    if (!seq) {
+      if (schedule_conflicts(query.schedule->choices)) return finish();
+      policy = query.schedule->choices;  // degenerate schedule: global pins
+    }
+  }
 
   sat::Solver solver;
   BitBlaster bb(solver);
@@ -282,64 +384,113 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
   }
   const std::vector<BitVec> frame0 = frame;  // for test-data extraction
 
-  BitVec pc = bb.constant(ts.initial, pcw, false);
-  const BitVec final_pc = bb.constant(ts.final, pcw, false);
-
-  // Disallowed decision edges: same origin block as a forced choice but a
-  // different successor index.
-  auto is_disallowed = [&](const Transition& t) {
-    if (!t.is_decision()) return false;
-    for (const cfg::EdgeRef& c : query.forced_choices)
-      if (t.origin_block == c.from && t.origin_succ != c.succ_index)
-        return true;
-    return false;
-  };
-  auto is_must_take = [&](const Transition& t) {
-    return query.must_take && t.origin_block == query.must_take->from &&
-           t.origin_succ == query.must_take->succ_index;
-  };
-
-  Lit must_taken = query.must_take ? bb.false_lit() : bb.true_lit();
-
-  // -------------------------------------------------------------- unroll
-  for (std::uint32_t step = 0; step < depth; ++step) {
-    ExprBlaster eb(bb, frame, ts);
-
-    // fire literal per transition
-    std::vector<Lit> fire(ts.transitions.size());
-    for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
-      const Transition& t = ts.transitions[i];
-      const Lit at = bb.eq(pc, bb.constant(t.from, pcw, false));
-      Lit g = t.guard ? eb.truth(*t.guard) : bb.true_lit();
-      fire[i] = bb.and_gate(at, g);
-      if (is_disallowed(t)) {
-        solver.add_clause(~fire[i]);
-        fire[i] = bb.false_lit();
-      }
-      if (is_must_take(t)) must_taken = bb.or_gate(must_taken, fire[i]);
-    }
-
-    // next-state: default stutter, overridden by firing transitions
-    std::vector<BitVec> next = frame;
-    BitVec next_pc = pc;
-    for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
-      const Transition& t = ts.transitions[i];
-      next_pc = bb.mux(fire[i], bb.constant(t.to, pcw, false), next_pc);
+  if (seq && !query.schedule->anchored) {
+    // ------------------------------------------------- exact path encoding
+    // The whole-run schedule pins the complete transition sequence, so no
+    // program counter is needed: step t executes transition seq[t] — its
+    // guard becomes a hard clause and its updates apply unconditionally.
+    // The CNF is exactly the path condition over the symbolic initial
+    // state; UNSAT proves the path infeasible at any depth.
+    for (const std::uint32_t tid : *seq) {
+      const Transition& t = ts.transitions[tid];
+      ExprBlaster eb(bb, frame, ts);
+      if (t.guard) solver.add_clause(eb.truth(*t.guard));
+      std::vector<BitVec> next = frame;
       for (const tsys::Update& u : t.updates) {
         const VarInfo& v = ts.vars[u.var];
-        BitVec rhs = eb.value(*u.value);
-        BitVec enc = bb.resize(rhs, v.bits());
+        BitVec enc = bb.resize(eb.value(*u.value), v.bits());
         enc.is_signed = v.is_signed_encoding();
-        next[u.var] = bb.mux(fire[i], enc, next[u.var]);
+        next[u.var] = std::move(enc);
       }
+      frame = std::move(next);
     }
-    frame = std::move(next);
-    pc = std::move(next_pc);
-  }
+    result.unroll_depth = seq->size();
+    result.exact_path = true;
+    result.schedule_realised = true;
+  } else {
+    BitVec pc = bb.constant(ts.initial, pcw, false);
+    const BitVec final_pc = bb.constant(ts.final, pcw, false);
+    const bool anchored_run = seq.has_value();
 
-  // goal: the run terminates and the must-take edge fired
-  solver.add_clause(bb.eq(pc, final_pc));
-  solver.add_clause(must_taken);
+    // Disallowed decision edges: same origin block as a forced choice but
+    // a different successor index. Only the policy encoding prunes edges;
+    // an anchored schedule leaves every step free outside its window.
+    auto is_disallowed = [&](const Transition& t) {
+      if (anchored_run || !t.is_decision()) return false;
+      for (const cfg::EdgeRef& c : policy)
+        if (t.origin_block == c.from && t.origin_succ != c.succ_index)
+          return true;
+      return false;
+    };
+    auto is_must_take = [&](const Transition& t) {
+      return !anchored_run && query.must_take &&
+             t.origin_block == query.must_take->from &&
+             t.origin_succ == query.must_take->succ_index;
+    };
+
+    Lit must_taken =
+        !anchored_run && query.must_take ? bb.false_lit() : bb.true_lit();
+
+    // ------------------------------------------------------------ unroll
+    std::vector<std::vector<Lit>> fires;
+    fires.reserve(anchored_run ? depth : 0);
+    for (std::uint32_t step = 0; step < depth; ++step) {
+      ExprBlaster eb(bb, frame, ts);
+
+      // fire literal per transition
+      std::vector<Lit> fire(ts.transitions.size());
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        const Transition& t = ts.transitions[i];
+        const Lit at = bb.eq(pc, bb.constant(t.from, pcw, false));
+        Lit g = t.guard ? eb.truth(*t.guard) : bb.true_lit();
+        fire[i] = bb.and_gate(at, g);
+        if (is_disallowed(t)) {
+          solver.add_clause(~fire[i]);
+          fire[i] = bb.false_lit();
+        }
+        if (is_must_take(t)) must_taken = bb.or_gate(must_taken, fire[i]);
+      }
+
+      // next-state: default stutter, overridden by firing transitions
+      std::vector<BitVec> next = frame;
+      BitVec next_pc = pc;
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        const Transition& t = ts.transitions[i];
+        next_pc = bb.mux(fire[i], bb.constant(t.to, pcw, false), next_pc);
+        for (const tsys::Update& u : t.updates) {
+          const VarInfo& v = ts.vars[u.var];
+          BitVec rhs = eb.value(*u.value);
+          BitVec enc = bb.resize(rhs, v.bits());
+          enc.is_signed = v.is_signed_encoding();
+          next[u.var] = bb.mux(fire[i], enc, next[u.var]);
+        }
+      }
+      if (anchored_run) fires.push_back(std::move(fire));
+      frame = std::move(next);
+      pc = std::move(next_pc);
+    }
+
+    // goal: the run terminates and the must-take edge fired
+    solver.add_clause(bb.eq(pc, final_pc));
+    solver.add_clause(must_taken);
+
+    if (anchored_run) {
+      // Anchored window: SOME traversal follows the schedule — at least
+      // one step offset fires the walked transitions consecutively.
+      // (Each step fires at most one transition, so a satisfied window is
+      // a real consecutive execution of the walk.)
+      std::vector<Lit> picks;
+      std::vector<Lit> window(seq->size());
+      for (std::size_t t = 0; t + seq->size() <= depth; ++t) {
+        for (std::size_t j = 0; j < seq->size(); ++j)
+          window[j] = fires[t + j][(*seq)[j]];
+        picks.push_back(bb.and_all(window));
+      }
+      if (picks.empty()) return finish();  // window longer than the unroll
+      solver.add_clause(std::move(picks));
+      result.schedule_realised = true;
+    }
+  }
 
   const sat::Result r = solver.solve({}, opts.conflict_budget);
   result.cnf_vars = solver.num_vars();
@@ -363,13 +514,16 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
     // steps: replay the model's pc trace would need per-step storage; we
     // recover it by re-walking the system concretely in the caller if
     // needed. Here we count transitions by executing the deterministic
-    // system from the initial values.
+    // system from the initial values, recording the per-iteration
+    // decision trace of the witness as we go.
     result.steps = 0;
     std::vector<std::int64_t> env = result.initial_values;
     tsys::Loc cur = ts.initial;
     const auto out = ts.out_index();
     std::uint64_t guard_steps = 0;
-    while (cur != ts.final && guard_steps++ < depth) {
+    const std::uint64_t replay_cap = std::max<std::uint64_t>(
+        depth, result.unroll_depth);
+    while (cur != ts.final && guard_steps++ < replay_cap) {
       const Transition* taken = nullptr;
       for (const Transition* t : out[cur]) {
         if (!t->guard || tsys::eval_texpr(*t->guard, env) != 0) {
@@ -378,6 +532,9 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
         }
       }
       if (!taken) break;
+      if (taken->is_decision())
+        result.decision_trace.push_back(
+            cfg::EdgeRef{taken->origin_block, taken->origin_succ});
       std::vector<std::int64_t> next_env = env;
       for (const tsys::Update& u : taken->updates)
         next_env[u.var] =
@@ -387,13 +544,12 @@ BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
       cur = taken->to;
       ++result.steps;
     }
+    // A truncated replay (never at a complete depth) has no trustworthy
+    // trace; drop it rather than hand callers a prefix.
+    if (cur != ts.final) result.decision_trace.clear();
   }
 
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
-  return result;
+  return finish();
 }
 
 }  // namespace tmg::bmc

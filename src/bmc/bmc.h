@@ -46,15 +46,42 @@ struct BmcOptions {
   bool minimize_witness = true;
 };
 
+/// Per-iteration decision schedule: the decision edges of one control path
+/// in execution order. Unlike the global forced-choice policy below, a
+/// schedule may revisit the same decision block with *different* outcomes
+/// (one per loop iteration), which is what makes loop paths conclusive.
+///
+/// Whole-run schedules (`anchored == false`) describe the complete decision
+/// trace from the initial to the final location; the solver derives the
+/// unique transition sequence realising it (see walk_schedule) and checks
+/// that exact path — UNSAT is then a depth-independent infeasibility proof.
+/// Anchored schedules (`anchored == true`) describe one traversal of a
+/// single-entry region (e.g. one loop-body iteration): the query asks
+/// whether SOME terminating execution contains the scheduled decision
+/// sequence as a consecutive firing window.
+struct DecisionSchedule {
+  std::vector<cfg::EdgeRef> choices;
+  bool anchored = false;
+};
+
 /// What to search for.
 struct BmcQuery {
   /// Decision policy: whenever the decision block of one of these edges
   /// fires, it must take exactly this edge. (Loop-free systems hit each
   /// decision at most once, making this equivalent to "the execution
-  /// follows the selected path".)
+  /// follows the selected path".) Ignored while `schedule` is in effect;
+  /// still honoured as the degenerate same-choice-every-iteration fallback
+  /// when the schedule cannot be realised structurally.
   std::vector<cfg::EdgeRef> forced_choices;
   /// An edge that must be taken at least once (e.g. the segment entry).
+  /// Ignored while `schedule` is in effect — a realised whole-run
+  /// schedule pins the complete path (the walk decides which edges
+  /// fire), and an anchored window replaces the must-take goal with its
+  /// own existential window constraint. Like forced_choices it is only
+  /// honoured by the degenerate fallback when the walk fails.
   std::optional<cfg::EdgeRef> must_take;
+  /// Per-iteration decision schedule; see DecisionSchedule.
+  std::optional<DecisionSchedule> schedule;
 };
 
 enum class BmcStatus : std::uint8_t {
@@ -68,6 +95,22 @@ struct BmcResult {
   /// Value per transition-system variable at step 0 (only input variables
   /// are meaningful test data; the rest document the witness).
   std::vector<std::int64_t> initial_values;
+  /// Per-iteration decision trace of the witness: the (origin block,
+  /// successor index) of every decision transition the deterministic
+  /// replay of `initial_values` executes, in execution order. Empty when
+  /// there is no witness or the replay did not reach the final location.
+  /// Replaying the witness through the reference interpreter must
+  /// reproduce this trace exactly (the pipeline's replay cross-check).
+  std::vector<cfg::EdgeRef> decision_trace;
+  /// The verdict came from the exact path encoding (a realised
+  /// whole-run schedule): UNSAT then proves infeasibility regardless of
+  /// the caller's unroll-depth completeness.
+  bool exact_path = false;
+  /// The query's schedule walk succeeded and the per-iteration encoding
+  /// (exact or anchored-window) answered the query. False when solve fell
+  /// back to the degenerate global-policy encoding — callers that need
+  /// traversal semantics must then treat SAT conservatively.
+  bool schedule_realised = false;
   /// Transitions executed until the final location, from the SAT model
   /// (the paper's "steps" column in Table 2).
   std::uint64_t steps = 0;
@@ -82,6 +125,20 @@ struct BmcResult {
 /// from multiple threads (see the concurrency contract above).
 BmcResult solve(const tsys::TransitionSystem& ts, const BmcQuery& query,
                 const BmcOptions& opts = {});
+
+/// Structural walk realising a decision schedule: the unique transition-id
+/// sequence that consumes `schedule.choices` in order. Whole-run walks
+/// start at ts.initial and must end at ts.final with every choice
+/// consumed; anchored walks start at the schedule's first decision
+/// transition and stop once the last choice is consumed. Relies on the
+/// translation invariant that every location either has exactly one
+/// unguarded successor or fans out into decision transitions (preserved
+/// by the Section 3.2 passes — two decisions never merge). Returns
+/// nullopt when the schedule cannot be realised structurally or the walk
+/// exceeds `max_len` transitions.
+std::optional<std::vector<std::uint32_t>> walk_schedule(
+    const tsys::TransitionSystem& ts, const DecisionSchedule& schedule,
+    std::uint64_t max_len);
 
 // Results cross thread boundaries by value when the engine merges job
 // slots; the vector member keeps BmcResult non-trivially-copyable, so pin

@@ -95,6 +95,7 @@ std::uint64_t arm_weight(const cfg::Cfg& g, const cfg::Arm& arm) {
 struct PathJobResult {
   PathVerdict verdict = PathVerdict::Unknown;
   std::vector<std::int64_t> witness;
+  std::vector<cfg::EdgeRef> decision_trace;
   double bmc_seconds = 0.0;
   std::uint64_t max_cnf_vars = 0;
   std::uint64_t max_cnf_clauses = 0;
@@ -106,8 +107,11 @@ struct PathJobResult {
 struct CachedQuery {
   PathVerdict verdict = PathVerdict::Unknown;
   std::vector<std::int64_t> witness;
+  std::vector<cfg::EdgeRef> decision_trace;
   std::uint64_t cnf_vars = 0;
   std::uint64_t cnf_clauses = 0;
+  /// The per-iteration encoding answered the query (bmc.h).
+  bool schedule_realised = false;
 };
 
 /// Per-function single-flight store of decision-edge feasibility queries,
@@ -155,6 +159,7 @@ class FeasibilityOracle {
   static void apply(const CachedQuery& q, PathJobResult& out) {
     out.verdict = q.verdict;
     out.witness = q.witness;
+    out.decision_trace = q.decision_trace;
     out.max_cnf_vars = std::max(out.max_cnf_vars, q.cnf_vars);
     out.max_cnf_clauses = std::max(out.max_cnf_clauses, q.cnf_clauses);
   }
@@ -162,49 +167,62 @@ class FeasibilityOracle {
   void region_path_inner(const std::vector<EdgeRef>& choices,
                          const std::optional<EdgeRef>& anchor,
                          PathJobResult& out) {
-    if (!enabled_ || has_conflicting_choices(choices)) {
+    if (!enabled_) {
       out.verdict = PathVerdict::Unknown;
       return;
     }
 
-    if (anchor && g_.block(anchor->from).is_decision()) {
-      apply(solve(choices, *anchor), out);
-      return;
-    }
-
     if (!anchor) {
-      // Whole function: execution always enters, the choice policy alone
-      // pins the path.
+      // Whole function: the path's choices are the complete per-iteration
+      // decision trace; the exact schedule encoding decides it even when
+      // a loop body branches differently across iterations.
       if (choices.empty()) {
         out.verdict = PathVerdict::Feasible;  // no SAT model, no witness
         return;
       }
-      apply(solve(choices, std::nullopt), out);
+      apply(solve_schedule(choices, /*anchored=*/false, std::nullopt), out);
       return;
     }
 
-    // Entry via a non-decision edge (do-while bodies): approximate with
-    // entry-block reachability plus an unanchored policy run.
+    if (!choices.empty()) {
+      // Region traversal: anchored schedule. The region is single entry,
+      // so a firing of the first scheduled decision implies the region was
+      // entered; the window constraint asks for SOME traversal taking the
+      // scheduled per-iteration outcomes. A decision anchor doubles as the
+      // degenerate-policy fallback's must-take edge.
+      const bool dec_anchor = g_.block(anchor->from).is_decision();
+      const CachedQuery run = solve_schedule(
+          choices, /*anchored=*/true,
+          dec_anchor ? anchor : std::optional<EdgeRef>());
+      if (run.schedule_realised || dec_anchor) {
+        apply(run, out);
+        return;
+      }
+      // Fallback for a non-decision anchor (do-while bodies) when the
+      // walk failed: the unanchored policy run only bounds the answer.
+      out.max_cnf_vars = std::max(out.max_cnf_vars, run.cnf_vars);
+      out.max_cnf_clauses = std::max(out.max_cnf_clauses, run.cnf_clauses);
+      out.verdict = run.verdict == PathVerdict::Infeasible
+                        ? PathVerdict::Infeasible
+                        : PathVerdict::Unknown;
+      return;
+    }
+
+    // Decision-free region path: feasibility of entering the region.
+    if (g_.block(anchor->from).is_decision()) {
+      apply(edge_feasible(*anchor), out);
+      return;
+    }
+    // Entry via a non-decision edge (do-while bodies): entry-block
+    // reachability decides the single decision-free traversal.
     const CachedQuery& reach = block_reachable(g_.edge(*anchor).to);
     out.max_cnf_vars = std::max(out.max_cnf_vars, reach.cnf_vars);
     out.max_cnf_clauses = std::max(out.max_cnf_clauses, reach.cnf_clauses);
-    if (reach.verdict == PathVerdict::Infeasible) {
-      out.verdict = PathVerdict::Infeasible;
-      return;
-    }
-    if (choices.empty()) {
-      out.verdict = reach.verdict;
+    out.verdict = reach.verdict;
+    if (reach.verdict == PathVerdict::Feasible) {
       out.witness = reach.witness;
-      return;
+      out.decision_trace = reach.decision_trace;
     }
-    const CachedQuery run = solve(choices, std::nullopt);
-    out.max_cnf_vars = std::max(out.max_cnf_vars, run.cnf_vars);
-    out.max_cnf_clauses = std::max(out.max_cnf_clauses, run.cnf_clauses);
-    if (run.verdict == PathVerdict::Infeasible) {
-      out.verdict = PathVerdict::Infeasible;
-      return;
-    }
-    out.verdict = PathVerdict::Unknown;  // both SAT, the pairing is unproven
   }
 
   /// Is `b` executed on any input? Decision edges are answered by the BMC
@@ -247,46 +265,49 @@ class FeasibilityOracle {
     return it->second;
   }
 
-  static bool has_conflicting_choices(const std::vector<EdgeRef>& choices) {
-    // A loop path can legitimately revisit a decision with the same
-    // outcome; different outcomes cannot be expressed as a forced policy.
-    std::map<BlockId, std::uint32_t> seen;
-    for (const EdgeRef& c : choices) {
-      auto [it, inserted] = seen.emplace(c.from, c.succ_index);
-      if (!inserted && it->second != c.succ_index) return true;
-    }
-    return false;
-  }
-
   CachedQuery edge_feasible(const EdgeRef& e) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(e.from) << 32) | e.succ_index;
     // Single-flight across workers: whoever gets the slot solves and adds
     // the wall-clock to its own pending tally; everyone else just reads.
-    return edges_.get_or_compute(key, [&] { return solve({}, e); });
+    return edges_.get_or_compute(key, [&] {
+      bmc::BmcQuery q;
+      q.must_take = e;
+      return run_query(q);
+    });
   }
 
-  CachedQuery solve(const std::vector<EdgeRef>& choices,
-               const std::optional<EdgeRef>& must_take) {
+  CachedQuery solve_schedule(const std::vector<EdgeRef>& choices,
+                             bool anchored,
+                             const std::optional<EdgeRef>& must_take) {
     bmc::BmcQuery q;
-    q.forced_choices = choices;
+    q.schedule = bmc::DecisionSchedule{choices, anchored};
     q.must_take = must_take;
+    return run_query(q);
+  }
+
+  CachedQuery run_query(const bmc::BmcQuery& q) {
     const bmc::BmcResult r = bmc::solve(ts_, q, bmc_opts_);
     pending_seconds_ += r.seconds;
     CachedQuery c;
     c.cnf_vars = r.cnf_vars;
     c.cnf_clauses = r.cnf_clauses;
+    c.schedule_realised = r.schedule_realised;
     switch (r.status) {
       case bmc::BmcStatus::TestData:
         c.verdict = PathVerdict::Feasible;
         c.witness = r.initial_values;
+        c.decision_trace = r.decision_trace;
         break;
       case bmc::BmcStatus::Infeasible:
-        // UNSAT only proves infeasibility at complete depth (bmc.h); at a
+        // UNSAT only proves infeasibility at complete depth (bmc.h) —
+        // except for exact-path verdicts, where the realised schedule is
+        // the unique run shape and UNSAT is depth-independent. At a
         // truncated depth the run may simply not fit, and claiming
         // Infeasible would unsoundly drop reachable paths from the WCET.
-        c.verdict = depth_complete_ ? PathVerdict::Infeasible
-                                    : PathVerdict::Unknown;
+        c.verdict = depth_complete_ || r.exact_path
+                        ? PathVerdict::Infeasible
+                        : PathVerdict::Unknown;
         break;
       case bmc::BmcStatus::Unknown:
         c.verdict = PathVerdict::Unknown;
@@ -381,6 +402,11 @@ bool replay_witness(testgen::Interpreter& interp,
   mapped = true;
   const testgen::ExecTrace trace = interp.run(inputs);
   if (!trace.terminated) return false;
+  // Per-iteration agreement: the decision trace the BMC engine replayed
+  // from the witness must be reproduced decision for decision by the
+  // reference interpreter (both runs are deterministic in the inputs).
+  if (!pt.decision_trace.empty() && trace.choices != pt.decision_trace)
+    return false;
   if (st.kind == core::SegmentKind::Block)
     return std::find(trace.blocks.begin(), trace.blocks.end(),
                      pt.blocks.front()) != trace.blocks.end();
@@ -413,6 +439,12 @@ std::int64_t FunctionTiming::bcet_total() const {
   std::int64_t total = 0;
   for (const SegmentTiming& s : segments) total += s.bcet;
   return total;
+}
+
+bool FunctionTiming::conclusive() const {
+  for (const SegmentTiming& s : segments)
+    if (!s.conclusive()) return false;
+  return true;
 }
 
 namespace {
@@ -648,6 +680,7 @@ void merge_file(FileWork& fw, const PipelineOptions& opts) {
     PathJobResult& pr = fw.results[i];
     pt.verdict = pr.verdict;
     pt.witness = std::move(pr.witness);
+    pt.decision_trace = std::move(pr.decision_trace);
     st.bmc_seconds += pr.bmc_seconds;
     st.max_cnf_vars = std::max(st.max_cnf_vars, pr.max_cnf_vars);
     st.max_cnf_clauses = std::max(st.max_cnf_clauses, pr.max_cnf_clauses);
@@ -909,6 +942,8 @@ Table2Report table2_compare(const std::vector<std::string>& sources,
       row.bmc_seconds_opt = segment_bmc_seconds(fb);
       row.cnf_clauses_plain = max_cnf_clauses(fa);
       row.cnf_clauses_opt = max_cnf_clauses(fb);
+      row.conclusive_plain = fa.conclusive();
+      row.conclusive_opt = fb.conclusive();
       row.model_identical = timing_models_equal(fa, fb);
       out.rows.push_back(std::move(row));
     }

@@ -93,6 +93,12 @@ struct PathTiming {
   /// when feasibility needed no SAT model). Input variables are the test
   /// datum driving execution through the path.
   std::vector<std::int64_t> witness;
+  /// Per-iteration decision trace of the witness run (the decisions the
+  /// deterministic replay of `witness` takes, whole execution, in order).
+  /// Empty when there is no witness. Interpreter replay must reproduce it
+  /// exactly; for region paths it must contain the path's own decision
+  /// schedule as a consecutive subsequence.
+  std::vector<cfg::EdgeRef> decision_trace;
   WitnessReplay replay = WitnessReplay::NotChecked;
 };
 
@@ -124,6 +130,11 @@ struct SegmentTiming {
   std::uint64_t max_cnf_clauses = 0;
 
   [[nodiscard]] bool dead() const { return feasible + unknown == 0; }
+  /// Every enumerated path got a definite verdict and the enumeration was
+  /// complete: the reported BCET/WCET are exact (not conservative bounds).
+  [[nodiscard]] bool conclusive() const {
+    return enumeration_complete && unknown == 0;
+  }
 };
 
 /// Wall-clock seconds spent in one pipeline stage.
@@ -161,6 +172,8 @@ struct FunctionTiming {
   /// Per-function totals over all segments.
   [[nodiscard]] std::int64_t wcet_total() const;
   [[nodiscard]] std::int64_t bcet_total() const;
+  /// All segments conclusive: the function's timing model is exact.
+  [[nodiscard]] bool conclusive() const;
 };
 
 struct PipelineResult {
@@ -266,6 +279,10 @@ struct Table2Row {
   double bmc_seconds_plain = 0.0, bmc_seconds_opt = 0.0;
   /// Largest CNF seen by any query — the solver memory proxy.
   std::uint64_t cnf_clauses_plain = 0, cnf_clauses_opt = 0;
+  /// Every segment of the function reported a definite (exact) timing
+  /// model — the per-iteration decision-schedule encoding resolved all
+  /// loop paths (no Unknown verdicts, complete enumeration).
+  bool conclusive_plain = false, conclusive_opt = false;
   /// The optimised run produced a byte-identical segment timing model
   /// (same BCET/WCET, verdicts and replay tallies for every segment).
   bool model_identical = false;

@@ -21,6 +21,7 @@ struct Tally {
   std::size_t unknown = 0;
   std::size_t validated = 0;
   std::size_t mismatched = 0;
+  std::size_t conclusive = 0;
   std::int64_t wcet_total = 0;
   std::size_t analysis_jobs = 0;
 
@@ -37,6 +38,7 @@ struct Tally {
         unknown += s.unknown;
         validated += s.validated;
         mismatched += s.mismatched;
+        conclusive += s.conclusive() ? 1 : 0;
       }
     }
   }
@@ -49,7 +51,7 @@ TextTable segment_table(const FunctionTiming& ft, const std::string* file,
   if (with_function_col) header.emplace_back("function");
   for (const char* h : {"segment", "kind", "blocks", "paths", "feasible",
                         "infeasible", "unknown", "validated", "mismatch",
-                        "bcet", "wcet"})
+                        "bcet", "wcet", "conclusive"})
     header.emplace_back(h);
   if (with_stats) header.emplace_back("bmc_ms");
   TextTable t(std::move(header));
@@ -73,6 +75,7 @@ TextTable segment_table(const FunctionTiming& ft, const std::string* file,
     row.push_back(std::to_string(s.mismatched));
     row.push_back(s.dead() ? "-" : std::to_string(s.bcet));
     row.push_back(s.dead() ? "-" : std::to_string(s.wcet));
+    row.push_back(s.conclusive() ? "yes" : "no");
     if (with_stats) row.push_back(fmt_double(s.bmc_seconds * 1000.0, 2));
     t.add_row(std::move(row));
   }
@@ -246,6 +249,7 @@ void render_json_function(const FunctionTiming& ft, bool with_stages,
        << ",\"validated\":" << s.validated
        << ",\"mismatch\":" << s.mismatched
        << ",\"dead\":" << (s.dead() ? "true" : "false")
+       << ",\"conclusive\":" << (s.conclusive() ? "true" : "false")
        << ",\"bcet\":" << s.bcet << ",\"wcet\":" << s.wcet
        << ",\"max_cnf_vars\":" << s.max_cnf_vars
        << ",\"max_cnf_clauses\":" << s.max_cnf_clauses;
@@ -312,6 +316,7 @@ void render_tally_json(const Tally& tally, std::size_t files,
      << ",\"unknown\":" << tally.unknown
      << ",\"validated\":" << tally.validated
      << ",\"mismatch\":" << tally.mismatched
+     << ",\"conclusive\":" << tally.conclusive
      << ",\"wcet_total\":" << tally.wcet_total << "}";
 }
 
@@ -379,10 +384,10 @@ void render_batch_report(const std::vector<BatchEntry>& files,
       os << "=== batch summary ===\n";
       TextTable t({"files", "functions", "segments", "paths", "feasible",
                    "infeasible", "unknown", "validated", "mismatch",
-                   "wcet_total"});
+                   "conclusive", "wcet_total"});
       t.add(files.size(), tally.functions, tally.segments, tally.paths,
             tally.feasible, tally.infeasible, tally.unknown, tally.validated,
-            tally.mismatched, tally.wcet_total);
+            tally.mismatched, tally.conclusive, tally.wcet_total);
       os << t.str();
       break;
     }
@@ -426,7 +431,11 @@ Table2Row table2_aggregate(const Table2Report& report) {
   total.file = "(all)";
   total.function = "total";
   total.model_identical = report.all_identical();
+  total.conclusive_plain = !report.rows.empty();
+  total.conclusive_opt = !report.rows.empty();
   for (const Table2Row& r : report.rows) {
+    total.conclusive_plain &= r.conclusive_plain;
+    total.conclusive_opt &= r.conclusive_opt;
     total.bits_plain += r.bits_plain;
     total.bits_opt += r.bits_opt;
     total.locs_plain += r.locs_plain;
@@ -451,7 +460,8 @@ TextTable table2_table(const Table2Report& report, bool with_file,
   for (const char* h :
        {"function", "bits", "bits_opt", "locs", "locs_opt", "trans",
         "trans_opt", "depth", "depth_opt", "bmc_ms", "bmc_ms_opt",
-        "cnf_clauses", "cnf_clauses_opt", "model"})
+        "cnf_clauses", "cnf_clauses_opt", "conclusive", "conclusive_opt",
+        "model"})
     header.emplace_back(h);
   TextTable t(std::move(header));
   auto add = [&](const Table2Row& r) {
@@ -470,6 +480,8 @@ TextTable table2_table(const Table2Report& report, bool with_file,
     row.push_back(fmt_double(r.bmc_seconds_opt * 1000.0, 2));
     row.push_back(std::to_string(r.cnf_clauses_plain));
     row.push_back(std::to_string(r.cnf_clauses_opt));
+    row.push_back(r.conclusive_plain ? "yes" : "no");
+    row.push_back(r.conclusive_opt ? "yes" : "no");
     row.push_back(r.model_identical ? "identical" : "DIFFERS");
     t.add_row(std::move(row));
   };
@@ -491,6 +503,8 @@ void table2_row_json(const Table2Row& r, bool with_file, std::ostream& os) {
      << ",\"bmc_seconds_opt\":" << r.bmc_seconds_opt
      << ",\"cnf_clauses\":" << r.cnf_clauses_plain
      << ",\"cnf_clauses_opt\":" << r.cnf_clauses_opt
+     << ",\"conclusive\":" << (r.conclusive_plain ? "true" : "false")
+     << ",\"conclusive_opt\":" << (r.conclusive_opt ? "true" : "false")
      << ",\"model_identical\":" << (r.model_identical ? "true" : "false")
      << "}";
 }

@@ -283,7 +283,9 @@ std::string serialize_table2_payload(const Table2Report& report,
        << "," << r.trans_opt << "," << r.depth_plain << "," << r.depth_opt
        << "," << json_double(r.bmc_seconds_plain) << ","
        << json_double(r.bmc_seconds_opt) << "," << r.cnf_clauses_plain << ","
-       << r.cnf_clauses_opt << "," << (r.model_identical ? 1 : 0) << "]";
+       << r.cnf_clauses_opt << "," << (r.conclusive_plain ? 1 : 0) << ","
+       << (r.conclusive_opt ? 1 : 0) << "," << (r.model_identical ? 1 : 0)
+       << "]";
   }
   os << "]}";
   return os.str();
@@ -574,7 +576,7 @@ int run_sharded(const CliOptions& opts,
         continue;
       }
       for (const JsonValue& r : v->get("rows").items()) {
-        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 16) {
+        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 18) {
           err << "tmg: malformed shard payload\n";
           return 2;
         }
@@ -595,7 +597,9 @@ int run_sharded(const CliOptions& opts,
         row.bmc_seconds_opt = f[12].as_double();
         row.cnf_clauses_plain = static_cast<std::uint64_t>(f[13].as_int());
         row.cnf_clauses_opt = static_cast<std::uint64_t>(f[14].as_int());
-        row.model_identical = f[15].as_int() != 0;
+        row.conclusive_plain = f[15].as_int() != 0;
+        row.conclusive_opt = f[16].as_int() != 0;
+        row.model_identical = f[17].as_int() != 0;
         rows.push_back(std::move(row));
       }
     }

@@ -25,9 +25,12 @@ class Generator {
     body_.str("");
     locals_.clear();
     inputs_.clear();
+    counters_.clear();
+    counter_decls_.clear();
     loop_counter_ = 0;
-    has_loop_ = false;
-    has_branch_in_loop_ = false;
+    dowhile_counter_ = 0;
+    out = GeneratedProgram{};
+    features_ = &out;
 
     // Inputs: tiny declared domains; the product caps the brute force.
     const int num_inputs = 1 + static_cast<int>(rng_.below(
@@ -64,12 +67,14 @@ class Generator {
     if (paths_ > cfg_.max_paths) return false;
 
     std::ostringstream src;
-    src << header.str() << "\nvoid fz(void)\n{\n" << decls.str()
-        << body_.str() << "}\n";
+    src << header.str() << "\nvoid fz(void)\n{\n" << decls.str();
+    // Do-while iteration counters: plain top-of-function locals, outside
+    // the assignable pool so every do-while runs its full bound.
+    for (const std::string& d : counter_decls_) src << d;
+    src << body_.str() << "}\n";
     out.source = src.str();
     out.num_inputs = static_cast<int>(inputs_.size());
-    out.has_loop = has_loop_;
-    out.has_branch_in_loop = has_branch_in_loop_;
+    features_ = nullptr;
     return true;
   }
 
@@ -83,11 +88,8 @@ class Generator {
     std::vector<const std::string*> pool;
     for (const std::string& v : inputs_) pool.push_back(&v);
     for (const std::string& v : locals_) pool.push_back(&v);
-    std::string loop_var;
-    if (in_loop && loop_counter_ > 0) {
-      loop_var = "i" + std::to_string(loop_counter_ - 1);
-      pool.push_back(&loop_var);
-    }
+    if (in_loop)
+      for (const std::string& c : counters_) pool.push_back(&c);
     return *pool[rng_.below(pool.size())];
   }
 
@@ -96,16 +98,45 @@ class Generator {
       if (rng_.chance(0.3)) return std::to_string(rng_.range(-4, 7));
       return read_var(in_loop);
     }
+    const double roll = rng_.unit();
+    if (roll < 0.12) {
+      // Shift by a constant amount in [0, 3]: semantically total in
+      // mini-C, and the constant keeps generated programs clear of the
+      // C-level UB the harness is not trying to test.
+      features_->has_shift = true;
+      static const char* kShifts[] = {"<<", ">>"};
+      return "(" + expr(depth + 1, in_loop) + " " + kShifts[rng_.below(2)] +
+             " " + std::to_string(rng_.range(0, 3)) + ")";
+    }
+    if (roll < 0.24) {
+      // Division/remainder by a nonzero constant (div-by-zero is defined
+      // in mini-C but guarded out here — C ground truth has no answer).
+      features_->has_div = true;
+      static const std::int64_t kDivisors[] = {1, 2, 3, 5, 7};
+      return "(" + expr(depth + 1, in_loop) + " " +
+             (rng_.chance(0.5) ? "/" : "%") + " " +
+             std::to_string(kDivisors[rng_.below(5)]) + ")";
+    }
     static const char* kOps[] = {"+", "-", "*", "&", "|", "^"};
     const char* op = kOps[rng_.below(6)];
     return "(" + expr(depth + 1, in_loop) + " " + op + " " +
            expr(depth + 1, in_loop) + ")";
   }
 
-  std::string guard(bool in_loop) {
+  std::string compare(bool in_loop) {
     static const char* kCmps[] = {"==", "!=", "<", "<=", ">", ">="};
     return expr(1, in_loop) + " " + kCmps[rng_.below(6)] + " " +
            expr(1, in_loop);
+  }
+
+  std::string guard(bool in_loop) {
+    if (rng_.chance(0.25)) {
+      features_->has_logical = true;
+      return "(" + compare(in_loop) + ")" +
+             (rng_.chance(0.5) ? " && " : " || ") + "(" + compare(in_loop) +
+             ")";
+    }
+    return compare(in_loop);
   }
 
   void assignment(int depth, bool in_loop) {
@@ -136,7 +167,7 @@ class Generator {
   }
 
   void if_statement(int depth, bool in_loop) {
-    if (in_loop) has_branch_in_loop_ = true;
+    if (in_loop) features_->has_branch_in_loop = true;
     indent(depth);
     body_ << "if (" << guard(in_loop) << ") {\n";
     std::uint64_t then_paths = 1;
@@ -149,39 +180,131 @@ class Generator {
     }
     indent(depth);
     body_ << "}\n";
-    paths_ *= then_paths + else_paths;
+    paths_ = saturating_mul(paths_, saturating_add(then_paths, else_paths));
   }
 
-  void loop_statement(int depth) {
-    has_loop_ = true;
+  void switch_statement(int depth, bool in_loop) {
+    features_->has_switch = true;
+    if (in_loop) features_->has_branch_in_loop = true;
+    indent(depth);
+    body_ << "switch (" << read_var(in_loop) << ") {\n";
+    const int cases = 2 + static_cast<int>(rng_.below(2));  // 2..3 + default
+    std::int64_t label = rng_.range(-2, 0);
+    std::vector<std::uint64_t> arm_paths;
+    std::vector<bool> breaks;
+    for (int c = 0; c <= cases; ++c) {
+      const bool is_default = c == cases;
+      indent(depth + 1);
+      if (is_default)
+        body_ << "default: {\n";
+      else
+        body_ << "case " << label << ": {\n";
+      label += 1 + rng_.range(0, 1);  // strictly increasing: distinct labels
+      std::uint64_t ap = 1;
+      block(depth + 2, in_loop, ap);
+      arm_paths.push_back(ap);
+      // Occasional fallthrough into the next arm (never off the end).
+      const bool brk = is_default || !rng_.chance(0.2);
+      breaks.push_back(brk);
+      if (brk) {
+        indent(depth + 2);
+        body_ << "break;\n";
+      } else {
+        features_->has_fallthrough = true;
+      }
+      indent(depth + 1);
+      body_ << "}\n";
+    }
+    indent(depth);
+    body_ << "}\n";
+    // Exact structural count: entering at arm k runs the fallthrough
+    // chain k..j (j = first arm with break), multiplying the arms' own
+    // decision fan-outs along the chain.
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < arm_paths.size(); ++k) {
+      std::uint64_t chain = 1;
+      for (std::size_t j = k; j < arm_paths.size(); ++j) {
+        chain = saturating_mul(chain, arm_paths[j]);
+        if (breaks[j]) break;
+      }
+      total = saturating_add(total, chain);
+    }
+    paths_ = saturating_mul(paths_, total);
+  }
+
+  void for_statement(int depth) {
+    features_->has_loop = true;
     const int bound = 1 + static_cast<int>(rng_.below(3));  // 1..3
     const std::string iv = "i" + std::to_string(loop_counter_++);
     indent(depth);
     body_ << "__loopbound(" << bound << ") for (int " << iv << " = 0; " << iv
           << " < " << bound << "; " << iv << " += 1) {\n";
+    counters_.push_back(iv);
     std::uint64_t body_paths = 1;
     block(depth + 1, /*in_loop=*/true, body_paths);
+    counters_.pop_back();
     indent(depth);
     body_ << "}\n";
     --loop_counter_;
     // Structural estimate: 0..bound iterations, each multiplying in the
     // body's decision fan-out.
-    std::uint64_t total = 1, pow = 1;
+    paths_ = saturating_mul(paths_, loop_paths(body_paths, bound,
+                                               /*include_zero=*/true));
+  }
+
+  void do_while_statement(int depth) {
+    features_->has_loop = true;
+    features_->has_do_while = true;
+    const int bound = 1 + static_cast<int>(rng_.below(3));  // 1..3
+    const std::string dv = "d" + std::to_string(dowhile_counter_++);
+    counter_decls_.push_back("  int " + dv + " = 0;\n");
+    indent(depth);
+    body_ << "__loopbound(" << bound << ") do {\n";
+    counters_.push_back(dv);
+    std::uint64_t body_paths = 1;
+    block(depth + 1, /*in_loop=*/true, body_paths);
+    counters_.pop_back();
+    indent(depth + 1);
+    body_ << dv << " += 1;\n";
+    indent(depth);
+    body_ << "} while (" << dv << " < " << bound << ");\n";
+    // A do-while body runs 1..bound times.
+    paths_ = saturating_mul(paths_, loop_paths(body_paths, bound,
+                                               /*include_zero=*/false));
+  }
+
+  /// sum of body^k over the iteration counts a bounded loop can take.
+  std::uint64_t loop_paths(std::uint64_t body_paths, int bound,
+                           bool include_zero) {
+    std::uint64_t total = include_zero ? 1 : 0;
+    std::uint64_t pow = 1;
     for (int k = 1; k <= bound; ++k) {
-      pow *= body_paths;
-      total += pow;
+      pow = saturating_mul(pow, body_paths);
+      total = saturating_add(total, pow);
       if (total > cfg_.max_paths) break;
     }
-    paths_ *= total;
+    return total;
+  }
+
+  static std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+    if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+    return a * b;
+  }
+  static std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
   }
 
   void statement(int depth, bool in_loop) {
     const double roll = rng_.unit();
-    if (depth < cfg_.max_depth && roll < 0.25) {
+    if (depth < cfg_.max_depth && roll < 0.22) {
       if_statement(depth, in_loop);
-    } else if (cfg_.allow_loops && !in_loop && depth < 2 && roll < 0.40) {
-      loop_statement(depth);
-    } else if (roll < 0.60) {
+    } else if (depth < cfg_.max_depth && roll < 0.30) {
+      switch_statement(depth, in_loop);
+    } else if (cfg_.allow_loops && !in_loop && depth < 2 && roll < 0.42) {
+      for_statement(depth);
+    } else if (cfg_.allow_loops && !in_loop && depth < 2 && roll < 0.50) {
+      do_while_statement(depth);
+    } else if (roll < 0.64) {
       call(depth);
     } else {
       assignment(depth, in_loop);
@@ -193,10 +316,14 @@ class Generator {
   std::ostringstream body_;
   std::vector<std::string> inputs_;
   std::vector<std::string> locals_;
+  /// Counters of the enclosing loops, readable inside their bodies.
+  std::vector<std::string> counters_;
+  /// Top-of-function declarations for do-while counters.
+  std::vector<std::string> counter_decls_;
   int loop_counter_ = 0;
+  int dowhile_counter_ = 0;
   std::uint64_t paths_ = 1;
-  bool has_loop_ = false;
-  bool has_branch_in_loop_ = false;
+  GeneratedProgram* features_ = nullptr;
 };
 
 }  // namespace

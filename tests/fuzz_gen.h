@@ -1,9 +1,11 @@
 // Seeded random mini-C program generator for the differential fuzz
 // harness (tests/test_fuzz.cpp). Programs are small by construction:
-// bounded loops only, nested ifs, comparison guards, and inputs declared
-// as `__input(lo, hi)` globals with tiny domains — so the reference
-// interpreter can brute-force every input, the explicit-state explorer
-// can reach its fixpoint, and the BMC pipeline stays conclusive.
+// bounded loops only (for and do-while), nested ifs, switches (with
+// occasional fallthrough), comparison and &&/|| guards, shift and
+// division operators with safe constant right-hand sides, and inputs
+// declared as `__input(lo, hi)` globals with tiny domains — so the
+// reference interpreter can brute-force every input, the explicit-state
+// explorer can reach its fixpoint, and the BMC pipeline stays conclusive.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +19,7 @@ struct FuzzConfig {
   /// Locals, always initialised at declaration (write-before-read, so the
   /// free-initial-value encoding cannot diverge from C semantics).
   int max_locals = 3;
-  /// Maximum if-nesting depth.
+  /// Maximum if/switch-nesting depth.
   int max_depth = 3;
   /// Statements per block arm.
   int max_stmts = 4;
@@ -26,22 +28,32 @@ struct FuzzConfig {
   std::uint64_t max_paths = 200;
   /// Cap on the input-domain cross product (brute-force budget).
   std::uint64_t max_input_product = 64;
-  /// Permit `__loopbound` for loops (never nested).
+  /// Permit `__loopbound` loops — bounded `for` and `do-while` (never
+  /// nested inside another loop).
   bool allow_loops = true;
 };
 
-/// One generated program plus the shape facts the oracle needs to pick
-/// its strictness level.
+/// One generated program plus the shape facts the oracle needs. The
+/// feature flags double as the generator's reach matrix (see TESTING.md):
+/// a regression that stops a construct from being emitted shows up as a
+/// zero count over a seed range.
 struct GeneratedProgram {
   std::string source;
   /// Function and input bookkeeping for the oracle.
   int num_inputs = 0;
   bool has_loop = false;
   /// A decision inside a loop body revisits its decision block with
-  /// varying outcomes, which the path-policy BMC query cannot force —
-  /// those paths report Unknown, so the oracle downgrades the equality
-  /// checks to soundness bounds for such programs.
+  /// varying outcomes. The per-iteration decision-schedule encoding in
+  /// BmcQuery resolves those paths exactly, so the oracle demands
+  /// equality for these programs too (it used to downgrade to bounds).
   bool has_branch_in_loop = false;
+  // ------------------------------------------------ feature reach matrix
+  bool has_switch = false;
+  bool has_fallthrough = false;
+  bool has_do_while = false;
+  bool has_div = false;    // `/` or `%` (constant nonzero divisor)
+  bool has_shift = false;  // `<<` or `>>` (constant 0..3 amount)
+  bool has_logical = false;  // `&&` / `||` guard
 };
 
 /// Deterministic: the same (seed, cfg) always yields the same program, on

@@ -1,0 +1,316 @@
+#include "fuzz_oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "cfg/structure.h"
+#include "driver/pipeline.h"
+#include "mc/explicit.h"
+#include "minic/frontend.h"
+#include "opt/passes.h"
+#include "testgen/interp.h"
+#include "tsys/translate.h"
+
+namespace tmg::fuzz {
+
+namespace {
+
+using driver::PathVerdict;
+using driver::Pipeline;
+using driver::PipelineOptions;
+using driver::PipelineResult;
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<tsys::TranslationResult> tr;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+Built build(const std::string& src) {
+  Built b;
+  DiagnosticEngine diags;
+  b.program = minic::compile(
+      src, diags, minic::SemaOptions{.warn_unbounded_loops = false});
+  if (!b.program) {
+    b.error = "frontend: " + diags.str();
+    return b;
+  }
+  if (b.program->functions.empty()) {
+    b.error = "frontend: no function definitions";
+    return b;
+  }
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  b.tr = tsys::translate(*b.program, *b.f, diags);
+  if (!b.tr) b.error = "translate: " + diags.str();
+  return b;
+}
+
+/// All input combinations over the declared __input domains, in
+/// Program::inputs_of order (the interpreter's input order).
+std::vector<std::vector<std::int64_t>> input_combos(const Built& b) {
+  const std::vector<minic::Symbol*> inputs = b.program->inputs_of(*b.f->fn);
+  std::vector<std::vector<std::int64_t>> out;
+  std::vector<std::int64_t> cursor;
+  for (const minic::Symbol* s : inputs)
+    cursor.push_back(s->value_range().first);
+  for (;;) {
+    out.push_back(cursor);
+    std::size_t i = 0;
+    for (; i < inputs.size(); ++i) {
+      if (++cursor[i] <= inputs[i]->value_range().second) break;
+      cursor[i] = inputs[i]->value_range().first;
+    }
+    if (i == inputs.size()) break;
+    if (inputs.empty()) break;
+  }
+  return out;
+}
+
+/// Reorders one interpreter-order combo into transition-system VarId
+/// order (what run_concrete expects). Returns false when an input symbol
+/// has no transition-system variable.
+bool to_varid_order(const Built& b, const std::vector<std::int64_t>& combo,
+                    std::vector<std::int64_t>& out) {
+  const std::vector<minic::Symbol*> inputs = b.program->inputs_of(*b.f->fn);
+  std::map<tsys::VarId, std::int64_t> by_var;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const tsys::VarId v = b.tr->var_of_symbol[inputs[i]->id];
+    if (v == tsys::kNoVar) return false;
+    by_var[v] = combo[i];
+  }
+  out.clear();
+  out.reserve(by_var.size());
+  for (const auto& [var, value] : by_var) out.push_back(value);
+  return true;
+}
+
+/// Shrinks non-input free variables (uninitialised-encoding locals) to a
+/// tiny window so explicit exploration stays tractable; identical shrink
+/// on both systems keeps the comparison fair (see tests/test_opt.cpp).
+void restrict_domains(tsys::TransitionSystem& ts) {
+  for (tsys::VarInfo& v : ts.vars) {
+    if (v.is_input || v.has_init) continue;
+    if (v.hi - v.lo <= 4) continue;
+    v.lo = std::max<std::int64_t>(v.lo, -1);
+    v.hi = std::min<std::int64_t>(v.hi, 1);
+  }
+}
+
+/// Cost of one executed trace under the default cost model — the ground
+/// truth the pipeline's path costs must reproduce.
+std::int64_t trace_cost(const Built& b, const testgen::ExecTrace& trace) {
+  const driver::CostModel cm;
+  std::int64_t total = 0;
+  for (const cfg::BlockId blk : trace.blocks)
+    total += cm.block_cost(b.f->graph.block(blk));
+  return total;
+}
+
+std::string fmt_trace(const std::vector<cfg::EdgeRef>& t) {
+  std::ostringstream os;
+  for (const cfg::EdgeRef& e : t) os << " " << e.from << ":" << e.succ_index;
+  return os.str();
+}
+
+}  // namespace
+
+CheckOutcome check_program(const std::string& source,
+                           const CheckOptions& opts) {
+  CheckOutcome oc;
+  const auto fail = [&](const std::string& what) {
+    oc.failure = what;
+    return oc;
+  };
+
+  Built b = build(source);
+  if (!b.ok()) {
+    oc.failure = b.error;
+    return oc;  // compiled stays false: not a differential failure
+  }
+  oc.compiled = true;
+  testgen::Interpreter interp(*b.program, *b.f);
+
+  // ------------------------------------------------ ground truth (interp)
+  const std::vector<std::vector<std::int64_t>> combos = input_combos(b);
+  if (combos.empty()) return fail("harness: no input combinations");
+  std::vector<testgen::ExecTrace> traces;
+  std::int64_t min_cost = 0, max_cost = 0;
+  std::set<std::vector<cfg::BlockId>> executed_paths;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    testgen::ExecTrace t = interp.run(combos[i]);
+    if (!t.terminated)
+      return fail("interp: generated program did not terminate");
+    const std::int64_t cost = trace_cost(b, t);
+    if (i == 0) {
+      min_cost = max_cost = cost;
+    } else {
+      min_cost = std::min(min_cost, cost);
+      max_cost = std::max(max_cost, cost);
+    }
+    executed_paths.insert(t.blocks);
+    traces.push_back(std::move(t));
+  }
+
+  // -------------------------------------- translator oracle: run_concrete
+  // The transition system must take the interpreter's exact decision
+  // sequence on every input, before and after the optimisation passes.
+  Built plain = build(source);
+  Built optim = build(source);
+  if (!plain.ok() || !optim.ok()) return fail("rebuild: not deterministic");
+  opt::run_passes(optim.tr->ts, opt::all_passes());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    std::vector<std::int64_t> ts_inputs;
+    if (!to_varid_order(b, combos[i], ts_inputs))
+      return fail("translate: input symbol lost its variable");
+    const auto concrete = opt::run_concrete(plain.tr->ts, ts_inputs);
+    if (concrete.size() != traces[i].choices.size())
+      return fail("run_concrete: decision count diverged from interpreter");
+    for (std::size_t c = 0; c < concrete.size(); ++c) {
+      if (concrete[c].first != traces[i].choices[c].from ||
+          concrete[c].second != traces[i].choices[c].succ_index)
+        return fail("run_concrete: decision trace diverged from interpreter");
+    }
+    if (opt::run_concrete(optim.tr->ts, ts_inputs) != concrete)
+      return fail("opt: optimisation passes changed the decision trace");
+  }
+
+  // ----------------------------------- explicit-state oracle: mc::explore
+  restrict_domains(plain.tr->ts);
+  restrict_domains(optim.tr->ts);
+  const mc::ExploreResult ex_plain =
+      mc::explore(plain.tr->ts, plain.tr->ts.final);
+  const mc::ExploreResult ex_opt =
+      mc::explore(optim.tr->ts, optim.tr->ts.final);
+  if (!ex_plain.complete) return fail("mc: exploration incomplete");
+  if (!ex_plain.goal_reached)
+    return fail("mc: final location unreachable in a terminating program");
+  if (!ex_opt.complete) return fail("mc: optimised exploration incomplete");
+  if (ex_opt.goal_reached != ex_plain.goal_reached)
+    return fail("mc: optimised goal reachability diverged");
+
+  // --------------------------------------------- BMC oracle: the pipeline
+  PipelineOptions popts;
+  popts.path_bound = 1'000'000;  // whole function = one segment
+  popts.max_paths_per_segment = 512;
+  popts.jobs = 1;
+  const PipelineResult plain_run = Pipeline(popts).run(source);
+  if (!plain_run.ok) return fail("pipeline: " + plain_run.error);
+  if (plain_run.functions.size() != 1)
+    return fail("pipeline: expected exactly one function");
+  const driver::FunctionTiming& ft = plain_run.functions.front();
+  if (ft.segments.size() != 1)
+    return fail("pipeline: expected one whole-function segment");
+  const driver::SegmentTiming& st = ft.segments.front();
+  if (!st.whole_function) return fail("pipeline: segment not whole-function");
+  if (!st.enumeration_complete)
+    return fail("pipeline: generator path budget must keep enumeration "
+                "complete");
+
+  oc.total_segments = 1;
+  oc.conclusive_segments = st.conclusive() ? 1 : 0;
+
+  // Witness replay must never diverge — and with per-iteration decision
+  // traces the replay check is trace-exact, not just block-subsequence.
+  if (st.mismatched != 0)
+    return fail("pipeline: " + std::to_string(st.mismatched) +
+                " witness replays mismatched");
+
+  // Soundness for every program: executed paths are enumerated and never
+  // classified Infeasible.
+  for (const std::vector<cfg::BlockId>& path : executed_paths) {
+    const driver::PathTiming* found = nullptr;
+    for (const driver::PathTiming& pt : st.paths)
+      if (pt.blocks == path) {
+        found = &pt;
+        break;
+      }
+    if (found == nullptr)
+      return fail("pipeline: an executed path was not enumerated");
+    if (found->verdict == PathVerdict::Infeasible)
+      return fail("pipeline: BMC pruned a path the interpreter executes");
+  }
+
+  // Exactness for EVERY program, loops included: the per-iteration
+  // decision-schedule encoding leaves no Unknown verdicts, so the model
+  // equals the brute-force extrema and the feasible set is exactly the
+  // executed set.
+  if (st.unknown != 0)
+    return fail("pipeline: " + std::to_string(st.unknown) +
+                " paths inconclusive (schedule encoding regressed)");
+  if (st.bcet != min_cost)
+    return fail("pipeline: BCET " + std::to_string(st.bcet) +
+                " != brute-force minimum " + std::to_string(min_cost));
+  if (st.wcet != max_cost)
+    return fail("pipeline: WCET " + std::to_string(st.wcet) +
+                " != brute-force maximum " + std::to_string(max_cost));
+  if (st.feasible != executed_paths.size())
+    return fail("pipeline: " + std::to_string(st.feasible) +
+                " feasible paths but " +
+                std::to_string(executed_paths.size()) + " executed");
+  for (const driver::PathTiming& pt : st.paths) {
+    if (pt.verdict != PathVerdict::Feasible) continue;
+    if (!executed_paths.contains(pt.blocks))
+      return fail("pipeline: BMC claims feasibility of a path no input "
+                  "executes");
+    // The witness's decision trace must be the path's own choice
+    // schedule: whole-function paths carry their complete per-iteration
+    // decision sequence.
+    if (pt.decision_trace.empty() && !pt.witness.empty())
+      return fail("pipeline: feasible path witness carries no decision "
+                  "trace");
+  }
+
+  // ------------------------------------- optimiser oracle: identical model
+  PipelineOptions oopts = popts;
+  oopts.opt_passes = opt::all_passes();
+  const PipelineResult opt_run = Pipeline(oopts).run(source);
+  if (!opt_run.ok) return fail("pipeline(opt): " + opt_run.error);
+  if (opt_run.functions.size() != 1)
+    return fail("pipeline(opt): expected exactly one function");
+  const driver::SegmentTiming& ot = opt_run.functions.front().segments.front();
+  if (ot.bcet != st.bcet || ot.wcet != st.wcet)
+    return fail("opt: optimised BCET/WCET diverged");
+  if (ot.feasible != st.feasible || ot.infeasible != st.infeasible ||
+      ot.unknown != st.unknown)
+    return fail("opt: optimised verdict tallies diverged");
+  if (ot.mismatched != 0) return fail("opt: optimised witness replay failed");
+  if (ot.paths.size() != st.paths.size())
+    return fail("opt: optimised path set diverged");
+  for (std::size_t p = 0; p < st.paths.size(); ++p) {
+    if (ot.paths[p].verdict != st.paths[p].verdict)
+      return fail("opt: optimised path verdict diverged");
+    if (ot.paths[p].cost != st.paths[p].cost)
+      return fail("opt: optimised path cost diverged");
+    // Decision traces survive the passes verbatim (origins are kept).
+    if (ot.paths[p].verdict == PathVerdict::Feasible &&
+        ot.paths[p].decision_trace != st.paths[p].decision_trace)
+      return fail("opt: optimised decision trace diverged:" +
+                  fmt_trace(st.paths[p].decision_trace) + " vs" +
+                  fmt_trace(ot.paths[p].decision_trace));
+  }
+
+  // ------------------------- witness stability (minimisation determinism)
+  // Witnesses are preference-minimal models, so a repeated run must
+  // reproduce them bit for bit.
+  if (opts.check_witness_stability) {
+    const PipelineResult again = Pipeline(popts).run(source);
+    if (!again.ok) return fail("pipeline(again): " + again.error);
+    const driver::SegmentTiming& at =
+        again.functions.front().segments.front();
+    if (at.paths.size() != st.paths.size())
+      return fail("stability: path set changed across runs");
+    for (std::size_t p = 0; p < st.paths.size(); ++p)
+      if (at.paths[p].witness != st.paths[p].witness)
+        return fail("stability: witness not stable across runs");
+  }
+
+  return oc;
+}
+
+}  // namespace tmg::fuzz

@@ -1,0 +1,52 @@
+// The differential oracle of the fuzz harness, factored out of the gtest
+// driver so the shrinking pass (fuzz_shrink.h) can re-run it on candidate
+// programs without gtest machinery. One call checks a whole mini-C
+// program against every engine:
+//
+//   * the reference interpreter brute-forces all `__input` combinations
+//     (ground truth; every run must terminate);
+//   * opt::run_concrete over the translated transition system reproduces
+//     the interpreter's decision trace on every input, before and after
+//     the Section 3.2 passes;
+//   * mc::explore reaches the final location and its fixpoint;
+//   * the BMC pipeline's whole-function BCET/WCET equal the brute-force
+//     extrema EXACTLY — the per-iteration decision-schedule encoding
+//     makes loop programs conclusive, so no bounding fallback remains;
+//   * the feasible path set equals the executed path set, every witness
+//     replays (with its per-iteration decision trace), and the optimised
+//     run produces the identical timing model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmg::fuzz {
+
+struct CheckOptions {
+  /// Re-run the analysis and require bit-identical witnesses (the
+  /// preference-minimal-model contract); costs a second pipeline run.
+  bool check_witness_stability = false;
+};
+
+/// Outcome of one oracle run.
+struct CheckOutcome {
+  /// The program compiled (shrink candidates that break the grammar or
+  /// the type system are rejected via this flag, not via `failure`).
+  bool compiled = false;
+  /// Empty = every engine agreed; otherwise a description of the first
+  /// disagreement, prefixed with the oracle stage that caught it.
+  std::string failure;
+  /// Conclusive-rate bookkeeping: segments whose verdicts were all
+  /// definite, over the segments analysed. The harness asserts the rate
+  /// stays at 100% so regressions in the schedule encoding are caught.
+  std::size_t conclusive_segments = 0;
+  std::size_t total_segments = 0;
+
+  [[nodiscard]] bool failing() const { return compiled && !failure.empty(); }
+};
+
+/// Runs every oracle over one source program. Deterministic.
+CheckOutcome check_program(const std::string& source,
+                           const CheckOptions& opts = {});
+
+}  // namespace tmg::fuzz

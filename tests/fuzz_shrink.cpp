@@ -1,0 +1,171 @@
+#include "fuzz_shrink.h"
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace tmg::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+int brace_delta(const std::string& line) {
+  int d = 0;
+  for (const char c : line) {
+    if (c == '{') ++d;
+    if (c == '}') --d;
+  }
+  return d;
+}
+
+/// [first, last] line range of the brace block opened on line `first`
+/// (inclusive of the closing line), or nullopt when unbalanced.
+std::optional<std::size_t> block_end(const std::vector<std::string>& lines,
+                                     std::size_t first) {
+  int depth = 0;
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    depth += brace_delta(lines[i]);
+    if (depth <= 0) return i;
+  }
+  return std::nullopt;
+}
+
+/// The function skeleton (`void fz(void)`, its braces) must survive;
+/// everything else is fair game.
+bool is_function_header(const std::string& line) {
+  return line.find('(') != std::string::npos &&
+         line.find("void") != std::string::npos &&
+         line.find(';') == std::string::npos;
+}
+
+struct Candidate {
+  std::vector<std::string> lines;
+};
+
+/// Erases [first, last] inclusive.
+std::vector<std::string> erase_range(const std::vector<std::string>& lines,
+                                     std::size_t first, std::size_t last) {
+  std::vector<std::string> out;
+  out.reserve(lines.size() - (last - first + 1));
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (i < first || i > last) out.push_back(lines[i]);
+  return out;
+}
+
+/// Integer-literal occurrences in a line: [pos, len) of each digit run
+/// that is not part of an identifier.
+std::vector<std::pair<std::size_t, std::size_t>> literal_spans(
+    const std::string& line) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isdigit(static_cast<unsigned char>(line[i]))) {
+      const bool in_ident =
+          i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                    line[i - 1] == '_');
+      std::size_t j = i;
+      while (j < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[j])))
+        ++j;
+      if (!in_ident) spans.emplace_back(i, j - i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::string shrink_program(std::string source, const StillFails& still_fails,
+                           std::size_t max_attempts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  std::vector<std::string> lines = split_lines(source);
+
+  const auto try_adopt = [&](std::vector<std::string> cand) -> bool {
+    if (st.attempts >= max_attempts) return false;
+    ++st.attempts;
+    if (!still_fails(join_lines(cand))) return false;
+    ++st.accepted;
+    lines = std::move(cand);
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && st.attempts < max_attempts) {
+    changed = false;
+
+    // 1. Brace-block deletion, outermost (largest) candidates first.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (brace_delta(lines[i]) <= 0) continue;
+      if (is_function_header(lines[i])) continue;
+      const std::optional<std::size_t> end = block_end(lines, i);
+      if (!end || *end <= i) continue;
+      if (try_adopt(erase_range(lines, i, *end))) {
+        changed = true;
+        break;  // indices shifted: rescan from the top
+      }
+    }
+    if (changed) continue;
+
+    // 2. Single-line deletion (statements, declarations, loose labels).
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (brace_delta(lines[i]) != 0) continue;  // keep structure balanced
+      if (lines[i].find_first_not_of(" \t") == std::string::npos) continue;
+      if (try_adopt(erase_range(lines, i, i))) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // 3. Constant reduction: each literal to 0, else halved toward 0.
+    for (std::size_t i = 0; i < lines.size() && !changed; ++i) {
+      for (const auto& [pos, len] : literal_spans(lines[i])) {
+        const std::string tok = lines[i].substr(pos, len);
+        std::int64_t value = 0;
+        try {
+          value = std::stoll(tok);
+        } catch (...) {
+          continue;
+        }
+        if (value == 0) continue;
+        for (const std::int64_t smaller : {std::int64_t{0}, value / 2}) {
+          if (smaller == value) continue;
+          std::vector<std::string> cand = lines;
+          cand[i] = lines[i].substr(0, pos) + std::to_string(smaller) +
+                    lines[i].substr(pos + len);
+          if (try_adopt(std::move(cand))) {
+            changed = true;
+            break;
+          }
+        }
+        if (changed) break;  // spans of this line shifted: rescan
+      }
+    }
+  }
+
+  return join_lines(lines);
+}
+
+}  // namespace tmg::fuzz

@@ -1,0 +1,42 @@
+// Failing-program minimisation for the fuzz harness: given a mini-C
+// program that trips the differential oracle, greedily delete statements
+// and whole brace blocks and reduce integer constants while the failure
+// persists. The shrinker is syntax-light (line and token based) — any
+// candidate that no longer parses simply stops failing and is rejected by
+// the oracle predicate, so structural validity never has to be tracked.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace tmg::fuzz {
+
+/// Predicate over candidate programs: true when the candidate still
+/// exhibits the failure being minimised. Implementations should treat
+/// non-compiling candidates as NOT failing (see CheckOutcome::failing).
+using StillFails = std::function<bool(const std::string&)>;
+
+struct ShrinkStats {
+  /// Oracle invocations spent.
+  std::size_t attempts = 0;
+  /// Candidates that kept the failure and were adopted.
+  std::size_t accepted = 0;
+};
+
+/// Minimises `source` under `still_fails`, which must hold for `source`
+/// itself. Deterministic: the same (source, predicate) yields the same
+/// minimised program. `max_attempts` bounds the total number of predicate
+/// calls; the best program found so far is returned when it runs out.
+///
+/// Reduction passes, iterated to a fixpoint:
+///   1. brace-block deletion — an `if`/`switch`/loop construct vanishes
+///      with its whole body (largest candidates first);
+///   2. single-line deletion — statements and declarations;
+///   3. constant reduction — every integer literal tried as 0, then
+///      halved toward 0.
+std::string shrink_program(std::string source, const StillFails& still_fails,
+                           std::size_t max_attempts = 1000,
+                           ShrinkStats* stats = nullptr);
+
+}  // namespace tmg::fuzz

@@ -475,6 +475,116 @@ TEST(Table2, BatchAggregatesAndNamesFailingFile) {
   EXPECT_NE(bad.error.find("bad.mc"), std::string::npos);
 }
 
+// ------------------------------------- per-iteration decision schedules
+
+TEST(DecisionSchedule, B5LoopPathsAreConclusive) {
+  // b5's loop body branches on `flag`, so its whole-function paths
+  // revisit the branch with (potentially) different outcomes — the old
+  // forced-choice policy reported 14 of 15 paths Unknown. The schedule
+  // encoding decides every path: only the schedules where all iterations
+  // agree with the constant flag survive.
+  PipelineOptions opts;
+  opts.path_bound = 1'000'000;  // whole function = one segment
+  const PipelineResult r = run_pipeline(testing::kExampleB5, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_TRUE(seg.whole_function);
+  ASSERT_EQ(seg.paths.size(), 15u);
+  EXPECT_EQ(seg.unknown, 0u);
+  EXPECT_EQ(seg.feasible, 7u);    // empty + (then^k | else^k), k = 1..3
+  EXPECT_EQ(seg.infeasible, 8u);  // mixed branch outcomes: flag is fixed
+  EXPECT_TRUE(seg.conclusive());
+  // Every feasible path's witness validated through the interpreter,
+  // per-iteration decision trace included.
+  EXPECT_EQ(seg.validated, 7u);
+  EXPECT_EQ(seg.mismatched, 0u);
+  EXPECT_EQ(seg.bcet, 2);
+  EXPECT_EQ(seg.wcet, 14);
+}
+
+TEST(DecisionSchedule, B7DoWhileAndSwitchConclusive) {
+  PipelineOptions opts;
+  opts.path_bound = 1'000'000;
+  const PipelineResult r = run_pipeline(testing::kExampleB7, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  EXPECT_EQ(seg.unknown, 0u);
+  EXPECT_TRUE(seg.conclusive());
+  EXPECT_EQ(seg.mismatched, 0u);
+  EXPECT_EQ(seg.feasible, seg.validated);
+}
+
+TEST(DecisionSchedule, FeasiblePathsCarryTheirDecisionTrace) {
+  PipelineOptions opts;
+  opts.path_bound = 1'000'000;
+  const PipelineResult r = run_pipeline(testing::kExampleB5, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const SegmentTiming& seg = r.functions[0].segments[0];
+  for (const PathTiming& p : seg.paths) {
+    if (p.verdict != PathVerdict::Feasible) continue;
+    ASSERT_FALSE(p.witness.empty());
+    // Whole-function paths: the witness's decision trace is exactly the
+    // path's own choice schedule, and it lists one branch outcome per
+    // loop iteration.
+    EXPECT_FALSE(p.decision_trace.empty());
+  }
+}
+
+TEST(DecisionSchedule, ConclusiveSurvivesTheOptimisationPasses) {
+  PipelineOptions plain;
+  plain.path_bound = 1'000'000;
+  PipelineOptions optim = plain;
+  optim.opt_passes = opt::all_passes();
+  const PipelineResult a = run_pipeline(testing::kExampleB5, plain);
+  const PipelineResult b = run_pipeline(testing::kExampleB5, optim);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_TRUE(a.functions[0].conclusive());
+  EXPECT_TRUE(b.functions[0].conclusive());
+  EXPECT_EQ(a.functions[0].segments[0].feasible,
+            b.functions[0].segments[0].feasible);
+}
+
+// ----------------------------------------- witness-trace golden (b5 loop)
+
+/// Stable rendering of one segment's feasible-path decision traces:
+/// `blocks | trace` per line. No wall-clock columns by construction.
+std::string render_traces(const SegmentTiming& seg) {
+  std::ostringstream os;
+  for (const PathTiming& p : seg.paths) {
+    if (p.verdict != PathVerdict::Feasible) continue;
+    for (std::size_t i = 0; i < p.blocks.size(); ++i)
+      os << (i > 0 ? ">" : "") << p.blocks[i];
+    os << " | ";
+    for (std::size_t i = 0; i < p.decision_trace.size(); ++i)
+      os << (i > 0 ? "," : "") << p.decision_trace[i].from << ":"
+         << p.decision_trace[i].succ_index;
+    os << "\n";
+  }
+  return os.str();
+}
+
+TEST(GoldenTrace, B5PerIterationWitnessTracesMatchCommitted) {
+  // The per-iteration witness traces of b5's loop paths are a pure
+  // function of (source, options): preference-minimal witnesses replayed
+  // through the deterministic transition system. Any change to the
+  // schedule encoding, the minimisation or the translator shows up here.
+  PipelineOptions opts;
+  opts.path_bound = 1'000'000;
+  opts.jobs = 1;
+  const PipelineResult r = run_pipeline(testing::kExampleB5, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::string got = render_traces(r.functions[0].segments[0]);
+
+  std::ifstream golden(std::string(TMG_SOURCE_DIR) +
+                       "/tests/golden/b5_witness_traces.txt");
+  ASSERT_TRUE(golden.good()) << "golden file missing";
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "b5 witness traces changed. If intended, regenerate "
+         "tests/golden/b5_witness_traces.txt (see TESTING.md).";
+}
+
 // ------------------------------------------------------- witness replay
 
 TEST(WitnessReplay, Figure1WitnessesDriveTheClaimedPaths) {
