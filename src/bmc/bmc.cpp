@@ -1,261 +1,11 @@
 #include "bmc/bmc.h"
 
-#include <cassert>
-#include <chrono>
-#include <unordered_map>
-
-#include "bmc/bitblast.h"
+#include "bmc/session.h"
 
 namespace tmg::bmc {
 
-using minic::Type;
-using sat::Lit;
-using tsys::TExpr;
-using tsys::TExprKind;
 using tsys::Transition;
 using tsys::TransitionSystem;
-using tsys::VarId;
-using tsys::VarInfo;
-
-namespace {
-
-/// Bit-blasts transition-system expressions against a per-step frame of
-/// variable bit-vectors.
-class ExprBlaster {
- public:
-  ExprBlaster(BitBlaster& bb, const std::vector<BitVec>& frame,
-              const TransitionSystem& ts)
-      : bb_(bb), frame_(frame), ts_(ts) {}
-
-  /// Value of `e` as a bit-vector of its type's width.
-  BitVec value(const TExpr& e) {
-    const int w = minic::type_bits(e.type);
-    const bool sg = minic::type_is_signed(e.type);
-    switch (e.kind) {
-      case TExprKind::Const:
-        return bb_.constant(e.value, w, sg);
-      case TExprKind::Var: {
-        // variables are stored at their (possibly narrowed) encoding width
-        BitVec enc = frame_[e.var];
-        enc.is_signed = ts_.vars[e.var].is_signed_encoding();
-        BitVec v = bb_.resize(enc, w);
-        v.is_signed = sg;
-        return v;
-      }
-      case TExprKind::Unary: {
-        BitVec a = value(*e.args[0]);
-        switch (e.un_op) {
-          case minic::UnOp::Neg:
-            return BitBlaster::retag(bb_.resize(bb_.neg(promote(a, e.type)), w), sg);
-          case minic::UnOp::BitNot:
-            return BitBlaster::retag(bb_.bit_not(promote(a, e.type)), sg);
-          case minic::UnOp::Plus:
-            return BitBlaster::retag(bb_.resize(a, w), sg);
-          case minic::UnOp::LogicalNot:
-            return bb_.from_lit(~bb_.reduce_or(a));
-        }
-        break;
-      }
-      case TExprKind::Binary:
-        return binary(e);
-      case TExprKind::Cond: {
-        const Lit c = bb_.reduce_or(value(*e.args[0]));
-        BitVec t = bb_.resize(value(*e.args[1]), w);
-        BitVec f = bb_.resize(value(*e.args[2]), w);
-        return BitBlaster::retag(bb_.mux(c, t, f), sg);
-      }
-    }
-    return bb_.constant(0, w, sg);
-  }
-
-  /// Condition literal for `e != 0`.
-  Lit truth(const TExpr& e) { return bb_.reduce_or(value(e)); }
-
- private:
-  /// Extends `a` to the width of `type`, keeping a's signedness for fill.
-  BitVec promote(const BitVec& a, Type type) {
-    return bb_.resize(a, minic::type_bits(type));
-  }
-
-  BitVec binary(const TExpr& e) {
-    using minic::BinOp;
-    const int w = minic::type_bits(e.type);
-    const bool sg = minic::type_is_signed(e.type);
-
-    if (e.bin_op == BinOp::LogicalAnd || e.bin_op == BinOp::LogicalOr) {
-      const Lit l = truth(*e.args[0]);
-      const Lit r = truth(*e.args[1]);
-      return bb_.from_lit(e.bin_op == BinOp::LogicalAnd ? bb_.and_gate(l, r)
-                                                        : bb_.or_gate(l, r));
-    }
-
-    // promote operands to their common arithmetic type
-    const Type ot =
-        minic::arith_result(e.args[0]->type, e.args[1]->type);
-    const int ow = minic::type_bits(ot);
-    const bool osg = minic::type_is_signed(ot);
-    BitVec a = bb_.resize(value(*e.args[0]), ow);
-    BitVec b = bb_.resize(value(*e.args[1]), ow);
-    a.is_signed = osg;
-    b.is_signed = osg;
-
-    switch (e.bin_op) {
-      case BinOp::Add:
-        return BitBlaster::retag(bb_.resize(bb_.add(a, b), w), sg);
-      case BinOp::Sub:
-        return BitBlaster::retag(bb_.resize(bb_.sub(a, b), w), sg);
-      case BinOp::Mul:
-        return BitBlaster::retag(bb_.resize(bb_.mul(a, b), w), sg);
-      case BinOp::Div:
-        return BitBlaster::retag(bb_.resize(bb_.div(a, b), w), sg);
-      case BinOp::Rem:
-        return BitBlaster::retag(bb_.resize(bb_.rem(a, b), w), sg);
-      case BinOp::BitAnd:
-        return BitBlaster::retag(bb_.resize(bb_.bit_and(a, b), w), sg);
-      case BinOp::BitOr:
-        return BitBlaster::retag(bb_.resize(bb_.bit_or(a, b), w), sg);
-      case BinOp::BitXor:
-        return BitBlaster::retag(bb_.resize(bb_.bit_xor(a, b), w), sg);
-      case BinOp::Shl: {
-        // shift ops promote the LEFT operand only
-        BitVec base = bb_.resize(value(*e.args[0]),
-                                 minic::type_bits(e.type));
-        base.is_signed = sg;
-        BitVec amt = value(*e.args[1]);
-        amt.is_signed = minic::type_is_signed(e.args[1]->type);
-        return BitBlaster::retag(bb_.shl(base, amt), sg);
-      }
-      case BinOp::Shr: {
-        BitVec base = bb_.resize(value(*e.args[0]),
-                                 minic::type_bits(e.type));
-        base.is_signed = minic::type_is_signed(e.args[0]->type);
-        BitVec amt = value(*e.args[1]);
-        amt.is_signed = minic::type_is_signed(e.args[1]->type);
-        BitVec r = bb_.shr(base, amt);
-        return BitBlaster::retag(bb_.resize(r, w), sg);
-      }
-      case BinOp::Eq:
-        return bb_.from_lit(bb_.eq(a, b));
-      case BinOp::Ne:
-        return bb_.from_lit(bb_.ne(a, b));
-      case BinOp::Lt:
-        return bb_.from_lit(bb_.lt(a, b));
-      case BinOp::Le:
-        return bb_.from_lit(bb_.le(a, b));
-      case BinOp::Gt:
-        return bb_.from_lit(bb_.lt(b, a));
-      case BinOp::Ge:
-        return bb_.from_lit(bb_.le(b, a));
-      default:
-        break;
-    }
-    return bb_.constant(0, w, sg);
-  }
-
-  BitBlaster& bb_;
-  const std::vector<BitVec>& frame_;
-  const TransitionSystem& ts_;
-};
-
-int loc_bits(const TransitionSystem& ts) {
-  int bits = 1;
-  while ((std::uint64_t{1} << bits) < ts.num_locs) ++bits;
-  return bits;
-}
-
-/// Witness minimisation (BmcOptions::minimize_witness): greedily pins
-/// every free variable, in VarId order, to its preferred value — 0 when
-/// the domain contains it, else the smallest feasible value found by
-/// binary search — re-solving under assumption pins so earlier choices
-/// constrain later ones. `model` holds the current SAT model's step-0
-/// values and is updated in place; on conflict-budget exhaustion the
-/// (still valid, prefix-minimised) current model is kept.
-void minimize_witness(sat::Solver& solver, BitBlaster& bb,
-                      const TransitionSystem& ts,
-                      const std::vector<BitVec>& frame0,
-                      const BmcOptions& opts,
-                      std::vector<std::int64_t>& model) {
-  std::vector<Lit> pins;
-  const auto snapshot = [&] {
-    for (std::size_t v = 0; v < ts.vars.size(); ++v)
-      model[v] = bb.decode(frame0[v]);
-  };
-
-  for (std::size_t v = 0; v < ts.vars.size(); ++v) {
-    const VarInfo& vi = ts.vars[v];
-    if (!vi.is_input && vi.has_init) continue;  // constant, nothing to pin
-    const int w = vi.bits();
-    const bool sg = vi.is_signed_encoding();
-    const auto pin_eq = [&](std::int64_t value) {
-      return bb.eq(frame0[v], bb.constant(value, w, sg));
-    };
-
-    const std::int64_t dom_lo = vi.init_lo();
-    const std::int64_t dom_hi = vi.init_hi();
-    const std::int64_t anchor = (dom_lo <= 0 && dom_hi >= 0) ? 0 : dom_lo;
-    if (model[v] == anchor) {
-      pins.push_back(pin_eq(anchor));
-      continue;
-    }
-
-    pins.push_back(pin_eq(anchor));
-    const sat::Result ra = solver.solve(pins, opts.conflict_budget);
-    if (ra == sat::Result::Sat) {
-      snapshot();
-      continue;
-    }
-    pins.pop_back();
-    if (ra == sat::Result::Unknown) return;  // budget: keep current model
-
-    // The anchor is infeasible under the earlier pins; find the smallest
-    // feasible value. Invariant: some feasible value lies in [lo, hi]
-    // (the current model's value does).
-    std::int64_t lo = dom_lo;
-    std::int64_t hi = model[v];
-    while (lo < hi) {
-      // Unsigned midpoint: `hi - lo` would overflow signed arithmetic on
-      // a full-int64 domain (same defence as mc::explore's cardinality).
-      const std::int64_t mid = static_cast<std::int64_t>(
-          static_cast<std::uint64_t>(lo) +
-          (static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo)) /
-              2);
-      pins.push_back(bb.le(frame0[v], bb.constant(mid, w, sg)));
-      const sat::Result rm = solver.solve(pins, opts.conflict_budget);
-      pins.pop_back();
-      if (rm == sat::Result::Sat) {
-        snapshot();
-        hi = model[v];  // the fresh model is feasible and <= mid
-      } else if (rm == sat::Result::Unsat) {
-        lo = mid + 1;
-      } else {
-        return;  // budget: keep current model
-      }
-    }
-    if (lo != model[v]) {
-      pins.push_back(pin_eq(lo));
-      if (solver.solve(pins, opts.conflict_budget) != sat::Result::Sat) {
-        pins.pop_back();  // cannot happen semantically; stay safe
-        return;
-      }
-      snapshot();
-    } else {
-      pins.push_back(pin_eq(lo));
-    }
-  }
-}
-
-/// A per-iteration schedule degenerates to a global forced-choice policy
-/// only when it never revisits a decision block with a different outcome.
-bool schedule_conflicts(const std::vector<cfg::EdgeRef>& choices) {
-  std::unordered_map<cfg::BlockId, std::uint32_t> seen;
-  for (const cfg::EdgeRef& c : choices) {
-    auto [it, inserted] = seen.emplace(c.from, c.succ_index);
-    if (!inserted && it->second != c.succ_index) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::optional<std::vector<std::uint32_t>> walk_schedule(
     const TransitionSystem& ts, const DecisionSchedule& schedule,
@@ -320,236 +70,12 @@ std::optional<std::vector<std::uint32_t>> walk_schedule(
 
 BmcResult solve(const TransitionSystem& ts, const BmcQuery& query,
                 const BmcOptions& opts) {
-  const auto t_start = std::chrono::steady_clock::now();
-  BmcResult result;
-
-  const std::uint32_t depth =
-      opts.max_steps > 0 ? opts.max_steps : ts.num_locs + 1;
-  result.unroll_depth = depth;
-  const auto finish = [&]() -> BmcResult& {
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_start)
-            .count();
-    return result;
-  };
-
-  // Resolve a per-iteration schedule into its unique transition sequence.
-  // The walk knows the exact number of steps the schedule needs, so with
-  // an automatic depth it is capped only structurally (every inter-choice
-  // stretch is acyclic, hence shorter than num_locs); a user-forced
-  // max_steps stays a hard budget. A failed walk falls back to the legacy
-  // forced-choice policy; when the schedule revisits a decision with
-  // differing outcomes that policy cannot express it, so the query is
-  // conclusively inconclusive.
-  std::optional<std::vector<std::uint32_t>> seq;
-  std::vector<cfg::EdgeRef> policy = query.forced_choices;
-  if (query.schedule) {
-    const std::uint64_t walk_cap =
-        opts.max_steps > 0
-            ? depth
-            : static_cast<std::uint64_t>(ts.num_locs + 1) *
-                  (query.schedule->choices.size() + 2);
-    seq = walk_schedule(ts, *query.schedule, walk_cap);
-    if (!seq) {
-      if (schedule_conflicts(query.schedule->choices)) return finish();
-      policy = query.schedule->choices;  // degenerate schedule: global pins
-    }
-  }
-
-  sat::Solver solver;
-  BitBlaster bb(solver);
-
-  const int pcw = loc_bits(ts);
-
-  // ------------------------------------------------------------ frame 0
-  std::vector<BitVec> frame;
-  frame.reserve(ts.vars.size());
-  for (const VarInfo& v : ts.vars) {
-    const int w = v.bits();
-    const bool sg = v.is_signed_encoding();
-    if (!v.is_input && v.has_init) {
-      frame.push_back(bb.constant(v.init, w, sg));
-      continue;
-    }
-    BitVec x = bb.fresh(w, sg);
-    // Constrain the free initial value to the declared domain (the
-    // encoding may admit more values — it must cover later stores too,
-    // but test data and uninitialised state start inside the domain).
-    const BitVec lo = bb.constant(v.init_lo(), w, sg);
-    const BitVec hi = bb.constant(v.init_hi(), w, sg);
-    solver.add_clause(bb.le(lo, x));
-    solver.add_clause(bb.le(x, hi));
-    frame.push_back(std::move(x));
-  }
-  const std::vector<BitVec> frame0 = frame;  // for test-data extraction
-
-  if (seq && !query.schedule->anchored) {
-    // ------------------------------------------------- exact path encoding
-    // The whole-run schedule pins the complete transition sequence, so no
-    // program counter is needed: step t executes transition seq[t] — its
-    // guard becomes a hard clause and its updates apply unconditionally.
-    // The CNF is exactly the path condition over the symbolic initial
-    // state; UNSAT proves the path infeasible at any depth.
-    for (const std::uint32_t tid : *seq) {
-      const Transition& t = ts.transitions[tid];
-      ExprBlaster eb(bb, frame, ts);
-      if (t.guard) solver.add_clause(eb.truth(*t.guard));
-      std::vector<BitVec> next = frame;
-      for (const tsys::Update& u : t.updates) {
-        const VarInfo& v = ts.vars[u.var];
-        BitVec enc = bb.resize(eb.value(*u.value), v.bits());
-        enc.is_signed = v.is_signed_encoding();
-        next[u.var] = std::move(enc);
-      }
-      frame = std::move(next);
-    }
-    result.unroll_depth = seq->size();
-    result.exact_path = true;
-    result.schedule_realised = true;
-  } else {
-    BitVec pc = bb.constant(ts.initial, pcw, false);
-    const BitVec final_pc = bb.constant(ts.final, pcw, false);
-    const bool anchored_run = seq.has_value();
-
-    // Disallowed decision edges: same origin block as a forced choice but
-    // a different successor index. Only the policy encoding prunes edges;
-    // an anchored schedule leaves every step free outside its window.
-    auto is_disallowed = [&](const Transition& t) {
-      if (anchored_run || !t.is_decision()) return false;
-      for (const cfg::EdgeRef& c : policy)
-        if (t.origin_block == c.from && t.origin_succ != c.succ_index)
-          return true;
-      return false;
-    };
-    auto is_must_take = [&](const Transition& t) {
-      return !anchored_run && query.must_take &&
-             t.origin_block == query.must_take->from &&
-             t.origin_succ == query.must_take->succ_index;
-    };
-
-    Lit must_taken =
-        !anchored_run && query.must_take ? bb.false_lit() : bb.true_lit();
-
-    // ------------------------------------------------------------ unroll
-    std::vector<std::vector<Lit>> fires;
-    fires.reserve(anchored_run ? depth : 0);
-    for (std::uint32_t step = 0; step < depth; ++step) {
-      ExprBlaster eb(bb, frame, ts);
-
-      // fire literal per transition
-      std::vector<Lit> fire(ts.transitions.size());
-      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
-        const Transition& t = ts.transitions[i];
-        const Lit at = bb.eq(pc, bb.constant(t.from, pcw, false));
-        Lit g = t.guard ? eb.truth(*t.guard) : bb.true_lit();
-        fire[i] = bb.and_gate(at, g);
-        if (is_disallowed(t)) {
-          solver.add_clause(~fire[i]);
-          fire[i] = bb.false_lit();
-        }
-        if (is_must_take(t)) must_taken = bb.or_gate(must_taken, fire[i]);
-      }
-
-      // next-state: default stutter, overridden by firing transitions
-      std::vector<BitVec> next = frame;
-      BitVec next_pc = pc;
-      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
-        const Transition& t = ts.transitions[i];
-        next_pc = bb.mux(fire[i], bb.constant(t.to, pcw, false), next_pc);
-        for (const tsys::Update& u : t.updates) {
-          const VarInfo& v = ts.vars[u.var];
-          BitVec rhs = eb.value(*u.value);
-          BitVec enc = bb.resize(rhs, v.bits());
-          enc.is_signed = v.is_signed_encoding();
-          next[u.var] = bb.mux(fire[i], enc, next[u.var]);
-        }
-      }
-      if (anchored_run) fires.push_back(std::move(fire));
-      frame = std::move(next);
-      pc = std::move(next_pc);
-    }
-
-    // goal: the run terminates and the must-take edge fired
-    solver.add_clause(bb.eq(pc, final_pc));
-    solver.add_clause(must_taken);
-
-    if (anchored_run) {
-      // Anchored window: SOME traversal follows the schedule — at least
-      // one step offset fires the walked transitions consecutively.
-      // (Each step fires at most one transition, so a satisfied window is
-      // a real consecutive execution of the walk.)
-      std::vector<Lit> picks;
-      std::vector<Lit> window(seq->size());
-      for (std::size_t t = 0; t + seq->size() <= depth; ++t) {
-        for (std::size_t j = 0; j < seq->size(); ++j)
-          window[j] = fires[t + j][(*seq)[j]];
-        picks.push_back(bb.and_all(window));
-      }
-      if (picks.empty()) return finish();  // window longer than the unroll
-      solver.add_clause(std::move(picks));
-      result.schedule_realised = true;
-    }
-  }
-
-  const sat::Result r = solver.solve({}, opts.conflict_budget);
-  result.cnf_vars = solver.num_vars();
-  result.cnf_clauses = solver.num_clauses();
-  result.memory_bytes = solver.stats().memory_bytes;
-
-  if (r == sat::Result::Unknown) {
-    result.status = BmcStatus::Unknown;
-  } else if (r == sat::Result::Unsat) {
-    result.status = BmcStatus::Infeasible;
-  } else {
-    result.status = BmcStatus::TestData;
-    result.initial_values.resize(ts.vars.size());
-    for (std::size_t v = 0; v < ts.vars.size(); ++v)
-      result.initial_values[v] = bb.decode(frame0[v]);
-    // Stabilise the test datum: CNF statistics were captured above, so
-    // the minimisation's extra comparison circuits and solver calls do
-    // not perturb the reported solver memory proxy.
-    if (opts.minimize_witness)
-      minimize_witness(solver, bb, ts, frame0, opts, result.initial_values);
-    // steps: replay the model's pc trace would need per-step storage; we
-    // recover it by re-walking the system concretely in the caller if
-    // needed. Here we count transitions by executing the deterministic
-    // system from the initial values, recording the per-iteration
-    // decision trace of the witness as we go.
-    result.steps = 0;
-    std::vector<std::int64_t> env = result.initial_values;
-    tsys::Loc cur = ts.initial;
-    const auto out = ts.out_index();
-    std::uint64_t guard_steps = 0;
-    const std::uint64_t replay_cap = std::max<std::uint64_t>(
-        depth, result.unroll_depth);
-    while (cur != ts.final && guard_steps++ < replay_cap) {
-      const Transition* taken = nullptr;
-      for (const Transition* t : out[cur]) {
-        if (!t->guard || tsys::eval_texpr(*t->guard, env) != 0) {
-          taken = t;
-          break;
-        }
-      }
-      if (!taken) break;
-      if (taken->is_decision())
-        result.decision_trace.push_back(
-            cfg::EdgeRef{taken->origin_block, taken->origin_succ});
-      std::vector<std::int64_t> next_env = env;
-      for (const tsys::Update& u : taken->updates)
-        next_env[u.var] =
-            minic::wrap_to_type(tsys::eval_texpr(*u.value, env),
-                                ts.vars[u.var].type);
-      env = std::move(next_env);
-      cur = taken->to;
-      ++result.steps;
-    }
-    // A truncated replay (never at a complete depth) has no trustworthy
-    // trace; drop it rather than hand callers a prefix.
-    if (cur != ts.final) result.decision_trace.clear();
-  }
-
-  return finish();
+  // The one-shot entry point is now a throwaway incremental session: one
+  // query against a fresh solver. Session::solve's determinism contract
+  // (see session.h) is what keeps this byte-identical to a warm session
+  // answering the same query.
+  Session session(ts, opts);
+  return session.solve(query);
 }
 
 }  // namespace tmg::bmc

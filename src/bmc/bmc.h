@@ -44,6 +44,14 @@ struct BmcOptions {
   /// (ts, query), stable across SAT-solver heuristic changes — so
   /// generated test data survives solver upgrades byte-identically.
   bool minimize_witness = true;
+  /// Caller-supplied promise that EVERY run of the system reaches the
+  /// final location within the unroll depth (the pipeline sets this from
+  /// its depth-completeness proof). Anchored-window queries then drop the
+  /// termination conjunct and try a schedule-aware shallow depth first —
+  /// BFS distance to the window's first decision plus the window length —
+  /// escalating to the full depth only on UNSAT. Without the promise the
+  /// window is solved at full depth with the termination goal, as before.
+  bool runs_terminate = false;
 };
 
 /// Per-iteration decision schedule: the decision edges of one control path
@@ -119,6 +127,14 @@ struct BmcResult {
   std::uint64_t cnf_clauses = 0;
   std::uint64_t memory_bytes = 0;
   double seconds = 0.0;
+  /// SAT solver effort for this query (deltas over the underlying solver's
+  /// counters, including witness minimisation). On a warm Session these
+  /// depend on what the solver learned from earlier queries, so they are
+  /// diagnostics (--stats / bench), never part of the deterministic report.
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_restarts = 0;
 };
 
 /// Runs one query against one transition system. Safe to call concurrently

@@ -1,0 +1,985 @@
+#include "bmc/session.h"
+
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "bmc/bitblast.h"
+
+namespace tmg::bmc {
+
+using minic::Type;
+using sat::Lit;
+using tsys::TExpr;
+using tsys::TExprKind;
+using tsys::Transition;
+using tsys::TransitionSystem;
+using tsys::VarId;
+using tsys::VarInfo;
+
+namespace {
+
+/// Bit-blasts transition-system expressions against a per-step frame of
+/// variable bit-vectors.
+class ExprBlaster {
+ public:
+  ExprBlaster(BitBlaster& bb, const std::vector<BitVec>& frame,
+              const TransitionSystem& ts)
+      : bb_(bb), frame_(frame), ts_(ts) {}
+
+  /// Value of `e` as a bit-vector of its type's width.
+  BitVec value(const TExpr& e) {
+    const int w = minic::type_bits(e.type);
+    const bool sg = minic::type_is_signed(e.type);
+    switch (e.kind) {
+      case TExprKind::Const:
+        return bb_.constant(e.value, w, sg);
+      case TExprKind::Var: {
+        // variables are stored at their (possibly narrowed) encoding width
+        BitVec enc = frame_[e.var];
+        enc.is_signed = ts_.vars[e.var].is_signed_encoding();
+        BitVec v = bb_.resize(enc, w);
+        v.is_signed = sg;
+        return v;
+      }
+      case TExprKind::Unary: {
+        BitVec a = value(*e.args[0]);
+        switch (e.un_op) {
+          case minic::UnOp::Neg:
+            return BitBlaster::retag(bb_.resize(bb_.neg(promote(a, e.type)), w), sg);
+          case minic::UnOp::BitNot:
+            return BitBlaster::retag(bb_.bit_not(promote(a, e.type)), sg);
+          case minic::UnOp::Plus:
+            return BitBlaster::retag(bb_.resize(a, w), sg);
+          case minic::UnOp::LogicalNot:
+            return bb_.from_lit(~bb_.reduce_or(a));
+        }
+        break;
+      }
+      case TExprKind::Binary:
+        return binary(e);
+      case TExprKind::Cond: {
+        const Lit c = bb_.reduce_or(value(*e.args[0]));
+        BitVec t = bb_.resize(value(*e.args[1]), w);
+        BitVec f = bb_.resize(value(*e.args[2]), w);
+        return BitBlaster::retag(bb_.mux(c, t, f), sg);
+      }
+    }
+    return bb_.constant(0, w, sg);
+  }
+
+  /// Condition literal for `e != 0`.
+  Lit truth(const TExpr& e) { return bb_.reduce_or(value(e)); }
+
+ private:
+  /// Extends `a` to the width of `type`, keeping a's signedness for fill.
+  BitVec promote(const BitVec& a, Type type) {
+    return bb_.resize(a, minic::type_bits(type));
+  }
+
+  BitVec binary(const TExpr& e) {
+    using minic::BinOp;
+    const int w = minic::type_bits(e.type);
+    const bool sg = minic::type_is_signed(e.type);
+
+    if (e.bin_op == BinOp::LogicalAnd || e.bin_op == BinOp::LogicalOr) {
+      const Lit l = truth(*e.args[0]);
+      const Lit r = truth(*e.args[1]);
+      return bb_.from_lit(e.bin_op == BinOp::LogicalAnd ? bb_.and_gate(l, r)
+                                                        : bb_.or_gate(l, r));
+    }
+
+    // promote operands to their common arithmetic type
+    const Type ot =
+        minic::arith_result(e.args[0]->type, e.args[1]->type);
+    const int ow = minic::type_bits(ot);
+    const bool osg = minic::type_is_signed(ot);
+    BitVec a = bb_.resize(value(*e.args[0]), ow);
+    BitVec b = bb_.resize(value(*e.args[1]), ow);
+    a.is_signed = osg;
+    b.is_signed = osg;
+
+    switch (e.bin_op) {
+      case BinOp::Add:
+        return BitBlaster::retag(bb_.resize(bb_.add(a, b), w), sg);
+      case BinOp::Sub:
+        return BitBlaster::retag(bb_.resize(bb_.sub(a, b), w), sg);
+      case BinOp::Mul:
+        return BitBlaster::retag(bb_.resize(bb_.mul(a, b), w), sg);
+      case BinOp::Div:
+        return BitBlaster::retag(bb_.resize(bb_.div(a, b), w), sg);
+      case BinOp::Rem:
+        return BitBlaster::retag(bb_.resize(bb_.rem(a, b), w), sg);
+      case BinOp::BitAnd:
+        return BitBlaster::retag(bb_.resize(bb_.bit_and(a, b), w), sg);
+      case BinOp::BitOr:
+        return BitBlaster::retag(bb_.resize(bb_.bit_or(a, b), w), sg);
+      case BinOp::BitXor:
+        return BitBlaster::retag(bb_.resize(bb_.bit_xor(a, b), w), sg);
+      case BinOp::Shl: {
+        // shift ops promote the LEFT operand only
+        BitVec base = bb_.resize(value(*e.args[0]),
+                                 minic::type_bits(e.type));
+        base.is_signed = sg;
+        BitVec amt = value(*e.args[1]);
+        amt.is_signed = minic::type_is_signed(e.args[1]->type);
+        return BitBlaster::retag(bb_.shl(base, amt), sg);
+      }
+      case BinOp::Shr: {
+        BitVec base = bb_.resize(value(*e.args[0]),
+                                 minic::type_bits(e.type));
+        base.is_signed = minic::type_is_signed(e.args[0]->type);
+        BitVec amt = value(*e.args[1]);
+        amt.is_signed = minic::type_is_signed(e.args[1]->type);
+        BitVec r = bb_.shr(base, amt);
+        return BitBlaster::retag(bb_.resize(r, w), sg);
+      }
+      case BinOp::Eq:
+        return bb_.from_lit(bb_.eq(a, b));
+      case BinOp::Ne:
+        return bb_.from_lit(bb_.ne(a, b));
+      case BinOp::Lt:
+        return bb_.from_lit(bb_.lt(a, b));
+      case BinOp::Le:
+        return bb_.from_lit(bb_.le(a, b));
+      case BinOp::Gt:
+        return bb_.from_lit(bb_.lt(b, a));
+      case BinOp::Ge:
+        return bb_.from_lit(bb_.le(b, a));
+      default:
+        break;
+    }
+    return bb_.constant(0, w, sg);
+  }
+
+  BitBlaster& bb_;
+  const std::vector<BitVec>& frame_;
+  const TransitionSystem& ts_;
+};
+
+int loc_bits(const TransitionSystem& ts) {
+  int bits = 1;
+  while ((std::uint64_t{1} << bits) < ts.num_locs) ++bits;
+  return bits;
+}
+
+/// Comparison literals the witness minimisation has already built, keyed
+/// by (step-0 variable, constant). Pin circuits are pure functions of
+/// their key, so a session reuses them across queries instead of adding
+/// a fresh copy of every anchor/bound comparison to the solver each time
+/// — without this, a warm solver's formula (and with it every later
+/// solve's propagation trail) grows linearly with the query count.
+using PinCache = std::map<std::pair<std::size_t, std::int64_t>, Lit>;
+
+/// Witness minimisation (BmcOptions::minimize_witness): greedily pins
+/// every free variable, in VarId order, to its preferred value — 0 when
+/// the domain contains it, else the smallest feasible value found by
+/// binary search — re-solving under assumption pins so earlier choices
+/// constrain later ones. The query's own activation assumptions (`base`)
+/// stay asserted under every pin so the minimisation explores exactly the
+/// query's model set. `model` holds the current SAT model's step-0 values
+/// and is updated in place; on conflict-budget exhaustion the (still
+/// valid, prefix-minimised) current model is kept.
+void minimize_witness(sat::Solver& solver, BitBlaster& bb,
+                      const TransitionSystem& ts,
+                      const std::vector<BitVec>& frame0,
+                      const BmcOptions& opts,
+                      const std::vector<Lit>& base, PinCache& eq_cache,
+                      PinCache& le_cache,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                          artifact_ranges,
+                      std::vector<std::int64_t>& model) {
+  std::vector<Lit> pins(base.begin(), base.end());
+  const auto snapshot = [&] {
+    for (std::size_t v = 0; v < ts.vars.size(); ++v)
+      model[v] = bb.decode(frame0[v]);
+  };
+
+  for (std::size_t v = 0; v < ts.vars.size(); ++v) {
+    const VarInfo& vi = ts.vars[v];
+    if (!vi.is_input && vi.has_init) continue;  // constant, nothing to pin
+    const int w = vi.bits();
+    const bool sg = vi.is_signed_encoding();
+    // Fresh pin circuits register as artifacts too: once this query is
+    // done they are dead weight for the next one and belong in its
+    // deferred decision tier.
+    const auto pin_eq = [&](std::int64_t value) {
+      const auto key = std::make_pair(v, value);
+      const auto it = eq_cache.find(key);
+      if (it != eq_cache.end()) return it->second;
+      const auto v0 = static_cast<std::uint32_t>(solver.num_vars());
+      const Lit l = bb.eq(frame0[v], bb.constant(value, w, sg));
+      const auto v1 = static_cast<std::uint32_t>(solver.num_vars());
+      if (v1 > v0) artifact_ranges.emplace_back(v0, v1);
+      return eq_cache.emplace(key, l).first->second;
+    };
+    const auto pin_le = [&](std::int64_t bound) {
+      const auto key = std::make_pair(v, bound);
+      const auto it = le_cache.find(key);
+      if (it != le_cache.end()) return it->second;
+      const auto v0 = static_cast<std::uint32_t>(solver.num_vars());
+      const Lit l = bb.le(frame0[v], bb.constant(bound, w, sg));
+      const auto v1 = static_cast<std::uint32_t>(solver.num_vars());
+      if (v1 > v0) artifact_ranges.emplace_back(v0, v1);
+      return le_cache.emplace(key, l).first->second;
+    };
+
+    const std::int64_t dom_lo = vi.init_lo();
+    const std::int64_t dom_hi = vi.init_hi();
+    const std::int64_t anchor = (dom_lo <= 0 && dom_hi >= 0) ? 0 : dom_lo;
+    if (model[v] == anchor) {
+      pins.push_back(pin_eq(anchor));
+      continue;
+    }
+
+    pins.push_back(pin_eq(anchor));
+    const sat::Result ra = solver.solve(pins, opts.conflict_budget);
+    if (ra == sat::Result::Sat) {
+      snapshot();
+      continue;
+    }
+    pins.pop_back();
+    if (ra == sat::Result::Unknown) return;  // budget: keep current model
+
+    // The anchor is infeasible under the earlier pins; find the smallest
+    // feasible value. Invariant: some feasible value lies in [lo, hi]
+    // (the current model's value does).
+    std::int64_t lo = dom_lo;
+    std::int64_t hi = model[v];
+    while (lo < hi) {
+      // Unsigned midpoint: `hi - lo` would overflow signed arithmetic on
+      // a full-int64 domain (same defence as mc::explore's cardinality).
+      const std::int64_t mid = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(lo) +
+          (static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo)) /
+              2);
+      pins.push_back(pin_le(mid));
+      const sat::Result rm = solver.solve(pins, opts.conflict_budget);
+      pins.pop_back();
+      if (rm == sat::Result::Sat) {
+        snapshot();
+        hi = model[v];  // the fresh model is feasible and <= mid
+      } else if (rm == sat::Result::Unsat) {
+        lo = mid + 1;
+      } else {
+        return;  // budget: keep current model
+      }
+    }
+    if (lo != model[v]) {
+      pins.push_back(pin_eq(lo));
+      if (solver.solve(pins, opts.conflict_budget) != sat::Result::Sat) {
+        pins.pop_back();  // cannot happen semantically; stay safe
+        return;
+      }
+      snapshot();
+    } else {
+      pins.push_back(pin_eq(lo));
+    }
+  }
+}
+
+/// A per-iteration schedule degenerates to a global forced-choice policy
+/// only when it never revisits a decision block with a different outcome.
+bool schedule_conflicts(const std::vector<cfg::EdgeRef>& choices) {
+  std::unordered_map<cfg::BlockId, std::uint32_t> seen;
+  for (const cfg::EdgeRef& c : choices) {
+    auto [it, inserted] = seen.emplace(c.from, c.succ_index);
+    if (!inserted && it->second != c.succ_index) return true;
+  }
+  return false;
+}
+
+/// (vars, requested clauses) snapshot of a solver. Both counters are
+/// independent of the solver's assignment/learned-clause history — new_var
+/// always appends and clauses_requested() counts pre-simplification — so
+/// differencing snapshots yields identical circuit costs on warm and fresh
+/// solvers. That is what keeps reported cnf_vars/cnf_clauses deterministic
+/// across session reuse.
+struct Counts {
+  std::uint64_t vars = 0;
+  std::uint64_t clauses = 0;
+};
+
+Counts mark(const sat::Solver& s) {
+  return Counts{s.num_vars(), s.clauses_requested()};
+}
+
+Counts delta(const Counts& from, const Counts& to) {
+  return Counts{to.vars - from.vars, to.clauses - from.clauses};
+}
+
+void accumulate(Counts& into, const Counts& c) {
+  into.vars += c.vars;
+  into.clauses += c.clauses;
+}
+
+/// An activation guard plus the circuit cost of building it. The lit is
+/// always a PURE fresh variable (one-directional clauses only: `lit =>
+/// artifact`), so a query may safely assume it either way — positively to
+/// switch the artifact on, negatively to switch it off without
+/// constraining the underlying circuit. Circuit gate outputs (which are
+/// biconditional) are never used directly; guard() wraps them first.
+/// Variable index range [first, second) owned by one artifact's circuits.
+using VarRange = std::pair<std::uint32_t, std::uint32_t>;
+
+struct Activation {
+  Lit lit;
+  Counts cost;
+  /// The solver variables this artifact's circuits own. Queries hand the
+  /// ranges of the artifacts they activate to run_query, which parks every
+  /// other artifact's variables in the solver's deferred decision tier:
+  /// branching a retired circuit's gate variables early constrains live
+  /// state backwards through the dead circuit — conflicts a fresh solver
+  /// never sees.
+  std::vector<VarRange> ranges;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- session
+
+struct Session::Impl {
+  /// Shared shape of both incremental contexts: a solver, its circuit
+  /// builder, and the symbolic step-0 frame (test-data variables).
+  struct Ctx {
+    sat::Solver solver;
+    BitBlaster bb;
+    std::vector<BitVec> frame0;
+    /// Witness-minimisation comparison circuits, shared across queries
+    /// (see PinCache).
+    PinCache pin_eq_cache;
+    PinCache pin_le_cache;
+    /// Every artifact circuit's variable range, in construction order —
+    /// the universe run_query defers before exempting the current query's
+    /// own artifacts (Activation::ranges).
+    std::vector<VarRange> artifact_ranges;
+    Ctx() : bb(solver) {}
+  };
+
+  /// Exact-path context: one functional path condition per whole-run
+  /// transition sequence, switched by a per-path activation literal.
+  struct ExactCtx : Ctx {
+    Counts base;
+    std::map<std::vector<std::uint32_t>, Activation> paths;
+    /// Construction cache over path prefixes: the symbolic frame, the
+    /// guard conjuncts and the cumulative circuit cost after executing a
+    /// prefix. Sibling paths of one segment share long prefixes, so a
+    /// warm session builds each prefix's step circuits only once. The
+    /// cached cost is the full as-if-fresh build cost (each step's cost
+    /// is context-independent — the blaster never shares gates), which
+    /// keeps reported CNF sizes identical to a cold session's.
+    struct Prefix {
+      std::vector<BitVec> frame;
+      std::vector<Lit> guards;
+      Counts cost;
+      /// Variable ranges of every step circuit on this prefix (inherited
+      /// from the parent prefix plus the extending step's own range).
+      std::vector<VarRange> ranges;
+    };
+    std::map<std::vector<std::uint32_t>, Prefix> prefixes;
+  };
+
+  /// Pc-unrolled context: the transition relation unrolled lazily to the
+  /// deepest depth any query has needed, with the per-step fire literals
+  /// and per-depth pc vectors kept for artifact construction. Goals and
+  /// policy prunings are cached activation artifacts keyed by what they
+  /// constrain, so every query is a pure assumption set.
+  struct PcCtx : Ctx {
+    std::vector<BitVec> frame;  // symbolic frame after depth_built steps
+    BitVec pc;                  // pc after depth_built steps
+    BitVec final_pc;
+    std::uint32_t depth_built = 0;
+    std::vector<std::vector<Lit>> fires;  // [step][transition id]
+    std::vector<BitVec> pcs;              // pcs[d] = pc after d steps
+    std::vector<Counts> prefix;           // circuit cost through d steps
+    std::map<std::uint32_t, Activation> term;  // run ends by depth d
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Activation>
+        disallow;  // (transition, depth): transition never fires
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+             Activation>
+        took;  // (block, succ, depth): decision edge fired at least once
+    std::map<std::pair<std::vector<std::uint32_t>, std::uint32_t>, Activation>
+        window;  // (sequence, depth): some offset fires it consecutively
+  };
+
+  const TransitionSystem& ts;
+  const BmcOptions opts;
+  const std::uint32_t full_depth;
+  const int pcw;
+  std::unique_ptr<ExactCtx> exact;
+  std::unique_ptr<PcCtx> pc;
+  std::vector<std::uint32_t> dist;  // BFS steps initial -> location
+
+  Impl(const TransitionSystem& system, const BmcOptions& options)
+      : ts(system),
+        opts(options),
+        full_depth(options.max_steps > 0 ? options.max_steps
+                                         : system.num_locs + 1),
+        pcw(loc_bits(system)) {}
+
+  std::vector<BitVec> build_frame0(sat::Solver& solver, BitBlaster& bb) const {
+    std::vector<BitVec> frame;
+    frame.reserve(ts.vars.size());
+    for (const VarInfo& v : ts.vars) {
+      const int w = v.bits();
+      const bool sg = v.is_signed_encoding();
+      if (!v.is_input && v.has_init) {
+        frame.push_back(bb.constant(v.init, w, sg));
+        continue;
+      }
+      BitVec x = bb.fresh(w, sg);
+      // Constrain the free initial value to the declared domain (the
+      // encoding may admit more values — it must cover later stores too,
+      // but test data and uninitialised state start inside the domain).
+      const BitVec lo = bb.constant(v.init_lo(), w, sg);
+      const BitVec hi = bb.constant(v.init_hi(), w, sg);
+      solver.add_clause(bb.le(lo, x));
+      solver.add_clause(bb.le(x, hi));
+      frame.push_back(std::move(x));
+    }
+    return frame;
+  }
+
+  /// Wraps a circuit output in a fresh guard with the single
+  /// one-directional clause `guard => gate`. The gate itself is a Tseitin
+  /// biconditional — branching (or assuming) its NEGATION asserts real
+  /// semantics (e.g. "the run is not at the final pc"), whereas the pure
+  /// guard is harmless at either polarity once its query retires (see
+  /// run_query's phase reset). Fresh vars start with a default-off
+  /// saved phase, so an unused guard never switches its artifact on.
+  static Lit guard(Ctx& cx, Lit gate) {
+    const Lit s = sat::pos(cx.solver.new_var());
+    cx.solver.add_clause(~s, gate);
+    return s;
+  }
+
+  void ensure_exact() {
+    if (exact) return;
+    exact = std::make_unique<ExactCtx>();
+    exact->frame0 = build_frame0(exact->solver, exact->bb);
+    exact->base = mark(exact->solver);
+  }
+
+  /// Path condition of one whole-run transition sequence: functional frame
+  /// substitution per step, guards conjoined into one activation literal.
+  const Activation& exact_path_activation(
+      const std::vector<std::uint32_t>& seq) {
+    ExactCtx& cx = *exact;
+    const auto it = cx.paths.find(seq);
+    if (it != cx.paths.end()) return it->second;
+
+    // Resume from the longest already-built prefix of this sequence.
+    std::vector<BitVec> frame;
+    std::vector<Lit> guards;
+    Counts cost;
+    std::vector<VarRange> ranges;
+    std::size_t built = 0;
+    {
+      std::vector<std::uint32_t> probe = seq;
+      while (!probe.empty()) {
+        const auto pit = cx.prefixes.find(probe);
+        if (pit != cx.prefixes.end()) {
+          frame = pit->second.frame;
+          guards = pit->second.guards;
+          cost = pit->second.cost;
+          ranges = pit->second.ranges;
+          built = probe.size();
+          break;
+        }
+        probe.pop_back();
+      }
+      if (built == 0) frame = cx.frame0;
+    }
+
+    std::vector<std::uint32_t> prefix(seq.begin(),
+                                      seq.begin() +
+                                          static_cast<std::ptrdiff_t>(built));
+    for (std::size_t k = built; k < seq.size(); ++k) {
+      const std::uint32_t tid = seq[k];
+      const Counts s0 = mark(cx.solver);
+      const std::uint32_t v0 = var_mark(cx);
+      const Transition& t = ts.transitions[tid];
+      ExprBlaster eb(cx.bb, frame, ts);
+      if (t.guard) guards.push_back(eb.truth(*t.guard));
+      std::vector<BitVec> next = frame;
+      for (const tsys::Update& u : t.updates) {
+        const VarInfo& v = ts.vars[u.var];
+        BitVec enc = cx.bb.resize(eb.value(*u.value), v.bits());
+        enc.is_signed = v.is_signed_encoding();
+        next[u.var] = std::move(enc);
+      }
+      frame = std::move(next);
+      accumulate(cost, delta(s0, mark(cx.solver)));
+      const std::uint32_t v1 = var_mark(cx);
+      if (v1 > v0) {
+        ranges.emplace_back(v0, v1);
+        cx.artifact_ranges.emplace_back(v0, v1);
+      }
+      prefix.push_back(tid);
+      cx.prefixes.emplace(prefix,
+                          ExactCtx::Prefix{frame, guards, cost, ranges});
+    }
+
+    const Counts g0 = mark(cx.solver);
+    const std::uint32_t gv0 = var_mark(cx);
+    Activation a;
+    // and_all yields true_lit() for a guard-free path; the wrap still
+    // applies so every path is switched by its own pure guard.
+    a.lit = guard(cx, cx.bb.and_all(guards));
+    a.cost = cost;
+    accumulate(a.cost, delta(g0, mark(cx.solver)));
+    a.ranges = std::move(ranges);
+    record_range(cx, a, gv0);
+    return cx.paths.emplace(seq, a).first->second;
+  }
+
+  void ensure_pc() {
+    if (pc) return;
+    pc = std::make_unique<PcCtx>();
+    PcCtx& cx = *pc;
+    cx.frame0 = build_frame0(cx.solver, cx.bb);
+    cx.frame = cx.frame0;
+    cx.pc = cx.bb.constant(ts.initial, pcw, false);
+    cx.final_pc = cx.bb.constant(ts.final, pcw, false);
+    cx.pcs.push_back(cx.pc);
+    cx.prefix.push_back(mark(cx.solver));
+  }
+
+  /// Unrolls the transition relation through `depth` steps. Unlike the
+  /// one-shot encoding this never prunes fire literals per query — policy
+  /// prunings are separate activation artifacts — so the base circuit is
+  /// identical for every query at the same depth.
+  void extend_unroll(std::uint32_t depth) {
+    PcCtx& cx = *pc;
+    while (cx.depth_built < depth) {
+      // prefix[d] must be prefix[d-1] plus THIS step's own build cost, not
+      // a cumulative solver mark: steps are built lazily, so a cumulative
+      // mark taken now would absorb activation artifacts earlier queries
+      // added in between, making reported CNF sizes depend on query order.
+      const Counts step0 = mark(cx.solver);
+      ExprBlaster eb(cx.bb, cx.frame, ts);
+
+      // fire literal per transition
+      std::vector<Lit> fire(ts.transitions.size());
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        const Transition& t = ts.transitions[i];
+        const Lit at = cx.bb.eq(cx.pc, cx.bb.constant(t.from, pcw, false));
+        const Lit g = t.guard ? eb.truth(*t.guard) : cx.bb.true_lit();
+        fire[i] = cx.bb.and_gate(at, g);
+      }
+
+      // next-state: default stutter, overridden by firing transitions
+      std::vector<BitVec> next = cx.frame;
+      BitVec next_pc = cx.pc;
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        const Transition& t = ts.transitions[i];
+        next_pc = cx.bb.mux(fire[i], cx.bb.constant(t.to, pcw, false),
+                            next_pc);
+        for (const tsys::Update& u : t.updates) {
+          const VarInfo& v = ts.vars[u.var];
+          BitVec rhs = eb.value(*u.value);
+          BitVec enc = cx.bb.resize(rhs, v.bits());
+          enc.is_signed = v.is_signed_encoding();
+          next[u.var] = cx.bb.mux(fire[i], enc, next[u.var]);
+        }
+      }
+      cx.fires.push_back(std::move(fire));
+      cx.frame = std::move(next);
+      cx.pc = std::move(next_pc);
+      ++cx.depth_built;
+      cx.pcs.push_back(cx.pc);
+      Counts through = cx.prefix.back();
+      accumulate(through, delta(step0, mark(cx.solver)));
+      cx.prefix.push_back(through);
+    }
+  }
+
+  /// Closes an artifact's construction window: records the variable range
+  /// [v0, num_vars) on the activation and in the context's registry.
+  static void record_range(Ctx& cx, Activation& a, std::uint32_t v0) {
+    const auto v1 = static_cast<std::uint32_t>(cx.solver.num_vars());
+    if (v1 > v0) {
+      a.ranges.emplace_back(v0, v1);
+      cx.artifact_ranges.emplace_back(v0, v1);
+    }
+  }
+
+  static std::uint32_t var_mark(const Ctx& cx) {
+    return static_cast<std::uint32_t>(cx.solver.num_vars());
+  }
+
+  /// Goal "the run reaches the final location within d steps".
+  const Activation& term_activation(std::uint32_t d) {
+    PcCtx& cx = *pc;
+    const auto it = cx.term.find(d);
+    if (it != cx.term.end()) return it->second;
+    const Counts m0 = mark(cx.solver);
+    const std::uint32_t v0 = var_mark(cx);
+    Activation a;
+    a.lit = guard(cx, cx.bb.eq(cx.pcs[d], cx.final_pc));
+    a.cost = delta(m0, mark(cx.solver));
+    record_range(cx, a, v0);
+    return cx.term.emplace(d, a).first->second;
+  }
+
+  /// Policy pruning "transition i never fires in the first d steps".
+  const Activation& disallow_activation(std::uint32_t i, std::uint32_t d) {
+    PcCtx& cx = *pc;
+    const auto key = std::make_pair(i, d);
+    const auto it = cx.disallow.find(key);
+    if (it != cx.disallow.end()) return it->second;
+    const Counts m0 = mark(cx.solver);
+    const std::uint32_t v0 = var_mark(cx);
+    const Lit s = sat::pos(cx.solver.new_var());
+    for (std::uint32_t step = 0; step < d; ++step)
+      cx.solver.add_clause(~s, ~cx.fires[step][i]);
+    Activation a;
+    a.lit = s;
+    a.cost = delta(m0, mark(cx.solver));
+    record_range(cx, a, v0);
+    return cx.disallow.emplace(key, a).first->second;
+  }
+
+  /// Goal "decision edge (block, succ) fires at least once in d steps".
+  const Activation& took_activation(std::uint32_t block, std::uint32_t succ,
+                                    std::uint32_t d) {
+    PcCtx& cx = *pc;
+    const auto key = std::make_tuple(block, succ, d);
+    const auto it = cx.took.find(key);
+    if (it != cx.took.end()) return it->second;
+    const Counts m0 = mark(cx.solver);
+    const std::uint32_t v0 = var_mark(cx);
+    Lit taken = cx.bb.false_lit();
+    for (std::uint32_t step = 0; step < d; ++step)
+      for (std::size_t i = 0; i < ts.transitions.size(); ++i) {
+        const Transition& t = ts.transitions[i];
+        if (t.origin_block == block && t.origin_succ == succ)
+          taken = cx.bb.or_gate(taken, cx.fires[step][i]);
+      }
+    Activation a;
+    a.lit = guard(cx, taken);
+    a.cost = delta(m0, mark(cx.solver));
+    record_range(cx, a, v0);
+    return cx.took.emplace(key, a).first->second;
+  }
+
+  /// Anchored window "some step offset fires `seq` consecutively within d
+  /// steps". Caller guarantees seq fits (seq.size() <= d).
+  const Activation& window_activation(const std::vector<std::uint32_t>& seq,
+                                      std::uint32_t d) {
+    PcCtx& cx = *pc;
+    const auto key = std::make_pair(seq, d);
+    const auto it = cx.window.find(key);
+    if (it != cx.window.end()) return it->second;
+    const Counts m0 = mark(cx.solver);
+    const std::uint32_t v0 = var_mark(cx);
+    // Each step fires at most one transition, so a satisfied window is a
+    // real consecutive execution of the walk.
+    std::vector<Lit> picks;
+    std::vector<Lit> window(seq.size());
+    for (std::size_t t = 0; t + seq.size() <= d; ++t) {
+      for (std::size_t j = 0; j < seq.size(); ++j)
+        window[j] = cx.fires[t + j][seq[j]];
+      picks.push_back(cx.bb.and_all(window));
+    }
+    const Lit s = sat::pos(cx.solver.new_var());
+    std::vector<Lit> clause{~s};
+    clause.insert(clause.end(), picks.begin(), picks.end());
+    cx.solver.add_clause(std::move(clause));
+    Activation a;
+    a.lit = s;
+    a.cost = delta(m0, mark(cx.solver));
+    record_range(cx, a, v0);
+    return cx.window.emplace(key, a).first->second;
+  }
+
+  /// Schedule-aware depth for an anchored window: the window's first
+  /// decision cannot fire before BFS-many steps from the initial location,
+  /// so `distance + window length` bounds the shallowest unroll that can
+  /// contain it at its earliest offset. Unreachable anchors keep the full
+  /// depth (the solver then proves the window infeasible there).
+  std::uint32_t shallow_depth(const std::vector<std::uint32_t>& seq) {
+    if (dist.empty()) {
+      dist.assign(ts.num_locs, UINT32_MAX);
+      std::vector<std::vector<tsys::Loc>> adj(ts.num_locs);
+      for (const Transition& t : ts.transitions) adj[t.from].push_back(t.to);
+      std::deque<tsys::Loc> queue;
+      dist[ts.initial] = 0;
+      queue.push_back(ts.initial);
+      while (!queue.empty()) {
+        const tsys::Loc cur = queue.front();
+        queue.pop_front();
+        for (const tsys::Loc nxt : adj[cur])
+          if (dist[nxt] == UINT32_MAX) {
+            dist[nxt] = dist[cur] + 1;
+            queue.push_back(nxt);
+          }
+      }
+    }
+    const std::uint32_t d = dist[ts.transitions[seq[0]].from];
+    if (d == UINT32_MAX) return full_depth;
+    const std::uint64_t want = std::uint64_t{d} + seq.size();
+    return want >= full_depth ? full_depth
+                              : static_cast<std::uint32_t>(want);
+  }
+
+  /// One solver round: solve under assumptions, fill the result's status,
+  /// CNF accounting, witness (minimised under the same assumptions) and
+  /// replay. Solver effort deltas accumulate so escalating queries report
+  /// the total across phases.
+  void run_query(Ctx& cx, const std::vector<Lit>& assumptions,
+                 const Counts& cnf, std::uint64_t replay_cap,
+                 const std::vector<VarRange>& active, BmcResult& result) {
+    // Park every artifact circuit this query does not activate in the
+    // deferred decision tier: their variables are then assigned by
+    // propagation (or last, trivially) instead of being branched early,
+    // where a dead gate output constrains live state backwards through
+    // its circuit. On a fresh session the registry equals the active set,
+    // so this is a no-op and warm query 1 matches fresh exactly.
+    for (const VarRange& r : cx.artifact_ranges)
+      for (std::uint32_t v = r.first; v < r.second; ++v)
+        cx.solver.set_deferred(static_cast<sat::Var>(v), true);
+    for (const VarRange& r : active)
+      for (std::uint32_t v = r.first; v < r.second; ++v)
+        cx.solver.set_deferred(static_cast<sat::Var>(v), false);
+    // Start each query from fresh-solver heuristics (the minimisation
+    // solves inside the query then evolve them normally): carried-over
+    // activities and phases belong to a different query's artifacts and
+    // demonstrably cost conflicts rather than saving them.
+    cx.solver.reset_heuristics();
+    const sat::SolverStats before = cx.solver.stats();
+    const sat::Result r = cx.solver.solve(assumptions, opts.conflict_budget);
+    result.cnf_vars = cnf.vars;
+    result.cnf_clauses = cnf.clauses;
+    result.memory_bytes = cx.solver.stats().memory_bytes;
+
+    if (r == sat::Result::Unknown) {
+      result.status = BmcStatus::Unknown;
+    } else if (r == sat::Result::Unsat) {
+      result.status = BmcStatus::Infeasible;
+    } else {
+      result.status = BmcStatus::TestData;
+      result.initial_values.resize(ts.vars.size());
+      for (std::size_t v = 0; v < ts.vars.size(); ++v)
+        result.initial_values[v] = cx.bb.decode(cx.frame0[v]);
+      // Stabilise the test datum: CNF statistics were captured above, so
+      // the minimisation's extra comparison circuits and solver calls do
+      // not perturb the reported numbers.
+      if (opts.minimize_witness)
+        minimize_witness(cx.solver, cx.bb, ts, cx.frame0, opts, assumptions,
+                         cx.pin_eq_cache, cx.pin_le_cache, cx.artifact_ranges,
+                         result.initial_values);
+      replay(result, replay_cap);
+    }
+    // Retire the query's activation guards: solving just saved their
+    // phases as ON, so without this later queries would branch stale
+    // guards back on and drag finished artifacts' constraints into
+    // unrelated searches. Reset to the harmless polarity, making a stale
+    // guard one cheap default-off decision.
+    for (const Lit a : assumptions) cx.solver.set_phase(a.var(), a.sign());
+
+    const sat::SolverStats& after = cx.solver.stats();
+    result.solver_decisions += after.decisions - before.decisions;
+    result.solver_propagations += after.propagations - before.propagations;
+    result.solver_conflicts += after.conflicts - before.conflicts;
+    result.solver_restarts += after.restarts - before.restarts;
+  }
+
+  /// Counts witness steps by executing the deterministic system from the
+  /// initial values, recording the per-iteration decision trace as we go.
+  void replay(BmcResult& result, std::uint64_t replay_cap) const {
+    result.steps = 0;
+    result.decision_trace.clear();
+    std::vector<std::int64_t> env = result.initial_values;
+    tsys::Loc cur = ts.initial;
+    const auto out = ts.out_index();
+    std::uint64_t guard_steps = 0;
+    while (cur != ts.final && guard_steps++ < replay_cap) {
+      const Transition* taken = nullptr;
+      for (const Transition* t : out[cur]) {
+        if (!t->guard || tsys::eval_texpr(*t->guard, env) != 0) {
+          taken = t;
+          break;
+        }
+      }
+      if (!taken) break;
+      if (taken->is_decision())
+        result.decision_trace.push_back(
+            cfg::EdgeRef{taken->origin_block, taken->origin_succ});
+      std::vector<std::int64_t> next_env = env;
+      for (const tsys::Update& u : taken->updates)
+        next_env[u.var] =
+            minic::wrap_to_type(tsys::eval_texpr(*u.value, env),
+                                ts.vars[u.var].type);
+      env = std::move(next_env);
+      cur = taken->to;
+      ++result.steps;
+    }
+    // A truncated replay (never at a complete depth) has no trustworthy
+    // trace; drop it rather than hand callers a prefix.
+    if (cur != ts.final) result.decision_trace.clear();
+  }
+};
+
+Session::Session(const TransitionSystem& ts, const BmcOptions& opts)
+    : impl_(std::make_unique<Impl>(ts, opts)) {}
+
+Session::~Session() = default;
+
+BmcResult Session::solve(const BmcQuery& query) {
+  const auto t_start = std::chrono::steady_clock::now();
+  Impl& im = *impl_;
+  BmcResult result;
+
+  const std::uint32_t depth = im.full_depth;
+  result.unroll_depth = depth;
+  const auto finish = [&]() -> BmcResult& {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    ++stats_.queries;
+    stats_.solver_decisions += result.solver_decisions;
+    stats_.solver_propagations += result.solver_propagations;
+    stats_.solver_conflicts += result.solver_conflicts;
+    stats_.solver_restarts += result.solver_restarts;
+    return result;
+  };
+
+  // Resolve a per-iteration schedule into its unique transition sequence.
+  // The walk knows the exact number of steps the schedule needs, so with
+  // an automatic depth it is capped only structurally (every inter-choice
+  // stretch is acyclic, hence shorter than num_locs); a user-forced
+  // max_steps stays a hard budget. A failed walk falls back to the legacy
+  // forced-choice policy; when the schedule revisits a decision with
+  // differing outcomes that policy cannot express it, so the query is
+  // conclusively inconclusive.
+  std::optional<std::vector<std::uint32_t>> seq;
+  std::vector<cfg::EdgeRef> policy = query.forced_choices;
+  if (query.schedule) {
+    const std::uint64_t walk_cap =
+        im.opts.max_steps > 0
+            ? depth
+            : static_cast<std::uint64_t>(im.ts.num_locs + 1) *
+                  (query.schedule->choices.size() + 2);
+    seq = walk_schedule(im.ts, *query.schedule, walk_cap);
+    if (!seq) {
+      if (schedule_conflicts(query.schedule->choices)) return finish();
+      policy = query.schedule->choices;  // degenerate schedule: global pins
+    }
+  }
+
+  if (seq && !query.schedule->anchored) {
+    // ------------------------------------------------- exact path encoding
+    // The whole-run schedule pins the complete transition sequence, so no
+    // program counter is needed: step t executes transition seq[t] — the
+    // conjoined guards become the path's activation literal and its
+    // updates apply unconditionally. The CNF is exactly the path
+    // condition over the symbolic initial state; UNSAT proves the path
+    // infeasible at any depth.
+    im.ensure_exact();
+    Session::Impl::ExactCtx& cx = *im.exact;
+    const Activation& act = im.exact_path_activation(*seq);
+    result.unroll_depth = seq->size();
+    result.exact_path = true;
+    result.schedule_realised = true;
+    Counts total = cx.base;
+    accumulate(total, act.cost);
+    im.run_query(cx, {act.lit}, total,
+                 std::max<std::uint64_t>(depth, result.unroll_depth),
+                 act.ranges, result);
+    return finish();
+  }
+
+  const bool anchored_run = seq.has_value();
+  if (anchored_run && seq->size() > depth)
+    return finish();  // window longer than the unroll
+
+  im.ensure_pc();
+  Session::Impl::PcCtx& cx = *im.pc;
+
+  if (!anchored_run) {
+    // ----------------------------------------- global policy encoding
+    // Goal: the run terminates within the unroll and the must-take edge
+    // fired; disallowed decision edges (same origin block as a forced
+    // choice, different successor) never fire.
+    im.extend_unroll(depth);
+    Counts total = cx.prefix[depth];
+    std::vector<Lit> assumptions;
+    std::vector<VarRange> active;
+    const Activation& term = im.term_activation(depth);
+    assumptions.push_back(term.lit);
+    accumulate(total, term.cost);
+    active.insert(active.end(), term.ranges.begin(), term.ranges.end());
+    for (std::size_t i = 0; i < im.ts.transitions.size(); ++i) {
+      const Transition& t = im.ts.transitions[i];
+      if (!t.is_decision()) continue;
+      bool disallowed = false;
+      for (const cfg::EdgeRef& c : policy)
+        if (t.origin_block == c.from && t.origin_succ != c.succ_index) {
+          disallowed = true;
+          break;
+        }
+      if (!disallowed) continue;
+      const Activation& a =
+          im.disallow_activation(static_cast<std::uint32_t>(i), depth);
+      assumptions.push_back(a.lit);
+      accumulate(total, a.cost);
+      active.insert(active.end(), a.ranges.begin(), a.ranges.end());
+    }
+    if (query.must_take) {
+      const Activation& a = im.took_activation(
+          query.must_take->from, query.must_take->succ_index, depth);
+      assumptions.push_back(a.lit);
+      accumulate(total, a.cost);
+      active.insert(active.end(), a.ranges.begin(), a.ranges.end());
+    }
+    im.run_query(cx, assumptions, total, depth, active, result);
+    return finish();
+  }
+
+  // ------------------------------------------- anchored window encoding
+  // Anchored window: SOME traversal follows the schedule — at least one
+  // step offset fires the walked transitions consecutively. When the
+  // caller proved every run terminates within the full depth
+  // (opts.runs_terminate) the termination conjunct is redundant and the
+  // window is first tried at the schedule-aware shallow depth; UNSAT
+  // there proves nothing (the window may fire later), so it escalates to
+  // the full depth, where UNSAT is conclusive.
+  std::vector<std::uint32_t> phases;
+  if (im.opts.runs_terminate) {
+    const std::uint32_t d0 = im.shallow_depth(*seq);
+    if (d0 < depth) phases.push_back(d0);
+  }
+  phases.push_back(depth);
+  result.schedule_realised = true;
+  Counts window_cost;
+  for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+    const std::uint32_t d = phases[pi];
+    im.extend_unroll(d);
+    const Activation& w = im.window_activation(*seq, d);
+    accumulate(window_cost, w.cost);
+    Counts total = cx.prefix[d];
+    accumulate(total, window_cost);
+    std::vector<Lit> assumptions{w.lit};
+    std::vector<VarRange> active(w.ranges);
+    if (!im.opts.runs_terminate) {
+      const Activation& term = im.term_activation(d);
+      assumptions.push_back(term.lit);
+      accumulate(total, term.cost);
+      active.insert(active.end(), term.ranges.begin(), term.ranges.end());
+    }
+    result.unroll_depth = d;
+    im.run_query(cx, assumptions, total,
+                 std::max<std::uint64_t>(depth, d), active, result);
+    if (result.status != BmcStatus::Infeasible || pi + 1 == phases.size())
+      break;
+  }
+  return finish();
+}
+
+}  // namespace tmg::bmc

@@ -1,0 +1,67 @@
+// Incremental BMC sessions: one SAT solver + bit-blaster per
+// (transition system, options) that keeps the unrolled transition relation
+// across queries. Every query — whole-run exact path, global decision
+// policy, anchored schedule window, and the witness-minimisation pins —
+// becomes a solve(assumptions) call against shared activation literals, so
+// the per-function circuit is asserted once and each query pays only its
+// own delta.
+//
+// Determinism contract (relied on by driver::Pipeline): for every default
+// report field, Session::solve(query) on a WARM session returns exactly
+// what a FRESH session (and hence bmc::solve, which is now a thin wrapper
+// constructing one) returns for the same query:
+//   - status is decided by a complete search (no conflict budget), so it
+//     is a semantic property of (ts, query, opts);
+//   - witnesses are minimised to the unique preference-minimal model,
+//     independent of solver heuristics and learned clauses;
+//   - steps / decision_trace replay the witness deterministically;
+//   - cnf_vars / cnf_clauses are computed from per-artifact accounting
+//     (base circuit prefix + the query's activation artifacts), not from
+//     live solver totals, so a warm session reports the same numbers a
+//     fresh one would.
+// Only `seconds`, `memory_bytes` and the solver_* effort deltas depend on
+// session history; the driver surfaces those under --stats/bench only.
+// With a finite conflict_budget the verdict itself may depend on learned
+// clauses; callers that need determinism must not reuse sessions then
+// (the pipeline falls back to fresh solving when a budget is set).
+//
+// A Session is NOT thread-safe; engine::SessionPool hands each worker its
+// own instance.
+#pragma once
+
+#include <memory>
+
+#include "bmc/bmc.h"
+
+namespace tmg::bmc {
+
+/// Aggregated SAT effort over every query answered by one session.
+struct SessionStats {
+  std::uint64_t queries = 0;
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_restarts = 0;
+};
+
+class Session {
+ public:
+  /// The session captures references to `ts`; it must outlive the session
+  /// and stay unmutated (same aliasing rule as bmc::solve).
+  Session(const tsys::TransitionSystem& ts, const BmcOptions& opts);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Answers one query incrementally. See the determinism contract above.
+  BmcResult solve(const BmcQuery& query);
+
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  SessionStats stats_;
+};
+
+}  // namespace tmg::bmc

@@ -1,0 +1,232 @@
+#include "driver/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "driver/shard.h"
+#include "support/json.h"
+
+namespace tmg::driver {
+
+namespace {
+
+/// Entry schema version; bump whenever the shard wire or the fingerprint
+/// grammar changes shape (old entries then miss instead of misparsing).
+constexpr int kCacheVersion = 1;
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool read_file_bytes(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+std::string cache_config_fingerprint(const PipelineOptions& opts) {
+  // jobs and use_sessions are deliberately absent: both are proven not to
+  // change any report byte (the determinism contracts in pipeline.h and
+  // session.h), so one entry serves every worker/session setting.
+  std::ostringstream os;
+  os << "v=" << kCacheVersion << ";b=" << opts.path_bound
+     << ";fn=" << opts.function << ";bmc=" << (opts.run_bmc ? 1 : 0)
+     << ";val=" << (opts.validate_witnesses ? 1 : 0)
+     << ";maxp=" << opts.max_paths_per_segment
+     << ";maxd=" << opts.max_unroll_depth
+     << ";pw=" << (opts.pessimistic_widths ? 1 : 0) << ";opt=";
+  for (std::size_t i = 0; i < opts.opt_passes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << opt::pass_name(opts.opt_passes[i]);
+  }
+  os << ";ms=" << opts.bmc.max_steps << ";cb=" << opts.bmc.conflict_budget
+     << ";mw=" << (opts.bmc.minimize_witness ? 1 : 0)
+     << ";cost=" << opts.cost.stmt_cost << "," << opts.cost.decision_cost
+     << "," << opts.cost.default_call_cost;
+  return os.str();
+}
+
+ResultCache::ResultCache(std::string dir, CacheMode mode)
+    : dir_(std::move(dir)), mode_(mode) {}
+
+std::string ResultCache::entry_path(const std::string& source,
+                                    const PipelineOptions& opts) const {
+  return dir_ + "/" + hex64(fnv1a64(source)) + "-" +
+         hex64(fnv1a64(cache_config_fingerprint(opts))) + ".json";
+}
+
+std::optional<PipelineResult> ResultCache::lookup(
+    const std::string& source, const PipelineOptions& opts,
+    std::ostream& warn) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = entry_path(source, opts);
+  std::string bytes;
+  if (!read_file_bytes(path, bytes)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // The filename already pins both hashes; the fields below catch hash
+  // collisions, truncated writes and schema drift. Any mismatch is a
+  // warned miss, never an error — the entry will simply be recomputed.
+  const auto corrupt = [&]() -> std::optional<PipelineResult> {
+    warn << "tmg: ignoring corrupt cache entry " << path << "\n";
+    ++stats_.misses;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(bytes, &parse_error);
+  if (!v || v->kind() != JsonValue::Kind::Object) return corrupt();
+  const JsonValue* ver = v->find("v");
+  if (ver == nullptr || !ver->is_int() || ver->as_int() != kCacheVersion)
+    return corrupt();
+  const JsonValue* config = v->find("config");
+  if (config == nullptr || config->kind() != JsonValue::Kind::String ||
+      config->as_string() != cache_config_fingerprint(opts))
+    return corrupt();
+  const JsonValue* fnv = v->find("source_fnv");
+  const JsonValue* size = v->find("source_size");
+  if (fnv == nullptr || fnv->kind() != JsonValue::Kind::String ||
+      fnv->as_string() != hex64(fnv1a64(source)) || size == nullptr ||
+      !size->is_int() ||
+      static_cast<std::size_t>(size->as_int()) != source.size())
+    return corrupt();
+  const JsonValue* report = v->find("report");
+  if (report == nullptr) return corrupt();
+  PipelineResult result;
+  if (!parse_pipeline_result(*report, result)) return corrupt();
+  ++stats_.hits;
+  return result;
+}
+
+void ResultCache::store(const std::string& source,
+                        const PipelineOptions& opts,
+                        const PipelineResult& result, std::ostream& warn) {
+  if (!enabled() || mode_ != CacheMode::ReadWrite) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+
+  const std::string path = entry_path(source, opts);
+  std::ostringstream os;
+  os << "{\"v\":" << kCacheVersion
+     << ",\"config\":" << json_quote(cache_config_fingerprint(opts))
+     << ",\"source_fnv\":\"" << hex64(fnv1a64(source))
+     << "\",\"source_size\":" << source.size()
+     << ",\"report\":" << serialize_pipeline_result(result) << "}\n";
+
+  // Temp file + rename: a reader never sees a partial entry. Concurrent
+  // writers race on the temp name, but both write identical bytes (the
+  // entry is a pure function of its key), so last-rename-wins is fine.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << os.str())) {
+      warn << "tmg: cannot write cache entry " << path << "\n";
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    warn << "tmg: cannot write cache entry " << path << "\n";
+    std::remove(tmp.c_str());
+    return;
+  }
+  ++stats_.writes;
+}
+
+BatchResult run_batch_cached(const std::vector<std::string>& sources,
+                             const std::vector<std::string>& files,
+                             const PipelineOptions& opts, ResultCache& cache,
+                             std::ostream& warn) {
+  if (!cache.enabled()) return run_batch(sources, files, opts);
+
+  const std::size_t n = sources.size();
+  std::vector<std::optional<PipelineResult>> results(n);
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = cache.lookup(sources[i], opts, warn);
+    if (!results[i]) miss.push_back(i);
+  }
+
+  BatchResult out;
+  if (!miss.empty()) {
+    std::vector<std::string> miss_sources, miss_files;
+    miss_sources.reserve(miss.size());
+    for (const std::size_t i : miss) {
+      miss_sources.push_back(sources[i]);
+      miss_files.push_back(i < files.size() ? files[i] : std::string());
+    }
+    BatchResult computed = run_batch(miss_sources, miss_files, opts);
+    if (!computed.ok) {
+      out.error = computed.error;
+      out.error_index = miss[computed.error_index];
+      return out;
+    }
+    out.workers = computed.workers;
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      cache.store(miss_sources[j], opts, computed.files[j].result, warn);
+      results[miss[j]] = std::move(computed.files[j].result);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    out.files.push_back(
+        BatchEntry{i < files.size() ? files[i] : std::string(),
+                   std::move(*results[i])});
+  out.ok = true;
+  return out;
+}
+
+Table2Report table2_compare_cached(const std::vector<std::string>& sources,
+                                   const std::vector<std::string>& files,
+                                   const PipelineOptions& opts,
+                                   ResultCache& cache, std::ostream& warn) {
+  const auto [plain, optimised] = table2_option_pair(opts);
+  const BatchResult a = run_batch_cached(sources, files, plain, cache, warn);
+  if (!a.ok) return table2_assemble(a, a, files);
+  const BatchResult b =
+      run_batch_cached(sources, files, optimised, cache, warn);
+  return table2_assemble(a, b, files);
+}
+
+void bench_probe_cache(const std::vector<std::string>& sources,
+                       const PipelineOptions& opts, ResultCache& cache,
+                       engine::BenchReport& report, std::ostream& warn) {
+  if (!cache.enabled()) return;
+  // Probe the same two configurations bench actually runs: the plain pool
+  // run (passes cleared; serial and fresh share its fingerprint, which
+  // ignores jobs/sessions) and the optimised run.
+  const auto [plain, optimised] = table2_option_pair(opts);
+  for (const std::string& src : sources) {
+    cache.lookup(src, plain, warn);
+    cache.lookup(src, optimised, warn);
+  }
+  report.cache_probed = true;
+  report.cache_mode =
+      cache.mode() == CacheMode::ReadOnly ? "ro" : "rw";
+  report.cache_hits = cache.stats().hits;
+  report.cache_misses = cache.stats().misses;
+}
+
+}  // namespace tmg::driver

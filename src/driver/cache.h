@@ -1,0 +1,107 @@
+// Content-addressed persistent result cache for analysis reports.
+//
+// A cache entry maps (source bytes, output-affecting configuration) to one
+// analysed file's PipelineResult, stored as JSON under `--cache-dir` using
+// the shard wire schema (driver/shard.h) — the same object a shard child
+// streams to its parent, so a cached report renders byte-identically to a
+// fresh in-process run in every format. The key deliberately EXCLUDES
+// options that cannot change the report (--jobs, --sessions): a report
+// computed at any worker count serves every other one.
+//
+// Entries are written via a temp file + rename, so concurrent writers and
+// killed runs never leave a partially written entry under the final name.
+// Corrupt or foreign entries are ignored with a warning and recomputed —
+// the cache can always be deleted wholesale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.h"
+#include "engine/bench.h"
+
+namespace tmg::driver {
+
+enum class CacheMode : std::uint8_t {
+  Off,        // never read, never write
+  ReadOnly,   // serve hits, never write (shared / CI-artifact caches)
+  ReadWrite,  // serve hits, store misses (the --cache-dir default)
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;
+};
+
+/// Canonical one-line description of every option that can change a
+/// rendered report. Any new output-affecting option MUST be added here —
+/// a missing field serves stale reports across configurations.
+std::string cache_config_fingerprint(const PipelineOptions& opts);
+
+class ResultCache {
+ public:
+  /// An empty `dir` or CacheMode::Off disables the cache (every call
+  /// becomes a no-op); callers can hold a ResultCache unconditionally.
+  ResultCache() = default;
+  ResultCache(std::string dir, CacheMode mode);
+
+  [[nodiscard]] bool enabled() const {
+    return mode_ != CacheMode::Off && !dir_.empty();
+  }
+  [[nodiscard]] CacheMode mode() const { return mode_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Entry file for (source, config): FNV-1a-64 of the source bytes and
+  /// of the config fingerprint, both hex, joined — content-addressed, so
+  /// any change to either lands on a different file.
+  [[nodiscard]] std::string entry_path(const std::string& source,
+                                       const PipelineOptions& opts) const;
+
+  /// Returns the cached report, or nullopt (counting a miss) when absent,
+  /// unreadable or corrupt. Corrupt entries warn on `warn` and are left
+  /// in place — a ReadWrite store will overwrite them.
+  std::optional<PipelineResult> lookup(const std::string& source,
+                                       const PipelineOptions& opts,
+                                       std::ostream& warn);
+
+  /// Persists one computed report (ReadWrite mode only; no-op otherwise).
+  void store(const std::string& source, const PipelineOptions& opts,
+             const PipelineResult& result, std::ostream& warn);
+
+ private:
+  std::string dir_;
+  CacheMode mode_ = CacheMode::Off;
+  CacheStats stats_;
+};
+
+/// run_batch through the cache: files whose entry hits skip analysis
+/// entirely; the misses run on one shared frontier and are stored. The
+/// assembled result is byte-identical to an uncached run (cache entries
+/// preserve even the wall-clock fields of the original computation, like
+/// a shard payload does).
+BatchResult run_batch_cached(const std::vector<std::string>& sources,
+                             const std::vector<std::string>& files,
+                             const PipelineOptions& opts, ResultCache& cache,
+                             std::ostream& warn);
+
+/// table2_compare with both halves (baseline and optimised) routed
+/// through the cache — each half is an ordinary batch under its own
+/// config fingerprint.
+Table2Report table2_compare_cached(const std::vector<std::string>& sources,
+                                   const std::vector<std::string>& files,
+                                   const PipelineOptions& opts,
+                                   ResultCache& cache, std::ostream& warn);
+
+/// Annotates a bench report with probe-only cache counts: how many of the
+/// per-file plain/optimised entries already exist. Bench never *serves*
+/// results from the cache (it measures real computation), so this only
+/// fills the report's cache fields. No-op when the cache is disabled.
+void bench_probe_cache(const std::vector<std::string>& sources,
+                       const PipelineOptions& opts, ResultCache& cache,
+                       engine::BenchReport& report, std::ostream& warn);
+
+}  // namespace tmg::driver

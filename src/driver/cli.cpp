@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cfg/structure.h"
+#include "driver/serve.h"
 #include "driver/shard.h"
 #include "engine/bench.h"
 #include "engine/scheduler.h"
@@ -49,6 +50,9 @@ void split_opt(std::string_view arg, std::string_view& name,
 std::string cli_usage() {
   return
       "usage: tmg [options] <source.mc> [more.mc ...]\n"
+      "       tmg serve --socket=PATH [--cache-dir=DIR] [options]\n"
+      "       tmg client --socket=PATH <source.mc> [more.mc ...]\n"
+      "       tmg client --socket=PATH --shutdown\n"
       "\n"
       "Runs the full timing-model pipeline: mini-C frontend -> CFG ->\n"
       "partition (path bound b) -> transition system -> per-segment\n"
@@ -89,6 +93,19 @@ std::string cli_usage() {
       "  --max-paths=N         enumerated paths per segment (default 64)\n"
       "  --max-steps=N         fixed BMC unroll depth (default: automatic)\n"
       "  --conflict-budget=N   SAT conflict budget per query (-1 unlimited)\n"
+      "  --sessions=on|off     keep one incremental SAT session per function\n"
+      "                        and answer every BMC query from it under\n"
+      "                        assumptions (default on; reports are\n"
+      "                        byte-identical either way)\n"
+      "  --cache-dir=DIR       persistent result cache: reports keyed by\n"
+      "                        source bytes + output-affecting options are\n"
+      "                        reused across runs (single-file, batch,\n"
+      "                        --table2 and shard parents; --bench only\n"
+      "                        probes it)\n"
+      "  --cache=MODE          off | ro | rw (default rw once --cache-dir\n"
+      "                        is given); ro serves hits but never writes\n"
+      "  --socket=PATH         unix socket for the serve/client subcommands\n"
+      "  --shutdown            (client only) ask the daemon to exit\n"
       "  --pessimistic-widths  16-bit-everything translation (paper default)\n"
       "  --stats               include wall-clock data (stage timing,\n"
       "                        bmc_ms, worker counts) in reports\n"
@@ -100,7 +117,19 @@ std::string cli_usage() {
 bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                std::string& error) {
   bool format_set = false;
-  for (const std::string& arg : args) {
+  bool cache_mode_set = false;
+  std::size_t start = 0;
+  // Subcommands come first, like `git <cmd>`: everything after is the
+  // ordinary option grammar.
+  if (!args.empty() && args[0] == "serve") {
+    out.serve = true;
+    start = 1;
+  } else if (!args.empty() && args[0] == "client") {
+    out.client = true;
+    start = 1;
+  }
+  for (std::size_t ai = start; ai < args.size(); ++ai) {
+    const std::string& arg = args[ai];
     if (arg.empty()) continue;
     if (arg[0] != '-') {
       out.inputs.push_back(arg);
@@ -116,7 +145,8 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                               name == "--no-bmc" || name == "--no-validate" ||
                               name == "--pessimistic-widths" ||
                               name == "--stats" || name == "--dot" ||
-                              name == "--sal" || name == "--table2";
+                              name == "--sal" || name == "--table2" ||
+                              name == "--shutdown";
     if (is_bare_flag && has_value) {
       error = "option '" + std::string(name) + "' takes no value";
       return false;
@@ -220,6 +250,41 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         error = "--conflict-budget expects an integer";
         return false;
       }
+    } else if (name == "--sessions") {
+      if (value == "on") {
+        out.pipeline.use_sessions = true;
+      } else if (value == "off") {
+        out.pipeline.use_sessions = false;
+      } else {
+        error = "--sessions expects on or off";
+        return false;
+      }
+    } else if (name == "--cache-dir") {
+      if (!has_value || value.empty()) {
+        error = "--cache-dir expects a directory path";
+        return false;
+      }
+      out.cache_dir = std::string(value);
+    } else if (name == "--cache") {
+      if (value == "off") {
+        out.cache_mode = CacheMode::Off;
+      } else if (value == "ro") {
+        out.cache_mode = CacheMode::ReadOnly;
+      } else if (value == "rw") {
+        out.cache_mode = CacheMode::ReadWrite;
+      } else {
+        error = "--cache expects off, ro or rw";
+        return false;
+      }
+      cache_mode_set = true;
+    } else if (name == "--socket") {
+      if (!has_value || value.empty()) {
+        error = "--socket expects a path";
+        return false;
+      }
+      out.socket_path = std::string(value);
+    } else if (name == "--shutdown") {
+      out.client_shutdown = true;
     } else if (name == "--pessimistic-widths") {
       out.pipeline.pessimistic_widths = true;
     } else if (name == "--stats") {
@@ -233,7 +298,44 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
       return false;
     }
   }
-  if (!out.show_help && out.inputs.empty()) {
+  // Subcommand validations first: they redefine what "no input" means.
+  if (out.client_shutdown && !out.client) {
+    error = "--shutdown is a 'tmg client' option";
+    return false;
+  }
+  if ((out.serve || out.client) && out.socket_path.empty()) {
+    error = std::string(out.serve ? "serve" : "client") +
+            " requires --socket=PATH";
+    return false;
+  }
+  if (!out.serve && !out.client && !out.socket_path.empty()) {
+    error = "--socket only applies to the serve/client subcommands";
+    return false;
+  }
+  if (out.serve && !out.inputs.empty()) {
+    error = "serve takes no input files (clients submit them)";
+    return false;
+  }
+  if ((out.serve || out.client) &&
+      (out.table1_max_bound > 0 || out.table2 || out.bench_repeats > 0 ||
+       out.dump_dot || out.dump_sal || out.shards > 1)) {
+    error = "serve/client cannot be combined with "
+            "--table1/--table2/--bench/--dot/--sal/--shards";
+    return false;
+  }
+  if (out.client && out.client_shutdown && !out.inputs.empty()) {
+    error = "client --shutdown takes no input files";
+    return false;
+  }
+  // `--cache=ro` with nowhere to read from is a configuration mistake,
+  // not a silent no-op cache.
+  if (cache_mode_set && out.cache_mode != CacheMode::Off &&
+      out.cache_dir.empty()) {
+    error = "--cache=ro|rw requires --cache-dir=DIR";
+    return false;
+  }
+  if (!out.show_help && !out.serve && !(out.client && out.client_shutdown) &&
+      out.inputs.empty()) {
     error = "no input file";
     return false;
   }
@@ -321,6 +423,17 @@ int dump_artifacts(const CliOptions& opts, const std::string& source,
   return 0;
 }
 
+/// BMC-stage seconds of one run (program-level plus per-function).
+double bmc_stage_seconds(const PipelineResult& r) {
+  double seconds = 0.0;
+  for (const StageStats& s : r.stages)
+    if (s.name == "bmc") seconds += s.seconds;
+  for (const FunctionTiming& ft : r.functions)
+    for (const StageStats& s : ft.stages)
+      if (s.name == "bmc") seconds += s.seconds;
+  return seconds;
+}
+
 /// Per-stage seconds of one run, in canonical order: program-level stages
 /// plus per-function stages summed by name.
 std::vector<engine::BenchStage> bench_stages(const PipelineResult& r) {
@@ -363,14 +476,18 @@ bool bench_files(const CliOptions& opts,
                  std::vector<engine::BenchFile>& files,
                  double& batch_seconds, std::string& error,
                  std::size_t& error_index) {
-  enum class Mode { Serial, Pool, Optimised };
+  enum class Mode { Serial, Fresh, Pool, Optimised };
   for (std::size_t i = 0; i < paths.size(); ++i) {
     engine::BenchFile file;
     file.path = paths[i];
 
-    for (const Mode mode : {Mode::Serial, Mode::Pool, Mode::Optimised}) {
+    for (const Mode mode :
+         {Mode::Serial, Mode::Fresh, Mode::Pool, Mode::Optimised}) {
       PipelineOptions popts = opts.pipeline;
       popts.jobs = mode == Mode::Serial ? 1 : opts.pipeline.jobs;
+      // Fresh: the pool run with warm sessions disabled (one throwaway
+      // solver per BMC query) — the session-speedup baseline.
+      if (mode == Mode::Fresh) popts.use_sessions = false;
       if (mode == Mode::Optimised) {
         if (popts.opt_passes.empty()) popts.opt_passes = opt::all_passes();
       } else {
@@ -395,11 +512,26 @@ bool bench_files(const CliOptions& opts,
             file.analysis_jobs = r.analysis_jobs;
             file.workers_used = r.analysis_workers;
             file.stages = bench_stages(r);
+            file.bmc_seconds = bmc_stage_seconds(r);
+            file.solver_decisions = 0;
+            file.solver_propagations = 0;
+            file.solver_conflicts = 0;
+            file.solver_restarts = 0;
+            for (const FunctionTiming& ft : r.functions)
+              for (const SegmentTiming& s : ft.segments) {
+                file.solver_decisions += s.solver_decisions;
+                file.solver_propagations += s.solver_propagations;
+                file.solver_conflicts += s.solver_conflicts;
+                file.solver_restarts += s.solver_restarts;
+              }
+          } else if (mode == Mode::Fresh) {
+            file.bmc_fresh_seconds = bmc_stage_seconds(r);
           }
         }
       }
       switch (mode) {
         case Mode::Serial: file.serial_seconds = best; break;
+        case Mode::Fresh: file.fresh_seconds = best; break;
         case Mode::Pool: file.parallel_seconds = best; break;
         case Mode::Optimised: file.optimised_seconds = best; break;
       }
@@ -430,8 +562,8 @@ namespace {
 
 /// Benchmark mode: measure (bench_files) and render the JSON report.
 int run_bench(const CliOptions& opts,
-              const std::vector<std::string>& sources, std::ostream& out,
-              std::ostream& err) {
+              const std::vector<std::string>& sources, ResultCache& cache,
+              std::ostream& out, std::ostream& err) {
   engine::BenchReport report;
   report.repeats = opts.bench_repeats;
   report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
@@ -444,6 +576,7 @@ int run_bench(const CliOptions& opts,
     return 2;
   }
 
+  bench_probe_cache(sources, opts.pipeline, cache, report, err);
   report.render_json(out);
   return 0;
 }
@@ -466,17 +599,36 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
 
+  // The daemon reads nothing up front; clients submit sources.
+  if (opts.serve) return run_serve(opts, out, err);
+
   std::vector<std::string> sources(opts.inputs.size());
   for (std::size_t i = 0; i < opts.inputs.size(); ++i)
     if (!read_file(opts.inputs[i], sources[i], err)) return 2;
+
+  if (opts.client) return run_client(opts, sources, out, err);
+
+  ResultCache cache(opts.cache_dir, opts.cache_dir.empty()
+                                        ? CacheMode::Off
+                                        : opts.cache_mode);
+  // One summary line per process keeps cache behaviour observable without
+  // touching the deterministic report streams (stderr, --stats only).
+  const auto finish = [&](int rc) {
+    if (opts.with_stages && cache.enabled()) {
+      const CacheStats& cs = cache.stats();
+      err << "tmg: cache: " << cs.hits << " hits, " << cs.misses
+          << " misses, " << cs.writes << " writes\n";
+    }
+    return rc;
+  };
 
   // Process-level sharding: fork one worker process per shard, each
   // running its own job frontier over a slice of the file list; the
   // parent merges the streamed JSON results. Output is byte-identical to
   // the in-process run. A single input has nothing to split.
   if (opts.shards > 1 && opts.inputs.size() > 1) {
-    const int rc = run_sharded(opts, sources, out, err);
-    if (rc >= 0) return rc;
+    const int rc = run_sharded(opts, sources, cache, out, err);
+    if (rc >= 0) return finish(rc);
     // rc < 0: sharding unavailable on this platform; run in process.
   }
 
@@ -499,38 +651,47 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     const std::vector<std::string> names =
         opts.inputs.size() > 1 ? opts.inputs : std::vector<std::string>{};
     const Table2Report report =
-        table2_compare(sources, names, opts.pipeline);
+        table2_compare_cached(sources, names, opts.pipeline, cache, err);
     if (!report.ok) {
       err << report.error;
-      return 2;
+      return finish(2);
     }
     render_table2(report, opts.format, out);
-    return 0;
+    return finish(0);
   }
 
-  if (opts.bench_repeats > 0) return run_bench(opts, sources, out, err);
+  if (opts.bench_repeats > 0)
+    return finish(run_bench(opts, sources, cache, out, err));
 
-  const Pipeline pipeline(opts.pipeline);
   if (opts.inputs.size() == 1) {
-    const PipelineResult result = pipeline.run(sources[0]);
-    if (!result.ok) {
-      err << result.error;
-      return 2;
+    std::optional<PipelineResult> result =
+        cache.lookup(sources[0], opts.pipeline, err);
+    const bool computed = !result.has_value();
+    if (computed) {
+      const Pipeline pipeline(opts.pipeline);
+      result = pipeline.run(sources[0]);
     }
-    render_report(result, opts.pipeline, opts.format, opts.with_stages, out);
-    return 0;
+    if (!result->ok) {
+      err << result->error;
+      return finish(2);
+    }
+    if (computed) cache.store(sources[0], opts.pipeline, *result, err);
+    render_report(*result, opts.pipeline, opts.format, opts.with_stages,
+                  out);
+    return finish(0);
   }
 
   // Batch mode: one global job frontier spanning every file (frontends
   // overlap BMC), then render per-file + aggregate in input order.
-  BatchResult batch = run_batch(sources, opts.inputs, opts.pipeline);
+  BatchResult batch =
+      run_batch_cached(sources, opts.inputs, opts.pipeline, cache, err);
   if (!batch.ok) {
     err << batch.error;
-    return 2;
+    return finish(2);
   }
   render_batch_report(batch.files, opts.pipeline, opts.format,
                       opts.with_stages, out);
-  return 0;
+  return finish(0);
 }
 
 }  // namespace tmg::driver

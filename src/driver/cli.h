@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/cache.h"
 #include "driver/pipeline.h"
 #include "driver/report.h"
 #include "engine/bench.h"
@@ -34,6 +35,17 @@ struct CliOptions {
   /// (memory isolation; each shard runs its own job frontier) and merge
   /// the streamed per-file results deterministically. 1 = in-process.
   unsigned shards = 1;
+  /// --cache-dir=PATH: persistent result cache; empty = caching off.
+  std::string cache_dir;
+  /// --cache=off|ro|rw (default rw once --cache-dir is given).
+  CacheMode cache_mode = CacheMode::ReadWrite;
+  /// `tmg serve` / `tmg client` subcommands (unix-socket daemon).
+  bool serve = false;
+  bool client = false;
+  /// `tmg client --socket=... --shutdown`: stop the daemon.
+  bool client_shutdown = false;
+  /// --socket=PATH: unix socket for serve/client.
+  std::string socket_path;
   bool dump_dot = false;
   bool dump_sal = false;
   bool show_help = false;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "bmc/session.h"
 #include "cfg/paths.h"
 #include "cfg/structure.h"
 #include "engine/once_cache.h"
 #include "engine/scheduler.h"
+#include "engine/session_pool.h"
 #include "minic/frontend.h"
 #include "testgen/interp.h"
 #include "tsys/translate.h"
@@ -99,6 +102,12 @@ struct PathJobResult {
   double bmc_seconds = 0.0;
   std::uint64_t max_cnf_vars = 0;
   std::uint64_t max_cnf_clauses = 0;
+  /// Solver effort, attributed (like bmc_seconds) to the worker that
+  /// actually solved — cache hits contribute nothing.
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_restarts = 0;
 };
 
 /// A memoised query outcome; re-applied verbatim on every hit. Pure
@@ -131,11 +140,15 @@ class FeasibilityOracle {
   /// `depth_complete` says the unroll depth covers every terminating run;
   /// when false (clamped or user-forced below the estimate), UNSAT no
   /// longer proves infeasibility and is downgraded to Unknown.
+  /// `use_sessions` answers every query through one warm bmc::Session
+  /// instead of a fresh solver per query; reports stay byte-identical
+  /// either way (Session's determinism contract, session.h).
   FeasibilityOracle(const cfg::Cfg& g, const tsys::TransitionSystem& ts,
-                    bmc::BmcOptions bmc_opts, bool enabled,
+                    bmc::BmcOptions bmc_opts, bool enabled, bool use_sessions,
                     bool depth_complete, EdgeCache& edges)
       : g_(g), ts_(ts), bmc_opts_(bmc_opts), enabled_(enabled),
-        depth_complete_(depth_complete), edges_(edges) {}
+        use_sessions_(use_sessions), depth_complete_(depth_complete),
+        edges_(edges) {}
 
   /// Feasibility of one enumerated path through a Region segment.
   /// `anchor` is the segment's unique entry edge (nullopt for the
@@ -143,16 +156,16 @@ class FeasibilityOracle {
   void check_region_path(const std::vector<EdgeRef>& choices,
                          const std::optional<EdgeRef>& anchor,
                          PathJobResult& out) {
-    pending_seconds_ = 0.0;
+    reset_pending();
     region_path_inner(choices, anchor, out);
-    out.bmc_seconds += pending_seconds_;
+    flush_pending(out);
   }
 
   /// Is the block of a Block segment executed on any input?
   void check_block(BlockId b, PathJobResult& out) {
-    pending_seconds_ = 0.0;
+    reset_pending();
     if (enabled_) apply(block_reachable(b), out);
-    out.bmc_seconds += pending_seconds_;
+    flush_pending(out);
   }
 
  private:
@@ -286,9 +299,36 @@ class FeasibilityOracle {
     return run_query(q);
   }
 
+  void reset_pending() {
+    pending_seconds_ = 0.0;
+    pending_decisions_ = pending_propagations_ = 0;
+    pending_conflicts_ = pending_restarts_ = 0;
+  }
+
+  void flush_pending(PathJobResult& out) const {
+    out.bmc_seconds += pending_seconds_;
+    out.solver_decisions += pending_decisions_;
+    out.solver_propagations += pending_propagations_;
+    out.solver_conflicts += pending_conflicts_;
+    out.solver_restarts += pending_restarts_;
+  }
+
   CachedQuery run_query(const bmc::BmcQuery& q) {
-    const bmc::BmcResult r = bmc::solve(ts_, q, bmc_opts_);
+    bmc::BmcResult r;
+    if (use_sessions_) {
+      // Lazy: a worker whose every query is an EdgeCache hit never pays
+      // for the unrolled transition relation.
+      if (!session_)
+        session_ = std::make_unique<bmc::Session>(ts_, bmc_opts_);
+      r = session_->solve(q);
+    } else {
+      r = bmc::solve(ts_, q, bmc_opts_);
+    }
     pending_seconds_ += r.seconds;
+    pending_decisions_ += r.solver_decisions;
+    pending_propagations_ += r.solver_propagations;
+    pending_conflicts_ += r.solver_conflicts;
+    pending_restarts_ += r.solver_restarts;
     CachedQuery c;
     c.cnf_vars = r.cnf_vars;
     c.cnf_clauses = r.cnf_clauses;
@@ -320,12 +360,20 @@ class FeasibilityOracle {
   const tsys::TransitionSystem& ts_;
   bmc::BmcOptions bmc_opts_;
   bool enabled_;
+  bool use_sessions_;
   bool depth_complete_;
   EdgeCache& edges_;
+  /// Warm incremental solver holding the unrolled transition relation
+  /// across this oracle's queries (worker-local, so no locking).
+  std::unique_ptr<bmc::Session> session_;
   /// Worker-local: the graph recursion is cheap, only the edge queries
   /// underneath are worth sharing.
   std::map<BlockId, CachedQuery> reach_memo_;
   double pending_seconds_ = 0.0;
+  std::uint64_t pending_decisions_ = 0;
+  std::uint64_t pending_propagations_ = 0;
+  std::uint64_t pending_conflicts_ = 0;
+  std::uint64_t pending_restarts_ = 0;
 };
 
 void finalize_segment_bounds(SegmentTiming& st) {
@@ -356,6 +404,9 @@ struct FunctionWork {
   std::unique_ptr<tsys::TranslationResult> tr;
   bmc::BmcOptions bmc_opts;
   bool depth_complete = false;
+  /// Resolved per function from PipelineOptions::use_sessions (forced off
+  /// under a finite conflict budget — see that option's comment).
+  bool use_sessions = false;
   /// Enumerated PathSpecs per segment (empty vector for Block segments);
   /// parallel to ft.segments. Jobs need the decision choices, which
   /// PathTiming does not keep.
@@ -366,6 +417,11 @@ struct FunctionWork {
   /// this function, so workers may drop their cached oracles for it
   /// (keeps batch peak memory at O(files in flight), not O(batch)).
   const std::atomic<bool>* file_done = nullptr;
+  /// Scheduling affinity key (engine::AnalysisJob::affinity): all of this
+  /// function's path jobs carry it, steering them towards one home worker
+  /// whose oracle pool then holds the single warm session for the
+  /// function instead of every worker rebuilding its own.
+  std::int64_t affinity = -1;
 };
 
 /// One analysis job: check path `path_index` of segment `seg_index`.
@@ -378,8 +434,9 @@ struct JobRef {
 /// Worker-local oracle store, keyed by function. In single-file mode the
 /// keys are one file's functions; on the global batch frontier they span
 /// every file in flight. Worker w is the only thread touching slot w, so
-/// no locks are needed.
-using OracleMap = std::map<const FunctionWork*, std::unique_ptr<FeasibilityOracle>>;
+/// no locks are needed (engine::SessionPool's contract).
+using OraclePool =
+    engine::SessionPool<const FunctionWork*, std::unique_ptr<FeasibilityOracle>>;
 
 /// Replays one feasible path's witness through the concrete interpreter
 /// and checks the run takes the claimed path: the block (Block segments)
@@ -473,6 +530,11 @@ struct FileWork {
   std::atomic<std::size_t> remaining{0};
   /// Merge completed: workers lazily evict their oracles for this file.
   std::atomic<bool> merged{false};
+  /// Base for the per-function affinity keys front_half hands out. The
+  /// batch driver gives each file a different (prime-strided) base so
+  /// same-index functions of different files do not all pile onto one
+  /// home worker.
+  std::int64_t affinity_base = 0;
 };
 
 /// Serial front half of one file: frontend, CFG, partition, translation,
@@ -502,6 +564,7 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
     matched = true;
 
     auto fnw = std::make_unique<FunctionWork>();
+    fnw->affinity = fw.affinity_base + static_cast<std::int64_t>(fw.work.size());
     FunctionTiming& ft = fnw->ft;
     ft.name = fn->name;
 
@@ -580,6 +643,14 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
     }
     fnw->depth_complete = fnw->bmc_opts.max_steps >= required;
     ft.unroll_depth = fnw->bmc_opts.max_steps;
+    // The depth-completeness proof doubles as the "all runs terminate
+    // within the unroll" promise that lets anchored windows start shallow
+    // (bmc.h, runs_terminate). Budget-limited solving keeps fresh solvers:
+    // a warm session's verdict under a finite conflict budget could depend
+    // on earlier queries, breaking the byte-identical-reports contract.
+    fnw->bmc_opts.runs_terminate = fnw->depth_complete;
+    fnw->use_sessions =
+        opts.use_sessions && fnw->bmc_opts.conflict_budget < 0;
 
     // Segment skeletons: blocks, costs and PathSpecs now; verdicts later.
     for (const core::Segment& seg : fnw->partition.segments) {
@@ -635,32 +706,32 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
   return true;
 }
 
-/// Executes one analysis job against the worker-local oracle store.
-/// Entries for files whose merge already ran are evicted first — no
-/// later job can reference them, and dropping their memoised queries and
-/// witnesses keeps the store's footprint bounded by the files in flight.
-void run_path_job(const JobRef& r, bool run_bmc, OracleMap& oracles,
-                  PathJobResult& out) {
-  for (auto it = oracles.begin(); it != oracles.end();) {
-    if (it->first->file_done != nullptr &&
-        it->first->file_done->load(std::memory_order_acquire))
-      it = oracles.erase(it);
-    else
-      ++it;
-  }
-  std::unique_ptr<FeasibilityOracle>& slot = oracles[r.fw];
-  if (!slot)
-    slot = std::make_unique<FeasibilityOracle>(
-        r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
-        r.fw->depth_complete, r.fw->edge_cache);
+/// Executes one analysis job against the worker's slot of the oracle
+/// pool. Oracles for files whose merge already ran are retired first — no
+/// later job can reference them, and dropping their memoised queries,
+/// witnesses and warm sessions keeps the pool's footprint bounded by the
+/// files in flight.
+void run_path_job(const JobRef& r, bool run_bmc, OraclePool& pool,
+                  unsigned worker, PathJobResult& out) {
+  FeasibilityOracle& oracle = *pool.acquire(
+      worker, static_cast<const FunctionWork*>(r.fw),
+      [](const FunctionWork* fw) {
+        return fw->file_done != nullptr &&
+               fw->file_done->load(std::memory_order_acquire);
+      },
+      [&] {
+        return std::make_unique<FeasibilityOracle>(
+            r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
+            r.fw->use_sessions, r.fw->depth_complete, r.fw->edge_cache);
+      });
   const core::Segment& s = r.fw->partition.segments[r.seg_index];
   if (s.kind == core::SegmentKind::Block) {
-    slot->check_block(s.block, out);
+    oracle.check_block(s.block, out);
   } else {
     const std::optional<EdgeRef> anchor =
         s.whole_function ? std::nullopt : s.region->entry;
-    slot->check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
-                            anchor, out);
+    oracle.check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
+                             anchor, out);
   }
 }
 
@@ -684,6 +755,10 @@ void merge_file(FileWork& fw, const PipelineOptions& opts) {
     st.bmc_seconds += pr.bmc_seconds;
     st.max_cnf_vars = std::max(st.max_cnf_vars, pr.max_cnf_vars);
     st.max_cnf_clauses = std::max(st.max_cnf_clauses, pr.max_cnf_clauses);
+    st.solver_decisions += pr.solver_decisions;
+    st.solver_propagations += pr.solver_propagations;
+    st.solver_conflicts += pr.solver_conflicts;
+    st.solver_restarts += pr.solver_restarts;
   }
 
   for (std::unique_ptr<FunctionWork>& fnw : fw.work) {
@@ -738,15 +813,16 @@ PipelineResult Pipeline::run(std::string_view source) const {
   }
 
   const engine::Scheduler scheduler(opts_.run_bmc ? opts_.jobs : 1);
-  std::vector<OracleMap> oracles(scheduler.workers());
+  OraclePool oracles(scheduler.workers());
 
   std::vector<engine::AnalysisJob> jobs;
   jobs.reserve(fw.refs.size());
   const bool run_bmc = opts_.run_bmc;
   for (std::size_t i = 0; i < fw.refs.size(); ++i) {
     engine::AnalysisJob job;
+    job.affinity = fw.refs[i].fw->affinity;
     job.work = [&fw, &oracles, i, run_bmc](unsigned worker) {
-      run_path_job(fw.refs[i], run_bmc, oracles[worker], fw.results[i]);
+      run_path_job(fw.refs[i], run_bmc, oracles, worker, fw.results[i]);
     };
     jobs.push_back(std::move(job));
   }
@@ -776,11 +852,13 @@ BatchResult run_batch(const std::vector<std::string>& sources,
   // last path check pushes that file's merge.
   std::vector<std::unique_ptr<FileWork>> work;
   work.reserve(sources.size());
-  for (std::size_t i = 0; i < sources.size(); ++i)
+  for (std::size_t i = 0; i < sources.size(); ++i) {
     work.push_back(std::make_unique<FileWork>());
+    work.back()->affinity_base = static_cast<std::int64_t>(i) * 997;
+  }
 
   engine::Frontier frontier(opts.run_bmc ? opts.jobs : 1);
-  std::vector<OracleMap> oracles(frontier.workers());
+  OraclePool oracles(frontier.workers());
   const bool run_bmc = opts.run_bmc;
 
   for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -796,9 +874,11 @@ BatchResult run_batch(const std::vector<std::string>& sources,
           }
           fw->remaining.store(fw->refs.size(), std::memory_order_relaxed);
           for (std::size_t j = 0; j < fw->refs.size(); ++j) {
-            frontier.push(engine::AnalysisJob{
+            engine::AnalysisJob pj;
+            pj.affinity = fw->refs[j].fw->affinity;
+            pj.work =
                 [fw, j, &opts, &frontier, &oracles, run_bmc](unsigned worker) {
-                  run_path_job(fw->refs[j], run_bmc, oracles[worker],
+                  run_path_job(fw->refs[j], run_bmc, oracles, worker,
                                fw->results[j]);
                   if (fw->remaining.fetch_sub(
                           1, std::memory_order_acq_rel) == 1) {
@@ -811,7 +891,8 @@ BatchResult run_batch(const std::vector<std::string>& sources,
                       merge_file(*fw, opts);
                     }});
                   }
-                }});
+                };
+            frontier.push(std::move(pj));
           }
         }});
   }
@@ -889,35 +970,34 @@ bool Table2Report::all_identical() const {
   return !rows.empty();
 }
 
-Table2Report table2_compare(const std::vector<std::string>& sources,
-                            const std::vector<std::string>& files,
-                            const PipelineOptions& opts) {
-  Table2Report out;
-
+std::pair<PipelineOptions, PipelineOptions> table2_option_pair(
+    const PipelineOptions& opts) {
   PipelineOptions plain = opts;
   plain.opt_passes.clear();
   PipelineOptions optimised = opts;
   if (optimised.opt_passes.empty()) optimised.opt_passes = opt::all_passes();
+  return {std::move(plain), std::move(optimised)};
+}
 
-  // Both halves run as frontier batches, so the baseline and optimised
-  // analyses of all files share one worker pool each.
-  const BatchResult a_batch = run_batch(sources, files, plain);
-  if (!a_batch.ok) {
-    out.error = a_batch.error;
-    out.error_index = a_batch.error_index;
+Table2Report table2_assemble(const BatchResult& plain,
+                             const BatchResult& optimised,
+                             const std::vector<std::string>& files) {
+  Table2Report out;
+  if (!plain.ok) {
+    out.error = plain.error;
+    out.error_index = plain.error_index;
     return out;
   }
-  const BatchResult b_batch = run_batch(sources, files, optimised);
-  if (!b_batch.ok) {
-    out.error = b_batch.error;
-    out.error_index = b_batch.error_index;
+  if (!optimised.ok) {
+    out.error = optimised.error;
+    out.error_index = optimised.error_index;
     return out;
   }
 
-  for (std::size_t i = 0; i < sources.size(); ++i) {
+  for (std::size_t i = 0; i < plain.files.size(); ++i) {
     const std::string file = i < files.size() ? files[i] : std::string();
-    const PipelineResult& a = a_batch.files[i].result;
-    const PipelineResult& b = b_batch.files[i].result;
+    const PipelineResult& a = plain.files[i].result;
+    const PipelineResult& b = optimised.files[i].result;
     if (a.functions.size() != b.functions.size()) {
       out.error = "optimised run analysed a different function set";
       out.error_index = i;
@@ -950,6 +1030,20 @@ Table2Report table2_compare(const std::vector<std::string>& sources,
   }
   out.ok = true;
   return out;
+}
+
+Table2Report table2_compare(const std::vector<std::string>& sources,
+                            const std::vector<std::string>& files,
+                            const PipelineOptions& opts) {
+  const auto [plain, optimised] = table2_option_pair(opts);
+  // Both halves run as frontier batches, so the baseline and optimised
+  // analyses of all files share one worker pool each. The baseline runs
+  // to completion first; its failure (in input order) wins, matching the
+  // sequential driver.
+  const BatchResult a_batch = run_batch(sources, files, plain);
+  if (!a_batch.ok) return table2_assemble(a_batch, a_batch, files);
+  const BatchResult b_batch = run_batch(sources, files, optimised);
+  return table2_assemble(a_batch, b_batch, files);
 }
 
 PartitionSummary partition_summary(std::string_view source,

@@ -66,6 +66,13 @@ struct PipelineOptions {
   /// Passes preserve decision traces and per-path feasibility; they only
   /// shrink the encoding, so the timing model is unchanged.
   std::vector<opt::Pass> opt_passes;
+  /// Answer per-function queries through a warm bmc::Session per
+  /// (worker, function) instead of a fresh solver per query. Reports are
+  /// byte-identical either way (Session's determinism contract); only
+  /// wall-clock changes. Automatically disabled when a finite
+  /// bmc.conflict_budget is set — budget-limited verdicts may depend on
+  /// learned clauses, which would break the determinism guarantee.
+  bool use_sessions = true;
   bmc::BmcOptions bmc;
   CostModel cost;
 };
@@ -128,6 +135,15 @@ struct SegmentTiming {
   double bmc_seconds = 0.0;
   std::uint64_t max_cnf_vars = 0;
   std::uint64_t max_cnf_clauses = 0;
+
+  /// SAT solver effort summed over this segment's queries (computing
+  /// worker only — cache hits add nothing, mirroring bmc_seconds). With
+  /// warm sessions the split depends on job arrival order, so these are
+  /// --stats/bench diagnostics, never part of the deterministic report.
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_restarts = 0;
 
   [[nodiscard]] bool dead() const { return feasible + unknown == 0; }
   /// Every enumerated path got a definite verdict and the enumeration was
@@ -309,5 +325,17 @@ struct Table2Report {
 Table2Report table2_compare(const std::vector<std::string>& sources,
                             const std::vector<std::string>& files,
                             const PipelineOptions& opts);
+
+/// The two option sets --table2 compares: baseline (passes cleared) and
+/// optimised (all_passes() when `opts` selected none).
+std::pair<PipelineOptions, PipelineOptions> table2_option_pair(
+    const PipelineOptions& opts);
+
+/// Assembles the comparison rows from the two finished halves (also used
+/// by the cached --table2 path, which runs each half through the result
+/// cache). Propagates the first half's error when either batch failed.
+Table2Report table2_assemble(const BatchResult& plain,
+                             const BatchResult& optimised,
+                             const std::vector<std::string>& files);
 
 }  // namespace tmg::driver

@@ -145,6 +145,15 @@ void render_text(const PipelineResult& result, const PipelineOptions& opts,
       for (const StageStats& s : ft.stages)
         st.add(s.name, fmt_double(s.seconds, 4));
       os << "\nstage timing:\n" << st.str();
+      std::uint64_t sd = 0, sp = 0, sc = 0, sr = 0;
+      for (const SegmentTiming& s : ft.segments) {
+        sd += s.solver_decisions;
+        sp += s.solver_propagations;
+        sc += s.solver_conflicts;
+        sr += s.solver_restarts;
+      }
+      os << "solver: decisions " << sd << "  propagations " << sp
+         << "  conflicts " << sc << "  restarts " << sr << "\n";
     }
     os << "\n";
   }

@@ -1,0 +1,428 @@
+#include "driver/serve.h"
+
+#include <sstream>
+
+#include "driver/report.h"
+#include "driver/shard.h"
+#include "opt/passes.h"
+#include "support/json.h"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tmg::driver {
+
+namespace {
+
+constexpr int kServeVersion = 1;
+
+/// Every output-affecting PipelineOptions field travels explicitly, plus
+/// jobs/use_sessions as execution hints (the daemon honours them but the
+/// cache key ignores them). `runs_terminate` is absent on purpose — the
+/// pipeline derives it per function from its own depth-completeness proof.
+void write_options(std::ostream& os, const PipelineOptions& o) {
+  os << "{\"path_bound\":" << o.path_bound
+     << ",\"function\":" << json_quote(o.function)
+     << ",\"run_bmc\":" << (o.run_bmc ? "true" : "false")
+     << ",\"jobs\":" << o.jobs
+     << ",\"validate_witnesses\":" << (o.validate_witnesses ? "true" : "false")
+     << ",\"max_paths_per_segment\":" << o.max_paths_per_segment
+     << ",\"max_unroll_depth\":" << o.max_unroll_depth
+     << ",\"pessimistic_widths\":" << (o.pessimistic_widths ? "true" : "false")
+     << ",\"opt_passes\":[";
+  for (std::size_t i = 0; i < o.opt_passes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << json_quote(opt::pass_name(o.opt_passes[i]));
+  }
+  os << "],\"use_sessions\":" << (o.use_sessions ? "true" : "false")
+     << ",\"max_steps\":" << o.bmc.max_steps
+     << ",\"conflict_budget\":" << o.bmc.conflict_budget
+     << ",\"minimize_witness\":" << (o.bmc.minimize_witness ? "true" : "false")
+     << ",\"stmt_cost\":" << o.cost.stmt_cost
+     << ",\"decision_cost\":" << o.cost.decision_cost
+     << ",\"default_call_cost\":" << o.cost.default_call_cost << "}";
+}
+
+bool read_bool(const JsonValue& v, const char* key, bool& out) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr || f->kind() != JsonValue::Kind::Bool) return false;
+  out = f->as_bool();
+  return true;
+}
+
+bool read_int(const JsonValue& v, const char* key, std::int64_t& out) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr || !f->is_int()) return false;
+  out = f->as_int();
+  return true;
+}
+
+bool read_options(const JsonValue& v, PipelineOptions& o) {
+  std::int64_t n = 0;
+  if (!read_int(v, "path_bound", n) || n < 0) return false;
+  o.path_bound = static_cast<std::uint64_t>(n);
+  const JsonValue* fn = v.find("function");
+  if (fn == nullptr || fn->kind() != JsonValue::Kind::String) return false;
+  o.function = fn->as_string();
+  if (!read_bool(v, "run_bmc", o.run_bmc)) return false;
+  if (!read_int(v, "jobs", n) || n < 0) return false;
+  o.jobs = static_cast<unsigned>(n);
+  if (!read_bool(v, "validate_witnesses", o.validate_witnesses)) return false;
+  if (!read_int(v, "max_paths_per_segment", n) || n < 0) return false;
+  o.max_paths_per_segment = static_cast<std::size_t>(n);
+  if (!read_int(v, "max_unroll_depth", n) || n < 0) return false;
+  o.max_unroll_depth = static_cast<std::uint32_t>(n);
+  if (!read_bool(v, "pessimistic_widths", o.pessimistic_widths)) return false;
+  const JsonValue* passes = v.find("opt_passes");
+  if (passes == nullptr || passes->kind() != JsonValue::Kind::Array)
+    return false;
+  o.opt_passes.clear();
+  for (const JsonValue& p : passes->items()) {
+    if (p.kind() != JsonValue::Kind::String) return false;
+    const std::optional<opt::Pass> pass = opt::parse_pass(p.as_string());
+    if (!pass) return false;
+    o.opt_passes.push_back(*pass);
+  }
+  if (!read_bool(v, "use_sessions", o.use_sessions)) return false;
+  if (!read_int(v, "max_steps", n) || n < 0) return false;
+  o.bmc.max_steps = static_cast<std::uint32_t>(n);
+  if (!read_int(v, "conflict_budget", o.bmc.conflict_budget)) return false;
+  if (!read_bool(v, "minimize_witness", o.bmc.minimize_witness)) return false;
+  if (!read_int(v, "stmt_cost", o.cost.stmt_cost)) return false;
+  if (!read_int(v, "decision_cost", o.cost.decision_cost)) return false;
+  if (!read_int(v, "default_call_cost", o.cost.default_call_cost))
+    return false;
+  return true;
+}
+
+std::string error_response(const std::string& error, std::size_t index) {
+  std::ostringstream os;
+  os << "{\"ok\":false,\"error\":" << json_quote(error)
+     << ",\"index\":" << index << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string serialize_serve_request(const PipelineOptions& opts,
+                                    const std::vector<std::string>& names,
+                                    const std::vector<std::string>& sources) {
+  std::ostringstream os;
+  os << "{\"v\":" << kServeVersion << ",\"cmd\":\"analyze\",\"options\":";
+  write_options(os, opts);
+  os << ",\"files\":[";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":"
+       << json_quote(i < names.size() ? names[i] : std::string())
+       << ",\"source\":" << json_quote(sources[i]) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string serialize_shutdown_request() {
+  std::ostringstream os;
+  os << "{\"v\":" << kServeVersion << ",\"cmd\":\"shutdown\"}";
+  return os.str();
+}
+
+std::string handle_serve_request(const std::string& payload,
+                                 ResultCache& cache, std::ostream& warn,
+                                 bool& shutdown) {
+  shutdown = false;
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(payload, &parse_error);
+  if (!v || v->kind() != JsonValue::Kind::Object)
+    return error_response(
+        "malformed request: " +
+            (parse_error.empty() ? "not an object" : parse_error),
+        0);
+  const JsonValue* ver = v->find("v");
+  if (ver == nullptr || !ver->is_int() || ver->as_int() != kServeVersion)
+    return error_response("unsupported protocol version", 0);
+  const JsonValue* cmd = v->find("cmd");
+  if (cmd == nullptr || cmd->kind() != JsonValue::Kind::String)
+    return error_response("missing cmd", 0);
+  if (cmd->as_string() == "shutdown") {
+    shutdown = true;
+    return "{\"ok\":true,\"files\":[]}";
+  }
+  if (cmd->as_string() != "analyze")
+    return error_response("unknown cmd: " + cmd->as_string(), 0);
+
+  const JsonValue* options = v->find("options");
+  PipelineOptions popts;
+  if (options == nullptr || !read_options(*options, popts))
+    return error_response("malformed options", 0);
+  const JsonValue* files = v->find("files");
+  if (files == nullptr || files->kind() != JsonValue::Kind::Array ||
+      files->items().empty())
+    return error_response("missing files", 0);
+  std::vector<std::string> names, sources;
+  for (const JsonValue& f : files->items()) {
+    if (f.kind() != JsonValue::Kind::Object)
+      return error_response("malformed file entry", names.size());
+    const JsonValue* name = f.find("name");
+    const JsonValue* source = f.find("source");
+    if (name == nullptr || name->kind() != JsonValue::Kind::String ||
+        source == nullptr || source->kind() != JsonValue::Kind::String)
+      return error_response("malformed file entry", names.size());
+    names.push_back(name->as_string());
+    sources.push_back(source->as_string());
+  }
+
+  const BatchResult batch = run_batch_cached(sources, names, popts, cache, warn);
+  if (!batch.ok) return error_response(batch.error, batch.error_index);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"files\":[";
+  for (std::size_t i = 0; i < batch.files.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"index\":" << i
+       << ",\"report\":" << serialize_pipeline_result(batch.files[i].result)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool parse_serve_response(const std::string& payload, std::size_t num_files,
+                          std::vector<PipelineResult>& reports,
+                          std::string& error) {
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(payload, &parse_error);
+  if (!v || v->kind() != JsonValue::Kind::Object) {
+    error = "malformed response: " +
+            (parse_error.empty() ? "not an object" : parse_error);
+    return false;
+  }
+  const JsonValue* ok = v->find("ok");
+  if (ok == nullptr || ok->kind() != JsonValue::Kind::Bool) {
+    error = "malformed response: missing ok";
+    return false;
+  }
+  if (!ok->as_bool()) {
+    const JsonValue* msg = v->find("error");
+    error = (msg != nullptr && msg->kind() == JsonValue::Kind::String)
+                ? msg->as_string()
+                : "unknown server error";
+    return false;
+  }
+  const JsonValue* files = v->find("files");
+  if (files == nullptr || files->kind() != JsonValue::Kind::Array ||
+      files->items().size() != num_files) {
+    error = "malformed response: bad files array";
+    return false;
+  }
+  reports.assign(num_files, PipelineResult{});
+  std::vector<bool> seen(num_files, false);
+  for (const JsonValue& f : files->items()) {
+    std::int64_t index = 0;
+    if (f.kind() != JsonValue::Kind::Object || !read_int(f, "index", index) ||
+        index < 0 || static_cast<std::size_t>(index) >= num_files ||
+        seen[static_cast<std::size_t>(index)]) {
+      error = "malformed response: bad file entry";
+      return false;
+    }
+    const JsonValue* report = f.find("report");
+    if (report == nullptr ||
+        !parse_pipeline_result(*report,
+                               reports[static_cast<std::size_t>(index)])) {
+      error = "malformed response: bad report";
+      return false;
+    }
+    seen[static_cast<std::size_t>(index)] = true;
+  }
+  return true;
+}
+
+#if defined(_WIN32)
+
+int run_serve(const CliOptions&, std::ostream&, std::ostream& err) {
+  err << "tmg: serve is not supported on this platform\n";
+  return 2;
+}
+
+int run_client(const CliOptions&, const std::vector<std::string>&,
+               std::ostream&, std::ostream& err) {
+  err << "tmg: client is not supported on this platform\n";
+  return 2;
+}
+
+#else
+
+namespace {
+
+/// MSG_NOSIGNAL keeps a peer that vanished mid-reply from killing the
+/// daemon with SIGPIPE; the short-write loop handles partial sends.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_until_eof(int fd, std::string& out) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool fill_addr(sockaddr_un& addr, const std::string& path,
+               std::ostream& err) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    err << "tmg: socket path too long: " << path << "\n";
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err) {
+  sockaddr_un addr{};
+  if (!fill_addr(addr, opts.socket_path, err)) return 2;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err << "tmg: cannot create socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  // A stale socket file from a killed daemon makes bind() fail with
+  // EADDRINUSE even though nothing is listening; remove it first. A
+  // *live* daemon also loses its file this way — serialising daemons per
+  // socket path is the operator's job, as with any pid/socket file.
+  ::unlink(opts.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    err << "tmg: cannot listen on " << opts.socket_path << ": "
+        << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 2;
+  }
+
+  ResultCache cache(opts.cache_dir,
+                    opts.cache_dir.empty() ? CacheMode::Off : opts.cache_mode);
+  out << "tmg: serving on " << opts.socket_path << "\n";
+  out.flush();
+
+  bool shutdown = false;
+  while (!shutdown) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      err << "tmg: accept failed: " << std::strerror(errno) << "\n";
+      break;
+    }
+    std::string request;
+    if (recv_until_eof(conn, request)) {
+      const std::string response =
+          handle_serve_request(request, cache, err, shutdown);
+      send_all(conn, response);
+    }
+    ::close(conn);
+  }
+
+  ::close(fd);
+  ::unlink(opts.socket_path.c_str());
+  if (cache.enabled()) {
+    const CacheStats& cs = cache.stats();
+    out << "tmg: cache: " << cs.hits << " hits, " << cs.misses << " misses, "
+        << cs.writes << " writes\n";
+  }
+  return 0;
+}
+
+int run_client(const CliOptions& opts,
+               const std::vector<std::string>& sources, std::ostream& out,
+               std::ostream& err) {
+  sockaddr_un addr{};
+  if (!fill_addr(addr, opts.socket_path, err)) return 2;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err << "tmg: cannot create socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    err << "tmg: cannot connect to " << opts.socket_path << ": "
+        << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 2;
+  }
+
+  const std::string request =
+      opts.client_shutdown
+          ? serialize_shutdown_request()
+          : serialize_serve_request(opts.pipeline, opts.inputs, sources);
+  std::string response;
+  // Half-close after sending: the daemon reads until EOF, so this is the
+  // end-of-request marker; the connection stays readable for the reply.
+  const bool io_ok = send_all(fd, request) &&
+                     ::shutdown(fd, SHUT_WR) == 0 &&
+                     recv_until_eof(fd, response);
+  ::close(fd);
+  if (!io_ok) {
+    err << "tmg: connection to " << opts.socket_path
+        << " failed: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+
+  std::vector<PipelineResult> reports;
+  std::string error;
+  if (!parse_serve_response(response,
+                            opts.client_shutdown ? 0 : sources.size(),
+                            reports, error)) {
+    err << "tmg: " << error << "\n";
+    return 2;
+  }
+  if (opts.client_shutdown) {
+    out << "tmg: server shut down\n";
+    return 0;
+  }
+
+  // Render locally with the ordinary report paths over the parsed wire
+  // reports — exactly how a shard parent renders — so client output is
+  // byte-identical to running the same files through the CLI directly.
+  if (reports.size() == 1 && opts.inputs.size() == 1) {
+    render_report(reports[0], opts.pipeline, opts.format, opts.with_stages,
+                  out);
+    return 0;
+  }
+  std::vector<BatchEntry> entries;
+  entries.reserve(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    entries.push_back(
+        BatchEntry{i < opts.inputs.size() ? opts.inputs[i] : std::string(),
+                   std::move(reports[i])});
+  render_batch_report(entries, opts.pipeline, opts.format, opts.with_stages,
+                      out);
+  return 0;
+}
+
+#endif  // defined(_WIN32)
+
+}  // namespace tmg::driver

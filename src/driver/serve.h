@@ -1,0 +1,61 @@
+// `tmg serve` / `tmg client`: a long-lived analysis daemon on a unix
+// domain socket. The daemon keeps one in-process ResultCache (and, within
+// each request, the warm per-worker bmc::Session pool) across requests,
+// so resubmitting a file is answered from cache without re-solving.
+//
+// Wire: one JSON request per connection, one JSON response back. The
+// client half-closes its write side after sending (EOF framing — no
+// length prefixes), reads the response until EOF and renders LOCALLY with
+// the normal report renderers over the shard wire reports, which is what
+// makes `tmg client` output byte-identical to the equivalent CLI run.
+//
+// Request:  {"v":1,"cmd":"analyze","options":{...},
+//            "files":[{"name":"b2.mc","source":"..."}]}
+//       or  {"v":1,"cmd":"shutdown"}
+// Response: {"ok":true,"files":[{"index":0,"report":{...}}]}
+//       or  {"ok":false,"error":"...","index":N}
+//
+// POSIX only (unix sockets); on _WIN32 both entry points fail cleanly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/cache.h"
+#include "driver/cli.h"
+
+namespace tmg::driver {
+
+/// Daemon: bind `opts.socket_path`, serve requests until a shutdown
+/// command arrives. Returns the process exit code.
+int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err);
+
+/// Client: submit `sources` (named by opts.inputs) — or a shutdown
+/// request under opts.client_shutdown — and render the response.
+int run_client(const CliOptions& opts,
+               const std::vector<std::string>& sources, std::ostream& out,
+               std::ostream& err);
+
+// ------------------------------------------------------------------ wire
+// Exposed for tests: both protocol halves minus the socket I/O.
+
+std::string serialize_serve_request(const PipelineOptions& opts,
+                                    const std::vector<std::string>& names,
+                                    const std::vector<std::string>& sources);
+std::string serialize_shutdown_request();
+
+/// Handles one request payload against the daemon's cache. Sets
+/// `shutdown` when the payload asks the daemon to exit.
+std::string handle_serve_request(const std::string& payload,
+                                 ResultCache& cache, std::ostream& warn,
+                                 bool& shutdown);
+
+/// Parses an analyze response into per-file reports (request order).
+/// Returns false with `error` set on protocol errors or an in-band
+/// failure.
+bool parse_serve_response(const std::string& payload, std::size_t num_files,
+                          std::vector<PipelineResult>& reports,
+                          std::string& error);
+
+}  // namespace tmg::driver

@@ -93,7 +93,9 @@ void write_function(std::ostringstream& os, const FunctionTiming& ft) {
        << "," << s.feasible << "," << s.infeasible << "," << s.unknown << ","
        << s.validated << "," << s.mismatched << "," << s.bcet << ","
        << s.wcet << "," << json_double(s.bmc_seconds) << "," << s.max_cnf_vars
-       << "," << s.max_cnf_clauses << "]";
+       << "," << s.max_cnf_clauses << "," << s.solver_decisions << ","
+       << s.solver_propagations << "," << s.solver_conflicts << ","
+       << s.solver_restarts << "]";
   }
   os << "]}";
 }
@@ -144,7 +146,7 @@ bool read_function(const JsonValue& v, FunctionTiming& ft) {
   const JsonValue& segments = v.get("segments");
   if (segments.kind() != JsonValue::Kind::Array) return false;
   for (const JsonValue& s : segments.items()) {
-    if (s.kind() != JsonValue::Kind::Array || s.items().size() != 17)
+    if (s.kind() != JsonValue::Kind::Array || s.items().size() != 21)
       return false;
     const std::vector<JsonValue>& f = s.items();
     SegmentTiming st;
@@ -166,6 +168,10 @@ bool read_function(const JsonValue& v, FunctionTiming& ft) {
     st.bmc_seconds = f[14].as_double();
     st.max_cnf_vars = static_cast<std::uint64_t>(f[15].as_int());
     st.max_cnf_clauses = static_cast<std::uint64_t>(f[16].as_int());
+    st.solver_decisions = static_cast<std::uint64_t>(f[17].as_int());
+    st.solver_propagations = static_cast<std::uint64_t>(f[18].as_int());
+    st.solver_conflicts = static_cast<std::uint64_t>(f[19].as_int());
+    st.solver_restarts = static_cast<std::uint64_t>(f[20].as_int());
     ft.segments.push_back(std::move(st));
   }
   return true;
@@ -207,6 +213,16 @@ std::string error_payload(std::size_t index, const std::string& error) {
 }
 
 }  // namespace
+
+std::string serialize_pipeline_result(const PipelineResult& r) {
+  std::ostringstream os;
+  write_result(os, r);
+  return os.str();
+}
+
+bool parse_pipeline_result(const JsonValue& v, PipelineResult& r) {
+  return read_result(v, r);
+}
 
 std::string serialize_batch_payload(const BatchResult& batch,
                                     const std::vector<std::size_t>& indices) {
@@ -307,6 +323,12 @@ std::string serialize_bench_payload(
        << ",\"serial\":" << json_double(f.serial_seconds)
        << ",\"parallel\":" << json_double(f.parallel_seconds)
        << ",\"optimised\":" << json_double(f.optimised_seconds)
+       << ",\"fresh\":" << json_double(f.fresh_seconds)
+       << ",\"bmc\":" << json_double(f.bmc_seconds)
+       << ",\"bmc_fresh\":" << json_double(f.bmc_fresh_seconds)
+       << ",\"sd\":" << f.solver_decisions
+       << ",\"sp\":" << f.solver_propagations
+       << ",\"sc\":" << f.solver_conflicts << ",\"sr\":" << f.solver_restarts
        << ",\"stages\":[";
     for (std::size_t s = 0; s < f.stages.size(); ++s) {
       if (s > 0) os << ",";
@@ -328,7 +350,7 @@ std::string serialize_bench_payload(
 
 namespace tmg::driver {
 int run_sharded(const CliOptions&, const std::vector<std::string>&,
-                std::ostream&, std::ostream&) {
+                ResultCache&, std::ostream&, std::ostream&) {
   return -1;  // no fork: caller falls back to the in-process path
 }
 }  // namespace tmg::driver
@@ -421,16 +443,40 @@ void reap(std::vector<Child>& children) {
 }  // namespace
 
 int run_sharded(const CliOptions& opts,
-                const std::vector<std::string>& sources, std::ostream& out,
-                std::ostream& err) {
+                const std::vector<std::string>& sources, ResultCache& cache,
+                std::ostream& out, std::ostream& err) {
   const std::size_t n = sources.size();
+
+  // Batch-report mode consults the cache up front: hits never reach a
+  // shard, so a fully warm cache forks no children at all. The parent is
+  // the single cache writer — children always compute from scratch.
+  const bool batch_mode = opts.bench_repeats == 0 && !opts.table2;
+  std::vector<BatchEntry> slots(n);
+  std::vector<bool> filled(n, false);
+  std::vector<std::size_t> work;
+  work.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch_mode && cache.enabled()) {
+      if (std::optional<PipelineResult> hit =
+              cache.lookup(sources[i], opts.pipeline, err)) {
+        slots[i].result = std::move(*hit);
+        filled[i] = true;
+        continue;
+      }
+    }
+    work.push_back(i);
+  }
+
   const unsigned shards =
-      static_cast<unsigned>(std::min<std::size_t>(opts.shards, n));
+      work.empty() ? 0
+                   : static_cast<unsigned>(
+                         std::min<std::size_t>(opts.shards, work.size()));
 
   // Round-robin slices: balances the heavy files across shards without
   // needing size estimates; the merge restores input order regardless.
   std::vector<std::vector<std::size_t>> slices(shards);
-  for (std::size_t i = 0; i < n; ++i) slices[i % shards].push_back(i);
+  for (std::size_t k = 0; k < work.size(); ++k)
+    slices[k % shards].push_back(work[k]);
 
   // Bench mode runs its shards one at a time: the whole point of --bench
   // is uncontended wall-clock measurement, and concurrent sibling shards
@@ -544,6 +590,14 @@ int run_sharded(const CliOptions& opts,
         bf.serial_seconds = f.get("serial").as_double();
         bf.parallel_seconds = f.get("parallel").as_double();
         bf.optimised_seconds = f.get("optimised").as_double();
+        bf.fresh_seconds = f.get("fresh").as_double();
+        bf.bmc_seconds = f.get("bmc").as_double();
+        bf.bmc_fresh_seconds = f.get("bmc_fresh").as_double();
+        bf.solver_decisions = static_cast<std::uint64_t>(f.get("sd").as_int());
+        bf.solver_propagations =
+            static_cast<std::uint64_t>(f.get("sp").as_int());
+        bf.solver_conflicts = static_cast<std::uint64_t>(f.get("sc").as_int());
+        bf.solver_restarts = static_cast<std::uint64_t>(f.get("sr").as_int());
         for (const JsonValue& st : f.get("stages").items())
           if (st.items().size() == 2)
             bf.stages.push_back(engine::BenchStage{
@@ -554,6 +608,7 @@ int run_sharded(const CliOptions& opts,
       err << fail_error;
       return 2;
     }
+    bench_probe_cache(sources, opts.pipeline, cache, report, err);
     report.render_json(out);
     return 0;
   }
@@ -620,9 +675,8 @@ int run_sharded(const CliOptions& opts,
     return 0;
   }
 
-  // Batch report mode.
-  std::vector<BatchEntry> slots(n);
-  std::vector<bool> filled(n, false);
+  // Batch report mode: merge the shard payloads into the slots the cache
+  // hits did not already fill.
   for (const std::string& payload : payloads) {
     std::string error;
     if (!merge_batch_payload(payload, n, slots, filled, fail_index,
@@ -642,6 +696,8 @@ int run_sharded(const CliOptions& opts,
     }
     slots[i].path = opts.inputs[i];
   }
+  for (const std::size_t i : work)
+    cache.store(sources[i], opts.pipeline, slots[i].result, err);
   render_batch_report(slots, opts.pipeline, opts.format, opts.with_stages,
                       out);
   return 0;

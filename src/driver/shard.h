@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "driver/cli.h"
+#include "support/json.h"
 
 namespace tmg::driver {
 
@@ -28,12 +29,29 @@ namespace tmg::driver {
 /// `opts.shards` forked processes. Returns the process exit code (0/2),
 /// or -1 when sharding is unavailable on this platform (no fork) — the
 /// caller should fall back to the in-process path.
+///
+/// In batch-report mode the parent consults `cache` first: hits skip the
+/// shards entirely, only misses are forked, and computed reports are
+/// stored back (single-writer — children never touch the cache).
+/// --table2 and --bench shards run uncached: table2 halves fork per
+/// config anyway, and bench must measure real computation.
 int run_sharded(const CliOptions& opts,
-                const std::vector<std::string>& sources, std::ostream& out,
-                std::ostream& err);
+                const std::vector<std::string>& sources, ResultCache& cache,
+                std::ostream& out, std::ostream& err);
 
 // ------------------------------------------------------------------ wire
-// Exposed for tests: the serialisation halves of the shard protocol.
+// Exposed for tests, the result cache and `tmg serve`: the serialisation
+// halves of the shard protocol. One PipelineResult as one JSON object is
+// the unit every consumer shares — shard children stream it, cache
+// entries embed it, the serve daemon replies with it — so a report parsed
+// from any of them renders byte-identically to an in-process run.
+
+/// One analysed file's report as a JSON object (the shard wire schema).
+std::string serialize_pipeline_result(const PipelineResult& r);
+
+/// Inverse of serialize_pipeline_result. Returns false on any schema
+/// mismatch, leaving `r` partially filled (callers discard it).
+bool parse_pipeline_result(const JsonValue& v, PipelineResult& r);
 
 /// Payload of one shard in batch-report mode: the per-file results (with
 /// global input indices) or the first in-slice failure.

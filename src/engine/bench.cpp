@@ -50,6 +50,29 @@ double BenchReport::batch_speedup() const {
   return batch_seconds > 0.0 ? total_parallel_seconds() / batch_seconds : 0.0;
 }
 
+double BenchReport::total_fresh_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.fresh_seconds;
+  return s;
+}
+
+double BenchReport::total_bmc_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.bmc_seconds;
+  return s;
+}
+
+double BenchReport::total_bmc_fresh_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.bmc_fresh_seconds;
+  return s;
+}
+
+double BenchReport::session_speedup() const {
+  const double warm = total_bmc_seconds();
+  return warm > 0.0 ? total_bmc_fresh_seconds() / warm : 0.0;
+}
+
 void BenchReport::render_json(std::ostream& os) const {
   os << "{\"bench\":{\"workers\":" << workers << ",\"repeats\":" << repeats
      << ",\"files\":[";
@@ -63,9 +86,17 @@ void BenchReport::render_json(std::ostream& os) const {
        << ",\"serial_seconds\":" << fmt(f.serial_seconds)
        << ",\"parallel_seconds\":" << fmt(f.parallel_seconds)
        << ",\"optimised_seconds\":" << fmt(f.optimised_seconds)
+       << ",\"fresh_seconds\":" << fmt(f.fresh_seconds)
+       << ",\"bmc_seconds\":" << fmt(f.bmc_seconds)
+       << ",\"bmc_fresh_seconds\":" << fmt(f.bmc_fresh_seconds)
        << ",\"speedup\":" << fmt(f.speedup())
        << ",\"opt_speedup\":" << fmt(f.opt_speedup())
+       << ",\"session_speedup\":" << fmt(f.session_speedup())
        << ",\"jobs_per_second\":" << fmt(f.jobs_per_second())
+       << ",\"solver\":{\"decisions\":" << f.solver_decisions
+       << ",\"propagations\":" << f.solver_propagations
+       << ",\"conflicts\":" << f.solver_conflicts
+       << ",\"restarts\":" << f.solver_restarts << "}"
        << ",\"stages\":{";
     bool first_stage = true;
     for (const BenchStage& s : f.stages) {
@@ -79,10 +110,18 @@ void BenchReport::render_json(std::ostream& os) const {
      << ",\"serial_seconds\":" << fmt(total_serial_seconds())
      << ",\"parallel_seconds\":" << fmt(total_parallel_seconds())
      << ",\"optimised_seconds\":" << fmt(total_optimised_seconds())
+     << ",\"fresh_seconds\":" << fmt(total_fresh_seconds())
+     << ",\"bmc_seconds\":" << fmt(total_bmc_seconds())
+     << ",\"bmc_fresh_seconds\":" << fmt(total_bmc_fresh_seconds())
      << ",\"batch_seconds\":" << fmt(batch_seconds)
      << ",\"speedup\":" << fmt(speedup())
      << ",\"opt_speedup\":" << fmt(opt_speedup())
-     << ",\"batch_speedup\":" << fmt(batch_speedup()) << "}}}\n";
+     << ",\"session_speedup\":" << fmt(session_speedup())
+     << ",\"batch_speedup\":" << fmt(batch_speedup()) << "}";
+  if (cache_probed)
+    os << ",\"cache\":{\"mode\":" << json_quote(cache_mode)
+       << ",\"hits\":" << cache_hits << ",\"misses\":" << cache_misses << "}";
+  os << "}}\n";
 }
 
 }  // namespace tmg::engine

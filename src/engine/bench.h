@@ -8,6 +8,7 @@
 // tests can assert on it without running the clock.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -31,6 +32,19 @@ struct BenchFile {
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
   double optimised_seconds = 0.0;
+  /// Best-of-R pool run with warm BMC sessions disabled (one throwaway
+  /// solver per query) — the baseline the session speedup is against.
+  double fresh_seconds = 0.0;
+  /// BMC-stage seconds of the best pool run (warm sessions) and of the
+  /// best fresh run; their ratio isolates the incremental-SAT win from
+  /// frontend/CFG/translate time that sessions cannot touch.
+  double bmc_seconds = 0.0;
+  double bmc_fresh_seconds = 0.0;
+  /// SAT solver effort of the best warm pool run, summed over segments.
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_restarts = 0;
   std::vector<BenchStage> stages;
   /// Workers the scheduler actually used for this input (the pool clamps
   /// to the job count, so this can be below BenchReport::workers).
@@ -38,6 +52,10 @@ struct BenchFile {
 
   [[nodiscard]] double speedup() const {
     return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+  /// Warm-session BMC speedup: fresh-solver BMC seconds over warm.
+  [[nodiscard]] double session_speedup() const {
+    return bmc_seconds > 0.0 ? bmc_fresh_seconds / bmc_seconds : 0.0;
   }
   /// Optimisation speedup at the same worker count: unoptimised pool time
   /// over optimised pool time.
@@ -74,6 +92,19 @@ struct BenchReport {
   /// Frontier speedup: per-file pool runs summed vs one global frontier
   /// run (total parallel / batch).
   [[nodiscard]] double batch_speedup() const;
+  [[nodiscard]] double total_fresh_seconds() const;
+  [[nodiscard]] double total_bmc_seconds() const;
+  [[nodiscard]] double total_bmc_fresh_seconds() const;
+  /// Aggregate warm-session BMC speedup (total fresh BMC / total warm).
+  [[nodiscard]] double session_speedup() const;
+
+  /// Result-cache probe (counts only — bench never serves results from
+  /// the cache; it measures real computation). Filled by the driver when
+  /// --cache-dir is active.
+  bool cache_probed = false;
+  std::string cache_mode;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   /// Renders the JSON schema documented in README.md (one object,
   /// trailing newline).

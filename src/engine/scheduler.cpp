@@ -47,26 +47,47 @@ SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
     return stats;
   }
 
-  std::atomic<std::size_t> cursor{0};
+  // Route each affinity key to its home worker and spread keyless jobs
+  // round-robin; a claim flag per job lets idle workers steal whatever
+  // their preferred list did not cover. Affinity is a preference only —
+  // the steal pass guarantees every job runs even if its home worker is
+  // slow or never started.
+  std::vector<std::vector<std::size_t>> preferred(pool);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::int64_t a = jobs[i].affinity;
+    preferred[a >= 0 ? static_cast<std::size_t>(a) % pool : i % pool]
+        .push_back(i);
+  }
+  std::vector<std::atomic<bool>> claimed(jobs.size());
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  auto run_one = [&](unsigned worker, std::size_t i) {
+    const double t_job = monotonic_seconds();
+    try {
+      jobs[i].work(worker);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    stats.busy_seconds_per_worker[worker] += (monotonic_seconds() - t_job);
+    ++stats.jobs_per_worker[worker];
+    return true;
+  };
+
   auto drain = [&](unsigned worker) {
-    while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size() || failed.load(std::memory_order_relaxed)) return;
-      const double t_job = monotonic_seconds();
-      try {
-        jobs[i].work(worker);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-      stats.busy_seconds_per_worker[worker] += (monotonic_seconds() - t_job);
-      ++stats.jobs_per_worker[worker];
+    for (const std::size_t i : preferred[worker]) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      if (!claimed[i].exchange(true, std::memory_order_acq_rel))
+        if (!run_one(worker, i)) return;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      if (!claimed[i].exchange(true, std::memory_order_acq_rel))
+        if (!run_one(worker, i)) return;
     }
   };
 
@@ -115,8 +136,21 @@ void Frontier::drain(unsigned worker, SchedulerStats& stats) {
       if (failed_ || (queue_.empty() && in_flight_ == 0)) return;
       continue;  // spurious: someone is in flight and may still push
     }
-    AnalysisJob job = std::move(queue_.front());
-    queue_.pop_front();
+    // Prefer a job homed on this worker (matching affinity key) so one
+    // function's queries keep hitting the same worker's warm session
+    // instead of rebuilding it elsewhere; otherwise take the oldest job —
+    // an idle worker always steals.
+    auto it = queue_.begin();
+    for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+      if (q->affinity >= 0 &&
+          q->affinity % static_cast<std::int64_t>(workers_) ==
+              static_cast<std::int64_t>(worker)) {
+        it = q;
+        break;
+      }
+    }
+    AnalysisJob job = std::move(*it);
+    queue_.erase(it);
     ++in_flight_;
     lock.unlock();
 

@@ -50,6 +50,14 @@ double monotonic_seconds();
 /// locks: worker w is the only thread that ever touches slot w.
 struct AnalysisJob {
   std::function<void(unsigned worker)> work;
+  /// Affinity key: jobs sharing a non-negative key profit from running on
+  /// the same worker (they reuse that worker's warm per-function state —
+  /// a bmc session already holding the function's unrolled formula). The
+  /// engine routes each key to a home worker (`key % workers`) but treats
+  /// it strictly as a preference: an idle worker always steals, so
+  /// affinity never serialises a batch or stalls the pool. -1 = no
+  /// preference.
+  std::int64_t affinity = -1;
 };
 
 /// What one run() did, for bench reporting.

@@ -1,0 +1,47 @@
+// Per-worker cache of expensive per-key state (the pipeline's warm
+// feasibility oracles with their bmc::Sessions). Values are NOT shared
+// across workers — each worker index owns a private slot map, so values
+// need no internal synchronisation (bmc::Session is not thread-safe) and
+// a given (worker, key) pair always sees the same instance for its
+// lifetime. The caller provides a retirement predicate so slots for
+// finished work units are dropped before new ones are built, bounding the
+// pool to the keys still in flight per worker.
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace tmg::engine {
+
+template <typename Key, typename Value>
+class SessionPool {
+ public:
+  explicit SessionPool(std::size_t workers) : slots_(workers) {}
+
+  [[nodiscard]] std::size_t workers() const { return slots_.size(); }
+
+  /// Returns this worker's value for `key`, building it via `make()` on
+  /// first use. Before building anything, drops every other slot whose
+  /// key satisfies `retired` (its work unit completed; the warm state can
+  /// never be needed again). Only `worker`'s slots are touched — calling
+  /// concurrently from distinct workers is safe.
+  template <typename Retired, typename Make>
+  Value& acquire(std::size_t worker, const Key& key, Retired&& retired,
+                 Make&& make) {
+    auto& slots = slots_[worker];
+    for (auto it = slots.begin(); it != slots.end();) {
+      if (it->first != key && retired(it->first))
+        it = slots.erase(it);
+      else
+        ++it;
+    }
+    auto it = slots.find(key);
+    if (it == slots.end()) it = slots.emplace(key, make()).first;
+    return it->second;
+  }
+
+ private:
+  std::vector<std::map<Key, Value>> slots_;
+};
+
+}  // namespace tmg::engine

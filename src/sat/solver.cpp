@@ -13,14 +13,75 @@ Var Solver::new_var() {
   level_.push_back(0);
   activity_.push_back(0.0);
   saved_phase_.push_back(0);
+  deferred_.push_back(0);
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
   return v;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!order_before(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && order_before(heap_[child + 1], heap_[child]))
+      ++child;
+    if (!order_before(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_.push_back(v);
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size() - 1);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::reset_heuristics() {
+  // Also sever trail reuse from the previous query: the next solve must
+  // re-establish its assumptions from level 0, exactly as a fresh solver
+  // would, so warm and fresh searches stay step-for-step identical.
+  backtrack(0);
+  prev_assumptions_.clear();
+  std::fill(activity_.begin(), activity_.end(), 0.0);
+  std::fill(saved_phase_.begin(), saved_phase_.end(), 0);
+  var_inc_ = 1.0;
+  // With equal activities the order is (tier, index), so inserting the
+  // live tier ascending and then the deferred tier ascending feeds the
+  // heap in sorted order — the invariant holds without any sifting.
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < static_cast<Var>(assigns_.size()); ++v)
+    if (assigns_[v] == -1 && deferred_[v] == 0) heap_insert(v);
+  for (Var v = 0; v < static_cast<Var>(assigns_.size()); ++v)
+    if (assigns_[v] == -1 && deferred_[v] != 0) heap_insert(v);
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return false;
+  ++clauses_requested_;
   // Clauses may be added between solve() calls; drop any leftover search
   // state so level-0 simplifications below are sound.
   backtrack(0);
@@ -54,8 +115,8 @@ bool Solver::add_clause(std::vector<Lit> lits) {
 
 void Solver::attach(ClauseRef cr) {
   const Clause& c = clauses_[cr];
-  watches_[(~c.lits[0]).code].push_back(cr);
-  watches_[(~c.lits[1]).code].push_back(cr);
+  watches_[(~c.lits[0]).code].push_back(Watcher{cr, c.lits[1]});
+  watches_[(~c.lits[1]).code].push_back(Watcher{cr, c.lits[0]});
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
@@ -71,31 +132,36 @@ Solver::ClauseRef Solver::propagate() {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
     // clauses watching ~p need a new watch or become unit/conflicting
-    std::vector<ClauseRef>& ws = watches_[p.code];
+    std::vector<Watcher>& ws = watches_[p.code];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < ws.size(); ++i) {
-      const ClauseRef cr = ws[i];
+      const Watcher w = ws[i];
+      if (lit_value(w.blocker) == 1) {
+        ws[keep++] = w;  // blocker true: clause satisfied, skip it
+        continue;
+      }
+      const ClauseRef cr = w.cr;
       Clause& c = clauses_[cr];
       // ensure the falsified literal is lits[1]
       const Lit false_lit = ~p;
       if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
       assert(c.lits[1] == false_lit);
       if (lit_value(c.lits[0]) == 1) {
-        ws[keep++] = cr;  // satisfied: keep watching
+        ws[keep++] = Watcher{cr, c.lits[0]};  // satisfied: keep watching
         continue;
       }
       bool moved = false;
       for (std::size_t k = 2; k < c.lits.size(); ++k) {
         if (lit_value(c.lits[k]) != 0) {
           std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).code].push_back(cr);
+          watches_[(~c.lits[1]).code].push_back(Watcher{cr, c.lits[0]});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // unit or conflict
-      ws[keep++] = cr;
+      ws[keep++] = Watcher{cr, c.lits[0]};
       if (lit_value(c.lits[0]) == 0) {
         // conflict: restore remaining watches and report
         for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
@@ -158,6 +224,8 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
 }
 
 void Solver::backtrack(std::int32_t lvl) {
+  if (static_cast<std::size_t>(lvl) < assumption_level_idx_.size())
+    assumption_level_idx_.resize(static_cast<std::size_t>(lvl));
   if (decision_level() <= lvl) return;
   for (std::size_t i = trail_.size(); i > trail_lim_[lvl];) {
     --i;
@@ -165,6 +233,7 @@ void Solver::backtrack(std::int32_t lvl) {
     saved_phase_[v] = assigns_[v];
     assigns_[v] = -1;
     reason_[v] = kNoReason;
+    heap_insert(v);
   }
   trail_.resize(trail_lim_[lvl]);
   trail_lim_.resize(lvl);
@@ -176,27 +245,39 @@ void Solver::bump(Var v) {
   if (activity_[v] > 1e100) {
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
+    // Rescaling preserves relative order except where underflow collapses
+    // tiny activities into a tie; re-heapify wholesale (rare) so the heap
+    // invariant survives even those.
+    for (std::size_t i = heap_.size(); i > 0;) heap_sift_down(--i);
+    return;
   }
+  if (heap_pos_[v] >= 0)
+    heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
 }
 
 Lit Solver::pick_branch() {
-  Var best = -1;
-  double best_act = -1.0;
-  for (Var v = 0; v < static_cast<Var>(assigns_.size()); ++v) {
-    if (assigns_[v] == -1 && activity_[v] > best_act) {
-      best = v;
-      best_act = activity_[v];
+  while (!heap_.empty()) {
+    const Var v = heap_[0];
+    const Var last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[v] = -1;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      heap_sift_down(0);
     }
+    // Lazy removal: vars assigned by propagation since their insertion
+    // surface here and are simply dropped (backtrack re-inserts them).
+    if (assigns_[v] == -1) return Lit(v, saved_phase_[v] == 0);
   }
-  if (best < 0) return Lit();
-  return Lit(best, saved_phase_[best] == 0);
+  return Lit();
 }
 
 void Solver::update_memory_estimate() {
   std::uint64_t bytes = 0;
   for (const Clause& c : clauses_)
     bytes += sizeof(Clause) + c.lits.size() * sizeof(Lit);
-  for (const auto& w : watches_) bytes += w.capacity() * sizeof(ClauseRef);
+  for (const auto& w : watches_) bytes += w.capacity() * sizeof(Watcher);
   bytes += assigns_.size() *
            (sizeof(std::int8_t) * 3 + sizeof(double) + sizeof(std::int32_t) +
             sizeof(ClauseRef));
@@ -206,11 +287,38 @@ void Solver::update_memory_estimate() {
 Result Solver::solve(const std::vector<Lit>& assumptions,
                      std::int64_t conflict_budget) {
   if (!ok_) return Result::Unsat;
-  backtrack(0);
-  if (propagate() != kNoReason) {
-    ok_ = false;
-    return Result::Unsat;
+  // Solution reuse: when the previous solve left a complete, fully
+  // propagated assignment (add_clause and new_var both invalidate it)
+  // that already satisfies every assumption, that assignment is a model
+  // of this query too — answer without searching, keeping the model
+  // readable via value(). Incremental pin sequences (bmc witness
+  // minimisation) satisfy roughly half their probes this way.
+  if (trail_.size() == assigns_.size() && qhead_ == trail_.size()) {
+    bool satisfied = true;
+    for (const Lit& a : assumptions)
+      if (lit_value(a) != 1) {
+        satisfied = false;
+        break;
+      }
+    if (satisfied) return Result::Sat;
   }
+  // Trail reuse: decision levels established for assumptions this call
+  // shares with the previous one (their longest common prefix) carry only
+  // implications of those shared assumptions, so they can stay; everything
+  // above is rewound. Append-only assumption sequences — the bmc witness
+  // minimiser grows its pin list one literal at a time — thus skip
+  // re-propagating the whole formula on every probe. Any pending units or
+  // conflicts surface in the main loop's first propagate().
+  std::size_t lcp = 0;
+  while (lcp < prev_assumptions_.size() && lcp < assumptions.size() &&
+         prev_assumptions_[lcp] == assumptions[lcp])
+    ++lcp;
+  std::int32_t keep = 0;
+  while (static_cast<std::size_t>(keep) < assumption_level_idx_.size() &&
+         assumption_level_idx_[keep] < lcp)
+    ++keep;
+  backtrack(keep);
+  prev_assumptions_ = assumptions;
 
   std::uint64_t restart_limit = 100;
   std::uint64_t conflicts_since_restart = 0;
@@ -268,14 +376,27 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
 
     // re-establish assumptions after any backtracking
     bool assumption_pending = false;
-    for (const Lit& a : assumptions) {
+    for (std::size_t i = 0; i < assumptions.size(); ++i) {
+      const Lit a = assumptions[i];
       const std::int8_t v = lit_value(a);
       if (v == 0) {
+        if (decision_level() >
+            static_cast<std::int32_t>(assumption_level_idx_.size())) {
+          // Falsified above the assumption prefix: only branch decisions
+          // (e.g. a carried-over model from trail reuse) are to blame.
+          // Rewind to the prefix and re-examine.
+          backtrack(static_cast<std::int32_t>(assumption_level_idx_.size()));
+          assumption_pending = true;
+          break;
+        }
+        // At the prefix itself the falsification is implied by the
+        // formula and earlier assumptions alone: genuinely unsat.
         update_memory_estimate();
         return Result::Unsat;  // assumption conflicts (no core extraction)
       }
       if (v == -1) {
         trail_lim_.push_back(trail_.size());
+        assumption_level_idx_.push_back(i);
         enqueue(a, kNoReason);
         assumption_pending = true;
         break;

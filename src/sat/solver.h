@@ -60,6 +60,13 @@ class Solver {
   Var new_var();
   [[nodiscard]] std::size_t num_vars() const { return assigns_.size(); }
   [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+  /// Clauses handed to add_clause, BEFORE level-0 simplification. Unlike
+  /// num_clauses() this is independent of the solver's assignment history,
+  /// so callers that difference it across incremental queries (bmc::Session
+  /// CNF accounting) see identical deltas on a warm and a fresh solver.
+  [[nodiscard]] std::uint64_t clauses_requested() const {
+    return clauses_requested_;
+  }
 
   /// Adds a clause (empty clause makes the instance trivially unsat;
   /// duplicate/complementary literals are handled). Returns false if the
@@ -77,6 +84,37 @@ class Solver {
 
   /// Model access after Result::Sat.
   [[nodiscard]] bool value(Var v) const { return assigns_[v] == 1; }
+
+  /// Overrides the saved phase `v` will branch to when next decided.
+  /// Incremental callers (bmc::Session) use this to point retired
+  /// activation guards back at their harmless polarity: phase saving
+  /// would otherwise re-assert a finished query's artifacts on every
+  /// later solve.
+  void set_phase(Var v, bool value) { saved_phase_[v] = value ? 1 : 0; }
+
+  /// Forgets all branching heuristics — VSIDS activities, saved phases,
+  /// the activity increment — returning the decision order to plain
+  /// construction order, exactly the state a fresh solver starts from.
+  /// Incremental callers invoke this between queries: activity and phase
+  /// state tuned to one query's artifacts measurably misleads the search
+  /// on the next (more conflicts, not fewer), while construction order
+  /// tracks the circuit's data flow and is a strong default for every
+  /// query. Learned clauses are kept — they are implied, order-free facts.
+  /// Also rewinds the trail to level 0 and forgets the previous call's
+  /// assumptions, so cross-query trail reuse never makes a warm search
+  /// diverge from the fresh search it must mirror.
+  void reset_heuristics();
+
+  /// Moves `v` into (or out of) the deferred decision tier. Deferred
+  /// variables are branched only once every live variable is assigned —
+  /// incremental callers park retired artifacts' circuit variables there,
+  /// because branching a dead gate output early constrains its inputs
+  /// backwards through the circuit and causes conflicts a fresh solver
+  /// (which does not have the dead circuit at all) never sees. Tier
+  /// changes take full effect at the next reset_heuristics(), which
+  /// rebuilds the decision order; they are only ever a branching-order
+  /// steer, never a soundness concern. New variables start live.
+  void set_deferred(Var v, bool deferred) { deferred_[v] = deferred ? 1 : 0; }
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
@@ -97,18 +135,53 @@ class Solver {
   std::vector<ClauseRef> reason_;
   std::vector<std::int32_t> level_;
 
-  // clause database + watches (watches_[lit.code] = clauses watching lit)
+  // clause database + watches (watches_[lit.code] = clauses watching lit).
+  // Each watcher carries a blocker literal — a copy of the clause's other
+  // watched literal. Propagation skips the clause entirely (no cache-missy
+  // dereference) when the blocker is already true, which is the common
+  // case; the blocker is refreshed whenever the watch moves. Purely a
+  // constant-factor change: the visit order, unit implications and
+  // conflicts are identical with or without it.
+  struct Watcher {
+    ClauseRef cr;
+    Lit blocker;
+  };
   std::vector<Clause> clauses_;
-  std::vector<std::vector<ClauseRef>> watches_;
+  std::vector<std::vector<Watcher>> watches_;
 
   // VSIDS
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   std::vector<std::int8_t> saved_phase_;
-  std::vector<Var> order_;       // lazily sorted decision candidates
+  std::vector<std::int8_t> deferred_;  // 1 = branch after all live vars
   std::vector<std::uint8_t> seen_;
 
+  // Decision order: binary heap over candidate variables, ordered by
+  // (activity descending, index ascending). That is the exact total order
+  // a linear argmax scan with strict-greater comparison realises, but at
+  // O(log n) per operation — the difference matters for incremental use
+  // (bmc::Session), where one solver accumulates variables across many
+  // queries and a per-decision O(n) scan turns warm solves quadratic.
+  // Assigned variables are removed lazily in pick_branch and re-inserted
+  // on backtrack, so every unassigned variable is always in the heap.
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_pos_;  // var -> index in heap_, -1 absent
+
+  // Incremental trail reuse across solve() calls. Assumption-owned
+  // decision levels always form a prefix of the level stack (a backtrack
+  // that unassigns an assumption also discards every level above it), and
+  // everything on those levels is implied by the formula plus the
+  // assumptions that established them. assumption_level_idx_[j] records
+  // which index of the current solve's assumption vector owns level j+1;
+  // the next solve keeps exactly the levels whose index falls inside the
+  // longest common prefix with its own assumptions and rewinds the rest.
+  // Callers issuing append-only assumption sequences (bmc witness
+  // minimisation) then skip re-propagating the shared prefix entirely.
+  std::vector<Lit> prev_assumptions_;
+  std::vector<std::size_t> assumption_level_idx_;
+
   bool ok_ = true;
+  std::uint64_t clauses_requested_ = 0;
   SolverStats stats_;
 
   [[nodiscard]] std::int8_t lit_value(Lit l) const {
@@ -127,6 +200,14 @@ class Solver {
   void backtrack(std::int32_t level);
   Lit pick_branch();
   void bump(Var v);
+  [[nodiscard]] bool order_before(Var a, Var b) const {
+    if (deferred_[a] != deferred_[b]) return deferred_[a] < deferred_[b];
+    return activity_[a] > activity_[b] ||
+           (activity_[a] == activity_[b] && a < b);
+  }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  void heap_insert(Var v);
   void decay() { var_inc_ /= 0.95; }
   void attach(ClauseRef cr);
   void update_memory_estimate();

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "driver/cache.h"
 #include "driver/cli.h"
 #include "driver/pipeline.h"
+#include "opt/passes.h"
 #include "driver/report.h"
+#include "driver/serve.h"
 #include "driver/shard.h"
 #include "paper_examples.h"
 #include "support/json.h"
@@ -803,6 +807,69 @@ TEST(Cli, ParsesOptAndTable2) {
   EXPECT_FALSE(parse_cli({"--bench", "--table2", "a.mc"}, opts, error));
 }
 
+TEST(Cli, ParsesSessionsCacheAndServeFlags) {
+  CliOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_cli({"--sessions=off", "a.mc"}, opts, error)) << error;
+  EXPECT_FALSE(opts.pipeline.use_sessions);
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--sessions=on", "a.mc"}, opts, error)) << error;
+  EXPECT_TRUE(opts.pipeline.use_sessions);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--sessions=maybe", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("on or off"), std::string::npos);
+
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--cache-dir=/tmp/c", "--cache=ro", "a.mc"}, opts,
+                        error))
+      << error;
+  EXPECT_EQ(opts.cache_dir, "/tmp/c");
+  EXPECT_EQ(opts.cache_mode, CacheMode::ReadOnly);
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--cache-dir=/tmp/c", "a.mc"}, opts, error));
+  EXPECT_EQ(opts.cache_mode, CacheMode::ReadWrite);  // rw is the default
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--cache=banana", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("off, ro or rw"), std::string::npos);
+  // ro/rw without a directory is a configuration mistake, not a no-op.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--cache=rw", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("--cache-dir"), std::string::npos);
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--cache=off", "a.mc"}, opts, error)) << error;
+
+  opts = {};
+  ASSERT_TRUE(parse_cli({"serve", "--socket=/tmp/s.sock"}, opts, error))
+      << error;
+  EXPECT_TRUE(opts.serve);
+  EXPECT_EQ(opts.socket_path, "/tmp/s.sock");
+  opts = {};
+  ASSERT_TRUE(
+      parse_cli({"client", "--socket=/tmp/s.sock", "a.mc"}, opts, error))
+      << error;
+  EXPECT_TRUE(opts.client);
+  opts = {};
+  ASSERT_TRUE(parse_cli({"client", "--socket=/tmp/s.sock", "--shutdown"},
+                        opts, error))
+      << error;
+  EXPECT_TRUE(opts.client_shutdown);
+
+  // Subcommand validation: sockets need subcommands and vice versa.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"serve"}, opts, error));
+  EXPECT_NE(error.find("--socket"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--socket=/tmp/s.sock", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--shutdown", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(
+      parse_cli({"serve", "--socket=/tmp/s.sock", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"serve", "--socket=/tmp/s.sock", "--bench"}, opts,
+                         error));
+}
+
 TEST(Cli, RejectsUnknownOption) {
   CliOptions opts;
   std::string error;
@@ -1107,6 +1174,231 @@ TEST(RunBatch, WorkerCountDoesNotChangeResults) {
   render_batch_report(a.files, serial, ReportFormat::Json, false, ra);
   render_batch_report(b.files, pool, ReportFormat::Json, false, rb);
   EXPECT_EQ(ra.str(), rb.str());
+}
+
+// ------------------------------------------------- persistent result cache
+
+/// Fresh scratch directory per test; removed on scope exit.
+struct ScratchDir {
+  std::filesystem::path path;
+  ScratchDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("tmg_cache_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  [[nodiscard]] std::size_t entries() const {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator(path))
+      ++n;
+    return n;
+  }
+};
+
+std::string batch_all_formats(const BatchResult& batch,
+                              const PipelineOptions& opts) {
+  std::ostringstream os;
+  for (const ReportFormat fmt :
+       {ReportFormat::Text, ReportFormat::Csv, ReportFormat::Json}) {
+    render_batch_report(batch.files, opts, fmt, /*with_stages=*/false, os);
+    os << "\n---\n";
+  }
+  return os.str();
+}
+
+TEST(ResultCache, ColdThenWarmRunsRenderIdentically) {
+  const ScratchDir dir;
+  const std::vector<std::string> sources = {testing::kFigure1Source,
+                                            testing::kExampleB2};
+  const std::vector<std::string> files = {"fig1.mc", "b2.mc"};
+  const PipelineOptions opts;
+  std::ostringstream warn;
+
+  ResultCache cold(dir.path.string(), CacheMode::ReadWrite);
+  const BatchResult first = run_batch_cached(sources, files, opts, cold, warn);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(cold.stats().hits, 0u);
+  EXPECT_EQ(cold.stats().misses, 2u);
+  EXPECT_EQ(cold.stats().writes, 2u);
+  EXPECT_EQ(dir.entries(), 2u);
+
+  ResultCache warm(dir.path.string(), CacheMode::ReadWrite);
+  const BatchResult second = run_batch_cached(sources, files, opts, warm, warn);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(warm.stats().hits, 2u);
+  EXPECT_EQ(warm.stats().misses, 0u);
+  EXPECT_EQ(warm.stats().writes, 0u);
+
+  // Cache-served reports are byte-identical in every format — including
+  // against a run that never saw a cache at all.
+  EXPECT_EQ(batch_all_formats(first, opts), batch_all_formats(second, opts));
+  const BatchResult uncached = run_batch(sources, files, opts);
+  ASSERT_TRUE(uncached.ok);
+  EXPECT_EQ(batch_all_formats(uncached, opts), batch_all_formats(second, opts));
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+}
+
+TEST(ResultCache, KeyTracksSourceAndEveryReportAffectingOption) {
+  const ScratchDir dir;
+  const ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  const PipelineOptions base;
+  const std::string key = cache.entry_path(testing::kExampleB1, base);
+
+  // Different source, different entry.
+  EXPECT_NE(cache.entry_path(testing::kExampleB2, base), key);
+
+  // Every report-affecting option must move the key.
+  PipelineOptions bound = base;
+  bound.path_bound = 7;
+  EXPECT_NE(cache.entry_path(testing::kExampleB1, bound), key);
+  PipelineOptions opt = base;
+  opt.opt_passes = opt::all_passes();
+  EXPECT_NE(cache.entry_path(testing::kExampleB1, opt), key);
+  PipelineOptions no_bmc = base;
+  no_bmc.run_bmc = false;
+  EXPECT_NE(cache.entry_path(testing::kExampleB1, no_bmc), key);
+  PipelineOptions widths = base;
+  widths.pessimistic_widths = true;
+  EXPECT_NE(cache.entry_path(testing::kExampleB1, widths), key);
+
+  // --jobs and --sessions cannot change a report: the key ignores them so
+  // one entry serves every worker count.
+  PipelineOptions jobs = base;
+  jobs.jobs = 7;
+  EXPECT_EQ(cache.entry_path(testing::kExampleB1, jobs), key);
+  PipelineOptions fresh = base;
+  fresh.use_sessions = false;
+  EXPECT_EQ(cache.entry_path(testing::kExampleB1, fresh), key);
+}
+
+TEST(ResultCache, ReadOnlyModeNeverWrites) {
+  const ScratchDir dir;
+  std::ostringstream warn;
+  ResultCache ro(dir.path.string(), CacheMode::ReadOnly);
+  const BatchResult r = run_batch_cached({testing::kExampleB1}, {"b1.mc"},
+                                         PipelineOptions{}, ro, warn);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(ro.stats().misses, 1u);
+  EXPECT_EQ(ro.stats().writes, 0u);
+  EXPECT_EQ(dir.entries(), 0u);  // nothing persisted
+}
+
+TEST(ResultCache, CorruptEntryWarnsAndRecomputes) {
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  std::ostringstream warn;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  const BatchResult good = run_batch_cached({testing::kExampleB1}, {"b1.mc"},
+                                            opts, cache, warn);
+  ASSERT_TRUE(good.ok);
+  ASSERT_EQ(dir.entries(), 1u);
+
+  // Clobber the entry with bytes that are not a shard payload.
+  const std::string entry = cache.entry_path(testing::kExampleB1, opts);
+  {
+    std::ofstream os(entry, std::ios::trunc);
+    os << "{\"not\": \"a shard payload\"";
+  }
+
+  ResultCache again(dir.path.string(), CacheMode::ReadWrite);
+  const BatchResult recomputed = run_batch_cached(
+      {testing::kExampleB1}, {"b1.mc"}, opts, again, warn);
+  ASSERT_TRUE(recomputed.ok) << recomputed.error;  // warn, never crash
+  EXPECT_EQ(again.stats().hits, 0u);
+  EXPECT_EQ(again.stats().misses, 1u);
+  EXPECT_FALSE(warn.str().empty());
+  EXPECT_EQ(batch_all_formats(good, opts),
+            batch_all_formats(recomputed, opts));
+
+  // The recompute overwrote the corrupt entry: next run hits again.
+  ResultCache healed(dir.path.string(), CacheMode::ReadWrite);
+  const BatchResult served = run_batch_cached({testing::kExampleB1}, {"b1.mc"},
+                                              opts, healed, warn);
+  ASSERT_TRUE(served.ok);
+  EXPECT_EQ(healed.stats().hits, 1u);
+}
+
+// ------------------------------------------------------- serve wire format
+
+TEST(ServeWire, AnalyzeRequestRendersIdenticallyToCliRun) {
+  const PipelineOptions opts;
+  const std::string request = serialize_serve_request(
+      opts, {"b2.mc"}, {testing::kExampleB2});
+
+  ResultCache no_cache;  // default: disabled, like serve without --cache-dir
+  std::ostringstream warn;
+  bool shutdown = false;
+  const std::string response =
+      handle_serve_request(request, no_cache, warn, shutdown);
+  EXPECT_FALSE(shutdown);
+
+  std::vector<PipelineResult> reports;
+  std::string error;
+  ASSERT_TRUE(parse_serve_response(response, 1, reports, error)) << error;
+  ASSERT_EQ(reports.size(), 1u);
+
+  const PipelineResult direct = Pipeline(opts).run(testing::kExampleB2);
+  ASSERT_TRUE(direct.ok);
+  std::ostringstream via_serve, via_cli;
+  render_report(reports[0], opts, ReportFormat::Json, false, via_serve);
+  render_report(direct, opts, ReportFormat::Json, false, via_cli);
+  EXPECT_EQ(via_serve.str(), via_cli.str());
+}
+
+TEST(ServeWire, ShutdownRequestSetsFlag) {
+  ResultCache no_cache;
+  std::ostringstream warn;
+  bool shutdown = false;
+  (void)handle_serve_request(serialize_shutdown_request(), no_cache, warn,
+                             shutdown);
+  EXPECT_TRUE(shutdown);
+}
+
+TEST(ServeWire, HostileBytesAnswerInBandErrorsNotCrashes) {
+  ResultCache no_cache;
+  std::ostringstream warn;
+  std::vector<PipelineResult> reports;
+  std::string error;
+
+  // Malformed JSON, wrong shapes, and a nesting bomb — the daemon parses
+  // untrusted socket bytes, so each must produce a parseable ok:false
+  // response (or a response parse_serve_response rejects cleanly).
+  const std::string bomb(100'000, '[');
+  for (const std::string& payload :
+       {std::string("not json"), std::string("{\"v\":1}"),
+        std::string("{\"v\":1,\"cmd\":\"analyze\",\"files\":3}"), bomb}) {
+    bool shutdown = false;
+    const std::string response =
+        handle_serve_request(payload, no_cache, warn, shutdown);
+    EXPECT_FALSE(shutdown);
+    reports.clear();
+    EXPECT_FALSE(parse_serve_response(response, 1, reports, error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ServeWire, RepeatSubmissionIsServedFromCache) {
+  const ScratchDir dir;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  std::ostringstream warn;
+  const std::string request = serialize_serve_request(
+      PipelineOptions{}, {"b1.mc"}, {testing::kExampleB1});
+
+  bool shutdown = false;
+  const std::string first =
+      handle_serve_request(request, cache, warn, shutdown);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+  const std::string second =
+      handle_serve_request(request, cache, warn, shutdown);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(first, second);  // cached answer is byte-identical
 }
 
 // ------------------------------------------------------ shard wire format

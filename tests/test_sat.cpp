@@ -156,6 +156,61 @@ TEST(Sat, StatsArePopulated) {
   EXPECT_GT(s.stats().memory_bytes, 0u);
 }
 
+TEST(Sat, DeferredVarsBranchAfterLiveOnes) {
+  // (a | b) with both free: which variable gets branched first decides the
+  // model. The default order branches a (index order, phase false), so
+  // propagation sets b; deferring a flips the branch to b and propagation
+  // sets a. Moving a back to the live tier restores the original model.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+
+  s.set_deferred(a, true);
+  s.reset_heuristics();
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_FALSE(s.value(b));
+
+  s.set_deferred(a, false);
+  s.reset_heuristics();
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+}
+
+TEST(Sat, AssumptionPrefixReuseKeepsVerdictsSound) {
+  // Incremental trail reuse: consecutive solves whose assumption vectors
+  // share a prefix skip re-propagating it. Verdicts and model validity
+  // must match a fresh solver on every call pattern, including the
+  // tricky one — a previously-true assumption turning false only under
+  // carried-over branch decisions (not implications), which must trigger
+  // re-examination, not a bogus Unsat.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var(),
+            d = s.new_var();
+  s.add_clause(neg(a), pos(b));  // a -> b
+  s.add_clause(neg(b), neg(c), pos(d));
+
+  ASSERT_EQ(s.solve({pos(a)}), Result::Sat);
+  EXPECT_TRUE(s.value(b));
+  // Shares the [a] prefix; the previous model's free choice for c was a
+  // branch decision, so flipping it must re-search, not fail.
+  ASSERT_EQ(s.solve({pos(a), pos(c)}), Result::Sat);
+  EXPECT_TRUE(s.value(b));
+  EXPECT_TRUE(s.value(c));
+  EXPECT_TRUE(s.value(d));
+  ASSERT_EQ(s.solve({pos(a), pos(c), neg(d)}), Result::Unsat);
+  // Disjoint assumptions after an Unsat: full rewind path.
+  ASSERT_EQ(s.solve({neg(b)}), Result::Sat);
+  EXPECT_FALSE(s.value(a));
+  // Repeat of an earlier vector still answers the same.
+  ASSERT_EQ(s.solve({pos(a), pos(c), neg(d)}), Result::Unsat);
+  ASSERT_EQ(s.solve({pos(a), pos(c)}), Result::Sat);
+}
+
 // -------------------------- randomized differential test vs brute force
 
 /// Evaluates a CNF under an assignment bitmask.
@@ -172,6 +227,53 @@ bool eval_cnf(const std::vector<std::vector<Lit>>& cnf, std::uint32_t bits) {
     if (!sat) return false;
   }
   return true;
+}
+
+TEST(Sat, AssumptionReuseAgreesWithFreshSolverOnRandomCnf) {
+  // Differential check: one warm solver answering a chain of
+  // prefix-sharing assumption queries vs a fresh solver per query.
+  // Verdicts must agree everywhere; Sat models must satisfy the CNF.
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int nvars = 6 + static_cast<int>(rng.below(6));
+    std::vector<std::vector<Lit>> cnf;
+    Solver warm;
+    for (int v = 0; v < nvars; ++v) warm.new_var();
+    const int nclauses = 10 + static_cast<int>(rng.below(30));
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<Lit> clause;
+      const int len = 1 + static_cast<int>(rng.below(3));
+      for (int k = 0; k < len; ++k)
+        clause.push_back(
+            Lit(static_cast<Var>(rng.below(nvars)), rng.chance(0.5)));
+      cnf.push_back(clause);
+      warm.add_clause(clause);
+    }
+    std::vector<Lit> assumptions;
+    for (int q = 0; q < 8; ++q) {
+      // Grow, shrink or replace the assumption tail to exercise every
+      // prefix-overlap shape.
+      if (!assumptions.empty() && rng.chance(0.3)) assumptions.pop_back();
+      assumptions.push_back(
+          Lit(static_cast<Var>(rng.below(nvars)), rng.chance(0.5)));
+
+      Solver fresh;
+      for (int v = 0; v < nvars; ++v) fresh.new_var();
+      for (const auto& clause : cnf) fresh.add_clause(clause);
+
+      const Result rw = warm.solve(assumptions);
+      const Result rf = fresh.solve(assumptions);
+      ASSERT_EQ(rw, rf) << "iter " << iter << " query " << q;
+      if (rw == Result::Sat) {
+        std::uint32_t model = 0;
+        for (Var v = 0; v < nvars; ++v)
+          if (warm.value(v)) model |= 1u << v;
+        EXPECT_TRUE(eval_cnf(cnf, model)) << "iter " << iter;
+        for (const Lit& l : assumptions)
+          EXPECT_NE(warm.value(l.var()), l.sign()) << "iter " << iter;
+      }
+    }
+  }
 }
 
 class RandomCnf : public ::testing::TestWithParam<int> {};

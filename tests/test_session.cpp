@@ -1,0 +1,268 @@
+// Session-reuse equivalence suite (ISSUE 6 satellite): a warm
+// bmc::Session must be observationally identical to the fresh-solver
+// path for every default report field — reports, witnesses, CNF
+// accounting — across worker counts and optimisation settings. These
+// tests pin the Session determinism contract (bmc/session.h) at three
+// levels: rendered pipeline reports, direct Session queries, and the
+// SessionPool handing warm state to workers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bmc/bmc.h"
+#include "bmc/session.h"
+#include "cfg/cfg.h"
+#include "cfg/structure.h"
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "engine/session_pool.h"
+#include "fuzz_gen.h"
+#include "minic/frontend.h"
+#include "opt/passes.h"
+#include "paper_examples.h"
+#include "tsys/translate.h"
+
+namespace tmg::bmc {
+namespace {
+
+// ------------------------------------------- rendered-report equivalence
+
+std::string render_all_formats(const driver::PipelineResult& result,
+                               const driver::PipelineOptions& opts) {
+  std::ostringstream os;
+  for (const driver::ReportFormat fmt :
+       {driver::ReportFormat::Text, driver::ReportFormat::Csv,
+        driver::ReportFormat::Json}) {
+    render_report(result, opts, fmt, /*with_stages=*/false, os);
+    os << "\n---\n";
+  }
+  return os.str();
+}
+
+driver::PipelineResult run_with_sessions(const char* src, unsigned jobs,
+                                         bool optimised, bool sessions) {
+  driver::PipelineOptions opts;
+  opts.jobs = jobs;
+  opts.use_sessions = sessions;
+  if (optimised) opts.opt_passes = opt::all_passes();
+  driver::Pipeline p(opts);
+  return p.run(src);
+}
+
+/// Every paper example, at --jobs 1 and 4, optimised and not: the warm
+/// session path and the fresh-solver path must render byte-identical
+/// reports in every format (the acceptance criterion's "byte-identical
+/// timing models and witnesses").
+TEST(SessionEquivalence, ReportsByteIdenticalAcrossJobsAndOpt) {
+  for (const testing::PaperExample& ex : testing::kPaperExamples) {
+    for (const unsigned jobs : {1u, 4u}) {
+      for (const bool optimised : {false, true}) {
+        SCOPED_TRACE(std::string(ex.name) + " jobs=" +
+                     std::to_string(jobs) +
+                     (optimised ? " opt" : " plain"));
+        driver::PipelineOptions opts;
+        opts.jobs = jobs;
+        if (optimised) opts.opt_passes = opt::all_passes();
+
+        const driver::PipelineResult warm =
+            run_with_sessions(ex.source, jobs, optimised, true);
+        const driver::PipelineResult fresh =
+            run_with_sessions(ex.source, jobs, optimised, false);
+        ASSERT_TRUE(warm.ok) << warm.error;
+        ASSERT_TRUE(fresh.ok) << fresh.error;
+        EXPECT_EQ(render_all_formats(warm, opts),
+                  render_all_formats(fresh, opts));
+      }
+    }
+  }
+}
+
+/// Structured equivalence for one loop-bearing example: not just the
+/// rendered bytes but the raw witnesses, decision traces and verdicts.
+TEST(SessionEquivalence, WitnessesAndVerdictsMatchFreshPath) {
+  const driver::PipelineResult warm =
+      run_with_sessions(testing::kExampleB4, 1, false, true);
+  const driver::PipelineResult fresh =
+      run_with_sessions(testing::kExampleB4, 1, false, false);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  ASSERT_EQ(warm.functions.size(), fresh.functions.size());
+  for (std::size_t f = 0; f < warm.functions.size(); ++f) {
+    const driver::FunctionTiming& wf = warm.functions[f];
+    const driver::FunctionTiming& ff = fresh.functions[f];
+    ASSERT_EQ(wf.segments.size(), ff.segments.size());
+    for (std::size_t s = 0; s < wf.segments.size(); ++s) {
+      const driver::SegmentTiming& ws = wf.segments[s];
+      const driver::SegmentTiming& fs = ff.segments[s];
+      EXPECT_EQ(ws.bcet, fs.bcet);
+      EXPECT_EQ(ws.wcet, fs.wcet);
+      ASSERT_EQ(ws.paths.size(), fs.paths.size());
+      for (std::size_t p = 0; p < ws.paths.size(); ++p) {
+        SCOPED_TRACE("segment " + std::to_string(s) + " path " +
+                     std::to_string(p));
+        EXPECT_EQ(ws.paths[p].verdict, fs.paths[p].verdict);
+        EXPECT_EQ(ws.paths[p].witness, fs.paths[p].witness);
+        EXPECT_EQ(ws.paths[p].decision_trace, fs.paths[p].decision_trace);
+        EXPECT_EQ(ws.paths[p].replay, fs.paths[p].replay);
+      }
+    }
+  }
+}
+
+/// Fuzz-oracle-shaped programs (generator seed range) with sessions on
+/// and off: byte-identical whole-function reports. Exercises loop
+/// schedules and anchored windows the paper examples may not reach.
+TEST(SessionEquivalence, GeneratedProgramsMatchFreshPath) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const fuzz::GeneratedProgram gen = fuzz::generate_program(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + gen.source);
+    driver::PipelineOptions opts;
+    opts.path_bound = 1'000'000;  // whole function = one segment
+    opts.max_paths_per_segment = 512;
+    opts.jobs = 1;
+
+    driver::PipelineOptions warm_opts = opts;
+    warm_opts.use_sessions = true;
+    driver::PipelineOptions fresh_opts = opts;
+    fresh_opts.use_sessions = false;
+    const driver::PipelineResult warm =
+        driver::Pipeline(warm_opts).run(gen.source);
+    const driver::PipelineResult fresh =
+        driver::Pipeline(fresh_opts).run(gen.source);
+    ASSERT_EQ(warm.ok, fresh.ok);
+    if (!warm.ok) continue;  // generator programs always compile, but
+                             // equivalence is the property under test
+    EXPECT_EQ(render_all_formats(warm, opts),
+              render_all_formats(fresh, opts));
+  }
+}
+
+// ------------------------------------------------ direct Session queries
+
+struct Built {
+  std::unique_ptr<minic::Program> program;
+  std::unique_ptr<cfg::FunctionCfg> f;
+  std::unique_ptr<tsys::TranslationResult> tr;
+};
+
+Built build(const char* src) {
+  Built b;
+  b.program = minic::compile_or_die(
+      src, minic::SemaOptions{.warn_unbounded_loops = false});
+  b.f = cfg::build_cfg(*b.program->functions.front());
+  DiagnosticEngine diags;
+  b.tr = tsys::translate(*b.program, *b.f, diags);
+  EXPECT_TRUE(b.tr != nullptr) << diags.str();
+  return b;
+}
+
+std::vector<cfg::EdgeRef> true_edges(const Built& b) {
+  std::vector<cfg::EdgeRef> out;
+  for (const auto& blk : b.f->graph.blocks())
+    if (blk.is_decision())
+      for (std::uint32_t i = 0; i < blk.succs.size(); ++i)
+        if (blk.succs[i].kind == cfg::EdgeKind::True)
+          out.push_back(cfg::EdgeRef{blk.id, i});
+  return out;
+}
+
+void expect_same_default_fields(const BmcResult& warm,
+                                const BmcResult& fresh) {
+  EXPECT_EQ(warm.status, fresh.status);
+  EXPECT_EQ(warm.initial_values, fresh.initial_values);
+  EXPECT_EQ(warm.decision_trace, fresh.decision_trace);
+  EXPECT_EQ(warm.steps, fresh.steps);
+  EXPECT_EQ(warm.exact_path, fresh.exact_path);
+  EXPECT_EQ(warm.cnf_vars, fresh.cnf_vars);
+  EXPECT_EQ(warm.cnf_clauses, fresh.cnf_clauses);
+}
+
+/// One session answering the same query repeatedly, and interleaved
+/// queries, always returns what a fresh bmc::solve returns — including
+/// the as-if-fresh CNF accounting.
+TEST(Session, WarmRepeatMatchesFreshSolve) {
+  Built b = build(
+      "void f(int i) { int x = 0; if (i == 0) { x = 1; } if (i != 0) { x = 2; "
+      "} }");
+  const std::vector<cfg::EdgeRef> tes = true_edges(b);
+  ASSERT_EQ(tes.size(), 2u);
+
+  BmcQuery sat_query;  // first decision true only: satisfiable
+  sat_query.forced_choices = {tes[0]};
+  sat_query.must_take = tes[0];
+  BmcQuery unsat_query;  // both true edges: the paper's infeasible path
+  unsat_query.forced_choices = {tes[0], tes[1]};
+
+  const BmcOptions opts;
+  const BmcResult fresh_sat = solve(b.tr->ts, sat_query, opts);
+  const BmcResult fresh_unsat = solve(b.tr->ts, unsat_query, opts);
+  ASSERT_EQ(fresh_sat.status, BmcStatus::TestData);
+  ASSERT_EQ(fresh_unsat.status, BmcStatus::Infeasible);
+
+  Session session(b.tr->ts, opts);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_same_default_fields(session.solve(sat_query), fresh_sat);
+    expect_same_default_fields(session.solve(unsat_query), fresh_unsat);
+  }
+  EXPECT_EQ(session.stats().queries, 6u);
+}
+
+/// Session aggregates per-query solver effort; a solved query must have
+/// registered at least one propagation.
+TEST(Session, StatsAccumulateAcrossQueries) {
+  Built b = build("void f(int a) { if (a > 5) { a = 1; } }");
+  Session session(b.tr->ts, BmcOptions{});
+  EXPECT_EQ(session.stats().queries, 0u);
+  (void)session.solve(BmcQuery{});
+  const SessionStats after_one = session.stats();
+  EXPECT_EQ(after_one.queries, 1u);
+  EXPECT_GT(after_one.solver_propagations, 0u);
+  (void)session.solve(BmcQuery{});
+  EXPECT_EQ(session.stats().queries, 2u);
+  EXPECT_GE(session.stats().solver_propagations,
+            after_one.solver_propagations);
+}
+
+// ------------------------------------------------------- SessionPool
+
+TEST(SessionPool, PerWorkerSlotsAreIndependentAndStable) {
+  engine::SessionPool<int, std::unique_ptr<int>> pool(2);
+  ASSERT_EQ(pool.workers(), 2u);
+  const auto never_retired = [](int) { return false; };
+  int builds = 0;
+  const auto make = [&] { return std::make_unique<int>(++builds); };
+
+  int* w0_k1 = pool.acquire(0, 1, never_retired, make).get();
+  int* w1_k1 = pool.acquire(1, 1, never_retired, make).get();
+  EXPECT_NE(w0_k1, w1_k1);  // same key, distinct workers: distinct state
+  EXPECT_EQ(builds, 2);
+
+  // Re-acquire returns the same warm instance, no rebuild.
+  EXPECT_EQ(pool.acquire(0, 1, never_retired, make).get(), w0_k1);
+  EXPECT_EQ(builds, 2);
+}
+
+TEST(SessionPool, RetiredKeysAreDroppedBeforeBuilding) {
+  engine::SessionPool<int, int> pool(1);
+  int builds = 0;
+  const auto make = [&] { return ++builds; };
+  const auto none = [](int) { return false; };
+
+  (void)pool.acquire(0, 1, none, make);
+  (void)pool.acquire(0, 2, none, make);
+  EXPECT_EQ(builds, 2);
+
+  // Key 1 retires: the next acquire drops it, and a later re-acquire of
+  // key 1 must rebuild rather than resurrect stale state.
+  const auto one_retired = [](int k) { return k == 1; };
+  (void)pool.acquire(0, 3, one_retired, make);
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(pool.acquire(0, 1, none, make), 4);
+}
+
+}  // namespace
+}  // namespace tmg::bmc

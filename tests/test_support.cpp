@@ -382,6 +382,56 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_FALSE(json_parse(deep, &error).has_value());
 }
 
+/// The parser now reads untrusted socket bytes (tmg serve): nesting is
+/// bounded explicitly, with a clean error at the boundary instead of a
+/// stack overflow on hostile input.
+std::string nested_arrays(std::size_t n) {
+  std::string s(n, '[');
+  s += '0';
+  s.append(n, ']');
+  return s;
+}
+
+TEST(JsonParse, NestingDepthBoundaryIsExact) {
+  // 64 nested arrays are accepted...
+  std::optional<JsonValue> ok = json_parse(nested_arrays(64));
+  ASSERT_TRUE(ok.has_value());
+  const JsonValue* inner = &*ok;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(inner->kind(), JsonValue::Kind::Array);
+    ASSERT_EQ(inner->items().size(), 1u);
+    inner = &inner->items()[0];
+  }
+  EXPECT_EQ(inner->as_int(), 0);
+
+  // ...and 65 fail with the depth diagnostic, not a malformed-input one.
+  std::string error;
+  EXPECT_FALSE(json_parse(nested_arrays(65), &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonParse, DeepNestingBombsFailCleanly) {
+  std::string error;
+  // Array bomb far past the limit: would be a guaranteed stack overflow
+  // without the explicit depth counter.
+  EXPECT_FALSE(json_parse(nested_arrays(100'000), &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // Object bomb.
+  std::string objs;
+  for (int i = 0; i < 100'000; ++i) objs += "{\"k\":";
+  objs += "0";
+  for (int i = 0; i < 100'000; ++i) objs += '}';
+  EXPECT_FALSE(json_parse(objs, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // Mixed and unterminated bombs (hostile input need not be balanced).
+  std::string mixed;
+  for (int i = 0; i < 50'000; ++i) mixed += "[{\"a\":";
+  EXPECT_FALSE(json_parse(mixed, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
 TEST(JsonParse, Int64BoundaryStaysExact) {
   const JsonValue v = *json_parse("9223372036854775807");
   EXPECT_TRUE(v.is_int());
