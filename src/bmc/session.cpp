@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "bmc/bitblast.h"
+#include "support/trace.h"
 
 namespace tmg::bmc {
 
@@ -835,6 +836,7 @@ BmcResult Session::solve(const BmcQuery& query) {
   Impl& im = *impl_;
   BmcResult result;
 
+  trace::TraceSpan span("bmc.query", "bmc");
   const std::uint32_t depth = im.full_depth;
   result.unroll_depth = depth;
   const auto finish = [&]() -> BmcResult& {
@@ -847,6 +849,31 @@ BmcResult Session::solve(const BmcQuery& query) {
     stats_.solver_propagations += result.solver_propagations;
     stats_.solver_conflicts += result.solver_conflicts;
     stats_.solver_restarts += result.solver_restarts;
+    if (trace::enabled()) {
+      span.arg("function", im.ts.name);
+      span.arg("segment", trace::current_segment());
+      span.arg("depth", static_cast<std::int64_t>(result.unroll_depth));
+      span.arg("verdict", result.status == BmcStatus::TestData ? "feasible"
+                          : result.status == BmcStatus::Infeasible
+                              ? "infeasible"
+                              : "unknown");
+      span.arg("conflicts",
+               static_cast<std::int64_t>(result.solver_conflicts));
+    }
+    // Aggregate view for serve `metrics` / `--progress`; the per-session
+    // stats_ above stay the report source (determinism contract in
+    // support/trace.h).
+    trace::MetricsRegistry& reg = trace::MetricsRegistry::instance();
+    static trace::Counter& queries = reg.counter("session.queries");
+    static trace::Counter& decisions = reg.counter("solver.decisions");
+    static trace::Counter& propagations = reg.counter("solver.propagations");
+    static trace::Counter& conflicts = reg.counter("solver.conflicts");
+    static trace::Counter& restarts = reg.counter("solver.restarts");
+    queries.add();
+    decisions.add(result.solver_decisions);
+    propagations.add(result.solver_propagations);
+    conflicts.add(result.solver_conflicts);
+    restarts.add(result.solver_restarts);
     return result;
   };
 

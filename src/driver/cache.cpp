@@ -7,6 +7,7 @@
 
 #include "driver/shard.h"
 #include "support/json.h"
+#include "support/trace.h"
 
 namespace tmg::driver {
 
@@ -71,6 +72,39 @@ std::string cache_config_fingerprint(const PipelineOptions& opts) {
 ResultCache::ResultCache(std::string dir, CacheMode mode)
     : dir_(std::move(dir)), mode_(mode) {}
 
+// Per-cache counters are mutex-guarded (serve mutates them from request
+// handling while a batch may still be counting); the registry mirror is
+// the process-wide aggregate serve `metrics` and `--progress` read.
+void ResultCache::count_hit() {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.hits;
+  }
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("cache.hits");
+  c.add();
+}
+
+void ResultCache::count_miss() {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.misses;
+  }
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("cache.misses");
+  c.add();
+}
+
+void ResultCache::count_write() {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.writes;
+  }
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("cache.writes");
+  c.add();
+}
+
 std::string ResultCache::entry_path(const std::string& source,
                                     const PipelineOptions& opts) const {
   return dir_ + "/" + hex64(fnv1a64(source)) + "-" +
@@ -81,10 +115,12 @@ std::optional<PipelineResult> ResultCache::lookup(
     const std::string& source, const PipelineOptions& opts,
     std::ostream& warn) {
   if (!enabled()) return std::nullopt;
+  trace::TraceSpan span("cache.lookup", "cache");
   const std::string path = entry_path(source, opts);
   std::string bytes;
   if (!read_file_bytes(path, bytes)) {
-    ++stats_.misses;
+    span.arg("hit", "false");
+    count_miss();
     return std::nullopt;
   }
 
@@ -93,7 +129,8 @@ std::optional<PipelineResult> ResultCache::lookup(
   // warned miss, never an error — the entry will simply be recomputed.
   const auto corrupt = [&]() -> std::optional<PipelineResult> {
     warn << "tmg: ignoring corrupt cache entry " << path << "\n";
-    ++stats_.misses;
+    span.arg("hit", "false");
+    count_miss();
     return std::nullopt;
   };
   std::string parse_error;
@@ -117,7 +154,8 @@ std::optional<PipelineResult> ResultCache::lookup(
   if (report == nullptr) return corrupt();
   PipelineResult result;
   if (!parse_pipeline_result(*report, result)) return corrupt();
-  ++stats_.hits;
+  span.arg("hit", "true");
+  count_hit();
   return result;
 }
 
@@ -125,6 +163,7 @@ void ResultCache::store(const std::string& source,
                         const PipelineOptions& opts,
                         const PipelineResult& result, std::ostream& warn) {
   if (!enabled() || mode_ != CacheMode::ReadWrite) return;
+  trace::TraceSpan span("cache.store", "cache");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best effort
 
@@ -152,7 +191,7 @@ void ResultCache::store(const std::string& source,
     std::remove(tmp.c_str());
     return;
   }
-  ++stats_.writes;
+  count_write();
 }
 
 BatchResult run_batch_cached(const std::vector<std::string>& sources,
@@ -166,7 +205,10 @@ BatchResult run_batch_cached(const std::vector<std::string>& sources,
   std::vector<std::size_t> miss;
   for (std::size_t i = 0; i < n; ++i) {
     results[i] = cache.lookup(sources[i], opts, warn);
-    if (!results[i]) miss.push_back(i);
+    if (!results[i])
+      miss.push_back(i);
+    else
+      trace::progress_file_done();  // cache hits never reach merge_file
   }
 
   BatchResult out;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -31,6 +32,10 @@ enum class CacheMode : std::uint8_t {
   ReadWrite,  // serve hits, store misses (the --cache-dir default)
 };
 
+/// Snapshot of one cache's counters. Mutation happens inside ResultCache
+/// under its stats mutex (serve handles requests while earlier batch
+/// workers may still be counting), so stats() hands out a copy, never a
+/// reference into live state.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -53,7 +58,10 @@ class ResultCache {
     return mode_ != CacheMode::Off && !dir_.empty();
   }
   [[nodiscard]] CacheMode mode() const { return mode_; }
-  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] CacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
   /// Entry file for (source, config): FNV-1a-64 of the source bytes and
   /// of the config fingerprint, both hex, joined — content-addressed, so
@@ -73,8 +81,13 @@ class ResultCache {
              const PipelineResult& result, std::ostream& warn);
 
  private:
+  void count_hit();
+  void count_miss();
+  void count_write();
+
   std::string dir_;
   CacheMode mode_ = CacheMode::Off;
+  mutable std::mutex stats_mutex_;
   CacheStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "cfg/structure.h"
@@ -10,6 +11,7 @@
 #include "engine/bench.h"
 #include "engine/scheduler.h"
 #include "minic/frontend.h"
+#include "support/trace.h"
 #include "tsys/translate.h"
 
 namespace tmg::driver {
@@ -53,6 +55,7 @@ std::string cli_usage() {
       "       tmg serve --socket=PATH [--cache-dir=DIR] [options]\n"
       "       tmg client --socket=PATH <source.mc> [more.mc ...]\n"
       "       tmg client --socket=PATH --shutdown\n"
+      "       tmg client --socket=PATH --metrics\n"
       "\n"
       "Runs the full timing-model pipeline: mini-C frontend -> CFG ->\n"
       "partition (path bound b) -> transition system -> per-segment\n"
@@ -106,6 +109,17 @@ std::string cli_usage() {
       "                        is given); ro serves hits but never writes\n"
       "  --socket=PATH         unix socket for the serve/client subcommands\n"
       "  --shutdown            (client only) ask the daemon to exit\n"
+      "  --metrics             (client only) print the daemon's metrics\n"
+      "                        snapshot (uptime, requests, cache/solver\n"
+      "                        aggregates) as JSON\n"
+      "  --trace=FILE          write a Chrome/Perfetto trace-event JSON\n"
+      "                        file (pipeline stages, scheduler jobs, BMC\n"
+      "                        queries, cache lookups; spans are stitched\n"
+      "                        across --jobs threads and --shards children);\n"
+      "                        reports stay byte-identical\n"
+      "  --progress            stderr heartbeat for batch/shard runs (files\n"
+      "                        done/total, paths solved, cache hits); never\n"
+      "                        touches the report streams\n"
       "  --pessimistic-widths  16-bit-everything translation (paper default)\n"
       "  --stats               include wall-clock data (stage timing,\n"
       "                        bmc_ms, worker counts) in reports\n"
@@ -146,7 +160,8 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                               name == "--pessimistic-widths" ||
                               name == "--stats" || name == "--dot" ||
                               name == "--sal" || name == "--table2" ||
-                              name == "--shutdown";
+                              name == "--shutdown" || name == "--metrics" ||
+                              name == "--progress";
     if (is_bare_flag && has_value) {
       error = "option '" + std::string(name) + "' takes no value";
       return false;
@@ -285,6 +300,16 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
       out.socket_path = std::string(value);
     } else if (name == "--shutdown") {
       out.client_shutdown = true;
+    } else if (name == "--metrics") {
+      out.client_metrics = true;
+    } else if (name == "--trace") {
+      if (!has_value || value.empty()) {
+        error = "--trace expects a file path";
+        return false;
+      }
+      out.trace_file = std::string(value);
+    } else if (name == "--progress") {
+      out.progress = true;
     } else if (name == "--pessimistic-widths") {
       out.pipeline.pessimistic_widths = true;
     } else if (name == "--stats") {
@@ -301,6 +326,14 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
   // Subcommand validations first: they redefine what "no input" means.
   if (out.client_shutdown && !out.client) {
     error = "--shutdown is a 'tmg client' option";
+    return false;
+  }
+  if (out.client_metrics && !out.client) {
+    error = "--metrics is a 'tmg client' option";
+    return false;
+  }
+  if (out.client_metrics && out.client_shutdown) {
+    error = "client --metrics cannot be combined with --shutdown";
     return false;
   }
   if ((out.serve || out.client) && out.socket_path.empty()) {
@@ -327,6 +360,10 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     error = "client --shutdown takes no input files";
     return false;
   }
+  if (out.client && out.client_metrics && !out.inputs.empty()) {
+    error = "client --metrics takes no input files";
+    return false;
+  }
   // `--cache=ro` with nowhere to read from is a configuration mistake,
   // not a silent no-op cache.
   if (cache_mode_set && out.cache_mode != CacheMode::Off &&
@@ -334,7 +371,8 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     error = "--cache=ro|rw requires --cache-dir=DIR";
     return false;
   }
-  if (!out.show_help && !out.serve && !(out.client && out.client_shutdown) &&
+  if (!out.show_help && !out.serve &&
+      !(out.client && (out.client_shutdown || out.client_metrics)) &&
       out.inputs.empty()) {
     error = "no input file";
     return false;
@@ -599,6 +637,12 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
 
+  // Declared before any mode branch so every path records; the destructor
+  // (normal return of this function) writes the trace file. Shard
+  // children never reach it — they _exit after shipping their buffers.
+  std::optional<trace::Recording> recording;
+  if (!opts.trace_file.empty()) recording.emplace(opts.trace_file, err);
+
   // The daemon reads nothing up front; clients submit sources.
   if (opts.serve) return run_serve(opts, out, err);
 
@@ -608,6 +652,13 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
 
   if (opts.client) return run_client(opts, sources, out, err);
 
+  // Stderr-only heartbeat; disabled again on every exit path so repeated
+  // in-process runs (tests, embedding) never write to a dead stream.
+  struct ProgressGuard {
+    ~ProgressGuard() { trace::disable_progress(); }
+  } progress_guard;
+  if (opts.progress) trace::enable_progress(&err, opts.inputs.size());
+
   ResultCache cache(opts.cache_dir, opts.cache_dir.empty()
                                         ? CacheMode::Off
                                         : opts.cache_mode);
@@ -615,7 +666,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   // touching the deterministic report streams (stderr, --stats only).
   const auto finish = [&](int rc) {
     if (opts.with_stages && cache.enabled()) {
-      const CacheStats& cs = cache.stats();
+      const CacheStats cs = cache.stats();
       err << "tmg: cache: " << cs.hits << " hits, " << cs.misses
           << " misses, " << cs.writes << " writes\n";
     }

@@ -44,8 +44,18 @@ struct CliOptions {
   bool client = false;
   /// `tmg client --socket=... --shutdown`: stop the daemon.
   bool client_shutdown = false;
+  /// `tmg client --socket=... --metrics`: poll the daemon's metrics
+  /// snapshot (uptime, request counts, cache/solver aggregates).
+  bool client_metrics = false;
   /// --socket=PATH: unix socket for serve/client.
   std::string socket_path;
+  /// --trace=FILE: write a Chrome/Perfetto trace-event JSON file covering
+  /// pipeline stages, scheduler jobs, BMC queries and cache lookups
+  /// (stitched across --jobs threads and --shards children).
+  std::string trace_file;
+  /// --progress: stderr heartbeat (files done/total, paths solved, cache
+  /// hits); never touches the deterministic report streams.
+  bool progress = false;
   bool dump_dot = false;
   bool dump_sal = false;
   bool show_help = false;

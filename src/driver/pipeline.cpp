@@ -13,6 +13,7 @@
 #include "engine/scheduler.h"
 #include "engine/session_pool.h"
 #include "minic/frontend.h"
+#include "support/trace.h"
 #include "testgen/interp.h"
 #include "tsys/translate.h"
 
@@ -26,16 +27,20 @@ using cfg::EdgeRef;
 class StageTimer {
  public:
   explicit StageTimer(std::vector<StageStats>& out, std::string name)
-      : out_(out), name_(std::move(name)),
+      : out_(out), name_(std::move(name)), span_(name_, "stage"),
         start_(engine::monotonic_seconds()) {}
   ~StageTimer() {
-    out_.push_back(
-        StageStats{std::move(name_), engine::monotonic_seconds() - start_});
+    const double seconds = engine::monotonic_seconds() - start_;
+    trace::MetricsRegistry::instance()
+        .histogram("stage." + name_)
+        .observe(seconds * 1e6);
+    out_.push_back(StageStats{std::move(name_), seconds});
   }
 
  private:
   std::vector<StageStats>& out_;
   std::string name_;
+  trace::TraceSpan span_;
   double start_;
 };
 
@@ -725,6 +730,14 @@ void run_path_job(const JobRef& r, bool run_bmc, OraclePool& pool,
             r.fw->use_sessions, r.fw->depth_complete, r.fw->edge_cache);
       });
   const core::Segment& s = r.fw->partition.segments[r.seg_index];
+  trace::TraceSpan span("path", "pipeline");
+  span.arg("function", r.fw->ft.name);
+  span.arg("segment", static_cast<std::int64_t>(s.id));
+  span.arg("path", static_cast<std::int64_t>(r.path_index));
+  const trace::ScopedSegment seg_tag(static_cast<std::int64_t>(s.id));
+  static trace::Counter& path_jobs =
+      trace::MetricsRegistry::instance().counter("pipeline.path_jobs");
+  path_jobs.add();
   if (s.kind == core::SegmentKind::Block) {
     oracle.check_block(s.block, out);
   } else {
@@ -740,6 +753,7 @@ void run_path_job(const JobRef& r, bool run_bmc, OraclePool& pool,
 /// over that order, independent of scheduling. Safe to run concurrently
 /// with other files' jobs (touches only this file's state).
 void merge_file(FileWork& fw, const PipelineOptions& opts) {
+  trace::TraceSpan span("merge", "pipeline");
   PipelineResult& result = fw.result;
   result.stages = std::move(fw.stages);
   result.analysis_jobs = fw.refs.size();
@@ -800,6 +814,7 @@ void merge_file(FileWork& fw, const PipelineOptions& opts) {
   // Release the workers' oracle caches for this file (no job can
   // reference it past its merge).
   fw.merged.store(true, std::memory_order_release);
+  trace::progress_file_done();
 }
 
 }  // namespace
@@ -868,6 +883,8 @@ BatchResult run_batch(const std::vector<std::string>& sources,
         [fw, source, &opts, &frontier, &oracles, run_bmc](unsigned) {
           if (!front_half(*source, opts, *fw)) return;  // error recorded
           if (fw->refs.empty()) {
+            trace::emit_complete("analysis", "stage", fw->front_done,
+                                 fw->front_done);
             fw->stages.push_back(StageStats{"analysis", 0.0});
             merge_file(*fw, opts);
             return;
@@ -885,9 +902,11 @@ BatchResult run_batch(const std::vector<std::string>& sources,
                     // Last path job of this file: stream its merge into
                     // the frontier while other files keep solving.
                     frontier.push(engine::AnalysisJob{[fw, &opts](unsigned) {
+                      const double now = engine::monotonic_seconds();
+                      trace::emit_complete("analysis", "stage",
+                                           fw->front_done, now);
                       fw->stages.push_back(StageStats{
-                          "analysis",
-                          engine::monotonic_seconds() - fw->front_done});
+                          "analysis", now - fw->front_done});
                       merge_file(*fw, opts);
                     }});
                   }

@@ -1,11 +1,13 @@
 #include "driver/serve.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "driver/report.h"
 #include "driver/shard.h"
 #include "opt/passes.h"
 #include "support/json.h"
+#include "support/trace.h"
 
 #if !defined(_WIN32)
 #include <sys/socket.h>
@@ -133,10 +135,33 @@ std::string serialize_shutdown_request() {
   return os.str();
 }
 
+std::string serialize_metrics_request() {
+  std::ostringstream os;
+  os << "{\"v\":" << kServeVersion << ",\"cmd\":\"metrics\"}";
+  return os.str();
+}
+
 std::string handle_serve_request(const std::string& payload,
                                  ResultCache& cache, std::ostream& warn,
-                                 bool& shutdown) {
+                                 bool& shutdown, double uptime_seconds) {
   shutdown = false;
+  // Counted and timed here rather than in the socket loop so the wire
+  // unit tests observe the same counters a live daemon reports.
+  trace::TraceSpan span("serve.request", "serve");
+  trace::MetricsRegistry& reg = trace::MetricsRegistry::instance();
+  static trace::Counter& requests = reg.counter("serve.requests");
+  requests.add();
+  const auto t_start = std::chrono::steady_clock::now();
+  struct LatencyTimer {
+    std::chrono::steady_clock::time_point t0;
+    ~LatencyTimer() {
+      trace::MetricsRegistry::instance()
+          .histogram("serve.request_us")
+          .observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    }
+  } latency_timer{t_start};
   std::string parse_error;
   const std::optional<JsonValue> v = json_parse(payload, &parse_error);
   if (!v || v->kind() != JsonValue::Kind::Object)
@@ -150,9 +175,20 @@ std::string handle_serve_request(const std::string& payload,
   const JsonValue* cmd = v->find("cmd");
   if (cmd == nullptr || cmd->kind() != JsonValue::Kind::String)
     return error_response("missing cmd", 0);
+  span.arg("cmd", cmd->as_string());
   if (cmd->as_string() == "shutdown") {
     shutdown = true;
     return "{\"ok\":true,\"files\":[]}";
+  }
+  if (cmd->as_string() == "metrics") {
+    const CacheStats cs = cache.stats();
+    std::ostringstream os;
+    os << "{\"ok\":true,\"metrics\":{\"uptime_seconds\":"
+       << json_double(uptime_seconds)
+       << ",\"requests\":" << requests.get() << ",\"cache\":{\"hits\":"
+       << cs.hits << ",\"misses\":" << cs.misses << ",\"writes\":"
+       << cs.writes << "},\"registry\":" << reg.to_json() << "}}";
+    return os.str();
   }
   if (cmd->as_string() != "analyze")
     return error_response("unknown cmd: " + cmd->as_string(), 0);
@@ -329,6 +365,7 @@ int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err) {
   out << "tmg: serving on " << opts.socket_path << "\n";
   out.flush();
 
+  const auto t_start = std::chrono::steady_clock::now();
   bool shutdown = false;
   while (!shutdown) {
     const int conn = ::accept(fd, nullptr, nullptr);
@@ -339,8 +376,11 @@ int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err) {
     }
     std::string request;
     if (recv_until_eof(conn, request)) {
+      const double uptime = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t_start)
+                                .count();
       const std::string response =
-          handle_serve_request(request, cache, err, shutdown);
+          handle_serve_request(request, cache, err, shutdown, uptime);
       send_all(conn, response);
     }
     ::close(conn);
@@ -349,7 +389,7 @@ int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err) {
   ::close(fd);
   ::unlink(opts.socket_path.c_str());
   if (cache.enabled()) {
-    const CacheStats& cs = cache.stats();
+    const CacheStats cs = cache.stats();
     out << "tmg: cache: " << cs.hits << " hits, " << cs.misses << " misses, "
         << cs.writes << " writes\n";
   }
@@ -375,8 +415,9 @@ int run_client(const CliOptions& opts,
   }
 
   const std::string request =
-      opts.client_shutdown
-          ? serialize_shutdown_request()
+      opts.client_shutdown ? serialize_shutdown_request()
+      : opts.client_metrics
+          ? serialize_metrics_request()
           : serialize_serve_request(opts.pipeline, opts.inputs, sources);
   std::string response;
   // Half-close after sending: the daemon reads until EOF, so this is the
@@ -389,6 +430,29 @@ int run_client(const CliOptions& opts,
     err << "tmg: connection to " << opts.socket_path
         << " failed: " << std::strerror(errno) << "\n";
     return 2;
+  }
+
+  if (opts.client_metrics) {
+    // Validate before printing: an in-band server error must exit 2 with
+    // the message on stderr, like every other client failure.
+    std::string parse_error;
+    const std::optional<JsonValue> v = json_parse(response, &parse_error);
+    const JsonValue* ok = v ? v->find("ok") : nullptr;
+    if (ok == nullptr || ok->kind() != JsonValue::Kind::Bool) {
+      err << "tmg: malformed metrics response\n";
+      return 2;
+    }
+    if (!ok->as_bool()) {
+      const JsonValue* msg = v->find("error");
+      err << "tmg: "
+          << (msg != nullptr && msg->kind() == JsonValue::Kind::String
+                  ? msg->as_string()
+                  : "unknown server error")
+          << "\n";
+      return 2;
+    }
+    out << response << "\n";
+    return 0;
   }
 
   std::vector<PipelineResult> reports;

@@ -12,7 +12,10 @@
 // Request:  {"v":1,"cmd":"analyze","options":{...},
 //            "files":[{"name":"b2.mc","source":"..."}]}
 //       or  {"v":1,"cmd":"shutdown"}
+//       or  {"v":1,"cmd":"metrics"}
 // Response: {"ok":true,"files":[{"index":0,"report":{...}}]}
+//       or  {"ok":true,"metrics":{"uptime_seconds":...,"requests":N,
+//            "cache":{...},"registry":{"counters":{...},"histograms":{...}}}}
 //       or  {"ok":false,"error":"...","index":N}
 //
 // POSIX only (unix sockets); on _WIN32 both entry points fail cleanly.
@@ -44,12 +47,15 @@ std::string serialize_serve_request(const PipelineOptions& opts,
                                     const std::vector<std::string>& names,
                                     const std::vector<std::string>& sources);
 std::string serialize_shutdown_request();
+std::string serialize_metrics_request();
 
 /// Handles one request payload against the daemon's cache. Sets
-/// `shutdown` when the payload asks the daemon to exit.
+/// `shutdown` when the payload asks the daemon to exit. `uptime_seconds`
+/// feeds the `metrics` response (the socket loop passes time since bind;
+/// unit tests may leave it 0).
 std::string handle_serve_request(const std::string& payload,
                                  ResultCache& cache, std::ostream& warn,
-                                 bool& shutdown);
+                                 bool& shutdown, double uptime_seconds = 0.0);
 
 /// Parses an analyze response into per-file reports (request order).
 /// Returns false with `error` set on protocol errors or an in-band

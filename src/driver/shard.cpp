@@ -6,6 +6,7 @@
 #include "engine/scheduler.h"
 #include "opt/passes.h"
 #include "support/json.h"
+#include "support/trace.h"
 
 namespace tmg::driver {
 
@@ -461,6 +462,7 @@ int run_sharded(const CliOptions& opts,
               cache.lookup(sources[i], opts.pipeline, err)) {
         slots[i].result = std::move(*hit);
         filled[i] = true;
+        trace::progress_file_done();
         continue;
       }
     }
@@ -503,7 +505,19 @@ int run_sharded(const CliOptions& opts,
       ::close(fds[0]);
       int code = 0;
       try {
-        const std::string payload = compute_payload(opts, sources, slices[s]);
+        // Drop spans inherited from the parent's buffers so the wire
+        // carries only this shard's work; the steady-clock epoch survives
+        // fork, so child timestamps stay on the parent's timeline.
+        trace::clear();
+        std::string payload = compute_payload(opts, sources, slices[s]);
+        if (trace::enabled()) {
+          // Every payload is one JSON object; splice the span batch in as
+          // an extra member (all payload consumers read by key and ignore
+          // unknown members).
+          const std::size_t brace = payload.rfind('}');
+          if (brace != std::string::npos)
+            payload.insert(brace, ",\"trace\":" + trace::events_json());
+        }
         if (!write_all(fds[1], payload)) code = 3;
       } catch (...) {
         code = 3;
@@ -548,6 +562,17 @@ int run_sharded(const CliOptions& opts,
   if (child_failed) {
     err << "tmg: shard worker process failed\n";
     return 2;
+  }
+
+  // Stitch the shards' span batches into the parent's trace: parent-local
+  // events keep pid 1 (stamped at write), shard s becomes pid 2+s.
+  if (trace::enabled()) {
+    for (unsigned s = 0; s < shards; ++s) {
+      const std::optional<JsonValue> v = json_parse(payloads[s]);
+      if (!v) continue;  // the mode-specific merge below reports it
+      if (const JsonValue* tr = v->find("trace"))
+        trace::import_events(*tr, static_cast<int>(s) + 2);
+    }
   }
 
   // ------------------------------------------------- deterministic merge

@@ -8,7 +8,19 @@
 #include <thread>
 #include <utility>
 
+#include "support/trace.h"
+
 namespace tmg::engine {
+
+namespace {
+
+trace::Counter& jobs_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("engine.jobs");
+  return c;
+}
+
+}  // namespace
 
 double monotonic_seconds() {
   return std::chrono::duration<double>(
@@ -39,7 +51,12 @@ SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
   if (pool <= 1) {
     for (const AnalysisJob& j : jobs) {
       const double t_job = monotonic_seconds();
-      j.work(0);
+      {
+        trace::TraceSpan span("job", "engine");
+        span.arg("worker", std::int64_t{0});
+        j.work(0);
+      }
+      jobs_counter().add();
       stats.busy_seconds_per_worker[0] += (monotonic_seconds() - t_job);
       ++stats.jobs_per_worker[0];
     }
@@ -66,7 +83,10 @@ SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
   auto run_one = [&](unsigned worker, std::size_t i) {
     const double t_job = monotonic_seconds();
     try {
+      trace::TraceSpan span("job", "engine");
+      span.arg("worker", static_cast<std::int64_t>(worker));
       jobs[i].work(worker);
+      jobs_counter().add();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
@@ -119,6 +139,9 @@ void Frontier::push(AnalysisJob job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    static trace::Histogram& depth =
+        trace::MetricsRegistry::instance().histogram("engine.queue_depth");
+    depth.observe(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -157,7 +180,10 @@ void Frontier::drain(unsigned worker, SchedulerStats& stats) {
     const double t_job = monotonic_seconds();
     std::exception_ptr error;
     try {
+      trace::TraceSpan span("job", "engine");
+      span.arg("worker", static_cast<std::int64_t>(worker));
       job.work(worker);
+      jobs_counter().add();
     } catch (...) {
       error = std::current_exception();
     }
@@ -201,7 +227,10 @@ SchedulerStats Frontier::run() {
       }
       const double t_job = monotonic_seconds();
       try {
+        trace::TraceSpan span("job", "engine");
+        span.arg("worker", std::int64_t{0});
         job.work(0);
+        jobs_counter().add();
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex_);
         queue_.clear();

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "support/trace.h"
+
 namespace tmg::sat {
 
 Var Solver::new_var() {
@@ -300,7 +302,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
         satisfied = false;
         break;
       }
-    if (satisfied) return Result::Sat;
+    if (satisfied) {
+      static trace::Counter& reuse =
+          trace::MetricsRegistry::instance().counter("sat.solution_reuse");
+      reuse.add();
+      return Result::Sat;
+    }
   }
   // Trail reuse: decision levels established for assumptions this call
   // shares with the previous one (their longest common prefix) carry only
@@ -317,6 +324,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
   while (static_cast<std::size_t>(keep) < assumption_level_idx_.size() &&
          assumption_level_idx_[keep] < lcp)
     ++keep;
+  if (keep > 0) {
+    static trace::Counter& reuse =
+        trace::MetricsRegistry::instance().counter("sat.trail_reuse");
+    reuse.add();
+  }
   backtrack(keep);
   prev_assumptions_ = assumptions;
 

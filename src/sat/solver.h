@@ -44,6 +44,14 @@ inline Lit neg(Var v) { return Lit(v, true); }
 enum class Result : std::uint8_t { Sat, Unsat, Unknown };
 
 /// Solver statistics (also feeds the Table 2 "memory" column).
+///
+/// Thread-safety contract: a Solver instance is owned by exactly one
+/// thread (one worker's warm bmc::Session), so these per-instance
+/// counters stay plain integers on the hot propagate/decide loop.
+/// Cross-thread aggregates (serve `metrics`, `--progress`) are published
+/// separately through the atomic trace::MetricsRegistry counters
+/// (solver.*, sat.solution_reuse, sat.trail_reuse) — never by sharing
+/// this struct across threads.
 struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;

@@ -1,0 +1,426 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.h"
+
+namespace tmg::trace {
+
+namespace {
+
+double now_seconds() {
+  // Same clock as engine::monotonic_seconds (CLOCK_MONOTONIC under the
+  // hood on Linux), reimplemented here because support cannot depend on
+  // engine. Being shared across fork() is what lets shard-child spans
+  // land on the parent's timeline without re-stamping.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ThreadBuf {
+  unsigned tid = 0;
+  std::mutex mutex;  // appends are uncontended; drain/clear come from others
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<double> epoch{0.0};
+  std::mutex mutex;  // guards buffers/next_tid/imported
+  // Buffers are owned here and never destroyed: a pool thread may die
+  // while its recorded spans must survive until the Recording drains.
+  std::vector<std::unique_ptr<ThreadBuf>> buffers;
+  unsigned next_tid = 1;
+  std::vector<TraceEvent> imported;  // shard-child events, pid pre-stamped
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf* buf = nullptr;
+  if (buf == nullptr) {
+    TraceState& st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    st.buffers.push_back(std::make_unique<ThreadBuf>());
+    buf = st.buffers.back().get();
+    buf->tid = st.next_tid++;
+  }
+  return *buf;
+}
+
+thread_local std::int64_t t_segment = -1;
+
+/// Renders one event in trace-file form (Chrome trace-event "X" phase).
+void write_file_event(std::ostream& os, const TraceEvent& ev) {
+  os << "{\"name\":" << json_quote(ev.name) << ",\"cat\":" << json_quote(ev.cat)
+     << ",\"ph\":\"X\",\"ts\":" << json_double(ev.ts_us)
+     << ",\"dur\":" << json_double(ev.dur_us)
+     << ",\"pid\":" << (ev.pid > 0 ? ev.pid : 1) << ",\"tid\":" << ev.tid;
+  if (!ev.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < ev.args.size(); ++i) {
+      if (i > 0) os << ',';
+      os << json_quote(ev.args[i].first) << ':' << ev.args[i].second;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+/// Renders one event in shard-wire form (args as [key,value-text] pairs,
+/// because the parent's JsonValue API cannot enumerate object members).
+void write_wire_event(std::ostream& os, const TraceEvent& ev) {
+  os << "{\"name\":" << json_quote(ev.name) << ",\"cat\":" << json_quote(ev.cat)
+     << ",\"ts\":" << json_double(ev.ts_us)
+     << ",\"dur\":" << json_double(ev.dur_us) << ",\"tid\":" << ev.tid
+     << ",\"args\":[";
+  for (std::size_t i = 0; i < ev.args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << json_quote(ev.args[i].first) << ','
+       << json_quote(ev.args[i].second) << ']';
+  }
+  os << "]}";
+}
+
+struct ProgressState {
+  std::mutex mutex;
+  std::ostream* sink = nullptr;
+  std::size_t total = 0;
+  std::size_t done = 0;
+};
+
+ProgressState& progress_state() {
+  static ProgressState s;
+  return s;
+}
+
+}  // namespace
+
+bool enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  live_ = true;
+  t0_ = now_seconds();
+  ev_.name.assign(name);
+  ev_.cat.assign(cat);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!live_) return;
+  const double t1 = now_seconds();
+  const double epoch = state().epoch.load(std::memory_order_relaxed);
+  ev_.ts_us = (t0_ - epoch) * 1e6;
+  ev_.dur_us = (t1 - t0_) * 1e6;
+  ThreadBuf& buf = thread_buf();
+  ev_.tid = buf.tid;
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(ev_));
+}
+
+void emit_complete(std::string_view name, std::string_view cat,
+                   double start_seconds, double end_seconds) {
+  if (!enabled()) return;
+  const double epoch = state().epoch.load(std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.cat.assign(cat);
+  ev.ts_us = (start_seconds - epoch) * 1e6;
+  ev.dur_us = (end_seconds - start_seconds) * 1e6;
+  ev.tid = 0;  // timeline track: cross-thread windows don't nest
+  ThreadBuf& buf = thread_buf();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(ev));
+}
+
+void TraceSpan::arg(std::string_view key, std::string_view value) {
+  if (!live_) return;
+  ev_.args.emplace_back(std::string(key), json_quote(value));
+}
+
+void TraceSpan::arg(std::string_view key, std::int64_t value) {
+  if (!live_) return;
+  ev_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+void TraceSpan::arg_double(std::string_view key, double value) {
+  if (!live_) return;
+  ev_.args.emplace_back(std::string(key), json_double(value));
+}
+
+Recording::Recording(std::string path, std::ostream& err)
+    : path_(std::move(path)), err_(err) {
+  clear();
+  TraceState& st = state();
+  st.epoch.store(now_seconds(), std::memory_order_relaxed);
+  st.enabled.store(true, std::memory_order_relaxed);
+}
+
+Recording::~Recording() {
+  TraceState& st = state();
+  st.enabled.store(false, std::memory_order_relaxed);
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    err_ << "tmg: warning: cannot write trace file '" << path_ << "'\n";
+    return;
+  }
+  os << '[';
+  bool first = true;
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (const std::unique_ptr<ThreadBuf>& buf : st.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    for (const TraceEvent& ev : buf->events) {
+      if (!first) os << ",\n";
+      first = false;
+      write_file_event(os, ev);
+    }
+    buf->events.clear();
+  }
+  for (const TraceEvent& ev : st.imported) {
+    if (!first) os << ",\n";
+    first = false;
+    write_file_event(os, ev);
+  }
+  st.imported.clear();
+  os << "]\n";
+  if (!os.good())
+    err_ << "tmg: warning: error writing trace file '" << path_ << "'\n";
+}
+
+void clear() {
+  TraceState& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (const std::unique_ptr<ThreadBuf>& buf : st.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  st.imported.clear();
+}
+
+std::size_t event_count() {
+  TraceState& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  std::size_t n = st.imported.size();
+  for (const std::unique_ptr<ThreadBuf>& buf : st.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string events_json() {
+  TraceState& st = state();
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (const std::unique_ptr<ThreadBuf>& buf : st.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    for (const TraceEvent& ev : buf->events) {
+      if (!first) os << ',';
+      first = false;
+      write_wire_event(os, ev);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+void import_events(const JsonValue& array, int pid) {
+  if (array.kind() != JsonValue::Kind::Array) return;
+  TraceState& st = state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (const JsonValue& item : array.items()) {
+    if (item.kind() != JsonValue::Kind::Object) continue;
+    TraceEvent ev;
+    if (const JsonValue* v = item.find("name")) ev.name = v->as_string();
+    if (const JsonValue* v = item.find("cat")) ev.cat = v->as_string();
+    if (const JsonValue* v = item.find("ts")) ev.ts_us = v->as_double();
+    if (const JsonValue* v = item.find("dur")) ev.dur_us = v->as_double();
+    if (const JsonValue* v = item.find("tid"))
+      ev.tid = static_cast<unsigned>(v->as_int());
+    ev.pid = pid;
+    if (const JsonValue* args = item.find("args")) {
+      for (const JsonValue& pair : args->items()) {
+        if (pair.kind() != JsonValue::Kind::Array || pair.items().size() != 2)
+          continue;
+        ev.args.emplace_back(pair.items()[0].as_string(),
+                             pair.items()[1].as_string());
+      }
+    }
+    st.imported.push_back(std::move(ev));
+  }
+}
+
+ScopedSegment::ScopedSegment(std::int64_t segment_id) : saved_(t_segment) {
+  t_segment = segment_id;
+}
+
+ScopedSegment::~ScopedSegment() { t_segment = saved_; }
+
+std::int64_t current_segment() { return t_segment; }
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+void Histogram::observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add for atomic<double> is C++20-and-compiler dependent; a CAS
+  // loop over the bit pattern is portable and this path is not hot.
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double next = std::bit_cast<double>(expected) + value;
+    if (sum_bits_.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(next),
+                                        std::memory_order_relaxed))
+      break;
+  }
+  int b = 0;
+  if (value >= 1.0) {
+    b = std::min(kBuckets - 1, std::ilogb(value));
+    if (b < 0) b = 0;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  // unique_ptr values keep references stable across rehash/insert;
+  // std::less<> enables string_view lookup without allocation.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+RegistryState& registry_state() {
+  static RegistryState s;
+  return s;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  RegistryState& st = registry_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  auto it = st.counters.find(name);
+  if (it == st.counters.end())
+    it = st.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  RegistryState& st = registry_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  auto it = st.histograms.find(name);
+  if (it == st.histograms.end())
+    it = st.histograms.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  RegistryState& st = registry_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  const auto it = st.counters.find(name);
+  return it == st.counters.end() ? 0 : it->second->get();
+}
+
+void MetricsRegistry::reset() {
+  RegistryState& st = registry_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  for (auto& [name, c] : st.counters) c->reset();
+  for (auto& [name, h] : st.histograms) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  RegistryState& st = registry_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : st.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << c->get();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : st.histograms) {
+    if (!first) os << ',';
+    first = false;
+    int last = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+      if (h->bucket(i) > 0) last = i;
+    os << json_quote(name) << ":{\"count\":" << h->count()
+       << ",\"sum\":" << json_double(h->sum()) << ",\"buckets\":[";
+    for (int i = 0; i <= last; ++i) {
+      if (i > 0) os << ',';
+      os << h->bucket(i);
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+
+void enable_progress(std::ostream* sink, std::size_t total_files) {
+  ProgressState& st = progress_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.sink = sink;
+  st.total = total_files;
+  st.done = 0;
+}
+
+void disable_progress() {
+  ProgressState& st = progress_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  st.sink = nullptr;
+  st.total = 0;
+  st.done = 0;
+}
+
+void progress_file_done() {
+  ProgressState& st = progress_state();
+  const std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.sink == nullptr) return;
+  ++st.done;
+  const MetricsRegistry& reg = MetricsRegistry::instance();
+  *st.sink << "tmg: progress: " << st.done << '/' << st.total << " files, "
+           << reg.counter_value("pipeline.path_jobs") << " paths solved, "
+           << reg.counter_value("cache.hits") << " cache hits\n";
+  st.sink->flush();
+}
+
+}  // namespace tmg::trace

@@ -1,0 +1,224 @@
+// Unified tracing + metrics layer.
+//
+// Two independent facilities share this header because they share call
+// sites (a span usually bumps a counter too):
+//
+//  * TraceSpan / Recording — RAII spans collected into per-thread buffers
+//    and written as Chrome/Perfetto trace-event JSON ("ph":"X" complete
+//    events) when a Recording is active (`--trace=FILE`). When no
+//    recording is active every span is a branch on one relaxed atomic —
+//    near-zero overhead, no allocation, no lock.
+//
+//  * MetricsRegistry — process-wide named counters and latency
+//    histograms. Always on (plain relaxed atomics), because `tmg serve`
+//    must answer `metrics` requests without tracing enabled.
+//
+// Determinism contract: nothing here may feed the deterministic report
+// streams. Per-file report statistics (`--stats` stage timings, solver
+// counters in bench JSON) keep their per-file sources in PipelineResult /
+// BenchReport so a file's report stays byte-identical regardless of what
+// else ran in the process; the registry is the *aggregation* layer for
+// introspection (serve `metrics`, `--progress`), never a report source.
+//
+// Shards: trace buffers survive fork(). The steady-clock epoch is shared
+// between parent and child on Linux, so child span timestamps line up on
+// the parent's timeline without re-stamping. A child clears its inherited
+// buffers, records its own spans, and ships them over the shard JSON wire
+// (trace::events_json); the parent imports them with a per-shard pid
+// (trace::import_events) and writes one stitched trace file.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tmg {
+class JsonValue;
+}
+
+namespace tmg::trace {
+
+/// One completed span. `args` values are pre-rendered JSON (already
+/// quoted/escaped) so buffers never re-escape on the hot path and the
+/// shard wire can carry them verbatim.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;   // microseconds since the recording epoch
+  double dur_us = 0.0;  // span duration in microseconds
+  int pid = 0;          // 0 = this process (written as 1); >=2 = imported shard
+  unsigned tid = 0;     // per-thread id assigned at first span
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// True while a Recording is active. Relaxed load; spans check this once
+/// in their constructor and become no-ops when false.
+bool enabled();
+
+/// RAII complete-event span. Construct at scope entry; the destructor
+/// stamps the duration and appends to the current thread's buffer.
+/// `arg()` may be called any time before destruction (verdicts are known
+/// only after the work runs). All methods are no-ops when !enabled().
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view name, std::string_view cat);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void arg(std::string_view key, std::string_view value);  // quoted as string
+  void arg(std::string_view key, std::int64_t value);
+  void arg_double(std::string_view key, double value);
+
+ private:
+  bool live_ = false;
+  double t0_ = 0.0;
+  TraceEvent ev_;
+};
+
+/// Active recording for one `--trace=FILE` run. Construction clears all
+/// buffers, fixes the epoch and enables span collection; destruction
+/// disables collection, drains every thread buffer plus imported shard
+/// events and writes one JSON array to `path` (a warning goes to `err`
+/// if the file cannot be written). Exactly one Recording may be active.
+/// Shard children never run this destructor (they _exit after shipping
+/// their buffers over the wire).
+class Recording {
+ public:
+  Recording(std::string path, std::ostream& err);
+  ~Recording();
+  Recording(const Recording&) = delete;
+  Recording& operator=(const Recording&) = delete;
+
+ private:
+  std::string path_;
+  std::ostream& err_;
+};
+
+/// Records an already-measured complete event. `start_seconds` /
+/// `end_seconds` are steady-clock readings (the same clock as
+/// engine::monotonic_seconds), for stages whose duration is computed
+/// retrospectively from saved timestamps instead of a scope — the batch
+/// frontier's "analysis" stage, whose window starts on a different
+/// thread than the one that closes it. Such events go on the dedicated
+/// tid-0 "timeline" track (real thread tids start at 1), because a
+/// cross-thread window need not nest with the emitting thread's scoped
+/// spans. No-op when !enabled().
+void emit_complete(std::string_view name, std::string_view cat,
+                   double start_seconds, double end_seconds);
+
+/// Drops all buffered and imported events (shard children call this right
+/// after fork to discard inherited parent spans; tests use it too).
+void clear();
+
+/// Total events currently buffered (local + imported).
+std::size_t event_count();
+
+/// Serializes this process's buffered events for the shard wire: a JSON
+/// array of {"name","cat","ts","dur","tid","args":[[k,v],...]} objects.
+/// `args` is an array of pairs (not an object) because JsonValue offers
+/// no object-member enumeration; values are the pre-rendered JSON texts.
+std::string events_json();
+
+/// Parses a wire array produced by events_json() in a shard child and
+/// buffers its events stamped with `pid` (parent uses 2 + shard index).
+void import_events(const JsonValue& array, int pid);
+
+/// Thread-local segment tag: run_path_job sets the segment id it is
+/// working on so the bmc.query span deep inside Session::solve can name
+/// its segment without plumbing an argument through the solver API.
+class ScopedSegment {
+ public:
+  explicit ScopedSegment(std::int64_t segment_id);
+  ~ScopedSegment();
+  ScopedSegment(const ScopedSegment&) = delete;
+  ScopedSegment& operator=(const ScopedSegment&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+/// Current thread's segment tag; -1 when unset.
+std::int64_t current_segment();
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+/// Monotonic counter. add() is a relaxed fetch_add — safe from any thread,
+/// cheap enough for solver-adjacent paths.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed log2-bucket histogram: bucket i counts values in [2^i, 2^(i+1))
+/// (bucket 0 also takes everything below 1). Callers observe microseconds
+/// for latencies and raw units for sizes/depths.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void observe(double value);
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double stored as bits, CAS-added
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Process-wide registry of named counters and histograms. Lookup takes a
+/// mutex; hot sites cache the returned reference in a function-local
+/// static. reset() zeroes values but never invalidates references.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Counter value by name; 0 when the counter was never touched.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Zeroes every registered counter and histogram (tests).
+  void reset();
+
+  /// {"counters":{name:value,...},"histograms":{name:{"count":..,
+  /// "sum":..,"buckets":[..]},...}} with names sorted; histogram bucket
+  /// arrays are trimmed at the last non-zero bucket.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  MetricsRegistry() = default;
+};
+
+// ---------------------------------------------------------------------------
+// Progress heartbeat (`--progress`): a stderr-only sink, never touching
+// the deterministic report streams. progress_file_done() is called once
+// per finished input file (merge or cache hit) and prints files done /
+// total, paths solved and cache hits read from the registry.
+
+void enable_progress(std::ostream* sink, std::size_t total_files);
+void disable_progress();
+void progress_file_done();
+
+}  // namespace tmg::trace

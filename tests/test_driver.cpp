@@ -1401,6 +1401,61 @@ TEST(ServeWire, RepeatSubmissionIsServedFromCache) {
   EXPECT_EQ(first, second);  // cached answer is byte-identical
 }
 
+TEST(ServeWire, MetricsRequestCountsAdvanceAcrossRequests) {
+  const ScratchDir dir;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  std::ostringstream warn;
+  bool shutdown = false;
+
+  const auto metrics = [&]() {
+    const std::string response = handle_serve_request(
+        serialize_metrics_request(), cache, warn, shutdown, 1.5);
+    std::string error;
+    std::optional<JsonValue> v = json_parse(response, &error);
+    EXPECT_TRUE(v.has_value()) << error;
+    EXPECT_TRUE(v->get("ok").as_bool()) << response;
+    return v->get("metrics");
+  };
+
+  const JsonValue before = metrics();
+  EXPECT_DOUBLE_EQ(before.get("uptime_seconds").as_double(), 1.5);
+  const std::int64_t requests_before = before.get("requests").as_int();
+  EXPECT_GE(requests_before, 1);
+  EXPECT_EQ(before.get("cache").get("hits").as_int(), 0);
+
+  // Two analyze requests: the second is a cache hit; both are counted.
+  const std::string analyze = serialize_serve_request(
+      PipelineOptions{}, {"b1.mc"}, {testing::kExampleB1});
+  (void)handle_serve_request(analyze, cache, warn, shutdown);
+  (void)handle_serve_request(analyze, cache, warn, shutdown);
+
+  const JsonValue after = metrics();
+  EXPECT_EQ(after.get("requests").as_int(), requests_before + 3);
+  EXPECT_EQ(after.get("cache").get("hits").as_int(), 1);
+  EXPECT_EQ(after.get("cache").get("misses").as_int(), 1);
+  EXPECT_EQ(after.get("cache").get("writes").as_int(), 1);
+  // The registry aggregates ride along (names from the instrumented
+  // layers; serve.requests is always present by this point).
+  const JsonValue& counters = after.get("registry").get("counters");
+  ASSERT_NE(counters.find("serve.requests"), nullptr);
+  const JsonValue& hists = after.get("registry").get("histograms");
+  ASSERT_NE(hists.find("serve.request_us"), nullptr);
+  EXPECT_GE(hists.get("serve.request_us").get("count").as_int(), 3);
+}
+
+TEST(ServeWire, MetricsHostileAndMismatchedRequestsFailInBand) {
+  ResultCache no_cache;
+  std::ostringstream warn;
+  bool shutdown = false;
+  // Wrong version with the metrics cmd: in-band error, not a snapshot.
+  const std::string response = handle_serve_request(
+      "{\"v\":999,\"cmd\":\"metrics\"}", no_cache, warn, shutdown);
+  const std::optional<JsonValue> v = json_parse(response);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->get("ok").as_bool());
+  EXPECT_FALSE(shutdown);
+}
+
 // ------------------------------------------------------ shard wire format
 
 TEST(ShardWire, BatchPayloadRoundTripsRenderedReport) {

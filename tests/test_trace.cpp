@@ -1,0 +1,407 @@
+// Tests for the unified tracing + metrics layer (support/trace): span and
+// registry units, `--trace` file well-formedness, span nesting, report
+// byte-identity with tracing on/off across --jobs and --shards, the
+// `--progress` heartbeat, and the new CLI grammar.
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/cli.h"
+#include "paper_examples.h"
+#include "support/json.h"
+
+namespace tmg {
+namespace {
+
+using driver::CliOptions;
+using driver::parse_cli;
+using driver::run_cli;
+
+// ------------------------------------------------------------------ units
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  trace::Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsByLog2) {
+  trace::Histogram h;
+  h.observe(0.25);  // below 1 -> bucket 0
+  h.observe(1.0);   // [1,2) -> bucket 0
+  h.observe(3.0);   // [2,4) -> bucket 1
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1004.25);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);  // 2^9 <= 1000 < 2^10
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(9), 0u);
+}
+
+TEST(Metrics, RegistryNamesAreStableAndJsonParses) {
+  trace::MetricsRegistry& reg = trace::MetricsRegistry::instance();
+  trace::Counter& c = reg.counter("test.registry_counter");
+  const std::uint64_t before = c.get();
+  c.add(3);
+  EXPECT_EQ(reg.counter_value("test.registry_counter"), before + 3);
+  EXPECT_EQ(reg.counter_value("test.never_touched"), 0u);
+  reg.histogram("test.registry_hist").observe(7.0);
+
+  std::string error;
+  const std::optional<JsonValue> v = json_parse(reg.to_json(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  const JsonValue* counters = v->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* mine = counters->find("test.registry_counter");
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->as_int(), static_cast<std::int64_t>(before + 3));
+  const JsonValue* hist = v->find("histograms");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->find("test.registry_hist"), nullptr);
+  EXPECT_GE(hist->find("test.registry_hist")->get("count").as_int(), 1);
+}
+
+TEST(Trace, SpansAreNoopsWithoutRecording) {
+  ASSERT_FALSE(trace::enabled());
+  const std::size_t before = trace::event_count();
+  {
+    trace::TraceSpan span("noop", "test");
+    span.arg("k", "v");
+  }
+  EXPECT_EQ(trace::event_count(), before);
+}
+
+TEST(Trace, RecordingWritesParseableTraceEvents) {
+  const std::string path =
+      ::testing::TempDir() + "tmg_trace_unit_recording.json";
+  std::ostringstream err;
+  {
+    trace::Recording rec(path, err);
+    ASSERT_TRUE(trace::enabled());
+    trace::TraceSpan span("outer", "test");
+    span.arg("label", "quoted \"text\"");
+    span.arg("number", std::int64_t{-7});
+    { trace::TraceSpan inner("inner", "test"); }
+  }
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_TRUE(err.str().empty()) << err.str();
+
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  std::string error;
+  const std::optional<JsonValue> v = json_parse(buf.str(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_EQ(v->kind(), JsonValue::Kind::Array);
+  ASSERT_EQ(v->items().size(), 2u);  // inner closed first
+  bool saw_outer = false;
+  for (const JsonValue& ev : v->items()) {
+    EXPECT_EQ(ev.get("ph").as_string(), "X");
+    EXPECT_EQ(ev.get("cat").as_string(), "test");
+    EXPECT_GE(ev.get("ts").as_double(), 0.0);
+    EXPECT_GE(ev.get("dur").as_double(), 0.0);
+    EXPECT_EQ(ev.get("pid").as_int(), 1);
+    EXPECT_GE(ev.get("tid").as_int(), 1);
+    if (ev.get("name").as_string() == "outer") {
+      saw_outer = true;
+      const JsonValue* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->get("label").as_string(), "quoted \"text\"");
+      EXPECT_EQ(args->get("number").as_int(), -7);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WireEventsRoundTripThroughImport) {
+  const std::string path = ::testing::TempDir() + "tmg_trace_unit_wire.json";
+  std::ostringstream err;
+  {
+    trace::Recording rec(path, err);
+    {
+      trace::TraceSpan span("shipped", "test");
+      span.arg("k", "v");
+    }
+    // Simulate the shard wire: serialize, clear, re-import as a shard.
+    const std::string wire = trace::events_json();
+    trace::clear();
+    EXPECT_EQ(trace::event_count(), 0u);
+    std::string error;
+    const std::optional<JsonValue> arr = json_parse(wire, &error);
+    ASSERT_TRUE(arr.has_value()) << error;
+    trace::import_events(*arr, 2);
+    EXPECT_EQ(trace::event_count(), 1u);
+  }
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::optional<JsonValue> v = json_parse(buf.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->items().size(), 1u);
+  const JsonValue& ev = v->items()[0];
+  EXPECT_EQ(ev.get("name").as_string(), "shipped");
+  EXPECT_EQ(ev.get("pid").as_int(), 2);  // re-stamped by import
+  EXPECT_EQ(ev.get("args").get("k").as_string(), "v");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ CLI grammar
+
+TEST(Trace, CliParsesTraceProgressAndMetricsFlags) {
+  const auto parse = [](std::vector<std::string> args) {
+    CliOptions opts;
+    std::string error;
+    const bool ok = parse_cli(args, opts, error);
+    return std::tuple<bool, CliOptions, std::string>(ok, std::move(opts),
+                                                     std::move(error));
+  };
+
+  {
+    const auto [ok, opts, error] =
+        parse({"--trace=/tmp/t.json", "--progress", "a.mc"});
+    ASSERT_TRUE(ok) << error;
+    EXPECT_EQ(opts.trace_file, "/tmp/t.json");
+    EXPECT_TRUE(opts.progress);
+  }
+  EXPECT_FALSE(std::get<0>(parse({"--trace", "a.mc"})));
+  EXPECT_FALSE(std::get<0>(parse({"--trace=", "a.mc"})));
+  EXPECT_FALSE(std::get<0>(parse({"--progress=on", "a.mc"})));
+  // --metrics is client-only, input-free, and exclusive with --shutdown.
+  EXPECT_FALSE(std::get<0>(parse({"--metrics", "a.mc"})));
+  {
+    const auto [ok, opts, error] =
+        parse({"client", "--socket=/tmp/s", "--metrics"});
+    ASSERT_TRUE(ok) << error;
+    EXPECT_TRUE(opts.client_metrics);
+  }
+  EXPECT_FALSE(std::get<0>(
+      parse({"client", "--socket=/tmp/s", "--metrics", "a.mc"})));
+  EXPECT_FALSE(std::get<0>(
+      parse({"client", "--socket=/tmp/s", "--metrics", "--shutdown"})));
+}
+
+// --------------------------------------------------------- CLI end-to-end
+
+/// Writes the three-file paper corpus to unique temp paths and runs the
+/// CLI over them, capturing the streams.
+class TraceCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("tmg_trace_cli_" + tag);
+    std::filesystem::create_directories(dir_);
+    write("fig1.mc", testing::kFigure1Source);
+    write("b1.mc", testing::kExampleB1);
+    write("b2.mc", testing::kExampleB2);
+    trace_path_ = (dir_ / "trace.json").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void write(const char* name, const char* content) {
+    std::ofstream f(dir_ / name);
+    f << content;
+    files_.push_back((dir_ / name).string());
+  }
+
+  int run(std::vector<std::string> extra_args) {
+    std::vector<const char*> argv = {"tmg"};
+    for (const std::string& a : extra_args) argv.push_back(a.c_str());
+    for (const std::string& f : files_) argv.push_back(f.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  JsonValue load_trace() {
+    std::ifstream f(trace_path_);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    std::string error;
+    std::optional<JsonValue> v = json_parse(buf.str(), &error);
+    EXPECT_TRUE(v.has_value()) << error;
+    return v ? std::move(*v) : JsonValue();
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> files_;
+  std::string trace_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(TraceCliTest, TraceFileCoversEveryLayerAndTagsQueries) {
+  const std::string cache_dir = (dir_ / "cache").string();
+  ASSERT_EQ(run({"--jobs=4", "--trace=" + trace_path_,
+                 "--cache-dir=" + cache_dir}),
+            0)
+      << err_.str();
+  const JsonValue trace = load_trace();
+  ASSERT_EQ(trace.kind(), JsonValue::Kind::Array);
+
+  std::map<std::string, int> names;
+  for (const JsonValue& ev : trace.items()) {
+    ASSERT_EQ(ev.kind(), JsonValue::Kind::Object);
+    EXPECT_EQ(ev.get("ph").as_string(), "X");
+    EXPECT_GE(ev.get("ts").as_double(), 0.0);
+    EXPECT_GE(ev.get("dur").as_double(), 0.0);
+    EXPECT_GE(ev.get("pid").as_int(), 1);
+    EXPECT_GE(ev.get("tid").as_int(), 0);  // tid 0 = retrospective timeline
+    ++names[ev.get("name").as_string()];
+  }
+  // One span per pipeline stage per file, per scheduler job, per BMC
+  // query, per cache lookup/store, plus the per-file merges.
+  for (const char* required : {"frontend", "cfg", "partition", "translate",
+                               "analysis", "job", "path", "merge",
+                               "bmc.query", "cache.lookup", "cache.store"})
+    EXPECT_GE(names[required], 1) << required;
+  EXPECT_EQ(names["cache.lookup"], 3);  // one per input file, all misses
+
+  for (const JsonValue& ev : trace.items()) {
+    if (ev.get("name").as_string() != "bmc.query") continue;
+    const JsonValue* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_FALSE(args->get("function").as_string().empty());
+    EXPECT_GE(args->get("segment").as_int(), 0);
+    EXPECT_GE(args->get("depth").as_int(), 1);
+    const std::string verdict = args->get("verdict").as_string();
+    EXPECT_TRUE(verdict == "feasible" || verdict == "infeasible" ||
+                verdict == "unknown")
+        << verdict;
+    EXPECT_GE(args->get("conflicts").as_int(), 0);
+  }
+}
+
+TEST_F(TraceCliTest, SpansNestOrAreDisjointPerThread) {
+  ASSERT_EQ(run({"--jobs=4", "--trace=" + trace_path_}), 0) << err_.str();
+  const JsonValue trace = load_trace();
+
+  std::map<std::pair<std::int64_t, std::int64_t>,
+           std::vector<std::pair<double, double>>>
+      by_thread;
+  for (const JsonValue& ev : trace.items()) {
+    // tid 0 is the timeline track: retrospective cross-thread windows
+    // (the batch "analysis" stage) that need not nest with anything.
+    if (ev.get("tid").as_int() == 0) continue;
+    const double ts = ev.get("ts").as_double();
+    by_thread[{ev.get("pid").as_int(), ev.get("tid").as_int()}].push_back(
+        {ts, ts + ev.get("dur").as_double()});
+  }
+  // RAII spans on one thread form a tree: any two intervals either nest
+  // or do not overlap. Partial overlap means buffer corruption.
+  const double eps = 0.5;  // microsecond jitter from double rounding
+  for (const auto& [key, spans] : by_thread) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const auto& a = spans[i];
+        const auto& b = spans[j];
+        const bool disjoint =
+            a.second <= b.first + eps || b.second <= a.first + eps;
+        const bool nested =
+            (a.first >= b.first - eps && a.second <= b.second + eps) ||
+            (b.first >= a.first - eps && b.second <= a.second + eps);
+        EXPECT_TRUE(disjoint || nested)
+            << "partial overlap: [" << a.first << "," << a.second << ") vs ["
+            << b.first << "," << b.second << ")";
+      }
+    }
+  }
+}
+
+TEST_F(TraceCliTest, ReportsAreByteIdenticalWithTracingOnAndOff) {
+  for (const std::string format : {"text", "json"}) {
+    for (const std::string jobs : {"1", "4"}) {
+      ASSERT_EQ(run({"--format=" + format, "--jobs=" + jobs}), 0)
+          << err_.str();
+      const std::string without = out_.str();
+      ASSERT_EQ(run({"--format=" + format, "--jobs=" + jobs,
+                     "--trace=" + trace_path_}),
+                0)
+          << err_.str();
+      EXPECT_EQ(out_.str(), without)
+          << "format=" << format << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST_F(TraceCliTest, ShardedRunStitchesOneTraceAndKeepsReportsIdentical) {
+  ASSERT_EQ(run({"--jobs=2"}), 0) << err_.str();
+  const std::string unsharded = out_.str();
+
+  ASSERT_EQ(run({"--jobs=2", "--shards=2", "--trace=" + trace_path_}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), unsharded);
+
+  const JsonValue trace = load_trace();
+  ASSERT_EQ(trace.kind(), JsonValue::Kind::Array);
+  std::map<std::int64_t, int> by_pid;
+  int queries = 0;
+  for (const JsonValue& ev : trace.items()) {
+    ++by_pid[ev.get("pid").as_int()];
+    if (ev.get("name").as_string() == "bmc.query") ++queries;
+  }
+  // Both forked shards shipped span batches over the wire (pid 2 and 3);
+  // their solver work — every BMC query of the corpus — is in the file.
+  EXPECT_GE(by_pid[2], 1);
+  EXPECT_GE(by_pid[3], 1);
+  EXPECT_GE(queries, 1);
+}
+
+TEST_F(TraceCliTest, ShardStatsJsonSchemaMatchesInProcess) {
+  // Wall clocks and stage timings are real measurements — mask their
+  // values, then require byte-equality: same keys, same shapes, same
+  // deterministic numbers everywhere else.
+  const auto mask = [](std::string s) {
+    s = std::regex_replace(s, std::regex("\"bmc_seconds\":[^,}\\]]+"),
+                           "\"bmc_seconds\":X");
+    s = std::regex_replace(s, std::regex("\"stages\":\\{[^{}]*\\}"),
+                           "\"stages\":X");
+    return s;
+  };
+  ASSERT_EQ(run({"--stats", "--format=json", "--jobs=2"}), 0) << err_.str();
+  const std::string in_process = mask(out_.str());
+  ASSERT_EQ(run({"--stats", "--format=json", "--jobs=2", "--shards=2"}), 0)
+      << err_.str();
+  EXPECT_EQ(mask(out_.str()), in_process);
+}
+
+TEST_F(TraceCliTest, ProgressHeartbeatStaysOffTheReportStream) {
+  ASSERT_EQ(run({"--jobs=2"}), 0) << err_.str();
+  const std::string without = out_.str();
+
+  ASSERT_EQ(run({"--jobs=2", "--progress"}), 0) << err_.str();
+  EXPECT_EQ(out_.str(), without);  // stdout untouched
+  const std::string heartbeat = err_.str();
+  EXPECT_NE(heartbeat.find("tmg: progress: 1/3 files"), std::string::npos)
+      << heartbeat;
+  EXPECT_NE(heartbeat.find("tmg: progress: 3/3 files"), std::string::npos)
+      << heartbeat;
+
+  // And without the flag, nothing heartbeats.
+  ASSERT_EQ(run({"--jobs=2"}), 0);
+  EXPECT_EQ(err_.str().find("tmg: progress:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmg
