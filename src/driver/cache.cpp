@@ -15,7 +15,9 @@ namespace {
 
 /// Entry schema version; bump whenever the shard wire or the fingerprint
 /// grammar changes shape (old entries then miss instead of misparsing).
-constexpr int kCacheVersion = 1;
+/// v2: pass rows gained depth columns, Table2Row gained per-pass deltas,
+/// and the fingerprint gained the slice toggle.
+constexpr int kCacheVersion = 2;
 
 std::uint64_t fnv1a64(std::string_view data) {
   std::uint64_t h = 1469598103934665603ull;
@@ -57,7 +59,8 @@ std::string cache_config_fingerprint(const PipelineOptions& opts) {
      << ";val=" << (opts.validate_witnesses ? 1 : 0)
      << ";maxp=" << opts.max_paths_per_segment
      << ";maxd=" << opts.max_unroll_depth
-     << ";pw=" << (opts.pessimistic_widths ? 1 : 0) << ";opt=";
+     << ";pw=" << (opts.pessimistic_widths ? 1 : 0)
+     << ";slice=" << (opts.slice ? 1 : 0) << ";opt=";
   for (std::size_t i = 0; i < opts.opt_passes.size(); ++i) {
     if (i > 0) os << ",";
     os << opt::pass_name(opts.opt_passes[i]);

@@ -100,6 +100,11 @@ std::string cli_usage() {
       "                        and answer every BMC query from it under\n"
       "                        assumptions (default on; reports are\n"
       "                        byte-identical either way)\n"
+      "  --slice=on|off        per-segment program slicing: solve each\n"
+      "                        feasibility query against a backward slice\n"
+      "                        keeping only the decisions that can reach\n"
+      "                        its anchor (default on; the timing model is\n"
+      "                        byte-identical either way)\n"
       "  --cache-dir=DIR       persistent result cache: reports keyed by\n"
       "                        source bytes + output-affecting options are\n"
       "                        reused across runs (single-file, batch,\n"
@@ -272,6 +277,15 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         out.pipeline.use_sessions = false;
       } else {
         error = "--sessions expects on or off";
+        return false;
+      }
+    } else if (name == "--slice") {
+      if (value == "on") {
+        out.pipeline.slice = true;
+      } else if (value == "off") {
+        out.pipeline.slice = false;
+      } else {
+        error = "--slice expects on or off";
         return false;
       }
     } else if (name == "--cache-dir") {
@@ -514,18 +528,22 @@ bool bench_files(const CliOptions& opts,
                  std::vector<engine::BenchFile>& files,
                  double& batch_seconds, std::string& error,
                  std::size_t& error_index) {
-  enum class Mode { Serial, Fresh, Pool, Optimised };
+  enum class Mode { Serial, Fresh, NoSlice, Pool, Optimised };
   for (std::size_t i = 0; i < paths.size(); ++i) {
     engine::BenchFile file;
     file.path = paths[i];
 
     for (const Mode mode :
-         {Mode::Serial, Mode::Fresh, Mode::Pool, Mode::Optimised}) {
+         {Mode::Serial, Mode::Fresh, Mode::NoSlice, Mode::Pool,
+          Mode::Optimised}) {
       PipelineOptions popts = opts.pipeline;
       popts.jobs = mode == Mode::Serial ? 1 : opts.pipeline.jobs;
       // Fresh: the pool run with warm sessions disabled (one throwaway
       // solver per BMC query) — the session-speedup baseline.
       if (mode == Mode::Fresh) popts.use_sessions = false;
+      // NoSlice: the pool run with per-segment slicing disabled (every
+      // query against the full system) — the slice-speedup baseline.
+      if (mode == Mode::NoSlice) popts.slice = false;
       if (mode == Mode::Optimised) {
         if (popts.opt_passes.empty()) popts.opt_passes = opt::all_passes();
       } else {
@@ -564,12 +582,15 @@ bool bench_files(const CliOptions& opts,
               }
           } else if (mode == Mode::Fresh) {
             file.bmc_fresh_seconds = bmc_stage_seconds(r);
+          } else if (mode == Mode::NoSlice) {
+            file.bmc_noslice_seconds = bmc_stage_seconds(r);
           }
         }
       }
       switch (mode) {
         case Mode::Serial: file.serial_seconds = best; break;
         case Mode::Fresh: file.fresh_seconds = best; break;
+        case Mode::NoSlice: file.noslice_seconds = best; break;
         case Mode::Pool: file.parallel_seconds = best; break;
         case Mode::Optimised: file.optimised_seconds = best; break;
       }

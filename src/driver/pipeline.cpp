@@ -13,6 +13,7 @@
 #include "engine/scheduler.h"
 #include "engine/session_pool.h"
 #include "minic/frontend.h"
+#include "opt/slice.h"
 #include "support/trace.h"
 #include "testgen/interp.h"
 #include "tsys/translate.h"
@@ -97,6 +98,88 @@ std::uint64_t arm_weight(const cfg::Cfg& g, const cfg::Arm& arm) {
   return total;
 }
 
+/// Locations whose outgoing transitions originate in each block: the
+/// per-execution step price of that block in the *current* transition
+/// system. After StatementConcat a block's whole statement chain may cost
+/// one step (or zero, fully absorbed); pricing blocks this way lets the
+/// unroll depth shrink with the optimised system instead of re-pricing
+/// the source-level statement count. A location with mixed origins (the
+/// translation never produces one, but passes are free to) is counted
+/// under each origin — an over-approximation, never an undercut.
+std::vector<std::uint64_t> block_steps(const cfg::Cfg& g,
+                                       const tsys::TransitionSystem& ts) {
+  std::vector<std::uint64_t> per(g.size(), 0);
+  std::vector<std::vector<cfg::BlockId>> seen(ts.num_locs);
+  for (const tsys::Transition& t : ts.transitions) {
+    std::vector<cfg::BlockId>& s = seen[t.from];
+    if (std::find(s.begin(), s.end(), t.origin_block) != s.end()) continue;
+    s.push_back(t.origin_block);
+    if (t.origin_block < per.size()) ++per[t.origin_block];
+  }
+  return per;
+}
+
+std::uint64_t arm_weight_ts(const cfg::Cfg& g, const cfg::Arm& arm,
+                            const std::vector<std::uint64_t>& per);
+
+std::uint64_t construct_weight_ts(const cfg::Cfg& g,
+                                  const cfg::Construct& c,
+                                  const std::vector<std::uint64_t>& per) {
+  std::uint64_t arms_max = 0;
+  std::uint64_t arms_sum = 0;
+  for (const cfg::Arm& a : c.arms) {
+    const std::uint64_t w = arm_weight_ts(g, a, per);
+    arms_max = std::max(arms_max, w);
+    arms_sum += w;
+  }
+  const std::uint64_t dec = per[c.decision];
+  switch (c.kind) {
+    case cfg::ConstructKind::If:
+      return dec + arms_max;
+    case cfg::ConstructKind::Switch:
+      // Fallthrough can chain case arms; price the sum to stay safe.
+      return dec + (c.has_fallthrough ? arms_sum : arms_max);
+    case cfg::ConstructKind::While: {
+      const std::uint64_t b = c.loop_bound.value_or(1);
+      return (b + 1) * dec + b * arms_max;
+    }
+    case cfg::ConstructKind::DoWhile: {
+      const std::uint64_t b =
+          std::max<std::uint64_t>(c.loop_bound.value_or(1), 1);
+      return b * dec + b * arms_max;
+    }
+  }
+  return dec + arms_max;
+}
+
+std::uint64_t arm_weight_ts(const cfg::Cfg& g, const cfg::Arm& arm,
+                            const std::vector<std::uint64_t>& per) {
+  std::uint64_t total = 0;
+  for (const cfg::ArmItem& item : arm.items) {
+    if (item.is_block())
+      total += per[item.block];
+    else
+      total += construct_weight_ts(g, *item.construct, per);
+  }
+  return total;
+}
+
+/// The unroll depth that provably covers every terminating run. With a
+/// transition system (`ts_aware`), the loop body is priced from the
+/// optimised system's per-block step counts; otherwise the legacy
+/// statement-count pricing is used verbatim, keeping unoptimised runs
+/// byte-stable against earlier releases.
+std::uint64_t required_depth(const cfg::FunctionCfg& f,
+                             const tsys::TransitionSystem& ts,
+                             bool has_back_edge, bool ts_aware) {
+  const std::uint64_t floor = ts.num_locs + 1;
+  if (!has_back_edge) return floor;
+  const std::uint64_t body =
+      ts_aware ? arm_weight_ts(f.graph, f.body, block_steps(f.graph, ts))
+               : arm_weight(f.graph, f.body);
+  return std::max<std::uint64_t>(body + 2, floor);
+}
+
 /// Result slot of one analysis job. Everything except `bmc_seconds` is a
 /// pure function of the query (bmc.h's concurrency contract), so the merged
 /// report cannot depend on which worker ran the job or in what order.
@@ -133,6 +216,31 @@ struct CachedQuery {
 /// SAT call per edge across the whole pool).
 using EdgeCache = engine::OnceCache<std::uint64_t, CachedQuery>;
 
+/// The function's per-query slices, computed serially by the front half
+/// and immutable afterwards (workers share it read-only). Slices are
+/// deduplicated by content fingerprint, so two queries whose kept
+/// decision sets coincide route to the same slice — and, per worker, the
+/// same warm session.
+struct SliceSet {
+  static constexpr std::size_t npos = SIZE_MAX;
+  std::vector<opt::SegmentSlice> slices;
+  /// Per-slice BMC options: the function's options with max_steps
+  /// tightened to the slice's own complete depth.
+  std::vector<bmc::BmcOptions> bmc_opts;
+  /// Decision BlockId -> slice for that block's edge queries (npos = use
+  /// the full system).
+  std::vector<std::size_t> of_block;
+  /// Segment index -> slice for anchored region schedules.
+  std::vector<std::size_t> of_segment;
+
+  [[nodiscard]] std::size_t for_block(BlockId b) const {
+    return b < of_block.size() ? of_block[b] : npos;
+  }
+  [[nodiscard]] std::size_t for_segment(std::size_t si) const {
+    return si < of_segment.size() ? of_segment[si] : npos;
+  }
+};
+
 /// Answers path-feasibility queries against one function's transition
 /// system. One oracle instance serves exactly one worker thread of the
 /// engine; the only cross-worker sharing is the single-flight EdgeCache
@@ -150,19 +258,22 @@ class FeasibilityOracle {
   /// either way (Session's determinism contract, session.h).
   FeasibilityOracle(const cfg::Cfg& g, const tsys::TransitionSystem& ts,
                     bmc::BmcOptions bmc_opts, bool enabled, bool use_sessions,
-                    bool depth_complete, EdgeCache& edges)
+                    bool depth_complete, EdgeCache& edges,
+                    const SliceSet& slices)
       : g_(g), ts_(ts), bmc_opts_(bmc_opts), enabled_(enabled),
         use_sessions_(use_sessions), depth_complete_(depth_complete),
-        edges_(edges) {}
+        edges_(edges), slices_(slices),
+        slice_sessions_(slices.slices.size()) {}
 
   /// Feasibility of one enumerated path through a Region segment.
   /// `anchor` is the segment's unique entry edge (nullopt for the
-  /// whole-function segment, whose entry is virtual).
+  /// whole-function segment, whose entry is virtual). `seg_index` selects
+  /// the segment's slice for anchored schedule queries.
   void check_region_path(const std::vector<EdgeRef>& choices,
                          const std::optional<EdgeRef>& anchor,
-                         PathJobResult& out) {
+                         std::size_t seg_index, PathJobResult& out) {
     reset_pending();
-    region_path_inner(choices, anchor, out);
+    region_path_inner(choices, anchor, seg_index, out);
     flush_pending(out);
   }
 
@@ -184,7 +295,7 @@ class FeasibilityOracle {
 
   void region_path_inner(const std::vector<EdgeRef>& choices,
                          const std::optional<EdgeRef>& anchor,
-                         PathJobResult& out) {
+                         std::size_t seg_index, PathJobResult& out) {
     if (!enabled_) {
       out.verdict = PathVerdict::Unknown;
       return;
@@ -193,12 +304,15 @@ class FeasibilityOracle {
     if (!anchor) {
       // Whole function: the path's choices are the complete per-iteration
       // decision trace; the exact schedule encoding decides it even when
-      // a loop body branches differently across iterations.
+      // a loop body branches differently across iterations. Every
+      // decision matters to a whole-run schedule, so it never slices.
       if (choices.empty()) {
         out.verdict = PathVerdict::Feasible;  // no SAT model, no witness
         return;
       }
-      apply(solve_schedule(choices, /*anchored=*/false, std::nullopt), out);
+      apply(solve_schedule(choices, /*anchored=*/false, std::nullopt,
+                           SliceSet::npos),
+            out);
       return;
     }
 
@@ -211,7 +325,8 @@ class FeasibilityOracle {
       const bool dec_anchor = g_.block(anchor->from).is_decision();
       const CachedQuery run = solve_schedule(
           choices, /*anchored=*/true,
-          dec_anchor ? anchor : std::optional<EdgeRef>());
+          dec_anchor ? anchor : std::optional<EdgeRef>(),
+          slices_.for_segment(seg_index));
       if (run.schedule_realised || dec_anchor) {
         apply(run, out);
         return;
@@ -288,20 +403,24 @@ class FeasibilityOracle {
         (static_cast<std::uint64_t>(e.from) << 32) | e.succ_index;
     // Single-flight across workers: whoever gets the slot solves and adds
     // the wall-clock to its own pending tally; everyone else just reads.
+    // The slice is a deterministic function of the edge's block, so the
+    // key needs no slice component; cached entries hold the expanded
+    // (full-system) witness either way.
     return edges_.get_or_compute(key, [&] {
       bmc::BmcQuery q;
       q.must_take = e;
-      return run_query(q);
+      return run_query(q, slices_.for_block(e.from));
     });
   }
 
   CachedQuery solve_schedule(const std::vector<EdgeRef>& choices,
                              bool anchored,
-                             const std::optional<EdgeRef>& must_take) {
+                             const std::optional<EdgeRef>& must_take,
+                             std::size_t slice_idx) {
     bmc::BmcQuery q;
     q.schedule = bmc::DecisionSchedule{choices, anchored};
     q.must_take = must_take;
-    return run_query(q);
+    return run_query(q, slice_idx);
   }
 
   void reset_pending() {
@@ -318,16 +437,25 @@ class FeasibilityOracle {
     out.solver_restarts += pending_restarts_;
   }
 
-  CachedQuery run_query(const bmc::BmcQuery& q) {
+  CachedQuery run_query(const bmc::BmcQuery& q, std::size_t slice_idx) {
+    const bool sliced = slice_idx != SliceSet::npos;
+    const opt::SegmentSlice* sl =
+        sliced ? &slices_.slices[slice_idx] : nullptr;
+    const tsys::TransitionSystem& ts = sliced ? sl->ts : ts_;
+    const bmc::BmcOptions& bo =
+        sliced ? slices_.bmc_opts[slice_idx] : bmc_opts_;
     bmc::BmcResult r;
     if (use_sessions_) {
       // Lazy: a worker whose every query is an EdgeCache hit never pays
-      // for the unrolled transition relation.
-      if (!session_)
-        session_ = std::make_unique<bmc::Session>(ts_, bmc_opts_);
-      r = session_->solve(q);
+      // for the unrolled transition relation. Sliced queries get their
+      // own warm session per slice (the slices are deduplicated by
+      // fingerprint, so segments sharing a slice share the session).
+      std::unique_ptr<bmc::Session>& slot =
+          sliced ? slice_sessions_[slice_idx] : session_;
+      if (!slot) slot = std::make_unique<bmc::Session>(ts, bo);
+      r = slot->solve(q);
     } else {
-      r = bmc::solve(ts_, q, bmc_opts_);
+      r = bmc::solve(ts, q, bo);
     }
     pending_seconds_ += r.seconds;
     pending_decisions_ += r.solver_decisions;
@@ -341,8 +469,19 @@ class FeasibilityOracle {
     switch (r.status) {
       case bmc::BmcStatus::TestData:
         c.verdict = PathVerdict::Feasible;
-        c.witness = r.initial_values;
-        c.decision_trace = r.decision_trace;
+        if (sliced) {
+          // Translate the sliced answer back to the full system: expand
+          // the witness (dropped variables take their pinned init or the
+          // minimiser's preference anchor — byte-identical to an unsliced
+          // minimisation, since no kept guard reads them) and replay it
+          // for the full decision trace.
+          c.witness = opt::expand_witness(ts_, *sl, r.initial_values);
+          c.decision_trace =
+              opt::replay_decisions(ts_, c.witness, bmc_opts_.max_steps);
+        } else {
+          c.witness = r.initial_values;
+          c.decision_trace = r.decision_trace;
+        }
         break;
       case bmc::BmcStatus::Infeasible:
         // UNSAT only proves infeasibility at complete depth (bmc.h) —
@@ -368,9 +507,13 @@ class FeasibilityOracle {
   bool use_sessions_;
   bool depth_complete_;
   EdgeCache& edges_;
+  const SliceSet& slices_;
   /// Warm incremental solver holding the unrolled transition relation
   /// across this oracle's queries (worker-local, so no locking).
   std::unique_ptr<bmc::Session> session_;
+  /// Warm sessions over the sliced systems, parallel to slices_.slices
+  /// (worker-local, lazily built like session_).
+  std::vector<std::unique_ptr<bmc::Session>> slice_sessions_;
   /// Worker-local: the graph recursion is cheap, only the edge queries
   /// underneath are worth sharing.
   std::map<BlockId, CachedQuery> reach_memo_;
@@ -416,6 +559,8 @@ struct FunctionWork {
   /// parallel to ft.segments. Jobs need the decision choices, which
   /// PathTiming does not keep.
   std::vector<std::vector<cfg::PathSpec>> specs;
+  /// Per-query slices (empty when slicing is off or ineligible).
+  SliceSet slice_set;
   /// Single-flight decision-edge query store shared by all workers.
   EdgeCache edge_cache;
   /// Set once the owning file's merge ran: no further job can reference
@@ -435,6 +580,97 @@ struct JobRef {
   std::size_t seg_index = 0;
   std::size_t path_index = 0;
 };
+
+/// Builds the function's per-query slices. The kept-decision criterion is
+/// pure CFG reachability: a decision firing before a query's anchor in
+/// ANY run can reach the anchor in the CFG (the run itself traces such a
+/// path), so keeping exactly the decisions that reach the anchor (plus
+/// the anchor's own block / the region's own decisions) preserves every
+/// query's feasible set — the soundness lemma slice.h states.
+void build_slices(FunctionWork& fnw, bool has_back_edge) {
+  const cfg::Cfg& g = fnw.f->graph;
+  const tsys::TransitionSystem& ts = fnw.tr->ts;
+  const std::size_t nb = g.size();
+
+  std::vector<BlockId> decisions;
+  for (const cfg::BasicBlock& b : g.blocks())
+    if (b.is_decision()) decisions.push_back(b.id);
+  if (decisions.empty()) return;  // nothing a slice could drop
+
+  // Forward reachability from each decision over the full digraph
+  // (back edges included — "before" in a run includes loop re-entries).
+  std::vector<std::vector<bool>> reach_of(nb);
+  for (const BlockId d : decisions) {
+    std::vector<bool>& r = reach_of[d];
+    r.assign(nb, false);
+    std::vector<BlockId> work{d};
+    while (!work.empty()) {
+      const BlockId cur = work.back();
+      work.pop_back();
+      for (const cfg::Edge& e : g.block(cur).succs) {
+        if (!r[e.to]) {
+          r[e.to] = true;
+          work.push_back(e.to);
+        }
+      }
+    }
+  }
+
+  SliceSet& set = fnw.slice_set;
+  set.of_block.assign(nb, SliceSet::npos);
+  set.of_segment.assign(fnw.partition.segments.size(), SliceSet::npos);
+  std::map<std::string, std::size_t> by_fingerprint;
+
+  const auto add_slice = [&](const std::vector<bool>& keep) -> std::size_t {
+    opt::SegmentSlice s = opt::build_slice(ts, keep);
+    if (s.trivial) return SliceSet::npos;  // full system already minimal
+    const auto it = by_fingerprint.find(s.fingerprint);
+    if (it != by_fingerprint.end()) return it->second;
+    // The slice terminates structurally within its own (smaller) required
+    // depth; queries against it stay complete at that depth, so tighten.
+    bmc::BmcOptions bo = fnw.bmc_opts;
+    bo.max_steps = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        bo.max_steps, required_depth(*fnw.f, s.ts, has_back_edge, true)));
+    const std::size_t idx = set.slices.size();
+    by_fingerprint.emplace(s.fingerprint, idx);
+    set.slices.push_back(std::move(s));
+    set.bmc_opts.push_back(bo);
+    return idx;
+  };
+
+  // Edge queries: one slice per decision block, keeping the decisions
+  // that reach it plus the block itself.
+  for (const BlockId e_from : decisions) {
+    std::vector<bool> keep(nb, false);
+    keep[e_from] = true;
+    for (const BlockId d : decisions)
+      if (reach_of[d][e_from]) keep[d] = true;
+    set.of_block[e_from] = add_slice(keep);
+  }
+
+  // Anchored region schedules: keep decisions inside the region and
+  // decisions reaching any region block (the anchor's block is among the
+  // latter — its successor is the region entry). Path-independent, so
+  // every path of the segment shares one slice.
+  for (std::size_t si = 0; si < fnw.partition.segments.size(); ++si) {
+    const core::Segment& seg = fnw.partition.segments[si];
+    if (seg.kind != core::SegmentKind::Region || seg.whole_function)
+      continue;
+    std::vector<bool> keep(nb, false);
+    for (const BlockId b : seg.blocks)
+      if (g.block(b).is_decision()) keep[b] = true;
+    for (const BlockId d : decisions) {
+      if (keep[d]) continue;
+      for (const BlockId b : seg.blocks) {
+        if (reach_of[d][b]) {
+          keep[d] = true;
+          break;
+        }
+      }
+    }
+    set.of_segment[si] = add_slice(keep);
+  }
+}
 
 /// Worker-local oracle store, keyed by function. In single-file mode the
 /// keys are one file's functions; on the global batch frontier they span
@@ -614,16 +850,33 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
     ft.locations_before = fnw->tr->ts.num_locs;
     ft.transitions_before = fnw->tr->ts.transitions.size();
 
+    bool has_back_edge = false;
+    for (const cfg::BasicBlock& blk : fnw->f->graph.blocks())
+      for (const cfg::Edge& e : blk.succs) has_back_edge |= e.back;
+
     // Section 3.2 optimisation passes: shrink the encoding before any BMC
     // query is built. External VarId references (the symbol->var table the
-    // witness replay reads) follow the composed remapping.
+    // witness replay reads) follow the composed remapping. Passes run one
+    // at a time so each report can carry the required unroll depth around
+    // it — StatementConcat's merges pay off precisely there.
     if (!opts.opt_passes.empty()) {
       StageTimer t(ft.stages, "optimise");
-      const opt::OptResult opt_result =
-          opt::run_passes_mapped(fnw->tr->ts, opts.opt_passes);
-      ft.pass_reports = opt_result.reports;
+      std::vector<tsys::VarId> var_map(fnw->tr->ts.vars.size());
+      for (std::size_t v = 0; v < var_map.size(); ++v)
+        var_map[v] = static_cast<tsys::VarId>(v);
+      std::uint64_t depth =
+          required_depth(*fnw->f, fnw->tr->ts, has_back_edge, true);
+      for (const opt::Pass p : opts.opt_passes) {
+        opt::PassReport pr = opt::run_pass_mapped(fnw->tr->ts, p, var_map);
+        pr.depth_before = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(depth, UINT32_MAX));
+        depth = required_depth(*fnw->f, fnw->tr->ts, has_back_edge, true);
+        pr.depth_after = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(depth, UINT32_MAX));
+        ft.pass_reports.push_back(pr);
+      }
       for (tsys::VarId& v : fnw->tr->var_of_symbol)
-        if (v != tsys::kNoVar) v = opt_result.var_map[v];
+        if (v != tsys::kNoVar) v = var_map[v];
     }
     ft.state_bits = fnw->tr->ts.state_bits();
     ft.locations = fnw->tr->ts.num_locs;
@@ -633,15 +886,8 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
     // bounded loops need every iteration's transitions unrolled. A depth
     // below `required` (clamped or user-forced) makes UNSAT inconclusive.
     fnw->bmc_opts = opts.bmc;
-    bool has_back_edge = false;
-    for (const cfg::BasicBlock& blk : fnw->f->graph.blocks())
-      for (const cfg::Edge& e : blk.succs) has_back_edge |= e.back;
-    const std::uint64_t required =
-        has_back_edge
-            ? std::max<std::uint64_t>(
-                  arm_weight(fnw->f->graph, fnw->f->body) + 2,
-                  fnw->tr->ts.num_locs + 1)
-            : fnw->tr->ts.num_locs + 1;
+    const std::uint64_t required = required_depth(
+        *fnw->f, fnw->tr->ts, has_back_edge, !opts.opt_passes.empty());
     if (fnw->bmc_opts.max_steps == 0) {
       fnw->bmc_opts.max_steps = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(required, opts.max_unroll_depth));
@@ -688,6 +934,19 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
       fnw->specs.push_back(std::move(specs));
     }
 
+    // Per-segment slicing (static-analysis round 2). Eligible only when
+    // the byte-identity argument holds: the unroll must be complete
+    // (sliced UNSAT then proves full-system infeasibility), witnesses
+    // minimised (expansion reproduces the minimiser's choices), and no
+    // finite conflict budget (budget-dependent Unknowns could differ
+    // between the sliced and full encodings).
+    if (opts.slice && opts.run_bmc && fnw->depth_complete &&
+        fnw->bmc_opts.minimize_witness &&
+        fnw->bmc_opts.conflict_budget < 0) {
+      StageTimer t(ft.stages, "slice");
+      build_slices(*fnw, has_back_edge);
+    }
+
     fw.work.push_back(std::move(fnw));
   }
 
@@ -727,7 +986,8 @@ void run_path_job(const JobRef& r, bool run_bmc, OraclePool& pool,
       [&] {
         return std::make_unique<FeasibilityOracle>(
             r.fw->f->graph, r.fw->tr->ts, r.fw->bmc_opts, run_bmc,
-            r.fw->use_sessions, r.fw->depth_complete, r.fw->edge_cache);
+            r.fw->use_sessions, r.fw->depth_complete, r.fw->edge_cache,
+            r.fw->slice_set);
       });
   const core::Segment& s = r.fw->partition.segments[r.seg_index];
   trace::TraceSpan span("path", "pipeline");
@@ -744,7 +1004,7 @@ void run_path_job(const JobRef& r, bool run_bmc, OraclePool& pool,
     const std::optional<EdgeRef> anchor =
         s.whole_function ? std::nullopt : s.region->entry;
     oracle.check_region_path(r.fw->specs[r.seg_index][r.path_index].choices,
-                             anchor, out);
+                             anchor, r.seg_index, out);
   }
 }
 
@@ -1044,6 +1304,7 @@ Table2Report table2_assemble(const BatchResult& plain,
       row.conclusive_plain = fa.conclusive();
       row.conclusive_opt = fb.conclusive();
       row.model_identical = timing_models_equal(fa, fb);
+      row.passes = fb.pass_reports;
       out.rows.push_back(std::move(row));
     }
   }

@@ -73,6 +73,16 @@ struct PipelineOptions {
   /// bmc.conflict_budget is set — budget-limited verdicts may depend on
   /// learned clauses, which would break the determinism guarantee.
   bool use_sessions = true;
+  /// Per-segment program slicing: solve each feasibility query against a
+  /// backward slice of the transition system keeping only the decisions
+  /// that can reach the query's anchor (plus the variables feeding their
+  /// guards). The timing model stays byte-identical with slicing on or
+  /// off — witnesses are expanded back to the full system and decision
+  /// traces replayed against it; only encoding metrics (CNF sizes,
+  /// solver effort) shrink. Automatically inert when the unroll depth is
+  /// incomplete, witness minimisation is off, or a finite conflict budget
+  /// is set (the byte-identity argument needs all three).
+  bool slice = true;
   bmc::BmcOptions bmc;
   CostModel cost;
 };
@@ -302,6 +312,10 @@ struct Table2Row {
   /// The optimised run produced a byte-identical segment timing model
   /// (same BCET/WCET, verdicts and replay tallies for every segment).
   bool model_identical = false;
+  /// Per-pass reports of the optimised run, in execution order: the
+  /// per-pass bits/transitions/depth deltas behind the extended --table2
+  /// columns.
+  std::vector<opt::PassReport> passes;
 };
 
 /// Result of the `--table2` mode over one or more inputs: every input is

@@ -90,7 +90,7 @@ TextTable pass_table(const FunctionTiming& ft, const std::string* file,
   if (with_function_col) header.emplace_back("function");
   for (const char* h : {"pass", "vars_before", "vars_after", "bits_before",
                         "bits_after", "trans_before", "trans_after",
-                        "details"})
+                        "depth_before", "depth_after", "details"})
     header.emplace_back(h);
   TextTable t(std::move(header));
   for (const opt::PassReport& p : ft.pass_reports) {
@@ -104,10 +104,27 @@ TextTable pass_table(const FunctionTiming& ft, const std::string* file,
     row.push_back(std::to_string(p.data_bits_after));
     row.push_back(std::to_string(p.transitions_before));
     row.push_back(std::to_string(p.transitions_after));
+    row.push_back(std::to_string(p.depth_before));
+    row.push_back(std::to_string(p.depth_after));
     row.push_back(std::to_string(p.details));
     t.add_row(std::move(row));
   }
   return t;
+}
+
+/// One pass report as a JSON object (shared by the per-function report
+/// and the --table2 rows).
+void pass_json(const opt::PassReport& p, std::ostream& os) {
+  os << "{\"pass\":" << json_quote(opt::pass_name(p.pass))
+     << ",\"vars_before\":" << p.vars_before
+     << ",\"vars_after\":" << p.vars_after
+     << ",\"bits_before\":" << p.data_bits_before
+     << ",\"bits_after\":" << p.data_bits_after
+     << ",\"transitions_before\":" << p.transitions_before
+     << ",\"transitions_after\":" << p.transitions_after
+     << ",\"depth_before\":" << p.depth_before
+     << ",\"depth_after\":" << p.depth_after << ",\"details\":" << p.details
+     << "}";
 }
 
 void render_text(const PipelineResult& result, const PipelineOptions& opts,
@@ -231,14 +248,7 @@ void render_json_function(const FunctionTiming& ft, bool with_stages,
     for (const opt::PassReport& p : ft.pass_reports) {
       if (!first_pass) os << ",";
       first_pass = false;
-      os << "{\"pass\":" << json_quote(opt::pass_name(p.pass))
-         << ",\"vars_before\":" << p.vars_before
-         << ",\"vars_after\":" << p.vars_after
-         << ",\"bits_before\":" << p.data_bits_before
-         << ",\"bits_after\":" << p.data_bits_after
-         << ",\"transitions_before\":" << p.transitions_before
-         << ",\"transitions_after\":" << p.transitions_after
-         << ",\"details\":" << p.details << "}";
+      pass_json(p, os);
     }
     os << "]";
   }
@@ -434,6 +444,40 @@ void render_batch_report(const std::vector<BatchEntry>& files,
 
 namespace {
 
+/// Short column prefix of one pass for the --table2 per-pass delta
+/// columns (e.g. rcse_dbits).
+const char* pass_short_name(opt::Pass p) {
+  switch (p) {
+    case opt::Pass::ReverseCse: return "rcse";
+    case opt::Pass::LiveVariables: return "live";
+    case opt::Pass::StatementConcat: return "concat";
+    case opt::Pass::RangeAnalysis: return "range";
+    case opt::Pass::VariableInit: return "init";
+    case opt::Pass::DeadVariableElim: return "dve";
+  }
+  return "?";
+}
+
+/// Per-pass (bits, transitions, depth) deltas of one row, flattened in
+/// all_passes() order; passes that did not run contribute zero, and a
+/// pass that ran more than once has its deltas summed.
+std::vector<std::int64_t> row_pass_deltas(const Table2Row& r) {
+  const std::vector<opt::Pass> order = opt::all_passes();
+  std::vector<std::int64_t> d(order.size() * 3, 0);
+  for (const opt::PassReport& p : r.passes)
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] != p.pass) continue;
+      d[i * 3 + 0] += static_cast<std::int64_t>(p.data_bits_after) -
+                      static_cast<std::int64_t>(p.data_bits_before);
+      d[i * 3 + 1] += static_cast<std::int64_t>(p.transitions_after) -
+                      static_cast<std::int64_t>(p.transitions_before);
+      d[i * 3 + 2] += static_cast<std::int64_t>(p.depth_after) -
+                      static_cast<std::int64_t>(p.depth_before);
+      break;
+    }
+  return d;
+}
+
 /// Totals row of the Table-2 comparison (batch aggregation).
 Table2Row table2_aggregate(const Table2Report& report) {
   Table2Row total;
@@ -458,6 +502,10 @@ Table2Row table2_aggregate(const Table2Report& report) {
     total.cnf_clauses_plain =
         std::max(total.cnf_clauses_plain, r.cnf_clauses_plain);
     total.cnf_clauses_opt = std::max(total.cnf_clauses_opt, r.cnf_clauses_opt);
+    // Concatenating the per-row pass reports makes row_pass_deltas sum
+    // them, so the totals row's delta columns aggregate naturally.
+    total.passes.insert(total.passes.end(), r.passes.begin(),
+                        r.passes.end());
   }
   return total;
 }
@@ -472,6 +520,11 @@ TextTable table2_table(const Table2Report& report, bool with_file,
         "cnf_clauses", "cnf_clauses_opt", "conclusive", "conclusive_opt",
         "model"})
     header.emplace_back(h);
+  // Per-pass delta columns (bits/transitions/depth each, signed), in
+  // all_passes() order — zero when the optimised run skipped the pass.
+  for (const opt::Pass p : opt::all_passes())
+    for (const char* suffix : {"_dbits", "_dtrans", "_ddepth"})
+      header.emplace_back(std::string(pass_short_name(p)) + suffix);
   TextTable t(std::move(header));
   auto add = [&](const Table2Row& r) {
     std::vector<std::string> row;
@@ -492,6 +545,8 @@ TextTable table2_table(const Table2Report& report, bool with_file,
     row.push_back(r.conclusive_plain ? "yes" : "no");
     row.push_back(r.conclusive_opt ? "yes" : "no");
     row.push_back(r.model_identical ? "identical" : "DIFFERS");
+    for (const std::int64_t d : row_pass_deltas(r))
+      row.push_back(std::to_string(d));
     t.add_row(std::move(row));
   };
   for (const Table2Row& r : report.rows) add(r);
@@ -515,7 +570,14 @@ void table2_row_json(const Table2Row& r, bool with_file, std::ostream& os) {
      << ",\"conclusive\":" << (r.conclusive_plain ? "true" : "false")
      << ",\"conclusive_opt\":" << (r.conclusive_opt ? "true" : "false")
      << ",\"model_identical\":" << (r.model_identical ? "true" : "false")
-     << "}";
+     << ",\"passes\":[";
+  bool first = true;
+  for (const opt::PassReport& p : r.passes) {
+    if (!first) os << ",";
+    first = false;
+    pass_json(p, os);
+  }
+  os << "]}";
 }
 
 }  // namespace

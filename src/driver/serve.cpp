@@ -22,7 +22,8 @@ namespace tmg::driver {
 
 namespace {
 
-constexpr int kServeVersion = 1;
+// v2: options gained "slice" (per-segment program slicing toggle).
+constexpr int kServeVersion = 2;
 
 /// Every output-affecting PipelineOptions field travels explicitly, plus
 /// jobs/use_sessions as execution hints (the daemon honours them but the
@@ -43,6 +44,7 @@ void write_options(std::ostream& os, const PipelineOptions& o) {
     os << json_quote(opt::pass_name(o.opt_passes[i]));
   }
   os << "],\"use_sessions\":" << (o.use_sessions ? "true" : "false")
+     << ",\"slice\":" << (o.slice ? "true" : "false")
      << ",\"max_steps\":" << o.bmc.max_steps
      << ",\"conflict_budget\":" << o.bmc.conflict_budget
      << ",\"minimize_witness\":" << (o.bmc.minimize_witness ? "true" : "false")
@@ -92,6 +94,7 @@ bool read_options(const JsonValue& v, PipelineOptions& o) {
     o.opt_passes.push_back(*pass);
   }
   if (!read_bool(v, "use_sessions", o.use_sessions)) return false;
+  if (!read_bool(v, "slice", o.slice)) return false;
   if (!read_int(v, "max_steps", n) || n < 0) return false;
   o.bmc.max_steps = static_cast<std::uint32_t>(n);
   if (!read_int(v, "conflict_budget", o.bmc.conflict_budget)) return false;

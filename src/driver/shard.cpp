@@ -61,6 +61,34 @@ bool read_stages(const JsonValue& v, std::vector<StageStats>& out) {
   return true;
 }
 
+void write_pass(std::ostringstream& os, const opt::PassReport& p) {
+  os << "[" << json_quote(opt::pass_name(p.pass)) << "," << p.vars_before
+     << "," << p.vars_after << "," << p.data_bits_before << ","
+     << p.data_bits_after << "," << p.transitions_before << ","
+     << p.transitions_after << "," << p.details << "," << p.depth_before
+     << "," << p.depth_after << "]";
+}
+
+bool read_pass(const JsonValue& p, opt::PassReport& pr) {
+  if (p.kind() != JsonValue::Kind::Array || p.items().size() != 10 ||
+      p.items()[0].kind() != JsonValue::Kind::String)
+    return false;
+  const std::optional<opt::Pass> pass =
+      opt::parse_pass(p.items()[0].as_string());
+  if (!pass) return false;
+  pr.pass = *pass;
+  pr.vars_before = static_cast<std::size_t>(p.items()[1].as_int());
+  pr.vars_after = static_cast<std::size_t>(p.items()[2].as_int());
+  pr.data_bits_before = static_cast<int>(p.items()[3].as_int());
+  pr.data_bits_after = static_cast<int>(p.items()[4].as_int());
+  pr.transitions_before = static_cast<std::size_t>(p.items()[5].as_int());
+  pr.transitions_after = static_cast<std::size_t>(p.items()[6].as_int());
+  pr.details = static_cast<std::size_t>(p.items()[7].as_int());
+  pr.depth_before = static_cast<std::uint32_t>(p.items()[8].as_int());
+  pr.depth_after = static_cast<std::uint32_t>(p.items()[9].as_int());
+  return true;
+}
+
 void write_function(std::ostringstream& os, const FunctionTiming& ft) {
   os << "{\"name\":" << json_quote(ft.name) << ",\"blocks\":" << ft.blocks
      << ",\"decisions\":" << ft.decisions << ",\"paths\":";
@@ -74,12 +102,8 @@ void write_function(std::ostringstream& os, const FunctionTiming& ft) {
      << ",\"locs0\":" << ft.locations_before
      << ",\"trans0\":" << ft.transitions_before << ",\"passes\":[";
   for (std::size_t i = 0; i < ft.pass_reports.size(); ++i) {
-    const opt::PassReport& p = ft.pass_reports[i];
     if (i > 0) os << ",";
-    os << "[" << json_quote(opt::pass_name(p.pass)) << "," << p.vars_before
-       << "," << p.vars_after << "," << p.data_bits_before << ","
-       << p.data_bits_after << "," << p.transitions_before << ","
-       << p.transitions_after << "," << p.details << "]";
+    write_pass(os, ft.pass_reports[i]);
   }
   os << "],\"stages\":";
   write_stages(os, ft.stages);
@@ -124,21 +148,8 @@ bool read_function(const JsonValue& v, FunctionTiming& ft) {
   const JsonValue& passes = v.get("passes");
   if (passes.kind() != JsonValue::Kind::Array) return false;
   for (const JsonValue& p : passes.items()) {
-    if (p.kind() != JsonValue::Kind::Array || p.items().size() != 8 ||
-        p.items()[0].kind() != JsonValue::Kind::String)
-      return false;
-    const std::optional<opt::Pass> pass =
-        opt::parse_pass(p.items()[0].as_string());
-    if (!pass) return false;
     opt::PassReport pr;
-    pr.pass = *pass;
-    pr.vars_before = static_cast<std::size_t>(p.items()[1].as_int());
-    pr.vars_after = static_cast<std::size_t>(p.items()[2].as_int());
-    pr.data_bits_before = static_cast<int>(p.items()[3].as_int());
-    pr.data_bits_after = static_cast<int>(p.items()[4].as_int());
-    pr.transitions_before = static_cast<std::size_t>(p.items()[5].as_int());
-    pr.transitions_after = static_cast<std::size_t>(p.items()[6].as_int());
-    pr.details = static_cast<std::size_t>(p.items()[7].as_int());
+    if (!read_pass(p, pr)) return false;
     ft.pass_reports.push_back(pr);
   }
 
@@ -302,7 +313,12 @@ std::string serialize_table2_payload(const Table2Report& report,
        << json_double(r.bmc_seconds_opt) << "," << r.cnf_clauses_plain << ","
        << r.cnf_clauses_opt << "," << (r.conclusive_plain ? 1 : 0) << ","
        << (r.conclusive_opt ? 1 : 0) << "," << (r.model_identical ? 1 : 0)
-       << "]";
+       << ",[";
+    for (std::size_t j = 0; j < r.passes.size(); ++j) {
+      if (j > 0) os << ",";
+      write_pass(os, r.passes[j]);
+    }
+    os << "]]";
   }
   os << "]}";
   return os.str();
@@ -656,7 +672,7 @@ int run_sharded(const CliOptions& opts,
         continue;
       }
       for (const JsonValue& r : v->get("rows").items()) {
-        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 18) {
+        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 19) {
           err << "tmg: malformed shard payload\n";
           return 2;
         }
@@ -680,6 +696,18 @@ int run_sharded(const CliOptions& opts,
         row.conclusive_plain = f[15].as_int() != 0;
         row.conclusive_opt = f[16].as_int() != 0;
         row.model_identical = f[17].as_int() != 0;
+        if (f[18].kind() != JsonValue::Kind::Array) {
+          err << "tmg: malformed shard payload\n";
+          return 2;
+        }
+        for (const JsonValue& p : f[18].items()) {
+          opt::PassReport pr;
+          if (!read_pass(p, pr)) {
+            err << "tmg: malformed shard payload\n";
+            return 2;
+          }
+          row.passes.push_back(pr);
+        }
         rows.push_back(std::move(row));
       }
     }

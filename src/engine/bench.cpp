@@ -68,9 +68,26 @@ double BenchReport::total_bmc_fresh_seconds() const {
   return s;
 }
 
+double BenchReport::total_noslice_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.noslice_seconds;
+  return s;
+}
+
+double BenchReport::total_bmc_noslice_seconds() const {
+  double s = 0.0;
+  for (const BenchFile& f : files) s += f.bmc_noslice_seconds;
+  return s;
+}
+
 double BenchReport::session_speedup() const {
   const double warm = total_bmc_seconds();
   return warm > 0.0 ? total_bmc_fresh_seconds() / warm : 0.0;
+}
+
+double BenchReport::slice_speedup() const {
+  const double sliced = total_bmc_seconds();
+  return sliced > 0.0 ? total_bmc_noslice_seconds() / sliced : 0.0;
 }
 
 void BenchReport::render_json(std::ostream& os) const {
@@ -87,11 +104,14 @@ void BenchReport::render_json(std::ostream& os) const {
        << ",\"parallel_seconds\":" << fmt(f.parallel_seconds)
        << ",\"optimised_seconds\":" << fmt(f.optimised_seconds)
        << ",\"fresh_seconds\":" << fmt(f.fresh_seconds)
+       << ",\"noslice_seconds\":" << fmt(f.noslice_seconds)
        << ",\"bmc_seconds\":" << fmt(f.bmc_seconds)
        << ",\"bmc_fresh_seconds\":" << fmt(f.bmc_fresh_seconds)
+       << ",\"bmc_noslice_seconds\":" << fmt(f.bmc_noslice_seconds)
        << ",\"speedup\":" << fmt(f.speedup())
        << ",\"opt_speedup\":" << fmt(f.opt_speedup())
        << ",\"session_speedup\":" << fmt(f.session_speedup())
+       << ",\"slice_speedup\":" << fmt(f.slice_speedup())
        << ",\"jobs_per_second\":" << fmt(f.jobs_per_second())
        << ",\"solver\":{\"decisions\":" << f.solver_decisions
        << ",\"propagations\":" << f.solver_propagations
@@ -111,12 +131,15 @@ void BenchReport::render_json(std::ostream& os) const {
      << ",\"parallel_seconds\":" << fmt(total_parallel_seconds())
      << ",\"optimised_seconds\":" << fmt(total_optimised_seconds())
      << ",\"fresh_seconds\":" << fmt(total_fresh_seconds())
+     << ",\"noslice_seconds\":" << fmt(total_noslice_seconds())
      << ",\"bmc_seconds\":" << fmt(total_bmc_seconds())
      << ",\"bmc_fresh_seconds\":" << fmt(total_bmc_fresh_seconds())
+     << ",\"bmc_noslice_seconds\":" << fmt(total_bmc_noslice_seconds())
      << ",\"batch_seconds\":" << fmt(batch_seconds)
      << ",\"speedup\":" << fmt(speedup())
      << ",\"opt_speedup\":" << fmt(opt_speedup())
      << ",\"session_speedup\":" << fmt(session_speedup())
+     << ",\"slice_speedup\":" << fmt(slice_speedup())
      << ",\"batch_speedup\":" << fmt(batch_speedup()) << "}";
   if (cache_probed)
     os << ",\"cache\":{\"mode\":" << json_quote(cache_mode)

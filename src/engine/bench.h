@@ -35,11 +35,18 @@ struct BenchFile {
   /// Best-of-R pool run with warm BMC sessions disabled (one throwaway
   /// solver per query) — the baseline the session speedup is against.
   double fresh_seconds = 0.0;
+  /// Best-of-R pool run with per-segment slicing disabled (every query
+  /// solved against the full transition system) — the baseline the
+  /// slice speedup is against.
+  double noslice_seconds = 0.0;
   /// BMC-stage seconds of the best pool run (warm sessions) and of the
   /// best fresh run; their ratio isolates the incremental-SAT win from
   /// frontend/CFG/translate time that sessions cannot touch.
   double bmc_seconds = 0.0;
   double bmc_fresh_seconds = 0.0;
+  /// BMC-stage seconds of the best unsliced pool run; the ratio against
+  /// bmc_seconds isolates the per-segment slicing win.
+  double bmc_noslice_seconds = 0.0;
   /// SAT solver effort of the best warm pool run, summed over segments.
   std::uint64_t solver_decisions = 0;
   std::uint64_t solver_propagations = 0;
@@ -56,6 +63,10 @@ struct BenchFile {
   /// Warm-session BMC speedup: fresh-solver BMC seconds over warm.
   [[nodiscard]] double session_speedup() const {
     return bmc_seconds > 0.0 ? bmc_fresh_seconds / bmc_seconds : 0.0;
+  }
+  /// Slicing BMC speedup: unsliced BMC seconds over sliced.
+  [[nodiscard]] double slice_speedup() const {
+    return bmc_seconds > 0.0 ? bmc_noslice_seconds / bmc_seconds : 0.0;
   }
   /// Optimisation speedup at the same worker count: unoptimised pool time
   /// over optimised pool time.
@@ -93,10 +104,14 @@ struct BenchReport {
   /// run (total parallel / batch).
   [[nodiscard]] double batch_speedup() const;
   [[nodiscard]] double total_fresh_seconds() const;
+  [[nodiscard]] double total_noslice_seconds() const;
   [[nodiscard]] double total_bmc_seconds() const;
   [[nodiscard]] double total_bmc_fresh_seconds() const;
+  [[nodiscard]] double total_bmc_noslice_seconds() const;
   /// Aggregate warm-session BMC speedup (total fresh BMC / total warm).
   [[nodiscard]] double session_speedup() const;
+  /// Aggregate slicing BMC speedup (total unsliced BMC / total sliced).
+  [[nodiscard]] double slice_speedup() const;
 
   /// Result-cache probe (counts only — bench never serves results from
   /// the cache; it measures real computation). Filled by the driver when

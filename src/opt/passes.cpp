@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "minic/eval.h"
 
@@ -127,42 +129,111 @@ void rename_var_in_expr(TExpr& e, VarId from, VarId to) {
 
 // ---------------------------------------------------------- ReverseCse
 
-/// Inlines single-assignment temporaries into the reads of the location
-/// they dominate: when every transition into L is the unguarded statement
-/// `v := e` (and e does not depend on v), reads of v by transitions out of
-/// L see exactly e's value, so they can evaluate e directly. The variable
-/// itself becomes removable once no read remains (LiveVariables /
-/// DeadVariableElim pick it up).
-std::size_t reverse_cse(TransitionSystem& ts) {
-  std::size_t substitutions = 0;
+/// Available copy bindings at one location: v -> defining expression, with
+/// "every run reaching here last assigned v := e and none of e's operands
+/// changed since" as the invariant. Bindings own shared clones of the
+/// defining trees — the substitution phase rewrites the transitions the
+/// originals live in, so borrowing pointers into them would dangle.
+using CopyMap = std::map<VarId, std::shared_ptr<const TExpr>>;
+
+/// Transfer of one transition over an incoming copy map: bindings whose
+/// variable or operands are (parallel-)written die; each update `v := e`
+/// whose operands survive the step generates `v -> e`.
+CopyMap copy_transfer(const Transition& t, const CopyMap& in,
+                      std::size_t num_vars) {
+  std::vector<bool> written(num_vars, false);
+  for (const Update& u : t.updates) written[u.var] = true;
+
+  const auto operands_stable = [&](const TExpr& e) {
+    std::vector<VarId> vars;
+    e.collect_vars(vars);
+    for (VarId v : vars)
+      if (written[v]) return false;
+    return true;
+  };
+
+  CopyMap out;
+  for (const auto& [v, e] : in)
+    if (!written[v] && operands_stable(*e)) out.emplace(v, e);
+  for (const Update& u : t.updates)
+    if (operands_stable(*u.value))
+      out[u.var] = std::shared_ptr<const TExpr>(u.value->clone().release());
+  return out;
+}
+
+/// Meet at a join point: equality intersection. Keeps a binding only when
+/// both arms established the same defining expression — which is exactly
+/// how temporaries materialised identically on both branch arms survive
+/// past the join.
+bool copy_intersect(CopyMap& into, const CopyMap& with) {
+  bool shrunk = false;
+  for (auto it = into.begin(); it != into.end();) {
+    const auto other = with.find(it->first);
+    if (other == with.end() || !other->second->equals(*it->second)) {
+      it = into.erase(it);
+      shrunk = true;
+    } else {
+      ++it;
+    }
+  }
+  return shrunk;
+}
+
+/// Forward available-copies fixpoint over the location graph. Bottom
+/// (unreached) locations are represented by absence; the initial location
+/// starts with no bindings (free initial values define nothing).
+std::vector<std::optional<CopyMap>> compute_copies(
+    const TransitionSystem& ts) {
+  std::vector<std::optional<CopyMap>> avail(ts.num_locs);
+  avail[ts.initial].emplace();
   bool changed = true;
   while (changed) {
     changed = false;
-    const auto in = in_index(ts);
-    for (Loc l = 0; l < ts.num_locs; ++l) {
-      if (l == ts.initial || in[l].empty()) continue;
-      const Transition& first = ts.transitions[in[l][0]];
-      if (first.is_decision() || first.guard != nullptr ||
-          first.updates.size() != 1 || first.from == l)
-        continue;
-      const VarId v = first.updates[0].var;
-      const TExpr& e = *first.updates[0].value;
-      if (e.references(v) || e.size() > kMaxExprSize / 4) continue;
-      bool uniform = true;
-      for (std::size_t ti : in[l]) {
-        const Transition& t = ts.transitions[ti];
-        if (t.is_decision() || t.guard != nullptr || t.updates.size() != 1 ||
-            t.from == l || t.updates[0].var != v ||
-            !t.updates[0].value->equals(e)) {
-          uniform = false;
-          break;
-        }
+    for (const Transition& t : ts.transitions) {
+      if (!avail[t.from]) continue;
+      CopyMap out = copy_transfer(t, *avail[t.from], ts.vars.size());
+      if (!avail[t.to]) {
+        avail[t.to] = std::move(out);
+        changed = true;
+      } else if (copy_intersect(*avail[t.to], out)) {
+        changed = true;
       }
-      if (!uniform) continue;
+    }
+  }
+  return avail;
+}
 
-      const TExprPtr repl = coerce(e.clone(), ts.vars[v].type);
-      for (Transition& t : ts.transitions) {
-        if (t.from != l) continue;
+/// Inlines defining expressions into the reads they dominate: wherever the
+/// available-copies analysis proves `v == e` at a transition's source
+/// location, reads of v in its guard and update RHSs can evaluate e
+/// directly. Unlike a single-predecessor rule this survives joins (the
+/// value-numbering case: the same temporary materialised on both branch
+/// arms), so the variable becomes removable once no read remains
+/// (LiveVariables / DeadVariableElim pick it up).
+std::size_t reverse_cse(TransitionSystem& ts) {
+  std::size_t substitutions = 0;
+  bool changed = true;
+  // Substitutions re-expose copies (a chain t2 := t1 + 1 inlines one hop
+  // per round); the round cap bounds pathological ping-pong between
+  // mutually-copied variables, which the size caps alone cannot.
+  for (int round = 0; changed && round < 16; ++round) {
+    changed = false;
+    const auto avail = compute_copies(ts);
+    for (Transition& t : ts.transitions) {
+      if (!avail[t.from] || avail[t.from]->empty()) continue;
+      const CopyMap& copies = *avail[t.from];
+      for (const auto& [v, e] : copies) {
+        if (e->references(v) || e->size() > kMaxExprSize / 4) continue;
+        if (e->kind == TExprKind::Var) {
+          // Skip one half of a mutual copy pair (v == w and w == v hold
+          // simultaneously after a swap-shaped join): substituting both
+          // directions would oscillate forever.
+          const auto back = copies.find(e->var);
+          if (back != copies.end() && back->second->kind == TExprKind::Var &&
+              back->second->var == v && e->var < v)
+            continue;
+        }
+        const TExprPtr repl = coerce(e->clone(), ts.vars[v].type);
         std::size_t n = 0;
         if (t.guard && t.guard->size() <= kMaxExprSize)
           n += substitute(t.guard, v, *repl);
@@ -471,12 +542,246 @@ Interval eval_interval(const TExpr& e, const std::vector<Interval>& env) {
   return type_interval(e.type);
 }
 
+/// Unwraps identity conversions: a Plus node whose operand's interval
+/// already fits the node type converts nothing, so guard information
+/// about the node applies to the operand unchanged.
+const TExpr* peel_identity(const TExpr* e, const std::vector<Interval>& env) {
+  while (e->kind == TExprKind::Unary && e->un_op == minic::UnOp::Plus) {
+    const Interval inner = eval_interval(*e->args[0], env);
+    const Interval tr = type_interval(e->type);
+    if (inner.lo < tr.lo || inner.hi > tr.hi) break;
+    e = e->args[0].get();
+  }
+  return e;
+}
+
+/// The value of a variable-free expression, when it folds to a point.
+std::optional<std::int64_t> const_value(const TExpr& e,
+                                        const std::vector<Interval>& env) {
+  std::vector<VarId> vars;
+  e.collect_vars(vars);
+  if (!vars.empty()) return std::nullopt;
+  const Interval i = eval_interval(e, env);
+  if (i.lo != i.hi) return std::nullopt;
+  return i.lo;
+}
+
+/// Meets env[var_node.var] with [lo, hi]. Sound only while the read is the
+/// identity on the stored interval (no wrap on the way to the comparison),
+/// and only when the stored interval also fits `must_fit` — the range of
+/// the type the comparison actually happens at. Returns false when the
+/// meet is empty: the guard cannot hold in this environment.
+bool meet_var(const TExpr& var_node, std::vector<Interval>& env,
+              std::int64_t lo, std::int64_t hi, const Interval& must_fit) {
+  const Interval cur = env[var_node.var];
+  const Interval tr = type_interval(var_node.type);
+  if (cur.lo < tr.lo || cur.hi > tr.hi) return true;       // read wraps
+  if (cur.lo < must_fit.lo || cur.hi > must_fit.hi) return true;
+  const Interval met{std::max(cur.lo, lo), std::min(cur.hi, hi)};
+  if (met.lo > met.hi) return false;
+  env[var_node.var] = met;
+  return true;
+}
+
+/// Refines the environment along a `var cmp const` (either side) guard
+/// edge. Unhandled shapes refine nothing and stay sound.
+bool refine_cmp(const TExpr& e, std::vector<Interval>& env, bool truth) {
+  using minic::BinOp;
+  BinOp op = e.bin_op;
+  const TExpr* a = peel_identity(e.args[0].get(), env);
+  const TExpr* b = peel_identity(e.args[1].get(), env);
+  if (a->kind != TExprKind::Var) {
+    std::swap(a, b);
+    switch (op) {
+      case BinOp::Lt: op = BinOp::Gt; break;
+      case BinOp::Le: op = BinOp::Ge; break;
+      case BinOp::Gt: op = BinOp::Lt; break;
+      case BinOp::Ge: op = BinOp::Le; break;
+      default: break;  // Eq / Ne are symmetric
+    }
+  }
+  if (a->kind != TExprKind::Var) return true;
+  const std::optional<std::int64_t> cv = const_value(*b, env);
+  if (!cv) return true;
+  const std::int64_t c = *cv;
+  // The comparison happens at the operands' common arithmetic type; both
+  // sides must reach it without wrapping for interval talk to apply.
+  const Type ot = minic::arith_result(e.args[0]->type, e.args[1]->type);
+  const Interval otr = type_interval(ot);
+  if (c < otr.lo || c > otr.hi) return true;
+  if (!truth) {
+    switch (op) {
+      case BinOp::Lt: op = BinOp::Ge; break;
+      case BinOp::Le: op = BinOp::Gt; break;
+      case BinOp::Gt: op = BinOp::Le; break;
+      case BinOp::Ge: op = BinOp::Lt; break;
+      case BinOp::Eq: op = BinOp::Ne; break;
+      case BinOp::Ne: op = BinOp::Eq; break;
+      default: return true;
+    }
+  }
+  switch (op) {
+    case BinOp::Lt:
+      if (c == INT64_MIN) return false;
+      return meet_var(*a, env, INT64_MIN, c - 1, otr);
+    case BinOp::Le:
+      return meet_var(*a, env, INT64_MIN, c, otr);
+    case BinOp::Gt:
+      if (c == INT64_MAX) return false;
+      return meet_var(*a, env, c + 1, INT64_MAX, otr);
+    case BinOp::Ge:
+      return meet_var(*a, env, c, INT64_MAX, otr);
+    case BinOp::Eq:
+      return meet_var(*a, env, c, c, otr);
+    case BinOp::Ne: {
+      const Interval cur = env[a->var];
+      const Interval tr = type_interval(a->type);
+      if (cur.lo < tr.lo || cur.hi > tr.hi ||
+          cur.lo < otr.lo || cur.hi > otr.hi)
+        return true;
+      if (cur.lo == c && cur.hi == c) return false;
+      if (cur.lo == c) env[a->var].lo = c + 1;
+      else if (cur.hi == c) env[a->var].hi = c - 1;
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+/// Branch refinement (guard edges constrain intervals): meets `env` with
+/// what `g`'s truth value implies. Returns false when the guard is
+/// infeasible from this environment — the edge never fires and must not
+/// propagate. Conservative: unrecognised shapes refine nothing.
+bool refine_by_guard(const TExpr& g, std::vector<Interval>& env,
+                     bool truth) {
+  using minic::BinOp;
+  using minic::UnOp;
+  const TExpr* e = peel_identity(&g, env);
+  switch (e->kind) {
+    case TExprKind::Const:
+      return (e->value != 0) == truth;
+    case TExprKind::Var: {
+      const Interval cur = env[e->var];
+      const Interval tr = type_interval(e->type);
+      if (cur.lo < tr.lo || cur.hi > tr.hi) return true;   // read wraps
+      if (!truth) {
+        const Interval met{std::max<std::int64_t>(cur.lo, 0),
+                           std::min<std::int64_t>(cur.hi, 0)};
+        if (met.lo > met.hi) return false;
+        env[e->var] = met;
+        return true;
+      }
+      if (cur.lo == 0 && cur.hi == 0) return false;
+      if (cur.lo == 0) env[e->var].lo = 1;
+      else if (cur.hi == 0) env[e->var].hi = -1;
+      return true;
+    }
+    case TExprKind::Unary:
+      if (e->un_op == UnOp::LogicalNot)
+        return refine_by_guard(*e->args[0], env, !truth);
+      return true;
+    case TExprKind::Binary:
+      if (e->bin_op == BinOp::LogicalAnd && truth)
+        return refine_by_guard(*e->args[0], env, true) &&
+               refine_by_guard(*e->args[1], env, true);
+      if (e->bin_op == BinOp::LogicalOr && !truth)
+        return refine_by_guard(*e->args[0], env, false) &&
+               refine_by_guard(*e->args[1], env, false);
+      switch (e->bin_op) {
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          return refine_cmp(*e, env, truth);
+        default:
+          return true;
+      }
+    case TExprKind::Cond:
+      return true;
+  }
+  return true;
+}
+
+/// Guard constants compared against each variable, collected syntactically
+/// over every guard: the natural widening ceilings. Loop counters settle
+/// against the bound their exit guard compares with, so widening to the
+/// nearest guard constant (instead of the full type range) keeps exactly
+/// the loop-bound information the plain widening throws away.
+std::vector<std::vector<std::int64_t>> guard_thresholds(
+    const TransitionSystem& ts) {
+  const std::size_t n = ts.vars.size();
+  std::vector<std::vector<std::int64_t>> th(n);
+  const std::vector<Interval> no_env(n, Interval{0, 0});
+
+  const auto visit = [&](const TExpr& e, const auto& self) -> void {
+    using minic::BinOp;
+    if (e.kind == TExprKind::Binary) {
+      switch (e.bin_op) {
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge: {
+          const TExpr* a = peel_identity(e.args[0].get(), no_env);
+          const TExpr* b = peel_identity(e.args[1].get(), no_env);
+          if (a->kind != TExprKind::Var) std::swap(a, b);
+          if (a->kind == TExprKind::Var) {
+            if (const auto c = const_value(*b, no_env)) {
+              if (*c > INT64_MIN) th[a->var].push_back(*c - 1);
+              th[a->var].push_back(*c);
+              if (*c < INT64_MAX) th[a->var].push_back(*c + 1);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (const TExprPtr& arg : e.args) self(*arg, self);
+  };
+  for (const Transition& t : ts.transitions)
+    if (t.guard) visit(*t.guard, visit);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    th[v].push_back(0);
+    th[v].push_back(ts.vars[v].decl_lo);
+    th[v].push_back(ts.vars[v].decl_hi);
+    std::sort(th[v].begin(), th[v].end());
+    th[v].erase(std::unique(th[v].begin(), th[v].end()), th[v].end());
+  }
+  return th;
+}
+
+/// Widens `next` to the nearest enclosing threshold pair (falling back to
+/// the full type range). Always a superset of `next`, so it is a sound
+/// widening target; the finite threshold set bounds the number of stages
+/// a still-growing cell can pass through.
+Interval widen_to_threshold(const Interval& next,
+                            const std::vector<std::int64_t>& th, Type type) {
+  const Interval tr = type_interval(type);
+  Interval w = tr;
+  for (const std::int64_t t : th)
+    if (t <= next.lo && t > w.lo) w.lo = t;
+  for (auto it = th.rbegin(); it != th.rend(); ++it)
+    if (*it >= next.hi && *it < w.hi) w.hi = *it;
+  w.lo = std::max(w.lo, tr.lo);
+  w.hi = std::min(w.hi, tr.hi);
+  return w.join(next);
+}
+
 /// Narrows [lo, hi] per variable to a flow-sensitive over-approximation of
 /// the values it can actually hold: one interval per (location, variable),
-/// propagated to a fixpoint (with widening on loops), then joined over all
-/// reachable locations. Location sensitivity matters — a flow-insensitive
-/// join would feed `mode = mode + 1` its own output forever and widen away
-/// every accumulator. Fewer representable values -> fewer encoding bits
+/// propagated to a fixpoint (with threshold widening on loops, and guard
+/// edges refining the environment they propagate), then tightened by a
+/// narrowing iteration, then joined over all reachable locations.
+/// Location sensitivity matters — a flow-insensitive join would feed
+/// `mode = mode + 1` its own output forever and widen away every
+/// accumulator. Fewer representable values -> fewer encoding bits
 /// (Section 3.2.4's "1 bit vs 16 bits for boolean expressions").
 std::size_t range_analysis(TransitionSystem& ts) {
   const std::size_t n = ts.vars.size();
@@ -502,23 +807,40 @@ std::size_t range_analysis(TransitionSystem& ts) {
   env[ts.initial] = init;
   reached[ts.initial] = true;
 
+  // One transfer: refine the source environment by the guard (an
+  // infeasible guard means the edge never fires from this environment),
+  // then apply the updates on the refined values.
+  const auto transfer = [&](const Transition& t,
+                            std::vector<Interval>& out) -> bool {
+    out = env[t.from];
+    if (t.guard && !refine_by_guard(*t.guard, out, true)) return false;
+    const std::vector<Interval> cur = out;
+    for (const Update& u : t.updates)
+      out[u.var] = wrap_interval(eval_interval(*u.value, cur),
+                                 ts.vars[u.var].type);
+    return true;
+  };
+
   // Chaotic iteration; a (location, variable) cell still growing after its
-  // grace rounds widens to a sound ceiling — the full type range (updates
+  // grace rounds widens to the nearest guard-constant threshold, and past
+  // the last threshold to the sound ceiling — the full type range (updates
   // wrap to the type, so every stored value lies inside it; the old
   // [lo, hi] domain does NOT bound stored values and must not be used, or
   // downstream reads would narrow on an under-approximation).
+  const auto thresholds = guard_thresholds(ts);
+  std::size_t total_thresholds = 0;
+  for (const auto& th : thresholds) total_thresholds += th.size();
   std::vector<int> grew(ts.num_locs * n, 0);
-  const int max_rounds = 64 + 8 * static_cast<int>(ts.num_locs);
+  const int max_rounds = 64 + 8 * static_cast<int>(ts.num_locs) +
+                         8 * static_cast<int>(total_thresholds);
   bool changed = true;
   int rounds = 0;
   while (changed && rounds++ < max_rounds) {
     changed = false;
     for (const Transition& t : ts.transitions) {
       if (!reached[t.from]) continue;
-      std::vector<Interval> out = env[t.from];
-      for (const Update& u : t.updates)
-        out[u.var] = wrap_interval(eval_interval(*u.value, env[t.from]),
-                                   ts.vars[u.var].type);
+      std::vector<Interval> out;
+      if (!transfer(t, out)) continue;
       if (!reached[t.to]) {
         env[t.to] = std::move(out);
         reached[t.to] = true;
@@ -531,7 +853,8 @@ std::size_t range_analysis(TransitionSystem& ts) {
         changed = true;
         env[t.to][v] =
             ++grew[t.to * n + v] > 8
-                ? next.join(type_interval(ts.vars[v].type))
+                ? widen_to_threshold(next, thresholds[v],
+                                     ts.vars[v].type)
                 : next;
       }
     }
@@ -539,6 +862,45 @@ std::size_t range_analysis(TransitionSystem& ts) {
   // No fixpoint within the round budget: anything computed so far may
   // under-approximate — narrowing on it would be unsound, so do nothing.
   if (changed) return 0;
+
+  // Narrowing: recompute every location from its predecessors and meet
+  // with the fixpoint. Downward iteration from a post-fixpoint stays above
+  // the exact invariant for any number of steps, so a fixed two rounds
+  // are sound and claw back what a widening overshoot cost. A location no
+  // recomputation feeds (or whose meet empties) is unreachable.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::vector<Interval>> fresh(ts.num_locs,
+                                             std::vector<Interval>(n));
+    std::vector<bool> has(ts.num_locs, false);
+    fresh[ts.initial] = init;
+    has[ts.initial] = true;
+    for (const Transition& t : ts.transitions) {
+      if (!reached[t.from]) continue;
+      std::vector<Interval> out;
+      if (!transfer(t, out)) continue;
+      if (!has[t.to]) {
+        fresh[t.to] = std::move(out);
+        has[t.to] = true;
+      } else {
+        for (std::size_t v = 0; v < n; ++v)
+          fresh[t.to][v] = fresh[t.to][v].join(out[v]);
+      }
+    }
+    for (Loc l = 0; l < ts.num_locs; ++l) {
+      if (!reached[l]) continue;
+      if (!has[l]) {
+        reached[l] = false;
+        continue;
+      }
+      bool empty = false;
+      for (std::size_t v = 0; v < n; ++v) {
+        env[l][v].lo = std::max(env[l][v].lo, fresh[l][v].lo);
+        env[l][v].hi = std::min(env[l][v].hi, fresh[l][v].hi);
+        empty |= env[l][v].lo > env[l][v].hi;
+      }
+      if (empty) reached[l] = false;
+    }
+  }
 
   std::size_t narrowed = 0;
   for (std::size_t v = 0; v < n; ++v) {
@@ -561,48 +923,16 @@ std::size_t range_analysis(TransitionSystem& ts) {
 
 // ------------------------------------------------------ StatementConcat
 
-/// True when the location graph has a cycle (a loop survived into the
-/// transition system).
-bool has_cycle(const TransitionSystem& ts) {
-  std::vector<std::vector<Loc>> out(ts.num_locs);
-  for (const Transition& t : ts.transitions) out[t.from].push_back(t.to);
-  // 0 = unvisited, 1 = on stack, 2 = done.
-  std::vector<std::uint8_t> color(ts.num_locs, 0);
-  for (Loc root = 0; root < ts.num_locs; ++root) {
-    if (color[root] != 0) continue;
-    std::vector<std::pair<Loc, std::size_t>> stack{{root, 0}};
-    color[root] = 1;
-    while (!stack.empty()) {
-      auto& [l, next] = stack.back();
-      if (next < out[l].size()) {
-        const Loc s = out[l][next++];
-        if (color[s] == 1) return true;
-        if (color[s] == 0) {
-          color[s] = 1;
-          stack.emplace_back(s, 0);
-        }
-      } else {
-        color[l] = 2;
-        stack.pop_back();
-      }
-    }
-  }
-  return false;
-}
-
 /// Merges transition chains through single-entry locations (Section
 /// 3.2.3): an unguarded statement folds forward into every successor
 /// transition, and a lone unguarded statement folds backward into its
 /// guarded predecessor. Decision transitions keep their origin, so forced
 /// -choice BMC queries and decision traces are unaffected; two decisions
-/// never merge.
+/// never merge. Update-carrying merges into decision fan-outs are taken
+/// even in cyclic systems: the driver recomputes the required unroll depth
+/// from the optimised system, so fewer locations per loop iteration now
+/// shorten the unroll there too.
 std::size_t statement_concat(TransitionSystem& ts) {
-  // In a cyclic system the BMC unroll depth is dictated by the loop-bound
-  // estimate and cannot shrink with the location count, so copying an
-  /// update-carrying statement into every edge of a decision only inflates
-  // the per-step circuit. Merge those only in loop-free systems, where the
-  // shorter unroll pays for the duplication.
-  const bool cyclic = has_cycle(ts);
   std::size_t merges = 0;
   bool changed = true;
   while (changed) {
@@ -624,8 +954,6 @@ std::size_t statement_concat(TransitionSystem& ts) {
       // guarded/decision A needs a single unguarded successor B (B always
       // fired after A, so guard and firing pattern are exactly A's).
       const bool a_plain = !a.is_decision() && a.guard == nullptr;
-      if (a_plain && cyclic && out[l].size() > 1 && !a.updates.empty())
-        continue;
       bool b_all_ok = true;
       if (!a_plain) {
         b_all_ok = out[l].size() == 1;
@@ -837,6 +1165,11 @@ std::vector<VarId> identity_map(std::size_t n) {
 PassReport run_pass(TransitionSystem& ts, Pass pass) {
   std::vector<VarId> map = identity_map(ts.vars.size());
   return apply_pass(ts, pass, map);
+}
+
+PassReport run_pass_mapped(TransitionSystem& ts, Pass pass,
+                           std::vector<VarId>& var_map) {
+  return apply_pass(ts, pass, var_map);
 }
 
 std::vector<PassReport> run_passes(TransitionSystem& ts,

@@ -50,11 +50,23 @@ struct PassReport {
   std::size_t vars_before = 0, vars_after = 0;
   int data_bits_before = 0, data_bits_after = 0;
   std::size_t transitions_before = 0, transitions_after = 0;
+  /// Required BMC unroll depth around this pass, recomputed from the
+  /// transition system by the driver (0 when the caller does not track
+  /// depth — run_pass / run_passes leave these untouched).
+  std::uint32_t depth_before = 0, depth_after = 0;
   std::size_t details = 0;  // substitutions / merges / pins, pass-specific
 };
 
 /// Applies one pass in place.
 PassReport run_pass(tsys::TransitionSystem& ts, Pass pass);
+
+/// Applies one pass in place, composing the old->new VarId remapping into
+/// `var_map` (which must hold one entry per pre-pass variable of the
+/// ORIGINAL system, kNoVar for already-removed ids). This is the
+/// per-pass building block run_passes_mapped loops over; the driver uses
+/// it directly to interleave depth recomputation between passes.
+PassReport run_pass_mapped(tsys::TransitionSystem& ts, Pass pass,
+                           std::vector<tsys::VarId>& var_map);
 
 /// Applies a sequence of passes; returns one report per pass.
 std::vector<PassReport> run_passes(tsys::TransitionSystem& ts,

@@ -1,0 +1,318 @@
+#include "opt/slice.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "minic/eval.h"
+#include "opt/passes.h"
+
+namespace tmg::opt {
+namespace {
+
+using tsys::Loc;
+using tsys::Transition;
+using tsys::TransitionSystem;
+using tsys::Update;
+using tsys::VarId;
+using tsys::VarInfo;
+
+/// Strongly connected component id per location (iterative Tarjan).
+/// Defaulted decisions must take an SCC-leaving successor so no loop can
+/// spin on a removed guard.
+std::vector<std::uint32_t> scc_ids(const TransitionSystem& ts) {
+  const std::size_t n = ts.num_locs;
+  std::vector<std::vector<Loc>> out(n);
+  for (const Transition& t : ts.transitions) out[t.from].push_back(t.to);
+  std::vector<std::uint32_t> index(n, UINT32_MAX);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::uint32_t> comp(n, UINT32_MAX);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Loc> stack;
+  std::uint32_t next_index = 0;
+  std::uint32_t next_comp = 0;
+  struct Frame {
+    Loc v;
+    std::size_t child;
+  };
+  for (Loc root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < out[f.v].size()) {
+        const Loc w = out[f.v][f.child++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          while (true) {
+            const Loc w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == f.v) break;
+          }
+          ++next_comp;
+        }
+        const Loc done = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          low[frames.back().v] = std::min(low[frames.back().v], low[done]);
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+SegmentSlice build_slice(const TransitionSystem& full,
+                         const std::vector<bool>& keep_decisions) {
+  SegmentSlice s;
+  const std::size_t n_locs = full.num_locs;
+
+  std::vector<std::vector<std::size_t>> out(n_locs);
+  for (std::size_t i = 0; i < full.transitions.size(); ++i)
+    out[full.transitions[i].from].push_back(i);
+
+  // Location states: 0 = not a decision fan-out, 1 = kept, 2 = defaulted.
+  // Every location's out-transitions share one origin block (translation
+  // invariant the passes preserve), so the block-level request maps
+  // directly onto locations.
+  std::vector<std::uint8_t> state(n_locs, 0);
+  for (Loc l = 0; l < n_locs; ++l) {
+    if (out[l].empty()) continue;
+    const Transition& first = full.transitions[out[l][0]];
+    if (!first.is_decision()) continue;
+    const cfg::BlockId b = first.origin_block;
+    const bool kept = b >= keep_decisions.size() || keep_decisions[b];
+    state[l] = kept ? 1 : 2;
+  }
+
+  // Pick each defaulted decision's successor: the smallest-index branch
+  // that leaves the decision's SCC. A decision with no such branch is
+  // re-added to the kept set — defaulting it could trap a run inside the
+  // loop forever, and the whole construction leans on every sliced run
+  // terminating structurally. Re-adding only grows the kept set, so this
+  // converges.
+  const std::vector<std::uint32_t> comp = scc_ids(full);
+  std::vector<std::size_t> default_of(n_locs, SIZE_MAX);
+  bool again = true;
+  while (again) {
+    again = false;
+    for (Loc l = 0; l < n_locs; ++l) {
+      if (state[l] != 2) continue;
+      std::size_t best = SIZE_MAX;
+      for (const std::size_t ti : out[l]) {
+        const Transition& t = full.transitions[ti];
+        if (comp[t.to] == comp[l]) continue;
+        if (best == SIZE_MAX ||
+            t.origin_succ < full.transitions[best].origin_succ)
+          best = ti;
+      }
+      if (best == SIZE_MAX) {
+        state[l] = 1;
+        again = true;
+      } else {
+        default_of[l] = best;
+      }
+    }
+  }
+
+  // Emit the sliced transitions in the original order: kept locations
+  // verbatim, defaulted decisions collapsed to their single successor
+  // with the guard removed and the decision marker cleared (the surviving
+  // edge fires unconditionally; queries never reference it).
+  TransitionSystem ts;
+  ts.name = full.name;
+  ts.vars = full.vars;
+  ts.num_locs = full.num_locs;
+  ts.initial = full.initial;
+  ts.final = full.final;
+  for (std::size_t i = 0; i < full.transitions.size(); ++i) {
+    const Transition& t = full.transitions[i];
+    if (state[t.from] == 2) {
+      if (i != default_of[t.from]) continue;
+      Transition d;
+      d.from = t.from;
+      d.to = t.to;
+      d.guard = nullptr;
+      d.updates.reserve(t.updates.size());
+      for (const Update& u : t.updates) {
+        Update nu;
+        nu.var = u.var;
+        nu.value = u.value->clone();
+        d.updates.push_back(std::move(nu));
+      }
+      d.origin_block = t.origin_block;
+      d.origin_succ = UINT32_MAX;
+      ts.transitions.push_back(std::move(d));
+      ++s.defaulted_decisions;
+      continue;
+    }
+    Transition c;
+    c.from = t.from;
+    c.to = t.to;
+    c.guard = t.guard ? t.guard->clone() : nullptr;
+    c.updates.reserve(t.updates.size());
+    for (const Update& u : t.updates) {
+      Update nu;
+      nu.var = u.var;
+      nu.value = u.value->clone();
+      c.updates.push_back(std::move(nu));
+    }
+    c.origin_block = t.origin_block;
+    c.origin_succ = t.origin_succ;
+    ts.transitions.push_back(std::move(c));
+  }
+
+  // Defaulting cuts sibling branches, which can strand whole subgraphs:
+  // prune everything unreachable from the initial location.
+  {
+    std::vector<std::vector<std::size_t>> out2(ts.num_locs);
+    for (std::size_t i = 0; i < ts.transitions.size(); ++i)
+      out2[ts.transitions[i].from].push_back(i);
+    std::vector<bool> seen(ts.num_locs, false);
+    std::vector<Loc> work{ts.initial};
+    seen[ts.initial] = true;
+    while (!work.empty()) {
+      const Loc l = work.back();
+      work.pop_back();
+      for (const std::size_t ti : out2[l]) {
+        const Loc to = ts.transitions[ti].to;
+        if (!seen[to]) {
+          seen[to] = true;
+          work.push_back(to);
+        }
+      }
+    }
+    std::vector<Transition> live;
+    live.reserve(ts.transitions.size());
+    for (Transition& t : ts.transitions)
+      if (seen[t.from]) live.push_back(std::move(t));
+    ts.transitions = std::move(live);
+  }
+
+  // Needed-variable closure from the surviving guards: a variable matters
+  // only if some kept guard reads it, directly or through the updates
+  // that feed it. Everything else (including inputs) is dead weight for
+  // this query — its updates go too.
+  std::vector<bool> needed(ts.vars.size(), false);
+  {
+    std::vector<VarId> vs;
+    for (const Transition& t : ts.transitions)
+      if (t.guard) t.guard->collect_vars(vs);
+    for (const VarId v : vs) needed[v] = true;
+    bool grewset = true;
+    while (grewset) {
+      grewset = false;
+      for (const Transition& t : ts.transitions) {
+        for (const Update& u : t.updates) {
+          if (!needed[u.var]) continue;
+          vs.clear();
+          u.value->collect_vars(vs);
+          for (const VarId v : vs) {
+            if (!needed[v]) {
+              needed[v] = true;
+              grewset = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  for (Transition& t : ts.transitions) {
+    std::vector<Update> kept_updates;
+    kept_updates.reserve(t.updates.size());
+    for (Update& u : t.updates)
+      if (needed[u.var]) kept_updates.push_back(std::move(u));
+    t.updates = std::move(kept_updates);
+  }
+
+  s.dropped_vars =
+      static_cast<std::size_t>(std::count(needed.begin(), needed.end(), false));
+  s.dropped_transitions = full.transitions.size() - ts.transitions.size();
+  s.var_map = remove_vars(ts, needed);
+  compact_locations(ts);
+  for (std::size_t i = 0; i < ts.transitions.size(); ++i)
+    ts.transitions[i].id = static_cast<std::uint32_t>(i);
+
+  s.trivial = s.dropped_vars == 0 && s.dropped_transitions == 0 &&
+              s.defaulted_decisions == 0;
+  s.fingerprint = ts.to_sal();
+  s.ts = std::move(ts);
+  return s;
+}
+
+std::vector<std::int64_t> expand_witness(
+    const TransitionSystem& full, const SegmentSlice& slice,
+    const std::vector<std::int64_t>& sliced_witness) {
+  std::vector<std::int64_t> out(full.vars.size(), 0);
+  for (std::size_t v = 0; v < full.vars.size(); ++v) {
+    const VarId sv = slice.var_map[v];
+    if (sv != tsys::kNoVar) {
+      out[v] = static_cast<std::size_t>(sv) < sliced_witness.size()
+                   ? sliced_witness[sv]
+                   : 0;
+      continue;
+    }
+    const VarInfo& info = full.vars[v];
+    if (!info.is_input && info.has_init) {
+      // The encoding pins these; witnesses report the pinned value.
+      out[v] = info.init;
+      continue;
+    }
+    // Free variable: the witness minimiser's preference anchor — it could
+    // not constrain any kept guard, so the full-system minimisation would
+    // have driven it exactly here.
+    const std::int64_t lo = info.init_lo();
+    const std::int64_t hi = info.init_hi();
+    out[v] = lo <= 0 && 0 <= hi ? 0 : lo;
+  }
+  return out;
+}
+
+std::vector<cfg::EdgeRef> replay_decisions(
+    const TransitionSystem& ts, const std::vector<std::int64_t>& initial_values,
+    std::uint64_t max_steps) {
+  std::vector<cfg::EdgeRef> trace;
+  std::vector<std::int64_t> env = initial_values;
+  env.resize(ts.vars.size(), 0);
+  Loc cur = ts.initial;
+  const auto out = ts.out_index();
+  std::uint64_t steps = 0;
+  while (cur != ts.final && steps++ < max_steps) {
+    const Transition* taken = nullptr;
+    for (const Transition* t : out[cur]) {
+      if (!t->guard || tsys::eval_texpr(*t->guard, env) != 0) {
+        taken = t;
+        break;
+      }
+    }
+    if (!taken) break;
+    if (taken->is_decision())
+      trace.push_back(cfg::EdgeRef{taken->origin_block, taken->origin_succ});
+    std::vector<std::int64_t> next_env = env;
+    for (const Update& u : taken->updates)
+      next_env[u.var] = minic::wrap_to_type(tsys::eval_texpr(*u.value, env),
+                                            ts.vars[u.var].type);
+    env = std::move(next_env);
+    cur = taken->to;
+  }
+  // Mirror the BMC session's replay contract: a run that does not finish
+  // has no trustworthy trace.
+  if (cur != ts.final) trace.clear();
+  return trace;
+}
+
+}  // namespace tmg::opt

@@ -1,0 +1,78 @@
+// Per-segment program slicing (static-analysis round 2). A feasibility
+// query about one segment (or one decision edge) only cares about the
+// decisions that can influence whether execution reaches it — everything
+// else is dead weight in the SAT encoding. Following Béchennec/Cassez
+// ("Computation of WCET using Program Slicing and Real-Time
+// Model-Checking"), each query gets its own backward slice of the
+// transition system:
+//
+//  * decisions that cannot reach the query's anchor are *defaulted*: the
+//    fan-out collapses to one unguarded successor that leaves the
+//    decision's SCC (so loops still exit and every sliced run
+//    terminates within the full system's unroll depth);
+//  * the needed-variable closure from the surviving guards then drops
+//    every variable and update that cannot influence any kept decision.
+//
+// Soundness rests on one reachability lemma: a decision firing before the
+// anchor in any run reaches the anchor in the CFG, so it is kept — sliced
+// runs and full runs agree decision-for-decision up to the anchor, and a
+// query is satisfiable against the slice iff it is against the full
+// system. Witnesses minimise to the same preferred values on the kept
+// variables (the feasible set is a product of kept choices and free
+// dropped choices), so the driver can expand a sliced witness to the full
+// system byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsys/tsys.h"
+
+namespace tmg::opt {
+
+/// One sliced system plus the bookkeeping the driver needs to route
+/// queries at it and translate its answers back.
+struct SegmentSlice {
+  tsys::TransitionSystem ts;
+  /// Full-system VarId -> sliced VarId (kNoVar for dropped variables).
+  std::vector<tsys::VarId> var_map;
+  /// Content key (the SAL rendering of `ts`): two queries whose slices
+  /// render identically may share one warm session.
+  std::string fingerprint;
+  /// Nothing was dropped — solve against the full system instead.
+  bool trivial = false;
+  std::size_t dropped_vars = 0;
+  std::size_t dropped_transitions = 0;
+  std::size_t defaulted_decisions = 0;
+};
+
+/// Builds the slice of `full` that keeps exactly the decision fan-outs of
+/// the origin blocks marked in `keep_decisions` (indexed by BlockId;
+/// blocks beyond its size are kept). Decisions whose every successor
+/// stays inside their SCC are re-added (defaulting them could unbound a
+/// loop), so the kept set may grow beyond the request — never shrink.
+SegmentSlice build_slice(const tsys::TransitionSystem& full,
+                         const std::vector<bool>& keep_decisions);
+
+/// Expands a sliced witness (initial values per sliced VarId) to the full
+/// system: kept variables copy their sliced value; dropped variables take
+/// their pinned init or, when free, the same preference anchor the
+/// witness minimiser targets (0 when the initial domain contains it, else
+/// the domain's low end). With the product structure above this is
+/// byte-identical to minimising against the full system.
+std::vector<std::int64_t> expand_witness(
+    const tsys::TransitionSystem& full, const SegmentSlice& slice,
+    const std::vector<std::int64_t>& sliced_witness);
+
+/// Deterministic replay of `initial_values` (one per VarId) through `ts`,
+/// recording the decision edge taken at each fan-out — the full-system
+/// decision trace for an expanded witness. Returns an empty vector when
+/// the final location is not reached within `max_steps` (mirroring the
+/// BMC session's replay contract: no trace rather than a partial one).
+std::vector<cfg::EdgeRef> replay_decisions(
+    const tsys::TransitionSystem& ts,
+    const std::vector<std::int64_t>& initial_values, std::uint64_t max_steps);
+
+}  // namespace tmg::opt

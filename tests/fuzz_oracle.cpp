@@ -295,6 +295,58 @@ CheckOutcome check_program(const std::string& source,
                   fmt_trace(ot.paths[p].decision_trace));
   }
 
+  // ----------------------- slicing oracle: byte-identical with slicing off
+  // Per-segment slicing must be invisible in the timing model: same
+  // verdicts, same minimised witnesses, same per-iteration decision
+  // traces (sliced witnesses are expanded back to the full variable set
+  // and their traces recomputed by full-system replay). Encoding metrics
+  // (CNF sizes, solver effort) are allowed to shrink. Run at the default
+  // path bound so the partition has real region segments — that is where
+  // the per-segment and per-edge slices actually fire (whole-function
+  // schedules constrain every decision and stay unsliced).
+  {
+    PipelineOptions son;
+    son.jobs = 1;
+    PipelineOptions soff = son;
+    soff.slice = false;
+    const PipelineResult srun = Pipeline(son).run(source);
+    if (!srun.ok) return fail("pipeline(slice): " + srun.error);
+    const PipelineResult nrun = Pipeline(soff).run(source);
+    if (!nrun.ok) return fail("pipeline(noslice): " + nrun.error);
+    if (srun.functions.size() != nrun.functions.size())
+      return fail("slice: function set diverged with slicing off");
+    for (std::size_t fi = 0; fi < srun.functions.size(); ++fi) {
+      const driver::FunctionTiming& af = srun.functions[fi];
+      const driver::FunctionTiming& cf = nrun.functions[fi];
+      if (af.segments.size() != cf.segments.size())
+        return fail("slice: segment set diverged with slicing off");
+      for (std::size_t si = 0; si < af.segments.size(); ++si) {
+        const driver::SegmentTiming& as = af.segments[si];
+        const driver::SegmentTiming& cs = cf.segments[si];
+        if (as.bcet != cs.bcet || as.wcet != cs.wcet)
+          return fail("slice: segment BCET/WCET diverged with slicing off");
+        if (as.feasible != cs.feasible || as.infeasible != cs.infeasible ||
+            as.unknown != cs.unknown || as.validated != cs.validated ||
+            as.mismatched != cs.mismatched)
+          return fail("slice: segment tallies diverged with slicing off");
+        if (as.paths.size() != cs.paths.size())
+          return fail("slice: path set diverged with slicing off");
+        for (std::size_t p = 0; p < as.paths.size(); ++p) {
+          if (as.paths[p].blocks != cs.paths[p].blocks ||
+              as.paths[p].verdict != cs.paths[p].verdict ||
+              as.paths[p].cost != cs.paths[p].cost)
+            return fail("slice: path timing diverged with slicing off");
+          if (as.paths[p].witness != cs.paths[p].witness)
+            return fail("slice: witness diverged with slicing off");
+          if (as.paths[p].decision_trace != cs.paths[p].decision_trace)
+            return fail("slice: decision trace diverged with slicing off:" +
+                        fmt_trace(as.paths[p].decision_trace) + " vs" +
+                        fmt_trace(cs.paths[p].decision_trace));
+        }
+      }
+    }
+  }
+
   // ------------------------- witness stability (minimisation determinism)
   // Witnesses are preference-minimal models, so a repeated run must
   // reproduce them bit for bit.

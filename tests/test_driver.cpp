@@ -190,10 +190,12 @@ TEST_P(PaperExamplePipeline, RunsEndToEnd) {
   }
   EXPECT_TRUE(any_feasible);
 
-  // Every stage must have been timed.
-  ASSERT_EQ(ft.stages.size(), 4u);
+  // Every stage must have been timed (slice appears when the function is
+  // eligible for per-segment slicing, which all paper examples are).
+  ASSERT_EQ(ft.stages.size(), 5u);
   EXPECT_EQ(ft.stages[0].name, "cfg");
-  EXPECT_EQ(ft.stages[3].name, "bmc");
+  EXPECT_EQ(ft.stages[3].name, "slice");
+  EXPECT_EQ(ft.stages[4].name, "bmc");
 }
 
 TEST_P(PaperExamplePipeline, StructuralModeNeedsNoSolver) {
@@ -416,9 +418,10 @@ TEST(OptPipeline, ReportsCarryPassRows) {
   EXPECT_LT(ft.state_bits, ft.state_bits_before);
   EXPECT_LT(ft.locations, ft.locations_before);
   EXPECT_LE(ft.transitions, ft.transitions_before);
-  // The optimise stage is timed between translate and bmc.
-  ASSERT_EQ(ft.stages.size(), 5u);
+  // The optimise stage is timed between translate and slice/bmc.
+  ASSERT_EQ(ft.stages.size(), 6u);
   EXPECT_EQ(ft.stages[3].name, "optimise");
+  EXPECT_EQ(ft.stages[4].name, "slice");
 
   std::ostringstream text;
   render_report(r, opts, ReportFormat::Text, false, text);
@@ -1651,6 +1654,36 @@ TEST(GoldenTable2, ExamplesMatchCommittedRows) {
   EXPECT_EQ(normalize_table2_csv(out.str()), want.str())
       << "Optimisation characteristics changed. If intended, regenerate "
          "tests/golden/table2_examples.csv (see TESTING.md).";
+
+  // Encoding-size gate: the sharpened round-2 passes must keep the
+  // b1-b7 + fig1 aggregate optimised state bits strictly below the 196
+  // the first optimisation round achieved.
+  std::istringstream csv(out.str());
+  std::string line;
+  std::size_t fn_col = SIZE_MAX, bits_col = SIZE_MAX;
+  std::optional<int> total_bits;
+  bool header = true;
+  while (std::getline(csv, line)) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (header) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i] == "function") fn_col = i;
+        if (cells[i] == "bits_opt") bits_col = i;
+      }
+      ASSERT_NE(fn_col, SIZE_MAX);
+      ASSERT_NE(bits_col, SIZE_MAX);
+      header = false;
+      continue;
+    }
+    if (fn_col < cells.size() && bits_col < cells.size() &&
+        cells[fn_col] == "total")
+      total_bits = std::stoi(cells[bits_col]);
+  }
+  ASSERT_TRUE(total_bits.has_value()) << "aggregate row missing";
+  EXPECT_LT(*total_bits, 196);
 }
 
 }  // namespace

@@ -143,8 +143,18 @@ TEST(BenchReport, AggregatesAndSpeedup) {
   BenchReport r;
   r.workers = 4;
   r.repeats = 3;
-  r.files.push_back(BenchFile{"a.mc", 10, 2.0, 1.0, {}});
-  r.files.push_back(BenchFile{"b.mc", 30, 4.0, 1.0, {}});
+  BenchFile a;
+  a.path = "a.mc";
+  a.analysis_jobs = 10;
+  a.serial_seconds = 2.0;
+  a.parallel_seconds = 1.0;
+  r.files.push_back(std::move(a));
+  BenchFile b;
+  b.path = "b.mc";
+  b.analysis_jobs = 30;
+  b.serial_seconds = 4.0;
+  b.parallel_seconds = 1.0;
+  r.files.push_back(std::move(b));
   EXPECT_EQ(r.total_jobs(), 40u);
   EXPECT_DOUBLE_EQ(r.total_serial_seconds(), 6.0);
   EXPECT_DOUBLE_EQ(r.total_parallel_seconds(), 2.0);

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cfg/structure.h"
 #include "mc/explicit.h"
 #include "minic/frontend.h"
 #include "opt/passes.h"
+#include "opt/slice.h"
 #include "paper_examples.h"
 #include "support/rng.h"
 #include "tsys/translate.h"
@@ -465,6 +468,179 @@ TEST(ExploreRegression, SelfLoopAtLimitIsComplete) {
   const mc::ExploreResult r = mc::explore(ts, std::nullopt, opts);
   EXPECT_TRUE(r.complete);
   EXPECT_EQ(r.states, 2u);
+}
+
+// ---------------------------------------------------- per-segment slicing
+
+/// Decision origin blocks of `ts` in first-appearance (program) order.
+std::vector<cfg::BlockId> decision_blocks(const TransitionSystem& ts) {
+  std::vector<cfg::BlockId> out;
+  for (const tsys::Transition& t : ts.transitions)
+    if (t.is_decision() &&
+        std::find(out.begin(), out.end(), t.origin_block) == out.end())
+      out.push_back(t.origin_block);
+  return out;
+}
+
+constexpr const char* kTwoIndependentIfs = R"(
+void f(int a, int b)
+{
+  int x = 0;
+  if (a > 0) { x = 1; } else { x = 2; }
+  if (b > 0) { x = 3; } else { x = 4; }
+}
+)";
+
+TEST(Slice, DefaultsUnreachingDecisionsAndDropsTheirVariables) {
+  Built bb = build(kTwoIndependentIfs);
+  const TransitionSystem& ts = bb.tr->ts;
+  const std::vector<cfg::BlockId> decisions = decision_blocks(ts);
+  ASSERT_EQ(decisions.size(), 2u);
+
+  // Keep only the second decision: the first cannot influence whether it
+  // is reached (no guard downstream reads a or x), so it is defaulted
+  // and its variables drop out of the encoding.
+  std::vector<bool> keep(std::max(decisions[0], decisions[1]) + 1, false);
+  keep[decisions[1]] = true;
+  const SegmentSlice s = build_slice(ts, keep);
+  ASSERT_FALSE(s.trivial);
+  EXPECT_EQ(s.defaulted_decisions, 1u);
+  EXPECT_EQ(s.dropped_vars, 2u);  // a and x
+  for (std::size_t v = 0; v < ts.vars.size(); ++v)
+    EXPECT_EQ(s.var_map[v] != tsys::kNoVar, ts.vars[v].name == "b")
+        << ts.vars[v].name;
+
+  // The defaulted fan-out collapsed to one unguarded successor.
+  std::size_t first_outs = 0;
+  for (const tsys::Transition& t : s.ts.transitions)
+    if (t.origin_block == decisions[0]) {
+      ++first_outs;
+      EXPECT_EQ(t.guard, nullptr);
+      EXPECT_FALSE(t.is_decision());
+    }
+  EXPECT_EQ(first_outs, 1u);
+}
+
+TEST(Slice, KeepingEveryDecisionStillDropsGuardIrrelevantVariables) {
+  Built bb = build(testing::kExampleB6);
+  // Blocks beyond the request vector are kept, so an empty request keeps
+  // every decision. The needed-variable closure still prunes: sum and
+  // seed feed no guard, only the loop counter does.
+  const SegmentSlice s = build_slice(bb.tr->ts, {});
+  EXPECT_FALSE(s.trivial);
+  EXPECT_EQ(s.defaulted_decisions, 0u);
+  EXPECT_EQ(s.dropped_vars, 2u);
+  ASSERT_EQ(s.ts.vars.size(), 1u);
+  EXPECT_EQ(s.ts.vars[0].name, "i");
+}
+
+TEST(Slice, NothingToDropIsTrivial) {
+  Built bb = build(R"(
+void g(int a)
+{
+  if (a > 0) { }
+}
+)");
+  // One decision, one variable feeding its guard: the slice would be the
+  // full system, so the builder reports it trivial and the driver solves
+  // against the original instead.
+  const SegmentSlice s = build_slice(bb.tr->ts, {});
+  EXPECT_TRUE(s.trivial);
+}
+
+TEST(Slice, DefaultedLoopDecisionExitsTheLoop) {
+  Built bb = build(testing::kExampleB6);
+  const TransitionSystem& ts = bb.tr->ts;
+  const std::vector<cfg::BlockId> decisions = decision_blocks(ts);
+  ASSERT_FALSE(decisions.empty());
+  std::vector<bool> keep(
+      *std::max_element(decisions.begin(), decisions.end()) + 1, false);
+  const SegmentSlice s = build_slice(ts, keep);
+  ASSERT_FALSE(s.trivial);
+  EXPECT_GT(s.defaulted_decisions, 0u);
+  // With every guard gone, no variable can influence feasibility.
+  EXPECT_EQ(s.ts.vars.size(), 0u);
+  // Structural termination: the defaulted loop decision takes an edge
+  // that leaves its SCC, so exhaustive exploration reaches the final
+  // location and completes.
+  const mc::ExploreResult ex = mc::explore(s.ts, s.ts.final);
+  EXPECT_TRUE(ex.complete);
+  EXPECT_TRUE(ex.goal_reached);
+}
+
+TEST(Slice, ExpandedWitnessDrivesTheFullSystemThroughTheKeptChoice) {
+  Built bb = build(kTwoIndependentIfs);
+  const TransitionSystem& ts = bb.tr->ts;
+  const std::vector<cfg::BlockId> decisions = decision_blocks(ts);
+  ASSERT_EQ(decisions.size(), 2u);
+  std::vector<bool> keep(std::max(decisions[0], decisions[1]) + 1, false);
+  keep[decisions[1]] = true;
+  const SegmentSlice s = build_slice(ts, keep);
+  ASSERT_FALSE(s.trivial);
+
+  tsys::VarId b_full = tsys::kNoVar;
+  for (const tsys::VarInfo& v : ts.vars)
+    if (v.name == "b") b_full = v.id;
+  ASSERT_NE(b_full, tsys::kNoVar);
+
+  const auto trace_for = [&](std::int64_t b_value) {
+    std::vector<std::int64_t> sliced(s.ts.vars.size(), 0);
+    sliced[s.var_map[b_full]] = b_value;
+    const std::vector<std::int64_t> full = expand_witness(ts, s, sliced);
+    EXPECT_EQ(full.size(), ts.vars.size());
+    EXPECT_EQ(full[b_full], b_value);
+    return replay_decisions(ts, full, 64);
+  };
+
+  // Both expansions terminate in the full system and fire both
+  // decisions; the kept decision's branch follows the sliced value.
+  const std::vector<cfg::EdgeRef> pos = trace_for(5);
+  const std::vector<cfg::EdgeRef> neg = trace_for(-5);
+  ASSERT_EQ(pos.size(), 2u);
+  ASSERT_EQ(neg.size(), 2u);
+  EXPECT_EQ(pos[1].from, decisions[1]);
+  EXPECT_EQ(neg[1].from, decisions[1]);
+  EXPECT_NE(pos[1].succ_index, neg[1].succ_index);
+  // The dropped decision takes the same (witness-anchored) branch.
+  EXPECT_EQ(pos[0].from, decisions[0]);
+  EXPECT_EQ(pos[0].succ_index, neg[0].succ_index);
+}
+
+TEST(Slice, ReplayMatchesConcreteExecution) {
+  Built bb = build(testing::kExampleB6);
+  const TransitionSystem& ts = bb.tr->ts;
+  for (const std::int64_t seed : {0, 3}) {
+    std::vector<std::int64_t> init(ts.vars.size(), 0);
+    std::vector<std::int64_t> inputs;
+    for (const tsys::VarInfo& v : ts.vars)
+      if (v.is_input) {
+        init[v.id] = seed;
+        inputs.push_back(seed);
+      }
+    const auto concrete = run_concrete(ts, inputs);
+    const std::vector<cfg::EdgeRef> trace = replay_decisions(ts, init, 256);
+    ASSERT_EQ(trace.size(), concrete.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i].from, concrete[i].first);
+      EXPECT_EQ(trace[i].succ_index, concrete[i].second);
+    }
+  }
+}
+
+// --------------------------------------------- range analysis v2 (paper)
+
+TEST(RangeAnalysisV2, B6CounterNarrowsBelowSixteenBits) {
+  Built bb = build(testing::kExampleB6);
+  run_passes(bb.tr->ts, all_passes());
+  const tsys::VarInfo* counter = nullptr;
+  for (const tsys::VarInfo& v : bb.tr->ts.vars)
+    if (v.name == "i") counter = &v;
+  ASSERT_NE(counter, nullptr);
+  // Guard refinement plus threshold widening pins the loop counter to
+  // its actual range [0, 4] — 3 bits, down from the 16-bit int domain.
+  EXPECT_EQ(counter->lo, 0);
+  EXPECT_EQ(counter->hi, 4);
+  EXPECT_LT(counter->bits(), 16);
 }
 
 }  // namespace
