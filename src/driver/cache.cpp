@@ -1,9 +1,18 @@
 #include "driver/cache.h"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if defined(_WIN32)
+#include <process.h>
+#define TMG_GETPID _getpid
+#else
+#include <unistd.h>
+#define TMG_GETPID getpid
+#endif
 
 #include "driver/shard.h"
 #include "support/json.h"
@@ -49,13 +58,28 @@ bool read_file_bytes(const std::string& path, std::string& out) {
 
 }  // namespace
 
+std::string content_fingerprint(std::string_view data) {
+  return hex64(fnv1a64(data));
+}
+
 std::string cache_config_fingerprint(const PipelineOptions& opts) {
   // jobs and use_sessions are deliberately absent: both are proven not to
   // change any report byte (the determinism contracts in pipeline.h and
   // session.h), so one entry serves every worker/session setting.
   std::ostringstream os;
   os << "v=" << kCacheVersion << ";b=" << opts.path_bound
-     << ";fn=" << opts.function << ";bmc=" << (opts.run_bmc ? 1 : 0)
+     << ";fn=" << opts.function;
+  // Function-subset runs (fabric split units) never share entries with
+  // whole-file runs; the key is appended only when set so every existing
+  // whole-file entry keeps its fingerprint.
+  if (!opts.functions.empty()) {
+    os << ";fns=";
+    for (std::size_t i = 0; i < opts.functions.size(); ++i) {
+      if (i > 0) os << ",";
+      os << opts.functions[i];
+    }
+  }
+  os << ";bmc=" << (opts.run_bmc ? 1 : 0)
      << ";val=" << (opts.validate_witnesses ? 1 : 0)
      << ";maxp=" << opts.max_paths_per_segment
      << ";maxd=" << opts.max_unroll_depth
@@ -178,10 +202,14 @@ void ResultCache::store(const std::string& source,
      << "\",\"source_size\":" << source.size()
      << ",\"report\":" << serialize_pipeline_result(result) << "}\n";
 
-  // Temp file + rename: a reader never sees a partial entry. Concurrent
-  // writers race on the temp name, but both write identical bytes (the
-  // entry is a pure function of its key), so last-rename-wins is fine.
-  const std::string tmp = path + ".tmp";
+  // Temp file + rename: a reader never sees a partial entry. The temp
+  // name is unique per writer (pid + process-local counter) — a shared
+  // name would let writer A's rename publish writer B's half-written
+  // bytes as the final entry.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(TMG_GETPID())) +
+      "." + std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out || !(out << os.str())) {

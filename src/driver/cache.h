@@ -47,6 +47,11 @@ struct CacheStats {
 /// a missing field serves stale reports across configurations.
 std::string cache_config_fingerprint(const PipelineOptions& opts);
 
+/// FNV-1a-64 of arbitrary bytes as 16 hex digits — the hash cache entry
+/// names are built from. The corpus checkpoint reuses it to detect rows
+/// whose source file changed since they were recorded.
+std::string content_fingerprint(std::string_view data);
+
 class ResultCache {
  public:
   /// An empty `dir` or CacheMode::Off disables the cache (every call

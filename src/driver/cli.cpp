@@ -1,16 +1,21 @@
 #include "driver/cli.h"
 
+#include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "cfg/structure.h"
+#include "driver/fabric.h"
 #include "driver/serve.h"
 #include "driver/shard.h"
 #include "engine/bench.h"
 #include "engine/scheduler.h"
 #include "minic/frontend.h"
+#include "support/json.h"
 #include "support/trace.h"
 #include "tsys/translate.h"
 
@@ -105,6 +110,15 @@ std::string cli_usage() {
       "                        keeping only the decisions that can reach\n"
       "                        its anchor (default on; the timing model is\n"
       "                        byte-identical either way)\n"
+      "  --corpus=DIR          analyse every .mc/.c file under DIR\n"
+      "                        (recursive): one summary row per file,\n"
+      "                        streamed as files complete, plus an\n"
+      "                        aggregate; per-file failures become rows,\n"
+      "                        not run failures; combines with --shards,\n"
+      "                        --cache-dir and --checkpoint\n"
+      "  --checkpoint=FILE     (corpus only) JSON progress journal; an\n"
+      "                        interrupted run resumes from it, re-using\n"
+      "                        rows whose source file is unchanged\n"
       "  --cache-dir=DIR       persistent result cache: reports keyed by\n"
       "                        source bytes + output-affecting options are\n"
       "                        reused across runs (single-file, batch,\n"
@@ -288,6 +302,18 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         error = "--slice expects on or off";
         return false;
       }
+    } else if (name == "--corpus") {
+      if (!has_value || value.empty()) {
+        error = "--corpus expects a directory path";
+        return false;
+      }
+      out.corpus_dir = std::string(value);
+    } else if (name == "--checkpoint") {
+      if (!has_value || value.empty()) {
+        error = "--checkpoint expects a file path";
+        return false;
+      }
+      out.checkpoint_file = std::string(value);
     } else if (name == "--cache-dir") {
       if (!has_value || value.empty()) {
         error = "--cache-dir expects a directory path";
@@ -385,7 +411,25 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     error = "--cache=ro|rw requires --cache-dir=DIR";
     return false;
   }
-  if (!out.show_help && !out.serve &&
+  // Corpus mode owns the file list (it crawls the directory), so it
+  // takes no positional inputs and none of the single-report modes.
+  if (!out.corpus_dir.empty()) {
+    if (!out.inputs.empty()) {
+      error = "--corpus takes no input files (it crawls the directory)";
+      return false;
+    }
+    if (out.serve || out.client || out.table1_max_bound > 0 || out.table2 ||
+        out.bench_repeats > 0 || out.dump_dot || out.dump_sal) {
+      error = "--corpus cannot be combined with serve/client/"
+              "--table1/--table2/--bench/--dot/--sal";
+      return false;
+    }
+  }
+  if (!out.checkpoint_file.empty() && out.corpus_dir.empty()) {
+    error = "--checkpoint requires --corpus=DIR";
+    return false;
+  }
+  if (!out.show_help && !out.serve && out.corpus_dir.empty() &&
       !(out.client && (out.client_shutdown || out.client_metrics)) &&
       out.inputs.empty()) {
     error = "no input file";
@@ -640,6 +684,284 @@ int run_bench(const CliOptions& opts,
   return 0;
 }
 
+// ----------------------------------------------------------------- corpus
+
+/// One corpus file while the run is in flight.
+struct CorpusFile {
+  std::string rel;     ///< path relative to the root (report/journal key)
+  std::string path;    ///< full path on disk
+  std::string source;  ///< file bytes (empty when unreadable)
+  std::string fnv;     ///< content_fingerprint of `source`
+  std::optional<CorpusRow> row;  ///< set once the file is resolved
+};
+
+/// Rewrites the progress journal with every resolved row (temp + rename,
+/// so an interrupt never leaves a torn journal under the final name).
+void write_corpus_checkpoint(const CliOptions& opts,
+                             const std::vector<CorpusFile>& files,
+                             std::ostream& err) {
+  if (opts.checkpoint_file.empty()) return;
+  std::ostringstream os;
+  os << "{\"v\":1,\"config\":"
+     << json_quote(cache_config_fingerprint(opts.pipeline))
+     << ",\"root\":" << json_quote(opts.corpus_dir) << ",\"files\":{";
+  bool first = true;
+  for (const CorpusFile& f : files) {
+    if (!f.row) continue;
+    if (!first) os << ",";
+    first = false;
+    const CorpusRow& r = *f.row;
+    os << json_quote(f.rel) << ":{\"fnv\":\"" << f.fnv
+       << "\",\"ok\":" << (r.ok ? "true" : "false");
+    if (r.ok) {
+      os << ",\"functions\":" << r.functions
+         << ",\"segments\":" << r.segments << ",\"paths\":" << r.paths
+         << ",\"feasible\":" << r.feasible
+         << ",\"infeasible\":" << r.infeasible
+         << ",\"unknown\":" << r.unknown
+         << ",\"conclusive\":" << (r.conclusive ? "true" : "false")
+         << ",\"wcet_total\":" << r.wcet_total;
+    } else {
+      os << ",\"error\":" << json_quote(r.error);
+    }
+    os << "}";
+  }
+  os << "}}\n";
+  const std::string tmp = opts.checkpoint_file + ".tmp";
+  std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+  if (file) {
+    file << os.str();
+    file.close();
+  }
+  if (!file || std::rename(tmp.c_str(), opts.checkpoint_file.c_str()) != 0)
+    err << "tmg: corpus: cannot update checkpoint '" << opts.checkpoint_file
+        << "'\n";
+}
+
+/// Replays journal rows whose recorded source hash still matches. A
+/// journal written under a different configuration (or unparseable) is
+/// ignored wholesale — resuming it would mix rows from two option sets.
+void load_corpus_checkpoint(const CliOptions& opts,
+                            std::vector<CorpusFile>& files,
+                            std::ostream& err) {
+  if (opts.checkpoint_file.empty()) return;
+  std::ifstream in(opts.checkpoint_file, std::ios::binary);
+  if (!in) return;  // first run: nothing to resume
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<JsonValue> v = json_parse(buf.str());
+  if (!v || v->kind() != JsonValue::Kind::Object) {
+    err << "tmg: corpus: ignoring unreadable checkpoint '"
+        << opts.checkpoint_file << "'\n";
+    return;
+  }
+  const JsonValue* version = v->find("v");
+  const JsonValue* config = v->find("config");
+  const JsonValue* rows = v->find("files");
+  if (version == nullptr || !version->is_int() || version->as_int() != 1 ||
+      config == nullptr || config->kind() != JsonValue::Kind::String ||
+      rows == nullptr || rows->kind() != JsonValue::Kind::Object) {
+    err << "tmg: corpus: ignoring unreadable checkpoint '"
+        << opts.checkpoint_file << "'\n";
+    return;
+  }
+  if (config->as_string() != cache_config_fingerprint(opts.pipeline)) {
+    err << "tmg: corpus: checkpoint was written under different options; "
+           "starting over\n";
+    return;
+  }
+  for (CorpusFile& f : files) {
+    if (f.row) continue;  // unreadable files already carry an error row
+    const JsonValue* e = rows->find(f.rel);
+    if (e == nullptr || e->kind() != JsonValue::Kind::Object) continue;
+    const JsonValue* fnv = e->find("fnv");
+    const JsonValue* ok = e->find("ok");
+    if (fnv == nullptr || fnv->kind() != JsonValue::Kind::String ||
+        fnv->as_string() != f.fnv || ok == nullptr ||
+        ok->kind() != JsonValue::Kind::Bool)
+      continue;  // source changed (or torn entry): recompute
+    CorpusRow r;
+    r.path = f.rel;
+    r.ok = ok->as_bool();
+    if (r.ok) {
+      const auto count = [&](const char* name, std::size_t& into) {
+        const JsonValue* c = e->find(name);
+        if (c == nullptr || !c->is_int()) return false;
+        into = static_cast<std::size_t>(c->as_int());
+        return true;
+      };
+      const JsonValue* conclusive = e->find("conclusive");
+      const JsonValue* wcet = e->find("wcet_total");
+      if (!count("functions", r.functions) ||
+          !count("segments", r.segments) || !count("paths", r.paths) ||
+          !count("feasible", r.feasible) ||
+          !count("infeasible", r.infeasible) ||
+          !count("unknown", r.unknown) || conclusive == nullptr ||
+          conclusive->kind() != JsonValue::Kind::Bool || wcet == nullptr ||
+          !wcet->is_int())
+        continue;
+      r.conclusive = conclusive->as_bool();
+      r.wcet_total = wcet->as_int();
+    } else {
+      const JsonValue* error = e->find("error");
+      if (error == nullptr || error->kind() != JsonValue::Kind::String)
+        continue;
+      r.error = error->as_string();
+    }
+    f.row = std::move(r);
+  }
+}
+
+/// `tmg --corpus DIR`: analyse every .mc/.c file under DIR, streaming one
+/// summary row per file (in path order) plus one aggregate. Per-file
+/// failures — unreadable, frontend error, even a worker crash under
+/// --shards — become rows, never run failures: the exit code is 0 as long
+/// as the corpus itself could be crawled.
+int run_corpus(const CliOptions& opts, ResultCache& cache, std::ostream& out,
+               std::ostream& err) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(opts.corpus_dir, ec) || ec) {
+    err << "tmg: --corpus: '" << opts.corpus_dir << "' is not a directory\n";
+    return 2;
+  }
+
+  std::vector<CorpusFile> files;
+  for (fs::recursive_directory_iterator it(opts.corpus_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    std::error_code stat_ec;
+    if (!it->is_regular_file(stat_ec) || stat_ec) continue;
+    const fs::path& p = it->path();
+    const std::string ext = p.extension().string();
+    if (ext != ".mc" && ext != ".c") continue;
+    CorpusFile f;
+    f.path = p.string();
+    f.rel = p.lexically_relative(opts.corpus_dir).generic_string();
+    files.push_back(std::move(f));
+  }
+  if (ec) {
+    err << "tmg: --corpus: cannot crawl '" << opts.corpus_dir
+        << "': " << ec.message() << "\n";
+    return 2;
+  }
+  // Path order is the report order AND the journal key order: stable
+  // across runs, directory-iteration order, and shard pool sizes.
+  std::sort(files.begin(), files.end(),
+            [](const CorpusFile& a, const CorpusFile& b) {
+              return a.rel < b.rel;
+            });
+  if (files.empty())
+    err << "tmg: corpus: no .mc/.c files under '" << opts.corpus_dir
+        << "'\n";
+  if (opts.progress) trace::enable_progress(&err, files.size());
+
+  for (CorpusFile& f : files) {
+    std::ifstream in(f.path, std::ios::binary);
+    std::ostringstream buf;
+    if (in) buf << in.rdbuf();
+    if (!in) {
+      CorpusRow r;
+      r.path = f.rel;
+      r.error = "cannot read file";
+      f.row = std::move(r);
+      continue;
+    }
+    f.source = buf.str();
+    f.fnv = content_fingerprint(f.source);
+  }
+
+  load_corpus_checkpoint(opts, files, err);
+
+  render_corpus_begin(opts.format, out);
+  std::size_t emitted = 0;
+  const auto flush_rows = [&] {
+    while (emitted < files.size() && files[emitted].row) {
+      render_corpus_row(*files[emitted].row, emitted, opts.format, out);
+      ++emitted;
+    }
+  };
+  flush_rows();
+
+  // Cache hits resolve parent-side, like the sharded batch prefilter.
+  bool parent_resolved = false;
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    CorpusFile& f = files[i];
+    if (f.row) continue;
+    if (std::optional<PipelineResult> hit =
+            cache.lookup(f.source, opts.pipeline, err)) {
+      f.row = corpus_row(f.rel, *hit);
+      trace::progress_file_done();
+      parent_resolved = true;
+      continue;
+    }
+    todo.push_back(i);
+  }
+  if (parent_resolved) write_corpus_checkpoint(opts, files, err);
+  flush_rows();
+
+  const auto finish_pending = [&](std::size_t i, const PipelineResult& r) {
+    CorpusFile& f = files[i];
+    if (r.ok) cache.store(f.source, opts.pipeline, r, err);
+    f.row = corpus_row(f.rel, r);
+    write_corpus_checkpoint(opts, files, err);
+    flush_rows();
+  };
+
+  bool computed = todo.empty();
+  if (!computed && opts.shards > 1 && todo.size() > 1) {
+    // The fault-tolerant worker fabric: size-ranked units over a pool of
+    // `--shards` forked workers; a crashed worker's file comes back as an
+    // error row, not a dead run.
+    std::vector<std::string> srcs, paths;
+    srcs.reserve(todo.size());
+    paths.reserve(todo.size());
+    for (const std::size_t i : todo) {
+      srcs.push_back(files[i].source);
+      paths.push_back(files[i].path);
+    }
+    std::vector<std::optional<PipelineResult>> results(todo.size());
+    std::vector<std::string> crash_errors;
+    FabricStats stats;
+    FabricOptions fopts;
+    fopts.pool = static_cast<unsigned>(
+        std::min<std::size_t>(opts.shards, todo.size()));
+    const auto on_done = [&](std::size_t j) {
+      if (results[j]) {
+        finish_pending(todo[j], *results[j]);
+        return;
+      }
+      PipelineResult r;  // crash hard-failure: synthesise an error result
+      r.ok = false;
+      r.error = crash_errors[j];
+      finish_pending(todo[j], r);
+    };
+    computed = run_fabric(opts.pipeline, srcs, paths, fopts, results,
+                          crash_errors, stats, err, on_done);
+    if (computed && opts.with_stages)
+      err << "tmg: fabric: " << stats.units << " units, " << stats.dispatches
+          << " dispatches, " << stats.retries << " retries, " << stats.splits
+          << " splits, " << stats.crashes << " crashes, "
+          << stats.hard_failures << " hard failures\n";
+  }
+  if (!computed) {
+    // Single-shard (or fork-less platform): analyse in path order.
+    const Pipeline pipeline(opts.pipeline);
+    for (const std::size_t i : todo) {
+      if (files[i].row) continue;
+      finish_pending(i, pipeline.run(files[i].source));
+      trace::progress_file_done();
+    }
+  }
+
+  flush_rows();
+  std::vector<CorpusRow> rows;
+  rows.reserve(files.size());
+  for (const CorpusFile& f : files) rows.push_back(*f.row);
+  render_corpus_end(rows, opts.format, out);
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
@@ -693,6 +1015,10 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     }
     return rc;
   };
+
+  // Corpus mode crawls its own file list; everything below works off the
+  // positional inputs.
+  if (!opts.corpus_dir.empty()) return finish(run_corpus(opts, cache, out, err));
 
   // Process-level sharding: fork one worker process per shard, each
   // running its own job frontier over a slice of the file list; the

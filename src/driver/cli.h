@@ -35,6 +35,14 @@ struct CliOptions {
   /// (memory isolation; each shard runs its own job frontier) and merge
   /// the streamed per-file results deterministically. 1 = in-process.
   unsigned shards = 1;
+  /// --corpus=DIR: crawl DIR recursively for .mc/.c sources and analyse
+  /// every one, streaming a thin per-file row plus one aggregate instead
+  /// of full reports; rides the result cache and the shard fabric.
+  std::string corpus_dir;
+  /// --checkpoint=FILE (corpus only): progress journal, rewritten via
+  /// temp+rename after every completed file; a rerun replays rows whose
+  /// recorded source hash still matches and analyses only the rest.
+  std::string checkpoint_file;
   /// --cache-dir=PATH: persistent result cache; empty = caching off.
   std::string cache_dir;
   /// --cache=off|ro|rw (default rw once --cache-dir is given).

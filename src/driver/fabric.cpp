@@ -1,0 +1,847 @@
+#include "driver/fabric.h"
+
+#include <sstream>
+
+#include "driver/shard.h"
+#include "support/json.h"
+#include "support/trace.h"
+
+#if defined(_WIN32)
+
+namespace tmg::driver {
+bool run_fabric(const PipelineOptions&, const std::vector<std::string>&,
+                const std::vector<std::string>&, const FabricOptions&,
+                std::vector<std::optional<PipelineResult>>&,
+                std::vector<std::string>&, FabricStats&, std::ostream&,
+                const std::function<void(std::size_t)>&) {
+  return false;  // no fork: caller falls back to the in-process path
+}
+}  // namespace tmg::driver
+
+#else
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include "cfg/paths.h"
+#include "cfg/structure.h"
+#include "minic/frontend.h"
+#include "support/diagnostics.h"
+
+namespace tmg::driver {
+
+namespace {
+
+// ------------------------------------------------------------- pre-parse
+
+/// What the parent learns about one file before any worker runs: its
+/// function list (program order — the merge key for split files) and a
+/// work estimate per function. Frontend failures short-circuit here with
+/// the same diagnostics front_half would produce, so the error bytes
+/// match the in-process run.
+struct FileShape {
+  bool ok = false;
+  std::string error;
+  std::vector<std::string> functions;
+  std::vector<double> fn_estimates;
+  double estimate = 0.0;
+};
+
+FileShape preparse(const std::string& source, const PipelineOptions& opts) {
+  FileShape shape;
+  DiagnosticEngine diags;
+  const std::unique_ptr<minic::Program> program = minic::compile(
+      source, diags, minic::SemaOptions{.warn_unbounded_loops = false});
+  if (!program) {
+    shape.error = diags.str();
+    return shape;
+  }
+  if (program->functions.empty()) {
+    shape.error = "no function definitions in translation unit\n";
+    return shape;
+  }
+  bool matched = opts.function.empty();
+  for (const auto& fn : program->functions) {
+    if (!opts.function.empty() && fn->name != opts.function) continue;
+    matched = true;
+    const std::unique_ptr<cfg::FunctionCfg> f = cfg::build_cfg(*fn);
+    const cfg::PathAnalysis pa(*f);
+    // log2 of the end-to-end path count works for both the exact and the
+    // saturated representation; +1 keeps single-path functions weighted.
+    const double est = pa.function_paths().log2() + 1.0;
+    shape.functions.push_back(fn->name);
+    shape.fn_estimates.push_back(est);
+    shape.estimate += est;
+  }
+  if (!matched) {
+    shape.error = "function '" + opts.function + "' not found\n";
+    return shape;
+  }
+  shape.ok = true;
+  return shape;
+}
+
+// ------------------------------------------------------------- protocol
+//
+// Per-unit framing over two pipes per worker: every message (both
+// directions) is one decimal byte count, '\n', then that many payload
+// bytes. Requests are {"unit":id,"index":file,"attempt":n,
+// "functions":[...]} (empty array = whole file); responses reuse the
+// shard wire's report schema as {"unit":id,"ok":true,"report":{...}
+// [,"trace":[...]]} or {"unit":id,"ok":false,"error":"..."}. Closing the
+// request pipe is the shutdown signal.
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  std::string header = std::to_string(payload.size());
+  header.push_back('\n');
+  return write_all(fd, header) && write_all(fd, payload);
+}
+
+/// Blocking frame read (worker side). False on EOF or any malformation —
+/// the worker simply exits and the parent sees the pipe close.
+bool read_frame_blocking(int fd, std::string& payload) {
+  std::string header;
+  for (;;) {
+    char c = 0;
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || header.size() > 18) return false;
+    header.push_back(c);
+  }
+  if (header.empty()) return false;
+  const std::size_t len = std::strtoull(header.c_str(), nullptr, 10);
+  payload.assign(len, '\0');
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, payload.data() + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses one complete frame off the front of `buf` (parent side).
+/// Returns 1 and fills `payload` when a frame was taken, 0 when more
+/// bytes are needed, -1 on a torn/garbled header.
+int take_frame(std::string& buf, std::string& payload) {
+  const std::size_t nl = buf.find('\n');
+  if (nl == std::string::npos) return buf.size() > 19 ? -1 : 0;
+  if (nl == 0 || nl > 19) return -1;
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const char c = buf[i];
+    if (c < '0' || c > '9') return -1;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (buf.size() - nl - 1 < len) return 0;
+  payload = buf.substr(nl + 1, len);
+  buf.erase(0, nl + 1 + len);
+  return 1;
+}
+
+// ------------------------------------------------------- fault injection
+
+/// Crash-injection hook for tests and the CI smoke job; see
+/// kFabricFaultEnv. Parsed once per worker from the environment the
+/// parent forked with, and keyed on the unit's attempt number (carried in
+/// the request), so a fault fires deterministically no matter which fresh
+/// worker picks the retried unit up.
+struct FaultSpec {
+  enum class Kind : std::uint8_t { None, Kill, Exit3, Garbage, Truncate };
+  Kind kind = Kind::None;
+  std::string match;
+  unsigned max_attempt = 1;
+};
+
+FaultSpec parse_fault_env() {
+  FaultSpec fs;
+  const char* env = std::getenv(kFabricFaultEnv);
+  if (env == nullptr || *env == '\0') return fs;
+  const std::string_view text(env);
+  const std::size_t c1 = text.find(':');
+  if (c1 == std::string_view::npos) return fs;
+  const std::string_view kind = text.substr(0, c1);
+  std::string_view rest = text.substr(c1 + 1);
+  const std::size_t c2 = rest.rfind(':');
+  if (c2 != std::string_view::npos && c2 + 1 < rest.size()) {
+    const std::string_view tail = rest.substr(c2 + 1);
+    bool digits = true;
+    unsigned v = 0;
+    for (const char c : tail) {
+      if (c < '0' || c > '9') {
+        digits = false;
+        break;
+      }
+      v = v * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (digits) {
+      fs.max_attempt = v;
+      rest = rest.substr(0, c2);
+    }
+  }
+  fs.match = std::string(rest);
+  if (kind == "kill") {
+    fs.kind = FaultSpec::Kind::Kill;
+  } else if (kind == "exit3") {
+    fs.kind = FaultSpec::Kind::Exit3;
+  } else if (kind == "garbage") {
+    fs.kind = FaultSpec::Kind::Garbage;
+  } else if (kind == "truncate") {
+    fs.kind = FaultSpec::Kind::Truncate;
+  }
+  return fs;
+}
+
+/// Dies in the configured way instead of (or while) writing `payload`.
+/// Only returns when the fault leaves the worker alive (Garbage mutates
+/// the payload in place).
+void inject_fault(const FaultSpec& fault, int resp_fd, std::string& payload) {
+  switch (fault.kind) {
+    case FaultSpec::Kind::Kill: {
+      // Half a frame on the wire, then die without unwinding: the parent
+      // sees a torn payload and a SIGKILL'd child.
+      std::string header = std::to_string(payload.size());
+      header.push_back('\n');
+      write_all(resp_fd, header);
+      write_all(resp_fd,
+                std::string_view(payload).substr(0, payload.size() / 2));
+      ::raise(SIGKILL);
+      ::_exit(9);
+    }
+    case FaultSpec::Kind::Exit3:
+      ::_exit(3);
+    case FaultSpec::Kind::Garbage:
+      // A perfectly framed response that is not JSON.
+      payload = "** not a response **";
+      return;
+    case FaultSpec::Kind::Truncate: {
+      // Header promises more bytes than ever arrive, then a clean exit:
+      // the parent must treat the short frame as a crash, not hang.
+      std::string header = std::to_string(payload.size() + 64);
+      header.push_back('\n');
+      write_all(resp_fd, header);
+      write_all(resp_fd, payload);
+      ::_exit(0);
+    }
+    case FaultSpec::Kind::None:
+      return;
+  }
+}
+
+// --------------------------------------------------------------- worker
+
+/// The long-lived worker loop: pull request frames, run the pipeline on
+/// the named unit, push response frames. Exits 0 on request-pipe EOF
+/// (parent shutdown), 3 on any internal failure.
+[[noreturn]] void worker_main(const PipelineOptions& popts,
+                              const std::vector<std::string>& sources,
+                              const std::vector<std::string>& paths,
+                              int req_fd, int resp_fd) {
+  const FaultSpec fault = parse_fault_env();
+  std::string request;
+  while (read_frame_blocking(req_fd, request)) {
+    const std::optional<JsonValue> v = json_parse(request);
+    if (!v) ::_exit(3);
+    const auto unit = static_cast<std::size_t>(v->get("unit").as_int());
+    const auto index = static_cast<std::size_t>(v->get("index").as_int());
+    const auto attempt = static_cast<unsigned>(v->get("attempt").as_int());
+    if (index >= sources.size()) ::_exit(3);
+
+    PipelineOptions uopts = popts;
+    std::string tag = paths[index] + "#";
+    if (const JsonValue* fns = v->find("functions")) {
+      for (const JsonValue& f : fns->items()) {
+        if (!uopts.functions.empty()) tag += ",";
+        uopts.functions.push_back(f.as_string());
+        tag += f.as_string();
+      }
+    }
+
+    // Per-unit spans only: drop whatever the previous unit (or the
+    // parent, right after fork) left in the buffers. The steady-clock
+    // epoch survives fork, so timestamps stay on the parent's timeline.
+    trace::clear();
+    const PipelineResult r = Pipeline(uopts).run(sources[index]);
+
+    std::ostringstream os;
+    if (r.ok) {
+      os << "{\"unit\":" << unit
+         << ",\"ok\":true,\"report\":" << serialize_pipeline_result(r);
+      if (trace::enabled()) os << ",\"trace\":" << trace::events_json();
+      os << "}";
+    } else {
+      os << "{\"unit\":" << unit
+         << ",\"ok\":false,\"error\":" << json_quote(r.error) << "}";
+    }
+    std::string payload = os.str();
+    if (fault.kind != FaultSpec::Kind::None &&
+        tag.find(fault.match) != std::string::npos &&
+        attempt <= fault.max_attempt)
+      inject_fault(fault, resp_fd, payload);
+    if (!write_frame(resp_fd, payload)) ::_exit(3);
+  }
+  ::_exit(0);
+}
+
+// --------------------------------------------------------------- parent
+
+/// One work unit: a whole file (functions empty) or a function subset of
+/// it. `attempt` is the 1-based attempt about to run (carried in the
+/// request so fault injection stays deterministic across fresh workers).
+struct Unit {
+  std::size_t file = 0;
+  std::vector<std::string> functions;
+  unsigned attempt = 1;
+  double estimate = 0.0;
+};
+
+/// Parent-side view of one pooled worker process.
+struct Worker {
+  pid_t pid = -1;
+  int req_fd = -1;   // parent writes request frames
+  int resp_fd = -1;  // parent reads response frames
+  std::string buf;   // partial response bytes
+  long in_flight = -1;  // unit id, -1 = idle
+  int last_status = 0;  // wait status from the most recent reap
+};
+
+/// Merge bookkeeping for one input file.
+struct FileState {
+  bool resolved = false;     // results[] or crash_errors[] decided
+  std::size_t pending = 0;   // units queued or in flight
+  std::vector<std::string> fn_order;  // program order (merge key)
+  std::vector<double> fn_estimates;
+  std::vector<std::optional<FunctionTiming>> fn_results;
+  /// Per-function program-level stages, merged in fn_order at assembly so
+  /// even the --stats stage sums are independent of completion order.
+  std::vector<std::vector<StageStats>> fn_stages;
+  std::size_t jobs = 0;
+  unsigned workers = 1;
+};
+
+struct Fabric {
+  const PipelineOptions& popts;
+  const std::vector<std::string>& sources;
+  const std::vector<std::string>& paths;
+  const FabricOptions& fopts;
+  std::vector<std::optional<PipelineResult>>& results;
+  std::vector<std::string>& crash_errors;
+  FabricStats& stats;
+  std::ostream& err;
+  const std::function<void(std::size_t)>& on_file_done;
+
+  std::vector<Unit> units;
+  std::deque<std::size_t> queue;  // unit ids; retries go to the front
+  std::vector<FileState> files;
+  std::vector<Worker> workers;
+  std::size_t unresolved = 0;
+
+  void resolve(std::size_t file) {
+    if (files[file].resolved) return;
+    files[file].resolved = true;
+    --unresolved;
+    trace::progress_file_done();
+    if (on_file_done) on_file_done(file);
+  }
+
+  /// Next dispatchable unit, skipping units of already-resolved files
+  /// (siblings of an in-band failure or a hard-failed split).
+  std::optional<std::size_t> next_unit() {
+    while (!queue.empty()) {
+      const std::size_t uid = queue.front();
+      queue.pop_front();
+      if (!files[units[uid].file].resolved) return uid;
+    }
+    return std::nullopt;
+  }
+
+  bool spawn_worker(unsigned s) {
+    int req[2];
+    int resp[2];
+    if (::pipe(req) != 0) return false;
+    if (::pipe(resp) != 0) {
+      ::close(req[0]);
+      ::close(req[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(req[0]);
+      ::close(req[1]);
+      ::close(resp[0]);
+      ::close(resp[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop every inherited parent-side pipe end, including the
+      // sibling workers' — a write end held open here would keep a dead
+      // sibling's response pipe from ever reaching EOF in the parent.
+      for (const Worker& w : workers) {
+        if (w.req_fd >= 0) ::close(w.req_fd);
+        if (w.resp_fd >= 0) ::close(w.resp_fd);
+      }
+      ::close(req[1]);
+      ::close(resp[0]);
+      ::signal(SIGPIPE, SIG_DFL);
+      try {
+        worker_main(popts, sources, paths, req[0], resp[1]);
+      } catch (...) {
+        ::_exit(3);
+      }
+    }
+    ::close(req[0]);
+    ::close(resp[1]);
+    workers[s].pid = pid;
+    workers[s].req_fd = req[1];
+    workers[s].resp_fd = resp[0];
+    workers[s].buf.clear();
+    workers[s].in_flight = -1;
+    return true;
+  }
+
+  void reap_worker(unsigned s, bool force_kill) {
+    Worker& w = workers[s];
+    if (w.req_fd >= 0) ::close(w.req_fd);
+    if (w.resp_fd >= 0) ::close(w.resp_fd);
+    w.req_fd = -1;
+    w.resp_fd = -1;
+    if (w.pid > 0) {
+      if (force_kill) ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+      w.last_status = status;
+    }
+    w.buf.clear();
+  }
+
+  /// Human-readable cause for the retry diagnostics: the wire-level
+  /// reason when the parent saw one (torn frame, garbage payload), the
+  /// wait status otherwise.
+  std::string crash_detail(unsigned s, const std::string& wire_reason) {
+    const int status = workers[s].last_status;
+    if (!wire_reason.empty()) return wire_reason;
+    if (WIFSIGNALED(status))
+      return "worker killed by signal " + std::to_string(WTERMSIG(status));
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+      return "worker exited with status " +
+             std::to_string(WEXITSTATUS(status));
+    return "worker closed the pipe mid-unit";
+  }
+
+  /// A worker died (or returned a poisoned frame) with a unit in flight:
+  /// retry the unit at finer granularity — split a whole-file unit into
+  /// per-function units, re-run a function unit, and hard-fail only the
+  /// unit once its attempts are exhausted. The run itself always
+  /// continues.
+  void handle_crash(unsigned s, const std::string& wire_reason) {
+    const long uid = workers[s].in_flight;
+    workers[s].in_flight = -1;
+    reap_worker(s, /*force_kill=*/true);
+    ++stats.crashes;
+    if (uid < 0) return;
+    const std::string detail = crash_detail(s, wire_reason);
+    Unit& u = units[static_cast<std::size_t>(uid)];
+    FileState& fs = files[u.file];
+    if (fs.resolved) return;  // sibling of an already-decided file
+
+    const bool splittable = u.functions.empty() &&
+                            fs.fn_order.size() > 1 && popts.function.empty();
+    if (splittable) {
+      // File -> per-function units, fresh attempt counters. Retries jump
+      // the queue (pushed to the front, first function first) so a
+      // crashing file cannot starve behind the backlog.
+      ++stats.splits;
+      ++stats.retries;
+      err << "tmg: fabric: " << detail << "; retrying '" << paths[u.file]
+          << "' per-function\n";
+      fs.pending -= 1;
+      const std::size_t file = u.file;  // u invalidated by push_back below
+      for (std::size_t k = fs.fn_order.size(); k-- > 0;) {
+        units.push_back(Unit{file,
+                             {fs.fn_order[k]},
+                             1,
+                             fs.fn_estimates[k]});
+        queue.push_front(units.size() - 1);
+        fs.pending += 1;
+        ++stats.units;
+      }
+      return;
+    }
+    if (u.attempt < fopts.max_attempts) {
+      ++u.attempt;
+      ++stats.retries;
+      err << "tmg: fabric: " << detail << "; retrying '" << paths[u.file]
+          << "' (attempt " << u.attempt << " of " << fopts.max_attempts
+          << ")\n";
+      queue.push_front(static_cast<std::size_t>(uid));
+      return;
+    }
+    // Hard failure: only this unit's file gets a diagnostic row; every
+    // other file still completes and the run exits 0.
+    ++stats.hard_failures;
+    std::string what = "worker crashed analysing '" + paths[u.file] + "'";
+    if (!u.functions.empty()) what += " (function " + u.functions[0] + ")";
+    what += " " + std::to_string(fopts.max_attempts) + " times: " + detail;
+    crash_errors[u.file] = what;
+    err << "tmg: fabric: " << what << "\n";
+    resolve(u.file);
+  }
+
+  /// Folds one completed unit's report into its file slot; fires the
+  /// file's merge when its last unit lands.
+  void complete_unit(std::size_t uid, PipelineResult r) {
+    const Unit& u = units[uid];
+    FileState& fs = files[u.file];
+    if (fs.resolved) return;
+    fs.pending -= 1;
+    if (u.functions.empty()) {
+      results[u.file] = std::move(r);
+      resolve(u.file);
+      return;
+    }
+    for (FunctionTiming& ft : r.functions) {
+      const auto it =
+          std::find(fs.fn_order.begin(), fs.fn_order.end(), ft.name);
+      if (it == fs.fn_order.end()) continue;
+      const auto idx = static_cast<std::size_t>(it - fs.fn_order.begin());
+      fs.fn_stages[idx] = r.stages;
+      fs.fn_results[idx] = std::move(ft);
+    }
+    fs.jobs += r.analysis_jobs;
+    fs.workers = std::max(fs.workers, r.analysis_workers);
+    if (fs.pending > 0) return;
+
+    // Assemble the merged file result: functions in program order,
+    // analysis_jobs summed (per-path jobs are disjoint across function
+    // units, so the sum equals the whole-file count byte-for-byte),
+    // stages summed by name in program order.
+    PipelineResult out;
+    out.ok = true;
+    out.analysis_jobs = fs.jobs;
+    out.analysis_workers = fs.workers;
+    for (std::size_t i = 0; i < fs.fn_order.size(); ++i) {
+      if (!fs.fn_results[i]) {
+        crash_errors[u.file] = "worker pool lost function '" +
+                               fs.fn_order[i] + "' of '" + paths[u.file] +
+                               "'";
+        resolve(u.file);
+        return;
+      }
+      for (const StageStats& st : fs.fn_stages[i]) {
+        const auto sit = std::find_if(
+            out.stages.begin(), out.stages.end(),
+            [&st](const StageStats& o) { return o.name == st.name; });
+        if (sit == out.stages.end())
+          out.stages.push_back(st);
+        else
+          sit->seconds += st.seconds;
+      }
+      out.functions.push_back(std::move(*fs.fn_results[i]));
+    }
+    results[u.file] = std::move(out);
+    resolve(u.file);
+  }
+
+  /// An in-band pipeline failure (the worker ran fine, the source did
+  /// not): the file fails exactly like the in-process run — no retry,
+  /// siblings of a split file are discarded on arrival.
+  void complete_unit_error(std::size_t uid, std::string error) {
+    const Unit& u = units[uid];
+    if (files[u.file].resolved) return;
+    PipelineResult r;
+    r.ok = false;
+    r.error = std::move(error);
+    results[u.file] = std::move(r);
+    resolve(u.file);
+  }
+
+  /// Validates and applies one response frame; any malformation is a
+  /// crash of the in-flight unit (the worker is poisoned — killed and
+  /// replaced).
+  void handle_response(unsigned s, const std::string& payload) {
+    const std::optional<JsonValue> v = json_parse(payload);
+    if (!v || v->kind() != JsonValue::Kind::Object) {
+      handle_crash(s, "garbage response payload");
+      return;
+    }
+    const JsonValue* unit = v->find("unit");
+    const JsonValue* ok = v->find("ok");
+    if (unit == nullptr || !unit->is_int() || ok == nullptr ||
+        ok->kind() != JsonValue::Kind::Bool ||
+        unit->as_int() != workers[s].in_flight) {
+      handle_crash(s, "response for the wrong unit");
+      return;
+    }
+    const auto uid = static_cast<std::size_t>(workers[s].in_flight);
+    if (ok->as_bool()) {
+      PipelineResult r;
+      const JsonValue* report = v->find("report");
+      if (report == nullptr || !parse_pipeline_result(*report, r)) {
+        handle_crash(s, "corrupt report payload");
+        return;
+      }
+      if (trace::enabled())
+        if (const JsonValue* tr = v->find("trace"))
+          trace::import_events(*tr, static_cast<int>(s) + 2);
+      workers[s].in_flight = -1;
+      complete_unit(uid, std::move(r));
+    } else {
+      const JsonValue* error = v->find("error");
+      workers[s].in_flight = -1;
+      complete_unit_error(
+          uid, error != nullptr ? error->as_string() : "unknown error");
+    }
+  }
+
+  /// Sends one unit to worker `s` (spawning it if needed). A write
+  /// failure is a crash of the unit just handed over — the retry path
+  /// takes it from there.
+  void dispatch(unsigned s, std::size_t uid) {
+    Unit& u = units[uid];
+    std::ostringstream os;
+    os << "{\"unit\":" << uid << ",\"index\":" << u.file
+       << ",\"attempt\":" << u.attempt << ",\"functions\":[";
+    for (std::size_t i = 0; i < u.functions.size(); ++i) {
+      if (i > 0) os << ",";
+      os << json_quote(u.functions[i]);
+    }
+    os << "]}";
+    workers[s].in_flight = static_cast<long>(uid);
+    ++stats.dispatches;
+    if (!write_frame(workers[s].req_fd, os.str()))
+      handle_crash(s, "request write failed: " +
+                          std::string(std::strerror(errno)));
+  }
+
+  void shutdown_workers() {
+    for (unsigned s = 0; s < workers.size(); ++s) {
+      // A worker still chewing a discarded sibling unit would only notice
+      // the closed pipes after finishing it; don't wait for wasted work.
+      reap_worker(s, /*force_kill=*/workers[s].in_flight >= 0);
+    }
+  }
+
+  bool run();
+};
+
+bool Fabric::run() {
+  const std::size_t n = sources.size();
+  files.resize(n);
+  crash_errors.assign(n, std::string());
+
+  // ---------------------------------------------------------- pre-parse
+  // Rank the pending files by a cheap path-count estimate; frontend
+  // failures resolve here (byte-identical diagnostics, no fork burned).
+  std::vector<std::size_t> pending;
+  {
+    trace::TraceSpan span("fabric.preparse", "fabric");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (results[i].has_value()) continue;  // cache hit, pre-filled
+      ++unresolved;
+      FileShape shape = preparse(sources[i], popts);
+      if (!shape.ok) {
+        PipelineResult r;
+        r.error = std::move(shape.error);
+        results[i] = std::move(r);
+        resolve(i);
+        continue;
+      }
+      files[i].fn_order = std::move(shape.functions);
+      files[i].fn_estimates = std::move(shape.fn_estimates);
+      files[i].fn_results.resize(files[i].fn_order.size());
+      files[i].fn_stages.resize(files[i].fn_order.size());
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return true;
+
+  // ------------------------------------------------------------- units
+  // Whole-file units by default; files whose estimate dominates the mean
+  // are split per-function up-front so one giant file cannot serialise
+  // the tail of the run.
+  double mean = 0.0;
+  for (const std::size_t i : pending) {
+    double est = 0.0;
+    for (const double e : files[i].fn_estimates) est += e;
+    mean += est;
+  }
+  mean /= static_cast<double>(pending.size());
+  for (const std::size_t i : pending) {
+    FileState& fs = files[i];
+    double est = 0.0;
+    for (const double e : fs.fn_estimates) est += e;
+    const bool split = popts.function.empty() && fs.fn_order.size() > 1 &&
+                       est >= fopts.split_factor * mean;
+    if (split) {
+      ++stats.splits;
+      for (std::size_t k = 0; k < fs.fn_order.size(); ++k) {
+        units.push_back(Unit{i, {fs.fn_order[k]}, 1, fs.fn_estimates[k]});
+        fs.pending += 1;
+      }
+    } else {
+      units.push_back(Unit{i, {}, 1, est});
+      fs.pending += 1;
+    }
+  }
+  stats.units = units.size();
+
+  // Biggest-first dispatch order, stable by creation (= input) order.
+  std::vector<std::size_t> order(units.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return units[a].estimate > units[b].estimate;
+                   });
+  for (const std::size_t uid : order) queue.push_back(uid);
+
+  // -------------------------------------------------------------- pool
+  const unsigned pool = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, fopts.pool), units.size()));
+  workers.resize(pool);
+
+  // The parent writes into request pipes of workers that may just have
+  // died; that must surface as EPIPE on the write, not kill the parent.
+  struct SigPipeGuard {
+    void (*saved)(int);
+    SigPipeGuard() : saved(::signal(SIGPIPE, SIG_IGN)) {}
+    ~SigPipeGuard() { ::signal(SIGPIPE, saved); }
+  } sigpipe_guard;
+
+  trace::TraceSpan span("fabric.run", "fabric");
+  while (unresolved > 0) {
+    // Hand units to idle workers, respawning slots whose worker died.
+    for (unsigned s = 0; s < pool && unresolved > 0; ++s) {
+      if (workers[s].in_flight >= 0) continue;
+      std::optional<std::size_t> uid = next_unit();
+      if (!uid) break;
+      if (workers[s].pid <= 0 && !spawn_worker(s)) {
+        queue.push_front(*uid);
+        break;  // resource-limited; keep going with the live workers
+      }
+      dispatch(s, *uid);
+    }
+    if (unresolved == 0) break;
+
+    std::vector<pollfd> fds;
+    std::vector<unsigned> slot_of;
+    for (unsigned s = 0; s < pool; ++s) {
+      if (workers[s].in_flight < 0 || workers[s].resp_fd < 0) continue;
+      fds.push_back(pollfd{workers[s].resp_fd, POLLIN, 0});
+      slot_of.push_back(s);
+    }
+    if (fds.empty()) {
+      // Nothing in flight but files unresolved: every spawn failed while
+      // work remains. Fall back to the in-process path.
+      shutdown_workers();
+      return false;
+    }
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      shutdown_workers();
+      return false;
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const unsigned s = slot_of[k];
+      if (workers[s].in_flight < 0) continue;  // crashed earlier this pass
+      std::array<char, 1 << 16> chunk{};
+      const ssize_t r =
+          ::read(workers[s].resp_fd, chunk.data(), chunk.size());
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        handle_crash(s, "response read failed: " +
+                            std::string(std::strerror(errno)));
+        continue;
+      }
+      if (r == 0) {
+        handle_crash(s, "");  // EOF mid-unit; detail from the wait status
+        continue;
+      }
+      workers[s].buf.append(chunk.data(), static_cast<std::size_t>(r));
+      for (;;) {
+        std::string payload;
+        const int f = take_frame(workers[s].buf, payload);
+        if (f == 0) break;
+        if (f < 0) {
+          handle_crash(s, "torn response frame");
+          break;
+        }
+        handle_response(s, payload);
+        if (workers[s].resp_fd < 0) break;  // response poisoned the slot
+      }
+    }
+  }
+  shutdown_workers();
+
+  auto& reg = trace::MetricsRegistry::instance();
+  reg.counter("fabric.units").add(stats.units);
+  reg.counter("fabric.dispatches").add(stats.dispatches);
+  reg.counter("fabric.retries").add(stats.retries);
+  reg.counter("fabric.splits").add(stats.splits);
+  reg.counter("fabric.crashes").add(stats.crashes);
+  reg.counter("fabric.hard_failures").add(stats.hard_failures);
+  return true;
+}
+
+}  // namespace
+
+bool run_fabric(const PipelineOptions& popts,
+                const std::vector<std::string>& sources,
+                const std::vector<std::string>& paths,
+                const FabricOptions& fopts,
+                std::vector<std::optional<PipelineResult>>& results,
+                std::vector<std::string>& crash_errors, FabricStats& stats,
+                std::ostream& err,
+                const std::function<void(std::size_t)>& on_file_done) {
+  Fabric fabric{.popts = popts,
+                .sources = sources,
+                .paths = paths,
+                .fopts = fopts,
+                .results = results,
+                .crash_errors = crash_errors,
+                .stats = stats,
+                .err = err,
+                .on_file_done = on_file_done,
+                .units = {},
+                .queue = {},
+                .files = {},
+                .workers = {},
+                .unresolved = 0};
+  return fabric.run();
+}
+
+}  // namespace tmg::driver
+
+#endif  // !_WIN32

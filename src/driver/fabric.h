@@ -1,0 +1,93 @@
+// Fault-tolerant work-queue sharding: the parent keeps a queue of work
+// units (whole files, split into per-function units for big files), a
+// fixed pool of long-lived forked workers pulls units over a
+// request/response pipe protocol, and completed units land in
+// deterministic per-file merge slots — so the rendered report is
+// byte-identical to an in-process run for every pool size and any crash
+// schedule.
+//
+// Crash recovery is the point: when a worker dies mid-unit (signal,
+// nonzero exit, torn or garbage response frame), the unit is retried on a
+// fresh worker at finer granularity — a whole-file unit is split into
+// per-function units first, a function unit is retried as-is, and only
+// after kMaxAttempts failures is the unit hard-failed with a diagnostic
+// (the run still completes and exits 0; the failed file gets an error row
+// in the report instead of aborting everything, unlike the old
+// round-robin shards).
+//
+// Scheduling is size-aware: a cheap parent-side pre-parse (frontend +
+// CFG + path analysis, no translation, no BMC) estimates each file's
+// work as the sum of per-function log2 path counts; units are dispatched
+// biggest-first so a heavy file cannot become the tail of the run, and
+// files whose estimate dominates the mean are split into per-function
+// units up-front. The pre-parse also short-circuits frontend failures in
+// the parent — files that do not compile never reach a worker, and their
+// diagnostics are byte-identical to the in-process run's.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.h"
+
+namespace tmg::driver {
+
+/// Fabric run counters, mirrored into the metrics registry
+/// (fabric.units, fabric.retries, ...) and the `--stats` stderr line.
+struct FabricStats {
+  std::size_t units = 0;       ///< work units created (incl. crash splits)
+  std::size_t dispatches = 0;  ///< unit->worker sends (first tries + retries)
+  std::size_t retries = 0;     ///< re-dispatches caused by worker crashes
+  std::size_t splits = 0;      ///< file units split into per-function units
+  std::size_t crashes = 0;     ///< worker deaths observed
+  std::size_t hard_failures = 0;  ///< units failed after exhausting retries
+};
+
+struct FabricOptions {
+  /// Worker processes (clamped to the number of initial units).
+  unsigned pool = 1;
+  /// Split a file into per-function units up-front when it has more than
+  /// one function and its pre-parse estimate is at least this multiple of
+  /// the mean estimate (<= 0 splits every multi-function file; crashes
+  /// split lazily regardless of this knob).
+  double split_factor = 2.0;
+  /// Attempts per unit at the finest granularity before hard-failing it.
+  unsigned max_attempts = 3;
+};
+
+/// Environment variable of the crash-injection hook (tests and the CI
+/// smoke job): "kind:match[:max_attempt]" with kind in {kill, exit3,
+/// garbage, truncate}. A worker triggers the fault when `match` is a
+/// substring of the unit's "path#functions" tag and the unit's attempt
+/// number is <= max_attempt (default 1 — first attempt only, so the
+/// retry succeeds).
+inline constexpr const char* kFabricFaultEnv = "TMG_FABRIC_FAULT";
+
+/// Runs every unfilled `results` slot (cache hits are pre-filled by the
+/// caller and never reach a worker) through the worker pool.
+///
+/// On return, every slot is either:
+///  * filled with a PipelineResult (ok or an in-band pipeline failure
+///    whose bytes match the in-process run), or
+///  * left empty with `crash_errors[i]` holding the hard-failure
+///    diagnostic of a unit that crashed kMaxAttempts times.
+///
+/// `on_file_done(i)` fires once per newly resolved slot (corpus mode
+/// streams rows and checkpoints from it; pass {} to ignore).
+///
+/// Returns false when process isolation is unavailable on this platform
+/// (no fork) — the caller falls back to the in-process path.
+bool run_fabric(const PipelineOptions& popts,
+                const std::vector<std::string>& sources,
+                const std::vector<std::string>& paths,
+                const FabricOptions& fopts,
+                std::vector<std::optional<PipelineResult>>& results,
+                std::vector<std::string>& crash_errors, FabricStats& stats,
+                std::ostream& err,
+                const std::function<void(std::size_t)>& on_file_done = {});
+
+}  // namespace tmg::driver

@@ -799,9 +799,15 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
     return false;
   }
 
-  bool matched = opts.function.empty();
+  const auto selected = [&opts](const std::string& name) {
+    if (!opts.function.empty() && name != opts.function) return false;
+    return opts.functions.empty() ||
+           std::find(opts.functions.begin(), opts.functions.end(), name) !=
+               opts.functions.end();
+  };
+  bool matched = opts.function.empty() && opts.functions.empty();
   for (const auto& fn : fw.program->functions) {
-    if (!opts.function.empty() && fn->name != opts.function) continue;
+    if (!selected(fn->name)) continue;
     matched = true;
 
     auto fnw = std::make_unique<FunctionWork>();
@@ -951,7 +957,9 @@ bool front_half(std::string_view source, const PipelineOptions& opts,
   }
 
   if (!matched) {
-    fw.error = "function '" + opts.function + "' not found\n";
+    fw.error = opts.function.empty()
+                   ? "no requested function found\n"
+                   : "function '" + opts.function + "' not found\n";
     return false;
   }
 

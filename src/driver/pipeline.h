@@ -43,6 +43,13 @@ struct PipelineOptions {
   std::uint64_t path_bound = 4;
   /// Only analyse this function (empty = all functions).
   std::string function;
+  /// Restrict the run to this subset of function names (empty = no
+  /// restriction; combines with `function` by intersection). The shard
+  /// fabric uses this to split a big file into per-function work units:
+  /// per-function timing models are fully independent, so analysing a
+  /// subset produces byte-identical FunctionTiming entries to a whole-file
+  /// run, and the fabric's merge concatenates them back in program order.
+  std::vector<std::string> functions;
   /// Check per-path feasibility with the BMC engine. When off, every
   /// structural path is assumed feasible (pure static model).
   bool run_bmc = true;

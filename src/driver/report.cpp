@@ -398,6 +398,12 @@ void render_batch_report(const std::vector<BatchEntry>& files,
     case ReportFormat::Text: {
       for (const BatchEntry& e : files) {
         os << "=== file " << e.path << " ===\n";
+        // A failed entry (a fabric unit that crashed out of its retries)
+        // renders as a diagnostic row; the rest of the batch still counts.
+        if (!e.result.ok) {
+          os << "error: " << e.result.error;
+          continue;
+        }
         render_text(e.result, opts, with_stages, os);
       }
       os << "=== batch summary ===\n";
@@ -430,6 +436,11 @@ void render_batch_report(const std::vector<BatchEntry>& files,
       for (const BatchEntry& e : files) {
         if (!first) os << ",";
         first = false;
+        if (!e.result.ok) {
+          os << "{\"path\":" << json_quote(e.path)
+             << ",\"error\":" << json_quote(e.result.error) << "}";
+          continue;
+        }
         os << "{\"path\":" << json_quote(e.path) << ",\"report\":";
         render_json_object(e.result, opts, with_stages, os);
         os << "}";
@@ -439,6 +450,167 @@ void render_batch_report(const std::vector<BatchEntry>& files,
       os << "}\n";
       break;
     }
+  }
+}
+
+// ----------------------------------------------------------------- corpus
+
+CorpusRow corpus_row(std::string path, const PipelineResult& result) {
+  CorpusRow row;
+  row.path = std::move(path);
+  row.ok = result.ok;
+  if (!result.ok) {
+    row.error = result.error;
+    return row;
+  }
+  row.functions = result.functions.size();
+  bool conclusive = !result.functions.empty();
+  for (const FunctionTiming& ft : result.functions) {
+    row.segments += ft.segments.size();
+    row.wcet_total += ft.wcet_total();
+    conclusive = conclusive && ft.conclusive();
+    for (const SegmentTiming& s : ft.segments) {
+      row.paths += s.paths.size();
+      row.feasible += s.feasible;
+      row.infeasible += s.infeasible;
+      row.unknown += s.unknown;
+    }
+  }
+  row.conclusive = conclusive;
+  return row;
+}
+
+namespace {
+
+/// First line of a (possibly multi-line) diagnostic: corpus rows are one
+/// line per file in text and CSV.
+std::string first_line(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+/// Quotes one CSV field when it contains a delimiter (errors may carry
+/// commas or quotes; counts and relative paths never do here).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void render_corpus_begin(ReportFormat format, std::ostream& os) {
+  switch (format) {
+    case ReportFormat::Text:
+      break;  // rows are self-describing key=value lines
+    case ReportFormat::Csv:
+      os << "path,functions,segments,paths,feasible,infeasible,unknown,"
+            "conclusive,wcet_total,error\n";
+      break;
+    case ReportFormat::Json:
+      os << "{\"files\":[";
+      break;
+  }
+}
+
+void render_corpus_row(const CorpusRow& row, std::size_t index,
+                       ReportFormat format, std::ostream& os) {
+  switch (format) {
+    case ReportFormat::Text:
+      if (!row.ok) {
+        os << row.path << ": error: " << first_line(row.error) << "\n";
+        break;
+      }
+      os << row.path << ": functions=" << row.functions
+         << " segments=" << row.segments << " paths=" << row.paths
+         << " feasible=" << row.feasible << " infeasible=" << row.infeasible
+         << " unknown=" << row.unknown << " wcet=" << row.wcet_total
+         << " conclusive=" << (row.conclusive ? "yes" : "no") << "\n";
+      break;
+    case ReportFormat::Csv:
+      if (!row.ok) {
+        os << csv_field(row.path) << ",0,0,0,0,0,0,no,0,"
+           << csv_field(first_line(row.error)) << "\n";
+        break;
+      }
+      os << csv_field(row.path) << "," << row.functions << ","
+         << row.segments << "," << row.paths << "," << row.feasible << ","
+         << row.infeasible << "," << row.unknown << ","
+         << (row.conclusive ? "yes" : "no") << "," << row.wcet_total
+         << ",\n";
+      break;
+    case ReportFormat::Json:
+      if (index > 0) os << ",";
+      os << "{\"path\":" << json_quote(row.path);
+      if (!row.ok) {
+        os << ",\"error\":" << json_quote(row.error) << "}";
+        break;
+      }
+      os << ",\"functions\":" << row.functions
+         << ",\"segments\":" << row.segments << ",\"paths\":" << row.paths
+         << ",\"feasible\":" << row.feasible
+         << ",\"infeasible\":" << row.infeasible
+         << ",\"unknown\":" << row.unknown
+         << ",\"conclusive\":" << (row.conclusive ? "true" : "false")
+         << ",\"wcet_total\":" << row.wcet_total << "}";
+      break;
+  }
+}
+
+void render_corpus_end(const std::vector<CorpusRow>& rows,
+                       ReportFormat format, std::ostream& os) {
+  CorpusRow sum;
+  std::size_t analysed = 0;
+  std::size_t failed = 0;
+  bool all_conclusive = true;
+  for (const CorpusRow& r : rows) {
+    if (!r.ok) {
+      ++failed;
+      all_conclusive = false;
+      continue;
+    }
+    ++analysed;
+    sum.functions += r.functions;
+    sum.segments += r.segments;
+    sum.paths += r.paths;
+    sum.feasible += r.feasible;
+    sum.infeasible += r.infeasible;
+    sum.unknown += r.unknown;
+    sum.wcet_total += r.wcet_total;
+    all_conclusive = all_conclusive && r.conclusive;
+  }
+  all_conclusive = all_conclusive && analysed > 0;
+
+  switch (format) {
+    case ReportFormat::Text: {
+      os << "=== corpus summary ===\n";
+      TextTable t({"files", "analysed", "failed", "functions", "segments",
+                   "paths", "feasible", "infeasible", "unknown",
+                   "conclusive", "wcet_total"});
+      t.add(rows.size(), analysed, failed, sum.functions, sum.segments,
+            sum.paths, sum.feasible, sum.infeasible, sum.unknown,
+            all_conclusive ? "yes" : "no", sum.wcet_total);
+      os << t.str();
+      break;
+    }
+    case ReportFormat::Csv:
+      break;  // the aggregate lives in the JSON/text formats only
+    case ReportFormat::Json:
+      os << "],\"aggregate\":{\"files\":" << rows.size()
+         << ",\"analysed\":" << analysed << ",\"failed\":" << failed
+         << ",\"functions\":" << sum.functions
+         << ",\"segments\":" << sum.segments << ",\"paths\":" << sum.paths
+         << ",\"feasible\":" << sum.feasible
+         << ",\"infeasible\":" << sum.infeasible
+         << ",\"unknown\":" << sum.unknown
+         << ",\"conclusive\":" << (all_conclusive ? "true" : "false")
+         << ",\"wcet_total\":" << sum.wcet_total << "}}\n";
+      break;
   }
 }
 

@@ -34,6 +34,39 @@ void render_batch_report(const std::vector<BatchEntry>& files,
                          const PipelineOptions& opts, ReportFormat format,
                          bool with_stages, std::ostream& os);
 
+// ---------------------------------------------------------------- corpus
+// `tmg --corpus DIR` summarises every file of a tree: one thin row per
+// file (corpus runs may span thousands of files, so the per-segment
+// tables stay out) streamed as files complete, plus one aggregate at the
+// end. The streaming contract: begin once, then rows strictly in input
+// order (the driver holds back out-of-order completions), then end.
+
+/// One corpus file's outcome.
+struct CorpusRow {
+  std::string path;  ///< relative to the corpus root
+  bool ok = false;
+  std::string error;  ///< diagnostic when !ok (may be multi-line)
+  std::size_t functions = 0;
+  std::size_t segments = 0;
+  std::size_t paths = 0;
+  std::size_t feasible = 0;
+  std::size_t infeasible = 0;
+  std::size_t unknown = 0;
+  bool conclusive = false;  ///< every function's model is exact
+  std::int64_t wcet_total = 0;
+};
+
+/// Summarises one analysed file into a corpus row (result.ok may be
+/// false: the row carries the diagnostic instead of counts).
+CorpusRow corpus_row(std::string path, const PipelineResult& result);
+
+void render_corpus_begin(ReportFormat format, std::ostream& os);
+/// `index` is the 0-based row position (JSON needs it for commas).
+void render_corpus_row(const CorpusRow& row, std::size_t index,
+                       ReportFormat format, std::ostream& os);
+void render_corpus_end(const std::vector<CorpusRow>& rows,
+                       ReportFormat format, std::ostream& os);
+
 /// Renders the Table-1-style summary (b, segments, ip, fused ip, m).
 void render_partition_summary(const PartitionSummary& summary,
                               ReportFormat format, std::ostream& os);

@@ -254,8 +254,9 @@ std::string serialize_batch_payload(const BatchResult& batch,
 
 bool merge_batch_payload(const std::string& payload, std::size_t num_files,
                          std::vector<BatchEntry>& slots,
-                         std::vector<bool>& filled, std::size_t& fail_index,
-                         std::string& fail_error, std::string& error) {
+                         std::vector<bool>& filled, bool& have_fail,
+                         std::size_t& fail_index, std::string& fail_error,
+                         std::string& error) {
   std::string parse_error;
   const std::optional<JsonValue> v = json_parse(payload, &parse_error);
   if (!v) {
@@ -270,7 +271,11 @@ bool merge_batch_payload(const std::string& payload, std::size_t num_files,
   if (!ok->as_bool()) {
     const std::size_t index =
         static_cast<std::size_t>(v->get("index").as_int());
-    if (fail_error.empty() || index < fail_index) {
+    // "First failure in input order" keys on have_fail, never on the
+    // message: a failure with an empty message is still the failure to
+    // report when its index is smallest.
+    if (!have_fail || index < fail_index) {
+      have_fail = true;
       fail_index = index;
       fail_error = v->get("error").as_string();
     }
@@ -377,6 +382,12 @@ int run_sharded(const CliOptions&, const std::vector<std::string>&,
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "driver/fabric.h"
+
 namespace tmg::driver {
 
 namespace {
@@ -394,26 +405,30 @@ bool write_all(int fd, std::string_view data) {
   return true;
 }
 
-std::string read_all(int fd) {
+std::string read_all(int fd, std::string& io_error) {
   std::string out;
-  char buf[1 << 16];
+  std::array<char, 1 << 16> buf{};
   while (true) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Record why the pipe died instead of silently returning the
+      // partial buffer — the parent folds the reason into its failure
+      // message so a dead shard is diagnosable, not just "failed".
+      io_error = std::strerror(errno);
       break;
     }
     if (n == 0) break;
-    out.append(buf, static_cast<std::size_t>(n));
+    out.append(buf.data(), static_cast<std::size_t>(n));
   }
   return out;
 }
 
-/// The child's whole job: run this shard's slice in the current mode and
-/// return the JSON payload. Never writes to the inherited streams.
-std::string compute_payload(const CliOptions& opts,
-                            const std::vector<std::string>& sources,
-                            const std::vector<std::size_t>& indices) {
+/// The bench child's whole job: measure this shard's slice and return the
+/// JSON payload. Never writes to the inherited streams.
+std::string compute_bench_payload(const CliOptions& opts,
+                                  const std::vector<std::string>& sources,
+                                  const std::vector<std::size_t>& indices) {
   std::vector<std::string> slice_sources, slice_paths;
   slice_sources.reserve(indices.size());
   slice_paths.reserve(indices.size());
@@ -421,25 +436,14 @@ std::string compute_payload(const CliOptions& opts,
     slice_sources.push_back(sources[i]);
     slice_paths.push_back(opts.inputs[i]);
   }
-
-  if (opts.bench_repeats > 0) {
-    std::vector<engine::BenchFile> files;
-    double batch_seconds = 0.0;
-    std::string error;
-    std::size_t error_index = 0;
-    const bool ok = bench_files(opts, slice_paths, slice_sources, files,
-                                batch_seconds, error, error_index);
-    return serialize_bench_payload(files, batch_seconds, indices, ok,
-                                   error_index, error);
-  }
-  if (opts.table2) {
-    const Table2Report report =
-        table2_compare(slice_sources, slice_paths, opts.pipeline);
-    return serialize_table2_payload(report, indices);
-  }
-  const BatchResult batch =
-      run_batch(slice_sources, slice_paths, opts.pipeline);
-  return serialize_batch_payload(batch, indices);
+  std::vector<engine::BenchFile> files;
+  double batch_seconds = 0.0;
+  std::string error;
+  std::size_t error_index = 0;
+  const bool ok = bench_files(opts, slice_paths, slice_sources, files,
+                              batch_seconds, error, error_index);
+  return serialize_bench_payload(files, batch_seconds, indices, ok,
+                                 error_index, error);
 }
 
 struct Child {
@@ -457,54 +461,26 @@ void reap(std::vector<Child>& children) {
   }
 }
 
-}  // namespace
-
-int run_sharded(const CliOptions& opts,
-                const std::vector<std::string>& sources, ResultCache& cache,
-                std::ostream& out, std::ostream& err) {
+/// --bench sharding keeps the old fork-per-slice machinery: bench wants
+/// uncontended, strictly sequential measurement, not the fabric's
+/// concurrent pool. The fabric's own wall-clock is measured separately
+/// after the merge (BenchReport::fabric_seconds).
+int run_sharded_bench(const CliOptions& opts,
+                      const std::vector<std::string>& sources,
+                      ResultCache& cache, std::ostream& out,
+                      std::ostream& err) {
   const std::size_t n = sources.size();
-
-  // Batch-report mode consults the cache up front: hits never reach a
-  // shard, so a fully warm cache forks no children at all. The parent is
-  // the single cache writer — children always compute from scratch.
-  const bool batch_mode = opts.bench_repeats == 0 && !opts.table2;
-  std::vector<BatchEntry> slots(n);
-  std::vector<bool> filled(n, false);
-  std::vector<std::size_t> work;
-  work.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (batch_mode && cache.enabled()) {
-      if (std::optional<PipelineResult> hit =
-              cache.lookup(sources[i], opts.pipeline, err)) {
-        slots[i].result = std::move(*hit);
-        filled[i] = true;
-        trace::progress_file_done();
-        continue;
-      }
-    }
-    work.push_back(i);
-  }
-
   const unsigned shards =
-      work.empty() ? 0
-                   : static_cast<unsigned>(
-                         std::min<std::size_t>(opts.shards, work.size()));
+      static_cast<unsigned>(std::min<std::size_t>(opts.shards, n));
 
   // Round-robin slices: balances the heavy files across shards without
   // needing size estimates; the merge restores input order regardless.
   std::vector<std::vector<std::size_t>> slices(shards);
-  for (std::size_t k = 0; k < work.size(); ++k)
-    slices[k % shards].push_back(work[k]);
-
-  // Bench mode runs its shards one at a time: the whole point of --bench
-  // is uncontended wall-clock measurement, and concurrent sibling shards
-  // would inflate every serial/pool/optimised number. The report modes
-  // run all shards concurrently (throughput is their point).
-  const bool sequential = opts.bench_repeats > 0;
+  for (std::size_t k = 0; k < n; ++k) slices[k % shards].push_back(k);
 
   std::vector<Child> children(shards);
   std::vector<std::string> payloads(shards);
-  bool child_failed = false;
+  std::string child_error;  // first worker-process failure, with cause
 
   const auto spawn = [&](unsigned s) -> bool {
     int fds[2];
@@ -525,7 +501,7 @@ int run_sharded(const CliOptions& opts,
         // carries only this shard's work; the steady-clock epoch survives
         // fork, so child timestamps stay on the parent's timeline.
         trace::clear();
-        std::string payload = compute_payload(opts, sources, slices[s]);
+        std::string payload = compute_bench_payload(opts, sources, slices[s]);
         if (trace::enabled()) {
           // Every payload is one JSON object; splice the span batch in as
           // an extra member (all payload consumers read by key and ignore
@@ -548,35 +524,36 @@ int run_sharded(const CliOptions& opts,
   };
 
   const auto collect = [&](unsigned s) {
-    payloads[s] = read_all(children[s].fd);
+    std::string io_error;
+    payloads[s] = read_all(children[s].fd, io_error);
     ::close(children[s].fd);
     children[s].fd = -1;
     int status = 0;
     ::waitpid(children[s].pid, &status, 0);
     children[s].pid = -1;
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) child_failed = true;
+    if (child_error.empty()) {
+      if (!io_error.empty())
+        child_error = "read failed: " + io_error;
+      else if (WIFSIGNALED(status))
+        child_error =
+            "killed by signal " + std::to_string(WTERMSIG(status));
+      else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+        child_error =
+            "exited with status " + std::to_string(WEXITSTATUS(status));
+    }
   };
 
-  if (sequential) {
-    for (unsigned s = 0; s < shards; ++s) {
-      if (!spawn(s)) {
-        reap(children);
-        return -1;  // resource-limited: fall back to in-process
-      }
-      collect(s);
+  // Bench shards run one at a time: concurrent sibling shards would
+  // inflate every serial/pool/optimised number.
+  for (unsigned s = 0; s < shards; ++s) {
+    if (!spawn(s)) {
+      reap(children);
+      return -1;  // resource-limited: fall back to in-process
     }
-  } else {
-    for (unsigned s = 0; s < shards; ++s) {
-      if (!spawn(s)) {
-        reap(children);
-        return -1;
-      }
-    }
-    // A child blocked on a full pipe resumes when its turn comes.
-    for (unsigned s = 0; s < shards; ++s) collect(s);
+    collect(s);
   }
-  if (child_failed) {
-    err << "tmg: shard worker process failed\n";
+  if (!child_error.empty()) {
+    err << "tmg: shard worker process failed: " << child_error << "\n";
     return 2;
   }
 
@@ -585,17 +562,18 @@ int run_sharded(const CliOptions& opts,
   if (trace::enabled()) {
     for (unsigned s = 0; s < shards; ++s) {
       const std::optional<JsonValue> v = json_parse(payloads[s]);
-      if (!v) continue;  // the mode-specific merge below reports it
+      if (!v) continue;  // the merge below reports it
       if (const JsonValue* tr = v->find("trace"))
         trace::import_events(*tr, static_cast<int>(s) + 2);
     }
   }
 
   // ------------------------------------------------- deterministic merge
+  bool have_fail = false;
   std::size_t fail_index = 0;
   std::string fail_error;
 
-  if (opts.bench_repeats > 0) {
+  {
     engine::BenchReport report;
     report.repeats = opts.bench_repeats;
     report.workers = engine::Scheduler(opts.pipeline.jobs).workers();
@@ -609,7 +587,10 @@ int run_sharded(const CliOptions& opts,
       }
       if (!v->get("ok").as_bool()) {
         const auto index = static_cast<std::size_t>(v->get("index").as_int());
-        if (fail_error.empty() || index < fail_index) {
+        // have_fail, not fail_error.empty(): an empty-message failure at
+        // a lower index must not be overwritten by a later one.
+        if (!have_fail || index < fail_index) {
+          have_fail = true;
           fail_index = index;
           fail_error = v->get("error").as_string();
         }
@@ -645,116 +626,203 @@ int run_sharded(const CliOptions& opts,
                 st.items()[0].as_string(), st.items()[1].as_double()});
       }
     }
-    if (!fail_error.empty()) {
+    if (have_fail) {
       err << fail_error;
       return 2;
     }
+
+    // Fabric wall-clock: the same files once through the worker-pool
+    // fabric (passes cleared, matching the pool run's configuration),
+    // best of the same repeat count. Results are discarded — only the
+    // wall matters here.
+    {
+      const PipelineOptions popts = table2_option_pair(opts.pipeline).first;
+      FabricOptions fopts;
+      fopts.pool = shards;
+      for (unsigned r = 0; r < opts.bench_repeats; ++r) {
+        std::vector<std::optional<PipelineResult>> results(n);
+        std::vector<std::string> crash_errors;
+        FabricStats stats;
+        const double t0 = engine::monotonic_seconds();
+        if (!run_fabric(popts, sources, opts.inputs, fopts, results,
+                        crash_errors, stats, err))
+          break;
+        const double t = engine::monotonic_seconds() - t0;
+        if (report.fabric_seconds == 0.0 || t < report.fabric_seconds)
+          report.fabric_seconds = t;
+      }
+      report.fabric_pool = shards;
+    }
+
     bench_probe_cache(sources, opts.pipeline, cache, report, err);
     report.render_json(out);
     return 0;
   }
+}
 
-  if (opts.table2) {
-    std::vector<Table2Row> rows;
-    for (const std::string& payload : payloads) {
-      std::string parse_error;
-      const std::optional<JsonValue> v = json_parse(payload, &parse_error);
-      if (!v || v->get("ok").kind() != JsonValue::Kind::Bool) {
-        err << "tmg: malformed shard payload\n";
-        return 2;
-      }
-      if (!v->get("ok").as_bool()) {
-        const auto index = static_cast<std::size_t>(v->get("index").as_int());
-        if (fail_error.empty() || index < fail_index) {
-          fail_index = index;
-          fail_error = v->get("error").as_string();
-        }
-        continue;
-      }
-      for (const JsonValue& r : v->get("rows").items()) {
-        if (r.kind() != JsonValue::Kind::Array || r.items().size() != 19) {
-          err << "tmg: malformed shard payload\n";
-          return 2;
-        }
-        const std::vector<JsonValue>& f = r.items();
-        Table2Row row;
-        row.file_index = static_cast<std::size_t>(f[0].as_int());
-        row.file = f[1].as_string();
-        row.function = f[2].as_string();
-        row.bits_plain = static_cast<int>(f[3].as_int());
-        row.bits_opt = static_cast<int>(f[4].as_int());
-        row.locs_plain = static_cast<std::uint32_t>(f[5].as_int());
-        row.locs_opt = static_cast<std::uint32_t>(f[6].as_int());
-        row.trans_plain = static_cast<std::size_t>(f[7].as_int());
-        row.trans_opt = static_cast<std::size_t>(f[8].as_int());
-        row.depth_plain = static_cast<std::uint32_t>(f[9].as_int());
-        row.depth_opt = static_cast<std::uint32_t>(f[10].as_int());
-        row.bmc_seconds_plain = f[11].as_double();
-        row.bmc_seconds_opt = f[12].as_double();
-        row.cnf_clauses_plain = static_cast<std::uint64_t>(f[13].as_int());
-        row.cnf_clauses_opt = static_cast<std::uint64_t>(f[14].as_int());
-        row.conclusive_plain = f[15].as_int() != 0;
-        row.conclusive_opt = f[16].as_int() != 0;
-        row.model_identical = f[17].as_int() != 0;
-        if (f[18].kind() != JsonValue::Kind::Array) {
-          err << "tmg: malformed shard payload\n";
-          return 2;
-        }
-        for (const JsonValue& p : f[18].items()) {
-          opt::PassReport pr;
-          if (!read_pass(p, pr)) {
-            err << "tmg: malformed shard payload\n";
-            return 2;
-          }
-          row.passes.push_back(pr);
-        }
-        rows.push_back(std::move(row));
-      }
+/// Runs one batch configuration through the worker-pool fabric with the
+/// parent-side cache prefilter (hits never reach a worker; the parent is
+/// the single cache writer). Fills `batch` like run_batch_cached: ok with
+/// one entry per input, or the first in-band failure in input order.
+/// Crash hard-failures do NOT fail the batch — the affected entries carry
+/// `!result.ok` with the crash diagnostic (and `crash_errors[i]` set) so
+/// the caller can render them as diagnostic rows or reject them. Returns
+/// false when fork is unavailable.
+bool fabric_batch_half(const CliOptions& opts,
+                       const std::vector<std::string>& sources,
+                       const PipelineOptions& popts, ResultCache& cache,
+                       BatchResult& batch,
+                       std::vector<std::string>& crash_errors,
+                       FabricStats& stats, std::ostream& err) {
+  const std::size_t n = sources.size();
+  std::vector<std::optional<PipelineResult>> results(n);
+  std::vector<bool> cached(n, false);
+  for (std::size_t i = 0; i < n && cache.enabled(); ++i) {
+    if (std::optional<PipelineResult> hit =
+            cache.lookup(sources[i], popts, err)) {
+      results[i] = std::move(*hit);
+      cached[i] = true;
+      trace::progress_file_done();
     }
-    if (!fail_error.empty()) {
-      err << fail_error;
-      return 2;
-    }
-    // Rows within one file kept payload order; files restored to input
-    // order (stable sort: shards emit rows file-ordered already).
-    std::stable_sort(rows.begin(), rows.end(),
-                     [](const Table2Row& a, const Table2Row& b) {
-                       return a.file_index < b.file_index;
-                     });
-    Table2Report report;
-    report.ok = true;
-    report.rows = std::move(rows);
-    render_table2(report, opts.format, out);
-    return 0;
   }
 
-  // Batch report mode: merge the shard payloads into the slots the cache
-  // hits did not already fill.
-  for (const std::string& payload : payloads) {
-    std::string error;
-    if (!merge_batch_payload(payload, n, slots, filled, fail_index,
-                             fail_error, error)) {
-      err << "tmg: " << error << "\n";
-      return 2;
+  FabricOptions fopts;
+  fopts.pool = static_cast<unsigned>(
+      std::max<std::size_t>(1, std::min<std::size_t>(opts.shards, n)));
+  if (!run_fabric(popts, sources, opts.inputs, fopts, results, crash_errors,
+                  stats, err))
+    return false;
+
+  // The first in-band failure in input order fails the whole batch,
+  // exactly like run_batch; crash hard-failures don't (they resolve to
+  // per-file diagnostics below so the rest of the run still renders).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (results[i] && !results[i]->ok) {
+      batch.ok = false;
+      batch.error = opts.inputs[i] + ": " + results[i]->error;
+      batch.error_index = i;
+      return true;
     }
   }
-  if (!fail_error.empty()) {
-    err << fail_error;
+
+  // In-process, every non-cached file shares ONE analysis frontier, so
+  // each reports the same worker count: the pool clamped to the total job
+  // count across all of them. Fabric workers ran per-file pipelines whose
+  // pools clamped to single-file job counts; recompute the frontier value
+  // here so --stats output is byte-identical to --shards=1 (and crash
+  // schedules, which reshuffle which worker computed what, can't leak in).
+  {
+    std::size_t frontier_jobs = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (results[i] && !cached[i]) frontier_jobs += results[i]->analysis_jobs;
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        engine::Scheduler(popts.jobs).workers(),
+        std::max<std::size_t>(frontier_jobs, 1)));
+    for (std::size_t i = 0; i < n; ++i)
+      if (results[i] && !cached[i]) results[i]->analysis_workers = workers;
+  }
+
+  batch.ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchEntry entry;
+    entry.path = opts.inputs[i];
+    if (results[i]) {
+      if (!cached[i]) cache.store(sources[i], popts, *results[i], err);
+      entry.result = std::move(*results[i]);
+    } else {
+      entry.result.ok = false;
+      entry.result.error = crash_errors[i] + "\n";
+    }
+    batch.files.push_back(std::move(entry));
+  }
+  return true;
+}
+
+int run_sharded_batch(const CliOptions& opts,
+                      const std::vector<std::string>& sources,
+                      ResultCache& cache, std::ostream& out,
+                      std::ostream& err) {
+  BatchResult batch;
+  std::vector<std::string> crash_errors;
+  FabricStats stats;
+  if (!fabric_batch_half(opts, sources, opts.pipeline, cache, batch,
+                         crash_errors, stats, err))
+    return -1;
+  if (opts.with_stages)
+    err << "tmg: fabric: " << stats.units << " units, " << stats.dispatches
+        << " dispatches, " << stats.retries << " retries, " << stats.splits
+        << " splits, " << stats.crashes << " crashes, "
+        << stats.hard_failures << " hard failures\n";
+  if (!batch.ok) {
+    err << batch.error;
     return 2;
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!filled[i]) {
-      err << "tmg: shard payload missing file " << opts.inputs[i] << "\n";
-      return 2;
-    }
-    slots[i].path = opts.inputs[i];
-  }
-  for (const std::size_t i : work)
-    cache.store(sources[i], opts.pipeline, slots[i].result, err);
-  render_batch_report(slots, opts.pipeline, opts.format, opts.with_stages,
-                      out);
+  render_batch_report(batch.files, opts.pipeline, opts.format,
+                      opts.with_stages, out);
   return 0;
 }
+
+int run_sharded_table2(const CliOptions& opts,
+                       const std::vector<std::string>& sources,
+                       ResultCache& cache, std::ostream& out,
+                       std::ostream& err) {
+  const auto [plain, optimised] = table2_option_pair(opts.pipeline);
+
+  // --table2 rows compare two runs of the same file: there is no row
+  // shape for "one half crashed", so a crash hard-failure fails the run.
+  const auto first_crash =
+      [](const std::vector<std::string>& crashes) -> const std::string* {
+    for (const std::string& c : crashes)
+      if (!c.empty()) return &c;
+    return nullptr;
+  };
+
+  BatchResult a;
+  std::vector<std::string> crash_a;
+  FabricStats stats_a;
+  if (!fabric_batch_half(opts, sources, plain, cache, a, crash_a, stats_a,
+                         err))
+    return -1;
+  if (const std::string* c = first_crash(crash_a)) {
+    err << "tmg: " << *c << "\n";
+    return 2;
+  }
+
+  Table2Report report;
+  if (!a.ok) {
+    report = table2_assemble(a, a, opts.inputs);
+  } else {
+    BatchResult b;
+    std::vector<std::string> crash_b;
+    FabricStats stats_b;
+    if (!fabric_batch_half(opts, sources, optimised, cache, b, crash_b,
+                           stats_b, err))
+      return -1;
+    if (const std::string* c = first_crash(crash_b)) {
+      err << "tmg: " << *c << "\n";
+      return 2;
+    }
+    report = table2_assemble(a, b, opts.inputs);
+  }
+  if (!report.ok) {
+    err << report.error;
+    return 2;
+  }
+  render_table2(report, opts.format, out);
+  return 0;
+}
+
+}  // namespace
+
+int run_sharded(const CliOptions& opts,
+                const std::vector<std::string>& sources, ResultCache& cache,
+                std::ostream& out, std::ostream& err) {
+  if (opts.bench_repeats > 0)
+    return run_sharded_bench(opts, sources, cache, out, err);
+  if (opts.table2) return run_sharded_table2(opts, sources, cache, out, err);
+  return run_sharded_batch(opts, sources, cache, out, err);
+}
+
 
 }  // namespace tmg::driver
 

@@ -60,11 +60,16 @@ std::string serialize_batch_payload(const BatchResult& batch,
 
 /// Merges one parsed shard payload into the global file slots. Returns
 /// false (with `error`) on malformed payloads; records in-band failures
-/// into `fail_index`/`fail_error` (smallest index wins).
+/// into `fail_index`/`fail_error` (smallest index wins). `have_fail`
+/// tracks whether any failure was recorded yet — callers must not infer
+/// that from `fail_error.empty()`, since a failure may legitimately carry
+/// an empty message (an empty-message failure used to be silently
+/// overwritten by a later, higher-index one).
 bool merge_batch_payload(const std::string& payload, std::size_t num_files,
                          std::vector<BatchEntry>& slots,
-                         std::vector<bool>& filled, std::size_t& fail_index,
-                         std::string& fail_error, std::string& error);
+                         std::vector<bool>& filled, bool& have_fail,
+                         std::size_t& fail_index, std::string& fail_error,
+                         std::string& error);
 
 std::string serialize_table2_payload(const Table2Report& report,
                                      const std::vector<std::size_t>& indices);

@@ -90,6 +90,11 @@ double BenchReport::slice_speedup() const {
   return sliced > 0.0 ? total_bmc_noslice_seconds() / sliced : 0.0;
 }
 
+double BenchReport::fabric_speedup() const {
+  return fabric_seconds > 0.0 ? total_parallel_seconds() / fabric_seconds
+                              : 0.0;
+}
+
 void BenchReport::render_json(std::ostream& os) const {
   os << "{\"bench\":{\"workers\":" << workers << ",\"repeats\":" << repeats
      << ",\"files\":[";
@@ -140,7 +145,14 @@ void BenchReport::render_json(std::ostream& os) const {
      << ",\"opt_speedup\":" << fmt(opt_speedup())
      << ",\"session_speedup\":" << fmt(session_speedup())
      << ",\"slice_speedup\":" << fmt(slice_speedup())
-     << ",\"batch_speedup\":" << fmt(batch_speedup()) << "}";
+     << ",\"batch_speedup\":" << fmt(batch_speedup());
+  // Fabric keys only when measured (--shards N --bench) so the schema of
+  // an unsharded bench report is unchanged byte-for-byte.
+  if (fabric_seconds > 0.0)
+    os << ",\"fabric_seconds\":" << fmt(fabric_seconds)
+       << ",\"fabric_pool\":" << fabric_pool
+       << ",\"fabric_speedup\":" << fmt(fabric_speedup());
+  os << "}";
   if (cache_probed)
     os << ",\"cache\":{\"mode\":" << json_quote(cache_mode)
        << ",\"hits\":" << cache_hits << ",\"misses\":" << cache_misses << "}";

@@ -91,6 +91,12 @@ struct BenchReport {
   /// frontier (frontends overlap BMC across files) — the number the
   /// per-file parallel_seconds sum is compared against. 0 = unmeasured.
   double batch_seconds = 0.0;
+  /// Best-of-R wall-clock of the same files through the sharded worker
+  /// fabric (a pool of `fabric_pool` forked workers pulling size-ranked
+  /// units off a queue). 0 = unmeasured (only `--shards N --bench`
+  /// measures it); the fabric keys are then omitted from the JSON.
+  double fabric_seconds = 0.0;
+  unsigned fabric_pool = 0;
 
   [[nodiscard]] std::size_t total_jobs() const;
   [[nodiscard]] double total_serial_seconds() const;
@@ -112,6 +118,9 @@ struct BenchReport {
   [[nodiscard]] double session_speedup() const;
   /// Aggregate slicing BMC speedup (total unsliced BMC / total sliced).
   [[nodiscard]] double slice_speedup() const;
+  /// Fabric speedup: per-file pool runs summed vs the worker-process
+  /// fabric wall (total parallel / fabric). 0 when unmeasured.
+  [[nodiscard]] double fabric_speedup() const;
 
   /// Result-cache probe (counts only — bench never serves results from
   /// the cache; it measures real computation). Filled by the driver when

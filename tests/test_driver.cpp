@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "driver/cache.h"
 #include "driver/cli.h"
@@ -1247,6 +1248,46 @@ TEST(ResultCache, ColdThenWarmRunsRenderIdentically) {
   EXPECT_TRUE(warn.str().empty()) << warn.str();
 }
 
+TEST(ResultCache, ConcurrentWritersNeverPublishTornEntries) {
+  // Regression for the shared-temp-file race: every store used to write
+  // to the same `<entry>.tmp`, so two interleaved writers could publish a
+  // half-written mix of both payloads via rename. Temp names are now
+  // unique per writer; whichever rename lands last, the entry is whole.
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  const PipelineResult result = Pipeline(opts).run(testing::kExampleB1);
+  ASSERT_TRUE(result.ok);
+
+  constexpr int kRounds = 64;
+  std::ostringstream warn_a, warn_b;
+  std::thread a([&] {
+    for (int i = 0; i < kRounds; ++i)
+      cache.store(testing::kExampleB1, opts, result, warn_a);
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kRounds; ++i)
+      cache.store(testing::kExampleB1, opts, result, warn_b);
+  });
+  a.join();
+  b.join();
+  EXPECT_TRUE(warn_a.str().empty()) << warn_a.str();
+  EXPECT_TRUE(warn_b.str().empty()) << warn_b.str();
+  // Every temp was renamed away: exactly the one final entry remains,
+  // and it parses and serves a byte-identical report.
+  EXPECT_EQ(dir.entries(), 1u);
+  std::ostringstream warn;
+  ResultCache reader(dir.path.string(), CacheMode::ReadOnly);
+  const std::optional<PipelineResult> served =
+      reader.lookup(testing::kExampleB1, opts, warn);
+  ASSERT_TRUE(served.has_value()) << warn.str();
+  std::ostringstream direct, cached;
+  render_report(result, opts, ReportFormat::Json, true, direct);
+  render_report(*served, opts, ReportFormat::Json, true, cached);
+  EXPECT_EQ(direct.str(), cached.str());
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+}
+
 TEST(ResultCache, KeyTracksSourceAndEveryReportAffectingOption) {
   const ScratchDir dir;
   const ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
@@ -1471,12 +1512,13 @@ TEST(ShardWire, BatchPayloadRoundTripsRenderedReport) {
   const std::string payload = serialize_batch_payload(batch, {0, 1});
   std::vector<BatchEntry> slots(2);
   std::vector<bool> filled(2, false);
+  bool have_fail = false;
   std::size_t fail_index = 0;
   std::string fail_error, error;
-  ASSERT_TRUE(merge_batch_payload(payload, 2, slots, filled, fail_index,
-                                  fail_error, error))
+  ASSERT_TRUE(merge_batch_payload(payload, 2, slots, filled, have_fail,
+                                  fail_index, fail_error, error))
       << error;
-  EXPECT_TRUE(fail_error.empty());
+  EXPECT_FALSE(have_fail);
   ASSERT_TRUE(filled[0] && filled[1]);
   slots[0].path = "fig1.mc";
   slots[1].path = "b1.mc";
@@ -1504,24 +1546,49 @@ TEST(ShardWire, ErrorPayloadCarriesIndexAndMessage) {
 
   std::vector<BatchEntry> slots(8);
   std::vector<bool> filled(8, false);
+  bool have_fail = false;
   std::size_t fail_index = 0;
   std::string fail_error, error;
-  ASSERT_TRUE(merge_batch_payload(payload, 8, slots, filled, fail_index,
-                                  fail_error, error));
+  ASSERT_TRUE(merge_batch_payload(payload, 8, slots, filled, have_fail,
+                                  fail_index, fail_error, error));
+  EXPECT_TRUE(have_fail);
   EXPECT_EQ(fail_index, 5u);
   EXPECT_EQ(fail_error, "b.mc: undeclared identifier\n");
+}
+
+// Regression: an empty failure message used to double as the "no failure
+// yet" sentinel, so a shard reporting `ok:false` with an empty error was
+// dropped and the merge carried on as if every file had succeeded.
+TEST(ShardWire, EmptyFailureMessageStillFails) {
+  BatchResult failed;
+  failed.ok = false;
+  failed.error = "";  // failure with no message at all
+  failed.error_index = 0;
+  const std::string payload = serialize_batch_payload(failed, {3});
+
+  std::vector<BatchEntry> slots(4);
+  std::vector<bool> filled(4, false);
+  bool have_fail = false;
+  std::size_t fail_index = 0;
+  std::string fail_error, error;
+  ASSERT_TRUE(merge_batch_payload(payload, 4, slots, filled, have_fail,
+                                  fail_index, fail_error, error));
+  EXPECT_TRUE(have_fail);
+  EXPECT_EQ(fail_index, 3u);
+  EXPECT_TRUE(fail_error.empty());
 }
 
 TEST(ShardWire, MalformedPayloadRejected) {
   std::vector<BatchEntry> slots(1);
   std::vector<bool> filled(1, false);
+  bool have_fail = false;
   std::size_t fail_index = 0;
   std::string fail_error, error;
-  EXPECT_FALSE(merge_batch_payload("not json", 1, slots, filled, fail_index,
-                                   fail_error, error));
+  EXPECT_FALSE(merge_batch_payload("not json", 1, slots, filled, have_fail,
+                                   fail_index, fail_error, error));
   EXPECT_FALSE(merge_batch_payload("{\"ok\":true,\"files\":[{\"index\":7}]}",
-                                   1, slots, filled, fail_index, fail_error,
-                                   error));
+                                   1, slots, filled, have_fail, fail_index,
+                                   fail_error, error));
   EXPECT_NE(error.find("bad file index"), std::string::npos);
 }
 

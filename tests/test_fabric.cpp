@@ -1,0 +1,411 @@
+// Tests for the fault-tolerant shard fabric (driver/fabric.h): output
+// determinism across pool sizes, crash recovery via the TMG_FABRIC_FAULT
+// injection hook, size-aware unit splitting, and the `--corpus` driver
+// (streamed rows, checkpoint resume) built on top of it.
+#include "driver/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "driver/cli.h"
+#include "driver/report.h"
+#include "paper_examples.h"
+#include "support/json.h"
+
+namespace tmg::driver {
+namespace {
+
+#if !defined(_WIN32)
+
+/// Two independent functions in one file, so a whole-file unit of it can
+/// be split into per-function retries.
+constexpr const char* kTwoFunctionSource = R"(
+extern void low(void) __cost(4);
+extern void high(void) __cost(9);
+
+void alpha(int level)
+{
+  int mode = 0;
+  if (level < 10) {
+    low();
+    mode = 1;
+  } else {
+    high();
+    mode = 2;
+  }
+}
+
+void beta(int i)
+{
+  int x = 0;
+  if (i == 0) { x = 1; }
+  if (i == 1) { x = 2; }
+}
+)";
+
+/// Sets TMG_FABRIC_FAULT for one scope; always unset again on exit so a
+/// failing assertion cannot poison later tests with a live fault.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    ::setenv(kFabricFaultEnv, spec.c_str(), 1);
+  }
+  ~FaultGuard() { ::unsetenv(kFabricFaultEnv); }
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+};
+
+/// Writes a small corpus to unique temp paths and drives run_cli over it,
+/// capturing both streams.
+class FabricCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = std::filesystem::path(::testing::TempDir()) / ("tmg_fabric_" + tag);
+    std::filesystem::create_directories(dir_);
+    write("b1.mc", testing::kExampleB1);
+    write("b2.mc", testing::kExampleB2);
+    write("b3.mc", testing::kExampleB3);
+    write("two.mc", kTwoFunctionSource);
+    write("fig1.mc", testing::kFigure1Source);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void write(const char* name, const char* content) {
+    std::ofstream f(dir_ / name);
+    f << content;
+    files_.push_back((dir_ / name).string());
+  }
+
+  int run(std::vector<std::string> extra_args) {
+    std::vector<const char*> argv = {"tmg"};
+    for (const std::string& a : extra_args) argv.push_back(a.c_str());
+    for (const std::string& f : files_) argv.push_back(f.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> files_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(FabricCliTest, ShardedOutputMatchesInProcessEveryFormatAndPool) {
+  for (const std::string format : {"text", "csv", "json"}) {
+    ASSERT_EQ(run({"--format=" + format, "--jobs=2"}), 0) << err_.str();
+    const std::string in_process = out_.str();
+    for (const std::string shards : {"2", "4", "8"}) {
+      ASSERT_EQ(run({"--format=" + format, "--jobs=2", "--shards=" + shards}),
+                0)
+          << err_.str();
+      EXPECT_EQ(out_.str(), in_process)
+          << "format=" << format << " shards=" << shards;
+    }
+  }
+}
+
+TEST_F(FabricCliTest, EveryCrashKindRecoversByteIdentically) {
+  ASSERT_EQ(run({"--format=json", "--jobs=2"}), 0) << err_.str();
+  const std::string clean = out_.str();
+  // A worker dying mid-frame (kill), exiting nonzero (exit3), returning a
+  // framed non-JSON payload (garbage) or a short frame (truncate) must all
+  // be detected, retried on a fresh worker, and leave no trace in stdout.
+  for (const std::string kind : {"kill", "exit3", "garbage", "truncate"}) {
+    const FaultGuard fault(kind + ":b2.mc");
+    ASSERT_EQ(run({"--format=json", "--jobs=2", "--shards=4"}), 0)
+        << kind << ": " << err_.str();
+    EXPECT_EQ(out_.str(), clean) << kind;
+    EXPECT_NE(err_.str().find("retrying"), std::string::npos) << err_.str();
+  }
+}
+
+TEST_F(FabricCliTest, CrashSplitsMultiFunctionFileAndCrashDuringRetryRecovers) {
+  ASSERT_EQ(run({"--format=text", "--jobs=2"}), 0) << err_.str();
+  const std::string clean = out_.str();
+  // two.mc has two functions: the whole-file crash splits it per-function
+  // (attempt counters reset), and the per-function units each crash once
+  // more (max_attempt 2) before succeeding on their third attempt.
+  const FaultGuard fault("kill:two.mc:2");
+  ASSERT_EQ(run({"--format=text", "--jobs=2", "--shards=4"}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), clean);
+  EXPECT_NE(err_.str().find("per-function"), std::string::npos) << err_.str();
+  EXPECT_NE(err_.str().find("attempt 2 of"), std::string::npos) << err_.str();
+}
+
+TEST_F(FabricCliTest, PersistentCrashHardFailsOnlyThatFile) {
+  // A unit that crashes on every attempt is hard-failed with a diagnostic
+  // row; the run still completes, exits 0, and every other file reports.
+  const FaultGuard fault("exit3:b3.mc:99");
+  ASSERT_EQ(run({"--format=json", "--jobs=2", "--shards=4"}), 0)
+      << err_.str();
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(out_.str(), &parse_error);
+  ASSERT_TRUE(v.has_value()) << parse_error;
+  const JsonValue& files = v->get("files");
+  ASSERT_EQ(files.kind(), JsonValue::Kind::Array);
+  std::size_t reports = 0;
+  std::size_t errors = 0;
+  for (const JsonValue& f : files.items()) {
+    if (f.find("report") != nullptr) ++reports;
+    if (const JsonValue* e = f.find("error")) {
+      ++errors;
+      EXPECT_NE(e->as_string().find("worker crashed analysing"),
+                std::string::npos)
+          << e->as_string();
+      EXPECT_NE(f.get("path").as_string().find("b3.mc"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(reports, files_.size() - 1);
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_F(FabricCliTest, StatsLineCountsCrashesAndRetries) {
+  const FaultGuard fault("kill:b2.mc");
+  ASSERT_EQ(run({"--format=json", "--jobs=2", "--shards=2", "--stats"}), 0)
+      << err_.str();
+  const std::string log = err_.str();
+  EXPECT_NE(log.find("tmg: fabric:"), std::string::npos) << log;
+  EXPECT_NE(log.find("1 retries"), std::string::npos) << log;
+  EXPECT_NE(log.find("1 crashes"), std::string::npos) << log;
+  EXPECT_NE(log.find("0 hard failures"), std::string::npos) << log;
+}
+
+TEST(Fabric, UpFrontSplitMergesByteIdentically) {
+  // split_factor <= 0 forces every multi-function file into per-function
+  // units; the merged report must still be byte-identical to the
+  // single-pipeline run (functions in program order, stages summed).
+  PipelineOptions popts;
+  popts.jobs = 2;
+  const std::vector<std::string> sources = {kTwoFunctionSource,
+                                            testing::kExampleB1};
+  const std::vector<std::string> paths = {"two.mc", "b1.mc"};
+
+  std::vector<std::optional<PipelineResult>> results(2);
+  std::vector<std::string> crash_errors;
+  FabricStats stats;
+  FabricOptions fopts;
+  fopts.pool = 2;
+  fopts.split_factor = 0.0;
+  std::ostringstream err;
+  ASSERT_TRUE(run_fabric(popts, sources, paths, fopts, results, crash_errors,
+                         stats, err));
+  EXPECT_GE(stats.splits, 1u);
+  ASSERT_TRUE(results[0].has_value() && results[1].has_value());
+  ASSERT_TRUE(results[0]->ok && results[1]->ok);
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const PipelineResult direct = Pipeline(popts).run(sources[i]);
+    ASSERT_TRUE(direct.ok);
+    std::ostringstream a, b;
+    render_report(direct, popts, ReportFormat::Json, /*with_stages=*/false,
+                  a);
+    render_report(*results[i], popts, ReportFormat::Json,
+                  /*with_stages=*/false, b);
+    EXPECT_EQ(a.str(), b.str()) << paths[i];
+  }
+}
+
+TEST(Fabric, FrontendFailuresResolveParentSideWithExactDiagnostics) {
+  // Files that do not compile never reach a worker; their in-band error
+  // bytes match the in-process pipeline's.
+  PipelineOptions popts;
+  const std::vector<std::string> sources = {"int broken(",
+                                            testing::kExampleB1};
+  const std::vector<std::string> paths = {"broken.mc", "b1.mc"};
+  std::vector<std::optional<PipelineResult>> results(2);
+  std::vector<std::string> crash_errors;
+  FabricStats stats;
+  std::ostringstream err;
+  ASSERT_TRUE(run_fabric(popts, sources, paths, FabricOptions{}, results,
+                         crash_errors, stats, err));
+  ASSERT_TRUE(results[0].has_value());
+  EXPECT_FALSE(results[0]->ok);
+  const PipelineResult direct = Pipeline(popts).run(sources[0]);
+  EXPECT_EQ(results[0]->error, direct.error);
+  ASSERT_TRUE(results[1].has_value());
+  EXPECT_TRUE(results[1]->ok);
+}
+
+// ------------------------------------------------------------- --corpus
+
+class CorpusCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = std::filesystem::path(::testing::TempDir()) / ("tmg_corpus_" + tag);
+    std::filesystem::create_directories(dir_ / "sub");
+    write("b1.mc", testing::kExampleB1);
+    write("b2.mc", testing::kExampleB2);
+    write("sub/fig1.mc", testing::kFigure1Source);
+    write("bad.c", "int broken(\n");
+    write("notes.txt", "not a source file\n");  // must be skipped
+    checkpoint_ = (dir_ / "progress.json").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void write(const char* name, const char* content) {
+    std::ofstream f(dir_ / name);
+    f << content;
+  }
+
+  int run(std::vector<std::string> extra_args) {
+    corpus_arg_ = "--corpus=" + dir_.string();
+    std::vector<const char*> argv = {"tmg", corpus_arg_.c_str()};
+    for (const std::string& a : extra_args) argv.push_back(a.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::string checkpoint_;
+  std::string corpus_arg_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CorpusCliTest, StreamsRowsInPathOrderWithErrorsAsRows) {
+  ASSERT_EQ(run({"--jobs=2"}), 0) << err_.str();
+  const std::string text = out_.str();
+  // One row per source file, sorted by relative path; the unparseable
+  // file is a row, not a run failure; the .txt file is skipped.
+  const std::size_t b1 = text.find("b1.mc:");
+  const std::size_t b2 = text.find("b2.mc:");
+  const std::size_t bad = text.find("bad.c: error:");
+  const std::size_t fig = text.find("sub/fig1.mc:");
+  EXPECT_NE(b1, std::string::npos);
+  EXPECT_NE(b2, std::string::npos);
+  EXPECT_NE(bad, std::string::npos);
+  EXPECT_NE(fig, std::string::npos);
+  EXPECT_EQ(text.find("notes"), std::string::npos);
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, bad);
+  EXPECT_LT(bad, fig);
+  EXPECT_NE(text.find("=== corpus summary ==="), std::string::npos);
+
+  ASSERT_EQ(run({"--jobs=2", "--format=json"}), 0) << err_.str();
+  std::string parse_error;
+  const std::optional<JsonValue> v = json_parse(out_.str(), &parse_error);
+  ASSERT_TRUE(v.has_value()) << parse_error;
+  EXPECT_EQ(v->get("files").items().size(), 4u);
+  EXPECT_EQ(v->get("aggregate").get("analysed").as_int(), 3);
+  EXPECT_EQ(v->get("aggregate").get("failed").as_int(), 1);
+}
+
+TEST_F(CorpusCliTest, ShardedCorpusMatchesUnshardedEvenUnderCrashes) {
+  for (const std::string format : {"text", "csv", "json"}) {
+    ASSERT_EQ(run({"--jobs=2", "--format=" + format}), 0) << err_.str();
+    const std::string unsharded = out_.str();
+    ASSERT_EQ(run({"--jobs=2", "--format=" + format, "--shards=3"}), 0)
+        << err_.str();
+    EXPECT_EQ(out_.str(), unsharded) << format;
+
+    const FaultGuard fault("kill:fig1.mc");
+    ASSERT_EQ(run({"--jobs=2", "--format=" + format, "--shards=3"}), 0)
+        << err_.str();
+    EXPECT_EQ(out_.str(), unsharded) << format << " (crashed)";
+  }
+}
+
+TEST_F(CorpusCliTest, CheckpointReplaysRowsAndDetectsStaleSources) {
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_}), 0)
+      << err_.str();
+  const std::string first = out_.str();
+  EXPECT_NE(first.find("wcet=31"), std::string::npos) << first;  // b1
+
+  // Tamper with b1's checkpointed row: if the rerun replays the journal
+  // (instead of recomputing), the sentinel value surfaces in the report.
+  {
+    std::ifstream in(checkpoint_);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string journal = buf.str();
+    const std::size_t at = journal.find("\"wcet_total\":31");
+    ASSERT_NE(at, std::string::npos) << journal;
+    journal.replace(at, std::string("\"wcet_total\":31").size(),
+                    "\"wcet_total\":4242");
+    std::ofstream(checkpoint_, std::ios::trunc) << journal;
+  }
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wcet=4242"), std::string::npos) << out_.str();
+
+  // Touching the source invalidates its row (hash mismatch): the rerun
+  // recomputes it and the journal heals.
+  {
+    std::ofstream f(dir_ / "b1.mc", std::ios::app);
+    f << "\n";
+  }
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), first);
+}
+
+TEST_F(CorpusCliTest, CheckpointFromDifferentOptionsIsIgnored) {
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_}), 0)
+      << err_.str();
+  const std::string bound4 = out_.str();
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_, "--bound=2"}), 0)
+      << err_.str();
+  EXPECT_NE(err_.str().find("different options"), std::string::npos)
+      << err_.str();
+  // And the healed journal now belongs to --bound=2: rerunning under the
+  // original options starts over again rather than replaying bound-2 rows.
+  ASSERT_EQ(run({"--jobs=2", "--checkpoint=" + checkpoint_}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), bound4);
+}
+
+#endif  // !defined(_WIN32)
+
+// ------------------------------------------------------- CLI validation
+
+TEST(CorpusCli, ValidatesOptionCombinations) {
+  const auto parse = [](std::vector<std::string> args) {
+    CliOptions opts;
+    std::string error;
+    const bool ok = parse_cli(args, opts, error);
+    return std::pair<bool, std::string>(ok, error);
+  };
+  EXPECT_TRUE(parse({"--corpus=dir"}).first);
+  EXPECT_TRUE(
+      parse({"--corpus=dir", "--checkpoint=f.json", "--shards=4"}).first);
+  {
+    const auto [ok, error] = parse({"--corpus=dir", "main.mc"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("takes no input files"), std::string::npos);
+  }
+  {
+    const auto [ok, error] = parse({"--checkpoint=f.json", "main.mc"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("requires --corpus"), std::string::npos);
+  }
+  {
+    const auto [ok, error] = parse({"--corpus=dir", "--table2"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("cannot be combined"), std::string::npos);
+  }
+  {
+    const auto [ok, error] = parse({"--corpus=dir", "--bench"});
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("cannot be combined"), std::string::npos);
+  }
+  EXPECT_FALSE(parse({"--corpus="}).first);
+}
+
+}  // namespace
+}  // namespace tmg::driver
