@@ -1,7 +1,9 @@
 #include "driver/cache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -56,6 +58,21 @@ bool read_file_bytes(const std::string& path, std::string& out) {
   return true;
 }
 
+/// Fault-injection hook for tests and CI (same idiom as TMG_FABRIC_FAULT):
+/// TMG_CACHE_FAULT=store forces every entry write into a failed stream
+/// state before close, simulating a full disk — the store must then warn,
+/// remove its temp, publish nothing and count nothing.
+bool store_fault_injected() {
+  const char* env = std::getenv("TMG_CACHE_FAULT");
+  return env != nullptr && std::string_view(env) == "store";
+}
+
+/// The lookup memo is a bounded scratch structure, not a second cache: a
+/// handful of hot entries (the files an editor integration polls) is the
+/// workload it exists for. Past the cap it is simply cleared — correctness
+/// never depends on it, only stat-vs-reparse latency.
+constexpr std::size_t kMemoCap = 256;
+
 }  // namespace
 
 std::string content_fingerprint(std::string_view data) {
@@ -96,20 +113,27 @@ std::string cache_config_fingerprint(const PipelineOptions& opts) {
   return os.str();
 }
 
-ResultCache::ResultCache(std::string dir, CacheMode mode)
-    : dir_(std::move(dir)), mode_(mode) {}
+ResultCache::ResultCache(std::string dir, CacheMode mode,
+                         std::uint64_t max_bytes)
+    : dir_(std::move(dir)), mode_(mode), max_bytes_(max_bytes) {}
 
 // Per-cache counters are mutex-guarded (serve mutates them from request
 // handling while a batch may still be counting); the registry mirror is
 // the process-wide aggregate serve `metrics` and `--progress` read.
-void ResultCache::count_hit() {
+void ResultCache::count_hit(bool fast) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.hits;
+    if (fast) ++stats_.fast_hits;
   }
   static trace::Counter& c =
       trace::MetricsRegistry::instance().counter("cache.hits");
   c.add();
+  if (fast) {
+    static trace::Counter& f =
+        trace::MetricsRegistry::instance().counter("cache.fast_hits");
+    f.add();
+  }
 }
 
 void ResultCache::count_miss() {
@@ -138,12 +162,60 @@ std::string ResultCache::entry_path(const std::string& source,
          hex64(fnv1a64(cache_config_fingerprint(opts))) + ".json";
 }
 
+void ResultCache::touch_and_memoise(const std::string& path,
+                                    const PipelineResult& result) {
+  // Refresh the entry's mtime so the LRU sweep sees *use* recency, then
+  // memoise the parsed report under the refreshed (mtime, size) identity.
+  // Everything here is best effort: a failed stat just skips the memo and
+  // the next lookup takes the slow path.
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), ec);
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return;
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (memo_.size() >= kMemoCap && memo_.find(path) == memo_.end())
+    memo_.clear();
+  memo_[path] = MemoEntry{mtime, size, result};
+}
+
 std::optional<PipelineResult> ResultCache::lookup(
     const std::string& source, const PipelineOptions& opts,
     std::ostream& warn) {
   if (!enabled()) return std::nullopt;
   trace::TraceSpan span("cache.lookup", "cache");
   const std::string path = entry_path(source, opts);
+
+  // Fast path: if the entry file's (mtime, size) still match what we
+  // parsed last time, serve the memoised report on the strength of one
+  // stat(). A rewritten entry (heal, concurrent writer) changes the
+  // identity and falls through to the full read below.
+  {
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    const std::uintmax_t size =
+        ec ? 0 : std::filesystem::file_size(path, ec);
+    if (!ec) {
+      std::optional<PipelineResult> memoised;
+      {
+        const std::lock_guard<std::mutex> lock(memo_mutex_);
+        const auto it = memo_.find(path);
+        if (it != memo_.end() && it->second.mtime == mtime &&
+            it->second.size == size)
+          memoised = it->second.result;
+      }
+      if (memoised) {
+        touch_and_memoise(path, *memoised);
+        span.arg("hit", "true");
+        span.arg("fast", "true");
+        count_hit(/*fast=*/true);
+        return memoised;
+      }
+    }
+  }
+
   std::string bytes;
   if (!read_file_bytes(path, bytes)) {
     span.arg("hit", "false");
@@ -181,9 +253,72 @@ std::optional<PipelineResult> ResultCache::lookup(
   if (report == nullptr) return corrupt();
   PipelineResult result;
   if (!parse_pipeline_result(*report, result)) return corrupt();
+  touch_and_memoise(path, result);
   span.arg("hit", "true");
-  count_hit();
+  count_hit(/*fast=*/false);
   return result;
+}
+
+void ResultCache::sweep(std::ostream& warn) {
+  if (max_bytes_ == 0) return;
+  // One sweeper at a time: concurrent stores would otherwise race over
+  // the same victim list and double-count evictions. Entry removal itself
+  // is reader-safe — an open reader keeps its bytes, a later reader
+  // misses and recomputes.
+  const std::lock_guard<std::mutex> sweep_lock(sweep_mutex_);
+  trace::TraceSpan span("cache.sweep", "cache");
+
+  struct Entry {
+    std::string path;
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    if (de.path().extension() != ".json") continue;  // skip temps, foreign
+    std::error_code st;
+    const auto mtime = de.last_write_time(st);
+    const std::uintmax_t size = st ? 0 : de.file_size(st);
+    if (st) continue;
+    total += size;
+    entries.push_back(Entry{de.path().string(), mtime, size});
+  }
+  if (ec || total <= max_bytes_) return;
+
+  // Oldest mtime first = least recently *used* first (hits touch their
+  // entry); ties break on path so concurrent sweeps pick the same order.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+
+  std::uint64_t evicted = 0;
+  std::uint64_t evicted_bytes = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code rm;
+    if (!std::filesystem::remove(e.path, rm) || rm) {
+      if (rm) warn << "tmg: cannot evict cache entry " << e.path << "\n";
+      continue;
+    }
+    total -= e.size;
+    ++evicted;
+    evicted_bytes += e.size;
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    memo_.erase(e.path);
+  }
+  if (evicted == 0) return;
+  span.arg("evicted", static_cast<std::int64_t>(evicted));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.evictions += evicted;
+    stats_.evicted_bytes += evicted_bytes;
+  }
+  static trace::Counter& c =
+      trace::MetricsRegistry::instance().counter("cache.evictions");
+  c.add(evicted);
 }
 
 void ResultCache::store(const std::string& source,
@@ -212,8 +347,15 @@ void ResultCache::store(const std::string& source,
       "." + std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out || !(out << os.str())) {
+    if (store_fault_injected()) out.setstate(std::ios::badbit);
+    out << os.str();
+    // close() is where buffered bytes actually reach the filesystem — a
+    // full disk often surfaces only here. Check the stream *after* close,
+    // or a truncated temp gets published as a valid-looking entry.
+    out.close();
+    if (!out) {
       warn << "tmg: cannot write cache entry " << path << "\n";
+      std::remove(tmp.c_str());
       return;
     }
   }
@@ -223,6 +365,8 @@ void ResultCache::store(const std::string& source,
     return;
   }
   count_write();
+  touch_and_memoise(path, result);
+  sweep(warn);
 }
 
 BatchResult run_batch_cached(const std::vector<std::string>& sources,

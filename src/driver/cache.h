@@ -12,13 +12,30 @@
 // killed runs never leave a partially written entry under the final name.
 // Corrupt or foreign entries are ignored with a warning and recomputed —
 // the cache can always be deleted wholesale.
+//
+// Lifecycle (`--cache-max-mb`): a nonzero byte cap turns on LRU-by-mtime
+// eviction — every successful store sweeps the directory and removes the
+// oldest-mtime entries until the total size of `*.json` entries fits the
+// cap. Hits touch their entry's mtime, so recency of *use* (not of
+// creation) decides survival. Removal is safe against concurrent readers:
+// an already-open reader keeps its bytes (POSIX), a later reader simply
+// misses and recomputes + heals.
+//
+// Fast path: lookup keeps a small in-process memo of parsed entries keyed
+// by entry path and validated by the entry file's (mtime, size) — a
+// resubmission of an unchanged file (editor-integration polling against
+// `tmg serve`) is answered with one stat() instead of a full read +
+// JSON parse + report validation. Served reports are byte-identical to
+// the slow path; `fast_hits` counts how often the stat short-circuit won.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "driver/pipeline.h"
@@ -40,6 +57,12 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t writes = 0;
+  /// Subset of `hits` answered from the in-memory mtime+size fast path
+  /// (no entry re-read, no JSON re-parse).
+  std::uint64_t fast_hits = 0;
+  /// Entries removed by the LRU-by-mtime sweep, and their total bytes.
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
 };
 
 /// Canonical one-line description of every option that can change a
@@ -56,8 +79,11 @@ class ResultCache {
  public:
   /// An empty `dir` or CacheMode::Off disables the cache (every call
   /// becomes a no-op); callers can hold a ResultCache unconditionally.
+  /// `max_bytes` > 0 caps the total size of `*.json` entries in `dir`:
+  /// every successful store evicts oldest-mtime entries until the
+  /// directory fits (0 = unbounded, the default).
   ResultCache() = default;
-  ResultCache(std::string dir, CacheMode mode);
+  ResultCache(std::string dir, CacheMode mode, std::uint64_t max_bytes = 0);
 
   [[nodiscard]] bool enabled() const {
     return mode_ != CacheMode::Off && !dir_.empty();
@@ -82,18 +108,40 @@ class ResultCache {
                                        std::ostream& warn);
 
   /// Persists one computed report (ReadWrite mode only; no-op otherwise).
+  /// A write that fails anywhere — open, stream, or the final flush at
+  /// close — warns, removes the temp file, publishes nothing and bumps no
+  /// counter. With a byte cap set, a successful publish sweeps the
+  /// directory (LRU by mtime) back under the cap.
   void store(const std::string& source, const PipelineOptions& opts,
              const PipelineResult& result, std::ostream& warn);
 
  private:
-  void count_hit();
+  /// One memoised entry for the lookup fast path: the parsed report plus
+  /// the entry file's identity at parse time.
+  struct MemoEntry {
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t size = 0;
+    PipelineResult result;
+  };
+
+  void count_hit(bool fast);
   void count_miss();
   void count_write();
+  /// LRU-by-mtime sweep: removes oldest entries until the `*.json` total
+  /// fits max_bytes_. Called after every successful store.
+  void sweep(std::ostream& warn);
+  /// Best-effort mtime refresh of a hit entry (feeds the LRU order) and
+  /// memo (re)insertion keyed on the refreshed identity.
+  void touch_and_memoise(const std::string& path, const PipelineResult& result);
 
   std::string dir_;
   CacheMode mode_ = CacheMode::Off;
+  std::uint64_t max_bytes_ = 0;
   mutable std::mutex stats_mutex_;
   CacheStats stats_;
+  std::mutex memo_mutex_;
+  std::unordered_map<std::string, MemoEntry> memo_;
+  std::mutex sweep_mutex_;
 };
 
 /// run_batch through the cache: files whose entry hits skip analysis

@@ -57,10 +57,12 @@ void split_opt(std::string_view arg, std::string_view& name,
 std::string cli_usage() {
   return
       "usage: tmg [options] <source.mc> [more.mc ...]\n"
-      "       tmg serve --socket=PATH [--cache-dir=DIR] [options]\n"
-      "       tmg client --socket=PATH <source.mc> [more.mc ...]\n"
-      "       tmg client --socket=PATH --shutdown\n"
-      "       tmg client --socket=PATH --metrics\n"
+      "       tmg serve --socket=PATH|--listen=HOST:PORT [--cache-dir=DIR]\n"
+      "                 [options]\n"
+      "       tmg client --socket=PATH|--connect=HOST:PORT "
+      "<source.mc> [more.mc ...]\n"
+      "       tmg client --socket=PATH|--connect=HOST:PORT --shutdown\n"
+      "       tmg client --socket=PATH|--connect=HOST:PORT --metrics\n"
       "\n"
       "Runs the full timing-model pipeline: mini-C frontend -> CFG ->\n"
       "partition (path bound b) -> transition system -> per-segment\n"
@@ -126,7 +128,22 @@ std::string cli_usage() {
       "                        probes it)\n"
       "  --cache=MODE          off | ro | rw (default rw once --cache-dir\n"
       "                        is given); ro serves hits but never writes\n"
+      "  --cache-max-mb=N      cap the cache directory at N MiB: every\n"
+      "                        store evicts the least-recently-used entries\n"
+      "                        (by mtime; hits refresh it) until the cap\n"
+      "                        fits (default: unbounded)\n"
       "  --socket=PATH         unix socket for the serve/client subcommands\n"
+      "  --listen=HOST:PORT    (serve) TCP listener, alongside or instead\n"
+      "                        of --socket; port 0 picks an ephemeral port\n"
+      "                        (printed on startup)\n"
+      "  --connect=HOST:PORT   (client) connect over TCP instead of the\n"
+      "                        unix socket\n"
+      "  --serve-workers=N     (serve) connection worker pool size\n"
+      "                        (default: hardware threads); slow analyses\n"
+      "                        never block cache hits or --metrics\n"
+      "  --max-request-mb=N    (serve) per-connection request size cap in\n"
+      "                        MiB (default 64); oversized requests get an\n"
+      "                        in-band error instead of unbounded buffering\n"
       "  --shutdown            (client only) ask the daemon to exit\n"
       "  --metrics             (client only) print the daemon's metrics\n"
       "                        snapshot (uptime, requests, cache/solver\n"
@@ -151,6 +168,7 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
                std::string& error) {
   bool format_set = false;
   bool cache_mode_set = false;
+  bool max_request_set = false;
   std::size_t start = 0;
   // Subcommands come first, like `git <cmd>`: everything after is the
   // ordinary option grammar.
@@ -332,12 +350,46 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
         return false;
       }
       cache_mode_set = true;
+    } else if (name == "--cache-max-mb") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0) {
+        error = "--cache-max-mb expects a positive integer (MiB)";
+        return false;
+      }
+      out.cache_max_bytes = v << 20;
     } else if (name == "--socket") {
       if (!has_value || value.empty()) {
         error = "--socket expects a path";
         return false;
       }
       out.socket_path = std::string(value);
+    } else if (name == "--listen") {
+      if (!has_value || value.empty()) {
+        error = "--listen expects HOST:PORT";
+        return false;
+      }
+      out.listen_addr = std::string(value);
+    } else if (name == "--connect") {
+      if (!has_value || value.empty()) {
+        error = "--connect expects HOST:PORT";
+        return false;
+      }
+      out.connect_addr = std::string(value);
+    } else if (name == "--serve-workers") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 1024) {
+        error = "--serve-workers expects a positive integer (max 1024)";
+        return false;
+      }
+      out.serve_workers = static_cast<unsigned>(v);
+    } else if (name == "--max-request-mb") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 4096) {
+        error = "--max-request-mb expects a positive integer (max 4096)";
+        return false;
+      }
+      out.max_request_bytes = static_cast<std::size_t>(v) << 20;
+      max_request_set = true;
     } else if (name == "--shutdown") {
       out.client_shutdown = true;
     } else if (name == "--metrics") {
@@ -376,13 +428,33 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
     error = "client --metrics cannot be combined with --shutdown";
     return false;
   }
-  if ((out.serve || out.client) && out.socket_path.empty()) {
-    error = std::string(out.serve ? "serve" : "client") +
-            " requires --socket=PATH";
+  if (out.serve && out.socket_path.empty() && out.listen_addr.empty()) {
+    error = "serve requires --socket=PATH and/or --listen=HOST:PORT";
+    return false;
+  }
+  if (out.client && out.socket_path.empty() == out.connect_addr.empty()) {
+    error = "client requires exactly one of --socket=PATH or "
+            "--connect=HOST:PORT";
     return false;
   }
   if (!out.serve && !out.client && !out.socket_path.empty()) {
     error = "--socket only applies to the serve/client subcommands";
+    return false;
+  }
+  if (!out.serve && !out.listen_addr.empty()) {
+    error = "--listen is a 'tmg serve' option";
+    return false;
+  }
+  if (!out.client && !out.connect_addr.empty()) {
+    error = "--connect is a 'tmg client' option";
+    return false;
+  }
+  if (!out.serve && (out.serve_workers != 0)) {
+    error = "--serve-workers is a 'tmg serve' option";
+    return false;
+  }
+  if (!out.serve && max_request_set) {
+    error = "--max-request-mb is a 'tmg serve' option";
     return false;
   }
   if (out.serve && !out.inputs.empty()) {
@@ -409,6 +481,10 @@ bool parse_cli(const std::vector<std::string>& args, CliOptions& out,
   if (cache_mode_set && out.cache_mode != CacheMode::Off &&
       out.cache_dir.empty()) {
     error = "--cache=ro|rw requires --cache-dir=DIR";
+    return false;
+  }
+  if (out.cache_max_bytes > 0 && out.cache_dir.empty()) {
+    error = "--cache-max-mb requires --cache-dir=DIR";
     return false;
   }
   // Corpus mode owns the file list (it crawls the directory), so it
@@ -1002,16 +1078,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   } progress_guard;
   if (opts.progress) trace::enable_progress(&err, opts.inputs.size());
 
-  ResultCache cache(opts.cache_dir, opts.cache_dir.empty()
-                                        ? CacheMode::Off
-                                        : opts.cache_mode);
+  ResultCache cache(opts.cache_dir,
+                    opts.cache_dir.empty() ? CacheMode::Off : opts.cache_mode,
+                    opts.cache_max_bytes);
   // One summary line per process keeps cache behaviour observable without
   // touching the deterministic report streams (stderr, --stats only).
   const auto finish = [&](int rc) {
     if (opts.with_stages && cache.enabled()) {
       const CacheStats cs = cache.stats();
       err << "tmg: cache: " << cs.hits << " hits, " << cs.misses
-          << " misses, " << cs.writes << " writes\n";
+          << " misses, " << cs.writes << " writes, " << cs.fast_hits
+          << " fast hits, " << cs.evictions << " evictions\n";
     }
     return rc;
   };

@@ -47,7 +47,10 @@ struct CliOptions {
   std::string cache_dir;
   /// --cache=off|ro|rw (default rw once --cache-dir is given).
   CacheMode cache_mode = CacheMode::ReadWrite;
-  /// `tmg serve` / `tmg client` subcommands (unix-socket daemon).
+  /// --cache-max-mb=N: LRU-by-mtime eviction cap on the cache directory
+  /// in bytes (0 = unbounded). Swept after every store.
+  std::uint64_t cache_max_bytes = 0;
+  /// `tmg serve` / `tmg client` subcommands (unix/TCP daemon).
   bool serve = false;
   bool client = false;
   /// `tmg client --socket=... --shutdown`: stop the daemon.
@@ -57,6 +60,17 @@ struct CliOptions {
   bool client_metrics = false;
   /// --socket=PATH: unix socket for serve/client.
   std::string socket_path;
+  /// --listen=HOST:PORT (serve): TCP listener, alongside or instead of
+  /// --socket. Port 0 binds an ephemeral port (printed on startup).
+  std::string listen_addr;
+  /// --connect=HOST:PORT (client): TCP instead of the unix socket.
+  std::string connect_addr;
+  /// --serve-workers=N (serve): connection worker pool size; 0 selects
+  /// hardware_concurrency().
+  unsigned serve_workers = 0;
+  /// --max-request-mb=N (serve): per-connection request size cap; an
+  /// oversized request gets an in-band error instead of unbounded reads.
+  std::size_t max_request_bytes = 64ull << 20;
   /// --trace=FILE: write a Chrome/Perfetto trace-event JSON file covering
   /// pipeline stages, scheduler jobs, BMC queries and cache lookups
   /// (stitched across --jobs threads and --shards children).

@@ -1,21 +1,28 @@
 #include "driver/serve.h"
 
+#include <cerrno>
 #include <chrono>
+#include <limits>
 #include <sstream>
 
 #include "driver/report.h"
 #include "driver/shard.h"
+#include "engine/scheduler.h"
 #include "opt/passes.h"
 #include "support/json.h"
 #include "support/trace.h"
 
 #if !defined(_WIN32)
+#include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #endif
 
 namespace tmg::driver {
@@ -67,21 +74,42 @@ bool read_int(const JsonValue& v, const char* key, std::int64_t& out) {
   return true;
 }
 
+/// Ranged unsigned read: the wire carries int64s, but several option
+/// fields are narrower (`jobs` is unsigned, `max_unroll_depth` and
+/// `max_steps` are uint32). A silent truncating cast would turn a request
+/// with max_unroll_depth 2^32+5 into an analysis under depth 5 — reject
+/// anything outside [0, max] as malformed instead.
+bool read_ranged(const JsonValue& v, const char* key, std::uint64_t max,
+                 std::uint64_t& out) {
+  std::int64_t n = 0;
+  if (!read_int(v, key, n)) return false;
+  if (n < 0 || static_cast<std::uint64_t>(n) > max) return false;
+  out = static_cast<std::uint64_t>(n);
+  return true;
+}
+
+/// The CLI caps --jobs at 1024; the wire enforces the same ceiling so a
+/// remote peer cannot request an absurd worker count.
+constexpr std::uint64_t kMaxWireJobs = 1024;
+
 bool read_options(const JsonValue& v, PipelineOptions& o) {
   std::int64_t n = 0;
+  std::uint64_t u = 0;
   if (!read_int(v, "path_bound", n) || n < 0) return false;
   o.path_bound = static_cast<std::uint64_t>(n);
   const JsonValue* fn = v.find("function");
   if (fn == nullptr || fn->kind() != JsonValue::Kind::String) return false;
   o.function = fn->as_string();
   if (!read_bool(v, "run_bmc", o.run_bmc)) return false;
-  if (!read_int(v, "jobs", n) || n < 0) return false;
-  o.jobs = static_cast<unsigned>(n);
+  if (!read_ranged(v, "jobs", kMaxWireJobs, u)) return false;
+  o.jobs = static_cast<unsigned>(u);
   if (!read_bool(v, "validate_witnesses", o.validate_witnesses)) return false;
   if (!read_int(v, "max_paths_per_segment", n) || n < 0) return false;
   o.max_paths_per_segment = static_cast<std::size_t>(n);
-  if (!read_int(v, "max_unroll_depth", n) || n < 0) return false;
-  o.max_unroll_depth = static_cast<std::uint32_t>(n);
+  if (!read_ranged(v, "max_unroll_depth",
+                   std::numeric_limits<std::uint32_t>::max(), u))
+    return false;
+  o.max_unroll_depth = static_cast<std::uint32_t>(u);
   if (!read_bool(v, "pessimistic_widths", o.pessimistic_widths)) return false;
   const JsonValue* passes = v.find("opt_passes");
   if (passes == nullptr || passes->kind() != JsonValue::Kind::Array)
@@ -95,8 +123,10 @@ bool read_options(const JsonValue& v, PipelineOptions& o) {
   }
   if (!read_bool(v, "use_sessions", o.use_sessions)) return false;
   if (!read_bool(v, "slice", o.slice)) return false;
-  if (!read_int(v, "max_steps", n) || n < 0) return false;
-  o.bmc.max_steps = static_cast<std::uint32_t>(n);
+  if (!read_ranged(v, "max_steps",
+                   std::numeric_limits<std::uint32_t>::max(), u))
+    return false;
+  o.bmc.max_steps = static_cast<std::uint32_t>(u);
   if (!read_int(v, "conflict_budget", o.bmc.conflict_budget)) return false;
   if (!read_bool(v, "minimize_witness", o.bmc.minimize_witness)) return false;
   if (!read_int(v, "stmt_cost", o.cost.stmt_cost)) return false;
@@ -190,7 +220,10 @@ std::string handle_serve_request(const std::string& payload,
        << json_double(uptime_seconds)
        << ",\"requests\":" << requests.get() << ",\"cache\":{\"hits\":"
        << cs.hits << ",\"misses\":" << cs.misses << ",\"writes\":"
-       << cs.writes << "},\"registry\":" << reg.to_json() << "}}";
+       << cs.writes << ",\"fast_hits\":" << cs.fast_hits
+       << ",\"evictions\":" << cs.evictions
+       << ",\"evicted_bytes\":" << cs.evicted_bytes
+       << "},\"registry\":" << reg.to_json() << "}}";
     return os.str();
   }
   if (cmd->as_string() != "analyze")
@@ -281,9 +314,30 @@ bool parse_serve_response(const std::string& payload, std::size_t num_files,
   return true;
 }
 
+bool accept_errno_is_transient(int err) {
+  // EINTR: signal. ECONNABORTED: the peer vanished between the kernel's
+  // completed handshake and our accept — its problem, not ours. EAGAIN /
+  // EWOULDBLOCK: spurious poll wake. Everything else (EMFILE, ENFILE,
+  // ENOMEM, EBADF, EINVAL) means the daemon itself is broken: retrying
+  // would spin, and exiting 0 would hide the death from supervisors.
+  return err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+         err == EWOULDBLOCK;
+}
+
+bool split_host_port(const std::string& addr, std::string& host,
+                     std::string& port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+    return false;
+  host = addr.substr(0, colon);
+  port = addr.substr(colon + 1);
+  return true;
+}
+
 #if defined(_WIN32)
 
-int run_serve(const CliOptions&, std::ostream&, std::ostream& err) {
+int run_serve(const CliOptions&, std::ostream&, std::ostream& err,
+              const ServeHooks&) {
   err << "tmg: serve is not supported on this platform\n";
   return 2;
 }
@@ -327,6 +381,42 @@ bool recv_until_eof(int fd, std::string& out) {
   }
 }
 
+/// recv_until_eof with a byte cap: past `cap` the partial request is
+/// discarded, `over_cap` is set, and reading stops so the daemon never
+/// buffers an unbounded remote payload. The caller still owes the peer an
+/// in-band error plus a drain (see handle_conn) — the peer may be blocked
+/// mid-send precisely because we stopped reading.
+bool recv_request_capped(int fd, std::size_t cap, std::string& out,
+                         bool& over_cap) {
+  over_cap = false;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out.append(buf, static_cast<std::size_t>(n));
+    if (out.size() > cap) {
+      out.clear();
+      out.shrink_to_fit();
+      over_cap = true;
+      return true;
+    }
+  }
+}
+
+/// Reads and discards until EOF or error.
+void drain_to_eof(int fd) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+  }
+}
+
 bool fill_addr(sockaddr_un& addr, const std::string& path,
                std::ostream& err) {
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -339,82 +429,316 @@ bool fill_addr(sockaddr_un& addr, const std::string& path,
   return true;
 }
 
-}  // namespace
-
-int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err) {
+int listen_unix(const std::string& path, std::ostream& err) {
   sockaddr_un addr{};
-  if (!fill_addr(addr, opts.socket_path, err)) return 2;
-
+  if (!fill_addr(addr, path, err)) return -1;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     err << "tmg: cannot create socket: " << std::strerror(errno) << "\n";
-    return 2;
+    return -1;
   }
   // A stale socket file from a killed daemon makes bind() fail with
   // EADDRINUSE even though nothing is listening; remove it first. A
   // *live* daemon also loses its file this way — serialising daemons per
   // socket path is the operator's job, as with any pid/socket file.
-  ::unlink(opts.socket_path.c_str());
+  ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 16) < 0) {
-    err << "tmg: cannot listen on " << opts.socket_path << ": "
-        << std::strerror(errno) << "\n";
+      ::listen(fd, 64) < 0) {
+    err << "tmg: cannot listen on " << path << ": " << std::strerror(errno)
+        << "\n";
     ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Binds and listens on HOST:PORT. `endpoint` receives the numeric
+/// host:port actually bound (getsockname), so `--listen=127.0.0.1:0`
+/// reports the kernel-picked ephemeral port.
+int listen_tcp(const std::string& addr_str, std::string& endpoint,
+               std::ostream& err) {
+  std::string host, port;
+  if (!split_host_port(addr_str, host, port)) {
+    err << "tmg: malformed --listen address (want HOST:PORT): " << addr_str
+        << "\n";
+    return -1;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    err << "tmg: cannot resolve " << addr_str << ": " << ::gai_strerror(gai)
+        << "\n";
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0)
+      break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    err << "tmg: cannot listen on " << addr_str << ": "
+        << std::strerror(errno) << "\n";
+    return -1;
+  }
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  char hbuf[NI_MAXHOST];
+  char pbuf[NI_MAXSERV];
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) == 0 &&
+      ::getnameinfo(reinterpret_cast<sockaddr*>(&ss), len, hbuf, sizeof(hbuf),
+                    pbuf, sizeof(pbuf),
+                    NI_NUMERICHOST | NI_NUMERICSERV) == 0)
+    endpoint = std::string(hbuf) + ":" + pbuf;
+  else
+    endpoint = addr_str;
+  return fd;
+}
+
+int connect_tcp(const std::string& addr_str, std::ostream& err) {
+  std::string host, port;
+  if (!split_host_port(addr_str, host, port)) {
+    err << "tmg: malformed --connect address (want HOST:PORT): " << addr_str
+        << "\n";
+    return -1;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    err << "tmg: cannot resolve " << addr_str << ": " << ::gai_strerror(gai)
+        << "\n";
+    return -1;
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0)
+    err << "tmg: cannot connect to " << addr_str << ": "
+        << std::strerror(saved_errno) << "\n";
+  return fd;
+}
+
+}  // namespace
+
+int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err,
+              const ServeHooks& hooks) {
+  struct Listener {
+    int fd;
+    std::string transport;
+    std::string endpoint;
+  };
+  std::vector<Listener> listeners;
+  const auto close_listeners = [&] {
+    for (const Listener& l : listeners) ::close(l.fd);
+    if (!opts.socket_path.empty()) ::unlink(opts.socket_path.c_str());
+  };
+  if (!opts.socket_path.empty()) {
+    const int fd = listen_unix(opts.socket_path, err);
+    if (fd < 0) return 2;
+    listeners.push_back(Listener{fd, "unix", opts.socket_path});
+  }
+  if (!opts.listen_addr.empty()) {
+    std::string endpoint;
+    const int fd = listen_tcp(opts.listen_addr, endpoint, err);
+    if (fd < 0) {
+      close_listeners();
+      return 2;
+    }
+    listeners.push_back(Listener{fd, "tcp", endpoint});
+  }
+  if (listeners.empty()) {  // parse_cli enforces this; belt and braces
+    err << "tmg: serve needs --socket or --listen\n";
     return 2;
   }
 
   ResultCache cache(opts.cache_dir,
-                    opts.cache_dir.empty() ? CacheMode::Off : opts.cache_mode);
-  out << "tmg: serving on " << opts.socket_path << "\n";
+                    opts.cache_dir.empty() ? CacheMode::Off : opts.cache_mode,
+                    opts.cache_max_bytes);
+  for (const Listener& l : listeners) {
+    out << "tmg: serving on " << l.endpoint << "\n";
+    if (hooks.on_listening) hooks.on_listening(l.transport, l.endpoint);
+  }
   out.flush();
 
+  // Self-pipe: the worker that handles a shutdown request (or a pool
+  // failure) writes one byte here to wake the listener out of poll().
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0) {
+    err << "tmg: cannot create wake pipe: " << std::strerror(errno) << "\n";
+    close_listeners();
+    return 2;
+  }
+  std::atomic<bool> stop{false};
+  const auto request_stop = [&] {
+    stop.store(true, std::memory_order_release);
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake[1], &b, 1);
+  };
+
+  // The daemon's err stream is shared by every worker; each request
+  // buffers its warnings locally and flushes them in one locked write so
+  // concurrent requests never interleave mid-line.
+  std::mutex err_mutex;
   const auto t_start = std::chrono::steady_clock::now();
-  bool shutdown = false;
-  while (!shutdown) {
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      err << "tmg: accept failed: " << std::strerror(errno) << "\n";
-      break;
+
+  // Connection worker pool: the frontier held open so the listener can
+  // keep pushing accepted connections into an already-running pool. Each
+  // job owns its connection end to end (read, handle, reply, close) —
+  // which worker runs it can never change a response byte.
+  engine::Frontier pool(opts.serve_workers);
+  pool.hold_open();
+  std::thread pool_thread([&] {
+    try {
+      pool.run();
+    } catch (...) {
+      // A request job must not throw (handle_serve_request returns
+      // in-band errors), but a throw anywhere would otherwise strand the
+      // listener in poll() forever.
+      request_stop();
     }
+  });
+
+  const auto handle_conn = [&](int conn) {
     std::string request;
-    if (recv_until_eof(conn, request)) {
-      const double uptime = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t_start)
-                                .count();
-      const std::string response =
-          handle_serve_request(request, cache, err, shutdown, uptime);
+    bool over_cap = false;
+    if (recv_request_capped(conn, opts.max_request_bytes, request,
+                            over_cap)) {
+      bool shutdown = false;
+      std::string response;
+      if (over_cap) {
+        response = error_response("request too large", 0);
+      } else {
+        const double uptime = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t_start)
+                                  .count();
+        std::ostringstream warn;
+        response = handle_serve_request(request, cache, warn, shutdown,
+                                        uptime);
+        const std::string w = warn.str();
+        if (!w.empty()) {
+          const std::lock_guard<std::mutex> lock(err_mutex);
+          err << w;
+        }
+      }
       send_all(conn, response);
+      if (over_cap) {
+        // The peer may be blocked in send() because we stopped reading.
+        // Half-close our write side (their recv of the error ends) and
+        // swallow the rest of their request so their send unblocks.
+        ::shutdown(conn, SHUT_WR);
+        drain_to_eof(conn);
+      }
+      if (shutdown) request_stop();
     }
     ::close(conn);
+  };
+
+  int rc = 0;
+  std::vector<pollfd> pfds;
+  pfds.push_back(pollfd{wake[0], POLLIN, 0});
+  for (const Listener& l : listeners)
+    pfds.push_back(pollfd{l.fd, POLLIN, 0});
+  while (!stop.load(std::memory_order_acquire)) {
+    const int n = ::poll(pfds.data(), pfds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      {
+        const std::lock_guard<std::mutex> lock(err_mutex);
+        err << "tmg: poll failed: " << std::strerror(errno) << "\n";
+      }
+      rc = 2;
+      break;
+    }
+    if (pfds[0].revents != 0) break;  // stop requested
+    bool fatal = false;
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const int conn = ::accept(pfds[i].fd, nullptr, nullptr);
+      if (conn < 0) {
+        const int accept_errno = errno;
+        if (accept_errno_is_transient(accept_errno)) continue;
+        {
+          const std::lock_guard<std::mutex> lock(err_mutex);
+          err << "tmg: accept failed: " << std::strerror(accept_errno)
+              << "\n";
+        }
+        fatal = true;
+        break;
+      }
+      pool.push(engine::AnalysisJob{
+          [&handle_conn, conn](unsigned) { handle_conn(conn); }, -1});
+    }
+    if (fatal) {
+      rc = 2;
+      break;
+    }
   }
 
-  ::close(fd);
-  ::unlink(opts.socket_path.c_str());
+  // Drain: queued and in-flight connections still get their responses,
+  // then the pool parks out and run() returns.
+  pool.close();
+  pool_thread.join();
+  ::close(wake[0]);
+  ::close(wake[1]);
+  close_listeners();
   if (cache.enabled()) {
     const CacheStats cs = cache.stats();
     out << "tmg: cache: " << cs.hits << " hits, " << cs.misses << " misses, "
-        << cs.writes << " writes\n";
+        << cs.writes << " writes, " << cs.fast_hits << " fast hits, "
+        << cs.evictions << " evictions\n";
   }
-  return 0;
+  return rc;
 }
 
 int run_client(const CliOptions& opts,
                const std::vector<std::string>& sources, std::ostream& out,
                std::ostream& err) {
-  sockaddr_un addr{};
-  if (!fill_addr(addr, opts.socket_path, err)) return 2;
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    err << "tmg: cannot create socket: " << std::strerror(errno) << "\n";
-    return 2;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    err << "tmg: cannot connect to " << opts.socket_path << ": "
-        << std::strerror(errno) << "\n";
-    ::close(fd);
-    return 2;
+  const bool tcp = !opts.connect_addr.empty();
+  const std::string endpoint = tcp ? opts.connect_addr : opts.socket_path;
+  int fd = -1;
+  if (tcp) {
+    fd = connect_tcp(opts.connect_addr, err);
+    if (fd < 0) return 2;
+  } else {
+    sockaddr_un addr{};
+    if (!fill_addr(addr, opts.socket_path, err)) return 2;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      err << "tmg: cannot create socket: " << std::strerror(errno) << "\n";
+      return 2;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      err << "tmg: cannot connect to " << opts.socket_path << ": "
+          << std::strerror(errno) << "\n";
+      ::close(fd);
+      return 2;
+    }
   }
 
   const std::string request =
@@ -425,13 +749,22 @@ int run_client(const CliOptions& opts,
   std::string response;
   // Half-close after sending: the daemon reads until EOF, so this is the
   // end-of-request marker; the connection stays readable for the reply.
-  const bool io_ok = send_all(fd, request) &&
-                     ::shutdown(fd, SHUT_WR) == 0 &&
-                     recv_until_eof(fd, response);
+  // errno is captured at the failing call — close() below may overwrite
+  // it, and the error we print must be the I/O failure's, not close()'s.
+  int io_errno = 0;
+  bool io_ok = false;
+  if (!send_all(fd, request))
+    io_errno = errno;
+  else if (::shutdown(fd, SHUT_WR) != 0)
+    io_errno = errno;
+  else if (!recv_until_eof(fd, response))
+    io_errno = errno;
+  else
+    io_ok = true;
   ::close(fd);
   if (!io_ok) {
-    err << "tmg: connection to " << opts.socket_path
-        << " failed: " << std::strerror(errno) << "\n";
+    err << "tmg: connection to " << endpoint
+        << " failed: " << std::strerror(io_errno) << "\n";
     return 2;
   }
 

@@ -1,13 +1,24 @@
 // `tmg serve` / `tmg client`: a long-lived analysis daemon on a unix
-// domain socket. The daemon keeps one in-process ResultCache (and, within
-// each request, the warm per-worker bmc::Session pool) across requests,
-// so resubmitting a file is answered from cache without re-solving.
+// domain socket and/or a TCP listener. The daemon keeps one in-process
+// ResultCache (and, within each request, the warm per-worker bmc::Session
+// pool) across requests, so resubmitting a file is answered from cache
+// without re-solving.
+//
+// Concurrency: the calling thread owns the listeners (poll over every
+// bound socket); each accepted connection is pushed as a job onto a
+// held-open engine::Frontier worker pool (`--serve-workers`), so a slow
+// analysis never blocks cache hits or `metrics` requests on other
+// connections. Responses are byte-identical to the serial daemon: request
+// handling is a pure function of (payload, cache) and each connection's
+// response is computed and sent entirely by one worker.
 //
 // Wire: one JSON request per connection, one JSON response back. The
 // client half-closes its write side after sending (EOF framing — no
 // length prefixes), reads the response until EOF and renders LOCALLY with
 // the normal report renderers over the shard wire reports, which is what
 // makes `tmg client` output byte-identical to the equivalent CLI run.
+// Requests larger than `--max-request-mb` receive an in-band error
+// response instead of unbounded buffering.
 //
 // Request:  {"v":1,"cmd":"analyze","options":{...},
 //            "files":[{"name":"b2.mc","source":"..."}]}
@@ -18,9 +29,10 @@
 //            "cache":{...},"registry":{"counters":{...},"histograms":{...}}}}
 //       or  {"ok":false,"error":"...","index":N}
 //
-// POSIX only (unix sockets); on _WIN32 both entry points fail cleanly.
+// POSIX only (unix/TCP sockets); on _WIN32 both entry points fail cleanly.
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -30,12 +42,26 @@
 
 namespace tmg::driver {
 
-/// Daemon: bind `opts.socket_path`, serve requests until a shutdown
-/// command arrives. Returns the process exit code.
-int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err);
+/// Test seams for the daemon loop. `on_listening` fires once per bound
+/// transport ("unix" or "tcp") with the actual endpoint — for TCP that is
+/// the resolved host:port, so a test binding port 0 learns the ephemeral
+/// port the kernel picked.
+struct ServeHooks {
+  std::function<void(const std::string& transport,
+                     const std::string& endpoint)>
+      on_listening;
+};
+
+/// Daemon: bind `opts.socket_path` and/or `opts.listen_addr`, serve
+/// requests concurrently until a shutdown command arrives. Returns the
+/// process exit code: 0 after a clean shutdown, nonzero when the loop
+/// dies of a fatal accept/listen error (EMFILE is not success).
+int run_serve(const CliOptions& opts, std::ostream& out, std::ostream& err,
+              const ServeHooks& hooks = {});
 
 /// Client: submit `sources` (named by opts.inputs) — or a shutdown
-/// request under opts.client_shutdown — and render the response.
+/// request under opts.client_shutdown — over the unix socket
+/// (opts.socket_path) or TCP (opts.connect_addr) and render the response.
 int run_client(const CliOptions& opts,
                const std::vector<std::string>& sources, std::ostream& out,
                std::ostream& err);
@@ -52,7 +78,8 @@ std::string serialize_metrics_request();
 /// Handles one request payload against the daemon's cache. Sets
 /// `shutdown` when the payload asks the daemon to exit. `uptime_seconds`
 /// feeds the `metrics` response (the socket loop passes time since bind;
-/// unit tests may leave it 0).
+/// unit tests may leave it 0). Thread-safe: the cache is internally
+/// locked and `warn` is only written by the calling thread's request.
 std::string handle_serve_request(const std::string& payload,
                                  ResultCache& cache, std::ostream& warn,
                                  bool& shutdown, double uptime_seconds = 0.0);
@@ -63,5 +90,16 @@ std::string handle_serve_request(const std::string& payload,
 bool parse_serve_response(const std::string& payload, std::size_t num_files,
                           std::vector<PipelineResult>& reports,
                           std::string& error);
+
+/// accept(2) errno classification for the daemon loop (exposed for
+/// tests): transient errors (EINTR, ECONNABORTED, EAGAIN) are retried,
+/// anything else — EMFILE, ENFILE, EBADF, ENOMEM — is fatal and the
+/// daemon exits nonzero instead of reporting success.
+bool accept_errno_is_transient(int err);
+
+/// Splits "HOST:PORT" (the last ':' separates the port, so IPv6 literals
+/// like "::1:8080" parse). Returns false when either half is empty.
+bool split_host_port(const std::string& addr, std::string& host,
+                     std::string& port);
 
 }  // namespace tmg::driver

@@ -135,6 +135,19 @@ SchedulerStats Scheduler::run(const std::vector<AnalysisJob>& jobs) const {
 Frontier::Frontier(unsigned jobs)
     : workers_(jobs > 0 ? jobs : Scheduler::hardware_workers()) {}
 
+void Frontier::hold_open() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  held_open_ = true;
+}
+
+void Frontier::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    held_open_ = false;
+  }
+  cv_.notify_all();
+}
+
 void Frontier::push(AnalysisJob job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -150,13 +163,15 @@ void Frontier::drain(unsigned worker, SchedulerStats& stats) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     cv_.wait(lock, [&] {
-      return !queue_.empty() || in_flight_ == 0 || failed_;
+      return !queue_.empty() || (in_flight_ == 0 && !held_open_) || failed_;
     });
     if (failed_ || queue_.empty()) {
       // Either a sibling failed, or nothing is queued and nothing in
-      // flight can push more: the frontier is drained.
-      if (queue_.empty() && in_flight_ == 0) cv_.notify_all();
-      if (failed_ || (queue_.empty() && in_flight_ == 0)) return;
+      // flight can push more (and no service hold keeps the pool parked):
+      // the frontier is drained.
+      const bool drained = queue_.empty() && in_flight_ == 0 && !held_open_;
+      if (drained) cv_.notify_all();
+      if (failed_ || drained) return;
       continue;  // spurious: someone is in flight and may still push
     }
     // Prefer a job homed on this worker (matching affinity key) so one
@@ -200,17 +215,25 @@ void Frontier::drain(unsigned worker, SchedulerStats& stats) {
     }
     stats.busy_seconds_per_worker[worker] += busy;
     ++stats.jobs_per_worker[worker];
-    if (queue_.empty() && in_flight_ == 0) cv_.notify_all();
+    if (queue_.empty() && in_flight_ == 0 && !held_open_) cv_.notify_all();
   }
 }
 
 SchedulerStats Frontier::run() {
   SchedulerStats stats;
   const double t_start = monotonic_seconds();
-  failed_ = false;
-  first_error_ = nullptr;
+  bool service = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    failed_ = false;
+    first_error_ = nullptr;
+    service = held_open_;
+  }
 
-  if (workers_ <= 1) {
+  // A held-open single-worker pool must park on the condition variable
+  // like the threaded path does (the inline loop below returns the moment
+  // the queue empties), so service mode always drains via drain().
+  if (workers_ <= 1 && !service) {
     // Serial baseline: inline FIFO drain. Pushes from inside a job extend
     // the same queue; a job exception leaves the remaining queue intact
     // only long enough to clear it (matching the pool's discard rule).

@@ -134,6 +134,18 @@ class Frontier {
   /// discarded, in-flight jobs finish, the exception is rethrown here.
   SchedulerStats run();
 
+  /// Service mode: hold_open() makes run() park idle workers when the
+  /// queue momentarily empties instead of returning — the shape a
+  /// long-lived server needs, where a listener thread keeps push()ing
+  /// connections into an already-running pool. Call before run().
+  void hold_open();
+
+  /// Releases the hold: run() returns once the queue is empty and every
+  /// in-flight job has finished. Thread-safe; callable from any thread,
+  /// including from inside a running job (the lock is not held while job
+  /// callables execute).
+  void close();
+
  private:
   void drain(unsigned worker, SchedulerStats& stats);
 
@@ -142,6 +154,7 @@ class Frontier {
   std::condition_variable cv_;
   std::deque<AnalysisJob> queue_;
   std::size_t in_flight_ = 0;
+  bool held_open_ = false;
   bool failed_ = false;
   std::exception_ptr first_error_;
 };

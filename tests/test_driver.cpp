@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -874,6 +876,84 @@ TEST(Cli, ParsesSessionsCacheAndServeFlags) {
                          error));
 }
 
+TEST(Cli, ParsesServeTransportsAndCacheCap) {
+  CliOptions opts;
+  std::string error;
+
+  // TCP alongside or instead of the unix socket, plus the serve knobs.
+  ASSERT_TRUE(parse_cli({"serve", "--listen=127.0.0.1:7777",
+                         "--serve-workers=4", "--max-request-mb=8"},
+                        opts, error))
+      << error;
+  EXPECT_EQ(opts.listen_addr, "127.0.0.1:7777");
+  EXPECT_EQ(opts.serve_workers, 4u);
+  EXPECT_EQ(opts.max_request_bytes, 8u << 20);
+  opts = {};
+  ASSERT_TRUE(parse_cli({"serve", "--socket=/tmp/s.sock",
+                         "--listen=localhost:0"},
+                        opts, error))
+      << error;
+  EXPECT_EQ(opts.socket_path, "/tmp/s.sock");
+  EXPECT_EQ(opts.listen_addr, "localhost:0");
+  opts = {};
+  ASSERT_TRUE(
+      parse_cli({"client", "--connect=localhost:7777", "a.mc"}, opts, error))
+      << error;
+  EXPECT_EQ(opts.connect_addr, "localhost:7777");
+
+  // The cache cap parses as MiB and requires a cache directory.
+  opts = {};
+  ASSERT_TRUE(parse_cli({"--cache-dir=/tmp/c", "--cache-max-mb=2", "a.mc"},
+                        opts, error))
+      << error;
+  EXPECT_EQ(opts.cache_max_bytes, 2u << 20);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--cache-max-mb=2", "a.mc"}, opts, error));
+  EXPECT_NE(error.find("--cache-dir"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(
+      parse_cli({"--cache-dir=/tmp/c", "--cache-max-mb=0", "a.mc"}, opts,
+                error));
+
+  // Transport flags are tied to their subcommand: client picks exactly
+  // one transport, serve-only knobs stay serve-only.
+  opts = {};
+  EXPECT_FALSE(parse_cli({"client", "--socket=/tmp/s.sock",
+                          "--connect=localhost:7777", "a.mc"},
+                         opts, error));
+  EXPECT_NE(error.find("exactly one"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(parse_cli({"client", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(
+      parse_cli({"client", "--listen=localhost:7777", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(
+      parse_cli({"--connect=localhost:7777", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--serve-workers=4", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"--max-request-mb=8", "a.mc"}, opts, error));
+  opts = {};
+  EXPECT_FALSE(parse_cli({"serve", "--listen="}, opts, error));
+  opts = {};
+  EXPECT_FALSE(
+      parse_cli({"serve", "--listen=:0", "--serve-workers=0"}, opts, error));
+}
+
+TEST(Cli, SplitHostPortTakesLastColon) {
+  std::string host, port;
+  ASSERT_TRUE(split_host_port("127.0.0.1:8080", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, "8080");
+  ASSERT_TRUE(split_host_port("::1:8080", host, port));  // IPv6 literal
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, "8080");
+  EXPECT_FALSE(split_host_port("nohost", host, port));
+  EXPECT_FALSE(split_host_port(":8080", host, port));
+  EXPECT_FALSE(split_host_port("host:", host, port));
+}
+
 TEST(Cli, RejectsUnknownOption) {
   CliOptions opts;
   std::string error;
@@ -1368,6 +1448,201 @@ TEST(ResultCache, CorruptEntryWarnsAndRecomputes) {
   EXPECT_EQ(healed.stats().hits, 1u);
 }
 
+std::uintmax_t dir_json_bytes(const std::filesystem::path& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.is_regular_file() && e.path().extension() == ".json")
+      total += e.file_size();
+  return total;
+}
+
+TEST(ResultCache, EvictionKeepsDirectoryUnderCapAndEntriesHeal) {
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  std::ostringstream warn;
+  const PipelineResult r1 = Pipeline(opts).run(testing::kExampleB1);
+  const PipelineResult r2 = Pipeline(opts).run(testing::kExampleB2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+
+  // Measure real entry sizes with an unbounded cache, then start over
+  // with a cap that fits exactly one entry.
+  {
+    ResultCache probe(dir.path.string(), CacheMode::ReadWrite);
+    probe.store(testing::kExampleB1, opts, r1, warn);
+    probe.store(testing::kExampleB2, opts, r2, warn);
+  }
+  const std::uintmax_t s1 = std::filesystem::file_size(
+      ResultCache(dir.path.string(), CacheMode::ReadWrite)
+          .entry_path(testing::kExampleB1, opts));
+  const std::uintmax_t s2 = dir_json_bytes(dir.path) - s1;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path))
+    std::filesystem::remove(e.path());
+  const std::uint64_t cap = std::max(s1, s2);
+
+  ResultCache capped(dir.path.string(), CacheMode::ReadWrite, cap);
+  capped.store(testing::kExampleB1, opts, r1, warn);
+  EXPECT_LE(dir_json_bytes(dir.path), cap);
+  EXPECT_EQ(capped.stats().evictions, 0u);
+  // Second store overflows the cap: the older entry is evicted, the dir
+  // stays under the cap, and the counters record what was dropped.
+  capped.store(testing::kExampleB2, opts, r2, warn);
+  EXPECT_LE(dir_json_bytes(dir.path), cap);
+  EXPECT_EQ(dir.entries(), 1u);
+  EXPECT_EQ(capped.stats().evictions, 1u);
+  EXPECT_EQ(capped.stats().evicted_bytes, s1);
+
+  // The evicted entry misses, recomputes and heals back into the cache;
+  // the report is byte-identical to an uncached run.
+  const BatchResult healed = run_batch_cached(
+      {testing::kExampleB1}, {"b1.mc"}, opts, capped, warn);
+  ASSERT_TRUE(healed.ok) << healed.error;
+  EXPECT_EQ(capped.stats().misses, 1u);
+  EXPECT_EQ(capped.stats().writes, 3u);
+  EXPECT_LE(dir_json_bytes(dir.path), cap);
+  const BatchResult uncached = run_batch({testing::kExampleB1}, {"b1.mc"},
+                                         opts);
+  ASSERT_TRUE(uncached.ok);
+  EXPECT_EQ(batch_all_formats(uncached, opts),
+            batch_all_formats(healed, opts));
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+}
+
+TEST(ResultCache, EvictionIsLruByUseNotByCreation) {
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  std::ostringstream warn;
+  const PipelineResult r1 = Pipeline(opts).run(testing::kExampleB1);
+  const PipelineResult r2 = Pipeline(opts).run(testing::kExampleB2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+
+  // Oldest entry by *creation*: b1, then a decoy file. A hit on b1
+  // refreshes its mtime, so the decoy — untouched since creation — must
+  // be the eviction victim even though b1 is older.
+  ResultCache probe(dir.path.string(), CacheMode::ReadWrite);
+  probe.store(testing::kExampleB1, opts, r1, warn);
+  const std::string b1_entry = probe.entry_path(testing::kExampleB1, opts);
+  const std::uintmax_t s1 = std::filesystem::file_size(b1_entry);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::filesystem::last_write_time(b1_entry, now - std::chrono::hours(2));
+  const std::filesystem::path decoy = dir.path / "00decoy.json";
+  {
+    std::ofstream os(decoy, std::ios::binary);
+    os << std::string(4096, 'x');
+  }
+  std::filesystem::last_write_time(decoy, now - std::chrono::hours(1));
+
+  // The sweep only runs on store, so give the capped cache one store that
+  // forces exactly one eviction. The b1 hit first refreshes b1's mtime.
+  const std::uintmax_t s2_probe = [&] {
+    const ScratchDir sizing;
+    ResultCache c(sizing.path.string(), CacheMode::ReadWrite);
+    c.store(testing::kExampleB2, opts, r2, warn);
+    return dir_json_bytes(sizing.path);
+  }();
+  ResultCache capped(dir.path.string(), CacheMode::ReadWrite,
+                     s1 + s2_probe + 1024);
+  ASSERT_TRUE(
+      capped.lookup(testing::kExampleB1, opts, warn).has_value());
+  capped.store(testing::kExampleB2, opts, r2, warn);
+
+  EXPECT_FALSE(std::filesystem::exists(decoy));
+  EXPECT_TRUE(std::filesystem::exists(b1_entry));
+  EXPECT_EQ(capped.stats().evictions, 1u);
+  EXPECT_EQ(capped.stats().evicted_bytes, 4096u);
+  // The survivor still hits (and heals nothing — it was never removed).
+  EXPECT_TRUE(
+      capped.lookup(testing::kExampleB1, opts, warn).has_value());
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+}
+
+TEST(ResultCache, MtimeFastPathServesIdenticalReportAndCounts) {
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  std::ostringstream warn;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  const PipelineResult computed = Pipeline(opts).run(testing::kExampleB1);
+  ASSERT_TRUE(computed.ok);
+  cache.store(testing::kExampleB1, opts, computed, warn);
+
+  // Store memoised the entry: the next lookup is answered from the stat
+  // fast path, byte-identical to the slow parse.
+  const std::optional<PipelineResult> fast =
+      cache.lookup(testing::kExampleB1, opts, warn);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().fast_hits, 1u);
+  std::ostringstream direct, via_fast;
+  render_report(computed, opts, ReportFormat::Json, true, direct);
+  render_report(*fast, opts, ReportFormat::Json, true, via_fast);
+  EXPECT_EQ(direct.str(), via_fast.str());
+
+  // An external rewrite changes the entry's mtime: the memo identity no
+  // longer matches, so the next lookup takes the slow path (a hit, not a
+  // fast hit) and still serves the identical report.
+  const std::string entry = cache.entry_path(testing::kExampleB1, opts);
+  const std::string bytes = [&] {
+    std::ifstream in(entry, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }();
+  {
+    std::ofstream os(entry, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+  std::filesystem::last_write_time(
+      entry, std::filesystem::file_time_type::clock::now() +
+                 std::chrono::seconds(7));
+  const std::optional<PipelineResult> slow =
+      cache.lookup(testing::kExampleB1, opts, warn);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().fast_hits, 1u);
+  std::ostringstream via_slow;
+  render_report(*slow, opts, ReportFormat::Json, true, via_slow);
+  EXPECT_EQ(direct.str(), via_slow.str());
+
+  // A fresh cache object has no memo: first lookup is a slow hit, the
+  // second rides the fast path again.
+  ResultCache fresh(dir.path.string(), CacheMode::ReadWrite);
+  ASSERT_TRUE(fresh.lookup(testing::kExampleB1, opts, warn).has_value());
+  ASSERT_TRUE(fresh.lookup(testing::kExampleB1, opts, warn).has_value());
+  EXPECT_EQ(fresh.stats().hits, 2u);
+  EXPECT_EQ(fresh.stats().fast_hits, 1u);
+  EXPECT_TRUE(warn.str().empty()) << warn.str();
+}
+
+#if !defined(_WIN32)  // setenv
+TEST(ResultCache, FailedStoreCountsNothingAndPublishesNothing) {
+  const ScratchDir dir;
+  const PipelineOptions opts;
+  std::ostringstream warn;
+  ResultCache cache(dir.path.string(), CacheMode::ReadWrite);
+  const PipelineResult computed = Pipeline(opts).run(testing::kExampleB1);
+  ASSERT_TRUE(computed.ok);
+
+  // Simulated disk-full: the write fails, the temp is removed, nothing is
+  // published and `writes` stays 0 — a truncated temp must never be
+  // renamed into a valid-looking entry.
+  ::setenv("TMG_CACHE_FAULT", "store", 1);
+  cache.store(testing::kExampleB1, opts, computed, warn);
+  ::unsetenv("TMG_CACHE_FAULT");
+  EXPECT_NE(warn.str().find("cannot write cache entry"), std::string::npos)
+      << warn.str();
+  EXPECT_EQ(dir.entries(), 0u);  // no entry AND no leaked temp
+  EXPECT_EQ(cache.stats().writes, 0u);
+
+  // The failure is not sticky: the next store publishes normally.
+  std::ostringstream warn2;
+  cache.store(testing::kExampleB1, opts, computed, warn2);
+  EXPECT_TRUE(warn2.str().empty()) << warn2.str();
+  EXPECT_EQ(dir.entries(), 1u);
+  EXPECT_EQ(cache.stats().writes, 1u);
+  EXPECT_TRUE(
+      cache.lookup(testing::kExampleB1, opts, warn2).has_value());
+}
+#endif  // !defined(_WIN32)
+
 // ------------------------------------------------------- serve wire format
 
 TEST(ServeWire, AnalyzeRequestRendersIdenticallyToCliRun) {
@@ -1485,6 +1760,57 @@ TEST(ServeWire, MetricsRequestCountsAdvanceAcrossRequests) {
   const JsonValue& hists = after.get("registry").get("histograms");
   ASSERT_NE(hists.find("serve.request_us"), nullptr);
   EXPECT_GE(hists.get("serve.request_us").get("count").as_int(), 3);
+}
+
+TEST(ServeWire, OutOfRangeOptionIntsAreRejectedNotTruncated) {
+  // Regression: an int64 wider than the target field used to be silently
+  // truncated — max_unroll_depth 2^32+5 analyzed under depth 5. Any
+  // out-of-range value must be a malformed-options error instead.
+  ResultCache no_cache;
+  std::ostringstream warn;
+  const std::string base = serialize_serve_request(
+      PipelineOptions{}, {"b1.mc"}, {testing::kExampleB1});
+  const auto mutate = [&](const std::string& from, const std::string& to) {
+    std::string request = base;
+    const std::size_t at = request.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    request.replace(at, from.size(), to);
+    return request;
+  };
+  const PipelineOptions defaults;
+  const std::string depth =
+      "\"max_unroll_depth\":" + std::to_string(defaults.max_unroll_depth);
+  const std::string steps =
+      "\"max_steps\":" + std::to_string(defaults.bmc.max_steps);
+  const std::string jobs = "\"jobs\":" + std::to_string(defaults.jobs);
+
+  for (const std::string& hostile : {
+           mutate(depth, "\"max_unroll_depth\":4294967301"),  // 2^32 + 5
+           mutate(depth, "\"max_unroll_depth\":-3"),
+           mutate(steps, "\"max_steps\":4294967296"),
+           mutate(jobs, "\"jobs\":1025"),  // CLI caps --jobs at 1024
+           mutate(jobs, "\"jobs\":-1"),
+       }) {
+    bool shutdown = false;
+    const std::string response =
+        handle_serve_request(hostile, no_cache, warn, shutdown);
+    const std::optional<JsonValue> v = json_parse(response);
+    ASSERT_TRUE(v.has_value()) << response;
+    EXPECT_FALSE(v->get("ok").as_bool()) << hostile;
+    EXPECT_NE(v->get("error").as_string().find("malformed options"),
+              std::string::npos)
+        << response;
+  }
+
+  // The in-range maxima still parse (the request is answered, not
+  // rejected): the bound is about width, not policy.
+  bool shutdown = false;
+  const std::string response = handle_serve_request(
+      mutate(depth, "\"max_unroll_depth\":4294967295"), no_cache, warn,
+      shutdown);
+  const std::optional<JsonValue> v = json_parse(response);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->get("ok").as_bool()) << response;
 }
 
 TEST(ServeWire, MetricsHostileAndMismatchedRequestsFailInBand) {

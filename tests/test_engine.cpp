@@ -333,5 +333,58 @@ TEST(Frontier, WorkerIdsStayInRange) {
   EXPECT_FALSE(bad.load());
 }
 
+// --------------------------------------------------------- service mode
+
+TEST(Frontier, HeldOpenPoolParksAcrossEmptyQueueUntilClosed) {
+  // The serve daemon's shape: run() on its own thread, a producer pushes
+  // jobs in bursts with idle gaps in between, close() ends the run. The
+  // idle gap is the regression surface — without hold_open() the pool
+  // returns the moment the queue first empties.
+  for (const unsigned workers : {1u, 4u}) {
+    Frontier f(workers);
+    f.hold_open();
+    std::atomic<int> done{0};
+    std::thread pool([&f] { f.run(); });
+    f.push(AnalysisJob{[&done](unsigned) { ++done; }});
+    while (done.load() < 1) std::this_thread::yield();
+    // The queue is now empty and nothing is in flight; the pool must
+    // still accept and run a late job.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    f.push(AnalysisJob{[&done](unsigned) { ++done; }});
+    while (done.load() < 2) std::this_thread::yield();
+    f.close();
+    pool.join();
+    EXPECT_EQ(done.load(), 2) << "workers=" << workers;
+  }
+}
+
+TEST(Frontier, CloseFromInsideAJobEndsTheRun) {
+  // A worker handling a shutdown request closes its own pool; close()
+  // must not self-deadlock and queued work still completes first.
+  for (const unsigned workers : {1u, 3u}) {
+    Frontier f(workers);
+    f.hold_open();
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i)
+      f.push(AnalysisJob{[&done](unsigned) { ++done; }});
+    f.push(AnalysisJob{[&f](unsigned) { f.close(); }});
+    f.run();  // returns instead of parking: the hold was released
+    EXPECT_EQ(done.load(), 8) << "workers=" << workers;
+  }
+}
+
+TEST(Frontier, ClosedPoolDrainsLikeABatchAgain) {
+  // hold_open() + close() before run(): the hold is gone, so run()
+  // behaves exactly like the plain batch drain (terminates when empty).
+  Frontier f(2);
+  f.hold_open();
+  f.close();
+  std::atomic<int> done{0};
+  f.push(AnalysisJob{[&done](unsigned) { ++done; }});
+  const SchedulerStats stats = f.run();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_EQ(stats.jobs, 1u);
+}
+
 }  // namespace
 }  // namespace tmg::engine

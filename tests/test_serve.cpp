@@ -1,0 +1,343 @@
+// Live-socket tests for the concurrent `tmg serve` daemon: real unix and
+// TCP listeners, a real worker pool, real clients on threads. These are
+// the determinism gates for the concurrency tentpole — N concurrent
+// clients must receive responses byte-identical to the serial daemon and
+// to the CLI — and they run under the TSan CI job.
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/cli.h"
+#include "driver/pipeline.h"
+#include "driver/serve.h"
+#include "paper_examples.h"
+#include "support/json.h"
+
+namespace tmg::driver {
+namespace {
+
+/// Fresh scratch directory per test; removed on scope exit.
+struct ScratchDir {
+  std::filesystem::path path;
+  ScratchDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("tmg_serve_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// One in-process daemon on its own thread. start() blocks until every
+/// listener is up (via ServeHooks::on_listening), so tests never race the
+/// bind; stop() shuts it down through a real client and checks the exit
+/// code — a daemon that died of an accept failure would return nonzero.
+struct LiveDaemon {
+  CliOptions opts;
+  std::ostringstream out, err;
+  std::thread thread;
+  std::string tcp_endpoint;
+  int rc = -1;
+
+  void start(CliOptions o, int expected_listeners) {
+    opts = std::move(o);
+    std::mutex mu;
+    std::condition_variable cv;
+    int ready = 0;
+    ServeHooks hooks;
+    hooks.on_listening = [&](const std::string& transport,
+                             const std::string& endpoint) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (transport == "tcp") tcp_endpoint = endpoint;
+      ++ready;
+      cv.notify_all();
+    };
+    thread = std::thread([this, hooks] {
+      rc = run_serve(opts, out, err, hooks);
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready >= expected_listeners; });
+  }
+
+  void stop() {
+    CliOptions c;
+    c.client = true;
+    c.client_shutdown = true;
+    c.socket_path = opts.socket_path;
+    if (c.socket_path.empty()) c.connect_addr = tcp_endpoint;
+    std::ostringstream cout, cerr;
+    ASSERT_EQ(run_client(c, {}, cout, cerr), 0) << cerr.str();
+    thread.join();
+    EXPECT_EQ(rc, 0) << err.str();
+  }
+
+  ~LiveDaemon() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// One client request through the real run_client path; returns stdout.
+std::string client_analyze(const std::string& socket_path,
+                           const std::string& connect_addr,
+                           const std::string& input_file) {
+  CliOptions c;
+  c.client = true;
+  c.socket_path = socket_path;
+  c.connect_addr = connect_addr;
+  c.inputs = {input_file};
+  std::string source;
+  {
+    std::ifstream in(input_file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(run_client(c, {source}, out, err), 0) << err.str();
+  return out.str();
+}
+
+std::string client_metrics(const std::string& socket_path,
+                           const std::string& connect_addr) {
+  CliOptions c;
+  c.client = true;
+  c.client_metrics = true;
+  c.socket_path = socket_path;
+  c.connect_addr = connect_addr;
+  std::ostringstream out, err;
+  EXPECT_EQ(run_client(c, {}, out, err), 0) << err.str();
+  return out.str();
+}
+
+/// Raw wire round-trip (no client-side protocol): connect, send payload,
+/// half-close, read the response to EOF. For hostile payloads the real
+/// client cannot produce.
+std::string raw_roundtrip_unix(const std::string& socket_path,
+                               const std::string& payload) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + off, payload.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) break;  // daemon may half-close early on oversized input
+    off += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string write_source(const ScratchDir& dir, const char* name,
+                         const char* source) {
+  const std::filesystem::path p = dir.path / name;
+  std::ofstream os(p, std::ios::binary);
+  os << source;
+  return p.string();
+}
+
+std::string cli_reference(const std::string& input_file) {
+  const char* argv[] = {"tmg", input_file.c_str()};
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(2, argv, out, err), 0) << err.str();
+  return out.str();
+}
+
+TEST(ServeLive, ConcurrentClientsMatchSerialDaemonAndCliOnBothTransports) {
+  const ScratchDir dir;
+  const std::string b1 = write_source(dir, "b1.mc", testing::kExampleB1);
+  const std::string b2 = write_source(dir, "b2.mc", testing::kExampleB2);
+  const std::string sock = (dir.path / "s.sock").string();
+
+  // Serial reference: a one-at-a-time daemon (single worker).
+  std::string serial_b1, serial_b2;
+  {
+    CliOptions o;
+    o.serve = true;
+    o.socket_path = sock;
+    o.cache_dir = (dir.path / "cache_serial").string();
+    o.serve_workers = 1;
+    LiveDaemon daemon;
+    daemon.start(std::move(o), 1);
+    serial_b1 = client_analyze(sock, "", b1);
+    serial_b2 = client_analyze(sock, "", b2);
+    daemon.stop();
+  }
+
+  // Concurrent daemon on both transports, 8 clients at once: analyze on
+  // unix and TCP, metrics, and a hostile raw payload, all in flight
+  // together. Every analyze response must equal the serial daemon's and
+  // the CLI's, and unix must equal TCP.
+  CliOptions o;
+  o.serve = true;
+  o.socket_path = sock;
+  o.listen_addr = "127.0.0.1:0";
+  o.cache_dir = (dir.path / "cache_conc").string();
+  o.serve_workers = 4;
+  LiveDaemon daemon;
+  daemon.start(std::move(o), 2);
+  ASSERT_FALSE(daemon.tcp_endpoint.empty());
+
+  constexpr int kClients = 8;
+  std::vector<std::string> results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      switch (i % 4) {
+        case 0:
+          results[i] = client_analyze(sock, "", i < 4 ? b1 : b2);
+          break;
+        case 1:
+          results[i] =
+              client_analyze("", daemon.tcp_endpoint, i < 4 ? b1 : b2);
+          break;
+        case 2:
+          results[i] = client_metrics(sock, "");
+          break;
+        default:
+          results[i] = raw_roundtrip_unix(sock, "{\"hostile\":");
+          break;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const std::string cli_b1 = cli_reference(b1);
+  const std::string cli_b2 = cli_reference(b2);
+  EXPECT_EQ(serial_b1, cli_b1);
+  EXPECT_EQ(serial_b2, cli_b2);
+  EXPECT_EQ(results[0], serial_b1);  // unix, b1
+  EXPECT_EQ(results[1], serial_b1);  // tcp == unix == serial == cli
+  EXPECT_EQ(results[4], serial_b2);  // unix, b2
+  EXPECT_EQ(results[5], serial_b2);  // tcp, b2
+  for (const int i : {2, 6}) {  // metrics clients got valid snapshots
+    const std::optional<JsonValue> v = json_parse(results[i]);
+    ASSERT_TRUE(v.has_value()) << results[i];
+    EXPECT_TRUE(v->get("ok").as_bool());
+  }
+  for (const int i : {3, 7}) {  // hostile clients got in-band errors
+    const std::optional<JsonValue> v = json_parse(results[i]);
+    ASSERT_TRUE(v.has_value()) << results[i];
+    EXPECT_FALSE(v->get("ok").as_bool());
+  }
+  daemon.stop();
+}
+
+TEST(ServeLive, WarmCacheRawResponsesAreByteIdenticalAcrossThreads) {
+  // Byte-level determinism at the wire: once the cache is warm, every
+  // concurrent resubmission must serialize the identical cached report —
+  // including its recorded wall-clock fields. (Cold responses embed each
+  // computation's own timings, so only warm responses can be compared.)
+  const ScratchDir dir;
+  const std::string sock = (dir.path / "s.sock").string();
+  CliOptions o;
+  o.serve = true;
+  o.socket_path = sock;
+  o.cache_dir = (dir.path / "cache").string();
+  o.serve_workers = 4;
+  LiveDaemon daemon;
+  daemon.start(std::move(o), 1);
+
+  const std::string request = serialize_serve_request(
+      PipelineOptions{}, {"b1.mc"}, {testing::kExampleB1});
+  const std::string warm = raw_roundtrip_unix(sock, request);
+  ASSERT_NE(warm.find("\"ok\":true"), std::string::npos) << warm;
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> responses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back(
+        [&, i] { responses[i] = raw_roundtrip_unix(sock, request); });
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i)
+    EXPECT_EQ(responses[i], warm) << "thread " << i;
+  daemon.stop();
+}
+
+TEST(ServeLive, OversizedRequestGetsInBandErrorAndDaemonSurvives) {
+  const ScratchDir dir;
+  const std::string sock = (dir.path / "s.sock").string();
+  CliOptions o;
+  o.serve = true;
+  o.socket_path = sock;
+  o.max_request_bytes = 4096;
+  LiveDaemon daemon;
+  daemon.start(std::move(o), 1);
+
+  // 64 KiB of junk against a 4 KiB cap: in-band error, not an OOM and
+  // not a dropped connection.
+  const std::string big(64 * 1024, 'x');
+  const std::string response = raw_roundtrip_unix(sock, big);
+  const std::optional<JsonValue> v = json_parse(response);
+  ASSERT_TRUE(v.has_value()) << response;
+  EXPECT_FALSE(v->get("ok").as_bool());
+  EXPECT_NE(v->get("error").as_string().find("request too large"),
+            std::string::npos);
+
+  // An under-cap request on the same daemon still gets a real answer
+  // (fresh computations embed their own wall clocks, so check shape, not
+  // bytes — byte-identity is covered by the warm-cache test above).
+  const std::string request = serialize_serve_request(
+      PipelineOptions{}, {"b1.mc"}, {testing::kExampleB1});
+  ASSERT_LT(request.size(), o.max_request_bytes);
+  const std::string good = raw_roundtrip_unix(sock, request);
+  std::vector<PipelineResult> reports;
+  std::string error;
+  EXPECT_TRUE(parse_serve_response(good, 1, reports, error)) << error;
+  daemon.stop();
+}
+
+TEST(ServeLive, AcceptErrnoClassificationRetriesTransientsOnly) {
+  // The satellite bug: accept() failure used to break the loop and return
+  // 0 — a daemon dead of EMFILE reported success. Transients retry,
+  // everything else is fatal (and run_serve exits nonzero).
+  for (const int transient :
+       {EINTR, ECONNABORTED, EAGAIN, EWOULDBLOCK})
+    EXPECT_TRUE(accept_errno_is_transient(transient)) << transient;
+  for (const int fatal : {EMFILE, ENFILE, EBADF, ENOMEM, EINVAL})
+    EXPECT_FALSE(accept_errno_is_transient(fatal)) << fatal;
+}
+
+}  // namespace
+}  // namespace tmg::driver
+
+#endif  // !defined(_WIN32)
